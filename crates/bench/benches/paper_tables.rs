@@ -1,0 +1,16 @@
+//! `cargo bench` entry point that regenerates every table of the paper's evaluation
+//! section (harness = false: this is a report generator, not a statistical benchmark).
+//!
+//! Set `CHAOS_PAPER_SCALE=1` to run the larger, closer-to-the-paper workload sizes.
+
+fn main() {
+    let scale = chaos_bench::Scale::from_env();
+    println!("Reproducing the evaluation tables of");
+    println!("  \"Run-time and compile-time support for adaptive irregular problems\" (SC'94)");
+    println!("Workload scale: {scale:?}");
+    println!();
+    for table in chaos_bench::tables::all_tables(&scale) {
+        println!("{}", table.render());
+        println!();
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the data partitioners (RCB, RIB, chain) — the ablation
+//! behind Table 5's partitioner-cost trade-off.
+
+use chaos::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpsim::{run, CostModel, MachineConfig};
+
+const ELEMENTS_PER_RANK: usize = 2_000;
+
+fn cloud(rank_id: usize, n: usize) -> (Vec<[f64; 3]>, Vec<f64>) {
+    let coords: Vec<[f64; 3]> = (0..n)
+        .map(|i| {
+            let s = (rank_id * 7919 + i * 131 + 17) as f64;
+            [
+                (s * 0.618).fract() * 10.0,
+                (s * 0.414).fract() * 10.0,
+                (s * 0.732).fract() * 10.0,
+            ]
+        })
+        .collect();
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    (coords, weights)
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+    for &nprocs in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("rcb", nprocs), &nprocs, |b, &p| {
+            b.iter(|| {
+                run(
+                    MachineConfig::new(p).with_cost(CostModel::compute_only(0.0)),
+                    |rank| {
+                        let (coords, weights) = cloud(rank.rank(), ELEMENTS_PER_RANK);
+                        rcb_partition(rank, PartitionInput::new(&coords, &weights), rank.nprocs())
+                            .len()
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rib", nprocs), &nprocs, |b, &p| {
+            b.iter(|| {
+                run(
+                    MachineConfig::new(p).with_cost(CostModel::compute_only(0.0)),
+                    |rank| {
+                        let (coords, weights) = cloud(rank.rank(), ELEMENTS_PER_RANK);
+                        rib_partition(rank, PartitionInput::new(&coords, &weights), rank.nprocs())
+                            .len()
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chain", nprocs), &nprocs, |b, &p| {
+            b.iter(|| {
+                run(
+                    MachineConfig::new(p).with_cost(CostModel::compute_only(0.0)),
+                    |rank| {
+                        let (coords, weights) = cloud(rank.rank(), ELEMENTS_PER_RANK);
+                        let xs: Vec<f64> = coords.iter().map(|c| c[0]).collect();
+                        chain_partition(rank, &xs, &weights, rank.nprocs()).len()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

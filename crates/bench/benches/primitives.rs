@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the CHAOS runtime primitives: index hashing, schedule
+//! generation, gather/scatter, scatter_append, and remapping.
+
+use chaos::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpsim::{run, CostModel, MachineConfig};
+
+const NPROCS: usize = 8;
+const N: usize = 20_000;
+const REFS_PER_RANK: usize = 4_000;
+
+fn irregular_pattern(rank_id: usize) -> Vec<usize> {
+    (0..REFS_PER_RANK)
+        .map(|i| (i * 17 + rank_id * 101 + (i * i) % 977) % N)
+        .collect()
+}
+
+fn bench_inspector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inspector");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("hash_and_schedule", REFS_PER_RANK), |b| {
+        b.iter(|| {
+            run(
+                MachineConfig::new(NPROCS).with_cost(CostModel::compute_only(0.0)),
+                |rank| {
+                    let dist = BlockDist::new(N, rank.nprocs());
+                    let ttable = TranslationTable::from_regular(&dist);
+                    let mut insp = Inspector::new(&ttable, rank.rank());
+                    let pattern = irregular_pattern(rank.rank());
+                    insp.hash_indices(rank, &pattern, Stamp::new(0));
+                    insp.build_schedule(rank, StampQuery::single(Stamp::new(0)))
+                        .total_fetch()
+                },
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::new("rehash_after_adaptation", REFS_PER_RANK), |b| {
+        b.iter(|| {
+            run(
+                MachineConfig::new(NPROCS).with_cost(CostModel::compute_only(0.0)),
+                |rank| {
+                    let dist = BlockDist::new(N, rank.nprocs());
+                    let ttable = TranslationTable::from_regular(&dist);
+                    let mut insp = Inspector::new(&ttable, rank.rank());
+                    let mut pattern = irregular_pattern(rank.rank());
+                    insp.hash_indices(rank, &pattern, Stamp::new(0));
+                    insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
+                    // Adapt 1% of the references and regenerate (the cheap path).
+                    for k in 0..REFS_PER_RANK / 100 {
+                        pattern[k * 100] = (pattern[k * 100] + 7) % N;
+                    }
+                    insp.clear_stamp(Stamp::new(0));
+                    insp.hash_indices(rank, &pattern, Stamp::new(0));
+                    insp.build_schedule(rank, StampQuery::single(Stamp::new(0)))
+                        .total_fetch()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    group.bench_function("gather_scatter_add", |b| {
+        b.iter(|| {
+            run(
+                MachineConfig::new(NPROCS).with_cost(CostModel::compute_only(0.0)),
+                |rank| {
+                    let dist = BlockDist::new(N, rank.nprocs());
+                    let ttable = TranslationTable::from_regular(&dist);
+                    let mut insp = Inspector::new(&ttable, rank.rank());
+                    let pattern = irregular_pattern(rank.rank());
+                    let refs = insp.hash_indices(rank, &pattern, Stamp::new(0));
+                    let sched = insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
+                    let mut x = DistArray::new(
+                        vec![1.0f64; dist.local_size(rank.rank())],
+                        sched.ghost_len(),
+                    );
+                    gather(rank, &sched, &mut x);
+                    for &r in &refs {
+                        x[r] += 1.0;
+                    }
+                    scatter_add(rank, &sched, &mut x);
+                    x.owned().first().copied().unwrap_or(0.0)
+                },
+            )
+        })
+    });
+    group.bench_function("scatter_append", |b| {
+        b.iter(|| {
+            run(
+                MachineConfig::new(NPROCS).with_cost(CostModel::compute_only(0.0)),
+                |rank| {
+                    let items: Vec<f64> = (0..REFS_PER_RANK).map(|i| i as f64).collect();
+                    let dests: Vec<usize> =
+                        (0..REFS_PER_RANK).map(|i| (i * 31 + rank.rank()) % NPROCS).collect();
+                    let sched = LightweightSchedule::build(rank, &dests);
+                    scatter_append(rank, &sched, &items).len()
+                },
+            )
+        })
+    });
+    group.bench_function("remap_block_to_irregular", |b| {
+        b.iter(|| {
+            run(
+                MachineConfig::new(NPROCS).with_cost(CostModel::compute_only(0.0)),
+                |rank| {
+                    let old = BlockDist::new(N, rank.nprocs());
+                    let map_dist = BlockDist::new(N, rank.nprocs());
+                    let local_map: Vec<usize> = map_dist
+                        .local_globals(rank.rank())
+                        .map(|g| (g * 7 + 3) % rank.nprocs())
+                        .collect();
+                    let mut table =
+                        TranslationTable::replicated_from_map(rank, &local_map, &map_dist)
+                            .unwrap();
+                    let globals: Vec<usize> = old.local_globals(rank.rank()).collect();
+                    let values: Vec<f64> = globals.iter().map(|&g| g as f64).collect();
+                    let plan = build_remap(rank, &globals, &mut table);
+                    remap_values(rank, &plan, &values, 0.0).len()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inspector, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerate every table of the paper's evaluation in one run.
+fn main() {
+    let scale = chaos_bench::Scale::from_env();
+    for table in chaos_bench::tables::all_tables(&scale) {
+        println!("{}", table.render());
+        println!();
+    }
+}

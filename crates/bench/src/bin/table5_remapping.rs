@@ -1,0 +1,5 @@
+//! Regenerate Table 5 of the paper (remapping strategies, 3-D DSMC).
+fn main() {
+    let scale = chaos_bench::Scale::from_env();
+    println!("{}", chaos_bench::tables::table5_remapping(&scale).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 7 of the paper (compiler-generated vs manual DSMC template).
+fn main() {
+    let scale = chaos_bench::Scale::from_env();
+    println!("{}", chaos_bench::tables::table7_compiler_dsmc(&scale).render());
+}

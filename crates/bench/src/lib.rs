@@ -1,0 +1,19 @@
+//! Benchmark harnesses reproducing the evaluation of the SC'94 CHAOS paper.
+//!
+//! Every measured artifact in the paper's evaluation section is a table (Figures 1–11 are
+//! code fragments and diagrams); each table has a generator in [`tables`] that sets up the
+//! corresponding workload, runs it on the simulated machine over a sweep of processor
+//! counts, and prints rows in the same format as the paper.  The binaries in `src/bin/`
+//! and the `paper_tables` bench target are thin wrappers over these functions, so
+//! `cargo bench --workspace` regenerates every table.
+//!
+//! Absolute numbers are *modeled* times from [`mpsim::CostModel`] (an iPSC/860-class
+//! latency/bandwidth model), not wall-clock; the workloads are also scaled down from the
+//! paper's (documented per table, controlled by [`Scale`]) so the whole suite runs in
+//! minutes on a laptop.  What is expected to reproduce is the *shape* of each table —
+//! which alternative wins, by roughly what factor, and where the trends cross.
+
+pub mod tables;
+pub mod workloads;
+
+pub use tables::{Scale, TableOutput};

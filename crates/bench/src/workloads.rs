@@ -1,0 +1,92 @@
+//! Shared workload construction and table formatting for the benchmark harnesses.
+
+use charmm::system::SystemConfig;
+
+/// A CHARMM-like system scaled down from the paper's 14 026-atom benchmark but with the
+/// same structure (dense bonded cluster + solvent); used by the quick table runs.
+pub fn charmm_medium() -> SystemConfig {
+    SystemConfig {
+        protein_atoms: 700,
+        water_molecules: 900,
+        box_size: 28.0,
+        cutoff: 7.0,
+        seed: 1994,
+    }
+}
+
+/// The paper's full-size CHARMM benchmark (MbCO + 3 830 waters, 14 026 atoms).
+pub fn charmm_paper() -> SystemConfig {
+    SystemConfig::paper_benchmark()
+}
+
+/// Format a table: a title, column headers and rows of strings, padded for alignment.
+pub fn format_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep_len: usize = widths.iter().sum::<usize>() + 3 * widths.len();
+    out.push_str(&"=".repeat(sep_len.max(title.len())));
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8) + 2))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(sep_len.max(title.len())));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a modeled time (microseconds) as seconds with two decimals, the way the paper
+/// prints its tables.
+pub fn secs(us: f64) -> String {
+    format!("{:.2}", us / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let t = format_table(
+            "Demo",
+            &["Procs".to_string(), "Time".to_string()],
+            &[
+                vec!["4".to_string(), "1.25".to_string()],
+                vec!["128".to_string(), "0.50".to_string()],
+            ],
+        );
+        assert!(t.contains("Demo"));
+        assert!(t.contains("Procs"));
+        assert!(t.lines().count() >= 5);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(secs(1_500_000.0), "1.50");
+        assert_eq!(secs(0.0), "0.00");
+    }
+
+    #[test]
+    fn medium_system_is_smaller_than_paper() {
+        assert!(charmm_medium().total_atoms() < charmm_paper().total_atoms());
+    }
+}

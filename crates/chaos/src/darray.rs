@@ -1,0 +1,198 @@
+//! Distributed arrays: the local section of a partitioned data array plus its ghost area.
+//!
+//! After index translation, every reference produced by the inspector is a [`LocalRef`]:
+//! either an offset into the locally *owned* section (for on-processor elements) or a slot
+//! in the *ghost* region appended after it (for copies of off-processor elements brought in
+//! by `gather`).  This mirrors the PARTI/CHAOS convention of allocating a buffer area for
+//! incoming off-processor data directly after the local section, so the executor loop can
+//! index one flat array regardless of where an element lives.
+
+use std::ops::{Index, IndexMut};
+
+/// A translated local reference: an index into the owned-followed-by-ghost address space of
+/// one rank's [`DistArray`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalRef(pub usize);
+
+impl LocalRef {
+    /// The raw flat index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// True if this reference points into the owned section of an array with `owned_len`
+    /// owned elements.
+    pub fn is_owned(self, owned_len: usize) -> bool {
+        self.0 < owned_len
+    }
+}
+
+/// One rank's section of a distributed array: owned elements followed by a ghost region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistArray<T> {
+    owned: Vec<T>,
+    ghost: Vec<T>,
+}
+
+impl<T: Clone + Default> DistArray<T> {
+    /// Create a local section from its owned elements, with `ghost_len` default-initialised
+    /// ghost slots.
+    pub fn new(owned: Vec<T>, ghost_len: usize) -> Self {
+        Self {
+            owned,
+            ghost: vec![T::default(); ghost_len],
+        }
+    }
+
+    /// Create a local section of `owned_len` default-initialised owned elements and
+    /// `ghost_len` ghost slots.
+    pub fn zeroed(owned_len: usize, ghost_len: usize) -> Self {
+        Self {
+            owned: vec![T::default(); owned_len],
+            ghost: vec![T::default(); ghost_len],
+        }
+    }
+
+    /// Grow (never shrink) the ghost region to hold at least `ghost_len` slots.  Called
+    /// when a new schedule needs more ghost slots than previous ones.
+    pub fn ensure_ghost(&mut self, ghost_len: usize) {
+        if self.ghost.len() < ghost_len {
+            self.ghost.resize(ghost_len, T::default());
+        }
+    }
+
+    /// Reset every ghost slot to the default value (used between executor phases that
+    /// accumulate into the ghost region before a `scatter_add`).
+    pub fn clear_ghost(&mut self) {
+        for g in &mut self.ghost {
+            *g = T::default();
+        }
+    }
+}
+
+impl<T> DistArray<T> {
+    /// Number of owned elements.
+    pub fn owned_len(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Number of ghost slots.
+    pub fn ghost_len(&self) -> usize {
+        self.ghost.len()
+    }
+
+    /// Total addressable length (owned + ghost).
+    pub fn len(&self) -> usize {
+        self.owned.len() + self.ghost.len()
+    }
+
+    /// True if the array has no owned elements and no ghost slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The owned section.
+    pub fn owned(&self) -> &[T] {
+        &self.owned
+    }
+
+    /// The owned section, mutably.
+    pub fn owned_mut(&mut self) -> &mut [T] {
+        &mut self.owned
+    }
+
+    /// The ghost region.
+    pub fn ghost(&self) -> &[T] {
+        &self.ghost
+    }
+
+    /// The ghost region, mutably.
+    pub fn ghost_mut(&mut self) -> &mut [T] {
+        &mut self.ghost
+    }
+
+    /// Consume the array and return its owned section.
+    pub fn into_owned(self) -> Vec<T> {
+        self.owned
+    }
+}
+
+impl<T> Index<LocalRef> for DistArray<T> {
+    type Output = T;
+
+    fn index(&self, r: LocalRef) -> &T {
+        if r.0 < self.owned.len() {
+            &self.owned[r.0]
+        } else {
+            &self.ghost[r.0 - self.owned.len()]
+        }
+    }
+}
+
+impl<T> IndexMut<LocalRef> for DistArray<T> {
+    fn index_mut(&mut self, r: LocalRef) -> &mut T {
+        if r.0 < self.owned.len() {
+            &mut self.owned[r.0]
+        } else {
+            &mut self.ghost[r.0 - self.owned.len()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_spans_owned_then_ghost() {
+        let mut a = DistArray::new(vec![10, 20, 30], 2);
+        assert_eq!(a.owned_len(), 3);
+        assert_eq!(a.ghost_len(), 2);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[LocalRef(0)], 10);
+        assert_eq!(a[LocalRef(2)], 30);
+        assert_eq!(a[LocalRef(3)], 0);
+        a[LocalRef(3)] = 99;
+        a[LocalRef(1)] = 21;
+        assert_eq!(a.ghost()[0], 99);
+        assert_eq!(a.owned()[1], 21);
+    }
+
+    #[test]
+    fn ensure_ghost_only_grows() {
+        let mut a: DistArray<f64> = DistArray::zeroed(2, 1);
+        a.ensure_ghost(4);
+        assert_eq!(a.ghost_len(), 4);
+        a.ensure_ghost(2);
+        assert_eq!(a.ghost_len(), 4);
+    }
+
+    #[test]
+    fn clear_ghost_resets_only_ghost() {
+        let mut a = DistArray::new(vec![1.0, 2.0], 3);
+        a[LocalRef(3)] = 7.5;
+        a.clear_ghost();
+        assert_eq!(a.owned(), &[1.0, 2.0]);
+        assert!(a.ghost().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn localref_ownership_test() {
+        assert!(LocalRef(2).is_owned(3));
+        assert!(!LocalRef(3).is_owned(3));
+        assert_eq!(LocalRef(5).index(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_reference_panics() {
+        let a: DistArray<i32> = DistArray::zeroed(2, 2);
+        let _ = a[LocalRef(4)];
+    }
+
+    #[test]
+    fn into_owned_returns_owned_section() {
+        let a = DistArray::new(vec![4, 5, 6], 9);
+        assert_eq!(a.into_owned(), vec![4, 5, 6]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Regular distribution descriptors (BLOCK and CYCLIC).
+//!
+//! Fortran-D / HPF provide BLOCK and CYCLIC as the standard regular distributions; CHAOS
+//! uses them both as starting distributions (before data is repartitioned irregularly) and
+//! as the distribution of *index spaces themselves* — the map array describing an irregular
+//! distribution is itself block-distributed, and so are loop-iteration spaces before
+//! iteration partitioning.  Owner and local-offset computations for these distributions are
+//! pure arithmetic; no translation table is needed.
+
+use crate::{Global, ProcId};
+
+/// Operations every regular distribution supports.
+pub trait RegularDist {
+    /// Total number of elements in the global index space.
+    fn global_size(&self) -> usize;
+    /// Number of processors the space is distributed over.
+    fn nprocs(&self) -> usize;
+    /// The processor owning global index `g`.
+    fn owner(&self, g: Global) -> ProcId;
+    /// The local offset of global index `g` on its owner.
+    fn local_offset(&self, g: Global) -> usize;
+    /// Number of elements local to processor `p`.
+    fn local_size(&self, p: ProcId) -> usize;
+    /// The global index of local offset `l` on processor `p`.
+    fn global_index(&self, p: ProcId, l: usize) -> Global;
+
+    /// Iterator over the global indices owned by processor `p`, in local-offset order.
+    fn local_globals(&self, p: ProcId) -> Box<dyn Iterator<Item = Global> + Send>
+    where
+        Self: Sized,
+    {
+        let size = self.local_size(p);
+        let globals: Vec<Global> = (0..size).map(|l| self.global_index(p, l)).collect();
+        Box::new(globals.into_iter())
+    }
+
+    /// The owner map for the whole index space (`map[g] = owner(g)`).
+    fn owner_map(&self) -> Vec<ProcId> {
+        (0..self.global_size()).map(|g| self.owner(g)).collect()
+    }
+}
+
+/// HPF-style BLOCK distribution: contiguous chunks of `ceil(n/p)`-ish size.
+///
+/// The first `n % p` processors receive `ceil(n/p)` elements and the rest `floor(n/p)`,
+/// which keeps the imbalance below one element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDist {
+    n: usize,
+    nprocs: usize,
+}
+
+impl BlockDist {
+    /// Distribute `n` elements over `nprocs` processors in contiguous blocks.
+    pub fn new(n: usize, nprocs: usize) -> Self {
+        assert!(nprocs > 0, "BlockDist needs at least one processor");
+        Self { n, nprocs }
+    }
+
+    fn chunk(&self) -> (usize, usize) {
+        // (base size, number of procs with one extra element)
+        (self.n / self.nprocs, self.n % self.nprocs)
+    }
+
+    /// The half-open global index range `[start, end)` owned by processor `p`.
+    pub fn local_range(&self, p: ProcId) -> std::ops::Range<Global> {
+        assert!(p < self.nprocs, "processor {p} out of range");
+        let (base, extra) = self.chunk();
+        let start = p * base + p.min(extra);
+        let len = base + usize::from(p < extra);
+        start..start + len
+    }
+}
+
+impl RegularDist for BlockDist {
+    fn global_size(&self) -> usize {
+        self.n
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn owner(&self, g: Global) -> ProcId {
+        assert!(g < self.n, "global index {g} out of bounds ({})", self.n);
+        let (base, extra) = self.chunk();
+        if base == 0 {
+            // Fewer elements than processors: element g lives on processor g.
+            return g;
+        }
+        let boundary = extra * (base + 1);
+        if g < boundary {
+            g / (base + 1)
+        } else {
+            extra + (g - boundary) / base
+        }
+    }
+
+    fn local_offset(&self, g: Global) -> usize {
+        let p = self.owner(g);
+        g - self.local_range(p).start
+    }
+
+    fn local_size(&self, p: ProcId) -> usize {
+        self.local_range(p).len()
+    }
+
+    fn global_index(&self, p: ProcId, l: usize) -> Global {
+        let range = self.local_range(p);
+        assert!(
+            l < range.len(),
+            "local offset {l} out of bounds on processor {p} (size {})",
+            range.len()
+        );
+        range.start + l
+    }
+}
+
+/// HPF-style CYCLIC distribution: element `g` lives on processor `g mod p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CyclicDist {
+    n: usize,
+    nprocs: usize,
+}
+
+impl CyclicDist {
+    /// Distribute `n` elements over `nprocs` processors round-robin.
+    pub fn new(n: usize, nprocs: usize) -> Self {
+        assert!(nprocs > 0, "CyclicDist needs at least one processor");
+        Self { n, nprocs }
+    }
+}
+
+impl RegularDist for CyclicDist {
+    fn global_size(&self) -> usize {
+        self.n
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn owner(&self, g: Global) -> ProcId {
+        assert!(g < self.n, "global index {g} out of bounds ({})", self.n);
+        g % self.nprocs
+    }
+
+    fn local_offset(&self, g: Global) -> usize {
+        assert!(g < self.n, "global index {g} out of bounds ({})", self.n);
+        g / self.nprocs
+    }
+
+    fn local_size(&self, p: ProcId) -> usize {
+        assert!(p < self.nprocs, "processor {p} out of range");
+        if p < self.n % self.nprocs {
+            self.n / self.nprocs + 1
+        } else {
+            self.n / self.nprocs
+        }
+    }
+
+    fn global_index(&self, p: ProcId, l: usize) -> Global {
+        assert!(
+            l < self.local_size(p),
+            "local offset {l} out of bounds on processor {p}"
+        );
+        l * self.nprocs + p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_roundtrip<D: RegularDist>(d: &D) {
+        // Every global index maps to a unique (owner, offset) and back.
+        let mut seen = vec![false; d.global_size()];
+        for p in 0..d.nprocs() {
+            for l in 0..d.local_size(p) {
+                let g = d.global_index(p, l);
+                assert!(!seen[g], "global index {g} assigned twice");
+                seen[g] = true;
+                assert_eq!(d.owner(g), p);
+                assert_eq!(d.local_offset(g), l);
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "some global index unassigned");
+        // Sizes add up.
+        let total: usize = (0..d.nprocs()).map(|p| d.local_size(p)).sum();
+        assert_eq!(total, d.global_size());
+    }
+
+    #[test]
+    fn block_roundtrip_various_shapes() {
+        for &(n, p) in &[(10, 3), (16, 4), (1, 1), (7, 8), (100, 7), (0, 3), (128, 128)] {
+            check_roundtrip(&BlockDist::new(n, p));
+        }
+    }
+
+    #[test]
+    fn cyclic_roundtrip_various_shapes() {
+        for &(n, p) in &[(10, 3), (16, 4), (1, 1), (7, 8), (100, 7), (0, 3), (128, 128)] {
+            check_roundtrip(&CyclicDist::new(n, p));
+        }
+    }
+
+    #[test]
+    fn block_ranges_are_contiguous_and_ordered() {
+        let d = BlockDist::new(11, 4);
+        // 11 = 3+3+3+2 with the extra elements on the first processors.
+        assert_eq!(d.local_range(0), 0..3);
+        assert_eq!(d.local_range(1), 3..6);
+        assert_eq!(d.local_range(2), 6..9);
+        assert_eq!(d.local_range(3), 9..11);
+        assert_eq!(d.local_size(3), 2);
+    }
+
+    #[test]
+    fn block_imbalance_below_one_element() {
+        for &(n, p) in &[(1000, 7), (14026, 128), (5, 4)] {
+            let d = BlockDist::new(n, p);
+            let sizes: Vec<usize> = (0..p).map(|q| d.local_size(q)).collect();
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            assert!(max - min <= 1, "imbalance {} for n={n}, p={p}", max - min);
+        }
+    }
+
+    #[test]
+    fn cyclic_owner_is_modulo() {
+        let d = CyclicDist::new(10, 3);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(1), 1);
+        assert_eq!(d.owner(2), 2);
+        assert_eq!(d.owner(3), 0);
+        assert_eq!(d.local_offset(3), 1);
+        assert_eq!(d.local_size(0), 4);
+        assert_eq!(d.local_size(2), 3);
+    }
+
+    #[test]
+    fn more_procs_than_elements() {
+        let d = BlockDist::new(3, 8);
+        for g in 0..3 {
+            assert_eq!(d.owner(g), g);
+        }
+        for p in 3..8 {
+            assert_eq!(d.local_size(p), 0);
+        }
+    }
+
+    #[test]
+    fn owner_map_matches_owner() {
+        let d = BlockDist::new(17, 5);
+        let map = d.owner_map();
+        for (g, &o) in map.iter().enumerate() {
+            assert_eq!(o, d.owner(g));
+        }
+        let c = CyclicDist::new(17, 5);
+        for (g, &o) in c.owner_map().iter().enumerate() {
+            assert_eq!(o, c.owner(g));
+        }
+    }
+
+    #[test]
+    fn local_globals_iterates_in_offset_order() {
+        let d = BlockDist::new(20, 3);
+        let globals: Vec<usize> = d.local_globals(1).collect();
+        assert_eq!(globals, (7..14).collect::<Vec<_>>());
+        let c = CyclicDist::new(10, 3);
+        let globals: Vec<usize> = c.local_globals(1).collect();
+        assert_eq!(globals, vec![1, 4, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn block_owner_rejects_out_of_range() {
+        let d = BlockDist::new(4, 2);
+        let _ = d.owner(4);
+    }
+}

@@ -1,0 +1,378 @@
+//! The executor (Phase F): data-transportation primitives driven by communication
+//! schedules.
+//!
+//! * [`gather`] — bring one copy of every off-processor element referenced by a schedule
+//!   into the ghost region of a [`DistArray`] (software caching + communication
+//!   vectorization: one message per processor pair, duplicates already removed by the
+//!   inspector).
+//! * [`scatter`] — the reverse transfer: push ghost-region values back to their owners,
+//!   overwriting the owner's copy.
+//! * [`scatter_add`] / [`scatter_op`] — reverse transfer combining with the owner's copy
+//!   (the reduction form used by `x(ia(i)) = x(ia(i)) + …` loops).
+//! * [`scatter_append`] — the light-weight-schedule primitive: move whole elements to new
+//!   owners and append them in arbitrary order (the DSMC MOVE phase).
+//!
+//! All primitives are collective: every rank of the machine must call them with its own
+//! schedule (built in the same collective inspector call).
+
+use mpsim::{Element, Rank};
+
+use crate::darray::DistArray;
+use crate::schedule::{CommSchedule, LightweightSchedule};
+
+/// Tags used by the executor; below `mpsim::collectives::RESERVED_TAG_BASE` and distinct
+/// from any tag the collectives use internally.
+const TAG_GATHER: u64 = 7_001;
+const TAG_SCATTER: u64 = 7_002;
+const TAG_APPEND: u64 = 7_003;
+
+/// Gather off-processor elements into the ghost region of `array`.
+///
+/// After the call, `array[r]` is valid for every [`crate::darray::LocalRef`] `r` produced
+/// by the inspector for the indirection arrays covered by `sched`.
+pub fn gather<T: Element + Default>(rank: &mut Rank, sched: &CommSchedule, array: &mut DistArray<T>) {
+    assert_eq!(sched.nprocs(), rank.nprocs(), "schedule/machine size mismatch");
+    array.ensure_ghost(sched.ghost_len());
+    let me = rank.rank();
+    // Pack and send the elements each destination asked for.
+    for p in 0..sched.nprocs() {
+        if p == me || sched.send_lists[p].is_empty() {
+            continue;
+        }
+        let payload: Vec<T> = sched.send_lists[p]
+            .iter()
+            .map(|&off| array.owned()[off as usize])
+            .collect();
+        rank.charge_compute(payload.len() as f64 * 0.02); // packing cost
+        rank.send_slice(p, TAG_GATHER, &payload);
+    }
+    // Receive and place according to the permutation list.
+    for p in 0..sched.nprocs() {
+        if p == me || sched.perm_lists[p].is_empty() {
+            continue;
+        }
+        let values: Vec<T> = rank.recv_vec(p, TAG_GATHER);
+        assert_eq!(
+            values.len(),
+            sched.perm_lists[p].len(),
+            "gather: fetch size mismatch from processor {p}"
+        );
+        let owned_len = array.owned_len();
+        for (slot, v) in sched.perm_lists[p].iter().zip(values) {
+            debug_assert!((*slot as usize) < array.ghost_len());
+            array.ghost_mut()[*slot as usize] = v;
+            let _ = owned_len;
+        }
+        rank.charge_compute(sched.perm_lists[p].len() as f64 * 0.02); // unpacking cost
+    }
+}
+
+/// Scatter ghost-region values back to their owners, overwriting the owners' copies.
+pub fn scatter<T: Element + Default>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    array: &mut DistArray<T>,
+) {
+    scatter_impl(rank, sched, array, |owner, incoming| *owner = incoming);
+}
+
+/// Scatter ghost-region values back to their owners, adding them to the owners' copies.
+/// This is the executor half of an irregular reduction loop.
+pub fn scatter_add<T>(rank: &mut Rank, sched: &CommSchedule, array: &mut DistArray<T>)
+where
+    T: Element + Default + std::ops::AddAssign,
+{
+    scatter_impl(rank, sched, array, |owner, incoming| *owner += incoming);
+}
+
+/// Scatter ghost-region values back to their owners, combining with an arbitrary operator
+/// (`op(&mut owner_value, incoming_value)`).
+pub fn scatter_op<T, F>(rank: &mut Rank, sched: &CommSchedule, array: &mut DistArray<T>, op: F)
+where
+    T: Element + Default,
+    F: Fn(&mut T, T),
+{
+    scatter_impl(rank, sched, array, op);
+}
+
+fn scatter_impl<T, F>(rank: &mut Rank, sched: &CommSchedule, array: &mut DistArray<T>, op: F)
+where
+    T: Element + Default,
+    F: Fn(&mut T, T),
+{
+    assert_eq!(sched.nprocs(), rank.nprocs(), "schedule/machine size mismatch");
+    assert!(
+        array.ghost_len() >= sched.ghost_len(),
+        "array ghost region smaller than the schedule requires"
+    );
+    let me = rank.rank();
+    // The transfer is the mirror image of `gather`: this rank sends the ghost slots it
+    // filled for processor p back to p, and p applies them to the owned offsets it
+    // originally listed in its send list.
+    for p in 0..sched.nprocs() {
+        if p == me || sched.perm_lists[p].is_empty() {
+            continue;
+        }
+        let payload: Vec<T> = sched.perm_lists[p]
+            .iter()
+            .map(|&slot| array.ghost()[slot as usize])
+            .collect();
+        rank.charge_compute(payload.len() as f64 * 0.02);
+        rank.send_slice(p, TAG_SCATTER, &payload);
+    }
+    for p in 0..sched.nprocs() {
+        if p == me || sched.send_lists[p].is_empty() {
+            continue;
+        }
+        let values: Vec<T> = rank.recv_vec(p, TAG_SCATTER);
+        assert_eq!(
+            values.len(),
+            sched.send_lists[p].len(),
+            "scatter: send size mismatch from processor {p}"
+        );
+        for (&off, v) in sched.send_lists[p].iter().zip(values) {
+            op(&mut array.owned_mut()[off as usize], v);
+        }
+        rank.charge_compute(sched.send_lists[p].len() as f64 * 0.02);
+    }
+}
+
+/// Move whole items to new owners using a light-weight schedule and return this rank's new
+/// item list: the items it kept followed by the items appended by other ranks (in source
+/// rank order; within one source, in that source's packing order).
+///
+/// Because no placement order is promised, no permutation list is needed and nothing has to
+/// be index-translated — this is why the DSMC MOVE phase is so much cheaper with
+/// light-weight schedules (Table 4 of the paper).
+pub fn scatter_append<T: Element>(
+    rank: &mut Rank,
+    sched: &LightweightSchedule,
+    items: &[T],
+) -> Vec<T> {
+    assert_eq!(sched.nprocs(), rank.nprocs(), "schedule/machine size mismatch");
+    assert_eq!(
+        sched.my_rank(),
+        rank.rank(),
+        "light-weight schedule belongs to a different rank"
+    );
+    let me = rank.rank();
+    for p in 0..sched.nprocs() {
+        if p == me || sched.send_item_lists[p].is_empty() {
+            continue;
+        }
+        let payload: Vec<T> = sched.send_item_lists[p]
+            .iter()
+            .map(|&i| items[i as usize])
+            .collect();
+        rank.charge_compute(payload.len() as f64 * 0.02);
+        rank.send_slice(p, TAG_APPEND, &payload);
+    }
+    let mut result: Vec<T> = Vec::with_capacity(sched.result_count());
+    for &i in &sched.send_item_lists[me] {
+        result.push(items[i as usize]);
+    }
+    for p in 0..sched.nprocs() {
+        if p == me || sched.recv_counts[p] == 0 {
+            continue;
+        }
+        let values: Vec<T> = rank.recv_vec(p, TAG_APPEND);
+        assert_eq!(
+            values.len(),
+            sched.recv_counts[p],
+            "scatter_append: receive count mismatch from processor {p}"
+        );
+        result.extend(values);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{BlockDist, RegularDist};
+    use crate::index_hash::{Stamp, StampQuery};
+    use crate::inspector::Inspector;
+    use crate::translation::TranslationTable;
+    use mpsim::{run, MachineConfig};
+
+    /// Build the schedule for a given access pattern (same on all ranks) over an
+    /// n-element block-distributed array, returning (schedule, local refs, owned range).
+    fn setup(
+        rank: &mut Rank,
+        n: usize,
+        pattern: &[usize],
+    ) -> (CommSchedule, Vec<crate::darray::LocalRef>, std::ops::Range<usize>) {
+        let dist = BlockDist::new(n, rank.nprocs());
+        let ttable = TranslationTable::from_regular(&dist);
+        let mut insp = Inspector::new(&ttable, rank.rank());
+        let refs = insp.hash_indices(rank, pattern, Stamp::new(0));
+        let sched = insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
+        (sched, refs, dist.local_range(rank.rank()))
+    }
+
+    #[test]
+    fn gather_brings_in_correct_values() {
+        let n = 16;
+        let out = run(MachineConfig::new(4), move |rank| {
+            // Every rank reads every element; x[g] = g as f64 globally.
+            let pattern: Vec<usize> = (0..n).collect();
+            let (sched, refs, range) = setup(rank, n, &pattern);
+            let owned: Vec<f64> = range.clone().map(|g| g as f64).collect();
+            let mut x = DistArray::new(owned, sched.ghost_len());
+            gather(rank, &sched, &mut x);
+            refs.iter().map(|&r| x[r]).collect::<Vec<f64>>()
+        });
+        for vals in &out.results {
+            let expected: Vec<f64> = (0..n).map(|g| g as f64).collect();
+            assert_eq!(vals, &expected);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_round_trip_preserves_values() {
+        let n = 24;
+        let out = run(MachineConfig::new(3), move |rank| {
+            let pattern: Vec<usize> = (0..n).map(|i| (i * 5 + 2) % n).collect();
+            let (sched, _refs, range) = setup(rank, n, &pattern);
+            let owned: Vec<f64> = range.clone().map(|g| (g * g) as f64).collect();
+            let mut x = DistArray::new(owned.clone(), sched.ghost_len());
+            gather(rank, &sched, &mut x);
+            // Scatter straight back without modification: owned values must be unchanged.
+            scatter(rank, &sched, &mut x);
+            (x.owned().to_vec(), owned)
+        });
+        for (after, before) in &out.results {
+            assert_eq!(after, before);
+        }
+    }
+
+    #[test]
+    fn scatter_add_accumulates_remote_contributions() {
+        // Global reduction x[g] += 1 executed once per rank for every g:
+        // final x[g] = initial + nprocs.
+        let n = 12;
+        let nprocs = 4;
+        let out = run(MachineConfig::new(nprocs), move |rank| {
+            let pattern: Vec<usize> = (0..n).collect();
+            let (sched, refs, range) = setup(rank, n, &pattern);
+            let owned: Vec<f64> = vec![10.0; range.len()];
+            let mut x = DistArray::new(owned, sched.ghost_len());
+            // Each rank adds 1.0 to every element through its local reference (ghost for
+            // off-processor elements), then scatter_add folds the ghosts back.
+            for &r in &refs {
+                x[r] += 1.0;
+            }
+            scatter_add(rank, &sched, &mut x);
+            x.owned().to_vec()
+        });
+        for owned in &out.results {
+            assert!(owned.iter().all(|&v| (v - (10.0 + nprocs as f64)).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn scatter_op_with_max_combiner() {
+        let n = 8;
+        let out = run(MachineConfig::new(2), move |rank| {
+            let pattern: Vec<usize> = (0..n).collect();
+            let (sched, refs, range) = setup(rank, n, &pattern);
+            let mut x = DistArray::new(vec![0.0f64; range.len()], sched.ghost_len());
+            // Rank r proposes value (g + 100*r) for element g; the max should win.
+            for (k, &r) in refs.iter().enumerate() {
+                x[r] = k as f64 + 100.0 * rank.rank() as f64;
+            }
+            scatter_op(rank, &sched, &mut x, |owner, incoming: f64| {
+                if incoming > *owner {
+                    *owner = incoming;
+                }
+            });
+            x.owned().to_vec()
+        });
+        // The max proposal for element g is g + 100 (from rank 1).
+        for (p, owned) in out.results.iter().enumerate() {
+            let dist = BlockDist::new(n, 2);
+            for (l, v) in owned.iter().enumerate() {
+                let g = dist.global_index(p, l);
+                assert_eq!(*v, g as f64 + 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_append_conserves_items_and_routes_them() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let me = rank.rank();
+            // 10 items per rank; item k is destined for processor k % 4 and carries the
+            // value 1000*me + k.
+            let items: Vec<u64> = (0..10).map(|k| (1000 * me + k) as u64).collect();
+            let dests: Vec<usize> = (0..10).map(|k| k % 4).collect();
+            let sched = LightweightSchedule::build(rank, &dests);
+            let appended = scatter_append(rank, &sched, &items);
+            appended
+        });
+        // Collect everything and check the multiset is conserved and routed correctly.
+        let mut all: Vec<u64> = out.results.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut expected: Vec<u64> = (0..4)
+            .flat_map(|me| (0..10).map(move |k| (1000 * me + k) as u64))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+        for (p, items) in out.results.iter().enumerate() {
+            // Every item k on processor p must satisfy k % 4 == p.
+            assert!(items.iter().all(|&v| (v % 1000) as usize % 4 == p));
+            // 4 ranks each send/keep either 2 or 3 items for p: total 10 or 12.
+            assert_eq!(items.len(), out.results[p].len());
+        }
+    }
+
+    #[test]
+    fn lightweight_schedule_is_cheaper_to_build_than_a_regular_schedule() {
+        // The mechanism behind Table 4: regenerating a light-weight schedule every time
+        // step costs only an exchange of counts, whereas a regular schedule must ship one
+        // index per off-processor reference (plus the hashing/translation work).
+        let out = run(MachineConfig::new(4), |rank| {
+            let me = rank.rank();
+            // 64 references per rank, four-way spread — the same pattern for both paths.
+            let dests: Vec<usize> = (0..64).map(|k| (k / 16 + me) % 4).collect();
+            let before = rank.stats().bytes_sent;
+            let lw = LightweightSchedule::build(rank, &dests);
+            let lw_build_bytes = rank.stats().bytes_sent - before;
+
+            let n = 256;
+            let dist = BlockDist::new(n, rank.nprocs());
+            let ttable = TranslationTable::from_regular(&dist);
+            let mut insp = Inspector::new(&ttable, rank.rank());
+            let pattern: Vec<usize> = (0..64).map(|k| (me * 64 + k + 16) % n).collect();
+            let before = rank.stats().bytes_sent;
+            insp.hash_indices(rank, &pattern, Stamp::new(0));
+            let sched = insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
+            let regular_build_bytes = rank.stats().bytes_sent - before;
+            (lw_build_bytes, regular_build_bytes, lw.result_count(), sched.total_fetch())
+        });
+        for (lw, regular, result_count, fetch) in &out.results {
+            assert!(
+                lw * 2 <= *regular,
+                "light-weight schedule build should be much cheaper ({lw} vs {regular} bytes)"
+            );
+            assert_eq!(*result_count, 64);
+            assert!(*fetch > 0);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_moves_nothing() {
+        let out = run(MachineConfig::new(3), |rank| {
+            let sched = CommSchedule::empty(rank.nprocs());
+            let mut x: DistArray<f64> = DistArray::new(vec![1.0, 2.0], 0);
+            let before = rank.stats().msgs_sent;
+            gather(rank, &sched, &mut x);
+            scatter_add(rank, &sched, &mut x);
+            (rank.stats().msgs_sent - before, x.owned().to_vec())
+        });
+        for (msgs, owned) in &out.results {
+            assert_eq!(*msgs, 0);
+            assert_eq!(owned, &vec![1.0, 2.0]);
+        }
+    }
+}

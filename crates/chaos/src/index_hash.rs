@@ -1,0 +1,493 @@
+//! The stamped index hash table (§3.2.2 of the paper).
+//!
+//! The inspector's index analysis — duplicate removal, global-to-local translation, ghost
+//! buffer allocation — is expensive, and in adaptive problems it has to be repeated every
+//! time an indirection array changes.  CHAOS amortises the cost by keeping all results of
+//! index analysis in a hash table keyed by global index.  Each entry records:
+//!
+//! * the *translated address* (owning processor and offset) from the translation table,
+//! * the *local ghost slot* assigned to the element if it is off-processor,
+//! * a *stamp* bit-set identifying which indirection arrays reference the element.
+//!
+//! Hashing a new version of an indirection array is cheap when most of its entries are
+//! already present (the CHARMM non-bonded list changes slowly); clearing a stamp and
+//! re-hashing reuses both the translation results and the ghost slots.  Communication
+//! schedules are built from the table by selecting entries whose stamps match a
+//! [`StampQuery`], which is how merged (`a + b + c`) and incremental (`b - a`) schedules of
+//! Figure 6 are expressed.
+
+use std::collections::HashMap;
+
+use mpsim::Rank;
+
+use crate::darray::LocalRef;
+use crate::translation::{Loc, TranslationTable};
+use crate::{Global, ProcId};
+
+/// A stamp identifies one indirection array (or one use of one) inside the hash table.
+/// Stamps are bit positions, so at most 64 distinct stamps can be live at once — far more
+/// than any loop nest in the paper's applications needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stamp(u8);
+
+impl Stamp {
+    /// Create stamp number `bit` (0..=63).
+    pub const fn new(bit: u8) -> Self {
+        assert!(bit < 64, "at most 64 stamps are supported");
+        Stamp(bit)
+    }
+
+    /// The bit mask of this stamp.
+    pub fn mask(self) -> u64 {
+        1u64 << self.0
+    }
+
+    /// The bit position of this stamp.
+    pub fn bit(self) -> u8 {
+        self.0
+    }
+}
+
+/// A logical combination of stamps used to select hash-table entries when building a
+/// schedule: an entry matches if it carries **any** of the `include` stamps and **none** of
+/// the `exclude` stamps.
+///
+/// * merged schedule over arrays a, b, c  → `StampQuery::any_of(&[a, b, c])`
+/// * incremental schedule "b minus a"     → `StampQuery::minus(&[b], &[a])`
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StampQuery {
+    include: u64,
+    exclude: u64,
+}
+
+impl StampQuery {
+    /// Entries stamped by `stamp`.
+    pub fn single(stamp: Stamp) -> Self {
+        StampQuery {
+            include: stamp.mask(),
+            exclude: 0,
+        }
+    }
+
+    /// Entries stamped by any of `stamps` (a *merged* schedule).
+    pub fn any_of(stamps: &[Stamp]) -> Self {
+        StampQuery {
+            include: stamps.iter().fold(0, |m, s| m | s.mask()),
+            exclude: 0,
+        }
+    }
+
+    /// Entries stamped by any of `include` but none of `exclude` (an *incremental*
+    /// schedule: gather only what earlier schedules have not already brought in).
+    pub fn minus(include: &[Stamp], exclude: &[Stamp]) -> Self {
+        StampQuery {
+            include: include.iter().fold(0, |m, s| m | s.mask()),
+            exclude: exclude.iter().fold(0, |m, s| m | s.mask()),
+        }
+    }
+
+    /// Does an entry with the given stamp bits match?
+    pub fn matches(&self, stamps: u64) -> bool {
+        (stamps & self.include) != 0 && (stamps & self.exclude) == 0
+    }
+}
+
+/// One hash-table entry (see the field list in §3.2.2).
+#[derive(Debug, Clone, Copy)]
+pub struct HashEntry {
+    /// The global index hashed in.
+    pub global: Global,
+    /// Translated address: owning processor and offset on that processor.
+    pub loc: Loc,
+    /// Ghost slot assigned to this element if it is off-processor, else `None`.
+    pub ghost_slot: Option<u32>,
+    /// Bit set of stamps: which indirection arrays reference this element.
+    pub stamps: u64,
+}
+
+/// The stamped hash table used by the inspector for index analysis.
+pub struct IndexHashTable {
+    my_rank: ProcId,
+    owned_len: usize,
+    entries: HashMap<Global, usize>,
+    /// Entry storage in insertion order — iteration order must be deterministic so that
+    /// every rank builds schedules with identical request ordering.
+    slots: Vec<HashEntry>,
+    next_ghost_slot: u32,
+}
+
+impl IndexHashTable {
+    /// Create an empty table for a rank owning `owned_len` elements of the data array
+    /// distribution being analysed.
+    pub fn new(my_rank: ProcId, owned_len: usize) -> Self {
+        Self {
+            my_rank,
+            owned_len,
+            entries: HashMap::new(),
+            slots: Vec::new(),
+            next_ghost_slot: 0,
+        }
+    }
+
+    /// Number of distinct global indices hashed in so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if nothing has been hashed in.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of ghost slots assigned so far (the ghost-region size any array used with
+    /// schedules built from this table must provide).
+    pub fn ghost_len(&self) -> usize {
+        self.next_ghost_slot as usize
+    }
+
+    /// Number of owned elements this table translates against.
+    pub fn owned_len(&self) -> usize {
+        self.owned_len
+    }
+
+    /// Hash the global indices of one indirection array into the table under `stamp`,
+    /// translating them through `ttable`, and return the corresponding local references
+    /// (owned offset or ghost slot) in input order.
+    ///
+    /// This is `CHAOS_hash` from the paper.  It is collective when `ttable` is distributed
+    /// or paged (translation lookups may require communication); with a replicated table it
+    /// performs no communication at all.
+    pub fn hash_in(
+        &mut self,
+        rank: &mut Rank,
+        ttable: &mut TranslationTable,
+        globals: &[Global],
+        stamp: Stamp,
+    ) -> Vec<LocalRef> {
+        // 1. Find the indices we have never seen before and translate them (batched, so a
+        //    distributed translation table pays one collective dereference, not one per
+        //    index).
+        let mut unknown: Vec<Global> = Vec::new();
+        let mut first_occurrence: HashMap<Global, ()> = HashMap::new();
+        for &g in globals {
+            if !self.entries.contains_key(&g) && !first_occurrence.contains_key(&g) {
+                first_occurrence.insert(g, ());
+                unknown.push(g);
+            }
+        }
+        // Index analysis cost: one unit per new index (hash insert + translation), a tenth
+        // of a unit per already-known index (hash probe only).  This is what makes hash
+        // reuse visible in the modeled preprocessing times.
+        let known = globals.len() - unknown.len();
+        rank.charge_compute(unknown.len() as f64 + known as f64 * 0.1);
+
+        let locs = ttable.lookup(rank, &unknown);
+        for (g, loc) in unknown.iter().zip(locs) {
+            let ghost_slot = if loc.owner as usize == self.my_rank {
+                None
+            } else {
+                let slot = self.next_ghost_slot;
+                self.next_ghost_slot += 1;
+                Some(slot)
+            };
+            let idx = self.slots.len();
+            self.slots.push(HashEntry {
+                global: *g,
+                loc,
+                ghost_slot,
+                stamps: 0,
+            });
+            self.entries.insert(*g, idx);
+        }
+
+        // 2. Mark the stamp and emit local references in input order.
+        let mask = stamp.mask();
+        globals
+            .iter()
+            .map(|g| {
+                let idx = self.entries[g];
+                let entry = &mut self.slots[idx];
+                entry.stamps |= mask;
+                match entry.ghost_slot {
+                    None => LocalRef(entry.loc.offset as usize),
+                    Some(slot) => LocalRef(self.owned_len + slot as usize),
+                }
+            })
+            .collect()
+    }
+
+    /// Variant of [`IndexHashTable::hash_in`] for **replicated** translation tables: no
+    /// communication can occur, so the table is taken by shared reference.  This is the
+    /// path [`crate::inspector::Inspector::hash_indices`] uses.
+    ///
+    /// # Panics
+    /// Panics if `ttable` is not replicated.
+    pub fn hash_in_replicated(
+        &mut self,
+        rank: &mut Rank,
+        ttable: &TranslationTable,
+        globals: &[Global],
+        stamp: Stamp,
+    ) -> Vec<LocalRef> {
+        assert!(
+            ttable.is_replicated(),
+            "hash_in_replicated requires a replicated translation table"
+        );
+        let mask = stamp.mask();
+        let mut new_count = 0usize;
+        let refs = globals
+            .iter()
+            .map(|&g| {
+                let idx = match self.entries.get(&g) {
+                    Some(&idx) => idx,
+                    None => {
+                        new_count += 1;
+                        let loc = ttable.lookup_local(g);
+                        let ghost_slot = if loc.owner as usize == self.my_rank {
+                            None
+                        } else {
+                            let slot = self.next_ghost_slot;
+                            self.next_ghost_slot += 1;
+                            Some(slot)
+                        };
+                        let idx = self.slots.len();
+                        self.slots.push(HashEntry {
+                            global: g,
+                            loc,
+                            ghost_slot,
+                            stamps: 0,
+                        });
+                        self.entries.insert(g, idx);
+                        idx
+                    }
+                };
+                let entry = &mut self.slots[idx];
+                entry.stamps |= mask;
+                match entry.ghost_slot {
+                    None => LocalRef(entry.loc.offset as usize),
+                    Some(slot) => LocalRef(self.owned_len + slot as usize),
+                }
+            })
+            .collect();
+        let known = globals.len() - new_count;
+        rank.charge_compute(new_count as f64 + known as f64 * 0.1);
+        refs
+    }
+
+    /// Clear `stamp` from every entry.  Entries themselves (and their translation results
+    /// and ghost slots) are retained so that re-hashing a slightly modified indirection
+    /// array under the same stamp is cheap — exactly the CHARMM non-bonded-list update
+    /// pattern described in §4.1.
+    pub fn clear_stamp(&mut self, stamp: Stamp) {
+        let mask = !stamp.mask();
+        for entry in &mut self.slots {
+            entry.stamps &= mask;
+        }
+    }
+
+    /// Remove every entry and release all ghost slots.  Used when the data distribution
+    /// itself changes (after a remap) and all translation results are stale.
+    pub fn clear_all(&mut self) {
+        self.entries.clear();
+        self.slots.clear();
+        self.next_ghost_slot = 0;
+    }
+
+    /// Iterate over entries matching `query` in deterministic (insertion) order.
+    pub fn entries_matching<'a>(
+        &'a self,
+        query: StampQuery,
+    ) -> impl Iterator<Item = &'a HashEntry> + 'a {
+        self.slots.iter().filter(move |e| query.matches(e.stamps))
+    }
+
+    /// Look up the entry for a global index, if present.
+    pub fn get(&self, g: Global) -> Option<&HashEntry> {
+        self.entries.get(&g).map(|&idx| &self.slots[idx])
+    }
+
+    /// Count of off-processor entries matching `query` (the number of elements a schedule
+    /// built from that query will fetch).
+    pub fn off_processor_count(&self, query: StampQuery) -> usize {
+        self.entries_matching(query)
+            .filter(|e| e.ghost_slot.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{BlockDist, RegularDist};
+    use mpsim::{run, MachineConfig};
+
+    fn table_for(rank: &mut Rank, n: usize) -> (TranslationTable, usize) {
+        let dist = BlockDist::new(n, rank.nprocs());
+        let owned = dist.local_size(rank.rank());
+        (TranslationTable::from_regular(&dist), owned)
+    }
+
+    #[test]
+    fn stamp_masks_and_queries() {
+        let a = Stamp::new(0);
+        let b = Stamp::new(1);
+        let c = Stamp::new(5);
+        assert_eq!(a.mask(), 1);
+        assert_eq!(b.mask(), 2);
+        assert_eq!(c.mask(), 32);
+        assert_eq!(c.bit(), 5);
+        let merged = StampQuery::any_of(&[a, b, c]);
+        assert!(merged.matches(a.mask()));
+        assert!(merged.matches(b.mask() | c.mask()));
+        assert!(!merged.matches(1 << 7));
+        let inc = StampQuery::minus(&[b], &[a]);
+        assert!(inc.matches(b.mask()));
+        assert!(!inc.matches(b.mask() | a.mask()));
+        assert!(!inc.matches(a.mask()));
+        let single = StampQuery::single(a);
+        assert!(single.matches(a.mask() | b.mask()));
+        assert!(!single.matches(b.mask()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn stamp_bit_out_of_range_panics() {
+        let _ = Stamp::new(64);
+    }
+
+    #[test]
+    fn hash_in_translates_dedupes_and_assigns_ghost_slots() {
+        // 2 ranks, 8 elements block distributed: rank 0 owns 0..4, rank 1 owns 4..8.
+        let out = run(MachineConfig::new(2), |rank| {
+            let (mut ttable, owned) = table_for(rank, 8);
+            let mut h = IndexHashTable::new(rank.rank(), owned);
+            // Same access pattern on both ranks for simplicity: references 0,5,0,7,3.
+            let refs = h.hash_in(rank, &mut ttable, &[0, 5, 0, 7, 3], Stamp::new(0));
+            (refs, h.ghost_len(), h.len())
+        });
+        // Rank 0 owns 0..4: indices 0 and 3 are owned; 5 and 7 are ghosts (2 slots).
+        let (refs0, ghost0, len0) = &out.results[0];
+        assert_eq!(*len0, 4); // distinct indices 0,5,7,3
+        assert_eq!(*ghost0, 2);
+        assert_eq!(refs0[0], LocalRef(0)); // global 0 -> owned offset 0
+        assert_eq!(refs0[2], LocalRef(0)); // duplicate resolves to the same reference
+        assert_eq!(refs0[4], LocalRef(3)); // global 3 -> owned offset 3
+        assert!(refs0[1].0 >= 4 && refs0[3].0 >= 4); // ghosts after owned section
+        assert_ne!(refs0[1], refs0[3]);
+        // Rank 1 owns 4..8: 5 and 7 owned (offsets 1 and 3), 0 and 3 ghosts.
+        let (refs1, ghost1, _) = &out.results[1];
+        assert_eq!(*ghost1, 2);
+        assert_eq!(refs1[1], LocalRef(1));
+        assert_eq!(refs1[3], LocalRef(3));
+        assert!(refs1[0].0 >= 4 && refs1[4].0 >= 4);
+    }
+
+    #[test]
+    fn rehashing_reuses_entries_and_ghost_slots() {
+        let out = run(MachineConfig::new(2), |rank| {
+            let (mut ttable, owned) = table_for(rank, 100);
+            let mut h = IndexHashTable::new(rank.rank(), owned);
+            let a: Vec<usize> = (0..50).map(|i| (i * 3) % 100).collect();
+            let first = h.hash_in(rank, &mut ttable, &a, Stamp::new(0));
+            let ghost_after_first = h.ghost_len();
+            // The indirection array "adapts": most entries identical, a few new.
+            let mut b = a.clone();
+            b[0] = 99;
+            b[1] = 98;
+            h.clear_stamp(Stamp::new(0));
+            let second = h.hash_in(rank, &mut ttable, &b, Stamp::new(0));
+            let ghost_after_second = h.ghost_len();
+            // Unchanged indices must resolve to the identical local references.
+            let same = a
+                .iter()
+                .zip(&b)
+                .enumerate()
+                .filter(|(_, (x, y))| x == y)
+                .all(|(i, _)| first[i] == second[i]);
+            (same, ghost_after_first, ghost_after_second, h.len())
+        });
+        for (same, g1, g2, len) in &out.results {
+            assert!(*same, "unchanged indices must keep their local references");
+            // Ghost region grows by at most the number of genuinely new off-processor
+            // indices (here at most 2).
+            assert!(*g2 - *g1 <= 2, "ghost grew by {} slots", g2 - g1);
+            assert!(*len >= 34); // 34 distinct values in a
+        }
+    }
+
+    #[test]
+    fn clear_stamp_excludes_entries_from_queries_but_keeps_them() {
+        let out = run(MachineConfig::new(2), |rank| {
+            let (mut ttable, owned) = table_for(rank, 16);
+            let mut h = IndexHashTable::new(rank.rank(), owned);
+            let sa = Stamp::new(0);
+            let sb = Stamp::new(1);
+            h.hash_in(rank, &mut ttable, &[1, 9, 12], sa);
+            h.hash_in(rank, &mut ttable, &[9, 3], sb);
+            let both = h.entries_matching(StampQuery::any_of(&[sa, sb])).count();
+            h.clear_stamp(sa);
+            let after_clear_a = h.entries_matching(StampQuery::single(sa)).count();
+            let still_b = h.entries_matching(StampQuery::single(sb)).count();
+            (both, after_clear_a, still_b, h.len())
+        });
+        for (both, after_a, still_b, len) in &out.results {
+            assert_eq!(*both, 4); // distinct: 1, 9, 12, 3
+            assert_eq!(*after_a, 0);
+            assert_eq!(*still_b, 2); // 9 and 3
+            assert_eq!(*len, 4); // entries retained
+        }
+    }
+
+    #[test]
+    fn incremental_query_selects_only_new_entries() {
+        // Mirrors Figure 6: schedule for b-minus-a fetches only what b needs that a did
+        // not already bring in.
+        let out = run(MachineConfig::new(2), |rank| {
+            let (mut ttable, owned) = table_for(rank, 10);
+            let mut h = IndexHashTable::new(rank.rank(), owned);
+            let sa = Stamp::new(0);
+            let sb = Stamp::new(1);
+            h.hash_in(rank, &mut ttable, &[1, 3, 7, 9, 2], sa);
+            h.hash_in(rank, &mut ttable, &[1, 5, 7, 8, 2], sb);
+            let inc: Vec<Global> = h
+                .entries_matching(StampQuery::minus(&[sb], &[sa]))
+                .map(|e| e.global)
+                .collect();
+            inc
+        });
+        for inc in &out.results {
+            assert_eq!(inc, &vec![5, 8]);
+        }
+    }
+
+    #[test]
+    fn clear_all_resets_ghost_slots() {
+        let out = run(MachineConfig::new(2), |rank| {
+            let (mut ttable, owned) = table_for(rank, 8);
+            let mut h = IndexHashTable::new(rank.rank(), owned);
+            h.hash_in(rank, &mut ttable, &[0, 7, 5], Stamp::new(0));
+            let before = h.ghost_len();
+            h.clear_all();
+            (before, h.ghost_len(), h.len(), h.is_empty())
+        });
+        for (before, after, len, empty) in &out.results {
+            assert!(*before > 0);
+            assert_eq!(*after, 0);
+            assert_eq!(*len, 0);
+            assert!(*empty);
+        }
+    }
+
+    #[test]
+    fn off_processor_count_counts_only_ghosts() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let (mut ttable, owned) = table_for(rank, 16);
+            let mut h = IndexHashTable::new(rank.rank(), owned);
+            let s = Stamp::new(0);
+            h.hash_in(rank, &mut ttable, &(0..16).collect::<Vec<_>>(), s);
+            h.off_processor_count(StampQuery::single(s))
+        });
+        // Each rank owns 4 of 16 elements, so 12 are off-processor.
+        assert!(out.results.iter().all(|&c| c == 12));
+    }
+}

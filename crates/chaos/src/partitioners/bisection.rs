@@ -1,0 +1,397 @@
+//! Parallel recursive bisection partitioners (RCB and RIB).
+//!
+//! Both follow the structure CHAOS used on the iPSC/860: the element set is split
+//! recursively into two weighted halves, `log2(nparts)` times.  At every level each group
+//! of parts has a *leader* processor; every rank ships the coordinates and weights of its
+//! elements currently assigned to that group to the leader, the leader evaluates the split
+//! (along the longest bounding-box axis for RCB, along the principal inertial axis for
+//! RIB), and the left/right decision for every element is returned to the rank that
+//! contributed it.  Two all-to-all exchanges per level — this is what makes the
+//! partitioners "parallelized but still expensive" (§4.2.1): their communication cost grows
+//! with the number of processors, which is exactly the effect Table 5 of the paper shows at
+//! high processor counts.
+
+use mpsim::Rank;
+
+use super::geometry::{bounding_box, longest_dimension, principal_axis, weighted_median_split};
+use super::PartitionInput;
+use crate::ProcId;
+
+/// Which geometric rule picks the split direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BisectionKind {
+    /// Longest axis of the axis-aligned bounding box (RCB).
+    Coordinate,
+    /// Principal axis of inertia (RIB).
+    Inertial,
+}
+
+/// Recursive coordinate bisection: partition this rank's elements (and, collectively,
+/// everyone else's) into `nparts` parts of approximately equal total weight, splitting
+/// along the longest coordinate axis at every level.  Returns the part assigned to each
+/// local element.  Collective.
+pub fn rcb_partition(rank: &mut Rank, input: PartitionInput<'_>, nparts: usize) -> Vec<ProcId> {
+    bisect(rank, input, nparts, BisectionKind::Coordinate)
+}
+
+/// Recursive inertial bisection: like [`rcb_partition`] but each split is made across the
+/// principal axis of inertia of the group, which adapts to skewed geometries.  Collective.
+pub fn rib_partition(rank: &mut Rank, input: PartitionInput<'_>, nparts: usize) -> Vec<ProcId> {
+    bisect(rank, input, nparts, BisectionKind::Inertial)
+}
+
+fn bisect(
+    rank: &mut Rank,
+    input: PartitionInput<'_>,
+    nparts: usize,
+    kind: BisectionKind,
+) -> Vec<ProcId> {
+    assert!(nparts >= 1, "cannot partition into zero parts");
+    let n_local = input.len();
+    if nparts == 1 {
+        return vec![0; n_local];
+    }
+    // Each element carries the half-open range of parts it may still end up in.
+    let mut ranges: Vec<(u32, u32)> = vec![(0, nparts as u32); n_local];
+    // The group tree is the same on every rank: level 0 is the single group [0, nparts);
+    // each level splits every group of two or more parts at its midpoint.
+    let mut level_groups: Vec<(u32, u32)> = vec![(0, nparts as u32)];
+    loop {
+        let active: Vec<(u32, u32)> = level_groups
+            .iter()
+            .copied()
+            .filter(|(lo, hi)| hi - lo >= 2)
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        process_level(rank, &input, &mut ranges, &active, kind);
+        level_groups = active
+            .iter()
+            .flat_map(|&(lo, hi)| {
+                let mid = lo + (hi - lo) / 2;
+                [(lo, mid), (mid, hi)]
+            })
+            .collect();
+    }
+    ranges.into_iter().map(|(lo, _)| lo as usize).collect()
+}
+
+/// One level of the bisection: ship group members to leaders, leaders decide the split,
+/// decisions come back.
+fn process_level(
+    rank: &mut Rank,
+    input: &PartitionInput<'_>,
+    ranges: &mut [(u32, u32)],
+    active: &[(u32, u32)],
+    kind: BisectionKind,
+) {
+    let nprocs = rank.nprocs();
+    let me = rank.rank();
+
+    // ---- 1. Ship (coords, weight) of every element to its group's leader. -------------
+    // Payload to each leader: for every group it leads, a frame
+    //   [group_index, member_count, (x, y, z, w) * member_count]
+    let mut payloads: Vec<Vec<f64>> = vec![Vec::new(); nprocs];
+    let mut sent_elems: Vec<Vec<usize>> = vec![Vec::new(); active.len()];
+    for (gi, &(lo, hi)) in active.iter().enumerate() {
+        let leader = lo as usize % nprocs;
+        let members: Vec<usize> = (0..input.len())
+            .filter(|&i| ranges[i] == (lo, hi))
+            .collect();
+        let buf = &mut payloads[leader];
+        buf.push(gi as f64);
+        buf.push(members.len() as f64);
+        for &i in &members {
+            buf.push(input.coords[i][0]);
+            buf.push(input.coords[i][1]);
+            buf.push(input.coords[i][2]);
+            buf.push(input.weights[i]);
+        }
+        sent_elems[gi] = members;
+    }
+    rank.charge_compute(input.len() as f64 * 0.05);
+    let incoming = rank.all_to_all(&payloads);
+
+    // ---- 2. Leaders evaluate the split for each group they lead. -----------------------
+    // Parse each source's payload into (group index, members) frames, preserving order.
+    let parsed: Vec<Vec<(usize, Vec<[f64; 4]>)>> =
+        incoming.iter().map(|buf| parse_frames(buf)).collect();
+    // Reply to each source: frames [group_index, member_count, (0.0|1.0) * member_count].
+    let mut replies: Vec<Vec<f64>> = vec![Vec::new(); nprocs];
+    for (gi, &(lo, hi)) in active.iter().enumerate() {
+        if lo as usize % nprocs != me {
+            continue;
+        }
+        // Concatenate members in source-rank order.
+        let mut coords: Vec<[f64; 3]> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut source_counts: Vec<(usize, usize)> = Vec::new(); // (source, count)
+        for (src, frames) in parsed.iter().enumerate() {
+            for (g, members) in frames {
+                if *g == gi {
+                    source_counts.push((src, members.len()));
+                    for m in members {
+                        coords.push([m[0], m[1], m[2]]);
+                        weights.push(m[3]);
+                    }
+                }
+            }
+        }
+        let m = coords.len();
+        if m == 0 {
+            continue;
+        }
+        // Split direction and per-element keys.
+        let keys: Vec<f64> = match kind {
+            BisectionKind::Coordinate => {
+                let (blo, bhi) = bounding_box(&coords);
+                let dim = longest_dimension(blo, bhi);
+                coords.iter().map(|c| c[dim]).collect()
+            }
+            BisectionKind::Inertial => {
+                let axis = principal_axis(&coords, &weights);
+                coords
+                    .iter()
+                    .map(|c| c[0] * axis[0] + c[1] * axis[1] + c[2] * axis[2])
+                    .collect()
+            }
+        };
+        let mid = lo + (hi - lo) / 2;
+        let target = (mid - lo) as f64 / (hi - lo) as f64;
+        let left = weighted_median_split(&keys, &weights, target);
+        // The leader's sort dominates the sequential cost of the partitioner.
+        rank.charge_compute(m as f64 * ((m as f64).log2().max(1.0)) * 0.4);
+        // Hand the decisions back to the ranks that contributed the elements, in the order
+        // they packed them.
+        let mut cursor = 0usize;
+        for (src, count) in source_counts {
+            let buf = &mut replies[src];
+            buf.push(gi as f64);
+            buf.push(count as f64);
+            for k in 0..count {
+                buf.push(if left[cursor + k] { 1.0 } else { 0.0 });
+            }
+            cursor += count;
+        }
+    }
+    let decisions = rank.all_to_all(&replies);
+
+    // ---- 3. Apply the decisions to the local elements. ---------------------------------
+    for buf in &decisions {
+        for (gi, flags) in parse_flag_frames(buf) {
+            let (lo, hi) = active[gi];
+            let mid = lo + (hi - lo) / 2;
+            for (k, &go_left) in flags.iter().enumerate() {
+                let elem = sent_elems[gi][k];
+                ranges[elem] = if go_left { (lo, mid) } else { (mid, hi) };
+            }
+        }
+    }
+}
+
+/// Parse `[gi, count, (x, y, z, w) * count]*` frames.
+fn parse_frames(buf: &[f64]) -> Vec<(usize, Vec<[f64; 4]>)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < buf.len() {
+        let gi = buf[i] as usize;
+        let count = buf[i + 1] as usize;
+        i += 2;
+        let mut members = Vec::with_capacity(count);
+        for _ in 0..count {
+            members.push([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]);
+            i += 4;
+        }
+        out.push((gi, members));
+    }
+    out
+}
+
+/// Parse `[gi, count, flag * count]*` frames.
+fn parse_flag_frames(buf: &[f64]) -> Vec<(usize, Vec<bool>)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < buf.len() {
+        let gi = buf[i] as usize;
+        let count = buf[i + 1] as usize;
+        i += 2;
+        let flags = (0..count).map(|k| buf[i + k] > 0.5).collect();
+        i += count;
+        out.push((gi, flags));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::{run, MachineConfig};
+
+    /// Deterministic pseudo-random points in the unit cube with unit weights.
+    fn cloud(rank_id: usize, n: usize) -> (Vec<[f64; 3]>, Vec<f64>) {
+        let coords: Vec<[f64; 3]> = (0..n)
+            .map(|i| {
+                let s = (rank_id * 10_007 + i * 97 + 13) as f64;
+                [
+                    (s * 0.618).fract(),
+                    (s * 0.414).fract(),
+                    (s * 0.732).fract(),
+                ]
+            })
+            .collect();
+        let weights = vec![1.0; n];
+        (coords, weights)
+    }
+
+    fn balance_of(parts_per_rank: &[Vec<usize>], weights_per_rank: &[Vec<f64>], nparts: usize) -> f64 {
+        let mut part_weights = vec![0.0f64; nparts];
+        for (parts, weights) in parts_per_rank.iter().zip(weights_per_rank) {
+            for (&p, &w) in parts.iter().zip(weights) {
+                part_weights[p] += w;
+            }
+        }
+        let max = part_weights.iter().copied().fold(0.0, f64::max);
+        let mean = part_weights.iter().sum::<f64>() / nparts as f64;
+        max / mean
+    }
+
+    #[test]
+    fn rcb_assigns_every_element_a_valid_part_and_balances() {
+        let nprocs = 4;
+        let nparts = 4;
+        let out = run(MachineConfig::new(nprocs), move |rank| {
+            let (coords, weights) = cloud(rank.rank(), 200);
+            let parts = rcb_partition(rank, PartitionInput::new(&coords, &weights), nparts);
+            (parts, weights)
+        });
+        let parts: Vec<Vec<usize>> = out.results.iter().map(|(p, _)| p.clone()).collect();
+        let weights: Vec<Vec<f64>> = out.results.iter().map(|(_, w)| w.clone()).collect();
+        for p in parts.iter().flatten() {
+            assert!(*p < nparts);
+        }
+        let balance = balance_of(&parts, &weights, nparts);
+        assert!(balance < 1.15, "RCB imbalance too high: {balance}");
+    }
+
+    #[test]
+    fn rib_balances_a_skewed_cloud() {
+        // Points stretched along a diagonal: RIB should still split into near-equal parts.
+        let nprocs = 4;
+        let nparts = 8;
+        let out = run(MachineConfig::new(nprocs), move |rank| {
+            let n = 150;
+            let coords: Vec<[f64; 3]> = (0..n)
+                .map(|i| {
+                    let t = (rank.rank() * n + i) as f64 / (nprocs * n) as f64;
+                    let jitter = ((i * 37 + 11) % 17) as f64 * 0.002;
+                    [10.0 * t + jitter, 10.0 * t - jitter, 0.3 * jitter]
+                })
+                .collect();
+            let weights = vec![1.0; n];
+            let parts = rib_partition(rank, PartitionInput::new(&coords, &weights), nparts);
+            (parts, weights)
+        });
+        let parts: Vec<Vec<usize>> = out.results.iter().map(|(p, _)| p.clone()).collect();
+        let weights: Vec<Vec<f64>> = out.results.iter().map(|(_, w)| w.clone()).collect();
+        let balance = balance_of(&parts, &weights, nparts);
+        assert!(balance < 1.25, "RIB imbalance too high: {balance}");
+    }
+
+    #[test]
+    fn weighted_elements_shift_the_cut() {
+        // All weight concentrated in x < 0.5: that half must be spread over more parts.
+        let nprocs = 2;
+        let nparts = 4;
+        let out = run(MachineConfig::new(nprocs), move |rank| {
+            let n = 100;
+            let coords: Vec<[f64; 3]> = (0..n)
+                .map(|i| [(i as f64 + 0.5) / n as f64, 0.0, 0.0])
+                .collect();
+            let weights: Vec<f64> = coords
+                .iter()
+                .map(|c| if c[0] < 0.5 { 10.0 } else { 1.0 })
+                .collect();
+            let parts = rcb_partition(rank, PartitionInput::new(&coords, &weights), nparts);
+            (coords, weights, parts)
+        });
+        // Count how many parts appear strictly below x = 0.5.
+        let mut parts_below = std::collections::HashSet::new();
+        let mut parts_above = std::collections::HashSet::new();
+        for (coords, _w, parts) in &out.results {
+            for (c, &p) in coords.iter().zip(parts) {
+                if c[0] < 0.5 {
+                    parts_below.insert(p);
+                } else {
+                    parts_above.insert(p);
+                }
+            }
+        }
+        assert!(
+            parts_below.len() >= 3,
+            "heavy half should receive most parts, got {parts_below:?}"
+        );
+        assert!(parts_above.len() <= 2);
+    }
+
+    #[test]
+    fn single_part_is_trivial_and_free() {
+        let out = run(MachineConfig::new(3), |rank| {
+            let (coords, weights) = cloud(rank.rank(), 10);
+            let before = rank.stats().msgs_sent;
+            let parts = rcb_partition(rank, PartitionInput::new(&coords, &weights), 1);
+            (parts, rank.stats().msgs_sent - before)
+        });
+        for (parts, msgs) in &out.results {
+            assert!(parts.iter().all(|&p| p == 0));
+            assert_eq!(*msgs, 0);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_parts() {
+        let nprocs = 3;
+        let nparts = 6;
+        let out = run(MachineConfig::new(nprocs), move |rank| {
+            let (coords, weights) = cloud(rank.rank(), 120);
+            let parts = rcb_partition(rank, PartitionInput::new(&coords, &weights), nparts);
+            (parts, weights)
+        });
+        let parts: Vec<Vec<usize>> = out.results.iter().map(|(p, _)| p.clone()).collect();
+        let weights: Vec<Vec<f64>> = out.results.iter().map(|(_, w)| w.clone()).collect();
+        for p in parts.iter().flatten() {
+            assert!(*p < nparts);
+        }
+        let balance = balance_of(&parts, &weights, nparts);
+        assert!(balance < 1.3, "imbalance too high for 6 parts: {balance}");
+    }
+
+    #[test]
+    fn rcb_is_deterministic() {
+        let make = || {
+            run(MachineConfig::new(4), |rank| {
+                let (coords, weights) = cloud(rank.rank(), 64);
+                rcb_partition(rank, PartitionInput::new(&coords, &weights), 4)
+            })
+            .results
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn ranks_with_no_elements_participate() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let (coords, weights) = if rank.rank() == 0 {
+                cloud(0, 200)
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            rcb_partition(rank, PartitionInput::new(&coords, &weights), 4)
+        });
+        assert_eq!(out.results[0].len(), 200);
+        assert!(out.results[1..].iter().all(|p| p.is_empty()));
+        // All four parts used even though only one rank contributed elements.
+        let used: std::collections::HashSet<usize> = out.results[0].iter().copied().collect();
+        assert_eq!(used.len(), 4);
+    }
+}

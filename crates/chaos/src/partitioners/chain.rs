@@ -1,0 +1,234 @@
+//! The one-dimensional chain partitioner (§4.2.1 of the paper).
+//!
+//! DSMC's particle flow is strongly directional (in the paper's experiments more than 70 %
+//! of the molecules drift along +x), so partitioning the cells into contiguous slabs along
+//! the flow direction gives good load balance at a fraction of the cost of recursive
+//! bisection: the whole partition is derived from one weight histogram reduction.  The
+//! paper reports that the chain partitioner "reduces partitioning cost dramatically to a
+//! scale conformable to adaptive data migration primitives" while matching the bisection
+//! partitioners' balance — Table 5 is the corresponding experiment.
+
+use mpsim::Rank;
+
+use crate::ProcId;
+
+/// Number of histogram bins used to approximate the weight distribution along the axis.
+/// More bins sharpen the cuts at the price of a larger (still tiny) reduction message.
+const HISTOGRAM_BINS: usize = 512;
+
+/// Partition elements into `nparts` contiguous slabs along one axis so that each slab
+/// carries approximately the same total weight.
+///
+/// `axis_coords[i]` is the coordinate of local element `i` along the chain direction and
+/// `weights[i]` its computational weight.  Returns the part of each local element.
+/// Collective: one min/max reduction plus one histogram gather/broadcast.
+pub fn chain_partition(
+    rank: &mut Rank,
+    axis_coords: &[f64],
+    weights: &[f64],
+    nparts: usize,
+) -> Vec<ProcId> {
+    assert_eq!(
+        axis_coords.len(),
+        weights.len(),
+        "coordinates and weights must have the same length"
+    );
+    assert!(nparts >= 1, "cannot partition into zero parts");
+    if nparts == 1 {
+        return vec![0; axis_coords.len()];
+    }
+
+    // Global coordinate range.
+    let local_min = axis_coords.iter().copied().fold(f64::INFINITY, f64::min);
+    let local_max = axis_coords
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let global_min = rank.all_reduce_min(local_min);
+    let global_max = rank.all_reduce_max(local_max);
+    if !global_min.is_finite() || !global_max.is_finite() || global_max <= global_min {
+        // No elements anywhere, or all at the same coordinate: everything in part 0.
+        return vec![0; axis_coords.len()];
+    }
+    let span = global_max - global_min;
+
+    // Local weight histogram, gathered at rank 0 which computes the cut positions.
+    let mut histogram = vec![0.0f64; HISTOGRAM_BINS];
+    for (&x, &w) in axis_coords.iter().zip(weights) {
+        let bin = (((x - global_min) / span) * HISTOGRAM_BINS as f64) as usize;
+        histogram[bin.min(HISTOGRAM_BINS - 1)] += w;
+    }
+    rank.charge_compute(axis_coords.len() as f64 * 0.02);
+    let gathered = rank.gather_to_root(0, &histogram);
+    let cuts: Vec<f64> = if rank.rank() == 0 {
+        let mut total_hist = vec![0.0f64; HISTOGRAM_BINS];
+        for h in &gathered {
+            for (t, v) in total_hist.iter_mut().zip(h) {
+                *t += v;
+            }
+        }
+        let total: f64 = total_hist.iter().sum();
+        rank.charge_compute(HISTOGRAM_BINS as f64 * nparts as f64 * 0.02);
+        // Cut after the bin where the cumulative weight crosses k/nparts of the total.
+        let mut cuts = Vec::with_capacity(nparts - 1);
+        let mut acc = 0.0;
+        let mut next_target = 1;
+        for (b, &w) in total_hist.iter().enumerate() {
+            acc += w;
+            while next_target < nparts && acc >= total * next_target as f64 / nparts as f64 {
+                let cut = global_min + span * (b + 1) as f64 / HISTOGRAM_BINS as f64;
+                cuts.push(cut);
+                next_target += 1;
+            }
+        }
+        while cuts.len() < nparts - 1 {
+            cuts.push(global_max);
+        }
+        rank.broadcast(0, &cuts)
+    } else {
+        rank.broadcast(0, &[])
+    };
+
+    // Assign each element the number of cuts strictly below its coordinate.
+    axis_coords
+        .iter()
+        .map(|&x| cuts.iter().take_while(|&&c| x >= c).count().min(nparts - 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::{run, MachineConfig};
+
+    fn part_weights(results: &[(Vec<usize>, Vec<f64>)], nparts: usize) -> Vec<f64> {
+        let mut pw = vec![0.0; nparts];
+        for (parts, weights) in results {
+            for (&p, &w) in parts.iter().zip(weights) {
+                pw[p] += w;
+            }
+        }
+        pw
+    }
+
+    #[test]
+    fn uniform_weights_give_contiguous_balanced_slabs() {
+        let nprocs = 4;
+        let nparts = 4;
+        let out = run(MachineConfig::new(nprocs), move |rank| {
+            // Rank r holds coordinates r, r+4, r+8, ... spread over [0, 100).
+            let coords: Vec<f64> = (0..100)
+                .filter(|i| i % nprocs == rank.rank())
+                .map(|i| i as f64)
+                .collect();
+            let weights = vec![1.0; coords.len()];
+            let parts = chain_partition(rank, &coords, &weights, nparts);
+            (parts, weights, coords)
+        });
+        let flat: Vec<(Vec<usize>, Vec<f64>)> = out
+            .results
+            .iter()
+            .map(|(p, w, _)| (p.clone(), w.clone()))
+            .collect();
+        let pw = part_weights(&flat, nparts);
+        let max = pw.iter().copied().fold(0.0, f64::max);
+        let mean: f64 = pw.iter().sum::<f64>() / nparts as f64;
+        assert!(max / mean < 1.2, "chain imbalance too high: {pw:?}");
+        // Monotonic: a larger coordinate never lands in a smaller part.
+        for (parts, _, coords) in &out.results {
+            for i in 0..coords.len() {
+                for j in 0..coords.len() {
+                    if coords[i] < coords[j] {
+                        assert!(parts[i] <= parts[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_weights_move_the_cuts() {
+        // 70 % of the weight in the first 30 % of the axis: the first slabs must be
+        // geometrically narrow.
+        let nparts = 4;
+        let out = run(MachineConfig::new(2), move |rank| {
+            let coords: Vec<f64> = (0..200)
+                .filter(|i| i % 2 == rank.rank())
+                .map(|i| i as f64 / 200.0)
+                .collect();
+            let weights: Vec<f64> = coords
+                .iter()
+                .map(|&x| if x < 0.3 { 7.0 } else { 1.0 })
+                .collect();
+            let parts = chain_partition(rank, &coords, &weights, nparts);
+            (parts, weights, coords)
+        });
+        let flat: Vec<(Vec<usize>, Vec<f64>)> = out
+            .results
+            .iter()
+            .map(|(p, w, _)| (p.clone(), w.clone()))
+            .collect();
+        let pw = part_weights(&flat, nparts);
+        let max = pw.iter().copied().fold(0.0, f64::max);
+        let mean: f64 = pw.iter().sum::<f64>() / nparts as f64;
+        assert!(max / mean < 1.35, "chain imbalance too high: {pw:?}");
+        // The geometric extent of part 0 must be much narrower than that of part 3.
+        let mut extent = vec![(f64::INFINITY, f64::NEG_INFINITY); nparts];
+        for (parts, _, coords) in &out.results {
+            for (&p, &x) in parts.iter().zip(coords) {
+                extent[p].0 = extent[p].0.min(x);
+                extent[p].1 = extent[p].1.max(x);
+            }
+        }
+        let width0 = extent[0].1 - extent[0].0;
+        let width3 = extent[3].1 - extent[3].0;
+        assert!(width0 < width3, "weighted slab should be narrower: {extent:?}");
+    }
+
+    #[test]
+    fn chain_is_much_cheaper_than_its_inputs_suggest() {
+        // The whole point of the chain partitioner: constant number of messages per rank,
+        // independent of the element count.
+        let out = run(MachineConfig::new(4), |rank| {
+            let coords: Vec<f64> = (0..5_000).map(|i| (i % 997) as f64).collect();
+            let weights = vec![1.0; coords.len()];
+            let before = rank.stats().msgs_sent;
+            let _ = chain_partition(rank, &coords, &weights, 4);
+            rank.stats().msgs_sent - before
+        });
+        for &msgs in &out.results {
+            // min + max reductions, one histogram gather, one broadcast: a handful of
+            // messages per rank, never thousands.
+            assert!(msgs < 20, "chain partitioner sent {msgs} messages");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_part_zero() {
+        let out = run(MachineConfig::new(2), |rank| {
+            let same = vec![5.0; 10];
+            let w = vec![1.0; 10];
+            let all_same = chain_partition(rank, &same, &w, 4);
+            let empty = chain_partition(rank, &[], &[], 4);
+            let single_part = chain_partition(rank, &same, &w, 1);
+            (all_same, empty, single_part)
+        });
+        for (all_same, empty, single) in &out.results {
+            assert!(all_same.iter().all(|&p| p == 0));
+            assert!(empty.is_empty());
+            assert!(single.iter().all(|&p| p == 0));
+        }
+    }
+
+    #[test]
+    fn every_part_id_is_in_range() {
+        let out = run(MachineConfig::new(3), |rank| {
+            let coords: Vec<f64> = (0..77).map(|i| ((i * 31 + rank.rank() * 7) % 100) as f64).collect();
+            let weights: Vec<f64> = (0..77).map(|i| 1.0 + (i % 5) as f64).collect();
+            chain_partition(rank, &coords, &weights, 5)
+        });
+        for parts in &out.results {
+            assert!(parts.iter().all(|&p| p < 5));
+        }
+    }
+}

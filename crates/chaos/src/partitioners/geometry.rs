@@ -1,0 +1,202 @@
+//! Geometric helpers shared by the bisection partitioners: bounding boxes, weighted median
+//! splits, and principal (inertial) axes.
+
+/// Axis-aligned bounding box of a point set: `(min, max)` per dimension.  Returns
+/// `([0;3], [0;3])` for an empty set.
+pub fn bounding_box(coords: &[[f64; 3]]) -> ([f64; 3], [f64; 3]) {
+    if coords.is_empty() {
+        return ([0.0; 3], [0.0; 3]);
+    }
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for c in coords {
+        for d in 0..3 {
+            lo[d] = lo[d].min(c[d]);
+            hi[d] = hi[d].max(c[d]);
+        }
+    }
+    (lo, hi)
+}
+
+/// Split a weighted, keyed element set into a "left" part holding approximately
+/// `target_fraction` of the total weight (elements with the smallest keys) and a "right"
+/// part with the rest.  Returns a boolean per element (`true` = left), in input order.
+///
+/// Ties on the key are broken by input order, which keeps the split deterministic for the
+/// group leader that evaluates it, and therefore for the whole machine.
+pub fn weighted_median_split(keys: &[f64], weights: &[f64], target_fraction: f64) -> Vec<bool> {
+    assert_eq!(keys.len(), weights.len());
+    assert!(
+        (0.0..=1.0).contains(&target_fraction),
+        "target fraction must lie in [0, 1]"
+    );
+    let n = keys.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: f64 = weights.iter().sum();
+    let target = total * target_fraction;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap().then(a.cmp(&b)));
+    let mut left = vec![false; n];
+    let mut acc = 0.0;
+    let mut taken = 0usize;
+    for &i in &order {
+        // Take elements while we are still below the target; always take at least one and
+        // never take everything (both sides must be non-empty when n >= 2).
+        let should_take = (acc < target && taken < n.saturating_sub(1)) || taken == 0;
+        if should_take && (acc < target || taken == 0) {
+            left[i] = true;
+            acc += weights[i];
+            taken += 1;
+        } else {
+            break;
+        }
+    }
+    // Mark the rest explicitly false (already default).
+    left
+}
+
+/// The principal axis of inertia of a weighted point set: the direction in which the set
+/// is most spread out.  Computed with a fixed number of power iterations on the weighted
+/// covariance matrix, which is deterministic and ample for a bisection heuristic.  Returns
+/// a unit vector; degenerate sets fall back to the x axis.
+pub fn principal_axis(coords: &[[f64; 3]], weights: &[f64]) -> [f64; 3] {
+    assert_eq!(coords.len(), weights.len());
+    let total: f64 = weights.iter().sum();
+    if coords.is_empty() || total <= 0.0 {
+        return [1.0, 0.0, 0.0];
+    }
+    // Weighted centroid.
+    let mut c = [0.0f64; 3];
+    for (p, &w) in coords.iter().zip(weights) {
+        for d in 0..3 {
+            c[d] += p[d] * w;
+        }
+    }
+    for d in 0..3 {
+        c[d] /= total;
+    }
+    // Weighted covariance (symmetric 3x3).
+    let mut cov = [[0.0f64; 3]; 3];
+    for (p, &w) in coords.iter().zip(weights) {
+        let d = [p[0] - c[0], p[1] - c[1], p[2] - c[2]];
+        for i in 0..3 {
+            for j in 0..3 {
+                cov[i][j] += w * d[i] * d[j];
+            }
+        }
+    }
+    // Power iteration from a fixed, slightly asymmetric seed so symmetric point sets do
+    // not stall on a zero vector.
+    let mut v = [1.0f64, 0.7, 0.4];
+    for _ in 0..50 {
+        let mut next = [0.0f64; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                next[i] += cov[i][j] * v[j];
+            }
+        }
+        let norm = (next[0] * next[0] + next[1] * next[1] + next[2] * next[2]).sqrt();
+        if norm < 1e-30 {
+            return [1.0, 0.0, 0.0];
+        }
+        v = [next[0] / norm, next[1] / norm, next[2] / norm];
+    }
+    v
+}
+
+/// Index of the longest extent of a bounding box (0 = x, 1 = y, 2 = z).
+pub fn longest_dimension(lo: [f64; 3], hi: [f64; 3]) -> usize {
+    let extents = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
+    let mut best = 0;
+    for d in 1..3 {
+        if extents[d] > extents[best] {
+            best = d;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [[1.0, -2.0, 3.0], [4.0, 0.0, -1.0], [2.0, 5.0, 0.0]];
+        let (lo, hi) = bounding_box(&pts);
+        assert_eq!(lo, [1.0, -2.0, -1.0]);
+        assert_eq!(hi, [4.0, 5.0, 3.0]);
+        assert_eq!(longest_dimension(lo, hi), 1);
+        let (lo, hi) = bounding_box(&[]);
+        assert_eq!(lo, [0.0; 3]);
+        assert_eq!(hi, [0.0; 3]);
+    }
+
+    #[test]
+    fn median_split_balances_weight() {
+        // 10 unit-weight elements with keys 0..10, half-half target.
+        let keys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let weights = vec![1.0; 10];
+        let left = weighted_median_split(&keys, &weights, 0.5);
+        let left_count = left.iter().filter(|&&b| b).count();
+        assert_eq!(left_count, 5);
+        // The left elements are exactly the 5 smallest keys.
+        for (i, &l) in left.iter().enumerate() {
+            assert_eq!(l, i < 5);
+        }
+    }
+
+    #[test]
+    fn median_split_respects_weights() {
+        // One very heavy element at the small end: a 50% split should take only it.
+        let keys = vec![0.0, 1.0, 2.0, 3.0];
+        let weights = vec![10.0, 1.0, 1.0, 1.0];
+        let left = weighted_median_split(&keys, &weights, 0.5);
+        assert_eq!(left, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn median_split_never_empties_a_side() {
+        let keys = vec![1.0, 2.0];
+        let weights = vec![100.0, 1.0];
+        let left = weighted_median_split(&keys, &weights, 0.01);
+        assert_eq!(left.iter().filter(|&&b| b).count(), 1);
+        let left = weighted_median_split(&keys, &weights, 0.999);
+        assert!(left.iter().filter(|&&b| b).count() < 2);
+        // Single element: goes left regardless of the target.
+        assert_eq!(weighted_median_split(&[5.0], &[1.0], 0.0), vec![true]);
+        assert!(weighted_median_split(&[], &[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn median_split_uneven_target() {
+        let keys: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let weights = vec![1.0; 8];
+        // Quarter split: 2 of 8 elements go left.
+        let left = weighted_median_split(&keys, &weights, 0.25);
+        assert_eq!(left.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn principal_axis_finds_the_spread_direction() {
+        // Points spread along the y axis.
+        let pts: Vec<[f64; 3]> = (0..20)
+            .map(|i| [0.1 * (i % 3) as f64, i as f64, 0.05 * (i % 2) as f64])
+            .collect();
+        let w = vec![1.0; 20];
+        let axis = principal_axis(&pts, &w);
+        assert!(axis[1].abs() > 0.95, "expected y-dominant axis, got {axis:?}");
+        // Unit length.
+        let norm = (axis[0] * axis[0] + axis[1] * axis[1] + axis[2] * axis[2]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn principal_axis_degenerate_sets() {
+        assert_eq!(principal_axis(&[], &[]), [1.0, 0.0, 0.0]);
+        let pts = [[2.0, 2.0, 2.0]];
+        assert_eq!(principal_axis(&pts, &[1.0]), [1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,39 @@
+//! The regular (BLOCK / CYCLIC) map arrays, used as baselines and starting distributions.
+
+use crate::distribution::{BlockDist, CyclicDist, RegularDist};
+use crate::ProcId;
+
+/// The map array of an `n`-element BLOCK distribution over `nprocs` processors.
+pub fn block_map(n: usize, nprocs: usize) -> Vec<ProcId> {
+    BlockDist::new(n, nprocs).owner_map()
+}
+
+/// The map array of an `n`-element CYCLIC distribution over `nprocs` processors.
+pub fn cyclic_map(n: usize, nprocs: usize) -> Vec<ProcId> {
+    CyclicDist::new(n, nprocs).owner_map()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_map_is_sorted_and_balanced() {
+        let map = block_map(10, 3);
+        assert_eq!(map, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        let mut sorted = map.clone();
+        sorted.sort_unstable();
+        assert_eq!(map, sorted);
+    }
+
+    #[test]
+    fn cyclic_map_round_robins() {
+        assert_eq!(cyclic_map(7, 3), vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_maps() {
+        assert!(block_map(0, 4).is_empty());
+        assert!(cyclic_map(0, 4).is_empty());
+    }
+}

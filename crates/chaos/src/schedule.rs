@@ -1,0 +1,328 @@
+//! Communication schedules (§3.2.1 of the paper).
+//!
+//! A *communication schedule* records, for one processor, everything the executor needs to
+//! move off-processor data without any further analysis:
+//!
+//! * **send list** — which of my owned elements other processors will read (per
+//!   destination, as local offsets),
+//! * **permutation list** — where incoming off-processor copies land in my ghost region,
+//! * **send sizes / fetch sizes** — message sizes in both directions, so the executor can
+//!   post exactly the right receives.
+//!
+//! Regular schedules are built by the inspector from the stamped hash table
+//! ([`crate::inspector::Inspector::build_schedule`]); they implement software caching
+//! (duplicates removed) and communication vectorization (one message per processor pair).
+//!
+//! A [`LightweightSchedule`] is the cheaper cousin used when the *placement order of
+//! incoming elements does not matter* (the DSMC MOVE phase): no index translation, no
+//! permutation list, no duplicate removal — just per-destination element lists and receive
+//! counts.  It is built with a single all-to-all of counts and drives
+//! [`crate::executor::scatter_append`].
+
+use mpsim::Rank;
+
+use crate::ProcId;
+
+/// A regular (PARTI-style) communication schedule for one processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommSchedule {
+    nprocs: usize,
+    /// `send_lists[p]` — local offsets (into the owned section) of the elements this
+    /// processor must send to processor `p`, in the order they will be packed.
+    pub send_lists: Vec<Vec<u32>>,
+    /// `perm_lists[p]` — ghost-region slots where the elements received from processor `p`
+    /// are placed, in the order `p` packs them.
+    pub perm_lists: Vec<Vec<u32>>,
+    /// Size of the ghost region arrays used with this schedule must provide.  This is the
+    /// hash table's total ghost count at build time, so ghost slots are shared consistently
+    /// between schedules built from the same table (incremental/merged schedules).
+    ghost_len: usize,
+}
+
+impl CommSchedule {
+    /// Build a schedule directly from its parts (used by the inspector and by tests).
+    pub fn from_parts(
+        nprocs: usize,
+        send_lists: Vec<Vec<u32>>,
+        perm_lists: Vec<Vec<u32>>,
+        ghost_len: usize,
+    ) -> Self {
+        assert_eq!(send_lists.len(), nprocs);
+        assert_eq!(perm_lists.len(), nprocs);
+        Self {
+            nprocs,
+            send_lists,
+            perm_lists,
+            ghost_len,
+        }
+    }
+
+    /// An empty schedule (nothing to communicate) for a machine of `nprocs` processors.
+    pub fn empty(nprocs: usize) -> Self {
+        Self {
+            nprocs,
+            send_lists: vec![Vec::new(); nprocs],
+            perm_lists: vec![Vec::new(); nprocs],
+            ghost_len: 0,
+        }
+    }
+
+    /// Number of processors the schedule spans.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Number of elements sent to processor `p` (the paper's *send size*).
+    pub fn send_size(&self, p: ProcId) -> usize {
+        self.send_lists[p].len()
+    }
+
+    /// Number of elements fetched from processor `p` (the paper's *fetch size*).
+    pub fn fetch_size(&self, p: ProcId) -> usize {
+        self.perm_lists[p].len()
+    }
+
+    /// Total number of elements this processor sends.
+    pub fn total_send(&self) -> usize {
+        self.send_lists.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of elements this processor fetches.
+    pub fn total_fetch(&self) -> usize {
+        self.perm_lists.iter().map(Vec::len).sum()
+    }
+
+    /// Number of messages this processor will send when the schedule is executed
+    /// (one per destination with a non-empty send list).
+    pub fn send_message_count(&self) -> usize {
+        self.send_lists.iter().filter(|l| !l.is_empty()).count()
+    }
+
+    /// Required ghost-region length.
+    pub fn ghost_len(&self) -> usize {
+        self.ghost_len
+    }
+
+    /// Merge two schedules built against the *same* hash table (so their ghost slots are
+    /// drawn from the same space) into one that performs both transfers in a single pass.
+    /// Duplicate (destination, offset) pairs are kept only once.
+    pub fn merged_with(&self, other: &CommSchedule) -> CommSchedule {
+        assert_eq!(self.nprocs, other.nprocs, "schedules span different machines");
+        let mut send_lists = Vec::with_capacity(self.nprocs);
+        let mut perm_lists = Vec::with_capacity(self.nprocs);
+        for p in 0..self.nprocs {
+            // The pairing between one rank's send list entry k for processor p and
+            // processor p's perm list entry k must be preserved, so merging appends
+            // `other`'s pairs after `self`'s and drops pairs already present in `self`.
+            let mut sends = self.send_lists[p].clone();
+            let mut perms = self.perm_lists[p].clone();
+            // Sends and perms describe opposite directions; deduplicate each against the
+            // existing entries independently (an element already sent need not be sent
+            // twice; a ghost slot already filled need not be filled twice).
+            for &s in &other.send_lists[p] {
+                if !self.send_lists[p].contains(&s) {
+                    sends.push(s);
+                }
+            }
+            for &q in &other.perm_lists[p] {
+                if !self.perm_lists[p].contains(&q) {
+                    perms.push(q);
+                }
+            }
+            send_lists.push(sends);
+            perm_lists.push(perms);
+        }
+        CommSchedule {
+            nprocs: self.nprocs,
+            send_lists,
+            perm_lists,
+            ghost_len: self.ghost_len.max(other.ghost_len),
+        }
+    }
+}
+
+/// A light-weight schedule: per-destination element lists and receive counts, with no
+/// placement information.  Section 3.2.1: "for some adaptive applications ... there is no
+/// significance attached to the placement order of incoming array elements".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LightweightSchedule {
+    nprocs: usize,
+    my_rank: ProcId,
+    /// `send_item_lists[p]` — positions (into the caller's item slice) of the items to be
+    /// appended on processor `p`.  `send_item_lists[my_rank]` holds the items that stay.
+    pub send_item_lists: Vec<Vec<u32>>,
+    /// `recv_counts[p]` — how many items processor `p` will append to us.
+    pub recv_counts: Vec<usize>,
+}
+
+impl LightweightSchedule {
+    /// Build a light-weight schedule from the destination processor of every local item.
+    ///
+    /// Collective: one all-to-all of counts tells every processor how much it will receive
+    /// from everyone else — that is the entire inspector for this kind of schedule, which
+    /// is why it is so much cheaper to regenerate every time step than a regular schedule.
+    pub fn build(rank: &mut Rank, dest_proc_per_item: &[ProcId]) -> Self {
+        let nprocs = rank.nprocs();
+        let me = rank.rank();
+        let mut send_item_lists: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+        for (i, &dest) in dest_proc_per_item.iter().enumerate() {
+            assert!(
+                dest < nprocs,
+                "item {i} destined for processor {dest}, but the machine has {nprocs}"
+            );
+            send_item_lists[dest].push(i as u32);
+        }
+        // A small, fixed amount of work per item (binning); contrast with the regular
+        // inspector which charges per-index translation and hashing.
+        rank.charge_compute(dest_proc_per_item.len() as f64 * 0.05);
+        let counts: Vec<Vec<u64>> = send_item_lists
+            .iter()
+            .map(|l| vec![l.len() as u64])
+            .collect();
+        let their_counts = rank.all_to_all(&counts);
+        let recv_counts: Vec<usize> = their_counts.iter().map(|c| c[0] as usize).collect();
+        Self {
+            nprocs,
+            my_rank: me,
+            send_item_lists,
+            recv_counts,
+        }
+    }
+
+    /// Number of processors the schedule spans.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The rank this schedule belongs to.
+    pub fn my_rank(&self) -> ProcId {
+        self.my_rank
+    }
+
+    /// Items that stay on this processor.
+    pub fn kept_count(&self) -> usize {
+        self.send_item_lists[self.my_rank].len()
+    }
+
+    /// Total number of items sent away (excluding kept items).
+    pub fn total_send(&self) -> usize {
+        self.send_item_lists
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| *p != self.my_rank)
+            .map(|(_, l)| l.len())
+            .sum()
+    }
+
+    /// Total number of items that will arrive from other processors.
+    pub fn total_recv(&self) -> usize {
+        self.recv_counts
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| *p != self.my_rank)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// The number of items this processor will hold after the append (kept + received).
+    pub fn result_count(&self) -> usize {
+        self.kept_count() + self.total_recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsim::{run, MachineConfig};
+
+    #[test]
+    fn comm_schedule_sizes() {
+        let s = CommSchedule::from_parts(
+            3,
+            vec![vec![], vec![0, 2], vec![1]],
+            vec![vec![], vec![0], vec![1, 2, 3]],
+            4,
+        );
+        assert_eq!(s.nprocs(), 3);
+        assert_eq!(s.send_size(1), 2);
+        assert_eq!(s.fetch_size(2), 3);
+        assert_eq!(s.total_send(), 3);
+        assert_eq!(s.total_fetch(), 4);
+        assert_eq!(s.send_message_count(), 2);
+        assert_eq!(s.ghost_len(), 4);
+    }
+
+    #[test]
+    fn empty_schedule_is_inert() {
+        let s = CommSchedule::empty(4);
+        assert_eq!(s.total_send(), 0);
+        assert_eq!(s.total_fetch(), 0);
+        assert_eq!(s.send_message_count(), 0);
+        assert_eq!(s.ghost_len(), 0);
+    }
+
+    #[test]
+    fn merged_schedule_unions_without_duplicates() {
+        let a = CommSchedule::from_parts(2, vec![vec![], vec![0, 1]], vec![vec![], vec![0, 1]], 2);
+        let b = CommSchedule::from_parts(2, vec![vec![], vec![1, 2]], vec![vec![], vec![1, 2]], 3);
+        let m = a.merged_with(&b);
+        assert_eq!(m.send_lists[1], vec![0, 1, 2]);
+        assert_eq!(m.perm_lists[1], vec![0, 1, 2]);
+        assert_eq!(m.ghost_len(), 3);
+        assert_eq!(m.total_send(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different machines")]
+    fn merging_mismatched_machine_sizes_panics() {
+        let a = CommSchedule::empty(2);
+        let b = CommSchedule::empty(3);
+        let _ = a.merged_with(&b);
+    }
+
+    #[test]
+    fn lightweight_schedule_counts_match_across_ranks() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let me = rank.rank();
+            // Every rank has 8 items; item i goes to processor (me + i) % 4.
+            let dests: Vec<usize> = (0..8).map(|i| (me + i) % 4).collect();
+            let lw = LightweightSchedule::build(rank, &dests);
+            (
+                lw.kept_count(),
+                lw.total_send(),
+                lw.total_recv(),
+                lw.result_count(),
+                lw.recv_counts.clone(),
+            )
+        });
+        for (kept, sent, recvd, result, recv_counts) in &out.results {
+            assert_eq!(*kept, 2);
+            assert_eq!(*sent, 6);
+            assert_eq!(*recvd, 6);
+            assert_eq!(*result, 8);
+            // Every other rank sends exactly 2 items to us.
+            assert_eq!(recv_counts.iter().sum::<usize>(), 8);
+        }
+    }
+
+    #[test]
+    fn lightweight_build_with_no_items() {
+        let out = run(MachineConfig::new(3), |rank| {
+            let lw = LightweightSchedule::build(rank, &[]);
+            (lw.kept_count(), lw.total_recv(), lw.result_count())
+        });
+        for r in &out.results {
+            assert_eq!(*r, (0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn lightweight_rejects_bad_destination() {
+        let result = std::panic::catch_unwind(|| {
+            run(MachineConfig::new(2), |rank| {
+                let _ = LightweightSchedule::build(rank, &[5]);
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! The bonded-force loop (loop L2 of Figure 2).
+//!
+//! Bonded forces act between pairs of atoms connected by chemical bonds; the bond list is
+//! fixed for the whole simulation, so its indirection arrays (`ib`, `jb`) never adapt and
+//! the preprocessing for this loop is done once.  The force model is a harmonic spring
+//! around an equilibrium length — physically crude, computationally identical in structure
+//! to CHARMM's bonded terms.
+
+use crate::system::{displacement_pbc, dist2};
+
+/// Spring constant of the harmonic bond model.
+pub const BOND_K: f64 = 2.0;
+/// Equilibrium bond length.
+pub const BOND_R0: f64 = 1.0;
+
+/// Force exerted on atom `i` by its bond to atom `j` (the paper's `f`), given the
+/// minimum-image displacement from `i` to `j`.  The force on `j` is the negation (the
+/// paper's `g`).
+pub fn bond_force(dx: [f64; 3]) -> [f64; 3] {
+    let r2 = dist2(dx);
+    let r = r2.sqrt().max(1e-9);
+    let magnitude = BOND_K * (r - BOND_R0) / r;
+    [magnitude * dx[0], magnitude * dx[1], magnitude * dx[2]]
+}
+
+/// Sequential bonded-force computation: accumulate the forces of every bond into `forces`.
+/// Returns the number of bond interactions evaluated (the work measure used for load
+/// accounting).
+pub fn accumulate_bonded_forces(
+    positions: &[[f64; 3]],
+    bonds: &[(usize, usize)],
+    box_size: f64,
+    forces: &mut [[f64; 3]],
+) -> usize {
+    for &(i, j) in bonds {
+        let dx = displacement_pbc(positions[i], positions[j], box_size);
+        let f = bond_force(dx);
+        for k in 0..3 {
+            forces[i][k] += f[k];
+            forces[j][k] -= f[k];
+        }
+    }
+    bonds.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bond_at_equilibrium_exerts_no_force() {
+        let f = bond_force([BOND_R0, 0.0, 0.0]);
+        assert!(f.iter().all(|&c| c.abs() < 1e-12));
+    }
+
+    #[test]
+    fn stretched_bond_pulls_atoms_together() {
+        // Atom j is 2 units away along +x (stretched): the force on i points toward j.
+        let f = bond_force([2.0, 0.0, 0.0]);
+        assert!(f[0] > 0.0);
+        assert!(f[1].abs() < 1e-12 && f[2].abs() < 1e-12);
+        // Compressed bond pushes apart.
+        let f = bond_force([0.5, 0.0, 0.0]);
+        assert!(f[0] < 0.0);
+    }
+
+    #[test]
+    fn newtons_third_law_in_accumulation() {
+        let positions = vec![[0.0, 0.0, 0.0], [1.7, 0.0, 0.0], [1.7, 1.3, 0.0]];
+        let bonds = vec![(0, 1), (1, 2)];
+        let mut forces = vec![[0.0; 3]; 3];
+        let count = accumulate_bonded_forces(&positions, &bonds, 100.0, &mut forces);
+        assert_eq!(count, 2);
+        // Total force is zero (momentum conservation).
+        for k in 0..3 {
+            let total: f64 = forces.iter().map(|f| f[k]).sum();
+            assert!(total.abs() < 1e-12, "net force component {k} = {total}");
+        }
+        assert!(forces[0][0] > 0.0); // pulled toward atom 1
+    }
+
+    #[test]
+    fn forces_respect_periodic_images() {
+        // Two atoms bonded across the periodic boundary: distance is 1.0 through the
+        // boundary, i.e. at equilibrium, so no force.
+        let positions = vec![[0.25, 0.0, 0.0], [9.25, 0.0, 0.0]];
+        let bonds = vec![(0, 1)];
+        let mut forces = vec![[0.0; 3]; 2];
+        accumulate_bonded_forces(&positions, &bonds, 10.0, &mut forces);
+        assert!(forces[0][0].abs() < 1e-12);
+    }
+}

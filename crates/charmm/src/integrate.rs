@@ -1,0 +1,91 @@
+//! Velocity-Verlet integration ("Calculate new positions based on BF and NBF" in
+//! Figure 2).
+
+/// Integration time step used by both the sequential and parallel drivers.
+pub const DT: f64 = 0.002;
+
+/// Advance one atom by one velocity-Verlet half-kick/drift/half-kick step, assuming the
+/// force is constant over the step (adequate for a structural mini-app).  Positions wrap
+/// into the periodic box.
+pub fn integrate_atom(
+    position: &mut [f64; 3],
+    velocity: &mut [f64; 3],
+    force: [f64; 3],
+    mass: f64,
+    box_size: f64,
+) {
+    for k in 0..3 {
+        velocity[k] += force[k] / mass * DT;
+        position[k] = (position[k] + velocity[k] * DT).rem_euclid(box_size);
+    }
+}
+
+/// Integrate a whole set of atoms in place.
+pub fn integrate_all(
+    positions: &mut [[f64; 3]],
+    velocities: &mut [[f64; 3]],
+    forces: &[[f64; 3]],
+    masses: &[f64],
+    box_size: f64,
+) {
+    for i in 0..positions.len() {
+        integrate_atom(
+            &mut positions[i],
+            &mut velocities[i],
+            forces[i],
+            masses[i],
+            box_size,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_atom_moves_in_a_straight_line() {
+        let mut p = [1.0, 1.0, 1.0];
+        let mut v = [1.0, 0.0, -0.5];
+        for _ in 0..10 {
+            integrate_atom(&mut p, &mut v, [0.0; 3], 1.0, 100.0);
+        }
+        assert!((p[0] - (1.0 + 10.0 * DT)).abs() < 1e-12);
+        assert!((p[2] - (1.0 - 5.0 * DT)).abs() < 1e-12);
+        assert_eq!(v, [1.0, 0.0, -0.5]);
+    }
+
+    #[test]
+    fn constant_force_accelerates() {
+        let mut p = [0.0; 3];
+        let mut v = [0.0; 3];
+        integrate_atom(&mut p, &mut v, [2.0, 0.0, 0.0], 2.0, 100.0);
+        assert!((v[0] - DT).abs() < 1e-12);
+        assert!(p[0] > 0.0);
+    }
+
+    #[test]
+    fn positions_wrap_into_the_box() {
+        let mut p = [9.999, 0.001, 5.0];
+        let mut v = [10.0, -10.0, 0.0];
+        integrate_atom(&mut p, &mut v, [0.0; 3], 1.0, 10.0);
+        assert!(p[0] >= 0.0 && p[0] < 10.0);
+        assert!(p[1] >= 0.0 && p[1] < 10.0);
+    }
+
+    #[test]
+    fn integrate_all_matches_per_atom() {
+        let mut p1 = vec![[0.0, 1.0, 2.0], [3.0, 4.0, 5.0]];
+        let mut v1 = vec![[0.1, 0.0, 0.0], [0.0, 0.2, 0.0]];
+        let f = vec![[1.0, 0.0, 0.0], [0.0, -1.0, 0.0]];
+        let m = vec![1.0, 2.0];
+        let mut p2 = p1.clone();
+        let mut v2 = v1.clone();
+        integrate_all(&mut p1, &mut v1, &f, &m, 10.0);
+        for i in 0..2 {
+            integrate_atom(&mut p2[i], &mut v2[i], f[i], m[i], 10.0);
+        }
+        assert_eq!(p1, p2);
+        assert_eq!(v1, v2);
+    }
+}

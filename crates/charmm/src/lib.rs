@@ -1,0 +1,31 @@
+//! # charmm — a CHARMM-like molecular dynamics mini-application
+//!
+//! The paper's first adaptive application is CHARMM (Chemistry at HARvard Macromolecular
+//! Mechanics).  Its computationally dominant part is the molecular-dynamics loop of
+//! Figure 2: a **bonded** force loop over a static bond list and a **non-bonded** force
+//! loop over a cutoff-limited neighbour list that is regenerated every 10–100 time steps —
+//! the prototypical *adaptive irregular* access pattern.
+//!
+//! This crate reproduces that computational structure (not the chemistry):
+//!
+//! * [`system`] — builds a synthetic "MbCO + water"-like configuration (the paper's
+//!   benchmark has 14 026 atoms) with positions, masses and a bonded topology;
+//! * [`bonds`] — the static bonded-force loop (`ib`/`jb` indirection arrays);
+//! * [`nonbonded`] — cutoff neighbour-list construction (cell grid) and the adaptive
+//!   non-bonded force loop (`inblo`/`jnb` CSR indirection arrays);
+//! * [`integrate`] — velocity-Verlet integration;
+//! * [`sequential`] — the single-address-space reference implementation;
+//! * [`parallel`] — the hand-parallelised CHAOS version: RCB/RIB partitioning, remapping,
+//!   inspector/executor with stamped hash-table reuse, schedule merging, and the
+//!   instrumentation needed to reproduce Tables 1, 2, 3 and 6 of the paper.
+
+pub mod bonds;
+pub mod integrate;
+pub mod nonbonded;
+pub mod parallel;
+pub mod sequential;
+pub mod system;
+
+pub use parallel::{CharmmPhaseTimes, CharmmStepStats, ParallelCharmm, ParallelConfig, ScheduleMode};
+pub use sequential::SequentialCharmm;
+pub use system::{MolecularSystem, SystemConfig};

@@ -1,0 +1,233 @@
+//! The non-bonded neighbour list and force loop (statement S and loop L3 of Figure 2).
+//!
+//! Non-bonded forces nominally act between all pairs of atoms; CHARMM truncates them at a
+//! cutoff radius and keeps, for every atom, the list of partners inside the cutoff (the
+//! `inblo`/`jnb` CSR arrays of Figure 2).  Atoms move, so the list — and with it the data
+//! access pattern of the dominant loop — adapts every 10–100 steps.  List construction
+//! here uses a cell grid so it is O(N · density) rather than O(N²).
+
+use crate::system::{displacement_pbc, dist2};
+
+/// Lennard-Jones-like parameters of the truncated pair potential.
+pub const LJ_EPS: f64 = 0.05;
+/// Pair-potential length scale.
+pub const LJ_SIGMA: f64 = 1.1;
+
+/// The non-bonded neighbour list in CSR form: partner indices of atom `i` are
+/// `partners[offsets[i]..offsets[i+1]]` — exactly the `inblo`/`jnb` layout of Figure 2.
+/// Each pair appears once, stored on the lower-indexed atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborList {
+    /// CSR row offsets (`inblo`), length natoms + 1.
+    pub offsets: Vec<usize>,
+    /// Flattened partner indices (`jnb`).
+    pub partners: Vec<usize>,
+}
+
+impl NeighborList {
+    /// Total number of pair interactions in the list.
+    pub fn interaction_count(&self) -> usize {
+        self.partners.len()
+    }
+
+    /// Partners of atom `i`.
+    pub fn partners_of(&self, i: usize) -> &[usize] {
+        &self.partners[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Number of atoms the list covers.
+    pub fn natoms(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// Build the neighbour list of all atoms (sequential; the parallel code builds lists for
+/// owned atoms only, see [`build_neighbor_list_for`]).
+pub fn build_neighbor_list(
+    positions: &[[f64; 3]],
+    box_size: f64,
+    cutoff: f64,
+) -> NeighborList {
+    let all: Vec<usize> = (0..positions.len()).collect();
+    build_neighbor_list_for(&all, positions, box_size, cutoff)
+}
+
+/// Build the neighbour list rows for the atoms in `targets` (global indices), searching
+/// against *all* atoms in `positions`.  The produced CSR structure has one row per target,
+/// in `targets` order; partner indices are global.  A pair (i, j) is stored on whichever of
+/// its endpoints appears in `targets`, under the usual `i < j` convention, so summing over
+/// rows never double-counts when every atom is a target exactly once across the machine.
+pub fn build_neighbor_list_for(
+    targets: &[usize],
+    positions: &[[f64; 3]],
+    box_size: f64,
+    cutoff: f64,
+) -> NeighborList {
+    let n = positions.len();
+    let cutoff2 = cutoff * cutoff;
+    // Cell grid with cells no smaller than the cutoff.
+    let ncell = ((box_size / cutoff).floor() as usize).max(1);
+    let cell_size = box_size / ncell as f64;
+    let cell_of = |p: [f64; 3]| -> (usize, usize, usize) {
+        let clamp = |x: f64| -> usize {
+            let c = (x / cell_size) as isize;
+            c.rem_euclid(ncell as isize) as usize
+        };
+        (clamp(p[0]), clamp(p[1]), clamp(p[2]))
+    };
+    let mut cells: Vec<Vec<usize>> = vec![Vec::new(); ncell * ncell * ncell];
+    let cell_index = |c: (usize, usize, usize)| c.0 + ncell * (c.1 + ncell * c.2);
+    for (i, &p) in positions.iter().enumerate() {
+        cells[cell_index(cell_of(p))].push(i);
+    }
+
+    let mut offsets = Vec::with_capacity(targets.len() + 1);
+    let mut partners = Vec::new();
+    offsets.push(0);
+    for &i in targets {
+        let (cx, cy, cz) = cell_of(positions[i]);
+        let mut row: Vec<usize> = Vec::new();
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    let nx = (cx as i64 + dx).rem_euclid(ncell as i64) as usize;
+                    let ny = (cy as i64 + dy).rem_euclid(ncell as i64) as usize;
+                    let nz = (cz as i64 + dz).rem_euclid(ncell as i64) as usize;
+                    for &j in &cells[cell_index((nx, ny, nz))] {
+                        if j <= i {
+                            continue;
+                        }
+                        let d = displacement_pbc(positions[i], positions[j], box_size);
+                        if dist2(d) <= cutoff2 {
+                            row.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        row.sort_unstable();
+        row.dedup();
+        partners.extend_from_slice(&row);
+        offsets.push(partners.len());
+    }
+    let _ = n;
+    NeighborList { offsets, partners }
+}
+
+/// Pair force of the truncated, softened Lennard-Jones-like potential, given the
+/// minimum-image displacement from atom `i` to its partner.  Returns the force on atom `i`
+/// (the partner receives the negation).
+pub fn pair_force(dx: [f64; 3]) -> [f64; 3] {
+    let r2 = dist2(dx).max(0.25); // softened core to keep the toy integrator stable
+    let s2 = LJ_SIGMA * LJ_SIGMA / r2;
+    let s6 = s2 * s2 * s2;
+    // d/dr of 4ε(s^12 − s^6), expressed per unit displacement.
+    let magnitude = 24.0 * LJ_EPS * (2.0 * s6 * s6 - s6) / r2;
+    [-magnitude * dx[0], -magnitude * dx[1], -magnitude * dx[2]]
+}
+
+/// Sequential non-bonded force accumulation over a neighbour list whose rows correspond to
+/// the atoms listed in `targets` (global indices).  Returns the number of pair
+/// interactions evaluated.
+pub fn accumulate_nonbonded_forces(
+    targets: &[usize],
+    list: &NeighborList,
+    positions: &[[f64; 3]],
+    box_size: f64,
+    forces: &mut [[f64; 3]],
+) -> usize {
+    let mut count = 0;
+    for (row, &i) in targets.iter().enumerate() {
+        for &j in &list.partners[list.offsets[row]..list.offsets[row + 1]] {
+            let dx = displacement_pbc(positions[i], positions[j], box_size);
+            let f = pair_force(dx);
+            for k in 0..3 {
+                forces[i][k] += f[k];
+                forces[j][k] -= f[k];
+            }
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{MolecularSystem, SystemConfig};
+
+    #[test]
+    fn neighbor_list_matches_brute_force() {
+        let sys = MolecularSystem::build(&SystemConfig::small(11));
+        let list = build_neighbor_list(&sys.positions, sys.box_size, sys.cutoff);
+        assert_eq!(list.natoms(), sys.natoms());
+        let cutoff2 = sys.cutoff * sys.cutoff;
+        // Brute-force reference.
+        let mut expected = 0usize;
+        for i in 0..sys.natoms() {
+            for j in (i + 1)..sys.natoms() {
+                if dist2(sys.displacement(i, j)) <= cutoff2 {
+                    expected += 1;
+                    assert!(
+                        list.partners_of(i).contains(&j),
+                        "pair ({i},{j}) missing from the list"
+                    );
+                }
+            }
+        }
+        assert_eq!(list.interaction_count(), expected);
+    }
+
+    #[test]
+    fn pairs_are_stored_once_on_the_lower_atom() {
+        let sys = MolecularSystem::build(&SystemConfig::small(5));
+        let list = build_neighbor_list(&sys.positions, sys.box_size, sys.cutoff);
+        for i in 0..sys.natoms() {
+            for &j in list.partners_of(i) {
+                assert!(j > i, "partner {j} of atom {i} is not greater");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_target_lists_cover_the_same_pairs() {
+        let sys = MolecularSystem::build(&SystemConfig::small(9));
+        let full = build_neighbor_list(&sys.positions, sys.box_size, sys.cutoff);
+        // Split targets in two halves, as two "processors" would.
+        let n = sys.natoms();
+        let first: Vec<usize> = (0..n / 2).collect();
+        let second: Vec<usize> = (n / 2..n).collect();
+        let a = build_neighbor_list_for(&first, &sys.positions, sys.box_size, sys.cutoff);
+        let b = build_neighbor_list_for(&second, &sys.positions, sys.box_size, sys.cutoff);
+        assert_eq!(
+            a.interaction_count() + b.interaction_count(),
+            full.interaction_count()
+        );
+    }
+
+    #[test]
+    fn pair_force_is_repulsive_up_close_attractive_far() {
+        // dx points from atom i to its partner j.  When they overlap (r < sigma) the force
+        // on i must push it *away* from j (negative x here); inside the attractive well it
+        // must pull i *toward* j (positive x).
+        let close = pair_force([0.8, 0.0, 0.0]);
+        assert!(close[0] < 0.0, "overlapping atoms must repel, got {close:?}");
+        let far = pair_force([2.0, 0.0, 0.0]);
+        assert!(far[0] > 0.0, "distant atoms inside the well must attract");
+    }
+
+    #[test]
+    fn nonbonded_accumulation_conserves_momentum() {
+        let sys = MolecularSystem::build(&SystemConfig::small(21));
+        let targets: Vec<usize> = (0..sys.natoms()).collect();
+        let list = build_neighbor_list(&sys.positions, sys.box_size, sys.cutoff);
+        let mut forces = vec![[0.0; 3]; sys.natoms()];
+        let count =
+            accumulate_nonbonded_forces(&targets, &list, &sys.positions, sys.box_size, &mut forces);
+        assert_eq!(count, list.interaction_count());
+        for k in 0..3 {
+            let total: f64 = forces.iter().map(|f| f[k]).sum();
+            assert!(total.abs() < 1e-9, "net force component {k} = {total}");
+        }
+    }
+}

@@ -1,0 +1,863 @@
+//! The hand-parallelised CHAOS version of the CHARMM-like dynamics loop (§4.1 of the
+//! paper).
+//!
+//! Every rank runs [`run_parallel`] inside an [`mpsim`] SPMD closure.  The structure
+//! follows the paper's six phases:
+//!
+//! 1. **Data partitioning** — atoms are partitioned by RCB or RIB using spatial positions
+//!    and per-atom computational weight (non-bonded list length), or left in the naive
+//!    BLOCK distribution for comparison.
+//! 2. **Data remapping** — coordinate, velocity and mass arrays are remapped to the new
+//!    distribution with a single reusable [`chaos::remap::RemapPlan`].
+//! 3. **Iteration partitioning** — the non-bonded loop uses owner-computes (iterate over
+//!    owned atoms); the bonded loop uses almost-owner-computes over the bond list.
+//! 4. **Iteration remapping** — the bonded indirection arrays move to their executing
+//!    processors.
+//! 5. **Inspector** — bonded and non-bonded indirection arrays are hashed into one stamped
+//!    hash table; schedules are built merged (one schedule for all loops) or separate
+//!    (Table 3 compares the two).
+//! 6. **Executor** — per step: gather positions, run both force loops, scatter-add forces,
+//!    integrate owned atoms.  Every `list_update_interval` steps the non-bonded list is
+//!    regenerated, its stamp cleared and re-hashed (reusing the retained translation
+//!    results) and the schedules rebuilt — the adaptive part.
+//!
+//! The per-phase modeled times the paper reports in Tables 1, 2, 3 and 6 are accumulated
+//! in [`CharmmPhaseTimes`].
+
+use chaos::prelude::*;
+use mpsim::{Rank, TimeSnapshot};
+
+use crate::bonds::bond_force;
+use crate::integrate::integrate_atom;
+use crate::nonbonded::{build_neighbor_list_for, pair_force, NeighborList};
+use crate::system::{displacement_pbc, MolecularSystem};
+
+/// Which data partitioner distributes the atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionerKind {
+    /// Recursive coordinate bisection (the paper's default for CHARMM).
+    Rcb,
+    /// Recursive inertial bisection.
+    Rib,
+    /// Naive BLOCK distribution (no geometric partitioning) — the baseline.
+    Block,
+}
+
+/// Whether the bonded and non-bonded loops share one merged communication schedule or use
+/// one schedule per loop (the comparison of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// One merged schedule gathers/scatters the union of both loops' references.
+    Merged,
+    /// Each loop builds and executes its own schedule.
+    Multiple,
+}
+
+/// Configuration of one parallel CHARMM run.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Number of time steps to simulate.
+    pub nsteps: usize,
+    /// Steps between non-bonded list regenerations (the paper's benchmark: every 25).
+    pub list_update_interval: usize,
+    /// Data partitioner.
+    pub partitioner: PartitionerKind,
+    /// Schedule organisation.
+    pub schedule_mode: ScheduleMode,
+    /// If `Some(k)`, atoms are re-partitioned and re-mapped every `k` steps, alternating
+    /// RCB and RIB as in the Table 6 experiment.  `None` partitions once at start-up.
+    pub repartition_interval: Option<usize>,
+}
+
+impl ParallelConfig {
+    /// The configuration used for Tables 1 and 2 (step count chosen by the caller).
+    pub fn paper_default(nsteps: usize) -> Self {
+        Self {
+            nsteps,
+            list_update_interval: 25,
+            partitioner: PartitionerKind::Rcb,
+            schedule_mode: ScheduleMode::Merged,
+            repartition_interval: None,
+        }
+    }
+}
+
+/// Modeled time spent in each preprocessing/executor phase on this rank (microseconds,
+/// split into communication and computation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CharmmPhaseTimes {
+    /// Phase A: running the data partitioner.
+    pub data_partition: TimeSnapshot,
+    /// Building/regenerating the non-bonded neighbour list.
+    pub list_update: TimeSnapshot,
+    /// Phases B and D: remapping data and indirection arrays.
+    pub remap: TimeSnapshot,
+    /// Phase E, first time: index analysis + initial schedule construction.
+    pub schedule_generation: TimeSnapshot,
+    /// Phase E, repeated: schedule regeneration after every list update.
+    pub schedule_regeneration: TimeSnapshot,
+    /// Phase F: force loops, gathers/scatters and integration.
+    pub executor: TimeSnapshot,
+}
+
+impl CharmmPhaseTimes {
+    /// Total modeled time across all phases.
+    pub fn total(&self) -> TimeSnapshot {
+        self.data_partition
+            + self.list_update
+            + self.remap
+            + self.schedule_generation
+            + self.schedule_regeneration
+            + self.executor
+    }
+}
+
+/// Per-run summary returned by [`run_parallel`].
+#[derive(Debug, Clone)]
+pub struct CharmmStepStats {
+    /// Modeled per-phase times on this rank.
+    pub phases: CharmmPhaseTimes,
+    /// Pair interactions this rank evaluated (bonded + non-bonded).
+    pub interactions: usize,
+    /// Number of non-bonded list builds (including the initial one).
+    pub list_updates: usize,
+    /// Number of schedule (re)builds.
+    pub schedule_builds: usize,
+    /// Final positions of the atoms this rank owns, keyed by global atom index.
+    pub owned_positions: Vec<(usize, [f64; 3])>,
+}
+
+/// Marker type grouping the parallel driver's entry points.
+pub struct ParallelCharmm;
+
+impl ParallelCharmm {
+    /// Run the hand-parallelised simulation on the calling rank.  Collective: every rank
+    /// of the machine must call it with the same `system` and `config`.
+    pub fn run(
+        rank: &mut Rank,
+        system: &MolecularSystem,
+        config: &ParallelConfig,
+    ) -> CharmmStepStats {
+        run_parallel(rank, system, config)
+    }
+}
+
+// Stamps used in the shared hash table.
+const STAMP_IB: Stamp = Stamp::new(0);
+const STAMP_JB: Stamp = Stamp::new(1);
+const STAMP_NB: Stamp = Stamp::new(2);
+
+/// Per-atom state under the current (irregular) distribution.
+struct DistributionState {
+    ttable: TranslationTable,
+    owned_globals: Vec<usize>,
+    px: Vec<f64>,
+    py: Vec<f64>,
+    pz: Vec<f64>,
+    vx: Vec<f64>,
+    vy: Vec<f64>,
+    vz: Vec<f64>,
+    mass: Vec<f64>,
+}
+
+/// The bonded loop's executing-processor view (recomputed only when the atom distribution
+/// changes — the bond list itself is static).
+struct BondedSetup {
+    exec_ib: Vec<usize>,
+    exec_jb: Vec<usize>,
+}
+
+/// Local references and schedules for the current hash-table contents.
+struct LoopState {
+    ghost_len: usize,
+    bond_refs: Vec<(LocalRef, LocalRef)>,
+    nb_refs: Vec<Vec<LocalRef>>,
+    merged: Option<CommSchedule>,
+    bonded: Option<CommSchedule>,
+    nonbonded: Option<CommSchedule>,
+}
+
+/// The hand-parallelised CHARMM driver (see module docs).
+pub fn run_parallel(
+    rank: &mut Rank,
+    system: &MolecularSystem,
+    config: &ParallelConfig,
+) -> CharmmStepStats {
+    let natoms = system.natoms();
+    let nprocs = rank.nprocs();
+    let me = rank.rank();
+    let mut phases = CharmmPhaseTimes::default();
+    let mut interactions = 0usize;
+    let mut list_updates = 0usize;
+    let mut schedule_builds = 0usize;
+
+    // ---------------------------------------------------------------- initial partition --
+    let block = BlockDist::new(natoms, nprocs);
+    let my_block: Vec<usize> = block.local_globals(me).collect();
+    // Global positions start out replicated (every rank built the same system).
+    let mut global_positions: Vec<[f64; 3]> = system.positions.clone();
+
+    let t0 = rank.modeled();
+    let initial_list =
+        build_neighbor_list_for(&my_block, &global_positions, system.box_size, system.cutoff);
+    rank.charge_compute(initial_list.interaction_count() as f64 * 0.3);
+    let weights: Vec<f64> = (0..my_block.len())
+        .map(|r| 1.0 + initial_list.partners_of(r).len() as f64)
+        .collect();
+    phases.list_update += rank.modeled().since(&t0);
+    list_updates += 1;
+
+    let t0 = rank.modeled();
+    let coords: Vec<[f64; 3]> = my_block.iter().map(|&g| global_positions[g]).collect();
+    let local_map =
+        run_partitioner(rank, config.partitioner, &coords, &weights, my_block.len(), nprocs);
+    phases.data_partition += rank.modeled().since(&t0);
+
+    // ------------------------------------------------------------------ remap to owners --
+    let t0 = rank.modeled();
+    let mut dist = build_distribution(rank, system, &local_map, &block);
+    let mut bonded = partition_bonded_loop(rank, &dist.ttable, system);
+    phases.remap += rank.modeled().since(&t0);
+
+    // -------------------------------------------------- inspector (initial schedules) --
+    let t0 = rank.modeled();
+    let mut nb_list = build_local_nb_list(rank, &dist, system, &mut global_positions);
+    phases.list_update += rank.modeled().since(&t0);
+
+    let t0 = rank.modeled();
+    let mut hash = IndexHashTable::new(me, dist.ttable.local_size(me));
+    let mut loops = build_loop_state(
+        rank,
+        &mut hash,
+        &dist.ttable,
+        &bonded,
+        &nb_list,
+        config.schedule_mode,
+        true,
+    );
+    phases.schedule_generation += rank.modeled().since(&t0);
+    schedule_builds += 1;
+
+    // ----------------------------------------------------------------------- time steps --
+    for step in 0..config.nsteps {
+        // Optional repartitioning (Table 6 alternates RCB and RIB every 25 steps).
+        let repartitioned = match config.repartition_interval {
+            Some(k) if step > 0 && step % k == 0 => {
+                let t0 = rank.modeled();
+                let kind = if (step / k) % 2 == 1 {
+                    PartitionerKind::Rib
+                } else {
+                    PartitionerKind::Rcb
+                };
+                let weights: Vec<f64> = (0..dist.owned_globals.len())
+                    .map(|l| 1.0 + nb_list.partners_of(l).len() as f64)
+                    .collect();
+                let coords: Vec<[f64; 3]> = (0..dist.owned_globals.len())
+                    .map(|l| [dist.px[l], dist.py[l], dist.pz[l]])
+                    .collect();
+                let parts = run_partitioner(rank, kind, &coords, &weights, coords.len(), nprocs);
+                phases.data_partition += rank.modeled().since(&t0);
+
+                let t0 = rank.modeled();
+                dist = redistribute(rank, &dist, &parts, natoms);
+                bonded = partition_bonded_loop(rank, &dist.ttable, system);
+                phases.remap += rank.modeled().since(&t0);
+                true
+            }
+            _ => false,
+        };
+
+        // Periodic non-bonded list regeneration (the adaptive part).
+        let list_due = step > 0 && step % config.list_update_interval == 0;
+        if repartitioned || list_due {
+            let t0 = rank.modeled();
+            nb_list = build_local_nb_list(rank, &dist, system, &mut global_positions);
+            phases.list_update += rank.modeled().since(&t0);
+            list_updates += 1;
+
+            let t0 = rank.modeled();
+            if repartitioned {
+                // The distribution changed: every translation result is stale.
+                hash = IndexHashTable::new(me, dist.ttable.local_size(me));
+            } else {
+                // Same distribution: keep the hash entries, just clear the adaptive stamp.
+                hash.clear_stamp(STAMP_NB);
+            }
+            loops = build_loop_state(
+                rank,
+                &mut hash,
+                &dist.ttable,
+                &bonded,
+                &nb_list,
+                config.schedule_mode,
+                repartitioned,
+            );
+            phases.schedule_regeneration += rank.modeled().since(&t0);
+            schedule_builds += 1;
+        }
+
+        // ---------------------------------------------------------------- executor step --
+        let t0 = rank.modeled();
+        interactions += execute_step(rank, &mut dist, &loops, system, config.schedule_mode);
+        phases.executor += rank.modeled().since(&t0);
+    }
+
+    let owned_positions = dist
+        .owned_globals
+        .iter()
+        .enumerate()
+        .map(|(l, &g)| (g, [dist.px[l], dist.py[l], dist.pz[l]]))
+        .collect();
+
+    CharmmStepStats {
+        phases,
+        interactions,
+        list_updates,
+        schedule_builds,
+        owned_positions,
+    }
+}
+
+/// Phase A: run the configured partitioner over this rank's current atoms and return the
+/// new owner of each of them.
+fn run_partitioner(
+    rank: &mut Rank,
+    kind: PartitionerKind,
+    coords: &[[f64; 3]],
+    weights: &[f64],
+    local_count: usize,
+    nprocs: usize,
+) -> Vec<usize> {
+    match kind {
+        PartitionerKind::Rcb => rcb_partition(rank, PartitionInput::new(coords, weights), nprocs),
+        PartitionerKind::Rib => rib_partition(rank, PartitionInput::new(coords, weights), nprocs),
+        PartitionerKind::Block => vec![rank.rank(); local_count],
+    }
+}
+
+/// Phase B: build the translation table for the new owner map and remap the per-atom data
+/// arrays from the block distribution to it.
+fn build_distribution(
+    rank: &mut Rank,
+    system: &MolecularSystem,
+    local_map: &[usize],
+    block: &BlockDist,
+) -> DistributionState {
+    let mut ttable = TranslationTable::replicated_from_map(rank, local_map, block)
+        .expect("partitioner returned an invalid owner");
+    let my_block: Vec<usize> = block.local_globals(rank.rank()).collect();
+    let plan = build_remap(rank, &my_block, &mut ttable);
+    let take = |f: &dyn Fn(usize) -> f64| -> Vec<f64> { my_block.iter().map(|&g| f(g)).collect() };
+    let px = remap_values(rank, &plan, &take(&|g| system.positions[g][0]), 0.0);
+    let py = remap_values(rank, &plan, &take(&|g| system.positions[g][1]), 0.0);
+    let pz = remap_values(rank, &plan, &take(&|g| system.positions[g][2]), 0.0);
+    let vx = remap_values(rank, &plan, &take(&|g| system.velocities[g][0]), 0.0);
+    let vy = remap_values(rank, &plan, &take(&|g| system.velocities[g][1]), 0.0);
+    let vz = remap_values(rank, &plan, &take(&|g| system.velocities[g][2]), 0.0);
+    let mass = remap_values(rank, &plan, &take(&|g| system.masses[g]), 1.0);
+    let owned_globals = ttable.owned_globals(rank);
+    DistributionState {
+        ttable,
+        owned_globals,
+        px,
+        py,
+        pz,
+        vx,
+        vy,
+        vz,
+        mass,
+    }
+}
+
+/// Re-partitioning path: move the *current* per-atom state (not the initial system) to a
+/// new distribution described by `parts[l]` = new owner of this rank's l-th owned atom.
+fn redistribute(
+    rank: &mut Rank,
+    old: &DistributionState,
+    parts: &[usize],
+    natoms: usize,
+) -> DistributionState {
+    // `replicated_from_map` expects the map block-distributed over the global atom index
+    // space, so route each (atom, new owner) pair to the rank holding that block entry.
+    let nprocs = rank.nprocs();
+    let block = BlockDist::new(natoms, nprocs);
+    let mut sends: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nprocs];
+    for (l, &g) in old.owned_globals.iter().enumerate() {
+        sends[block.owner(g)].push((g as u64, parts[l] as u64));
+    }
+    let received = rank.all_to_all(&sends);
+    let my_range = block.local_range(rank.rank());
+    let mut local_map = vec![0usize; my_range.len()];
+    for (g, owner) in received.into_iter().flatten() {
+        local_map[g as usize - my_range.start] = owner as usize;
+    }
+    let mut ttable = TranslationTable::replicated_from_map(rank, &local_map, &block)
+        .expect("repartitioner returned an invalid owner");
+    let plan = build_remap(rank, &old.owned_globals, &mut ttable);
+    let px = remap_values(rank, &plan, &old.px, 0.0);
+    let py = remap_values(rank, &plan, &old.py, 0.0);
+    let pz = remap_values(rank, &plan, &old.pz, 0.0);
+    let vx = remap_values(rank, &plan, &old.vx, 0.0);
+    let vy = remap_values(rank, &plan, &old.vy, 0.0);
+    let vz = remap_values(rank, &plan, &old.vz, 0.0);
+    let mass = remap_values(rank, &plan, &old.mass, 1.0);
+    let owned_globals = ttable.owned_globals(rank);
+    DistributionState {
+        ttable,
+        owned_globals,
+        px,
+        py,
+        pz,
+        vx,
+        vy,
+        vz,
+        mass,
+    }
+}
+
+/// Phases C and D for the bonded loop: assign each bond to the processor owning the
+/// majority of its two atoms (almost-owner-computes) and move the `ib`/`jb` entries there.
+fn partition_bonded_loop(
+    rank: &mut Rank,
+    ttable: &TranslationTable,
+    system: &MolecularSystem,
+) -> BondedSetup {
+    let nprocs = rank.nprocs();
+    let me = rank.rank();
+    let nbonds = system.bonds.len();
+    let bond_block = BlockDist::new(nbonds, nprocs);
+    let my_bond_block: Vec<usize> = bond_block.local_globals(me).collect();
+    let accesses: Vec<Vec<usize>> = my_bond_block
+        .iter()
+        .map(|&b| vec![system.bonds[b].0, system.bonds[b].1])
+        .collect();
+    let part = almost_owner_computes_replicated(rank, ttable, bond_block, &accesses);
+    let plan = part.remap_plan(rank);
+    let my_ib: Vec<usize> = my_bond_block.iter().map(|&b| system.bonds[b].0).collect();
+    let my_jb: Vec<usize> = my_bond_block.iter().map(|&b| system.bonds[b].1).collect();
+    BondedSetup {
+        exec_ib: part.remap_indirection(rank, &plan, &my_ib),
+        exec_jb: part.remap_indirection(rank, &plan, &my_jb),
+    }
+}
+
+/// Regenerate the non-bonded neighbour list for the atoms this rank owns.  Requires the
+/// current global positions, which are assembled with an all-gather of (global id,
+/// position) — the communication the paper charges to "non-bonded list update".
+fn build_local_nb_list(
+    rank: &mut Rank,
+    dist: &DistributionState,
+    system: &MolecularSystem,
+    global_positions: &mut Vec<[f64; 3]>,
+) -> NeighborList {
+    let packed: Vec<[f64; 4]> = dist
+        .owned_globals
+        .iter()
+        .enumerate()
+        .map(|(l, &g)| [g as f64, dist.px[l], dist.py[l], dist.pz[l]])
+        .collect();
+    let gathered = rank.all_gather(&packed);
+    for part in gathered {
+        for entry in part {
+            global_positions[entry[0] as usize] = [entry[1], entry[2], entry[3]];
+        }
+    }
+    let list = build_neighbor_list_for(
+        &dist.owned_globals,
+        global_positions,
+        system.box_size,
+        system.cutoff,
+    );
+    // The cell-grid search is the (parallel) sequential cost the paper reports shrinking
+    // with the processor count.
+    rank.charge_compute(
+        dist.owned_globals.len() as f64 * 2.0 + list.interaction_count() as f64 * 0.3,
+    );
+    list
+}
+
+/// Phase E: hash every indirection array into the stamped hash table and build the
+/// communication schedules.  When `rehash_bonded` is false the bonded entries are assumed
+/// to be present already (same distribution, stamps intact) and only the adaptive
+/// non-bonded stamp is re-hashed — the reuse the paper's hash table exists for.
+fn build_loop_state(
+    rank: &mut Rank,
+    hash: &mut IndexHashTable,
+    ttable: &TranslationTable,
+    bonded: &BondedSetup,
+    nb_list: &NeighborList,
+    mode: ScheduleMode,
+    rehash_bonded: bool,
+) -> LoopState {
+    let bond_refs: Vec<(LocalRef, LocalRef)> = if rehash_bonded || hash.is_empty() {
+        let ib_refs = hash.hash_in_replicated(rank, ttable, &bonded.exec_ib, STAMP_IB);
+        let jb_refs = hash.hash_in_replicated(rank, ttable, &bonded.exec_jb, STAMP_JB);
+        ib_refs.into_iter().zip(jb_refs).collect()
+    } else {
+        // Entries are still stamped and their local references unchanged; re-deriving them
+        // is a pure hash lookup (cheap), which we do to keep the code path uniform.
+        let ib_refs = hash.hash_in_replicated(rank, ttable, &bonded.exec_ib, STAMP_IB);
+        let jb_refs = hash.hash_in_replicated(rank, ttable, &bonded.exec_jb, STAMP_JB);
+        ib_refs.into_iter().zip(jb_refs).collect()
+    };
+
+    let owned = ttable.local_size(rank.rank());
+    let mut nb_refs: Vec<Vec<LocalRef>> = Vec::with_capacity(owned);
+    for l in 0..nb_list.natoms() {
+        let refs = hash.hash_in_replicated(rank, ttable, nb_list.partners_of(l), STAMP_NB);
+        nb_refs.push(refs);
+    }
+
+    let (merged, bonded_sched, nonbonded_sched) = match mode {
+        ScheduleMode::Merged => {
+            let merged = build_schedule_from_table(
+                rank,
+                hash,
+                StampQuery::any_of(&[STAMP_IB, STAMP_JB, STAMP_NB]),
+            );
+            (Some(merged), None, None)
+        }
+        ScheduleMode::Multiple => {
+            let b = build_schedule_from_table(rank, hash, StampQuery::any_of(&[STAMP_IB, STAMP_JB]));
+            let nb = build_schedule_from_table(rank, hash, StampQuery::single(STAMP_NB));
+            (None, Some(b), Some(nb))
+        }
+    };
+
+    LoopState {
+        ghost_len: hash.ghost_len(),
+        bond_refs,
+        nb_refs,
+        merged,
+        bonded: bonded_sched,
+        nonbonded: nonbonded_sched,
+    }
+}
+
+/// One executor time step: gather positions, evaluate both force loops, scatter-add the
+/// forces and integrate the owned atoms.  Returns the number of pair interactions this
+/// rank evaluated.
+fn execute_step(
+    rank: &mut Rank,
+    dist: &mut DistributionState,
+    loops: &LoopState,
+    system: &MolecularSystem,
+    mode: ScheduleMode,
+) -> usize {
+    let ghost = loops.ghost_len;
+    let owned = dist.owned_globals.len();
+    let mut px = DistArray::new(dist.px.clone(), ghost);
+    let mut py = DistArray::new(dist.py.clone(), ghost);
+    let mut pz = DistArray::new(dist.pz.clone(), ghost);
+    let mut fx: DistArray<f64> = DistArray::zeroed(owned, ghost);
+    let mut fy: DistArray<f64> = DistArray::zeroed(owned, ghost);
+    let mut fz: DistArray<f64> = DistArray::zeroed(owned, ghost);
+
+    let mut interactions = 0usize;
+
+    // One closure per force loop so the two schedule organisations can interleave them
+    // with communication differently.
+    let bonded_loop = |px: &DistArray<f64>,
+                       py: &DistArray<f64>,
+                       pz: &DistArray<f64>,
+                       fx: &mut DistArray<f64>,
+                       fy: &mut DistArray<f64>,
+                       fz: &mut DistArray<f64>|
+     -> usize {
+        let mut count = 0;
+        for &(ri, rj) in &loops.bond_refs {
+            let a = [px[ri], py[ri], pz[ri]];
+            let b = [px[rj], py[rj], pz[rj]];
+            let f = bond_force(displacement_pbc(a, b, system.box_size));
+            fx[ri] += f[0];
+            fy[ri] += f[1];
+            fz[ri] += f[2];
+            fx[rj] -= f[0];
+            fy[rj] -= f[1];
+            fz[rj] -= f[2];
+            count += 1;
+        }
+        count
+    };
+    let nonbonded_loop = |px: &DistArray<f64>,
+                          py: &DistArray<f64>,
+                          pz: &DistArray<f64>,
+                          fx: &mut DistArray<f64>,
+                          fy: &mut DistArray<f64>,
+                          fz: &mut DistArray<f64>|
+     -> usize {
+        let mut count = 0;
+        for (l, partners) in loops.nb_refs.iter().enumerate() {
+            let ri = LocalRef(l);
+            let a = [px[ri], py[ri], pz[ri]];
+            for &rj in partners {
+                let b = [px[rj], py[rj], pz[rj]];
+                let f = pair_force(displacement_pbc(a, b, system.box_size));
+                fx[ri] += f[0];
+                fy[ri] += f[1];
+                fz[ri] += f[2];
+                fx[rj] -= f[0];
+                fy[rj] -= f[1];
+                fz[rj] -= f[2];
+                count += 1;
+            }
+        }
+        count
+    };
+
+    match mode {
+        ScheduleMode::Merged => {
+            // One schedule covers both loops: gather once, run both loops, scatter once.
+            let sched = loops.merged.as_ref().expect("merged schedule missing");
+            gather(rank, sched, &mut px);
+            gather(rank, sched, &mut py);
+            gather(rank, sched, &mut pz);
+            interactions += bonded_loop(&px, &py, &pz, &mut fx, &mut fy, &mut fz);
+            interactions += nonbonded_loop(&px, &py, &pz, &mut fx, &mut fy, &mut fz);
+            rank.charge_compute(interactions as f64);
+            scatter_add(rank, sched, &mut fx);
+            scatter_add(rank, sched, &mut fy);
+            scatter_add(rank, sched, &mut fz);
+        }
+        ScheduleMode::Multiple => {
+            // Each loop gathers with its own schedule and scatters its own contributions.
+            // The ghost force slots are shared between the schedules (they come from the
+            // same hash table), so they are cleared between the two scatters to avoid
+            // folding a contribution back twice.
+            let bsched = loops.bonded.as_ref().expect("bonded schedule missing");
+            let nsched = loops.nonbonded.as_ref().expect("non-bonded schedule missing");
+            gather(rank, bsched, &mut px);
+            gather(rank, bsched, &mut py);
+            gather(rank, bsched, &mut pz);
+            let b_count = bonded_loop(&px, &py, &pz, &mut fx, &mut fy, &mut fz);
+            rank.charge_compute(b_count as f64);
+            interactions += b_count;
+            scatter_add(rank, bsched, &mut fx);
+            scatter_add(rank, bsched, &mut fy);
+            scatter_add(rank, bsched, &mut fz);
+            fx.clear_ghost();
+            fy.clear_ghost();
+            fz.clear_ghost();
+
+            gather(rank, nsched, &mut px);
+            gather(rank, nsched, &mut py);
+            gather(rank, nsched, &mut pz);
+            let n_count = nonbonded_loop(&px, &py, &pz, &mut fx, &mut fy, &mut fz);
+            rank.charge_compute(n_count as f64);
+            interactions += n_count;
+            scatter_add(rank, nsched, &mut fx);
+            scatter_add(rank, nsched, &mut fy);
+            scatter_add(rank, nsched, &mut fz);
+        }
+    }
+
+    // Integrate the owned atoms.
+    for l in 0..owned {
+        let mut pos = [px.owned()[l], py.owned()[l], pz.owned()[l]];
+        let mut vel = [dist.vx[l], dist.vy[l], dist.vz[l]];
+        let force = [fx.owned()[l], fy.owned()[l], fz.owned()[l]];
+        integrate_atom(&mut pos, &mut vel, force, dist.mass[l], system.box_size);
+        dist.px[l] = pos[0];
+        dist.py[l] = pos[1];
+        dist.pz[l] = pos[2];
+        dist.vx[l] = vel[0];
+        dist.vy[l] = vel[1];
+        dist.vz[l] = vel[2];
+    }
+    rank.charge_compute(owned as f64 * 0.5);
+
+    interactions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialCharmm;
+    use crate::system::SystemConfig;
+    use mpsim::{run, CostModel, MachineConfig};
+
+    fn parallel_positions(nprocs: usize, config: ParallelConfig, seed: u64) -> Vec<[f64; 3]> {
+        let sys_cfg = SystemConfig::small(seed);
+        let natoms = sys_cfg.total_atoms();
+        let out = run(MachineConfig::new(nprocs), move |rank| {
+            let system = MolecularSystem::build(&sys_cfg);
+            run_parallel(rank, &system, &config).owned_positions
+        });
+        let mut positions = vec![[f64::NAN; 3]; natoms];
+        for per_rank in &out.results {
+            for &(g, p) in per_rank {
+                assert!(positions[g][0].is_nan(), "atom {g} owned by two ranks");
+                positions[g] = p;
+            }
+        }
+        assert!(positions.iter().all(|p| !p[0].is_nan()), "some atom unowned");
+        positions
+    }
+
+    fn sequential_positions(nsteps: usize, update: usize, seed: u64) -> Vec<[f64; 3]> {
+        let sys = MolecularSystem::build(&SystemConfig::small(seed));
+        let mut sim = SequentialCharmm::new(sys, update);
+        sim.run(nsteps);
+        sim.system.positions
+    }
+
+    fn max_deviation(a: &[[f64; 3]], b: &[[f64; 3]]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (0..3).map(|k| (x[k] - y[k]).abs()).fold(0.0f64, f64::max))
+            .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_rcb_merged() {
+        let config = ParallelConfig {
+            nsteps: 8,
+            list_update_interval: 4,
+            partitioner: PartitionerKind::Rcb,
+            schedule_mode: ScheduleMode::Merged,
+            repartition_interval: None,
+        };
+        let par = parallel_positions(4, config, 5);
+        let seq = sequential_positions(8, 4, 5);
+        let dev = max_deviation(&par, &seq);
+        assert!(dev < 1e-6, "parallel deviates from sequential by {dev}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_multiple_schedules_and_block() {
+        let config = ParallelConfig {
+            nsteps: 6,
+            list_update_interval: 3,
+            partitioner: PartitionerKind::Block,
+            schedule_mode: ScheduleMode::Multiple,
+            repartition_interval: None,
+        };
+        let par = parallel_positions(3, config, 9);
+        let seq = sequential_positions(6, 3, 9);
+        let dev = max_deviation(&par, &seq);
+        assert!(dev < 1e-6, "parallel deviates from sequential by {dev}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_repartitioning() {
+        let config = ParallelConfig {
+            nsteps: 8,
+            list_update_interval: 4,
+            partitioner: PartitionerKind::Rcb,
+            schedule_mode: ScheduleMode::Merged,
+            repartition_interval: Some(4),
+        };
+        let par = parallel_positions(4, config, 13);
+        let seq = sequential_positions(8, 4, 13);
+        let dev = max_deviation(&par, &seq);
+        assert!(dev < 1e-6, "parallel deviates from sequential by {dev}");
+    }
+
+    #[test]
+    fn single_rank_run_matches_sequential() {
+        let config = ParallelConfig {
+            nsteps: 5,
+            list_update_interval: 2,
+            partitioner: PartitionerKind::Rcb,
+            schedule_mode: ScheduleMode::Merged,
+            repartition_interval: None,
+        };
+        let par = parallel_positions(1, config, 3);
+        let seq = sequential_positions(5, 2, 3);
+        let dev = max_deviation(&par, &seq);
+        assert!(dev < 1e-9, "single-rank parallel deviates by {dev}");
+    }
+
+    #[test]
+    fn work_is_distributed_and_phases_are_populated() {
+        let sys_cfg = SystemConfig::small(20);
+        let config = ParallelConfig::paper_default(6);
+        let out = run(
+            MachineConfig::new(4).with_cost(CostModel::ipsc860()),
+            move |rank| {
+                let system = MolecularSystem::build(&sys_cfg);
+                let stats = run_parallel(rank, &system, &config);
+                (
+                    stats.interactions,
+                    stats.phases.executor.total_us(),
+                    stats.phases.data_partition.total_us(),
+                    stats.phases.schedule_generation.total_us(),
+                    stats.list_updates,
+                )
+            },
+        );
+        let total_interactions: usize = out.results.iter().map(|r| r.0).sum();
+        assert!(total_interactions > 0);
+        for (inter, exec_us, part_us, sched_us, updates) in &out.results {
+            assert!(*inter > 0, "a rank evaluated no interactions");
+            assert!(*exec_us > 0.0);
+            assert!(*part_us > 0.0);
+            assert!(*sched_us > 0.0);
+            assert_eq!(*updates, 1);
+        }
+        let times: Vec<f64> = out.results.iter().map(|r| r.1).collect();
+        assert!(chaos::load_balance_index(&times) < 2.0);
+    }
+
+    #[test]
+    fn merged_schedules_send_fewer_messages_than_multiple() {
+        // Table 3's mechanism: merging the bonded and non-bonded schedules removes
+        // duplicate fetches and message start-ups.
+        let sys_cfg = SystemConfig::small(33);
+        let run_mode = |mode: ScheduleMode| {
+            let config = ParallelConfig {
+                nsteps: 4,
+                list_update_interval: 10,
+                partitioner: PartitionerKind::Rcb,
+                schedule_mode: mode,
+                repartition_interval: None,
+            };
+            let cfg = sys_cfg.clone();
+            let out = run(MachineConfig::new(4), move |rank| {
+                let system = MolecularSystem::build(&cfg);
+                let _ = run_parallel(rank, &system, &config);
+                rank.stats().msgs_sent
+            });
+            out.results.iter().sum::<u64>()
+        };
+        let merged = run_mode(ScheduleMode::Merged);
+        let multiple = run_mode(ScheduleMode::Multiple);
+        assert!(
+            merged < multiple,
+            "merged schedules should send fewer messages ({merged} vs {multiple})"
+        );
+    }
+
+    #[test]
+    fn schedule_regeneration_is_cheaper_than_initial_generation() {
+        // The hash table retains translation results between list updates, so the
+        // regeneration pass (clear stamp + rehash + rebuild) must not exceed the initial
+        // schedule generation cost.
+        let sys_cfg = SystemConfig::small(44);
+        let config = ParallelConfig {
+            nsteps: 9,
+            list_update_interval: 3,
+            partitioner: PartitionerKind::Rcb,
+            schedule_mode: ScheduleMode::Merged,
+            repartition_interval: None,
+        };
+        let out = run(MachineConfig::new(4), move |rank| {
+            let system = MolecularSystem::build(&sys_cfg);
+            let stats = run_parallel(rank, &system, &config);
+            (
+                stats.phases.schedule_generation.compute_us,
+                stats.phases.schedule_regeneration.compute_us,
+                stats.schedule_builds,
+            )
+        });
+        for (initial, regen, builds) in &out.results {
+            // Two regenerations (steps 3 and 6) — each should cost no more than the
+            // initial build (which had to translate every index from scratch).
+            assert_eq!(*builds, 3);
+            assert!(
+                *regen <= *initial * 2.2,
+                "regeneration ({regen}) should not exceed twice the initial generation ({initial})"
+            );
+        }
+    }
+}

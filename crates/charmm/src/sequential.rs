@@ -1,0 +1,160 @@
+//! The sequential reference implementation of the CHARMM-like dynamics loop.
+//!
+//! This is both the correctness oracle for the parallel code (the parallel simulation must
+//! track it to floating-point reordering tolerance) and the "1 processor" column of
+//! Table 1.
+
+use crate::bonds::accumulate_bonded_forces;
+use crate::integrate::integrate_all;
+use crate::nonbonded::{accumulate_nonbonded_forces, build_neighbor_list, NeighborList};
+use crate::system::MolecularSystem;
+
+/// Sequential CHARMM-like simulation state.
+pub struct SequentialCharmm {
+    /// The molecular system being simulated (positions/velocities evolve in place).
+    pub system: MolecularSystem,
+    /// Current non-bonded neighbour list.
+    pub neighbor_list: NeighborList,
+    /// Steps between neighbour-list regenerations.
+    pub list_update_interval: usize,
+    steps_taken: usize,
+    /// Total pair interactions evaluated so far (bonded + non-bonded): the work measure.
+    pub interactions_evaluated: usize,
+    /// Number of neighbour-list regenerations performed.
+    pub list_updates: usize,
+}
+
+impl SequentialCharmm {
+    /// Create a simulation with the given list-update interval (the paper regenerates the
+    /// list every 10–100 steps; its benchmark updates 40 times in 1 000 steps, i.e. every
+    /// 25 steps).
+    pub fn new(system: MolecularSystem, list_update_interval: usize) -> Self {
+        assert!(list_update_interval > 0);
+        let neighbor_list =
+            build_neighbor_list(&system.positions, system.box_size, system.cutoff);
+        Self {
+            system,
+            neighbor_list,
+            list_update_interval,
+            steps_taken: 0,
+            interactions_evaluated: 0,
+            list_updates: 1,
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Compute the forces for the current configuration (bonded + non-bonded).
+    pub fn compute_forces(&mut self) -> Vec<[f64; 3]> {
+        let n = self.system.natoms();
+        let mut forces = vec![[0.0f64; 3]; n];
+        self.interactions_evaluated += accumulate_bonded_forces(
+            &self.system.positions,
+            &self.system.bonds,
+            self.system.box_size,
+            &mut forces,
+        );
+        let targets: Vec<usize> = (0..n).collect();
+        self.interactions_evaluated += accumulate_nonbonded_forces(
+            &targets,
+            &self.neighbor_list,
+            &self.system.positions,
+            self.system.box_size,
+            &mut forces,
+        );
+        forces
+    }
+
+    /// Advance the simulation by one time step (statement S + loops L2, L3 + integration
+    /// of Figure 2).
+    pub fn step(&mut self) {
+        if self.steps_taken > 0 && self.steps_taken % self.list_update_interval == 0 {
+            self.neighbor_list = build_neighbor_list(
+                &self.system.positions,
+                self.system.box_size,
+                self.system.cutoff,
+            );
+            self.list_updates += 1;
+        }
+        let forces = self.compute_forces();
+        integrate_all(
+            &mut self.system.positions,
+            &mut self.system.velocities,
+            &forces,
+            &self.system.masses,
+            self.system.box_size,
+        );
+        self.steps_taken += 1;
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Kinetic energy of the system (used as a cheap stability check in tests).
+    pub fn kinetic_energy(&self) -> f64 {
+        self.system
+            .velocities
+            .iter()
+            .zip(&self.system.masses)
+            .map(|(v, &m)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+
+    #[test]
+    fn simulation_runs_and_counts_work() {
+        let sys = MolecularSystem::build(&SystemConfig::small(17));
+        let mut sim = SequentialCharmm::new(sys, 5);
+        sim.run(12);
+        assert_eq!(sim.steps_taken(), 12);
+        assert!(sim.interactions_evaluated > 0);
+        // 12 steps with updates at steps 5 and 10 → 3 lists built in total (incl. initial).
+        assert_eq!(sim.list_updates, 3);
+    }
+
+    #[test]
+    fn dynamics_stay_finite() {
+        let sys = MolecularSystem::build(&SystemConfig::small(23));
+        let mut sim = SequentialCharmm::new(sys, 10);
+        sim.run(30);
+        assert!(sim.kinetic_energy().is_finite());
+        for p in &sim.system.positions {
+            assert!(p.iter().all(|c| c.is_finite()));
+        }
+    }
+
+    #[test]
+    fn neighbor_list_adapts_as_atoms_move() {
+        let sys = MolecularSystem::build(&SystemConfig::small(31));
+        let mut sim = SequentialCharmm::new(sys, 4);
+        let initial = sim.neighbor_list.clone();
+        sim.run(20);
+        // After several updates the list is very likely different; what we require is that
+        // regeneration happened and produced a structurally valid list.
+        assert_eq!(sim.neighbor_list.natoms(), initial.natoms());
+        assert!(sim.list_updates >= 5);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let make = || {
+            let sys = MolecularSystem::build(&SystemConfig::small(8));
+            let mut sim = SequentialCharmm::new(sys, 5);
+            sim.run(10);
+            sim.system.positions
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -1,0 +1,26 @@
+//! # dsmc — a Direct Simulation Monte Carlo (particle-in-cell) mini-application
+//!
+//! The paper's second adaptive application is DSMC: gas molecules move through a cartesian
+//! grid of cells, collide only with molecules in the same cell, and migrate between cells
+//! every time step (the MOVE phase of Figure 3).  Parallelisation distributes cells — and
+//! with them their molecules — over processors, which creates the three difficulties the
+//! paper lists: per-step particle migration, per-step regeneration of the indirection
+//! structure, and drifting load imbalance that demands periodic remapping.
+//!
+//! * [`grid`] — the 2-D/3-D cartesian cell grid;
+//! * [`particles`] — molecule state, deterministic seeding with a directional drift;
+//! * [`collide`] — the per-cell collision phase (deterministic given cell id and step);
+//! * [`sequential`] — the single-address-space reference implementation;
+//! * [`parallel`] — the CHAOS parallelisation: light-weight vs regular schedules for the
+//!   MOVE phase (Table 4) and static vs RCB vs chain-partitioned remapping (Table 5).
+
+pub mod collide;
+pub mod grid;
+pub mod parallel;
+pub mod particles;
+pub mod sequential;
+
+pub use grid::CellGrid;
+pub use parallel::{DsmcConfig, DsmcPhaseTimes, DsmcStats, MoveMode, RemapStrategy};
+pub use particles::{seed_particles, FlowConfig, Particle};
+pub use sequential::SequentialDsmc;

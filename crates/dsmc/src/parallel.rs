@@ -1,0 +1,648 @@
+//! The CHAOS parallelisation of DSMC (§4.2 of the paper).
+//!
+//! Cells (and the molecules inside them) are distributed over processors through a
+//! replicated cell-owner map.  Each time step has three parallel phases:
+//!
+//! 1. **collision** — embarrassingly parallel over owned cells;
+//! 2. **MOVE** — molecules whose new position falls in a cell owned by another processor
+//!    must migrate.  Two implementations are provided, matching the two columns of
+//!    Table 4:
+//!    * [`MoveMode::Lightweight`] — a [`chaos::schedule::LightweightSchedule`] is built
+//!      from the destination processors (one exchange of counts) and whole molecules are
+//!      appended with `scatter_append`; arrival order is irrelevant, so no placement
+//!      preprocessing is needed;
+//!    * [`MoveMode::Regular`] — emulates the pre-CHAOS path with regular schedules: every
+//!      step the destination indices are exchanged and placement slots assigned (the
+//!      per-step inspector), and the molecule data is shipped attribute-array by
+//!      attribute-array with prescribed placement, exactly the overhead the paper's
+//!      light-weight schedules remove.
+//! 3. **remapping** — every `remap_interval` steps the cells are re-partitioned from their
+//!    current molecule counts using recursive coordinate bisection or the chain
+//!    partitioner (or never, for the static baseline), and the affected molecules migrate
+//!    to the new owners (Table 5).
+
+use std::collections::HashMap;
+
+use chaos::prelude::*;
+use mpsim::{Rank, TimeSnapshot};
+
+use crate::collide::collide_cell;
+use crate::grid::CellGrid;
+use crate::particles::{advance, Particle};
+
+/// How the MOVE phase transports molecules (the Table 4 comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveMode {
+    /// Light-weight schedules + `scatter_append` (the CHAOS contribution).
+    Lightweight,
+    /// Regular schedules: per-step placement preprocessing and per-attribute transport.
+    Regular,
+}
+
+/// How (and whether) cells are periodically re-partitioned (the Table 5 comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemapStrategy {
+    /// Keep the initial BLOCK distribution of cells for the whole run.
+    Static,
+    /// Re-partition with recursive coordinate bisection every `remap_interval` steps.
+    RecursiveBisection,
+    /// Re-partition with the 1-D chain partitioner along the flow (x) axis.
+    Chain,
+}
+
+/// Configuration of one parallel DSMC run.
+#[derive(Debug, Clone)]
+pub struct DsmcConfig {
+    /// Number of time steps.
+    pub nsteps: usize,
+    /// Time-step length.
+    pub dt: f64,
+    /// MOVE-phase implementation.
+    pub move_mode: MoveMode,
+    /// Remapping strategy.
+    pub remap: RemapStrategy,
+    /// Steps between remaps (the paper remaps every 40 steps).
+    pub remap_interval: usize,
+    /// Collision RNG seed (must match the sequential reference for comparisons).
+    pub seed: u64,
+}
+
+impl DsmcConfig {
+    /// Light-weight MOVE, no remapping — the Table 4 baseline configuration.
+    pub fn lightweight(nsteps: usize, seed: u64) -> Self {
+        Self {
+            nsteps,
+            dt: 0.4,
+            move_mode: MoveMode::Lightweight,
+            remap: RemapStrategy::Static,
+            remap_interval: 40,
+            seed,
+        }
+    }
+}
+
+/// Modeled time per phase on this rank.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DsmcPhaseTimes {
+    /// Collision phase (pure computation).
+    pub collide: TimeSnapshot,
+    /// MOVE-phase preprocessing: schedule construction / placement negotiation.
+    pub move_preprocess: TimeSnapshot,
+    /// MOVE-phase data transport and re-binning.
+    pub move_data: TimeSnapshot,
+    /// Running the partitioner during remaps.
+    pub remap_partition: TimeSnapshot,
+    /// Migrating molecules to their cells' new owners during remaps.
+    pub remap_migrate: TimeSnapshot,
+}
+
+impl DsmcPhaseTimes {
+    /// Total modeled time across all phases.
+    pub fn total(&self) -> TimeSnapshot {
+        self.collide
+            + self.move_preprocess
+            + self.move_data
+            + self.remap_migrate
+            + self.remap_partition
+    }
+}
+
+/// Per-run summary returned by [`run_parallel`].
+#[derive(Debug, Clone)]
+pub struct DsmcStats {
+    /// Modeled per-phase times on this rank.
+    pub phases: DsmcPhaseTimes,
+    /// Collision pairs processed on this rank.
+    pub collisions: usize,
+    /// Molecules this rank shipped to other processors during MOVE phases.
+    pub migrations: usize,
+    /// Number of remapping events.
+    pub remaps: usize,
+    /// Molecules held at the end of the run.
+    pub final_particle_count: usize,
+    /// (cell id, sorted molecule ids) for every non-empty owned cell — compared against
+    /// [`crate::sequential::SequentialDsmc::fingerprint`].
+    pub fingerprint: Vec<(usize, Vec<u64>)>,
+}
+
+/// Run the parallel DSMC simulation on the calling rank.  Collective: all ranks must call
+/// with the same grid, particle set and configuration.  `particles` is the *global*
+/// initial particle set (deterministically seeded on every rank); each rank keeps the
+/// molecules that start in cells it owns.
+pub fn run_parallel(
+    rank: &mut Rank,
+    grid: &CellGrid,
+    particles: &[Particle],
+    config: &DsmcConfig,
+) -> DsmcStats {
+    let nprocs = rank.nprocs();
+    let me = rank.rank();
+    let ncells = grid.ncells();
+    let mut phases = DsmcPhaseTimes::default();
+    let mut collisions = 0usize;
+    let mut migrations = 0usize;
+    let mut remaps = 0usize;
+
+    // Initial static decomposition: equal slabs of cell columns along x (the natural
+    // hand-written decomposition for a channel flow).  The owner map is replicated.
+    let mut cell_owner: Vec<ProcId> = initial_owner_map(grid, nprocs);
+    // Molecules of owned cells, keyed by global cell id.
+    let mut cells: HashMap<usize, Vec<Particle>> = HashMap::new();
+    for cell in 0..ncells {
+        if cell_owner[cell] == me {
+            cells.insert(cell, Vec::new());
+        }
+    }
+    for p in particles {
+        let cell = grid.cell_of_position(p.pos);
+        if cell_owner[cell] == me {
+            cells.get_mut(&cell).expect("owned cell missing").push(*p);
+        }
+    }
+
+    for step in 0..config.nsteps {
+        // ------------------------------------------------------------------- collisions --
+        let t0 = rank.modeled();
+        let mut owned_cells: Vec<usize> = cells.keys().copied().collect();
+        owned_cells.sort_unstable();
+        for &cell in &owned_cells {
+            let list = cells.get_mut(&cell).expect("owned cell missing");
+            let pairs = collide_cell(cell, step, config.seed, list);
+            collisions += pairs;
+            rank.charge_compute(pairs as f64 * 2.0 + list.len() as f64 * 0.3 + 0.2);
+        }
+        phases.collide += rank.modeled().since(&t0);
+
+        // ------------------------------------------------------------------- MOVE phase --
+        // Advance molecules; collect the ones leaving their current cell.
+        let t0 = rank.modeled();
+        let mut outgoing: Vec<(usize, Particle)> = Vec::new(); // (destination cell, molecule)
+        for &cell in &owned_cells {
+            let list = cells.get_mut(&cell).expect("owned cell missing");
+            let mut keep = Vec::with_capacity(list.len());
+            for mut p in list.drain(..) {
+                advance(&mut p, grid, config.dt);
+                let new_cell = grid.cell_of_position(p.pos);
+                if new_cell == cell {
+                    keep.push(p);
+                } else {
+                    outgoing.push((new_cell, p));
+                }
+            }
+            *list = keep;
+            rank.charge_compute(keep_len_estimate(list) * 0.2);
+        }
+        phases.move_data += rank.modeled().since(&t0);
+
+        let arrivals = match config.move_mode {
+            MoveMode::Lightweight => {
+                move_lightweight(rank, &outgoing, &cell_owner, &mut phases, &mut migrations)
+            }
+            MoveMode::Regular => move_regular(
+                rank,
+                &outgoing,
+                &cell_owner,
+                &cells,
+                &mut phases,
+                &mut migrations,
+            ),
+        };
+
+        // Re-bin arrivals (their destination cell is recomputed from the position — the
+        // "order of elements within a row does not matter" property).
+        let t0 = rank.modeled();
+        for p in arrivals {
+            let cell = grid.cell_of_position(p.pos);
+            debug_assert_eq!(cell_owner[cell], me, "molecule delivered to the wrong rank");
+            cells.entry(cell).or_default().push(p);
+        }
+        phases.move_data += rank.modeled().since(&t0);
+
+        // ------------------------------------------------------------------- remapping --
+        let remap_due = config.remap != RemapStrategy::Static
+            && step > 0
+            && step % config.remap_interval == 0;
+        if remap_due {
+            remaps += 1;
+            remap_cells(
+                rank,
+                grid,
+                config,
+                &mut cell_owner,
+                &mut cells,
+                &mut phases,
+            );
+        }
+    }
+
+    let mut fingerprint: Vec<(usize, Vec<u64>)> = cells
+        .iter()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(&cell, v)| {
+            let mut ids: Vec<u64> = v.iter().map(|p| p.id).collect();
+            ids.sort_unstable();
+            (cell, ids)
+        })
+        .collect();
+    fingerprint.sort_unstable();
+
+    DsmcStats {
+        phases,
+        collisions,
+        migrations,
+        remaps,
+        final_particle_count: cells.values().map(Vec::len).sum(),
+        fingerprint,
+    }
+}
+
+fn keep_len_estimate(list: &[Particle]) -> f64 {
+    list.len() as f64
+}
+
+/// The static decomposition used before any remapping: contiguous slabs of cell columns
+/// along the x axis, one slab per processor (balanced to within one column).
+pub fn initial_owner_map(grid: &CellGrid, nprocs: usize) -> Vec<ProcId> {
+    let column_owner: Vec<ProcId> = chaos::partitioners::block_map(grid.nx, nprocs.min(grid.nx));
+    (0..grid.ncells())
+        .map(|cell| {
+            let (ix, _, _) = grid.cell_coords(cell);
+            column_owner[ix]
+        })
+        .collect()
+}
+
+/// MOVE phase with a light-weight schedule: one exchange of counts, one append message per
+/// destination processor, whole molecules as payload.
+fn move_lightweight(
+    rank: &mut Rank,
+    outgoing: &[(usize, Particle)],
+    cell_owner: &[ProcId],
+    phases: &mut DsmcPhaseTimes,
+    migrations: &mut usize,
+) -> Vec<Particle> {
+    let me = rank.rank();
+    let t0 = rank.modeled();
+    let dests: Vec<ProcId> = outgoing.iter().map(|(cell, _)| cell_owner[*cell]).collect();
+    let sched = LightweightSchedule::build(rank, &dests);
+    phases.move_preprocess += rank.modeled().since(&t0);
+
+    let t0 = rank.modeled();
+    let items: Vec<Particle> = outgoing.iter().map(|(_, p)| *p).collect();
+    *migrations += dests.iter().filter(|&&d| d != me).count();
+    let arrivals = scatter_append(rank, &sched, &items);
+    phases.move_data += rank.modeled().since(&t0);
+    arrivals
+}
+
+/// MOVE phase emulating regular schedules: the destination indices are exchanged and
+/// placement slots assigned every step (per-step inspector), and the molecule data is
+/// shipped one attribute array at a time with prescribed placement.
+fn move_regular(
+    rank: &mut Rank,
+    outgoing: &[(usize, Particle)],
+    cell_owner: &[ProcId],
+    cells: &HashMap<usize, Vec<Particle>>,
+    phases: &mut DsmcPhaseTimes,
+    migrations: &mut usize,
+) -> Vec<Particle> {
+    let nprocs = rank.nprocs();
+    let me = rank.rank();
+
+    // ---- per-step inspector: exchange destination cells, assign placement slots --------
+    let t0 = rank.modeled();
+    let mut dest_cells_by_proc: Vec<Vec<u64>> = vec![Vec::new(); nprocs];
+    let mut order_by_proc: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+    for (k, (cell, _)) in outgoing.iter().enumerate() {
+        let dest = cell_owner[*cell];
+        dest_cells_by_proc[dest].push(*cell as u64);
+        order_by_proc[dest].push(k);
+    }
+    // Owners learn which of their cells will receive molecules and assign each incoming
+    // molecule a slot in the destination cell's array (the data-placement-order
+    // preprocessing that light-weight schedules eliminate).
+    let incoming_cells = rank.all_to_all(&dest_cells_by_proc);
+    let mut next_slot: HashMap<usize, u64> = cells
+        .iter()
+        .map(|(&cell, v)| (cell, v.len() as u64))
+        .collect();
+    let slot_replies: Vec<Vec<u64>> = incoming_cells
+        .iter()
+        .map(|req| {
+            req.iter()
+                .map(|&cell| {
+                    let slot = next_slot.entry(cell as usize).or_insert(0);
+                    let s = *slot;
+                    *slot += 1;
+                    s
+                })
+                .collect()
+        })
+        .collect();
+    rank.charge_compute(incoming_cells.iter().map(Vec::len).sum::<usize>() as f64 * 0.4);
+    let _assigned_slots = rank.all_to_all(&slot_replies);
+    phases.move_preprocess += rank.modeled().since(&t0);
+
+    // ---- data transport: one exchange per attribute array, then reconstruct ------------
+    let t0 = rank.modeled();
+    *migrations += outgoing
+        .iter()
+        .filter(|(cell, _)| cell_owner[*cell] != me)
+        .count();
+    let gather_attr = |rank: &mut Rank, attr: &dyn Fn(&Particle) -> f64| -> Vec<Vec<f64>> {
+        let sends: Vec<Vec<f64>> = order_by_proc
+            .iter()
+            .map(|idxs| idxs.iter().map(|&k| attr(&outgoing[k].1)).collect())
+            .collect();
+        rank.all_to_all(&sends)
+    };
+    let xs = gather_attr(rank, &|p| p.pos[0]);
+    let ys = gather_attr(rank, &|p| p.pos[1]);
+    let zs = gather_attr(rank, &|p| p.pos[2]);
+    let vxs = gather_attr(rank, &|p| p.vel[0]);
+    let vys = gather_attr(rank, &|p| p.vel[1]);
+    let vzs = gather_attr(rank, &|p| p.vel[2]);
+    let id_sends: Vec<Vec<u64>> = order_by_proc
+        .iter()
+        .map(|idxs| idxs.iter().map(|&k| outgoing[k].1.id).collect())
+        .collect();
+    let ids = rank.all_to_all(&id_sends);
+
+    // Reconstruct the arriving molecules (placement by slot reduces to insertion order
+    // here because the destination arrays are re-binned afterwards; the cost of the
+    // bookkeeping is what matters and has already been charged).
+    let mut arrivals = Vec::new();
+    for p in 0..nprocs {
+        for k in 0..ids[p].len() {
+            arrivals.push(Particle {
+                pos: [xs[p][k], ys[p][k], zs[p][k]],
+                vel: [vxs[p][k], vys[p][k], vzs[p][k]],
+                id: ids[p][k],
+            });
+        }
+    }
+    rank.charge_compute(arrivals.len() as f64 * 0.6);
+    phases.move_data += rank.modeled().since(&t0);
+    arrivals
+}
+
+/// Re-partition the cells from their current molecule counts and migrate molecules to the
+/// new owners.
+fn remap_cells(
+    rank: &mut Rank,
+    grid: &CellGrid,
+    config: &DsmcConfig,
+    cell_owner: &mut Vec<ProcId>,
+    cells: &mut HashMap<usize, Vec<Particle>>,
+    phases: &mut DsmcPhaseTimes,
+) {
+    let nprocs = rank.nprocs();
+    let me = rank.rank();
+
+    // ---- run the partitioner over the owned cells --------------------------------------
+    let t0 = rank.modeled();
+    let mut owned_cells: Vec<usize> = cells.keys().copied().collect();
+    owned_cells.sort_unstable();
+    let weights: Vec<f64> = owned_cells
+        .iter()
+        .map(|c| 1.0 + cells[c].len() as f64)
+        .collect();
+    let new_parts: Vec<ProcId> = match config.remap {
+        RemapStrategy::Static => owned_cells.iter().map(|&c| cell_owner[c]).collect(),
+        RemapStrategy::RecursiveBisection => {
+            let coords: Vec<[f64; 3]> = owned_cells.iter().map(|&c| grid.cell_center(c)).collect();
+            rcb_partition(rank, PartitionInput::new(&coords, &weights), nprocs)
+        }
+        RemapStrategy::Chain => {
+            let xs: Vec<f64> = owned_cells.iter().map(|&c| grid.cell_center(c)[0]).collect();
+            chain_partition(rank, &xs, &weights, nprocs)
+        }
+    };
+    // Publish the new owner map (it is replicated, like the paper's translation table for
+    // DSMC cells).
+    let updates: Vec<(u64, u64)> = owned_cells
+        .iter()
+        .zip(&new_parts)
+        .map(|(&c, &p)| (c as u64, p as u64))
+        .collect();
+    let all_updates = rank.all_gather(&updates);
+    for part in all_updates {
+        for (cell, owner) in part {
+            cell_owner[cell as usize] = owner as usize;
+        }
+    }
+    phases.remap_partition += rank.modeled().since(&t0);
+
+    // ---- migrate molecules of reassigned cells ------------------------------------------
+    let t0 = rank.modeled();
+    let mut moving: Vec<Particle> = Vec::new();
+    let mut dests: Vec<ProcId> = Vec::new();
+    for &cell in &owned_cells {
+        let new_owner = cell_owner[cell];
+        if new_owner != me {
+            let list = cells.remove(&cell).expect("owned cell missing");
+            for p in list {
+                moving.push(p);
+                dests.push(new_owner);
+            }
+        }
+    }
+    // Cells we now own (possibly empty) must exist in the map.
+    for (cell, &owner) in cell_owner.iter().enumerate() {
+        if owner == me {
+            cells.entry(cell).or_default();
+        }
+    }
+    let sched = LightweightSchedule::build(rank, &dests);
+    let arrivals = scatter_append(rank, &sched, &moving);
+    for p in arrivals {
+        let cell = grid.cell_of_position(p.pos);
+        debug_assert_eq!(cell_owner[cell], me);
+        cells.entry(cell).or_default().push(p);
+    }
+    phases.remap_migrate += rank.modeled().since(&t0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particles::{seed_particles, FlowConfig};
+    use crate::sequential::SequentialDsmc;
+    use mpsim::{run, MachineConfig};
+
+    fn merged_fingerprint(results: &[DsmcStats]) -> Vec<(usize, Vec<u64>)> {
+        let mut all: Vec<(usize, Vec<u64>)> = results
+            .iter()
+            .flat_map(|s| s.fingerprint.clone())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    fn run_config(
+        nprocs: usize,
+        grid: CellGrid,
+        nparticles: usize,
+        flow: FlowConfig,
+        config: DsmcConfig,
+    ) -> Vec<DsmcStats> {
+        run(MachineConfig::new(nprocs), move |rank| {
+            let particles = seed_particles(&grid, nparticles, &flow);
+            run_parallel(rank, &grid, &particles, &config)
+        })
+        .results
+    }
+
+    fn sequential_fingerprint(
+        grid: CellGrid,
+        nparticles: usize,
+        flow: FlowConfig,
+        nsteps: usize,
+        dt: f64,
+        seed: u64,
+    ) -> Vec<(usize, Vec<u64>)> {
+        let particles = seed_particles(&grid, nparticles, &flow);
+        let mut sim = SequentialDsmc::new(grid, particles, dt, seed);
+        sim.run(nsteps);
+        let mut fp = sim.fingerprint();
+        fp.sort_unstable();
+        fp
+    }
+
+    #[test]
+    fn lightweight_parallel_matches_sequential() {
+        let grid = CellGrid::new_2d(8, 8);
+        let flow = FlowConfig::directional(21);
+        let config = DsmcConfig::lightweight(12, 21);
+        let results = run_config(4, grid, 600, flow, config.clone());
+        let total: usize = results.iter().map(|s| s.final_particle_count).sum();
+        assert_eq!(total, 600);
+        let par = merged_fingerprint(&results);
+        let seq = sequential_fingerprint(grid, 600, flow, 12, config.dt, 21);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn regular_move_matches_sequential_too() {
+        let grid = CellGrid::new_2d(6, 6);
+        let flow = FlowConfig::uniform(5);
+        let config = DsmcConfig {
+            nsteps: 10,
+            dt: 0.4,
+            move_mode: MoveMode::Regular,
+            remap: RemapStrategy::Static,
+            remap_interval: 40,
+            seed: 5,
+        };
+        let results = run_config(3, grid, 400, flow, config.clone());
+        let par = merged_fingerprint(&results);
+        let seq = sequential_fingerprint(grid, 400, flow, 10, config.dt, 5);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn remapping_with_chain_partitioner_preserves_the_simulation() {
+        let grid = CellGrid::new_2d(8, 8);
+        let flow = FlowConfig::directional(33);
+        let config = DsmcConfig {
+            nsteps: 15,
+            dt: 0.4,
+            move_mode: MoveMode::Lightweight,
+            remap: RemapStrategy::Chain,
+            remap_interval: 5,
+            seed: 33,
+        };
+        let results = run_config(4, grid, 500, flow, config.clone());
+        assert!(results.iter().all(|s| s.remaps == 2));
+        let par = merged_fingerprint(&results);
+        let seq = sequential_fingerprint(grid, 500, flow, 15, config.dt, 33);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn remapping_with_rcb_preserves_the_simulation() {
+        let grid = CellGrid::new_3d(4, 4, 4);
+        let flow = FlowConfig::directional(44);
+        let config = DsmcConfig {
+            nsteps: 12,
+            dt: 0.3,
+            move_mode: MoveMode::Lightweight,
+            remap: RemapStrategy::RecursiveBisection,
+            remap_interval: 4,
+            seed: 44,
+        };
+        let results = run_config(4, grid, 600, flow, config.clone());
+        let par = merged_fingerprint(&results);
+        let seq = sequential_fingerprint(grid, 600, flow, 12, config.dt, 44);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn lightweight_move_is_cheaper_than_regular() {
+        // Table 4's claim, at unit-test scale: same simulation, the light-weight MOVE
+        // spends less modeled time on preprocessing + transport.
+        let grid = CellGrid::new_2d(12, 12);
+        let flow = FlowConfig::uniform(9);
+        let time_of = |mode: MoveMode| -> f64 {
+            let config = DsmcConfig {
+                nsteps: 10,
+                dt: 0.4,
+                move_mode: mode,
+                remap: RemapStrategy::Static,
+                remap_interval: 40,
+                seed: 9,
+            };
+            let results = run_config(4, grid, 1_000, flow, config);
+            results
+                .iter()
+                .map(|s| (s.phases.move_preprocess + s.phases.move_data).total_us())
+                .fold(0.0, f64::max)
+        };
+        let light = time_of(MoveMode::Lightweight);
+        let regular = time_of(MoveMode::Regular);
+        assert!(
+            light < regular,
+            "light-weight MOVE should be cheaper (light={light:.1}us, regular={regular:.1}us)"
+        );
+    }
+
+    #[test]
+    fn remapping_improves_load_balance_for_directional_flow() {
+        let grid = CellGrid::new_2d(16, 8);
+        let flow = FlowConfig::directional(55);
+        let imbalance_of = |remap: RemapStrategy| -> f64 {
+            let config = DsmcConfig {
+                nsteps: 30,
+                dt: 0.5,
+                move_mode: MoveMode::Lightweight,
+                remap,
+                remap_interval: 10,
+                seed: 55,
+            };
+            let results = run_config(4, grid, 2_000, flow, config);
+            let collide_times: Vec<f64> = results
+                .iter()
+                .map(|s| s.phases.collide.compute_us)
+                .collect();
+            chaos::load_balance_index(&collide_times)
+        };
+        let static_lb = imbalance_of(RemapStrategy::Static);
+        let chain_lb = imbalance_of(RemapStrategy::Chain);
+        assert!(
+            chain_lb < static_lb,
+            "chain remapping should improve balance (static={static_lb:.2}, chain={chain_lb:.2})"
+        );
+    }
+
+    #[test]
+    fn migrations_are_counted() {
+        let grid = CellGrid::new_2d(8, 8);
+        let flow = FlowConfig::directional(2);
+        let config = DsmcConfig::lightweight(8, 2);
+        let results = run_config(2, grid, 300, flow, config);
+        let migrations: usize = results.iter().map(|s| s.migrations).sum();
+        assert!(migrations > 0, "directional flow must push molecules across ranks");
+        let collisions: usize = results.iter().map(|s| s.collisions).sum();
+        assert!(collisions > 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Abstract syntax for the Fortran-D subset.
+
+/// A whole program: declarations, distribution directives and executable statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// How a decomposition is distributed over processors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistSpec {
+    /// HPF BLOCK.
+    Block,
+    /// HPF CYCLIC.
+    Cyclic,
+    /// Irregular distribution through a map array (Figure 7): element `i` lives on the
+    /// processor named by `map(i)`.
+    Map(String),
+}
+
+/// The reduction operations of the `REDUCE` intrinsic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// `REDUCE(SUM, target, value)` — accumulate into the target element.
+    Sum,
+    /// `REDUCE(APPEND, target, value)` — append to the target's unordered list
+    /// (the new intrinsic proposed in §5.2.1).
+    Append,
+}
+
+/// A reference to an array element: `array(index expression)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayRef {
+    /// The array's (upper-cased) name.
+    pub array: String,
+    /// Subscript expression.
+    pub index: Box<Expr>,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// A loop variable (or named scalar constant supplied by the host).
+    Var(String),
+    /// An array element.
+    Element(ArrayRef),
+    /// `lhs op rhs`.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Statements of the subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `REAL x(n), y(n)` — declare distributed real arrays.
+    RealDecl {
+        /// `(name, size)` pairs.
+        arrays: Vec<(String, usize)>,
+    },
+    /// `INTEGER map(n), jnb(m)` — declare (replicated) integer arrays.
+    IntegerDecl {
+        /// `(name, size)` pairs.
+        arrays: Vec<(String, usize)>,
+    },
+    /// `DECOMPOSITION reg(n)`.
+    Decomposition {
+        /// Template name.
+        name: String,
+        /// Template size.
+        size: usize,
+    },
+    /// `DISTRIBUTE reg(BLOCK)` / `DISTRIBUTE reg(map)`.
+    Distribute {
+        /// The decomposition being distributed.
+        decomp: String,
+        /// The distribution specification.
+        spec: DistSpec,
+    },
+    /// `ALIGN x, y WITH reg`.
+    Align {
+        /// Arrays being aligned.
+        arrays: Vec<String>,
+        /// Target decomposition.
+        decomp: String,
+    },
+    /// `FORALL var = lo, hi … END FORALL` (possibly nested).
+    Forall {
+        /// Loop variable name.
+        var: String,
+        /// Lower bound (inclusive).
+        lo: Expr,
+        /// Upper bound (inclusive), Fortran style.
+        hi: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `REDUCE(op, target, value)`.
+    Reduce {
+        /// Reduction operator.
+        op: ReduceOp,
+        /// Target element (or bucket, for APPEND).
+        target: ArrayRef,
+        /// Contributed value.
+        value: Expr,
+    },
+    /// `target = value` plain assignment inside a FORALL.
+    Assign {
+        /// Assigned element.
+        target: ArrayRef,
+        /// Right-hand side.
+        value: Expr,
+    },
+}
+
+impl Expr {
+    /// Collect the names of every array referenced in the expression.
+    pub fn referenced_arrays(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Int(_) | Expr::Real(_) | Expr::Var(_) => {}
+            Expr::Element(r) => {
+                out.push(r.array.clone());
+                r.index.referenced_arrays(out);
+            }
+            Expr::Binary(_, a, b) => {
+                a.referenced_arrays(out);
+                b.referenced_arrays(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_arrays_walks_nested_subscripts() {
+        // x(jnb(i)) + y(i) * 2
+        let expr = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Element(ArrayRef {
+                array: "X".into(),
+                index: Box::new(Expr::Element(ArrayRef {
+                    array: "JNB".into(),
+                    index: Box::new(Expr::Var("I".into())),
+                })),
+            })),
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(Expr::Element(ArrayRef {
+                    array: "Y".into(),
+                    index: Box::new(Expr::Var("I".into())),
+                })),
+                Box::new(Expr::Int(2)),
+            )),
+        );
+        let mut arrays = Vec::new();
+        expr.referenced_arrays(&mut arrays);
+        assert_eq!(arrays, vec!["X".to_string(), "JNB".into(), "Y".into()]);
+    }
+}

@@ -1,0 +1,1027 @@
+//! The SPMD executor for lowered Fortran-D programs.
+//!
+//! Running a lowered program through this executor is the stand-in for running the node
+//! code a real Fortran 90D/HPF compiler would have generated: the sequence of CHAOS
+//! runtime calls (translation-table construction, remapping, index hashing, schedule
+//! generation, gathers, scatter-adds, light-weight appends) is the same, only the loop
+//! bodies are interpreted rather than compiled.  Tables 6 and 7 compare programs executed
+//! this way against the hand-parallelised applications.
+
+use std::collections::HashMap;
+
+use chaos::inspector::build_schedule_from_table;
+use chaos::prelude::*;
+use mpsim::{Rank, TimeSnapshot};
+
+use crate::ast::{ArrayRef, BinOp, DistSpec, Expr, ReduceOp, Stmt};
+use crate::lower::{ExecStep, LoopKind, LoweredProgram};
+
+/// Modeled time the executor spent in each phase (the columns of Table 6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FortranDPhases {
+    /// Remapping data arrays when a `DISTRIBUTE` directive is applied.
+    pub remap: TimeSnapshot,
+    /// Index analysis and schedule generation (the inspector).
+    pub inspector: TimeSnapshot,
+    /// Gather / loop execution / scatter (the executor).
+    pub executor: TimeSnapshot,
+}
+
+impl FortranDPhases {
+    /// Total modeled time across phases.
+    pub fn total(&self) -> TimeSnapshot {
+        self.remap + self.inspector + self.executor
+    }
+}
+
+struct DecompState {
+    ttable: TranslationTable,
+    owned_globals: Vec<usize>,
+}
+
+struct RealState {
+    decomp: String,
+    data: DistArray<f64>,
+}
+
+struct BucketState {
+    decomp: String,
+    buckets: HashMap<usize, Vec<f64>>,
+}
+
+#[derive(Default)]
+struct LoopRuntime {
+    hash: Option<IndexHashTable>,
+    schedule: Option<CommSchedule>,
+    deps_seen: HashMap<String, u64>,
+    epoch_seen: u64,
+    /// How many times the schedule was rebuilt / reused (exposed for tests and reports).
+    rebuilds: u64,
+    reuses: u64,
+}
+
+/// The per-rank execution engine for one lowered program.
+///
+/// All methods that move data or build schedules are collective — every rank of the
+/// machine must call them in the same order (the usual SPMD contract).
+pub struct Executor<'p> {
+    program: &'p LoweredProgram,
+    my_rank: usize,
+    nprocs: usize,
+    decomps: HashMap<String, DecompState>,
+    reals: HashMap<String, RealState>,
+    buckets: HashMap<String, BucketState>,
+    integers: HashMap<String, Vec<i64>>,
+    mod_counter: HashMap<String, u64>,
+    epoch: u64,
+    loop_runtime: HashMap<usize, LoopRuntime>,
+    phases: FortranDPhases,
+}
+
+impl<'p> Executor<'p> {
+    /// Create an executor; every decomposition starts out BLOCK-distributed (as the
+    /// paper's examples do before the irregular `DISTRIBUTE(map)` is applied).
+    pub fn new(rank: &mut Rank, program: &'p LoweredProgram) -> Self {
+        let mut decomps = HashMap::new();
+        for (name, &size) in &program.decomps {
+            let dist = BlockDist::new(size, rank.nprocs());
+            let ttable = TranslationTable::from_regular(&dist);
+            let owned_globals: Vec<usize> = dist.local_globals(rank.rank()).collect();
+            decomps.insert(
+                name.clone(),
+                DecompState {
+                    ttable,
+                    owned_globals,
+                },
+            );
+        }
+        let mut reals = HashMap::new();
+        let mut buckets = HashMap::new();
+        // Arrays that are append targets become bucket arrays; everything else is a flat
+        // distributed array.
+        let append_targets: Vec<String> = program
+            .loops
+            .iter()
+            .filter_map(|l| match &l.kind {
+                LoopKind::AppendReduction { target } => Some(target.clone()),
+                _ => None,
+            })
+            .collect();
+        for (name, (_size, decomp)) in &program.real_arrays {
+            if append_targets.contains(name) {
+                buckets.insert(
+                    name.clone(),
+                    BucketState {
+                        decomp: decomp.clone(),
+                        buckets: HashMap::new(),
+                    },
+                );
+            } else {
+                let owned = decomps[decomp].owned_globals.len();
+                reals.insert(
+                    name.clone(),
+                    RealState {
+                        decomp: decomp.clone(),
+                        data: DistArray::zeroed(owned, 0),
+                    },
+                );
+            }
+        }
+        let integers = program
+            .integer_arrays
+            .iter()
+            .map(|(name, &size)| (name.clone(), vec![0i64; size]))
+            .collect();
+        Self {
+            program,
+            my_rank: rank.rank(),
+            nprocs: rank.nprocs(),
+            decomps,
+            reals,
+            buckets,
+            integers,
+            mod_counter: HashMap::new(),
+            epoch: 0,
+            loop_runtime: HashMap::new(),
+            phases: FortranDPhases::default(),
+        }
+    }
+
+    /// Phase times accumulated so far.
+    pub fn phases(&self) -> FortranDPhases {
+        self.phases
+    }
+
+    /// How many times the given loop's schedule has been rebuilt and reused.
+    pub fn schedule_stats(&self, loop_id: usize) -> (u64, u64) {
+        self.loop_runtime
+            .get(&loop_id)
+            .map(|rt| (rt.rebuilds, rt.reuses))
+            .unwrap_or((0, 0))
+    }
+
+    /// Set a distributed real array from its global contents (each rank keeps the elements
+    /// it owns).  Not collective.
+    pub fn set_real_array(&mut self, name: &str, global: &[f64]) {
+        let state = self
+            .reals
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown or non-flat real array {name}"));
+        let decomp = &self.decomps[&state.decomp];
+        assert_eq!(
+            global.len(),
+            self.program.real_arrays[name].0,
+            "array {name} initialised with the wrong length"
+        );
+        let owned: Vec<f64> = decomp.owned_globals.iter().map(|&g| global[g]).collect();
+        state.data = DistArray::new(owned, state.data.ghost_len());
+    }
+
+    /// Set a replicated integer array (1-based Fortran values are stored as given).
+    /// Marks the array as modified so dependent schedules are regenerated.
+    pub fn set_integer_array(&mut self, name: &str, values: &[i64]) {
+        let slot = self
+            .integers
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown integer array {name}"));
+        assert_eq!(values.len(), slot.len(), "array {name} has the wrong length");
+        slot.copy_from_slice(values);
+        *self.mod_counter.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Record that the host modified an integer array in place (statement S of Figure 2):
+    /// schedules depending on it will be regenerated at their next execution.
+    pub fn mark_modified(&mut self, name: &str) {
+        assert!(self.integers.contains_key(name), "unknown integer array {name}");
+        *self.mod_counter.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Gather a distributed real array back to its global form (collective).
+    pub fn get_real_array(&mut self, rank: &mut Rank, name: &str) -> Vec<f64> {
+        let state = &self.reals[name];
+        let decomp = &self.decomps[&state.decomp];
+        let packed: Vec<(u64, f64)> = decomp
+            .owned_globals
+            .iter()
+            .zip(state.data.owned())
+            .map(|(&g, &v)| (g as u64, v))
+            .collect();
+        let gathered = rank.all_gather(&packed);
+        let mut global = vec![0.0; self.program.real_arrays[name].0];
+        for part in gathered {
+            for (g, v) in part {
+                global[g as usize] = v;
+            }
+        }
+        global
+    }
+
+    /// Global bucket sizes of an append target (collective).
+    pub fn bucket_sizes(&mut self, rank: &mut Rank, name: &str) -> Vec<usize> {
+        let state = &self.buckets[name];
+        let size = self.program.real_arrays[name].0;
+        let mut counts = vec![0.0f64; size];
+        for (&cell, values) in &state.buckets {
+            counts[cell] += values.len() as f64;
+        }
+        rank.all_reduce_sum_vec(&counts)
+            .into_iter()
+            .map(|c| c as usize)
+            .collect()
+    }
+
+    /// The locally held buckets of an append target, sorted by bucket index, values in
+    /// append order.
+    pub fn local_buckets(&self, name: &str) -> Vec<(usize, Vec<f64>)> {
+        let mut out: Vec<(usize, Vec<f64>)> = self.buckets[name]
+            .buckets
+            .iter()
+            .map(|(&c, v)| (c, v.clone()))
+            .collect();
+        out.sort_unstable_by_key(|(c, _)| *c);
+        out
+    }
+
+    /// Empty every bucket of an append target (the host does this between time steps).
+    pub fn clear_buckets(&mut self, name: &str) {
+        self.buckets
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown bucket array {name}"))
+            .buckets
+            .clear();
+    }
+
+    /// Run every executable step of the program in source order (collective).
+    pub fn run_all(&mut self, rank: &mut Rank) {
+        for step in 0..self.program.steps.len() {
+            self.run_step(rank, step);
+        }
+    }
+
+    /// Run one executable step (collective).
+    pub fn run_step(&mut self, rank: &mut Rank, step: usize) {
+        match self.program.steps[step].clone() {
+            ExecStep::Distribute { decomp, spec } => self.apply_distribute(rank, &decomp, &spec),
+            ExecStep::Loop(loop_id) => self.run_loop(rank, loop_id),
+        }
+    }
+
+    /// Apply a `DISTRIBUTE` directive: build the new translation table and remap every
+    /// flat real array aligned with the decomposition (collective).
+    pub fn apply_distribute(&mut self, rank: &mut Rank, decomp: &str, spec: &DistSpec) {
+        let t0 = rank.modeled();
+        let size = self.program.decomps[decomp];
+        let block = BlockDist::new(size, self.nprocs);
+        let my_block: Vec<usize> = block.local_globals(self.my_rank).collect();
+        let mut new_ttable = match spec {
+            DistSpec::Block => TranslationTable::from_regular(&block),
+            DistSpec::Cyclic => {
+                TranslationTable::from_regular(&CyclicDist::new(size, self.nprocs))
+            }
+            DistSpec::Map(map_name) => {
+                let map = &self.integers[map_name];
+                let local_map: Vec<usize> = my_block.iter().map(|&g| map[g] as usize).collect();
+                TranslationTable::replicated_from_map(rank, &local_map, &block)
+                    .expect("map array assigns an element to a non-existent processor")
+            }
+        };
+        // Remap every flat array aligned with this decomposition from its current
+        // distribution to the new one, reusing one plan for all of them.  The arrays are
+        // visited in name order so that every rank issues the transfers in the same
+        // sequence (the remap messages of different arrays share a tag).
+        let old_state = &self.decomps[decomp];
+        let plan = build_remap(rank, &old_state.owned_globals, &mut new_ttable);
+        let mut aligned: Vec<String> = self
+            .reals
+            .iter()
+            .filter(|(_, s)| s.decomp == decomp)
+            .map(|(n, _)| n.clone())
+            .collect();
+        aligned.sort_unstable();
+        for name in aligned {
+            let state = self.reals.get_mut(&name).expect("array exists");
+            let new_owned = remap_values(rank, &plan, state.data.owned(), 0.0);
+            state.data = DistArray::new(new_owned, 0);
+        }
+        let owned_globals = new_ttable.owned_globals(rank);
+        self.decomps.insert(
+            decomp.to_string(),
+            DecompState {
+                ttable: new_ttable,
+                owned_globals,
+            },
+        );
+        self.epoch += 1;
+        self.phases.remap += rank.modeled().since(&t0);
+    }
+
+    /// Execute one `FORALL` loop (collective).
+    pub fn run_loop(&mut self, rank: &mut Rank, loop_id: usize) {
+        let plan = self.program.loop_plan(loop_id).clone();
+        match plan.kind.clone() {
+            LoopKind::SumReduction => self.run_sum_loop(rank, loop_id),
+            LoopKind::AppendReduction { target } => self.run_append_loop(rank, loop_id, &target),
+        }
+    }
+
+    // ----------------------------------------------------------- sum-reduction loops --
+
+    fn run_sum_loop(&mut self, rank: &mut Rank, loop_id: usize) {
+        let plan = self.program.loop_plan(loop_id).clone();
+        let (var, lo, hi, body) = match &plan.forall {
+            Stmt::Forall { var, lo, hi, body } => (var.clone(), lo.clone(), hi.clone(), body.clone()),
+            _ => unreachable!(),
+        };
+        let empty_env = HashMap::new();
+        let lo_val = eval_int(&lo, &empty_env, &self.integers);
+        let hi_val = eval_int(&hi, &empty_env, &self.integers);
+        let extent = (hi_val - lo_val + 1).max(0) as usize;
+
+        // Iteration partitioning: owner-computes over the loop's decomposition when the
+        // loop ranges over exactly that index space (the common case in the paper's
+        // templates); otherwise a BLOCK partition of the iteration range.
+        let decomp_state = &self.decomps[&plan.decomp];
+        let owned_len = decomp_state.owned_globals.len();
+        let decomp_size = self.program.decomps[&plan.decomp];
+        let iterations: Vec<i64> = if extent == decomp_size {
+            decomp_state
+                .owned_globals
+                .iter()
+                .filter(|&&g| g < extent)
+                .map(|&g| lo_val + g as i64)
+                .collect()
+        } else {
+            BlockDist::new(extent, self.nprocs)
+                .local_globals(self.my_rank)
+                .map(|g| lo_val + g as i64)
+                .collect()
+        };
+
+        // All real arrays of the loop must share the decomposition (one hash table / one
+        // schedule per loop — the merged schedule a compiler would emit).
+        for a in plan
+            .gathered_arrays
+            .iter()
+            .chain(&plan.sum_targets)
+            .chain(&plan.assigned_arrays)
+        {
+            assert_eq!(
+                self.reals[a].decomp, plan.decomp,
+                "loop {loop_id}: array {a} is aligned with a different decomposition"
+            );
+        }
+
+        // ---- inspector (with schedule reuse) -------------------------------------------
+        let t0 = rank.modeled();
+        let mut rt = self.loop_runtime.remove(&loop_id).unwrap_or_default();
+        let deps_now: HashMap<String, u64> = plan
+            .indirection_arrays
+            .iter()
+            .map(|a| (a.clone(), self.mod_counter.get(a).copied().unwrap_or(0)))
+            .collect();
+        let valid =
+            rt.schedule.is_some() && rt.epoch_seen == self.epoch && rt.deps_seen == deps_now;
+        if !valid {
+            let mut hash = IndexHashTable::new(self.my_rank, owned_len);
+            let stamp = Stamp::new(0);
+            // Collect every distributed-array reference the loop body makes, for every
+            // local iteration, and hash the subscripts.
+            let mut referenced: Vec<usize> = Vec::new();
+            for &i in &iterations {
+                let mut env = HashMap::new();
+                env.insert(var.clone(), i);
+                collect_refs(&body, &env, &self.integers, &self.reals, &mut referenced);
+            }
+            hash.hash_in_replicated(rank, &decomp_state.ttable, &referenced, stamp);
+            let schedule = build_schedule_from_table(rank, &hash, StampQuery::single(stamp));
+            rt.hash = Some(hash);
+            rt.schedule = Some(schedule);
+            rt.deps_seen = deps_now;
+            rt.epoch_seen = self.epoch;
+            rt.rebuilds += 1;
+        } else {
+            rt.reuses += 1;
+        }
+        self.phases.inspector += rank.modeled().since(&t0);
+
+        // ---- executor -------------------------------------------------------------------
+        let t0 = rank.modeled();
+        let hash = rt.hash.as_ref().expect("hash table built above");
+        let schedule = rt.schedule.as_ref().expect("schedule built above");
+        let ghost = schedule.ghost_len();
+        // Gather read arrays; clear ghosts of reduction targets.
+        for name in &plan.gathered_arrays {
+            let state = self.reals.get_mut(name).expect("gathered array exists");
+            state.data.ensure_ghost(ghost);
+            gather(rank, schedule, &mut state.data);
+        }
+        for name in &plan.sum_targets {
+            let state = self.reals.get_mut(name).expect("target array exists");
+            state.data.ensure_ghost(ghost);
+            state.data.clear_ghost();
+        }
+
+        // Interpret the loop body.
+        let mut work = 0usize;
+        for &i in &iterations {
+            let mut env = HashMap::new();
+            env.insert(var.clone(), i);
+            work += exec_body(
+                &body,
+                &mut env,
+                &self.integers,
+                &mut self.reals,
+                &decomp_state.ttable,
+                hash,
+                owned_len,
+                self.my_rank,
+            );
+        }
+        rank.charge_compute(work as f64);
+
+        // Fold off-processor contributions back and drop the ghost accumulations.
+        for name in &plan.sum_targets {
+            let state = self.reals.get_mut(name).expect("target array exists");
+            scatter_add(rank, schedule, &mut state.data);
+            state.data.clear_ghost();
+        }
+        self.phases.executor += rank.modeled().since(&t0);
+        self.loop_runtime.insert(loop_id, rt);
+    }
+
+    // ------------------------------------------------------------------- append loops --
+
+    fn run_append_loop(&mut self, rank: &mut Rank, loop_id: usize, target: &str) {
+        let plan = self.program.loop_plan(loop_id).clone();
+        let (var, lo, hi, body) = match &plan.forall {
+            Stmt::Forall { var, lo, hi, body } => (var.clone(), lo.clone(), hi.clone(), body.clone()),
+            _ => unreachable!(),
+        };
+        let (reduce_target, value_expr) = find_append(&body)
+            .unwrap_or_else(|| panic!("append loop {loop_id} has no REDUCE(APPEND) statement"));
+
+        let empty_env = HashMap::new();
+        let lo_val = eval_int(&lo, &empty_env, &self.integers);
+        let hi_val = eval_int(&hi, &empty_env, &self.integers);
+        let extent = (hi_val - lo_val + 1).max(0) as usize;
+
+        let source_decomp = &self.decomps[&plan.decomp];
+        let iterations: Vec<i64> = source_decomp
+            .owned_globals
+            .iter()
+            .filter(|&&g| g < extent)
+            .map(|&g| lo_val + g as i64)
+            .collect();
+        let bucket_decomp_name = self.buckets[target].decomp.clone();
+        let bucket_ttable = &self.decomps[&bucket_decomp_name].ttable;
+
+        // ---- inspector: destination processors + light-weight schedule -----------------
+        let t0 = rank.modeled();
+        let mut dests: Vec<ProcId> = Vec::with_capacity(iterations.len());
+        let mut payload: Vec<(u64, f64)> = Vec::with_capacity(iterations.len());
+        for &i in &iterations {
+            let mut env = HashMap::new();
+            env.insert(var.clone(), i);
+            let bucket = (eval_int(&reduce_target.index, &env, &self.integers) - 1) as usize;
+            let value = eval_owned_value(
+                &value_expr,
+                &env,
+                &self.integers,
+                &self.reals,
+                &self.decomps,
+                self.my_rank,
+            );
+            dests.push(bucket_ttable.lookup_local(bucket).owner as usize);
+            payload.push((bucket as u64, value));
+        }
+        let sched = LightweightSchedule::build(rank, &dests);
+        self.phases.inspector += rank.modeled().since(&t0);
+
+        // ---- executor: move and append ---------------------------------------------------
+        let t0 = rank.modeled();
+        let arrivals = scatter_append(rank, &sched, &payload);
+        let bucket_state = self.buckets.get_mut(target).expect("bucket array exists");
+        for (bucket, value) in arrivals {
+            bucket_state
+                .buckets
+                .entry(bucket as usize)
+                .or_default()
+                .push(value);
+        }
+        rank.charge_compute(iterations.len() as f64 * 0.3);
+        self.phases.executor += rank.modeled().since(&t0);
+    }
+}
+
+// ------------------------------------------------------------------ expression helpers --
+
+fn eval_int(expr: &Expr, env: &HashMap<String, i64>, integers: &HashMap<String, Vec<i64>>) -> i64 {
+    match expr {
+        Expr::Int(n) => *n,
+        Expr::Real(x) => *x as i64,
+        Expr::Var(v) => *env
+            .get(v)
+            .unwrap_or_else(|| panic!("unknown loop variable or scalar {v}")),
+        Expr::Element(ArrayRef { array, index }) => {
+            let idx = eval_int(index, env, integers) - 1;
+            let values = integers
+                .get(array)
+                .unwrap_or_else(|| panic!("array {array} cannot be used in an index expression"));
+            values[idx as usize]
+        }
+        Expr::Binary(op, a, b) => {
+            let x = eval_int(a, env, integers);
+            let y = eval_int(b, env, integers);
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+            }
+        }
+    }
+}
+
+/// Resolve the local reference of a global element of the loop's decomposition, using the
+/// hash table for off-processor elements (exactly what compiler-generated executor code
+/// does with PARTI/CHAOS local indices).
+fn local_ref(
+    hash: &IndexHashTable,
+    ttable: &TranslationTable,
+    owned_len: usize,
+    my_rank: usize,
+    global: usize,
+) -> LocalRef {
+    let loc = ttable.lookup_local(global);
+    if loc.owner as usize == my_rank {
+        LocalRef(loc.offset as usize)
+    } else {
+        let entry = hash
+            .get(global)
+            .unwrap_or_else(|| panic!("element {global} was not hashed by the inspector"));
+        LocalRef(owned_len + entry.ghost_slot.expect("off-processor entry has a ghost slot") as usize)
+    }
+}
+
+/// Evaluate a real-valued expression inside a loop iteration.
+#[allow(clippy::too_many_arguments)]
+fn eval_real(
+    expr: &Expr,
+    env: &HashMap<String, i64>,
+    integers: &HashMap<String, Vec<i64>>,
+    reals: &HashMap<String, RealState>,
+    ttable: &TranslationTable,
+    hash: &IndexHashTable,
+    owned_len: usize,
+    my_rank: usize,
+) -> f64 {
+    match expr {
+        Expr::Int(n) => *n as f64,
+        Expr::Real(x) => *x,
+        Expr::Var(v) => *env
+            .get(v)
+            .unwrap_or_else(|| panic!("unknown loop variable or scalar {v}"))
+            as f64,
+        Expr::Element(ArrayRef { array, index }) => {
+            if let Some(values) = integers.get(array) {
+                let idx = eval_int(index, env, integers) - 1;
+                values[idx as usize] as f64
+            } else {
+                let state = reals
+                    .get(array)
+                    .unwrap_or_else(|| panic!("unknown array {array}"));
+                let g = (eval_int(index, env, integers) - 1) as usize;
+                let r = local_ref(hash, ttable, owned_len, my_rank, g);
+                state.data[r]
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let x = eval_real(a, env, integers, reals, ttable, hash, owned_len, my_rank);
+            let y = eval_real(b, env, integers, reals, ttable, hash, owned_len, my_rank);
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+            }
+        }
+    }
+}
+
+/// Evaluate a value expression whose distributed-array references must be owned directly
+/// (subscript = loop variable) — the append-loop case, where nothing has been gathered.
+fn eval_owned_value(
+    expr: &Expr,
+    env: &HashMap<String, i64>,
+    integers: &HashMap<String, Vec<i64>>,
+    reals: &HashMap<String, RealState>,
+    decomps: &HashMap<String, DecompState>,
+    my_rank: usize,
+) -> f64 {
+    match expr {
+        Expr::Int(n) => *n as f64,
+        Expr::Real(x) => *x,
+        Expr::Var(v) => *env
+            .get(v)
+            .unwrap_or_else(|| panic!("unknown loop variable or scalar {v}")) as f64,
+        Expr::Element(ArrayRef { array, index }) => {
+            if let Some(values) = integers.get(array) {
+                let idx = eval_int(index, env, integers) - 1;
+                values[idx as usize] as f64
+            } else {
+                let state = reals
+                    .get(array)
+                    .unwrap_or_else(|| panic!("unknown array {array}"));
+                let g = (eval_int(index, env, integers) - 1) as usize;
+                let loc = decomps[&state.decomp].ttable.lookup_local(g);
+                assert_eq!(
+                    loc.owner as usize, my_rank,
+                    "append-loop values must reference locally owned elements"
+                );
+                state.data.owned()[loc.offset as usize]
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let x = eval_owned_value(a, env, integers, reals, decomps, my_rank);
+            let y = eval_owned_value(b, env, integers, reals, decomps, my_rank);
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+            }
+        }
+    }
+}
+
+/// Reference-collection pass of the inspector: record every distributed-array element the
+/// body touches for the given iteration environment.
+fn collect_refs(
+    body: &[Stmt],
+    env: &HashMap<String, i64>,
+    integers: &HashMap<String, Vec<i64>>,
+    reals: &HashMap<String, RealState>,
+    out: &mut Vec<usize>,
+) {
+    for stmt in body {
+        match stmt {
+            Stmt::Forall { var, lo, hi, body } => {
+                let lo = eval_int(lo, env, integers);
+                let hi = eval_int(hi, env, integers);
+                for j in lo..=hi {
+                    let mut inner = env.clone();
+                    inner.insert(var.clone(), j);
+                    collect_refs(body, &inner, integers, reals, out);
+                }
+            }
+            Stmt::Reduce { target, value, .. } => {
+                collect_expr_refs(&Expr::Element(target.clone()), env, integers, reals, out);
+                collect_expr_refs(value, env, integers, reals, out);
+            }
+            Stmt::Assign { target, value } => {
+                collect_expr_refs(&Expr::Element(target.clone()), env, integers, reals, out);
+                collect_expr_refs(value, env, integers, reals, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_expr_refs(
+    expr: &Expr,
+    env: &HashMap<String, i64>,
+    integers: &HashMap<String, Vec<i64>>,
+    reals: &HashMap<String, RealState>,
+    out: &mut Vec<usize>,
+) {
+    match expr {
+        Expr::Element(ArrayRef { array, index }) => {
+            if reals.contains_key(array) {
+                out.push((eval_int(index, env, integers) - 1) as usize);
+            }
+            collect_expr_refs(index, env, integers, reals, out);
+        }
+        Expr::Binary(_, a, b) => {
+            collect_expr_refs(a, env, integers, reals, out);
+            collect_expr_refs(b, env, integers, reals, out);
+        }
+        _ => {}
+    }
+}
+
+/// Execute the body for one iteration; returns the number of reduce/assign statements
+/// evaluated (the work measure).
+#[allow(clippy::too_many_arguments)]
+fn exec_body(
+    body: &[Stmt],
+    env: &mut HashMap<String, i64>,
+    integers: &HashMap<String, Vec<i64>>,
+    reals: &mut HashMap<String, RealState>,
+    ttable: &TranslationTable,
+    hash: &IndexHashTable,
+    owned_len: usize,
+    my_rank: usize,
+) -> usize {
+    let mut work = 0usize;
+    for stmt in body {
+        match stmt {
+            Stmt::Forall { var, lo, hi, body } => {
+                let lo = eval_int(lo, env, integers);
+                let hi = eval_int(hi, env, integers);
+                for j in lo..=hi {
+                    env.insert(var.clone(), j);
+                    work += exec_body(body, env, integers, reals, ttable, hash, owned_len, my_rank);
+                }
+                env.remove(var);
+            }
+            Stmt::Reduce { op, target, value } => {
+                debug_assert_eq!(*op, ReduceOp::Sum, "append handled by run_append_loop");
+                let v = eval_real(value, env, integers, reals, ttable, hash, owned_len, my_rank);
+                let g = (eval_int(&target.index, env, integers) - 1) as usize;
+                let r = local_ref(hash, ttable, owned_len, my_rank, g);
+                let state = reals.get_mut(&target.array).expect("target array exists");
+                state.data[r] += v;
+                work += 1;
+            }
+            Stmt::Assign { target, value } => {
+                let v = eval_real(value, env, integers, reals, ttable, hash, owned_len, my_rank);
+                let g = (eval_int(&target.index, env, integers) - 1) as usize;
+                let loc = ttable.lookup_local(g);
+                debug_assert_eq!(
+                    loc.owner as usize, my_rank,
+                    "direct assignments must be to owned elements under owner-computes"
+                );
+                let state = reals.get_mut(&target.array).expect("target array exists");
+                state.data.owned_mut()[loc.offset as usize] = v;
+                work += 1;
+            }
+            _ => {}
+        }
+    }
+    work
+}
+
+fn find_append(body: &[Stmt]) -> Option<(ArrayRef, Expr)> {
+    for stmt in body {
+        match stmt {
+            Stmt::Reduce {
+                op: ReduceOp::Append,
+                target,
+                value,
+            } => return Some((target.clone(), value.clone())),
+            Stmt::Forall { body, .. } => {
+                if let Some(found) = find_append(body) {
+                    return Some(found);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use mpsim::{run, MachineConfig};
+
+    /// The Figure 1 loop: x(ia(i)) += y(ib(i)), checked against a sequential evaluation.
+    #[test]
+    fn figure1_loop_matches_sequential_evaluation() {
+        let n = 48;
+        let src = format!(
+            "REAL x({n}), y({n})\n\
+             INTEGER ia({n}), ib({n})\n\
+             C$ DECOMPOSITION reg({n})\n\
+             C$ DISTRIBUTE reg(BLOCK)\n\
+             C$ ALIGN x, y WITH reg\n\
+             FORALL i = 1, {n}\n\
+             REDUCE(SUM, x(ia(i)), y(ib(i)))\n\
+             END FORALL\n"
+        );
+        let ia: Vec<i64> = (0..n).map(|i| ((i * 7) % n + 1) as i64).collect();
+        let ib: Vec<i64> = (0..n).map(|i| ((i * 13 + 5) % n + 1) as i64).collect();
+        let x0: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y0: Vec<f64> = (0..n).map(|i| (i * i) as f64 * 0.5).collect();
+        // Sequential reference.
+        let mut expected = x0.clone();
+        for i in 0..n {
+            expected[(ia[i] - 1) as usize] += y0[(ib[i] - 1) as usize];
+        }
+
+        let out = run(MachineConfig::new(4), move |rank| {
+            let lowered = compile(&src).unwrap();
+            let mut exec = Executor::new(rank, &lowered);
+            exec.set_integer_array("IA", &ia);
+            exec.set_integer_array("IB", &ib);
+            exec.set_real_array("X", &x0);
+            exec.set_real_array("Y", &y0);
+            exec.run_all(rank);
+            exec.get_real_array(rank, "X")
+        });
+        for got in &out.results {
+            for (a, b) in got.iter().zip(&expected) {
+                assert!((a - b).abs() < 1e-9, "mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    /// The Figure 10 pattern: nested FORALL over a CSR non-bonded list with four
+    /// REDUCE(SUM) statements, plus an irregular redistribution through a map array.
+    #[test]
+    fn figure10_style_loop_with_irregular_distribution() {
+        let n = 30usize;
+        // CSR list: atom i interacts with (i+1) mod n and (i+5) mod n.
+        let mut inblo = Vec::with_capacity(n + 1);
+        let mut jnb: Vec<i64> = Vec::new();
+        inblo.push(1i64);
+        for i in 0..n {
+            jnb.push(((i + 1) % n + 1) as i64);
+            jnb.push(((i + 5) % n + 1) as i64);
+            inblo.push(1 + jnb.len() as i64);
+        }
+        let jnb_len = jnb.len();
+        let src = format!(
+            "REAL x({n}), dx({n})\n\
+             INTEGER map({n}), inblo({m}), jnb({k})\n\
+             C$ DECOMPOSITION reg({n})\n\
+             C$ DISTRIBUTE reg(BLOCK)\n\
+             C$ ALIGN x, dx WITH reg\n\
+             C$ DISTRIBUTE reg(map)\n\
+             FORALL i = 1, {n}\n\
+             FORALL j = inblo(i), inblo(i+1) - 1\n\
+             REDUCE(SUM, dx(jnb(j)), x(jnb(j)) - x(i))\n\
+             REDUCE(SUM, dx(i), x(i) - x(jnb(j)))\n\
+             END FORALL\n\
+             END FORALL\n",
+            n = n,
+            m = n + 1,
+            k = jnb_len
+        );
+        let map: Vec<i64> = (0..n).map(|g| ((g * 3 + 1) % 3) as i64).collect();
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 10.0).collect();
+        // Sequential reference.
+        let mut expected = vec![0.0f64; n];
+        for i in 0..n {
+            for j in (inblo[i] - 1)..(inblo[i + 1] - 1) {
+                let partner = (jnb[j as usize] - 1) as usize;
+                expected[partner] += x0[partner] - x0[i];
+                expected[i] += x0[i] - x0[partner];
+            }
+        }
+
+        let inblo2 = inblo.clone();
+        let jnb2 = jnb.clone();
+        let out = run(MachineConfig::new(3), move |rank| {
+            let lowered = compile(&src).unwrap();
+            let mut exec = Executor::new(rank, &lowered);
+            exec.set_integer_array("MAP", &map);
+            exec.set_integer_array("INBLO", &inblo2);
+            exec.set_integer_array("JNB", &jnb2);
+            exec.set_real_array("X", &x0);
+            exec.set_real_array("DX", &vec![0.0; n]);
+            exec.run_all(rank);
+            exec.get_real_array(rank, "DX")
+        });
+        for got in &out.results {
+            for (a, b) in got.iter().zip(&expected) {
+                assert!((a - b).abs() < 1e-9, "mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    /// The Figure 11 pattern: REDUCE(APPEND) moves particle values to their new cells
+    /// with a light-weight schedule; a second loop recomputes the per-cell counts.
+    #[test]
+    fn figure11_append_loop_routes_values_to_cells() {
+        let nparticles = 60usize;
+        let ncells = 12usize;
+        let src = format!(
+            "REAL vel({np}), newvel({nc})\n\
+             INTEGER icell({np})\n\
+             C$ DECOMPOSITION parts({np})\n\
+             C$ DECOMPOSITION cells({nc})\n\
+             C$ DISTRIBUTE parts(BLOCK)\n\
+             C$ DISTRIBUTE cells(BLOCK)\n\
+             C$ ALIGN vel WITH parts\n\
+             C$ ALIGN newvel WITH cells\n\
+             FORALL i = 1, {np}\n\
+             REDUCE(APPEND, newvel(icell(i)), vel(i))\n\
+             END FORALL\n",
+            np = nparticles,
+            nc = ncells
+        );
+        let icell: Vec<i64> = (0..nparticles).map(|i| ((i * 5) % ncells + 1) as i64).collect();
+        let vel: Vec<f64> = (0..nparticles).map(|i| i as f64 + 0.25).collect();
+        // Sequential reference: per-cell value multisets and counts.
+        let mut expected: Vec<Vec<u64>> = vec![Vec::new(); ncells];
+        for i in 0..nparticles {
+            expected[(icell[i] - 1) as usize].push(vel[i].to_bits());
+        }
+        for cell in &mut expected {
+            cell.sort_unstable();
+        }
+
+        let out = run(MachineConfig::new(4), move |rank| {
+            let lowered = compile(&src).unwrap();
+            let mut exec = Executor::new(rank, &lowered);
+            exec.set_integer_array("ICELL", &icell);
+            exec.set_real_array("VEL", &vel);
+            exec.run_all(rank);
+            let sizes = exec.bucket_sizes(rank, "NEWVEL");
+            (sizes, exec.local_buckets("NEWVEL"))
+        });
+        // Every rank agrees on the global sizes.
+        for (sizes, _) in &out.results {
+            for (c, s) in sizes.iter().enumerate() {
+                assert_eq!(*s, expected[c].len(), "cell {c} count mismatch");
+            }
+        }
+        // The union of local buckets matches the expected multisets.
+        let mut got: Vec<Vec<u64>> = vec![Vec::new(); ncells];
+        for (_, local) in &out.results {
+            for (cell, values) in local {
+                got[*cell].extend(values.iter().map(|v| v.to_bits()));
+            }
+        }
+        for cell in &mut got {
+            cell.sort_unstable();
+        }
+        assert_eq!(got, expected);
+    }
+
+    /// Schedule reuse: re-running a loop without touching its indirection arrays must not
+    /// rebuild the schedule; modifying one must.
+    #[test]
+    fn schedules_are_reused_until_an_indirection_array_changes() {
+        let n = 40usize;
+        let src = format!(
+            "REAL x({n}), y({n})\n\
+             INTEGER ia({n})\n\
+             C$ DECOMPOSITION reg({n})\n\
+             C$ DISTRIBUTE reg(BLOCK)\n\
+             C$ ALIGN x, y WITH reg\n\
+             FORALL i = 1, {n}\n\
+             REDUCE(SUM, x(ia(i)), y(ia(i)))\n\
+             END FORALL\n"
+        );
+        let out = run(MachineConfig::new(2), move |rank| {
+            let lowered = compile(&src).unwrap();
+            let loop_id = 0;
+            let mut exec = Executor::new(rank, &lowered);
+            let ia: Vec<i64> = (0..n).map(|i| ((i * 3) % n + 1) as i64).collect();
+            exec.set_integer_array("IA", &ia);
+            exec.set_real_array("X", &vec![0.0; n]);
+            exec.set_real_array("Y", &vec![1.0; n]);
+            // Run the loop four times: the first builds the schedule, the next two reuse
+            // it, then a modification forces a rebuild.
+            exec.run_loop(rank, loop_id);
+            exec.run_loop(rank, loop_id);
+            exec.run_loop(rank, loop_id);
+            let before = exec.schedule_stats(loop_id);
+            let mut ia2 = ia.clone();
+            ia2[0] = ((7 % n) + 1) as i64;
+            exec.set_integer_array("IA", &ia2);
+            exec.run_loop(rank, loop_id);
+            let after = exec.schedule_stats(loop_id);
+            (before, after, exec.phases().inspector.total_us() > 0.0)
+        });
+        for ((rebuilds0, reuses0), (rebuilds1, reuses1), inspector_nonzero) in &out.results {
+            assert_eq!(*rebuilds0, 1);
+            assert_eq!(*reuses0, 2);
+            assert_eq!(*rebuilds1, 2);
+            assert_eq!(*reuses1, 2);
+            assert!(inspector_nonzero);
+        }
+    }
+
+    #[test]
+    fn phases_accumulate_and_redistribution_counts_as_remap() {
+        let n = 24usize;
+        let src = format!(
+            "REAL x({n})\n\
+             INTEGER map({n})\n\
+             C$ DECOMPOSITION reg({n})\n\
+             C$ DISTRIBUTE reg(BLOCK)\n\
+             C$ ALIGN x WITH reg\n\
+             C$ DISTRIBUTE reg(map)\n"
+        );
+        let out = run(MachineConfig::new(3), move |rank| {
+            let lowered = compile(&src).unwrap();
+            let mut exec = Executor::new(rank, &lowered);
+            exec.set_integer_array("MAP", &(0..n).map(|g| (g % 3) as i64).collect::<Vec<_>>());
+            exec.set_real_array("X", &(0..n).map(|g| g as f64).collect::<Vec<_>>());
+            exec.run_all(rank);
+            let x = exec.get_real_array(rank, "X");
+            (exec.phases().remap.total_us(), x)
+        });
+        for (remap_us, x) in &out.results {
+            assert!(*remap_us > 0.0, "DISTRIBUTE should be billed as remap time");
+            // Values survive the two redistributions.
+            for (g, v) in x.iter().enumerate() {
+                assert_eq!(*v, g as f64);
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Tokenizer for the Fortran-D subset of Figures 7–11.
+//!
+//! The syntax is line-oriented Fortran: `C$` / `!$` directive prefixes are stripped, `C` /
+//! `!` comments are skipped, keywords are case-insensitive.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (upper-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of a source line (statements are line-delimited in Fortran).
+    Newline,
+}
+
+/// Tokenize a source string.  Returns an error naming the offending line and character.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    for (line_no, raw_line) in source.lines().enumerate() {
+        let mut line = raw_line.trim();
+        // Strip directive prefixes; skip pure comment lines.
+        if let Some(rest) = line.strip_prefix("C$").or_else(|| line.strip_prefix("c$")) {
+            line = rest.trim();
+        } else if let Some(rest) = line.strip_prefix("!$") {
+            line = rest.trim();
+        } else if line.starts_with('C') && line.len() > 1 && line.chars().nth(1) == Some(' ') {
+            continue; // classic Fortran comment card
+        } else if line.starts_with('!') || line == "C" || line == "c" {
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let mut chars = line.char_indices().peekable();
+        let start_len = tokens.len();
+        while let Some(&(i, c)) = chars.peek() {
+            match c {
+                ' ' | '\t' => {
+                    chars.next();
+                }
+                '(' => {
+                    tokens.push(Token::LParen);
+                    chars.next();
+                }
+                ')' => {
+                    tokens.push(Token::RParen);
+                    chars.next();
+                }
+                ',' => {
+                    tokens.push(Token::Comma);
+                    chars.next();
+                }
+                '=' => {
+                    tokens.push(Token::Equals);
+                    chars.next();
+                }
+                '+' => {
+                    tokens.push(Token::Plus);
+                    chars.next();
+                }
+                '-' => {
+                    tokens.push(Token::Minus);
+                    chars.next();
+                }
+                '*' => {
+                    tokens.push(Token::Star);
+                    chars.next();
+                }
+                '/' => {
+                    tokens.push(Token::Slash);
+                    chars.next();
+                }
+                '!' => break, // trailing comment
+                c if c.is_ascii_digit() || c == '.' => {
+                    let mut end = i;
+                    let mut saw_dot = false;
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_digit() || (d == '.' && !saw_dot) {
+                            saw_dot |= d == '.';
+                            end = j + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &line[i..end];
+                    if saw_dot {
+                        tokens.push(Token::Real(text.parse().map_err(|_| {
+                            format!("line {}: bad real literal '{text}'", line_no + 1)
+                        })?));
+                    } else {
+                        tokens.push(Token::Int(text.parse().map_err(|_| {
+                            format!("line {}: bad integer literal '{text}'", line_no + 1)
+                        })?));
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut end = i;
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            end = j + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token::Ident(line[i..end].to_ascii_uppercase()));
+                }
+                other => {
+                    return Err(format!(
+                        "line {}: unexpected character '{other}'",
+                        line_no + 1
+                    ))
+                }
+            }
+        }
+        if tokens.len() > start_len {
+            tokens.push(Token::Newline);
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_declarations_and_directives() {
+        let toks = tokenize("REAL x(100), y(100)\nC$ DISTRIBUTE reg(BLOCK)\n").unwrap();
+        assert_eq!(toks[0], Token::Ident("REAL".into()));
+        assert_eq!(toks[1], Token::Ident("X".into()));
+        assert_eq!(toks[2], Token::LParen);
+        assert_eq!(toks[3], Token::Int(100));
+        assert!(toks.contains(&Token::Ident("DISTRIBUTE".into())));
+        assert!(toks.contains(&Token::Ident("BLOCK".into())));
+        // Two logical lines → two newline markers.
+        assert_eq!(toks.iter().filter(|t| **t == Token::Newline).count(), 2);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let toks = tokenize("C this is a comment card\n\n! another comment\nREAL x(4)\n").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("REAL".into()),
+                Token::Ident("X".into()),
+                Token::LParen,
+                Token::Int(4),
+                Token::RParen,
+                Token::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let toks = tokenize("x(i) = x(i) + 2.5 * y(i) - 1\n").unwrap();
+        assert!(toks.contains(&Token::Real(2.5)));
+        assert!(toks.contains(&Token::Int(1)));
+        assert!(toks.contains(&Token::Plus));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Minus));
+    }
+
+    #[test]
+    fn case_is_folded_and_trailing_comments_dropped() {
+        let toks = tokenize("forall i = 1, n   ! outer loop\n").unwrap();
+        assert_eq!(toks[0], Token::Ident("FORALL".into()));
+        assert_eq!(toks[1], Token::Ident("I".into()));
+        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "OUTER")));
+    }
+
+    #[test]
+    fn rejects_unexpected_characters() {
+        assert!(tokenize("REAL x(10) @\n").is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! # fortrand — compile-time support for adaptive irregular problems
+//!
+//! Section 5 of the paper proposes Fortran D / HPF language extensions for adaptive
+//! irregular problems — irregular `DISTRIBUTE(map)` distributions, `FORALL` loops with
+//! `REDUCE(SUM, …)` reductions, and a new `REDUCE(APPEND, …)` intrinsic that tells the
+//! compiler a data movement is an unordered append so it can generate light-weight-schedule
+//! code — and evaluates a prototype implementation in the Syracuse Fortran 90D compiler.
+//!
+//! This crate is that prototype's analogue: a small front end for the language subset used
+//! in Figures 7–11, a lowering pass that turns each `FORALL` into an inspector/executor
+//! plan over the CHAOS runtime, and an SPMD interpreter that executes the lowered program
+//! on the [`mpsim`] machine — the moral equivalent of running the compiler-generated node
+//! program.  Tables 6 and 7 compare programs executed this way against the hand-written
+//! parallelisations in the `charmm` and `dsmc` crates.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//!  source text ── lexer ──> tokens ── parser ──> ast::Program
+//!       ── lower ──> lower::LoweredProgram (per-FORALL inspector/executor plans)
+//!       ── interp::Executor ──> runs on mpsim + chaos (SPMD)
+//! ```
+//!
+//! ## Simplifications relative to a full HPF compiler (documented in DESIGN.md)
+//!
+//! * arrays are one-dimensional (the paper's loop templates are expressible this way);
+//! * `INTEGER` arrays (indirection arrays, map arrays) are replicated on every processor,
+//!   as the Fortran 90D prototype replicated its maparrays;
+//! * the host program drives the outer time-step loop and tells the executor when an
+//!   indirection array has been modified (statement S of Figure 2); the executor then
+//!   regenerates schedules, otherwise it reuses them — the record-keeping described in
+//!   §5.3.1.
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{DistSpec, Program, ReduceOp};
+pub use interp::Executor;
+pub use lower::{LoopKind, LoweredProgram};
+
+/// Convenience: parse and lower a source program in one call.
+pub fn compile(source: &str) -> Result<LoweredProgram, String> {
+    let tokens = lexer::tokenize(source)?;
+    let program = parser::parse(&tokens)?;
+    lower::lower(&program)
+}

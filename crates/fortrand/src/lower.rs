@@ -1,0 +1,516 @@
+//! Lowering: turn the parsed program into per-loop inspector/executor plans.
+//!
+//! This is the compile-time half of §5.3: for every `FORALL` the compiler decides
+//!
+//! * whether the loop is a general irregular reduction loop (lowered to the
+//!   hash/schedule/gather/execute/scatter_add sequence) or a `REDUCE(APPEND, …)` data
+//!   movement (lowered to light-weight-schedule `scatter_append` calls);
+//! * which arrays must be gathered before the loop body runs and which reduction targets
+//!   must be scattered back afterwards;
+//! * which integer (indirection) arrays the loop's communication schedule depends on, so
+//!   the generated code can reuse the schedule until one of them is modified (§5.3.1).
+
+use std::collections::HashMap;
+
+use crate::ast::{ArrayRef, DistSpec, Expr, Program, ReduceOp, Stmt};
+
+/// What kind of code a `FORALL` lowers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopKind {
+    /// Inspector/executor irregular loop: gather, compute with local references,
+    /// scatter-add the reduction targets.
+    SumReduction,
+    /// Unordered append: light-weight schedule + `scatter_append` into per-element
+    /// buckets of the named target array.
+    AppendReduction {
+        /// The bucket array receiving appended values.
+        target: String,
+    },
+}
+
+/// The lowered form of one top-level `FORALL`.
+#[derive(Debug, Clone)]
+pub struct LoopPlan {
+    /// Index of this loop among the program's executable steps.
+    pub loop_id: usize,
+    /// Loop classification.
+    pub kind: LoopKind,
+    /// The original loop statement (the interpreter evaluates its body directly; a real
+    /// compiler would emit node code — the set of runtime calls is the same).
+    pub forall: Stmt,
+    /// Real arrays read inside the loop (must be gathered before execution).
+    pub gathered_arrays: Vec<String>,
+    /// Real arrays that are `REDUCE(SUM)` targets (scatter-added after execution).
+    pub sum_targets: Vec<String>,
+    /// Real arrays assigned directly (subscript = loop variable; always local writes).
+    pub assigned_arrays: Vec<String>,
+    /// Integer arrays appearing in subscripts or bounds: the loop's schedule is valid
+    /// until one of these is modified or the decomposition is redistributed.
+    pub indirection_arrays: Vec<String>,
+    /// The decomposition the loop's iterations are aligned with.
+    pub decomp: String,
+}
+
+/// One executable step of the lowered program, in source order.
+#[derive(Debug, Clone)]
+pub enum ExecStep {
+    /// Apply a `DISTRIBUTE` directive (possibly an irregular remap through a map array).
+    Distribute {
+        /// Decomposition being (re)distributed.
+        decomp: String,
+        /// New distribution.
+        spec: DistSpec,
+    },
+    /// Execute the `FORALL` with the given [`LoopPlan::loop_id`].
+    Loop(usize),
+}
+
+/// Everything the runtime needs to execute the program.
+#[derive(Debug, Clone)]
+pub struct LoweredProgram {
+    /// Real (distributed) arrays: name → (size, decomposition).
+    pub real_arrays: HashMap<String, (usize, String)>,
+    /// Integer (replicated) arrays: name → size.
+    pub integer_arrays: HashMap<String, usize>,
+    /// Decompositions: name → size.
+    pub decomps: HashMap<String, usize>,
+    /// Lowered loops, indexed by `loop_id`.
+    pub loops: Vec<LoopPlan>,
+    /// Executable steps in source order.
+    pub steps: Vec<ExecStep>,
+}
+
+impl LoweredProgram {
+    /// Find a loop plan by id.
+    pub fn loop_plan(&self, loop_id: usize) -> &LoopPlan {
+        &self.loops[loop_id]
+    }
+}
+
+/// Lower a parsed program.  Reports unsupported constructs as errors naming the construct.
+pub fn lower(program: &Program) -> Result<LoweredProgram, String> {
+    let mut real_arrays: HashMap<String, (usize, String)> = HashMap::new();
+    let mut integer_arrays: HashMap<String, usize> = HashMap::new();
+    let mut decomps: HashMap<String, usize> = HashMap::new();
+    let mut pending_reals: HashMap<String, usize> = HashMap::new();
+    let mut loops = Vec::new();
+    let mut steps = Vec::new();
+
+    for stmt in &program.stmts {
+        match stmt {
+            Stmt::RealDecl { arrays } => {
+                for (name, size) in arrays {
+                    pending_reals.insert(name.clone(), *size);
+                }
+            }
+            Stmt::IntegerDecl { arrays } => {
+                for (name, size) in arrays {
+                    integer_arrays.insert(name.clone(), *size);
+                }
+            }
+            Stmt::Decomposition { name, size } => {
+                decomps.insert(name.clone(), *size);
+            }
+            Stmt::Align { arrays, decomp } => {
+                let dsize = *decomps
+                    .get(decomp)
+                    .ok_or_else(|| format!("ALIGN references unknown decomposition {decomp}"))?;
+                for a in arrays {
+                    let size = pending_reals.get(a).copied().or_else(|| {
+                        real_arrays.get(a).map(|(s, _)| *s)
+                    });
+                    let size =
+                        size.ok_or_else(|| format!("ALIGN references undeclared array {a}"))?;
+                    if size != dsize {
+                        return Err(format!(
+                            "array {a} has {size} elements but decomposition {decomp} has {dsize}"
+                        ));
+                    }
+                    real_arrays.insert(a.clone(), (size, decomp.clone()));
+                }
+            }
+            Stmt::Distribute { decomp, spec } => {
+                if !decomps.contains_key(decomp) {
+                    return Err(format!("DISTRIBUTE references unknown decomposition {decomp}"));
+                }
+                if let DistSpec::Map(map) = spec {
+                    if !integer_arrays.contains_key(map) {
+                        return Err(format!(
+                            "DISTRIBUTE({map}) references an undeclared map array"
+                        ));
+                    }
+                }
+                steps.push(ExecStep::Distribute {
+                    decomp: decomp.clone(),
+                    spec: spec.clone(),
+                });
+            }
+            Stmt::Forall { .. } => {
+                let loop_id = loops.len();
+                let plan = lower_forall(
+                    loop_id,
+                    stmt,
+                    &real_arrays,
+                    &integer_arrays,
+                    &decomps,
+                )?;
+                loops.push(plan);
+                steps.push(ExecStep::Loop(loop_id));
+            }
+            Stmt::Reduce { .. } | Stmt::Assign { .. } => {
+                return Err("REDUCE/assignment statements are only supported inside FORALL".into())
+            }
+        }
+    }
+
+    Ok(LoweredProgram {
+        real_arrays,
+        integer_arrays,
+        decomps,
+        loops,
+        steps,
+    })
+}
+
+/// Classify one top-level FORALL and collect its array usage.
+fn lower_forall(
+    loop_id: usize,
+    forall: &Stmt,
+    real_arrays: &HashMap<String, (usize, String)>,
+    integer_arrays: &HashMap<String, usize>,
+    decomps: &HashMap<String, usize>,
+) -> Result<LoopPlan, String> {
+    let (lo, hi, body) = match forall {
+        Stmt::Forall { lo, hi, body, .. } => (lo, hi, body),
+        _ => unreachable!("lower_forall called on a non-FORALL statement"),
+    };
+
+    let mut usage = Usage::default();
+    collect_body(body, real_arrays, integer_arrays, &mut usage)?;
+
+    // Which decomposition do the iterations align with?  If the loop extent matches a
+    // referenced decomposition's size, iterate owner-computes over it; otherwise fall back
+    // to the decomposition of the first referenced distributed array.
+    let extent = const_extent(lo, hi);
+    let mut decomp: Option<String> = None;
+    if let Some(extent) = extent {
+        for (name, size) in decomps {
+            let referenced = usage
+                .all_real()
+                .iter()
+                .any(|a| real_arrays.get(a).map(|(_, d)| d == name).unwrap_or(false));
+            if *size == extent && referenced {
+                decomp = Some(name.clone());
+                break;
+            }
+        }
+    }
+    let decomp = decomp
+        .or_else(|| {
+            usage
+                .all_real()
+                .first()
+                .and_then(|a| real_arrays.get(a).map(|(_, d)| d.clone()))
+        })
+        .ok_or_else(|| format!("FORALL #{loop_id} references no distributed arrays"))?;
+
+    // Classification: exactly one APPEND → append loop; any APPEND mixed with SUM → error.
+    let kind = if usage.append_targets.is_empty() {
+        LoopKind::SumReduction
+    } else if usage.append_targets.len() == 1 && usage.sum_targets.is_empty() {
+        LoopKind::AppendReduction {
+            target: usage.append_targets[0].clone(),
+        }
+    } else {
+        return Err(format!(
+            "FORALL #{loop_id}: REDUCE(APPEND) cannot be mixed with other reductions"
+        ));
+    };
+
+    // An array that is both gathered and a SUM target would need a private contribution
+    // buffer; the subset forbids it (the paper's templates never need it).
+    for t in &usage.sum_targets {
+        if usage.gathered.contains(t) {
+            return Err(format!(
+                "FORALL #{loop_id}: array {t} is both read and a REDUCE(SUM) target; \
+                 not supported by this prototype"
+            ));
+        }
+    }
+
+    Ok(LoopPlan {
+        loop_id,
+        kind,
+        forall: forall.clone(),
+        gathered_arrays: usage.gathered,
+        sum_targets: usage.sum_targets,
+        assigned_arrays: usage.assigned,
+        indirection_arrays: usage.indirection,
+        decomp,
+    })
+}
+
+#[derive(Default)]
+struct Usage {
+    gathered: Vec<String>,
+    sum_targets: Vec<String>,
+    append_targets: Vec<String>,
+    assigned: Vec<String>,
+    indirection: Vec<String>,
+}
+
+impl Usage {
+    fn all_real(&self) -> Vec<String> {
+        let mut v = self.gathered.clone();
+        v.extend(self.sum_targets.clone());
+        v.extend(self.append_targets.clone());
+        v.extend(self.assigned.clone());
+        v
+    }
+}
+
+fn push_unique(v: &mut Vec<String>, name: &str) {
+    if !v.iter().any(|x| x == name) {
+        v.push(name.to_string());
+    }
+}
+
+fn collect_body(
+    body: &[Stmt],
+    real_arrays: &HashMap<String, (usize, String)>,
+    integer_arrays: &HashMap<String, usize>,
+    usage: &mut Usage,
+) -> Result<(), String> {
+    for stmt in body {
+        match stmt {
+            Stmt::Forall { lo, hi, body, .. } => {
+                collect_index_expr(lo, real_arrays, integer_arrays, usage)?;
+                collect_index_expr(hi, real_arrays, integer_arrays, usage)?;
+                collect_body(body, real_arrays, integer_arrays, usage)?;
+            }
+            Stmt::Reduce { op, target, value } => {
+                collect_index_expr(&target.index, real_arrays, integer_arrays, usage)?;
+                collect_value_expr(value, real_arrays, integer_arrays, usage)?;
+                match op {
+                    ReduceOp::Sum => {
+                        ensure_real(&target.array, real_arrays)?;
+                        push_unique(&mut usage.sum_targets, &target.array);
+                    }
+                    ReduceOp::Append => {
+                        ensure_real(&target.array, real_arrays)?;
+                        push_unique(&mut usage.append_targets, &target.array);
+                    }
+                }
+            }
+            Stmt::Assign { target, value } => {
+                ensure_real(&target.array, real_arrays)?;
+                if !matches!(target.index.as_ref(), Expr::Var(_)) {
+                    return Err(format!(
+                        "assignment to {}(non-loop-variable subscript) is not supported; \
+                         use REDUCE for indirect writes",
+                        target.array
+                    ));
+                }
+                push_unique(&mut usage.assigned, &target.array);
+                collect_value_expr(value, real_arrays, integer_arrays, usage)?;
+            }
+            other => {
+                return Err(format!(
+                    "statement {other:?} is not allowed inside a FORALL body"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn ensure_real(
+    name: &str,
+    real_arrays: &HashMap<String, (usize, String)>,
+) -> Result<(), String> {
+    if real_arrays.contains_key(name) {
+        Ok(())
+    } else {
+        Err(format!(
+            "array {name} is used like a distributed array but was never ALIGNed"
+        ))
+    }
+}
+
+/// Subscript/bound expressions may reference only integer arrays, loop variables and
+/// constants (this is what lets the inspector evaluate the access pattern without touching
+/// distributed data).
+fn collect_index_expr(
+    expr: &Expr,
+    real_arrays: &HashMap<String, (usize, String)>,
+    integer_arrays: &HashMap<String, usize>,
+    usage: &mut Usage,
+) -> Result<(), String> {
+    match expr {
+        Expr::Int(_) | Expr::Real(_) | Expr::Var(_) => Ok(()),
+        Expr::Element(ArrayRef { array, index }) => {
+            if real_arrays.contains_key(array) {
+                return Err(format!(
+                    "distributed array {array} cannot appear in a subscript or loop bound"
+                ));
+            }
+            if !integer_arrays.contains_key(array) {
+                return Err(format!("undeclared integer array {array} in subscript"));
+            }
+            push_unique(&mut usage.indirection, array);
+            collect_index_expr(index, real_arrays, integer_arrays, usage)
+        }
+        Expr::Binary(_, a, b) => {
+            collect_index_expr(a, real_arrays, integer_arrays, usage)?;
+            collect_index_expr(b, real_arrays, integer_arrays, usage)
+        }
+    }
+}
+
+/// Value expressions may read real arrays (gathered), integer arrays and loop variables.
+fn collect_value_expr(
+    expr: &Expr,
+    real_arrays: &HashMap<String, (usize, String)>,
+    integer_arrays: &HashMap<String, usize>,
+    usage: &mut Usage,
+) -> Result<(), String> {
+    match expr {
+        Expr::Int(_) | Expr::Real(_) | Expr::Var(_) => Ok(()),
+        Expr::Element(ArrayRef { array, index }) => {
+            if real_arrays.contains_key(array) {
+                push_unique(&mut usage.gathered, array);
+            } else if integer_arrays.contains_key(array) {
+                push_unique(&mut usage.indirection, array);
+            } else {
+                return Err(format!("undeclared array {array} in expression"));
+            }
+            collect_index_expr(index, real_arrays, integer_arrays, usage)
+        }
+        Expr::Binary(_, a, b) => {
+            collect_value_expr(a, real_arrays, integer_arrays, usage)?;
+            collect_value_expr(b, real_arrays, integer_arrays, usage)
+        }
+    }
+}
+
+/// The constant extent `hi - lo + 1` of a loop if both bounds are integer literals.
+fn const_extent(lo: &Expr, hi: &Expr) -> Option<usize> {
+    match (lo, hi) {
+        (Expr::Int(a), Expr::Int(b)) if b >= a => Some((b - a + 1) as usize),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> Result<LoweredProgram, String> {
+        lower(&parse(&tokenize(src).unwrap()).unwrap())
+    }
+
+    const FIG1_STYLE: &str = "REAL x(64), y(64)\n\
+         INTEGER ia(64), ib(64)\n\
+         C$ DECOMPOSITION reg(64)\n\
+         C$ DISTRIBUTE reg(BLOCK)\n\
+         C$ ALIGN x, y WITH reg\n\
+         FORALL i = 1, 64\n\
+         REDUCE(SUM, x(ia(i)), y(ib(i)))\n\
+         END FORALL\n";
+
+    #[test]
+    fn lowers_the_figure1_reduction_loop() {
+        let lowered = lower_src(FIG1_STYLE).unwrap();
+        assert_eq!(lowered.loops.len(), 1);
+        let plan = &lowered.loops[0];
+        assert_eq!(plan.kind, LoopKind::SumReduction);
+        assert_eq!(plan.gathered_arrays, vec!["Y".to_string()]);
+        assert_eq!(plan.sum_targets, vec!["X".to_string()]);
+        assert_eq!(plan.indirection_arrays, vec!["IA".to_string(), "IB".into()]);
+        assert_eq!(plan.decomp, "REG");
+        assert_eq!(lowered.steps.len(), 2); // DISTRIBUTE + loop
+    }
+
+    #[test]
+    fn lowers_append_loops_to_lightweight_movement() {
+        let lowered = lower_src(
+            "REAL vel(128), newvel(32)\n\
+             INTEGER icell(128)\n\
+             C$ DECOMPOSITION parts(128)\n\
+             C$ DECOMPOSITION cells(32)\n\
+             C$ DISTRIBUTE parts(BLOCK)\n\
+             C$ DISTRIBUTE cells(BLOCK)\n\
+             C$ ALIGN vel WITH parts\n\
+             C$ ALIGN newvel WITH cells\n\
+             FORALL i = 1, 128\n\
+             REDUCE(APPEND, newvel(icell(i)), vel(i))\n\
+             END FORALL\n",
+        )
+        .unwrap();
+        let plan = &lowered.loops[0];
+        assert_eq!(
+            plan.kind,
+            LoopKind::AppendReduction {
+                target: "NEWVEL".into()
+            }
+        );
+        assert_eq!(plan.gathered_arrays, vec!["VEL".to_string()]);
+        assert!(plan.sum_targets.is_empty());
+        assert_eq!(plan.decomp, "PARTS");
+    }
+
+    #[test]
+    fn irregular_distribute_is_recorded_as_a_step() {
+        let lowered = lower_src(
+            "REAL x(16)\n\
+             INTEGER map(16)\n\
+             C$ DECOMPOSITION reg(16)\n\
+             C$ DISTRIBUTE reg(BLOCK)\n\
+             C$ ALIGN x WITH reg\n\
+             C$ DISTRIBUTE reg(map)\n",
+        )
+        .unwrap();
+        assert_eq!(lowered.steps.len(), 2);
+        assert!(matches!(
+            &lowered.steps[1],
+            ExecStep::Distribute {
+                spec: DistSpec::Map(m),
+                ..
+            } if m == "MAP"
+        ));
+    }
+
+    #[test]
+    fn rejects_unsupported_shapes() {
+        // Real array in a subscript.
+        let err = lower_src(
+            "REAL x(8), y(8)\nC$ DECOMPOSITION reg(8)\nC$ DISTRIBUTE reg(BLOCK)\nC$ ALIGN x, y WITH reg\n\
+             FORALL i = 1, 8\nREDUCE(SUM, x(y(i)), 1.0)\nEND FORALL\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("subscript"), "{err}");
+        // Array that is both read and SUM target.
+        let err = lower_src(
+            "REAL x(8)\nINTEGER ia(8)\nC$ DECOMPOSITION reg(8)\nC$ DISTRIBUTE reg(BLOCK)\nC$ ALIGN x WITH reg\n\
+             FORALL i = 1, 8\nREDUCE(SUM, x(ia(i)), x(i))\nEND FORALL\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("both read"), "{err}");
+        // Align to an unknown decomposition.
+        let err = lower_src("REAL x(8)\nC$ ALIGN x WITH reg\n").unwrap_err();
+        assert!(err.contains("unknown decomposition"), "{err}");
+        // Size mismatch.
+        let err =
+            lower_src("REAL x(9)\nC$ DECOMPOSITION reg(8)\nC$ ALIGN x WITH reg\n").unwrap_err();
+        assert!(err.contains("elements"), "{err}");
+    }
+
+    #[test]
+    fn compile_convenience_wrapper_works() {
+        let lowered = crate::compile(FIG1_STYLE).unwrap();
+        assert_eq!(lowered.loops.len(), 1);
+        assert!(crate::compile("FORALL i = 1, 4\n").is_err());
+    }
+}

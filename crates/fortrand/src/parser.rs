@@ -1,0 +1,410 @@
+//! Recursive-descent parser for the Fortran-D subset.
+
+use crate::ast::{ArrayRef, BinOp, DistSpec, Expr, Program, ReduceOp, Stmt};
+use crate::lexer::Token;
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(tokens: &[Token]) -> Result<Program, String> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        p.skip_newlines();
+        if p.at_end() {
+            break;
+        }
+        stmts.push(p.statement()?);
+    }
+    Ok(Program { stmts })
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Some(Token::Newline)) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), String> {
+        match self.next() {
+            Some(t) if t == expected => Ok(()),
+            other => Err(format!("expected {expected:?}, found {other:?}")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn expect_usize(&mut self) -> Result<usize, String> {
+        match self.next() {
+            Some(Token::Int(n)) if *n >= 0 => Ok(*n as usize),
+            other => Err(format!("expected a non-negative integer, found {other:?}")),
+        }
+    }
+
+    fn end_of_statement(&mut self) -> Result<(), String> {
+        match self.next() {
+            None | Some(Token::Newline) => Ok(()),
+            other => Err(format!("expected end of statement, found {other:?}")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, String> {
+        let keyword = self.expect_ident()?;
+        match keyword.as_str() {
+            "REAL" => self.decl(true),
+            "INTEGER" => self.decl(false),
+            "DECOMPOSITION" => {
+                let name = self.expect_ident()?;
+                self.expect(&Token::LParen)?;
+                let size = self.expect_usize()?;
+                self.expect(&Token::RParen)?;
+                self.end_of_statement()?;
+                Ok(Stmt::Decomposition { name, size })
+            }
+            "DISTRIBUTE" => {
+                let decomp = self.expect_ident()?;
+                self.expect(&Token::LParen)?;
+                let which = self.expect_ident()?;
+                self.expect(&Token::RParen)?;
+                self.end_of_statement()?;
+                let spec = match which.as_str() {
+                    "BLOCK" => DistSpec::Block,
+                    "CYCLIC" => DistSpec::Cyclic,
+                    map => DistSpec::Map(map.to_string()),
+                };
+                Ok(Stmt::Distribute { decomp, spec })
+            }
+            "ALIGN" => {
+                let mut arrays = vec![self.expect_ident()?];
+                while matches!(self.peek(), Some(Token::Comma)) {
+                    self.next();
+                    arrays.push(self.expect_ident()?);
+                }
+                let with = self.expect_ident()?;
+                if with != "WITH" {
+                    return Err(format!("expected WITH in ALIGN, found {with}"));
+                }
+                let decomp = self.expect_ident()?;
+                self.end_of_statement()?;
+                Ok(Stmt::Align { arrays, decomp })
+            }
+            "FORALL" => self.forall(),
+            "REDUCE" => {
+                let stmt = self.reduce()?;
+                self.end_of_statement()?;
+                Ok(stmt)
+            }
+            ident => {
+                // Plain assignment: ident(expr) = expr
+                self.expect(&Token::LParen)?;
+                let index = self.expr()?;
+                self.expect(&Token::RParen)?;
+                self.expect(&Token::Equals)?;
+                let value = self.expr()?;
+                self.end_of_statement()?;
+                Ok(Stmt::Assign {
+                    target: ArrayRef {
+                        array: ident.to_string(),
+                        index: Box::new(index),
+                    },
+                    value,
+                })
+            }
+        }
+    }
+
+    fn decl(&mut self, real: bool) -> Result<Stmt, String> {
+        let mut arrays = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            self.expect(&Token::LParen)?;
+            let size = self.expect_usize()?;
+            self.expect(&Token::RParen)?;
+            arrays.push((name, size));
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+        self.end_of_statement()?;
+        Ok(if real {
+            Stmt::RealDecl { arrays }
+        } else {
+            Stmt::IntegerDecl { arrays }
+        })
+    }
+
+    fn forall(&mut self) -> Result<Stmt, String> {
+        let var = self.expect_ident()?;
+        self.expect(&Token::Equals)?;
+        let lo = self.expr()?;
+        self.expect(&Token::Comma)?;
+        let hi = self.expr()?;
+        self.end_of_statement()?;
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Some(Token::Ident(s)) if s == "END" || s == "ENDFORALL" => {
+                    let s = s.clone();
+                    self.next();
+                    if s == "END" {
+                        // Optional FORALL / DO after END.
+                        if matches!(self.peek(), Some(Token::Ident(k)) if k == "FORALL" || k == "DO")
+                        {
+                            self.next();
+                        }
+                    }
+                    self.end_of_statement()?;
+                    break;
+                }
+                None => return Err("FORALL without END FORALL".to_string()),
+                _ => body.push(self.statement()?),
+            }
+        }
+        Ok(Stmt::Forall { var, lo, hi, body })
+    }
+
+    fn reduce(&mut self) -> Result<Stmt, String> {
+        self.expect(&Token::LParen)?;
+        let op_name = self.expect_ident()?;
+        let op = match op_name.as_str() {
+            "SUM" => ReduceOp::Sum,
+            "APPEND" => ReduceOp::Append,
+            other => return Err(format!("unsupported reduction operation {other}")),
+        };
+        self.expect(&Token::Comma)?;
+        let target_name = self.expect_ident()?;
+        self.expect(&Token::LParen)?;
+        let target_index = self.expr()?;
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::Comma)?;
+        let value = self.expr()?;
+        self.expect(&Token::RParen)?;
+        Ok(Stmt::Reduce {
+            op,
+            target: ArrayRef {
+                array: target_name,
+                index: Box::new(target_index),
+            },
+            value,
+        })
+    }
+
+    /// expr := term (('+' | '-') term)*
+    fn expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.term()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// term := factor (('*' | '/') factor)*
+    fn term(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.factor()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// factor := number | ident | ident '(' expr ')' | '(' expr ')' | '-' factor
+    fn factor(&mut self) -> Result<Expr, String> {
+        match self.next().cloned() {
+            Some(Token::Int(n)) => Ok(Expr::Int(n)),
+            Some(Token::Real(x)) => Ok(Expr::Real(x)),
+            Some(Token::Minus) => {
+                let inner = self.factor()?;
+                Ok(Expr::Binary(
+                    BinOp::Sub,
+                    Box::new(Expr::Int(0)),
+                    Box::new(inner),
+                ))
+            }
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    self.next();
+                    let index = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Element(ArrayRef {
+                        array: name,
+                        index: Box::new(index),
+                    }))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(format!("unexpected token in expression: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&tokenize(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_figure7_style_directives() {
+        let program = parse_src(
+            "REAL x(100), y(100)\n\
+             INTEGER map(100)\n\
+             C$ DECOMPOSITION reg(100)\n\
+             C$ DISTRIBUTE reg(BLOCK)\n\
+             C$ ALIGN x, y WITH reg\n\
+             C$ DISTRIBUTE reg(map)\n",
+        );
+        assert_eq!(program.stmts.len(), 6);
+        assert_eq!(
+            program.stmts[3],
+            Stmt::Distribute {
+                decomp: "REG".into(),
+                spec: DistSpec::Block
+            }
+        );
+        assert_eq!(
+            program.stmts[5],
+            Stmt::Distribute {
+                decomp: "REG".into(),
+                spec: DistSpec::Map("MAP".into())
+            }
+        );
+        match &program.stmts[4] {
+            Stmt::Align { arrays, decomp } => {
+                assert_eq!(arrays, &vec!["X".to_string(), "Y".into()]);
+                assert_eq!(decomp, "REG");
+            }
+            other => panic!("expected ALIGN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_reduction_forall() {
+        let program = parse_src(
+            "FORALL i = 1, 50\n\
+             REDUCE(SUM, x(ia(i)), y(ib(i)) * 2.0)\n\
+             END FORALL\n",
+        );
+        match &program.stmts[0] {
+            Stmt::Forall { var, body, .. } => {
+                assert_eq!(var, "I");
+                assert_eq!(body.len(), 1);
+                match &body[0] {
+                    Stmt::Reduce { op, target, .. } => {
+                        assert_eq!(*op, ReduceOp::Sum);
+                        assert_eq!(target.array, "X");
+                    }
+                    other => panic!("expected REDUCE, got {other:?}"),
+                }
+            }
+            other => panic!("expected FORALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_forall_with_array_bounds() {
+        let program = parse_src(
+            "FORALL i = 1, 10\n\
+             FORALL j = inblo(i), inblo(i+1) - 1\n\
+             REDUCE(SUM, dx(jnb(j)), x(jnb(j)) - x(i))\n\
+             END FORALL\n\
+             END FORALL\n",
+        );
+        match &program.stmts[0] {
+            Stmt::Forall { body, .. } => match &body[0] {
+                Stmt::Forall { lo, hi, body, .. } => {
+                    assert!(matches!(lo, Expr::Element(_)));
+                    assert!(matches!(hi, Expr::Binary(BinOp::Sub, _, _)));
+                    assert_eq!(body.len(), 1);
+                }
+                other => panic!("expected inner FORALL, got {other:?}"),
+            },
+            other => panic!("expected FORALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_append_and_assignment() {
+        let program = parse_src(
+            "FORALL j = 1, 64\n\
+             new_size(j) = 0\n\
+             REDUCE(APPEND, newvel(icell(j)), vel(j))\n\
+             END FORALL\n",
+        );
+        match &program.stmts[0] {
+            Stmt::Forall { body, .. } => {
+                assert!(matches!(body[0], Stmt::Assign { .. }));
+                assert!(matches!(
+                    body[1],
+                    Stmt::Reduce {
+                        op: ReduceOp::Append,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected FORALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_errors_with_context() {
+        let err = parse(&tokenize("DECOMPOSITION reg\n").unwrap()).unwrap_err();
+        assert!(err.contains("expected"), "unhelpful error: {err}");
+        let err = parse(&tokenize("FORALL i = 1, 10\nREDUCE(SUM, x(i), y(i))\n").unwrap())
+            .unwrap_err();
+        assert!(err.contains("END"), "unhelpful error: {err}");
+        let err =
+            parse(&tokenize("FORALL i = 1, 10\nREDUCE(MAX, x(i), y(i))\nEND FORALL\n").unwrap())
+                .unwrap_err();
+        assert!(err.contains("unsupported reduction"), "unhelpful error: {err}");
+    }
+}

@@ -1,0 +1,130 @@
+//! A reusable sense-reversing barrier shared by all ranks of one machine.
+
+use parking_lot::{Condvar, Mutex};
+
+struct BarrierState {
+    count: usize,
+    sense: bool,
+}
+
+/// Sense-reversing barrier.  All `nprocs` ranks must call [`Barrier::wait`] before any of
+/// them returns; the barrier is immediately reusable for the next episode.
+pub struct Barrier {
+    nprocs: usize,
+    state: Mutex<BarrierState>,
+    condvar: Condvar,
+}
+
+impl Barrier {
+    /// Create a barrier for `nprocs` participants.
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs > 0, "a barrier needs at least one participant");
+        Self {
+            nprocs,
+            state: Mutex::new(BarrierState {
+                count: 0,
+                sense: false,
+            }),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Block until all participants have arrived.  Returns `true` on exactly one rank per
+    /// episode (the last arriver), mirroring `std::sync::Barrier`'s leader election.
+    pub fn wait(&self) -> bool {
+        let mut state = self.state.lock();
+        let my_sense = !state.sense;
+        state.count += 1;
+        if state.count == self.nprocs {
+            state.count = 0;
+            state.sense = my_sense;
+            self.condvar.notify_all();
+            true
+        } else {
+            while state.sense != my_sense {
+                self.condvar.wait(&mut state);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = Barrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn all_threads_cross_each_episode_together() {
+        let nprocs = 8;
+        let episodes = 50;
+        let barrier = Arc::new(Barrier::new(nprocs));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..nprocs)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for episode in 0..episodes {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        // After the barrier, every rank must observe all arrivals of this
+                        // episode (and none of the next, which has not started yet for us).
+                        let seen = counter.load(Ordering::SeqCst);
+                        assert!(seen >= (episode + 1) * nprocs);
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), nprocs * episodes);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_episode() {
+        let nprocs = 6;
+        let barrier = Arc::new(Barrier::new(nprocs));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..nprocs)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let leaders = Arc::clone(&leaders);
+                thread::spawn(move || {
+                    for _ in 0..20 {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = Barrier::new(0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Collective operations built on top of tagged point-to-point messaging.
+//!
+//! The CHAOS runtime needs only a handful of collectives: all-to-all (schedule and
+//! translation-table construction), all-gather (replicated translation tables,
+//! partitioner coordination), reductions (load statistics, convergence checks), broadcast,
+//! and a sparse "exchange" in which every rank sends a possibly-empty buffer to a subset of
+//! ranks.  All of them are implemented with straightforward message patterns; their cost is
+//! whatever the constituent messages cost under the machine's [`crate::cost::CostModel`],
+//! plus one synchronisation charge for the reductions that are semantically barriers.
+
+use crate::machine::Rank;
+use crate::message::Element;
+
+/// Tags reserved for collectives.  User code should use tags below `RESERVED_TAG_BASE`.
+pub const RESERVED_TAG_BASE: u64 = 1 << 60;
+
+const TAG_ALL_GATHER: u64 = RESERVED_TAG_BASE + 1;
+const TAG_ALL_TO_ALL: u64 = RESERVED_TAG_BASE + 2;
+const TAG_REDUCE: u64 = RESERVED_TAG_BASE + 3;
+const TAG_BCAST: u64 = RESERVED_TAG_BASE + 4;
+const TAG_EXCHANGE_DATA: u64 = RESERVED_TAG_BASE + 6;
+const TAG_GATHER_ROOT: u64 = RESERVED_TAG_BASE + 7;
+
+impl Rank {
+    /// Every rank contributes a slice; every rank receives all contributions, indexed by
+    /// contributing rank.
+    pub fn all_gather<T: Element>(&mut self, local: &[T]) -> Vec<Vec<T>> {
+        let me = self.rank();
+        let n = self.nprocs();
+        for p in 0..n {
+            if p != me {
+                self.send_slice(p, TAG_ALL_GATHER, local);
+            }
+        }
+        let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        out[me] = local.to_vec();
+        for p in 0..n {
+            if p != me {
+                out[p] = self.recv_vec(p, TAG_ALL_GATHER);
+            }
+        }
+        out
+    }
+
+    /// Every rank contributes a single value; every rank receives the vector of all
+    /// contributions indexed by rank.
+    pub fn all_gather_one<T: Element>(&mut self, value: T) -> Vec<T> {
+        self.all_gather(&[value])
+            .into_iter()
+            .map(|mut v| {
+                debug_assert_eq!(v.len(), 1);
+                v.pop().expect("all_gather_one contribution missing")
+            })
+            .collect()
+    }
+
+    /// Personalised all-to-all: `sends[p]` is delivered to rank `p`; the return value's
+    /// entry `q` is what rank `q` sent to this rank.
+    ///
+    /// # Panics
+    /// Panics if `sends.len() != nprocs`.
+    pub fn all_to_all<T: Element>(&mut self, sends: &[Vec<T>]) -> Vec<Vec<T>> {
+        let me = self.rank();
+        let n = self.nprocs();
+        assert_eq!(
+            sends.len(),
+            n,
+            "all_to_all needs exactly one send buffer per rank"
+        );
+        for p in 0..n {
+            if p != me {
+                self.send_slice(p, TAG_ALL_TO_ALL, &sends[p]);
+            }
+        }
+        let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        out[me] = sends[me].clone();
+        for p in 0..n {
+            if p != me {
+                out[p] = self.recv_vec(p, TAG_ALL_TO_ALL);
+            }
+        }
+        out
+    }
+
+    /// Sparse exchange: send `data` to each `(destination, data)` pair, where most ranks
+    /// are typically *not* destinations.  `expected_sources` lists the ranks this rank will
+    /// receive from (with the element count it will receive, which may be zero and is then
+    /// skipped).  Returns `(source, values)` pairs in `expected_sources` order.
+    ///
+    /// This is the message pattern of the CHAOS executor once a communication schedule is
+    /// known: both sides of every transfer are pre-computed, so no size negotiation
+    /// messages are needed.
+    pub fn exchange<T: Element>(
+        &mut self,
+        sends: &[(usize, Vec<T>)],
+        expected_sources: &[(usize, usize)],
+    ) -> Vec<(usize, Vec<T>)> {
+        for (dest, data) in sends {
+            if *dest == self.rank() {
+                continue; // local portion handled by the caller
+            }
+            if !data.is_empty() {
+                self.send_slice(*dest, TAG_EXCHANGE_DATA, data);
+            }
+        }
+        let mut received = Vec::new();
+        for &(src, count) in expected_sources {
+            if src == self.rank() || count == 0 {
+                continue;
+            }
+            let values: Vec<T> = self.recv_vec(src, TAG_EXCHANGE_DATA);
+            debug_assert_eq!(
+                values.len(),
+                count,
+                "exchange: rank {} expected {count} elements from {src}, got {}",
+                self.rank(),
+                values.len()
+            );
+            received.push((src, values));
+        }
+        received
+    }
+
+    /// All-reduce with an arbitrary associative combiner.  Every rank receives the
+    /// reduction of all contributions.  Contributions are combined in rank order, so the
+    /// result is deterministic even for non-associative floating-point addition.
+    pub fn all_reduce<T, F>(&mut self, value: T, combine: F) -> T
+    where
+        T: Element,
+        F: Fn(T, T) -> T,
+    {
+        let me = self.rank();
+        let n = self.nprocs();
+        self.charge_collective();
+        for p in 0..n {
+            if p != me {
+                self.send_slice(p, TAG_REDUCE, &[value]);
+            }
+        }
+        let mut acc: Option<T> = None;
+        for p in 0..n {
+            let v = if p == me {
+                value
+            } else {
+                let got: Vec<T> = self.recv_vec(p, TAG_REDUCE);
+                got[0]
+            };
+            acc = Some(match acc {
+                None => v,
+                Some(a) => combine(a, v),
+            });
+        }
+        acc.expect("all_reduce over at least one rank")
+    }
+
+    /// Sum-reduction of a single `f64` across all ranks.
+    pub fn all_reduce_sum(&mut self, value: f64) -> f64 {
+        self.all_reduce(value, |a, b| a + b)
+    }
+
+    /// Max-reduction of a single `f64` across all ranks.
+    pub fn all_reduce_max(&mut self, value: f64) -> f64 {
+        self.all_reduce(value, f64::max)
+    }
+
+    /// Min-reduction of a single `f64` across all ranks.
+    pub fn all_reduce_min(&mut self, value: f64) -> f64 {
+        self.all_reduce(value, f64::min)
+    }
+
+    /// Sum-reduction of a `usize` across all ranks.
+    pub fn all_reduce_sum_usize(&mut self, value: usize) -> usize {
+        self.all_reduce(value, |a, b| a + b)
+    }
+
+    /// Element-wise sum-reduction of equal-length vectors across all ranks.
+    pub fn all_reduce_sum_vec(&mut self, values: &[f64]) -> Vec<f64> {
+        let gathered = self.all_gather(values);
+        let mut acc = vec![0.0; values.len()];
+        for contribution in gathered {
+            assert_eq!(
+                contribution.len(),
+                acc.len(),
+                "all_reduce_sum_vec requires equal-length contributions"
+            );
+            for (a, v) in acc.iter_mut().zip(contribution) {
+                *a += v;
+            }
+        }
+        acc
+    }
+
+    /// Broadcast `value` from `root` to every rank; returns the broadcast values.
+    pub fn broadcast<T: Element>(&mut self, root: usize, values: &[T]) -> Vec<T> {
+        let me = self.rank();
+        let n = self.nprocs();
+        if me == root {
+            for p in 0..n {
+                if p != me {
+                    self.send_slice(p, TAG_BCAST, values);
+                }
+            }
+            values.to_vec()
+        } else {
+            self.recv_vec(root, TAG_BCAST)
+        }
+    }
+
+    /// Gather each rank's slice at `root`.  Non-root ranks receive an empty vector.
+    pub fn gather_to_root<T: Element>(&mut self, root: usize, local: &[T]) -> Vec<Vec<T>> {
+        let me = self.rank();
+        let n = self.nprocs();
+        if me == root {
+            let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+            out[me] = local.to_vec();
+            for p in 0..n {
+                if p != me {
+                    out[p] = self.recv_vec(p, TAG_GATHER_ROOT);
+                }
+            }
+            out
+        } else {
+            self.send_slice(root, TAG_GATHER_ROOT, local);
+            Vec::new()
+        }
+    }
+
+    /// Exclusive prefix sum over one `usize` per rank: rank `i` receives the sum of the
+    /// values contributed by ranks `0..i`.  Used to assign globally unique index ranges.
+    pub fn exclusive_scan_sum(&mut self, value: usize) -> usize {
+        let all = self.all_gather_one(value);
+        all[..self.rank()].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::topology::MachineConfig;
+    use crate::{run, CostModel};
+
+    #[test]
+    fn all_gather_collects_every_contribution() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let mine = vec![rank.rank() as u32; rank.rank() + 1];
+            rank.all_gather(&mine)
+        });
+        for per_rank in &out.results {
+            for (p, v) in per_rank.iter().enumerate() {
+                assert_eq!(v.len(), p + 1);
+                assert!(v.iter().all(|&x| x == p as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes() {
+        let out = run(MachineConfig::new(3), |rank| {
+            let me = rank.rank();
+            let sends: Vec<Vec<u64>> = (0..3).map(|p| vec![(me * 10 + p) as u64]).collect();
+            rank.all_to_all(&sends)
+        });
+        for (me, recvd) in out.results.iter().enumerate() {
+            for (p, v) in recvd.iter().enumerate() {
+                assert_eq!(v, &vec![(p * 10 + me) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_agree_on_every_rank() {
+        let out = run(MachineConfig::new(6), |rank| {
+            let x = (rank.rank() + 1) as f64;
+            (
+                rank.all_reduce_sum(x),
+                rank.all_reduce_max(x),
+                rank.all_reduce_min(x),
+                rank.all_reduce_sum_usize(rank.rank()),
+            )
+        });
+        for (sum, max, min, usum) in &out.results {
+            assert_eq!(*sum, 21.0);
+            assert_eq!(*max, 6.0);
+            assert_eq!(*min, 1.0);
+            assert_eq!(*usum, 15);
+        }
+    }
+
+    #[test]
+    fn vector_reduction_sums_elementwise() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let v = vec![rank.rank() as f64, 1.0];
+            rank.all_reduce_sum_vec(&v)
+        });
+        for r in &out.results {
+            assert_eq!(r, &vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_ranks() {
+        let out = run(MachineConfig::new(5), |rank| rank.broadcast(2, &[7u64, 8u64]));
+        for r in &out.results {
+            assert_eq!(r, &vec![7u64, 8u64]);
+        }
+    }
+
+    #[test]
+    fn gather_to_root_only_fills_root() {
+        let out = run(MachineConfig::new(4), |rank| {
+            rank.gather_to_root(1, &[rank.rank() as u32])
+        });
+        assert!(out.results[0].is_empty());
+        assert_eq!(out.results[1].len(), 4);
+        for (p, v) in out.results[1].iter().enumerate() {
+            assert_eq!(v, &vec![p as u32]);
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_assigns_disjoint_ranges() {
+        let out = run(MachineConfig::new(5), |rank| {
+            let count = rank.rank() + 2;
+            (rank.exclusive_scan_sum(count), count)
+        });
+        let mut expected_start = 0;
+        for (start, count) in &out.results {
+            assert_eq!(*start, expected_start);
+            expected_start += count;
+        }
+    }
+
+    #[test]
+    fn exchange_moves_only_listed_pairs() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let me = rank.rank();
+            // Everyone sends a buffer of `me` repeated (me+1) times to rank (me+1)%4.
+            let dest = (me + 1) % 4;
+            let src = (me + 3) % 4;
+            let sends = vec![(dest, vec![me as u32; me + 1])];
+            let expected = vec![(src, src + 1)];
+            rank.exchange(&sends, &expected)
+        });
+        for (me, recvd) in out.results.iter().enumerate() {
+            let src = (me + 3) % 4;
+            assert_eq!(recvd.len(), 1);
+            assert_eq!(recvd[0].0, src);
+            assert_eq!(recvd[0].1, vec![src as u32; src + 1]);
+        }
+    }
+
+    #[test]
+    fn exchange_skips_empty_transfers() {
+        let cfg = MachineConfig::new(2).with_cost(CostModel::uniform(100.0, 0.0, 0.0));
+        let out = run(cfg, |rank| {
+            // No data moves at all: no messages should be charged.
+            let r: Vec<(usize, Vec<f64>)> = rank.exchange(&[], &[]);
+            (r.len(), rank.stats().msgs_sent)
+        });
+        for (n, sent) in &out.results {
+            assert_eq!(*n, 0);
+            assert_eq!(*sent, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_reduction_order() {
+        // Summation order is rank order, so repeated runs give bit-identical results.
+        let a = run(MachineConfig::new(7), |rank| {
+            rank.all_reduce_sum(0.1 * (rank.rank() as f64 + 1.0))
+        });
+        let b = run(MachineConfig::new(7), |rank| {
+            rank.all_reduce_sum(0.1 * (rank.rank() as f64 + 1.0))
+        });
+        assert_eq!(a.results, b.results);
+    }
+}

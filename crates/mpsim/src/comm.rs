@@ -1,0 +1,182 @@
+//! Point-to-point communication endpoints.
+//!
+//! Each rank owns a [`Mailbox`]: one unbounded incoming channel plus a sender handle to
+//! every other rank's channel.  Receives are *selective* — a receive for `(from, tag)`
+//! stashes any other message that arrives first and delivers it later — which gives the
+//! deterministic, MPI-like matching semantics the CHAOS executor relies on.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::message::Envelope;
+
+/// The per-rank communication endpoint.
+pub struct Mailbox {
+    rank: usize,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    /// Messages that arrived but have not yet been asked for.
+    pending: Vec<Envelope>,
+}
+
+impl Mailbox {
+    /// Create the fully connected set of mailboxes for `nprocs` ranks.
+    pub fn create_all(nprocs: usize) -> Vec<Mailbox> {
+        let mut senders = Vec::with_capacity(nprocs);
+        let mut receivers = Vec::with_capacity(nprocs);
+        for _ in 0..nprocs {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Mailbox {
+                rank,
+                senders: senders.clone(),
+                receiver,
+                pending: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// The rank that owns this mailbox.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Send `payload` to rank `to` with the given `tag`.
+    ///
+    /// Sends are buffered and never block.  Sending to oneself is allowed (the message is
+    /// delivered through the same matching path as any other).
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or the destination rank has already shut down.
+    pub fn send(&self, to: usize, tag: u64, payload: Vec<u8>) {
+        assert!(
+            to < self.senders.len(),
+            "send to rank {to} but machine has {} ranks",
+            self.senders.len()
+        );
+        self.senders[to]
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                payload,
+            })
+            .expect("destination rank has terminated");
+    }
+
+    /// Blocking receive of the next message from `from` with tag `tag`.
+    ///
+    /// Messages from other ranks or with other tags are stashed and delivered to later
+    /// matching receives in arrival order.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Envelope {
+        if let Some(idx) = self
+            .pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
+            return self.pending.remove(idx);
+        }
+        loop {
+            let msg = self
+                .receiver
+                .recv()
+                .expect("all senders dropped while a receive was outstanding");
+            if msg.from == from && msg.tag == tag {
+                return msg;
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    /// Blocking receive of the next message carrying tag `tag` from *any* rank.
+    pub fn recv_any(&mut self, tag: u64) -> Envelope {
+        if let Some(idx) = self.pending.iter().position(|m| m.tag == tag) {
+            return self.pending.remove(idx);
+        }
+        loop {
+            let msg = self
+                .receiver
+                .recv()
+                .expect("all senders dropped while a receive was outstanding");
+            if msg.tag == tag {
+                return msg;
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    /// Number of stashed (received but unmatched) messages.  Useful in tests to assert
+    /// that a protocol consumed everything it sent.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn two_ranks_exchange_in_order() {
+        let mut boxes = Mailbox::create_all(2);
+        let mut b1 = boxes.pop().unwrap();
+        let mut b0 = boxes.pop().unwrap();
+        let t = thread::spawn(move || {
+            b1.send(0, 7, vec![1, 2, 3]);
+            b1.send(0, 7, vec![4, 5]);
+            let m = b1.recv(0, 9);
+            assert_eq!(m.payload, vec![9]);
+        });
+        let m1 = b0.recv(1, 7);
+        let m2 = b0.recv(1, 7);
+        assert_eq!(m1.payload, vec![1, 2, 3]);
+        assert_eq!(m2.payload, vec![4, 5]);
+        b0.send(1, 9, vec![9]);
+        t.join().unwrap();
+        assert_eq!(b0.pending_len(), 0);
+    }
+
+    #[test]
+    fn selective_receive_reorders_tags() {
+        let mut boxes = Mailbox::create_all(2);
+        let b1 = boxes.pop().unwrap();
+        let mut b0 = boxes.pop().unwrap();
+        // Rank 1 sends tag 1 then tag 2; rank 0 asks for tag 2 first.
+        b1.send(0, 1, vec![11]);
+        b1.send(0, 2, vec![22]);
+        let second = b0.recv(1, 2);
+        assert_eq!(second.payload, vec![22]);
+        let first = b0.recv(1, 1);
+        assert_eq!(first.payload, vec![11]);
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let mut boxes = Mailbox::create_all(1);
+        let mut b0 = boxes.pop().unwrap();
+        b0.send(0, 3, vec![42]);
+        assert_eq!(b0.recv(0, 3).payload, vec![42]);
+    }
+
+    #[test]
+    fn recv_any_matches_any_source() {
+        let mut boxes = Mailbox::create_all(3);
+        let b2 = boxes.pop().unwrap();
+        let b1 = boxes.pop().unwrap();
+        let mut b0 = boxes.pop().unwrap();
+        b1.send(0, 5, vec![1]);
+        b2.send(0, 5, vec![2]);
+        let mut froms = vec![b0.recv_any(5).from, b0.recv_any(5).from];
+        froms.sort_unstable();
+        assert_eq!(froms, vec![1, 2]);
+    }
+}

@@ -1,0 +1,352 @@
+//! SPMD driver: spawn one thread per rank and run the same closure on each.
+
+use std::sync::Arc;
+use std::thread;
+
+use crate::barrier::Barrier;
+use crate::comm::Mailbox;
+use crate::cost::{CostModel, TimeSnapshot};
+use crate::message::{decode_vec, encode_slice, Element};
+use crate::stats::{MachineStats, RankStats};
+use crate::topology::MachineConfig;
+
+/// The per-rank handle handed to the SPMD closure.
+///
+/// A `Rank` is the only way code running inside the machine can interact with the outside
+/// world: it provides tagged point-to-point messaging, collectives (see
+/// [`crate::collectives`]), barriers, and the modeled-time/statistics accounting.
+pub struct Rank {
+    mailbox: Mailbox,
+    barrier: Arc<Barrier>,
+    cost: CostModel,
+    stats: RankStats,
+    time: TimeSnapshot,
+}
+
+impl Rank {
+    /// This rank's id in `0..nprocs`.
+    pub fn rank(&self) -> usize {
+        self.mailbox.rank()
+    }
+
+    /// Number of ranks in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.mailbox.nprocs()
+    }
+
+    /// The cost model this machine was configured with.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Send a slice of elements to rank `to` with tag `tag`.
+    ///
+    /// The sender is charged one message (latency + bytes) of modeled communication time.
+    pub fn send_slice<T: Element>(&mut self, to: usize, tag: u64, values: &[T]) {
+        let payload = encode_slice(values);
+        let bytes = payload.len();
+        self.stats.record_send(bytes);
+        self.time.comm_us += self.cost.message_cost_us(bytes);
+        self.mailbox.send(to, tag, payload);
+    }
+
+    /// Receive a vector of elements from rank `from` with tag `tag` (blocking, selective).
+    ///
+    /// The receiver is charged one message (latency + bytes) of modeled communication time.
+    pub fn recv_vec<T: Element>(&mut self, from: usize, tag: u64) -> Vec<T> {
+        let env = self.mailbox.recv(from, tag);
+        self.stats.record_recv(env.payload.len());
+        self.time.comm_us += self.cost.message_cost_us(env.payload.len());
+        decode_vec(&env.payload)
+    }
+
+    /// Receive a vector of elements with tag `tag` from any rank; returns `(from, values)`.
+    pub fn recv_vec_any<T: Element>(&mut self, tag: u64) -> (usize, Vec<T>) {
+        let env = self.mailbox.recv_any(tag);
+        self.stats.record_recv(env.payload.len());
+        self.time.comm_us += self.cost.message_cost_us(env.payload.len());
+        (env.from, decode_vec(&env.payload))
+    }
+
+    /// Synchronise with every other rank.  Charged `sync_cost_us(P)` of communication time.
+    pub fn barrier(&mut self) {
+        self.stats.record_collective();
+        self.time.comm_us += self.cost.sync_cost_us(self.nprocs());
+        self.barrier.wait();
+    }
+
+    /// Report `units` of local computational work (for example, one unit per inner-loop
+    /// interaction).  This is what makes load imbalance visible in the modeled timings.
+    pub fn charge_compute(&mut self, units: f64) {
+        self.stats.record_compute(units);
+        self.time.compute_us += units * self.cost.compute_unit_us;
+    }
+
+    /// Snapshot of this rank's modeled time so far.
+    pub fn modeled(&self) -> TimeSnapshot {
+        self.time
+    }
+
+    /// Snapshot of this rank's raw communication/computation counters.
+    pub fn stats(&self) -> RankStats {
+        self.stats
+    }
+
+    /// Record a synchronising collective without going through the shared barrier.
+    /// Used by collectives that synchronise implicitly through their message pattern.
+    pub(crate) fn charge_collective(&mut self) {
+        self.stats.record_collective();
+        self.time.comm_us += self.cost.sync_cost_us(self.nprocs());
+    }
+}
+
+/// Result of running an SPMD program: one entry per rank.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    /// The value returned by each rank's closure, indexed by rank.
+    pub results: Vec<R>,
+    /// Each rank's raw counters at the end of the run, indexed by rank.
+    pub stats: Vec<RankStats>,
+    /// Each rank's modeled time at the end of the run, indexed by rank.
+    pub times: Vec<TimeSnapshot>,
+}
+
+impl<R> RunOutcome<R> {
+    /// Aggregate machine-wide statistics.
+    pub fn machine_stats(&self) -> MachineStats {
+        MachineStats::from_ranks(&self.stats)
+    }
+
+    /// The paper reports "execution time" as the maximum over processors of the per-rank
+    /// net time; this helper returns that maximum of the modeled totals, in microseconds.
+    pub fn max_total_us(&self) -> f64 {
+        self.times.iter().map(|t| t.total_us()).fold(0.0, f64::max)
+    }
+
+    /// Average modeled computation time over ranks, in microseconds (the paper averages
+    /// computation and communication time over processors).
+    pub fn avg_compute_us(&self) -> f64 {
+        if self.times.is_empty() {
+            0.0
+        } else {
+            self.times.iter().map(|t| t.compute_us).sum::<f64>() / self.times.len() as f64
+        }
+    }
+
+    /// Average modeled communication time over ranks, in microseconds.
+    pub fn avg_comm_us(&self) -> f64 {
+        if self.times.is_empty() {
+            0.0
+        } else {
+            self.times.iter().map(|t| t.comm_us).sum::<f64>() / self.times.len() as f64
+        }
+    }
+
+    /// The load-balance index defined in Section 4.1 of the paper:
+    /// `LB = max_i(compute_i) * n / sum_i(compute_i)`.  1.0 is perfect balance.
+    pub fn load_balance_index(&self) -> f64 {
+        let max = self
+            .times
+            .iter()
+            .map(|t| t.compute_us)
+            .fold(0.0f64, f64::max);
+        let sum: f64 = self.times.iter().map(|t| t.compute_us).sum();
+        if sum == 0.0 {
+            1.0
+        } else {
+            max * self.times.len() as f64 / sum
+        }
+    }
+}
+
+/// A reusable machine description.  [`Machine::run`] spawns the ranks, runs the SPMD
+/// closure on each, and collects results, counters and modeled times.
+pub struct Machine {
+    config: MachineConfig,
+}
+
+impl Machine {
+    /// Create a machine from a configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.nprocs > 0, "machine needs at least one rank");
+        Self { config }
+    }
+
+    /// Number of ranks this machine simulates.
+    pub fn nprocs(&self) -> usize {
+        self.config.nprocs
+    }
+
+    /// Run `f` on every rank and wait for all of them to finish.
+    ///
+    /// # Panics
+    /// If any rank's closure panics, the panic is propagated (tagged with the rank id).
+    pub fn run<R, F>(&self, f: F) -> RunOutcome<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Rank) -> R + Send + Sync + 'static,
+    {
+        let nprocs = self.config.nprocs;
+        let barrier = Arc::new(Barrier::new(nprocs));
+        let mailboxes = Mailbox::create_all(nprocs);
+        let f = Arc::new(f);
+
+        let mut handles = Vec::with_capacity(nprocs);
+        for mailbox in mailboxes {
+            let barrier = Arc::clone(&barrier);
+            let f = Arc::clone(&f);
+            let cost = self.config.cost;
+            let builder = thread::Builder::new()
+                .name(format!("mpsim-rank-{}", mailbox.rank()))
+                .stack_size(self.config.stack_size);
+            let handle = builder
+                .spawn(move || {
+                    let mut rank = Rank {
+                        mailbox,
+                        barrier,
+                        cost,
+                        stats: RankStats::default(),
+                        time: TimeSnapshot::default(),
+                    };
+                    let result = f(&mut rank);
+                    (result, rank.stats, rank.time)
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+
+        let mut results = Vec::with_capacity(nprocs);
+        let mut stats = Vec::with_capacity(nprocs);
+        let mut times = Vec::with_capacity(nprocs);
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok((r, s, t)) => {
+                    results.push(r);
+                    stats.push(s);
+                    times.push(t);
+                }
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                    panic!("rank {rank} panicked: {msg}");
+                }
+            }
+        }
+        RunOutcome {
+            results,
+            stats,
+            times,
+        }
+    }
+}
+
+/// Convenience wrapper: build a [`Machine`] from `config` and run `f` on every rank.
+pub fn run<R, F>(config: MachineConfig, f: F) -> RunOutcome<R>
+where
+    R: Send + 'static,
+    F: Fn(&mut Rank) -> R + Send + Sync + 'static,
+{
+    Machine::new(config).run(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn ranks_see_their_ids_and_size() {
+        let out = run(MachineConfig::new(5), |rank| (rank.rank(), rank.nprocs()));
+        assert_eq!(out.results.len(), 5);
+        for (i, (r, n)) in out.results.iter().enumerate() {
+            assert_eq!(*r, i);
+            assert_eq!(*n, 5);
+        }
+    }
+
+    #[test]
+    fn ring_exchange_delivers_typed_payloads() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let me = rank.rank();
+            let next = (me + 1) % rank.nprocs();
+            let prev = (me + rank.nprocs() - 1) % rank.nprocs();
+            rank.send_slice(next, 1, &[me as f64, me as f64 * 10.0]);
+            let got: Vec<f64> = rank.recv_vec(prev, 1);
+            got
+        });
+        for (me, got) in out.results.iter().enumerate() {
+            let prev = (me + 3) % 4;
+            assert_eq!(got, &vec![prev as f64, prev as f64 * 10.0]);
+        }
+    }
+
+    #[test]
+    fn modeled_time_charges_both_ends() {
+        let cfg =
+            MachineConfig::new(2).with_cost(CostModel::uniform(10.0, 1.0, 0.0));
+        let out = run(cfg, |rank| {
+            if rank.rank() == 0 {
+                rank.send_slice(1, 0, &[1.0f64; 4]); // 32 bytes => 10 + 32 = 42
+            } else {
+                let _: Vec<f64> = rank.recv_vec(0, 0);
+            }
+            rank.modeled()
+        });
+        assert!((out.results[0].comm_us - 42.0).abs() < 1e-9);
+        assert!((out.results[1].comm_us - 42.0).abs() < 1e-9);
+        assert_eq!(out.stats[0].msgs_sent, 1);
+        assert_eq!(out.stats[0].bytes_sent, 32);
+        assert_eq!(out.stats[1].msgs_received, 1);
+        assert_eq!(out.stats[1].bytes_received, 32);
+    }
+
+    #[test]
+    fn compute_charges_and_load_balance_index() {
+        let cfg = MachineConfig::new(4).with_cost(CostModel::compute_only(2.0));
+        let out = run(cfg, |rank| {
+            // Rank i does (i+1)*100 units of work: imbalanced by construction.
+            rank.charge_compute(100.0 * (rank.rank() + 1) as f64);
+        });
+        let lb = out.load_balance_index();
+        // max = 400, mean = 250 => LB = 1.6
+        assert!((lb - 1.6).abs() < 1e-9);
+        assert!((out.max_total_us() - 800.0).abs() < 1e-9);
+        assert!((out.avg_compute_us() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_is_charged_and_synchronises() {
+        let out = run(MachineConfig::new(8), |rank| {
+            for _ in 0..3 {
+                rank.barrier();
+            }
+            rank.stats().collectives
+        });
+        assert!(out.results.iter().all(|&c| c == 3));
+        assert!(out.times.iter().all(|t| t.comm_us > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn rank_panic_is_propagated_with_rank_id() {
+        let _ = run(MachineConfig::new(4), |rank| {
+            if rank.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_machine_works() {
+        let out = run(MachineConfig::new(1), |rank| {
+            rank.charge_compute(5.0);
+            rank.barrier();
+            rank.rank()
+        });
+        assert_eq!(out.results, vec![0]);
+        assert_eq!(out.load_balance_index(), 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Typed message payloads.
+//!
+//! Ranks exchange byte buffers; the [`Element`] trait describes fixed-width, `Copy` values
+//! that can be written to and read from such buffers in little-endian order.  This is the
+//! minimal machinery the CHAOS executor needs: data arrays in the paper hold REAL*8 /
+//! INTEGER values (and, in the applications, small fixed-size records such as particle
+//! velocities), all of which encode to a fixed number of bytes.
+//!
+//! The codec is hand-rolled instead of pulling in `serde`: the element types are tiny and
+//! fixed-width, and keeping the encoding transparent makes the byte-count accounting used
+//! by the cost model exact.
+
+/// A fixed-width value that can travel in a message payload.
+pub trait Element: Copy + Send + 'static {
+    /// Encoded size in bytes.  Must be the same for every value of the type.
+    const SIZE: usize;
+
+    /// Append the little-endian encoding of `self` to `buf`.
+    fn write_le(&self, buf: &mut Vec<u8>);
+
+    /// Decode a value from exactly `Self::SIZE` bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() < Self::SIZE`.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_element_primitive {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Element for $t {
+                const SIZE: usize = std::mem::size_of::<$t>();
+
+                #[inline]
+                fn write_le(&self, buf: &mut Vec<u8>) {
+                    buf.extend_from_slice(&self.to_le_bytes());
+                }
+
+                #[inline]
+                fn read_le(bytes: &[u8]) -> Self {
+                    let mut raw = [0u8; std::mem::size_of::<$t>()];
+                    raw.copy_from_slice(&bytes[..std::mem::size_of::<$t>()]);
+                    <$t>::from_le_bytes(raw)
+                }
+            }
+        )*
+    };
+}
+
+impl_element_primitive!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+impl Element for usize {
+    const SIZE: usize = 8;
+
+    #[inline]
+    fn write_le(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(*self as u64).to_le_bytes());
+    }
+
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[..8]);
+        u64::from_le_bytes(raw) as usize
+    }
+}
+
+impl<T: Element, const N: usize> Element for [T; N] {
+    const SIZE: usize = T::SIZE * N;
+
+    #[inline]
+    fn write_le(&self, buf: &mut Vec<u8>) {
+        for v in self {
+            v.write_le(buf);
+        }
+    }
+
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        std::array::from_fn(|i| T::read_le(&bytes[i * T::SIZE..]))
+    }
+}
+
+impl<A: Element, B: Element> Element for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+
+    #[inline]
+    fn write_le(&self, buf: &mut Vec<u8>) {
+        self.0.write_le(buf);
+        self.1.write_le(buf);
+    }
+
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        (A::read_le(bytes), B::read_le(&bytes[A::SIZE..]))
+    }
+}
+
+impl<A: Element, B: Element, C: Element> Element for (A, B, C) {
+    const SIZE: usize = A::SIZE + B::SIZE + C::SIZE;
+
+    #[inline]
+    fn write_le(&self, buf: &mut Vec<u8>) {
+        self.0.write_le(buf);
+        self.1.write_le(buf);
+        self.2.write_le(buf);
+    }
+
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        (
+            A::read_le(bytes),
+            B::read_le(&bytes[A::SIZE..]),
+            C::read_le(&bytes[A::SIZE + B::SIZE..]),
+        )
+    }
+}
+
+/// Implement [`Element`] for a plain struct whose fields are all `Element`s.
+///
+/// ```
+/// use mpsim::impl_element_struct;
+///
+/// #[derive(Clone, Copy, Debug, PartialEq)]
+/// struct Particle { x: f64, v: f64, cell: u32 }
+/// impl_element_struct!(Particle { x: f64, v: f64, cell: u32 });
+///
+/// let p = Particle { x: 1.0, v: -2.0, cell: 7 };
+/// let bytes = mpsim::message::encode_slice(&[p]);
+/// assert_eq!(mpsim::message::decode_vec::<Particle>(&bytes), vec![p]);
+/// ```
+#[macro_export]
+macro_rules! impl_element_struct {
+    ($name:ident { $($field:ident : $fty:ty),+ $(,)? }) => {
+        impl $crate::message::Element for $name {
+            const SIZE: usize = 0 $(+ <$fty as $crate::message::Element>::SIZE)+;
+
+            #[inline]
+            fn write_le(&self, buf: &mut Vec<u8>) {
+                $( $crate::message::Element::write_le(&self.$field, buf); )+
+            }
+
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                let mut offset = 0usize;
+                $(
+                    let $field = <$fty as $crate::message::Element>::read_le(&bytes[offset..]);
+                    offset += <$fty as $crate::message::Element>::SIZE;
+                )+
+                let _ = offset;
+                Self { $($field),+ }
+            }
+        }
+    };
+}
+
+/// Encode a slice of elements into a contiguous byte buffer.
+pub fn encode_slice<T: Element>(values: &[T]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(values.len() * T::SIZE);
+    for v in values {
+        v.write_le(&mut buf);
+    }
+    buf
+}
+
+/// Decode a byte buffer produced by [`encode_slice`] back into a vector of elements.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of `T::SIZE`.
+pub fn decode_vec<T: Element>(bytes: &[u8]) -> Vec<T> {
+    assert!(
+        bytes.len() % T::SIZE == 0,
+        "payload length {} is not a multiple of element size {}",
+        bytes.len(),
+        T::SIZE
+    );
+    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+}
+
+/// A message in flight between two ranks.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending rank.
+    pub from: usize,
+    /// Application-level tag used for selective receive.
+    pub tag: u64,
+    /// Encoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip() {
+        let xs: Vec<f64> = vec![0.0, -1.5, 3.25, f64::MAX, f64::MIN_POSITIVE];
+        assert_eq!(decode_vec::<f64>(&encode_slice(&xs)), xs);
+        let ys: Vec<i32> = vec![0, -1, i32::MAX, i32::MIN, 42];
+        assert_eq!(decode_vec::<i32>(&encode_slice(&ys)), ys);
+        let zs: Vec<usize> = vec![0, 1, usize::MAX >> 1, 1234567];
+        assert_eq!(decode_vec::<usize>(&encode_slice(&zs)), zs);
+    }
+
+    #[test]
+    fn array_and_tuple_round_trip() {
+        let xs: Vec<[f64; 3]> = vec![[1.0, 2.0, 3.0], [-0.5, 0.0, 9.75]];
+        assert_eq!(decode_vec::<[f64; 3]>(&encode_slice(&xs)), xs);
+        let ps: Vec<(u32, f64)> = vec![(7, 1.25), (0, -3.5)];
+        assert_eq!(decode_vec::<(u32, f64)>(&encode_slice(&ps)), ps);
+        let ts: Vec<(u32, f64, i64)> = vec![(7, 1.25, -9), (0, -3.5, 11)];
+        assert_eq!(decode_vec::<(u32, f64, i64)>(&encode_slice(&ts)), ts);
+    }
+
+    #[test]
+    fn struct_macro_round_trip() {
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct P {
+            pos: [f64; 2],
+            vel: [f64; 2],
+            id: u64,
+        }
+        impl_element_struct!(P { pos: [f64; 2], vel: [f64; 2], id: u64 });
+
+        let ps = vec![
+            P {
+                pos: [0.0, 1.0],
+                vel: [2.0, -2.0],
+                id: 3,
+            },
+            P {
+                pos: [9.5, -8.25],
+                vel: [0.0, 0.125],
+                id: u64::MAX,
+            },
+        ];
+        assert_eq!(P::SIZE, 40);
+        assert_eq!(decode_vec::<P>(&encode_slice(&ps)), ps);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn decode_rejects_ragged_payload() {
+        let bytes = vec![0u8; 7];
+        let _ = decode_vec::<f64>(&bytes);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let xs: Vec<f64> = vec![];
+        let enc = encode_slice(&xs);
+        assert!(enc.is_empty());
+        assert_eq!(decode_vec::<f64>(&enc), xs);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-rank communication and computation counters.
+
+/// Raw counters accumulated by one rank over an SPMD run.
+///
+/// These are the quantities the CHAOS optimisations actually change — message counts drop
+/// with communication vectorization, byte counts drop with software caching (duplicate
+/// removal), work-unit counts shift between ranks with partitioning — and they feed the
+/// modeled-time accounting in [`crate::cost`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankStats {
+    /// Point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Point-to-point messages received.
+    pub msgs_received: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Synchronising collectives (barriers, reductions) participated in.
+    pub collectives: u64,
+    /// Application-reported work units executed.
+    pub compute_units: f64,
+}
+
+impl RankStats {
+    /// Record one outgoing message of `bytes` payload bytes.
+    pub fn record_send(&mut self, bytes: usize) {
+        self.msgs_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    /// Record one incoming message of `bytes` payload bytes.
+    pub fn record_recv(&mut self, bytes: usize) {
+        self.msgs_received += 1;
+        self.bytes_received += bytes as u64;
+    }
+
+    /// Record participation in one synchronising collective.
+    pub fn record_collective(&mut self) {
+        self.collectives += 1;
+    }
+
+    /// Record `units` of application work.
+    pub fn record_compute(&mut self, units: f64) {
+        self.compute_units += units;
+    }
+
+    /// Combine two rank-local stat blocks (used when aggregating a whole machine).
+    pub fn merged(&self, other: &RankStats) -> RankStats {
+        RankStats {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            msgs_received: self.msgs_received + other.msgs_received,
+            bytes_received: self.bytes_received + other.bytes_received,
+            collectives: self.collectives + other.collectives,
+            compute_units: self.compute_units + other.compute_units,
+        }
+    }
+}
+
+/// Aggregate statistics over all ranks of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MachineStats {
+    /// Sum of all per-rank counters.
+    pub total: RankStats,
+    /// Number of ranks aggregated.
+    pub nprocs: usize,
+}
+
+impl MachineStats {
+    /// Aggregate a slice of per-rank stats.
+    pub fn from_ranks(ranks: &[RankStats]) -> Self {
+        let mut total = RankStats::default();
+        for r in ranks {
+            total = total.merged(r);
+        }
+        MachineStats {
+            total,
+            nprocs: ranks.len(),
+        }
+    }
+
+    /// Total message count across the machine.
+    pub fn total_messages(&self) -> u64 {
+        self.total.msgs_sent
+    }
+
+    /// Total communication volume in bytes across the machine.
+    pub fn total_bytes(&self) -> u64 {
+        self.total.bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = RankStats::default();
+        s.record_send(100);
+        s.record_send(50);
+        s.record_recv(25);
+        s.record_collective();
+        s.record_compute(3.5);
+        assert_eq!(s.msgs_sent, 2);
+        assert_eq!(s.bytes_sent, 150);
+        assert_eq!(s.msgs_received, 1);
+        assert_eq!(s.bytes_received, 25);
+        assert_eq!(s.collectives, 1);
+        assert_eq!(s.compute_units, 3.5);
+    }
+
+    #[test]
+    fn merge_and_machine_aggregate() {
+        let mut a = RankStats::default();
+        a.record_send(10);
+        a.record_compute(1.0);
+        let mut b = RankStats::default();
+        b.record_send(20);
+        b.record_recv(10);
+        b.record_compute(2.0);
+        let m = MachineStats::from_ranks(&[a, b]);
+        assert_eq!(m.nprocs, 2);
+        assert_eq!(m.total_messages(), 2);
+        assert_eq!(m.total_bytes(), 30);
+        assert_eq!(m.total.compute_units, 3.0);
+        assert_eq!(a.merged(&b), m.total);
+    }
+}

@@ -1,0 +1,67 @@
+//! Machine description: number of ranks and the communication/computation cost parameters.
+
+use crate::cost::CostModel;
+
+/// Description of the simulated machine used for one SPMD run.
+///
+/// The configuration is intentionally small: the number of ranks and a [`CostModel`].  The
+/// paper's experiments sweep the processor count from 1 to 128; construct one
+/// `MachineConfig` per point of the sweep.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of SPMD ranks (processors) to simulate.
+    pub nprocs: usize,
+    /// Cost model used to accumulate modeled communication and computation time.
+    pub cost: CostModel,
+    /// Stack size (bytes) for each rank's thread.  Irregular applications with large
+    /// per-rank buffers occasionally need more than the platform default.
+    pub stack_size: usize,
+}
+
+impl MachineConfig {
+    /// A machine with `nprocs` ranks and the default (iPSC/860-class) cost model.
+    pub fn new(nprocs: usize) -> Self {
+        Self {
+            nprocs,
+            cost: CostModel::ipsc860(),
+            stack_size: 8 * 1024 * 1024,
+        }
+    }
+
+    /// Replace the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replace the per-thread stack size.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_has_positive_parameters() {
+        let cfg = MachineConfig::new(16);
+        assert_eq!(cfg.nprocs, 16);
+        assert!(cfg.cost.message_latency_us > 0.0);
+        assert!(cfg.cost.per_byte_us > 0.0);
+        assert!(cfg.stack_size >= 1024 * 1024);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let cfg = MachineConfig::new(4)
+            .with_cost(CostModel::uniform(1.0, 0.5, 2.0))
+            .with_stack_size(1 << 20);
+        assert_eq!(cfg.cost.message_latency_us, 1.0);
+        assert_eq!(cfg.cost.per_byte_us, 0.5);
+        assert_eq!(cfg.cost.compute_unit_us, 2.0);
+        assert_eq!(cfg.stack_size, 1 << 20);
+    }
+}

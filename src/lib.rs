@@ -1,0 +1,40 @@
+//! # chaos-suite — umbrella crate for the CHAOS-RS reproduction
+//!
+//! This crate re-exports the workspace members so the repository-level examples
+//! (`examples/`) and integration tests (`tests/`) can use everything through one
+//! dependency:
+//!
+//! * [`mpsim`] — the simulated distributed-memory message-passing machine;
+//! * [`chaos`] — the CHAOS/PARTI runtime (translation tables, stamped index hashing,
+//!   communication schedules, gather/scatter/scatter_append executors, remapping, data
+//!   and iteration partitioners);
+//! * [`charmm`] — the CHARMM-like molecular dynamics mini-application;
+//! * [`dsmc`] — the DSMC particle-in-cell mini-application;
+//! * [`fortrand`] — the mini Fortran-D front end, lowering pass and SPMD executor.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured comparison of every table.
+
+pub use charmm;
+pub use chaos;
+pub use dsmc;
+pub use fortrand;
+pub use mpsim;
+
+/// The paper this workspace reproduces.
+pub const PAPER: &str = "Sharma, Ponnusamy, Moon, Hwang, Das, Saltz: \
+\"Run-time and compile-time support for adaptive irregular problems\", Supercomputing '94";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired() {
+        // A smoke test that the whole stack is reachable through the umbrella crate.
+        let out = crate::mpsim::run(crate::mpsim::MachineConfig::new(2), |rank| {
+            let dist = crate::chaos::BlockDist::new(8, rank.nprocs());
+            crate::chaos::TranslationTable::from_regular(&dist).local_size(rank.rank())
+        });
+        assert_eq!(out.results, vec![4, 4]);
+        assert!(crate::PAPER.contains("Supercomputing"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based tests (proptest) of the core CHAOS invariants.
+
+use chaos_suite::chaos::distribution::{BlockDist, CyclicDist, RegularDist};
+use chaos_suite::chaos::partitioners::weighted_median_split;
+use chaos_suite::chaos::prelude::*;
+use chaos_suite::mpsim::{run, CostModel, MachineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Block and cyclic distributions are bijections between global indices and
+    /// (owner, offset) pairs, for arbitrary sizes and processor counts.
+    #[test]
+    fn regular_distributions_are_bijections(n in 0usize..500, p in 1usize..40) {
+        for owner_offset in [
+            (0..n).map(|g| {
+                let d = BlockDist::new(n, p);
+                (d.owner(g), d.local_offset(g))
+            }).collect::<Vec<_>>(),
+            (0..n).map(|g| {
+                let d = CyclicDist::new(n, p);
+                (d.owner(g), d.local_offset(g))
+            }).collect::<Vec<_>>(),
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for &(o, l) in &owner_offset {
+                prop_assert!(o < p);
+                prop_assert!(seen.insert((o, l)), "duplicate (owner, offset)");
+            }
+        }
+    }
+
+    /// A weighted median split never loses elements, keeps both sides non-empty (when it
+    /// can), and puts between 0 and 100% of the weight on the left.
+    #[test]
+    fn weighted_median_split_is_a_partition(
+        keys in prop::collection::vec(-1e3f64..1e3, 1..60),
+        raw_weights in prop::collection::vec(0.01f64..10.0, 1..60),
+        target in 0.0f64..1.0,
+    ) {
+        let n = keys.len().min(raw_weights.len());
+        let keys = &keys[..n];
+        let weights = &raw_weights[..n];
+        let left = weighted_median_split(keys, weights, target);
+        prop_assert_eq!(left.len(), n);
+        let left_count = left.iter().filter(|&&b| b).count();
+        prop_assert!(left_count >= 1);
+        if n >= 2 {
+            prop_assert!(left_count < n, "the right side must stay non-empty");
+        }
+    }
+
+    /// Gather followed by scatter returns every owned element unchanged, and a
+    /// gather + increment + scatter_add adds exactly the number of ranks referencing each
+    /// element — for arbitrary access patterns.
+    #[test]
+    fn gather_scatter_round_trip_and_reduction(
+        n in 8usize..80,
+        nprocs in 1usize..6,
+        pattern_seed in 0u64..1_000,
+    ) {
+        let out = run(
+            MachineConfig::new(nprocs).with_cost(CostModel::compute_only(0.0)),
+            move |rank| {
+                let dist = BlockDist::new(n, rank.nprocs());
+                let ttable = TranslationTable::from_regular(&dist);
+                let mut insp = Inspector::new(&ttable, rank.rank());
+                // Every rank references a pseudo-random half of the elements.
+                let pattern: Vec<usize> = (0..n)
+                    .filter(|g| (g.wrapping_mul(2654435761) as u64 ^ pattern_seed) % 2 == 0)
+                    .collect();
+                let refs = insp.hash_indices(rank, &pattern, Stamp::new(0));
+                let sched = insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
+                let owned: Vec<f64> = dist
+                    .local_globals(rank.rank())
+                    .map(|g| g as f64 + 0.25)
+                    .collect();
+                let before = owned.clone();
+                let mut x = DistArray::new(owned, sched.ghost_len());
+                gather(rank, &sched, &mut x);
+                // Round trip: scatter (overwrite) must leave owned values unchanged.
+                scatter(rank, &sched, &mut x);
+                let round_trip_ok = x.owned() == &before[..];
+                // Reduction: add 1 through every reference, fold back.
+                x.clear_ghost();
+                for &r in &refs {
+                    x[r] += 1.0;
+                }
+                scatter_add(rank, &sched, &mut x);
+                let owned_globals: Vec<usize> = dist.local_globals(rank.rank()).collect();
+                (round_trip_ok, owned_globals, before, x.owned().to_vec(), pattern)
+            },
+        );
+        // Every rank uses the same pattern, so each referenced element must have gained
+        // exactly `nprocs`, every other element exactly 0.
+        let pattern = &out.results[0].4;
+        for (round_trip_ok, owned_globals, before, after, _) in &out.results {
+            prop_assert!(*round_trip_ok);
+            for ((g, b), a) in owned_globals.iter().zip(before).zip(after) {
+                let expected = if pattern.contains(g) {
+                    b + nprocs as f64
+                } else {
+                    *b
+                };
+                prop_assert!((a - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// scatter_append conserves the multiset of items and routes every item to the rank
+    /// that was asked for, for arbitrary destination assignments.
+    #[test]
+    fn scatter_append_conserves_and_routes(
+        nprocs in 1usize..6,
+        dests_seed in 0u64..1_000,
+        items_per_rank in 0usize..40,
+    ) {
+        let out = run(
+            MachineConfig::new(nprocs).with_cost(CostModel::compute_only(0.0)),
+            move |rank| {
+                let me = rank.rank();
+                let items: Vec<u64> = (0..items_per_rank)
+                    .map(|k| (me * 10_000 + k) as u64)
+                    .collect();
+                let dests: Vec<usize> = (0..items_per_rank)
+                    .map(|k| ((k as u64 * 2654435761 ^ dests_seed) % nprocs as u64) as usize)
+                    .collect();
+                let sched = LightweightSchedule::build(rank, &dests);
+                let got = scatter_append(rank, &sched, &items);
+                (got, dests)
+            },
+        );
+        // Conservation of the multiset.
+        let mut all: Vec<u64> = out.results.iter().flat_map(|(g, _)| g.clone()).collect();
+        all.sort_unstable();
+        let mut expected: Vec<u64> = (0..nprocs)
+            .flat_map(|me| (0..items_per_rank).map(move |k| (me * 10_000 + k) as u64))
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(all, expected);
+        // Routing: every item landed on the destination its sender chose (destinations
+        // are identical on every rank because the seed is shared).
+        let dests = &out.results[0].1;
+        for (p, (got, _)) in out.results.iter().enumerate() {
+            for item in got {
+                let k = (item % 10_000) as usize;
+                prop_assert_eq!(dests[k], p);
+            }
+        }
+    }
+
+    /// Remapping to an arbitrary valid owner map preserves every value and places it at
+    /// the location the new translation table dictates.
+    #[test]
+    fn remap_preserves_values_for_arbitrary_maps(
+        n in 4usize..120,
+        nprocs in 1usize..6,
+        map_seed in 0u64..1_000,
+    ) {
+        let out = run(
+            MachineConfig::new(nprocs).with_cost(CostModel::compute_only(0.0)),
+            move |rank| {
+                let block = BlockDist::new(n, rank.nprocs());
+                let my_block: Vec<usize> = block.local_globals(rank.rank()).collect();
+                let local_map: Vec<usize> = my_block
+                    .iter()
+                    .map(|&g| ((g as u64 * 48271 + map_seed) % rank.nprocs() as u64) as usize)
+                    .collect();
+                let mut table =
+                    TranslationTable::replicated_from_map(rank, &local_map, &block).unwrap();
+                let values: Vec<f64> = my_block.iter().map(|&g| g as f64 * 2.0 + 1.0).collect();
+                let plan = build_remap(rank, &my_block, &mut table);
+                let new_values = remap_values(rank, &plan, &values, f64::NAN);
+                let owned_globals = table.owned_globals(rank);
+                owned_globals
+                    .iter()
+                    .zip(&new_values)
+                    .all(|(&g, &v)| (v - (g as f64 * 2.0 + 1.0)).abs() < 1e-12)
+            },
+        );
+        prop_assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    /// The parallel partitioners assign every element a part in range, and the chain
+    /// partitioner's parts are monotone along the axis.
+    #[test]
+    fn partitioners_produce_valid_assignments(
+        nprocs in 1usize..6,
+        nparts in 1usize..9,
+        npoints in 1usize..50,
+        seed in 0u64..500,
+    ) {
+        let out = run(
+            MachineConfig::new(nprocs).with_cost(CostModel::compute_only(0.0)),
+            move |rank| {
+                let me = rank.rank() as u64;
+                let coords: Vec<[f64; 3]> = (0..npoints)
+                    .map(|i| {
+                        let s = (i as u64 * 7919 + me * 104729 + seed) as f64;
+                        [(s * 0.37).fract() * 8.0, (s * 0.61).fract() * 8.0, (s * 0.17).fract() * 8.0]
+                    })
+                    .collect();
+                let weights = vec![1.0f64; npoints];
+                let rcb = rcb_partition(rank, PartitionInput::new(&coords, &weights), nparts);
+                let xs: Vec<f64> = coords.iter().map(|c| c[0]).collect();
+                let chain = chain_partition(rank, &xs, &weights, nparts);
+                (rcb, chain, xs)
+            },
+        );
+        for (rcb, chain, xs) in &out.results {
+            prop_assert!(rcb.iter().all(|&p| p < nparts));
+            prop_assert!(chain.iter().all(|&p| p < nparts));
+            for i in 0..xs.len() {
+                for j in 0..xs.len() {
+                    if xs[i] < xs[j] {
+                        prop_assert!(chain[i] <= chain[j], "chain parts must be monotone in x");
+                    }
+                }
+            }
+        }
+    }
+}
