@@ -34,29 +34,32 @@ fn bench_inspector(c: &mut Criterion) {
             )
         })
     });
-    group.bench_function(BenchmarkId::new("rehash_after_adaptation", REFS_PER_RANK), |b| {
-        b.iter(|| {
-            run(
-                MachineConfig::new(NPROCS).with_cost(CostModel::compute_only(0.0)),
-                |rank| {
-                    let dist = BlockDist::new(N, rank.nprocs());
-                    let ttable = TranslationTable::from_regular(&dist);
-                    let mut insp = Inspector::new(&ttable, rank.rank());
-                    let mut pattern = irregular_pattern(rank.rank());
-                    insp.hash_indices(rank, &pattern, Stamp::new(0));
-                    insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
-                    // Adapt 1% of the references and regenerate (the cheap path).
-                    for k in 0..REFS_PER_RANK / 100 {
-                        pattern[k * 100] = (pattern[k * 100] + 7) % N;
-                    }
-                    insp.clear_stamp(Stamp::new(0));
-                    insp.hash_indices(rank, &pattern, Stamp::new(0));
-                    insp.build_schedule(rank, StampQuery::single(Stamp::new(0)))
-                        .total_fetch()
-                },
-            )
-        })
-    });
+    group.bench_function(
+        BenchmarkId::new("rehash_after_adaptation", REFS_PER_RANK),
+        |b| {
+            b.iter(|| {
+                run(
+                    MachineConfig::new(NPROCS).with_cost(CostModel::compute_only(0.0)),
+                    |rank| {
+                        let dist = BlockDist::new(N, rank.nprocs());
+                        let ttable = TranslationTable::from_regular(&dist);
+                        let mut insp = Inspector::new(&ttable, rank.rank());
+                        let mut pattern = irregular_pattern(rank.rank());
+                        insp.hash_indices(rank, &pattern, Stamp::new(0));
+                        insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
+                        // Adapt 1% of the references and regenerate (the cheap path).
+                        for k in 0..REFS_PER_RANK / 100 {
+                            pattern[k * 100] = (pattern[k * 100] + 7) % N;
+                        }
+                        insp.clear_stamp(Stamp::new(0));
+                        insp.hash_indices(rank, &pattern, Stamp::new(0));
+                        insp.build_schedule(rank, StampQuery::single(Stamp::new(0)))
+                            .total_fetch()
+                    },
+                )
+            })
+        },
+    );
     group.finish();
 }
 
@@ -94,8 +97,9 @@ fn bench_executor(c: &mut Criterion) {
                 MachineConfig::new(NPROCS).with_cost(CostModel::compute_only(0.0)),
                 |rank| {
                     let items: Vec<f64> = (0..REFS_PER_RANK).map(|i| i as f64).collect();
-                    let dests: Vec<usize> =
-                        (0..REFS_PER_RANK).map(|i| (i * 31 + rank.rank()) % NPROCS).collect();
+                    let dests: Vec<usize> = (0..REFS_PER_RANK)
+                        .map(|i| (i * 31 + rank.rank()) % NPROCS)
+                        .collect();
                     let sched = LightweightSchedule::build(rank, &dests);
                     scatter_append(rank, &sched, &items).len()
                 },
@@ -114,8 +118,7 @@ fn bench_executor(c: &mut Criterion) {
                         .map(|g| (g * 7 + 3) % rank.nprocs())
                         .collect();
                     let mut table =
-                        TranslationTable::replicated_from_map(rank, &local_map, &map_dist)
-                            .unwrap();
+                        TranslationTable::replicated_from_map(rank, &local_map, &map_dist).unwrap();
                     let globals: Vec<usize> = old.local_globals(rank.rank()).collect();
                     let values: Vec<f64> = globals.iter().map(|&g| g as f64).collect();
                     let plan = build_remap(rank, &globals, &mut table);

@@ -1,5 +1,8 @@
 //! Regenerate Table 1 of the paper (parallel CHARMM scaling).
 fn main() {
     let scale = chaos_bench::Scale::from_env();
-    println!("{}", chaos_bench::tables::table1_charmm_scaling(&scale).render());
+    println!(
+        "{}",
+        chaos_bench::tables::table1_charmm_scaling(&scale).render()
+    );
 }

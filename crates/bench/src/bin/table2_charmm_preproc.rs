@@ -1,5 +1,8 @@
 //! Regenerate Table 2 of the paper (CHARMM preprocessing overheads).
 fn main() {
     let scale = chaos_bench::Scale::from_env();
-    println!("{}", chaos_bench::tables::table2_charmm_preproc(&scale).render());
+    println!(
+        "{}",
+        chaos_bench::tables::table2_charmm_preproc(&scale).render()
+    );
 }

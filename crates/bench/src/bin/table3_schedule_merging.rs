@@ -1,5 +1,8 @@
 //! Regenerate Table 3 of the paper (schedule merging vs multiple schedules).
 fn main() {
     let scale = chaos_bench::Scale::from_env();
-    println!("{}", chaos_bench::tables::table3_schedule_merging(&scale).render());
+    println!(
+        "{}",
+        chaos_bench::tables::table3_schedule_merging(&scale).render()
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerate Table 4 of the paper (regular vs light-weight schedules, 2-D DSMC).
 fn main() {
     let scale = chaos_bench::Scale::from_env();
-    println!("{}", chaos_bench::tables::table4_lightweight(&scale).render());
+    println!(
+        "{}",
+        chaos_bench::tables::table4_lightweight(&scale).render()
+    );
 }

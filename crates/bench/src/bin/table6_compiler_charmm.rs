@@ -1,5 +1,8 @@
 //! Regenerate Table 6 of the paper (hand-coded vs compiler-generated CHARMM loop).
 fn main() {
     let scale = chaos_bench::Scale::from_env();
-    println!("{}", chaos_bench::tables::table6_compiler_charmm(&scale).render());
+    println!(
+        "{}",
+        chaos_bench::tables::table6_compiler_charmm(&scale).render()
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerate Table 7 of the paper (compiler-generated vs manual DSMC template).
 fn main() {
     let scale = chaos_bench::Scale::from_env();
-    println!("{}", chaos_bench::tables::table7_compiler_dsmc(&scale).render());
+    println!(
+        "{}",
+        chaos_bench::tables::table7_compiler_dsmc(&scale).render()
+    );
 }

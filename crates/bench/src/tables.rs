@@ -197,7 +197,7 @@ pub fn table2_charmm_preproc(scale: &Scale) -> TableOutput {
             ParallelCharmm::run(rank, &system, &config).phases
         });
         let max = |f: &dyn Fn(&charmm::CharmmPhaseTimes) -> f64| -> f64 {
-            out.results.iter().map(|ph| f(ph)).fold(0.0, f64::max)
+            out.results.iter().map(f).fold(0.0, f64::max)
         };
         partition.push(secs(max(&|ph| ph.data_partition.total_us())));
         list_update.push(secs(max(&|ph| ph.list_update.total_us())));
@@ -380,8 +380,7 @@ pub fn table5_remapping(scale: &Scale) -> TableOutput {
 /// The Fortran-D source of the Figure 10 non-bonded force template, instantiated for a
 /// concrete atom count and neighbour-list size.
 pub fn figure10_source(natoms: usize, list_len: usize) -> String {
-    format!
-    (
+    format!(
         "REAL x({n}), y({n}), dx({n}), dy({n})\n\
          INTEGER map({n}), inblo({m}), jnb({k})\n\
          C$ DECOMPOSITION reg({n})\n\
@@ -420,11 +419,8 @@ impl Fig10Times {
 /// Build the CHARMM-like system and its CSR non-bonded list used by the Table 6 template.
 fn figure10_workload(cfg: &SystemConfig) -> (MolecularSystem, Vec<i64>, Vec<i64>) {
     let system = MolecularSystem::build(cfg);
-    let list = charmm::nonbonded::build_neighbor_list(
-        &system.positions,
-        system.box_size,
-        system.cutoff,
-    );
+    let list =
+        charmm::nonbonded::build_neighbor_list(&system.positions, system.box_size, system.cutoff);
     let inblo: Vec<i64> = list.offsets.iter().map(|&o| o as i64 + 1).collect();
     let jnb: Vec<i64> = list.partners.iter().map(|&p| p as i64 + 1).collect();
     (system, inblo, jnb)
@@ -470,7 +466,7 @@ fn figure10_hand(
                 .iter()
                 .map(|&g| 1.0 + (inblo[g + 1] - inblo[g]) as f64)
                 .collect();
-            let parts = if (iter / repartition_every) % 2 == 0 {
+            let parts = if (iter / repartition_every).is_multiple_of(2) {
                 rcb_partition(rank, PartitionInput::new(&coords, &weights), nprocs)
             } else {
                 rib_partition(rank, PartitionInput::new(&coords, &weights), nprocs)
@@ -572,8 +568,14 @@ fn figure10_compiled(
     exec.set_integer_array("INBLO", inblo);
     exec.set_integer_array("JNB", jnb);
     exec.set_integer_array("MAP", &vec![0i64; natoms]);
-    exec.set_real_array("X", &system.positions.iter().map(|p| p[0]).collect::<Vec<_>>());
-    exec.set_real_array("Y", &system.positions.iter().map(|p| p[1]).collect::<Vec<_>>());
+    exec.set_real_array(
+        "X",
+        &system.positions.iter().map(|p| p[0]).collect::<Vec<_>>(),
+    );
+    exec.set_real_array(
+        "Y",
+        &system.positions.iter().map(|p| p[1]).collect::<Vec<_>>(),
+    );
     exec.set_real_array("DX", &vec![0.0; natoms]);
     exec.set_real_array("DY", &vec![0.0; natoms]);
     // steps: [Distribute(BLOCK), Distribute(map), Loop]
@@ -595,7 +597,7 @@ fn figure10_compiled(
                 .map(|&g| [system.positions[g][0], system.positions[g][1], 0.0])
                 .collect();
             let w: Vec<f64> = my_block.iter().map(|&g| weights[g]).collect();
-            let parts = if (iter / repartition_every) % 2 == 0 {
+            let parts = if (iter / repartition_every).is_multiple_of(2) {
                 rcb_partition(rank, PartitionInput::new(&coords, &w), nprocs)
             } else {
                 rib_partition(rank, PartitionInput::new(&coords, &w), nprocs)
@@ -655,10 +657,13 @@ pub fn table6_compiler_charmm(scale: &Scale) -> TableOutput {
                 }
             });
             let max = |f: &dyn Fn(&Fig10Times) -> f64| -> f64 {
-                out.results.iter().map(|t| f(t)).fold(0.0, f64::max)
+                out.results.iter().map(f).fold(0.0, f64::max)
             };
             rows.push(vec![
-                format!("{} ({p} procs)", if hand { "Hand Coded" } else { "Compiler" }),
+                format!(
+                    "{} ({p} procs)",
+                    if hand { "Hand Coded" } else { "Compiler" }
+                ),
                 secs(max(&|t| t.partition)),
                 secs(max(&|t| t.remap)),
                 secs(max(&|t| t.inspector)),
@@ -794,13 +799,9 @@ fn figure11_manual(rank: &mut Rank, np: usize, nc: usize, steps: usize) -> Fig11
 
 /// Table 7: compiler-generated versus manually parallelised DSMC movement template.
 pub fn table7_compiler_dsmc(scale: &Scale) -> TableOutput {
-    let headers = [
-        "Version / Procs",
-        "Reduce append (s)",
-        "Total (s)",
-    ]
-    .map(String::from)
-    .to_vec();
+    let headers = ["Version / Procs", "Reduce append (s)", "Total (s)"]
+        .map(String::from)
+        .to_vec();
     let np = scale.template_particles;
     let nc = scale.template_cells;
     let steps = scale.template_steps;
@@ -823,7 +824,11 @@ pub fn table7_compiler_dsmc(scale: &Scale) -> TableOutput {
             rows.push(vec![
                 format!(
                     "{} ({p} procs)",
-                    if compiled { "Compiler generated" } else { "Manually parallelized" }
+                    if compiled {
+                        "Compiler generated"
+                    } else {
+                        "Manually parallelized"
+                    }
                 ),
                 secs(append),
                 secs(total),

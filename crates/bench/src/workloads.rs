@@ -39,7 +39,13 @@ pub fn format_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> St
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8) + 2))
+            .map(|(i, c)| {
+                format!(
+                    "{:>width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(8) + 2
+                )
+            })
             .collect::<Vec<_>>()
             .join(" ")
     };

@@ -192,14 +192,30 @@ mod tests {
 
     #[test]
     fn block_roundtrip_various_shapes() {
-        for &(n, p) in &[(10, 3), (16, 4), (1, 1), (7, 8), (100, 7), (0, 3), (128, 128)] {
+        for &(n, p) in &[
+            (10, 3),
+            (16, 4),
+            (1, 1),
+            (7, 8),
+            (100, 7),
+            (0, 3),
+            (128, 128),
+        ] {
             check_roundtrip(&BlockDist::new(n, p));
         }
     }
 
     #[test]
     fn cyclic_roundtrip_various_shapes() {
-        for &(n, p) in &[(10, 3), (16, 4), (1, 1), (7, 8), (100, 7), (0, 3), (128, 128)] {
+        for &(n, p) in &[
+            (10, 3),
+            (16, 4),
+            (1, 1),
+            (7, 8),
+            (100, 7),
+            (0, 3),
+            (128, 128),
+        ] {
             check_roundtrip(&CyclicDist::new(n, p));
         }
     }

@@ -13,58 +13,55 @@
 //!   owners and append them in arbitrary order (the DSMC MOVE phase).
 //!
 //! All primitives are collective: every rank of the machine must call them with its own
-//! schedule (built in the same collective inspector call).
+//! schedule (built in the same collective inspector call).  Each is a thin adapter over
+//! the unified [`mpsim::exchange`] engine: the schedule provides the
+//! [`mpsim::ExchangePlan`], the primitive packs from / places into the distributed array,
+//! and the engine moves the bytes and charges the cost model.  The returned
+//! [`ExchangeStats`] reports exactly what went on the wire.
 
-use mpsim::{Element, Rank};
+use mpsim::{alltoallv, Element, ExchangeStats, Rank};
 
 use crate::darray::DistArray;
 use crate::schedule::{CommSchedule, LightweightSchedule};
 
-/// Tags used by the executor; below `mpsim::collectives::RESERVED_TAG_BASE` and distinct
-/// from any tag the collectives use internally.
-const TAG_GATHER: u64 = 7_001;
-const TAG_SCATTER: u64 = 7_002;
-const TAG_APPEND: u64 = 7_003;
-
 /// Gather off-processor elements into the ghost region of `array`.
 ///
 /// After the call, `array[r]` is valid for every [`crate::darray::LocalRef`] `r` produced
-/// by the inspector for the indirection arrays covered by `sched`.
-pub fn gather<T: Element + Default>(rank: &mut Rank, sched: &CommSchedule, array: &mut DistArray<T>) {
-    assert_eq!(sched.nprocs(), rank.nprocs(), "schedule/machine size mismatch");
+/// by the inspector for the indirection arrays covered by `sched`.  Returns the message
+/// and byte counts of the transfer.
+pub fn gather<T: Element + Default>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    array: &mut DistArray<T>,
+) -> ExchangeStats {
+    assert_eq!(
+        sched.nprocs(),
+        rank.nprocs(),
+        "schedule/machine size mismatch"
+    );
     array.ensure_ghost(sched.ghost_len());
     let me = rank.rank();
-    // Pack and send the elements each destination asked for.
-    for p in 0..sched.nprocs() {
-        if p == me || sched.send_lists[p].is_empty() {
-            continue;
-        }
-        let payload: Vec<T> = sched.send_lists[p]
-            .iter()
-            .map(|&off| array.owned()[off as usize])
-            .collect();
-        rank.charge_compute(payload.len() as f64 * 0.02); // packing cost
-        rank.send_slice(p, TAG_GATHER, &payload);
-    }
-    // Receive and place according to the permutation list.
-    for p in 0..sched.nprocs() {
-        if p == me || sched.perm_lists[p].is_empty() {
-            continue;
-        }
-        let values: Vec<T> = rank.recv_vec(p, TAG_GATHER);
-        assert_eq!(
-            values.len(),
-            sched.perm_lists[p].len(),
-            "gather: fetch size mismatch from processor {p}"
-        );
-        let owned_len = array.owned_len();
-        for (slot, v) in sched.perm_lists[p].iter().zip(values) {
+    let plan = sched.gather_plan(me);
+    // Pack the elements each destination asked for.
+    let sends: Vec<Vec<T>> = (0..sched.nprocs())
+        .map(|p| {
+            if p == me {
+                Vec::new()
+            } else {
+                sched.send_lists[p]
+                    .iter()
+                    .map(|&off| array.owned()[off as usize])
+                    .collect()
+            }
+        })
+        .collect();
+    // Place incoming copies according to the permutation list of their source.
+    alltoallv(rank, &plan, &sends, |src, values: Vec<T>| {
+        for (slot, v) in sched.perm_lists[src].iter().zip(values) {
             debug_assert!((*slot as usize) < array.ghost_len());
             array.ghost_mut()[*slot as usize] = v;
-            let _ = owned_len;
         }
-        rank.charge_compute(sched.perm_lists[p].len() as f64 * 0.02); // unpacking cost
-    }
+    })
 }
 
 /// Scatter ghost-region values back to their owners, overwriting the owners' copies.
@@ -72,35 +69,53 @@ pub fn scatter<T: Element + Default>(
     rank: &mut Rank,
     sched: &CommSchedule,
     array: &mut DistArray<T>,
-) {
-    scatter_impl(rank, sched, array, |owner, incoming| *owner = incoming);
+) -> ExchangeStats {
+    scatter_impl(rank, sched, array, |owner, incoming| *owner = incoming)
 }
 
 /// Scatter ghost-region values back to their owners, adding them to the owners' copies.
 /// This is the executor half of an irregular reduction loop.
-pub fn scatter_add<T>(rank: &mut Rank, sched: &CommSchedule, array: &mut DistArray<T>)
+pub fn scatter_add<T>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    array: &mut DistArray<T>,
+) -> ExchangeStats
 where
     T: Element + Default + std::ops::AddAssign,
 {
-    scatter_impl(rank, sched, array, |owner, incoming| *owner += incoming);
+    scatter_impl(rank, sched, array, |owner, incoming| *owner += incoming)
 }
 
 /// Scatter ghost-region values back to their owners, combining with an arbitrary operator
 /// (`op(&mut owner_value, incoming_value)`).
-pub fn scatter_op<T, F>(rank: &mut Rank, sched: &CommSchedule, array: &mut DistArray<T>, op: F)
+pub fn scatter_op<T, F>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    array: &mut DistArray<T>,
+    op: F,
+) -> ExchangeStats
 where
     T: Element + Default,
     F: Fn(&mut T, T),
 {
-    scatter_impl(rank, sched, array, op);
+    scatter_impl(rank, sched, array, op)
 }
 
-fn scatter_impl<T, F>(rank: &mut Rank, sched: &CommSchedule, array: &mut DistArray<T>, op: F)
+fn scatter_impl<T, F>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    array: &mut DistArray<T>,
+    op: F,
+) -> ExchangeStats
 where
     T: Element + Default,
     F: Fn(&mut T, T),
 {
-    assert_eq!(sched.nprocs(), rank.nprocs(), "schedule/machine size mismatch");
+    assert_eq!(
+        sched.nprocs(),
+        rank.nprocs(),
+        "schedule/machine size mismatch"
+    );
     assert!(
         array.ghost_len() >= sched.ghost_len(),
         "array ghost region smaller than the schedule requires"
@@ -109,32 +124,24 @@ where
     // The transfer is the mirror image of `gather`: this rank sends the ghost slots it
     // filled for processor p back to p, and p applies them to the owned offsets it
     // originally listed in its send list.
-    for p in 0..sched.nprocs() {
-        if p == me || sched.perm_lists[p].is_empty() {
-            continue;
-        }
-        let payload: Vec<T> = sched.perm_lists[p]
-            .iter()
-            .map(|&slot| array.ghost()[slot as usize])
-            .collect();
-        rank.charge_compute(payload.len() as f64 * 0.02);
-        rank.send_slice(p, TAG_SCATTER, &payload);
-    }
-    for p in 0..sched.nprocs() {
-        if p == me || sched.send_lists[p].is_empty() {
-            continue;
-        }
-        let values: Vec<T> = rank.recv_vec(p, TAG_SCATTER);
-        assert_eq!(
-            values.len(),
-            sched.send_lists[p].len(),
-            "scatter: send size mismatch from processor {p}"
-        );
-        for (&off, v) in sched.send_lists[p].iter().zip(values) {
+    let plan = sched.scatter_plan(me);
+    let sends: Vec<Vec<T>> = (0..sched.nprocs())
+        .map(|p| {
+            if p == me {
+                Vec::new()
+            } else {
+                sched.perm_lists[p]
+                    .iter()
+                    .map(|&slot| array.ghost()[slot as usize])
+                    .collect()
+            }
+        })
+        .collect();
+    alltoallv(rank, &plan, &sends, |src, values: Vec<T>| {
+        for (&off, v) in sched.send_lists[src].iter().zip(values) {
             op(&mut array.owned_mut()[off as usize], v);
         }
-        rank.charge_compute(sched.send_lists[p].len() as f64 * 0.02);
-    }
+    })
 }
 
 /// Move whole items to new owners using a light-weight schedule and return this rank's new
@@ -149,39 +156,46 @@ pub fn scatter_append<T: Element>(
     sched: &LightweightSchedule,
     items: &[T],
 ) -> Vec<T> {
-    assert_eq!(sched.nprocs(), rank.nprocs(), "schedule/machine size mismatch");
+    assert_eq!(
+        sched.nprocs(),
+        rank.nprocs(),
+        "schedule/machine size mismatch"
+    );
     assert_eq!(
         sched.my_rank(),
         rank.rank(),
         "light-weight schedule belongs to a different rank"
     );
     let me = rank.rank();
-    for p in 0..sched.nprocs() {
-        if p == me || sched.send_item_lists[p].is_empty() {
-            continue;
-        }
-        let payload: Vec<T> = sched.send_item_lists[p]
-            .iter()
-            .map(|&i| items[i as usize])
-            .collect();
-        rank.charge_compute(payload.len() as f64 * 0.02);
-        rank.send_slice(p, TAG_APPEND, &payload);
-    }
+    let nprocs = sched.nprocs();
+    let plan = sched.append_plan();
+    let sends: Vec<Vec<T>> = (0..nprocs)
+        .map(|p| {
+            if p == me {
+                Vec::new() // kept items are copied straight from `items` below
+            } else {
+                sched.send_item_lists[p]
+                    .iter()
+                    .map(|&i| items[i as usize])
+                    .collect()
+            }
+        })
+        .collect();
+    // The engine delivers in arrival order; buffer per source so the documented
+    // kept-first, then-source-rank-order layout is deterministic.
+    let mut by_src: Vec<Vec<T>> = (0..nprocs).map(|_| Vec::new()).collect();
+    alltoallv(rank, &plan, &sends, |src, values| by_src[src] = values);
     let mut result: Vec<T> = Vec::with_capacity(sched.result_count());
-    for &i in &sched.send_item_lists[me] {
-        result.push(items[i as usize]);
-    }
-    for p in 0..sched.nprocs() {
-        if p == me || sched.recv_counts[p] == 0 {
-            continue;
+    result.extend(sched.send_item_lists[me].iter().map(|&i| items[i as usize]));
+    for (p, mut values) in by_src.into_iter().enumerate() {
+        if p != me {
+            debug_assert_eq!(
+                values.len(),
+                sched.recv_counts[p],
+                "scatter_append: receive count mismatch from processor {p}"
+            );
+            result.append(&mut values);
         }
-        let values: Vec<T> = rank.recv_vec(p, TAG_APPEND);
-        assert_eq!(
-            values.len(),
-            sched.recv_counts[p],
-            "scatter_append: receive count mismatch from processor {p}"
-        );
-        result.extend(values);
     }
     result
 }
@@ -201,7 +215,11 @@ mod tests {
         rank: &mut Rank,
         n: usize,
         pattern: &[usize],
-    ) -> (CommSchedule, Vec<crate::darray::LocalRef>, std::ops::Range<usize>) {
+    ) -> (
+        CommSchedule,
+        Vec<crate::darray::LocalRef>,
+        std::ops::Range<usize>,
+    ) {
         let dist = BlockDist::new(n, rank.nprocs());
         let ttable = TranslationTable::from_regular(&dist);
         let mut insp = Inspector::new(&ttable, rank.rank());
@@ -225,6 +243,28 @@ mod tests {
         for vals in &out.results {
             let expected: Vec<f64> = (0..n).map(|g| g as f64).collect();
             assert_eq!(vals, &expected);
+        }
+    }
+
+    #[test]
+    fn gather_reports_schedule_message_counts() {
+        let n = 32;
+        let out = run(MachineConfig::new(4), move |rank| {
+            let pattern: Vec<usize> = (0..n).map(|i| (i * 3 + 1) % n).collect();
+            let (sched, _refs, range) = setup(rank, n, &pattern);
+            let mut x = DistArray::new(vec![0.0f64; range.len()], sched.ghost_len());
+            let stats = gather(rank, &sched, &mut x);
+            (
+                stats,
+                sched.send_message_count(),
+                sched.total_send(),
+                sched.total_fetch(),
+            )
+        });
+        for (stats, msg_count, total_send, total_fetch) in &out.results {
+            assert_eq!(stats.msgs_sent as usize, *msg_count);
+            assert_eq!(stats.bytes_sent as usize, total_send * 8);
+            assert_eq!(stats.bytes_received as usize, total_fetch * 8);
         }
     }
 
@@ -266,7 +306,9 @@ mod tests {
             x.owned().to_vec()
         });
         for owned in &out.results {
-            assert!(owned.iter().all(|&v| (v - (10.0 + nprocs as f64)).abs() < 1e-12));
+            assert!(owned
+                .iter()
+                .all(|&v| (v - (10.0 + nprocs as f64)).abs() < 1e-12));
         }
     }
 
@@ -307,8 +349,8 @@ mod tests {
             let items: Vec<u64> = (0..10).map(|k| (1000 * me + k) as u64).collect();
             let dests: Vec<usize> = (0..10).map(|k| k % 4).collect();
             let sched = LightweightSchedule::build(rank, &dests);
-            let appended = scatter_append(rank, &sched, &items);
-            appended
+
+            scatter_append(rank, &sched, &items)
         });
         // Collect everything and check the multiset is conserved and routed correctly.
         let mut all: Vec<u64> = out.results.iter().flatten().copied().collect();
@@ -323,6 +365,28 @@ mod tests {
             assert!(items.iter().all(|&v| (v % 1000) as usize % 4 == p));
             // 4 ranks each send/keep either 2 or 3 items for p: total 10 or 12.
             assert_eq!(items.len(), out.results[p].len());
+        }
+    }
+
+    #[test]
+    fn scatter_append_orders_kept_items_first_then_sources_by_rank() {
+        let out = run(MachineConfig::new(3), |rank| {
+            let me = rank.rank();
+            // Every rank sends one item to every rank (including itself).
+            let items: Vec<u64> = (0..3).map(|k| (100 * me + k) as u64).collect();
+            let dests: Vec<usize> = (0..3).collect();
+            let sched = LightweightSchedule::build(rank, &dests);
+            scatter_append(rank, &sched, &items)
+        });
+        for (p, got) in out.results.iter().enumerate() {
+            // Kept item first, then contributions in source rank order.
+            let mut expected: Vec<u64> = vec![(100 * p + p) as u64];
+            expected.extend(
+                (0..3usize)
+                    .filter(|&src| src != p)
+                    .map(|src| (100 * src + p) as u64),
+            );
+            assert_eq!(got, &expected, "deterministic order on rank {p}");
         }
     }
 
@@ -348,7 +412,12 @@ mod tests {
             insp.hash_indices(rank, &pattern, Stamp::new(0));
             let sched = insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
             let regular_build_bytes = rank.stats().bytes_sent - before;
-            (lw_build_bytes, regular_build_bytes, lw.result_count(), sched.total_fetch())
+            (
+                lw_build_bytes,
+                regular_build_bytes,
+                lw.result_count(),
+                sched.total_fetch(),
+            )
         });
         for (lw, regular, result_count, fetch) in &out.results {
             assert!(
@@ -366,13 +435,18 @@ mod tests {
             let sched = CommSchedule::empty(rank.nprocs());
             let mut x: DistArray<f64> = DistArray::new(vec![1.0, 2.0], 0);
             let before = rank.stats().msgs_sent;
-            gather(rank, &sched, &mut x);
-            scatter_add(rank, &sched, &mut x);
-            (rank.stats().msgs_sent - before, x.owned().to_vec())
+            let g = gather(rank, &sched, &mut x);
+            let s = scatter_add(rank, &sched, &mut x);
+            (
+                rank.stats().msgs_sent - before,
+                x.owned().to_vec(),
+                g.merged(&s),
+            )
         });
-        for (msgs, owned) in &out.results {
+        for (msgs, owned, stats) in &out.results {
             assert_eq!(*msgs, 0);
             assert_eq!(owned, &vec![1.0, 2.0]);
+            assert_eq!(*stats, ExchangeStats::default());
         }
     }
 }

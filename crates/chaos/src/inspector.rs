@@ -198,7 +198,10 @@ mod tests {
         });
         for (a_fetch, inc_fetch, merged_fetch) in &out.results {
             assert_eq!(*a_fetch, 2);
-            assert_eq!(*inc_fetch, 1, "incremental schedule fetches only the new element");
+            assert_eq!(
+                *inc_fetch, 1,
+                "incremental schedule fetches only the new element"
+            );
             assert_eq!(*merged_fetch, 3);
         }
     }
@@ -221,12 +224,7 @@ mod tests {
             insp.hash_indices(rank, &second, s);
             let sched2 = insp.build_schedule(rank, StampQuery::single(s));
             let ghost2 = insp.ghost_len();
-            (
-                sched1.total_fetch(),
-                sched2.total_fetch(),
-                ghost1,
-                ghost2,
-            )
+            (sched1.total_fetch(), sched2.total_fetch(), ghost1, ghost2)
         });
         for (f1, f2, g1, g2) in &out.results {
             // Both versions fetch the same number of off-processor elements (10 of the 20
@@ -268,10 +266,7 @@ mod tests {
     fn inspector_rejects_distributed_tables() {
         let out = run(MachineConfig::new(2), |rank| {
             let map_dist = BlockDist::new(8, rank.nprocs());
-            let local: Vec<usize> = map_dist
-                .local_globals(rank.rank())
-                .map(|g| g % 2)
-                .collect();
+            let local: Vec<usize> = map_dist.local_globals(rank.rank()).map(|g| g % 2).collect();
             let t = TranslationTable::distributed_from_map(rank, &local, &map_dist).unwrap();
             if rank.rank() == 0 {
                 let _ = Inspector::new(&t, rank.rank());

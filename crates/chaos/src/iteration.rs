@@ -281,9 +281,7 @@ mod tests {
             let new_ia = part.remap_indirection(rank, &plan, &my_ia);
             // After remapping, every entry this rank holds must reference data it owns
             // (owner-computes guarantees home == owned).
-            let all_owned = new_ia
-                .iter()
-                .all(|&g| data_dist.owner(g) == rank.rank());
+            let all_owned = new_ia.iter().all(|&g| data_dist.owner(g) == rank.rank());
             (all_owned, new_ia.len())
         });
         let mut total = 0;

@@ -37,7 +37,7 @@
 //! let ib: Vec<usize> = (0..n).map(|i| (i * 13 + 5) % n).collect();
 //! let out = run(MachineConfig::new(4), move |rank| {
 //!     let dist = BlockDist::new(n, rank.nprocs());
-//!     let ttable = TranslationTable::replicated_from_block(rank, &dist);
+//!     let ttable = TranslationTable::replicated_from_block(&dist);
 //!     // This rank executes the block of iterations it owns.
 //!     let iters: Vec<usize> = dist.local_globals(rank.rank()).collect();
 //!     let my_ia: Vec<usize> = iters.iter().map(|&i| ia[i]).collect();
@@ -109,9 +109,7 @@ pub mod prelude {
         owner_computes_replicated, IterationPartition,
     };
     pub use crate::loadbalance::{imbalance_ratio, load_balance_index};
-    pub use crate::partitioners::{
-        chain_partition, rcb_partition, rib_partition, PartitionInput,
-    };
+    pub use crate::partitioners::{chain_partition, rcb_partition, rib_partition, PartitionInput};
     pub use crate::remap::{build_remap, remap_indices, remap_values, RemapPlan};
     pub use crate::schedule::{CommSchedule, LightweightSchedule};
     pub use crate::translation::{Loc, TranslationTable};

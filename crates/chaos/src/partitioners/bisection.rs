@@ -244,7 +244,11 @@ mod tests {
         (coords, weights)
     }
 
-    fn balance_of(parts_per_rank: &[Vec<usize>], weights_per_rank: &[Vec<f64>], nparts: usize) -> f64 {
+    fn balance_of(
+        parts_per_rank: &[Vec<usize>],
+        weights_per_rank: &[Vec<f64>],
+        nparts: usize,
+    ) -> f64 {
         let mut part_weights = vec![0.0f64; nparts];
         for (parts, weights) in parts_per_rank.iter().zip(weights_per_rank) {
             for (&p, &w) in parts.iter().zip(weights) {

@@ -182,7 +182,10 @@ mod tests {
         }
         let width0 = extent[0].1 - extent[0].0;
         let width3 = extent[3].1 - extent[3].0;
-        assert!(width0 < width3, "weighted slab should be narrower: {extent:?}");
+        assert!(
+            width0 < width3,
+            "weighted slab should be narrower: {extent:?}"
+        );
     }
 
     #[test]
@@ -223,7 +226,9 @@ mod tests {
     #[test]
     fn every_part_id_is_in_range() {
         let out = run(MachineConfig::new(3), |rank| {
-            let coords: Vec<f64> = (0..77).map(|i| ((i * 31 + rank.rank() * 7) % 100) as f64).collect();
+            let coords: Vec<f64> = (0..77)
+                .map(|i| ((i * 31 + rank.rank() * 7) % 100) as f64)
+                .collect();
             let weights: Vec<f64> = (0..77).map(|i| 1.0 + (i % 5) as f64).collect();
             chain_partition(rank, &coords, &weights, 5)
         });

@@ -74,8 +74,8 @@ pub fn principal_axis(coords: &[[f64; 3]], weights: &[f64]) -> [f64; 3] {
             c[d] += p[d] * w;
         }
     }
-    for d in 0..3 {
-        c[d] /= total;
+    for v in &mut c {
+        *v /= total;
     }
     // Weighted covariance (symmetric 3x3).
     let mut cov = [[0.0f64; 3]; 3];
@@ -187,7 +187,10 @@ mod tests {
             .collect();
         let w = vec![1.0; 20];
         let axis = principal_axis(&pts, &w);
-        assert!(axis[1].abs() > 0.95, "expected y-dominant axis, got {axis:?}");
+        assert!(
+            axis[1].abs() > 0.95,
+            "expected y-dominant axis, got {axis:?}"
+        );
         // Unit length.
         let norm = (axis[0] * axis[0] + axis[1] * axis[1] + axis[2] * axis[2]).sqrt();
         assert!((norm - 1.0).abs() < 1e-9);

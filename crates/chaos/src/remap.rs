@@ -8,12 +8,10 @@
 //! and executor are: CHARMM remaps several data arrays (coordinates, forces, displacement
 //! arrays) with the *same* plan, paying the analysis once.
 
-use mpsim::{Element, Rank};
+use mpsim::{alltoallv, Element, ExchangePlan, Rank};
 
 use crate::translation::TranslationTable;
 use crate::{Global, ProcId};
-
-const TAG_REMAP: u64 = 7_101;
 
 /// A reusable plan for moving an array from one distribution to another.
 #[derive(Debug, Clone)]
@@ -54,6 +52,17 @@ impl RemapPlan {
     /// Size of the local section under the new distribution.
     pub fn new_local_size(&self) -> usize {
         self.new_local_size
+    }
+
+    /// The exchange plan that executes this remap: old-offset lists out, placement lists
+    /// in.  The kept (self → self) portion never enters the plan — [`remap_values`]
+    /// places it straight from the old local section.
+    pub fn exchange_plan(&self) -> ExchangePlan {
+        let mut send_counts: Vec<usize> = self.send_old_offsets.iter().map(Vec::len).collect();
+        send_counts[self.my_rank] = 0;
+        let mut recv_counts: Vec<usize> = self.recv_placements.iter().map(Vec::len).collect();
+        recv_counts[self.my_rank] = 0;
+        ExchangePlan::sparse(self.my_rank, send_counts, recv_counts)
     }
 }
 
@@ -103,42 +112,44 @@ pub fn remap_values<T: Element>(
     fill: T,
 ) -> Vec<T> {
     assert_eq!(plan.nprocs, rank.nprocs(), "plan/machine size mismatch");
-    assert_eq!(plan.my_rank, rank.rank(), "plan belongs to a different rank");
-    let me = rank.rank();
-    for p in 0..plan.nprocs {
-        if p == me || plan.send_old_offsets[p].is_empty() {
-            continue;
-        }
-        let payload: Vec<T> = plan.send_old_offsets[p]
-            .iter()
-            .map(|&l| old_local[l as usize])
-            .collect();
-        rank.charge_compute(payload.len() as f64 * 0.02);
-        rank.send_slice(p, TAG_REMAP, &payload);
-    }
+    assert_eq!(
+        plan.my_rank,
+        rank.rank(),
+        "plan belongs to a different rank"
+    );
+    let me = plan.my_rank;
+    let eplan = plan.exchange_plan();
+    // Pack every destination's elements in old-offset order; the kept portion skips the
+    // engine and is placed straight from the old local section below.
+    let sends: Vec<Vec<T>> = plan
+        .send_old_offsets
+        .iter()
+        .enumerate()
+        .map(|(p, offs)| {
+            if p == me {
+                Vec::new()
+            } else {
+                offs.iter().map(|&l| old_local[l as usize]).collect()
+            }
+        })
+        .collect();
     let mut new_local = vec![fill; plan.new_local_size];
-    // Elements this rank keeps: placements for "received from myself".
     for (&old_off, &new_off) in plan.send_old_offsets[me]
         .iter()
         .zip(&plan.recv_placements[me])
     {
         new_local[new_off as usize] = old_local[old_off as usize];
     }
-    for p in 0..plan.nprocs {
-        if p == me || plan.recv_placements[p].is_empty() {
-            continue;
-        }
-        let values: Vec<T> = rank.recv_vec(p, TAG_REMAP);
-        assert_eq!(
+    alltoallv(rank, &eplan, &sends, |src, values: Vec<T>| {
+        debug_assert_eq!(
             values.len(),
-            plan.recv_placements[p].len(),
-            "remap: receive count mismatch from processor {p}"
+            plan.recv_placements[src].len(),
+            "remap: receive count mismatch from processor {src}"
         );
-        for (&new_off, v) in plan.recv_placements[p].iter().zip(values) {
+        for (&new_off, v) in plan.recv_placements[src].iter().zip(values) {
             new_local[new_off as usize] = v;
         }
-        rank.charge_compute(plan.recv_placements[p].len() as f64 * 0.02);
-    }
+    });
     new_local
 }
 

@@ -19,7 +19,7 @@
 //! counts.  It is built with a single all-to-all of counts and drives
 //! [`crate::executor::scatter_append`].
 
-use mpsim::Rank;
+use mpsim::{ExchangePlan, Rank};
 
 use crate::ProcId;
 
@@ -103,11 +103,35 @@ impl CommSchedule {
         self.ghost_len
     }
 
+    /// The exchange plan executing this schedule in the gather direction on `my_rank`:
+    /// send-list elements go out, permutation-list elements come in.  Self transfers are
+    /// excluded — a schedule never fetches elements the rank already owns.
+    pub fn gather_plan(&self, my_rank: ProcId) -> ExchangePlan {
+        let mut send_counts: Vec<usize> = self.send_lists.iter().map(Vec::len).collect();
+        let mut recv_counts: Vec<usize> = self.perm_lists.iter().map(Vec::len).collect();
+        send_counts[my_rank] = 0;
+        recv_counts[my_rank] = 0;
+        ExchangePlan::sparse(my_rank, send_counts, recv_counts)
+    }
+
+    /// The exchange plan for the scatter direction (the mirror image of
+    /// [`CommSchedule::gather_plan`]): ghost copies travel back to their owners.
+    pub fn scatter_plan(&self, my_rank: ProcId) -> ExchangePlan {
+        let mut send_counts: Vec<usize> = self.perm_lists.iter().map(Vec::len).collect();
+        let mut recv_counts: Vec<usize> = self.send_lists.iter().map(Vec::len).collect();
+        send_counts[my_rank] = 0;
+        recv_counts[my_rank] = 0;
+        ExchangePlan::sparse(my_rank, send_counts, recv_counts)
+    }
+
     /// Merge two schedules built against the *same* hash table (so their ghost slots are
     /// drawn from the same space) into one that performs both transfers in a single pass.
     /// Duplicate (destination, offset) pairs are kept only once.
     pub fn merged_with(&self, other: &CommSchedule) -> CommSchedule {
-        assert_eq!(self.nprocs, other.nprocs, "schedules span different machines");
+        assert_eq!(
+            self.nprocs, other.nprocs,
+            "schedules span different machines"
+        );
         let mut send_lists = Vec::with_capacity(self.nprocs);
         let mut perm_lists = Vec::with_capacity(self.nprocs);
         for p in 0..self.nprocs {
@@ -175,18 +199,29 @@ impl LightweightSchedule {
         // A small, fixed amount of work per item (binning); contrast with the regular
         // inspector which charges per-index translation and hashing.
         rank.charge_compute(dest_proc_per_item.len() as f64 * 0.05);
-        let counts: Vec<Vec<u64>> = send_item_lists
-            .iter()
-            .map(|l| vec![l.len() as u64])
-            .collect();
-        let their_counts = rank.all_to_all(&counts);
-        let recv_counts: Vec<usize> = their_counts.iter().map(|c| c[0] as usize).collect();
+        // The entire inspector for this kind of schedule is the exchange engine's count
+        // negotiation: one dense all-to-all of item counts.
+        let send_counts: Vec<usize> = send_item_lists.iter().map(Vec::len).collect();
+        let plan = ExchangePlan::negotiate(rank, &send_counts);
+        let mut recv_counts = plan.recv_counts();
+        recv_counts[me] = send_item_lists[me].len();
         Self {
             nprocs,
             my_rank: me,
             send_item_lists,
             recv_counts,
         }
+    }
+
+    /// The exchange plan that moves this schedule's items: per-destination item counts
+    /// out, negotiated counts in.  The kept portion never enters the plan — the executor
+    /// copies it straight from the caller's item slice.
+    pub fn append_plan(&self) -> ExchangePlan {
+        let mut send_counts: Vec<usize> = self.send_item_lists.iter().map(Vec::len).collect();
+        send_counts[self.my_rank] = 0;
+        let mut recv_counts = self.recv_counts.clone();
+        recv_counts[self.my_rank] = 0;
+        ExchangePlan::sparse(self.my_rank, send_counts, recv_counts)
     }
 
     /// Number of processors the schedule spans.

@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 
-use mpsim::Rank;
+use mpsim::{alltoallv, ExchangePlan, Rank};
 
 use crate::distribution::{BlockDist, RegularDist};
 use crate::{ChaosError, Global, ProcId};
@@ -90,10 +90,11 @@ impl TranslationTable {
         }
     }
 
-    /// Build a replicated table describing the given BLOCK distribution.  Collective only
-    /// in the trivial sense (no communication is needed); the `rank` argument documents
-    /// that all ranks construct the same table.
-    pub fn replicated_from_block(_rank: &mut Rank, dist: &BlockDist) -> Self {
+    /// Build a replicated table describing the given BLOCK distribution.  Block ownership
+    /// is pure arithmetic every rank can evaluate on its own, so no rank handle is needed
+    /// and nothing is charged to the cost model — unlike the `*_from_map` constructors,
+    /// which really communicate.
+    pub fn replicated_from_block(dist: &BlockDist) -> Self {
         Self::from_regular(dist)
     }
 
@@ -340,7 +341,10 @@ impl TranslationTable {
         let mut entries = Vec::with_capacity(self.global_size);
         for (p, part) in gathered.into_iter().enumerate() {
             debug_assert_eq!(part.len(), home.local_size(p));
-            entries.extend(part.into_iter().map(|(owner, offset)| Loc { owner, offset }));
+            entries.extend(
+                part.into_iter()
+                    .map(|(owner, offset)| Loc { owner, offset }),
+            );
         }
         self.storage = Storage::Replicated(entries);
     }
@@ -360,12 +364,7 @@ fn validate_map(local_map: &[ProcId], nprocs: usize) -> Result<(), ChaosError> {
 }
 
 /// Collective dereference against a block-distributed table.
-fn lookup_remote(
-    rank: &mut Rank,
-    home: &BlockDist,
-    local: &[Loc],
-    queries: &[Global],
-) -> Vec<Loc> {
+fn lookup_remote(rank: &mut Rank, home: &BlockDist, local: &[Loc], queries: &[Global]) -> Vec<Loc> {
     let nprocs = rank.nprocs();
     let me = rank.rank();
     let my_base = home.local_range(me).start;
@@ -456,9 +455,15 @@ fn lookup_paged(
     for part in returned {
         for (g, owner, offset) in part {
             let page = g as usize / page_size;
-            let entry = cache
-                .entry(page)
-                .or_insert_with(|| vec![Loc { owner: u32::MAX, offset: 0 }; page_size]);
+            let entry = cache.entry(page).or_insert_with(|| {
+                vec![
+                    Loc {
+                        owner: u32::MAX,
+                        offset: 0
+                    };
+                    page_size
+                ]
+            });
             entry[g as usize % page_size] = Loc { owner, offset };
         }
     }
@@ -497,9 +502,10 @@ fn lookup_paged(
     result.into_iter().map(|l| l.unwrap()).collect()
 }
 
-/// The per-index dereference used as the paged table's fallback.  Identical message
-/// pattern to [`lookup_remote`] but with dedicated tags so a paged lookup and a plain
-/// distributed lookup cannot interfere.
+/// The per-index dereference used as the paged table's fallback.  The same
+/// query/answer protocol as [`lookup_remote`], but sparse: a count negotiation tells every
+/// rank what it will be asked, queries travel only where they exist, and the answer round
+/// needs no negotiation because its sizes mirror the query round.
 fn lookup_remote_fallback(
     rank: &mut Rank,
     home: &BlockDist,
@@ -516,51 +522,34 @@ fn lookup_remote_fallback(
         placement.push((h, by_home[h].len()));
         by_home[h].push(g as u64);
     }
-    // Reuse the generic exchange with explicit counts learned from an all_to_all of sizes.
-    let counts: Vec<Vec<u64>> = by_home.iter().map(|v| vec![v.len() as u64]).collect();
-    let their_counts = rank.all_to_all(&counts);
-    let sends: Vec<(usize, Vec<u64>)> = by_home
+    // Query round: negotiated sparse exchange (self queries arrive via local delivery).
+    let query_counts: Vec<usize> = by_home.iter().map(Vec::len).collect();
+    let query_plan = ExchangePlan::negotiate(rank, &query_counts);
+    let mut incoming_queries: Vec<Vec<u64>> = vec![Vec::new(); nprocs];
+    alltoallv(rank, &query_plan, &by_home, |src, qs| {
+        incoming_queries[src] = qs;
+    });
+    // Answer round: sizes mirror the query round exactly, so no negotiation is needed.
+    let answer_plan = ExchangePlan::sparse(
+        me,
+        incoming_queries.iter().map(Vec::len).collect(),
+        query_counts,
+    );
+    let answer_sends: Vec<Vec<(u32, u32)>> = incoming_queries
         .iter()
-        .enumerate()
-        .filter(|(p, v)| *p != me && !v.is_empty())
-        .map(|(p, v)| (p, v.clone()))
-        .collect();
-    let expected: Vec<(usize, usize)> = their_counts
-        .iter()
-        .enumerate()
-        .map(|(p, c)| (p, c[0] as usize))
-        .collect();
-    let received = rank.exchange(&sends, &expected);
-    // Answer.
-    let mut answer_sends: Vec<(usize, Vec<(u32, u32)>)> = Vec::new();
-    for (src, qs) in &received {
-        let ans: Vec<(u32, u32)> = qs
-            .iter()
-            .map(|&g| {
-                let loc = local[g as usize - my_base];
-                (loc.owner, loc.offset)
-            })
-            .collect();
-        answer_sends.push((*src, ans));
-    }
-    // Also answer our own queries locally.
-    let mut answers_by_home: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nprocs];
-    answers_by_home[me] = by_home[me]
-        .iter()
-        .map(|&g| {
-            let loc = local[g as usize - my_base];
-            (loc.owner, loc.offset)
+        .map(|qs| {
+            qs.iter()
+                .map(|&g| {
+                    let loc = local[g as usize - my_base];
+                    (loc.owner, loc.offset)
+                })
+                .collect()
         })
         .collect();
-    let expected_answers: Vec<(usize, usize)> = by_home
-        .iter()
-        .enumerate()
-        .map(|(p, v)| (p, v.len()))
-        .collect();
-    let answer_recv = rank.exchange(&answer_sends, &expected_answers);
-    for (src, ans) in answer_recv {
+    let mut answers_by_home: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nprocs];
+    alltoallv(rank, &answer_plan, &answer_sends, |src, ans| {
         answers_by_home[src] = ans;
-    }
+    });
     placement
         .into_iter()
         .map(|(h, idx)| {
@@ -622,7 +611,10 @@ mod tests {
                 .collect();
             let t = TranslationTable::replicated_from_map(rank, &local, &map_dist).unwrap();
             let locs: Vec<Loc> = (0..n).map(|g| t.lookup_local(g)).collect();
-            (locs, (0..nprocs).map(|p| t.local_size(p)).collect::<Vec<_>>())
+            (
+                locs,
+                (0..nprocs).map(|p| t.local_size(p)).collect::<Vec<_>>(),
+            )
         });
         for (locs, sizes) in &out.results {
             assert_eq!(locs, &expected);
@@ -680,7 +672,13 @@ mod tests {
             // remote entries (the collective fallback still synchronises but sends nothing).
             let second = t.lookup(rank, &queries);
             let bytes_after_second = rank.stats().bytes_sent;
-            (first, second, bytes_after_first, bytes_after_second, queries)
+            (
+                first,
+                second,
+                bytes_after_first,
+                bytes_after_second,
+                queries,
+            )
         });
         for (first, second, b1, b2, queries) in &out.results {
             for (q, loc) in queries.iter().zip(first) {
@@ -709,10 +707,8 @@ mod tests {
                 .local_globals(rank.rank())
                 .map(|g| map2[g])
                 .collect();
-            let mut rep =
-                TranslationTable::replicated_from_map(rank, &local, &map_dist).unwrap();
-            let mut dis =
-                TranslationTable::distributed_from_map(rank, &local, &map_dist).unwrap();
+            let mut rep = TranslationTable::replicated_from_map(rank, &local, &map_dist).unwrap();
+            let mut dis = TranslationTable::distributed_from_map(rank, &local, &map_dist).unwrap();
             let a = rep.owned_globals(rank);
             let b = dis.owned_globals(rank);
             (a, b)
@@ -762,10 +758,7 @@ mod tests {
     fn lookup_local_panics_on_distributed_table() {
         let out = run(MachineConfig::new(2), |rank| {
             let map_dist = BlockDist::new(4, 2);
-            let local: Vec<ProcId> = map_dist
-                .local_globals(rank.rank())
-                .map(|g| g % 2)
-                .collect();
+            let local: Vec<ProcId> = map_dist.local_globals(rank.rank()).map(|g| g % 2).collect();
             let t = TranslationTable::distributed_from_map(rank, &local, &map_dist).unwrap();
             // Force the panic on rank 0 only to keep the panic message deterministic.
             if rank.rank() == 0 {

@@ -26,6 +26,8 @@ pub mod parallel;
 pub mod sequential;
 pub mod system;
 
-pub use parallel::{CharmmPhaseTimes, CharmmStepStats, ParallelCharmm, ParallelConfig, ScheduleMode};
+pub use parallel::{
+    CharmmPhaseTimes, CharmmStepStats, ParallelCharmm, ParallelConfig, ScheduleMode,
+};
 pub use sequential::SequentialCharmm;
 pub use system::{MolecularSystem, SystemConfig};

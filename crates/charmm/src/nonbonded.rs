@@ -43,11 +43,7 @@ impl NeighborList {
 
 /// Build the neighbour list of all atoms (sequential; the parallel code builds lists for
 /// owned atoms only, see [`build_neighbor_list_for`]).
-pub fn build_neighbor_list(
-    positions: &[[f64; 3]],
-    box_size: f64,
-    cutoff: f64,
-) -> NeighborList {
+pub fn build_neighbor_list(positions: &[[f64; 3]], box_size: f64, cutoff: f64) -> NeighborList {
     let all: Vec<usize> = (0..positions.len()).collect();
     build_neighbor_list_for(&all, positions, box_size, cutoff)
 }
@@ -211,7 +207,10 @@ mod tests {
         // on i must push it *away* from j (negative x here); inside the attractive well it
         // must pull i *toward* j (positive x).
         let close = pair_force([0.8, 0.0, 0.0]);
-        assert!(close[0] < 0.0, "overlapping atoms must repel, got {close:?}");
+        assert!(
+            close[0] < 0.0,
+            "overlapping atoms must repel, got {close:?}"
+        );
         let far = pair_force([2.0, 0.0, 0.0]);
         assert!(far[0] > 0.0, "distant atoms inside the well must attract");
     }

@@ -209,8 +209,14 @@ pub fn run_parallel(
 
     let t0 = rank.modeled();
     let coords: Vec<[f64; 3]> = my_block.iter().map(|&g| global_positions[g]).collect();
-    let local_map =
-        run_partitioner(rank, config.partitioner, &coords, &weights, my_block.len(), nprocs);
+    let local_map = run_partitioner(
+        rank,
+        config.partitioner,
+        &coords,
+        &weights,
+        my_block.len(),
+        nprocs,
+    );
     phases.data_partition += rank.modeled().since(&t0);
 
     // ------------------------------------------------------------------ remap to owners --
@@ -448,7 +454,7 @@ fn build_local_nb_list(
     rank: &mut Rank,
     dist: &DistributionState,
     system: &MolecularSystem,
-    global_positions: &mut Vec<[f64; 3]>,
+    global_positions: &mut [[f64; 3]],
 ) -> NeighborList {
     let packed: Vec<[f64; 4]> = dist
         .owned_globals
@@ -518,7 +524,8 @@ fn build_loop_state(
             (Some(merged), None, None)
         }
         ScheduleMode::Multiple => {
-            let b = build_schedule_from_table(rank, hash, StampQuery::any_of(&[STAMP_IB, STAMP_JB]));
+            let b =
+                build_schedule_from_table(rank, hash, StampQuery::any_of(&[STAMP_IB, STAMP_JB]));
             let nb = build_schedule_from_table(rank, hash, StampQuery::single(STAMP_NB));
             (None, Some(b), Some(nb))
         }
@@ -625,7 +632,10 @@ fn execute_step(
             // same hash table), so they are cleared between the two scatters to avoid
             // folding a contribution back twice.
             let bsched = loops.bonded.as_ref().expect("bonded schedule missing");
-            let nsched = loops.nonbonded.as_ref().expect("non-bonded schedule missing");
+            let nsched = loops
+                .nonbonded
+                .as_ref()
+                .expect("non-bonded schedule missing");
             gather(rank, bsched, &mut px);
             gather(rank, bsched, &mut py);
             gather(rank, bsched, &mut pz);
@@ -690,7 +700,10 @@ mod tests {
                 positions[g] = p;
             }
         }
-        assert!(positions.iter().all(|p| !p[0].is_nan()), "some atom unowned");
+        assert!(
+            positions.iter().all(|p| !p[0].is_nan()),
+            "some atom unowned"
+        );
         positions
     }
 

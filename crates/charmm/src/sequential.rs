@@ -30,8 +30,7 @@ impl SequentialCharmm {
     /// 25 steps).
     pub fn new(system: MolecularSystem, list_update_interval: usize) -> Self {
         assert!(list_update_interval > 0);
-        let neighbor_list =
-            build_neighbor_list(&system.positions, system.box_size, system.cutoff);
+        let neighbor_list = build_neighbor_list(&system.positions, system.box_size, system.cutoff);
         Self {
             system,
             neighbor_list,
@@ -71,7 +70,7 @@ impl SequentialCharmm {
     /// Advance the simulation by one time step (statement S + loops L2, L3 + integration
     /// of Figure 2).
     pub fn step(&mut self) {
-        if self.steps_taken > 0 && self.steps_taken % self.list_update_interval == 0 {
+        if self.steps_taken > 0 && self.steps_taken.is_multiple_of(self.list_update_interval) {
             self.neighbor_list = build_neighbor_list(
                 &self.system.positions,
                 self.system.box_size,

@@ -89,11 +89,11 @@ impl MolecularSystem {
         let spread = config.box_size / 6.0;
         let mut cursor = [centre, centre, centre];
         for i in 0..config.protein_atoms {
-            for d in 0..3 {
-                cursor[d] += rng.gen_range(-1.2..1.2);
+            for slot in &mut cursor {
+                *slot += rng.gen_range(-1.2..1.2);
                 let lo = centre - spread;
                 let hi = centre + spread;
-                cursor[d] = cursor[d].clamp(lo, hi);
+                *slot = slot.clamp(lo, hi);
             }
             positions.push(cursor);
             velocities.push([
@@ -209,7 +209,10 @@ mod tests {
         // All atoms inside the box, all bonds reference valid atoms.
         for p in &sys.positions {
             for d in 0..3 {
-                assert!(p[d] >= 0.0 && p[d] <= cfg.box_size, "atom outside box: {p:?}");
+                assert!(
+                    p[d] >= 0.0 && p[d] <= cfg.box_size,
+                    "atom outside box: {p:?}"
+                );
             }
         }
         for &(i, j) in &sys.bonds {

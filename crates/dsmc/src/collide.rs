@@ -47,8 +47,8 @@ pub fn collide_cell(cell_id: usize, step: usize, seed: u64, particles: &mut [Par
 pub fn total_momentum(particles: &[Particle]) -> [f64; 3] {
     let mut m = [0.0; 3];
     for p in particles {
-        for k in 0..3 {
-            m[k] += p.vel[k];
+        for (mk, vk) in m.iter_mut().zip(&p.vel) {
+            *mk += vk;
         }
     }
     m

@@ -137,7 +137,7 @@ pub fn run_parallel(
 ) -> DsmcStats {
     let nprocs = rank.nprocs();
     let me = rank.rank();
-    let ncells = grid.ncells();
+
     let mut phases = DsmcPhaseTimes::default();
     let mut collisions = 0usize;
     let mut migrations = 0usize;
@@ -148,8 +148,8 @@ pub fn run_parallel(
     let mut cell_owner: Vec<ProcId> = initial_owner_map(grid, nprocs);
     // Molecules of owned cells, keyed by global cell id.
     let mut cells: HashMap<usize, Vec<Particle>> = HashMap::new();
-    for cell in 0..ncells {
-        if cell_owner[cell] == me {
+    for (cell, &owner) in cell_owner.iter().enumerate() {
+        if owner == me {
             cells.insert(cell, Vec::new());
         }
     }
@@ -219,19 +219,11 @@ pub fn run_parallel(
         phases.move_data += rank.modeled().since(&t0);
 
         // ------------------------------------------------------------------- remapping --
-        let remap_due = config.remap != RemapStrategy::Static
-            && step > 0
-            && step % config.remap_interval == 0;
+        let remap_due =
+            config.remap != RemapStrategy::Static && step > 0 && step % config.remap_interval == 0;
         if remap_due {
             remaps += 1;
-            remap_cells(
-                rank,
-                grid,
-                config,
-                &mut cell_owner,
-                &mut cells,
-                &mut phases,
-            );
+            remap_cells(rank, grid, config, &mut cell_owner, &mut cells, &mut phases);
         }
     }
 
@@ -392,7 +384,7 @@ fn remap_cells(
     rank: &mut Rank,
     grid: &CellGrid,
     config: &DsmcConfig,
-    cell_owner: &mut Vec<ProcId>,
+    cell_owner: &mut [ProcId],
     cells: &mut HashMap<usize, Vec<Particle>>,
     phases: &mut DsmcPhaseTimes,
 ) {
@@ -414,7 +406,10 @@ fn remap_cells(
             rcb_partition(rank, PartitionInput::new(&coords, &weights), nprocs)
         }
         RemapStrategy::Chain => {
-            let xs: Vec<f64> = owned_cells.iter().map(|&c| grid.cell_center(c)[0]).collect();
+            let xs: Vec<f64> = owned_cells
+                .iter()
+                .map(|&c| grid.cell_center(c)[0])
+                .collect();
             chain_partition(rank, &xs, &weights, nprocs)
         }
     };
@@ -471,10 +466,8 @@ mod tests {
     use mpsim::{run, MachineConfig};
 
     fn merged_fingerprint(results: &[DsmcStats]) -> Vec<(usize, Vec<u64>)> {
-        let mut all: Vec<(usize, Vec<u64>)> = results
-            .iter()
-            .flat_map(|s| s.fingerprint.clone())
-            .collect();
+        let mut all: Vec<(usize, Vec<u64>)> =
+            results.iter().flat_map(|s| s.fingerprint.clone()).collect();
         all.sort_unstable();
         all
     }
@@ -641,7 +634,10 @@ mod tests {
         let config = DsmcConfig::lightweight(8, 2);
         let results = run_config(2, grid, 300, flow, config);
         let migrations: usize = results.iter().map(|s| s.migrations).sum();
-        assert!(migrations > 0, "directional flow must push molecules across ranks");
+        assert!(
+            migrations > 0,
+            "directional flow must push molecules across ranks"
+        );
         let collisions: usize = results.iter().map(|s| s.collisions).sum();
         assert!(collisions > 0);
     }

@@ -25,7 +25,11 @@ pub struct Particle {
     pub id: u64,
 }
 
-impl_element_struct!(Particle { pos: [f64; 3], vel: [f64; 3], id: u64 });
+impl_element_struct!(Particle {
+    pos: [f64; 3],
+    vel: [f64; 3],
+    id: u64
+});
 
 /// Flow-field parameters for particle seeding.
 #[derive(Debug, Clone, Copy)]
@@ -159,7 +163,10 @@ mod tests {
         let particles = seed_particles(&grid, 2_000, &FlowConfig::uniform(3));
         let positive = particles.iter().filter(|p| p.vel[0] > 0.0).count();
         let fraction = positive as f64 / particles.len() as f64;
-        assert!((0.4..0.6).contains(&fraction), "drift-free flow skewed: {fraction}");
+        assert!(
+            (0.4..0.6).contains(&fraction),
+            "drift-free flow skewed: {fraction}"
+        );
     }
 
     #[test]

@@ -184,7 +184,11 @@ impl<'p> Executor<'p> {
             .integers
             .get_mut(name)
             .unwrap_or_else(|| panic!("unknown integer array {name}"));
-        assert_eq!(values.len(), slot.len(), "array {name} has the wrong length");
+        assert_eq!(
+            values.len(),
+            slot.len(),
+            "array {name} has the wrong length"
+        );
         slot.copy_from_slice(values);
         *self.mod_counter.entry(name.to_string()).or_insert(0) += 1;
     }
@@ -192,7 +196,10 @@ impl<'p> Executor<'p> {
     /// Record that the host modified an integer array in place (statement S of Figure 2):
     /// schedules depending on it will be regenerated at their next execution.
     pub fn mark_modified(&mut self, name: &str) {
-        assert!(self.integers.contains_key(name), "unknown integer array {name}");
+        assert!(
+            self.integers.contains_key(name),
+            "unknown integer array {name}"
+        );
         *self.mod_counter.entry(name.to_string()).or_insert(0) += 1;
     }
 
@@ -275,9 +282,7 @@ impl<'p> Executor<'p> {
         let my_block: Vec<usize> = block.local_globals(self.my_rank).collect();
         let mut new_ttable = match spec {
             DistSpec::Block => TranslationTable::from_regular(&block),
-            DistSpec::Cyclic => {
-                TranslationTable::from_regular(&CyclicDist::new(size, self.nprocs))
-            }
+            DistSpec::Cyclic => TranslationTable::from_regular(&CyclicDist::new(size, self.nprocs)),
             DistSpec::Map(map_name) => {
                 let map = &self.integers[map_name];
                 let local_map: Vec<usize> = my_block.iter().map(|&g| map[g] as usize).collect();
@@ -329,7 +334,9 @@ impl<'p> Executor<'p> {
     fn run_sum_loop(&mut self, rank: &mut Rank, loop_id: usize) {
         let plan = self.program.loop_plan(loop_id).clone();
         let (var, lo, hi, body) = match &plan.forall {
-            Stmt::Forall { var, lo, hi, body } => (var.clone(), lo.clone(), hi.clone(), body.clone()),
+            Stmt::Forall { var, lo, hi, body } => {
+                (var.clone(), lo.clone(), hi.clone(), body.clone())
+            }
             _ => unreachable!(),
         };
         let empty_env = HashMap::new();
@@ -454,7 +461,9 @@ impl<'p> Executor<'p> {
     fn run_append_loop(&mut self, rank: &mut Rank, loop_id: usize, target: &str) {
         let plan = self.program.loop_plan(loop_id).clone();
         let (var, lo, hi, body) = match &plan.forall {
-            Stmt::Forall { var, lo, hi, body } => (var.clone(), lo.clone(), hi.clone(), body.clone()),
+            Stmt::Forall { var, lo, hi, body } => {
+                (var.clone(), lo.clone(), hi.clone(), body.clone())
+            }
             _ => unreachable!(),
         };
         let (reduce_target, value_expr) = find_append(&body)
@@ -559,7 +568,12 @@ fn local_ref(
         let entry = hash
             .get(global)
             .unwrap_or_else(|| panic!("element {global} was not hashed by the inspector"));
-        LocalRef(owned_len + entry.ghost_slot.expect("off-processor entry has a ghost slot") as usize)
+        LocalRef(
+            owned_len
+                + entry
+                    .ghost_slot
+                    .expect("off-processor entry has a ghost slot") as usize,
+        )
     }
 }
 
@@ -578,10 +592,10 @@ fn eval_real(
     match expr {
         Expr::Int(n) => *n as f64,
         Expr::Real(x) => *x,
-        Expr::Var(v) => *env
-            .get(v)
-            .unwrap_or_else(|| panic!("unknown loop variable or scalar {v}"))
-            as f64,
+        Expr::Var(v) => {
+            *env.get(v)
+                .unwrap_or_else(|| panic!("unknown loop variable or scalar {v}")) as f64
+        }
         Expr::Element(ArrayRef { array, index }) => {
             if let Some(values) = integers.get(array) {
                 let idx = eval_int(index, env, integers) - 1;
@@ -621,9 +635,10 @@ fn eval_owned_value(
     match expr {
         Expr::Int(n) => *n as f64,
         Expr::Real(x) => *x,
-        Expr::Var(v) => *env
-            .get(v)
-            .unwrap_or_else(|| panic!("unknown loop variable or scalar {v}")) as f64,
+        Expr::Var(v) => {
+            *env.get(v)
+                .unwrap_or_else(|| panic!("unknown loop variable or scalar {v}")) as f64
+        }
         Expr::Element(ArrayRef { array, index }) => {
             if let Some(values) = integers.get(array) {
                 let idx = eval_int(index, env, integers) - 1;
@@ -736,7 +751,9 @@ fn exec_body(
             }
             Stmt::Reduce { op, target, value } => {
                 debug_assert_eq!(*op, ReduceOp::Sum, "append handled by run_append_loop");
-                let v = eval_real(value, env, integers, reals, ttable, hash, owned_len, my_rank);
+                let v = eval_real(
+                    value, env, integers, reals, ttable, hash, owned_len, my_rank,
+                );
                 let g = (eval_int(&target.index, env, integers) - 1) as usize;
                 let r = local_ref(hash, ttable, owned_len, my_rank, g);
                 let state = reals.get_mut(&target.array).expect("target array exists");
@@ -744,7 +761,9 @@ fn exec_body(
                 work += 1;
             }
             Stmt::Assign { target, value } => {
-                let v = eval_real(value, env, integers, reals, ttable, hash, owned_len, my_rank);
+                let v = eval_real(
+                    value, env, integers, reals, ttable, hash, owned_len, my_rank,
+                );
                 let g = (eval_int(&target.index, env, integers) - 1) as usize;
                 let loc = ttable.lookup_local(g);
                 debug_assert_eq!(
@@ -912,7 +931,9 @@ mod tests {
             np = nparticles,
             nc = ncells
         );
-        let icell: Vec<i64> = (0..nparticles).map(|i| ((i * 5) % ncells + 1) as i64).collect();
+        let icell: Vec<i64> = (0..nparticles)
+            .map(|i| ((i * 5) % ncells + 1) as i64)
+            .collect();
         let vel: Vec<f64> = (0..nparticles).map(|i| i as f64 + 0.25).collect();
         // Sequential reference: per-cell value multisets and counts.
         let mut expected: Vec<Vec<u64>> = vec![Vec::new(); ncells];

@@ -188,7 +188,9 @@ mod tests {
         let toks = tokenize("forall i = 1, n   ! outer loop\n").unwrap();
         assert_eq!(toks[0], Token::Ident("FORALL".into()));
         assert_eq!(toks[1], Token::Ident("I".into()));
-        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "OUTER")));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, Token::Ident(s) if s == "OUTER")));
     }
 
     #[test]

@@ -116,9 +116,10 @@ pub fn lower(program: &Program) -> Result<LoweredProgram, String> {
                     .get(decomp)
                     .ok_or_else(|| format!("ALIGN references unknown decomposition {decomp}"))?;
                 for a in arrays {
-                    let size = pending_reals.get(a).copied().or_else(|| {
-                        real_arrays.get(a).map(|(s, _)| *s)
-                    });
+                    let size = pending_reals
+                        .get(a)
+                        .copied()
+                        .or_else(|| real_arrays.get(a).map(|(s, _)| *s));
                     let size =
                         size.ok_or_else(|| format!("ALIGN references undeclared array {a}"))?;
                     if size != dsize {
@@ -131,7 +132,9 @@ pub fn lower(program: &Program) -> Result<LoweredProgram, String> {
             }
             Stmt::Distribute { decomp, spec } => {
                 if !decomps.contains_key(decomp) {
-                    return Err(format!("DISTRIBUTE references unknown decomposition {decomp}"));
+                    return Err(format!(
+                        "DISTRIBUTE references unknown decomposition {decomp}"
+                    ));
                 }
                 if let DistSpec::Map(map) = spec {
                     if !integer_arrays.contains_key(map) {
@@ -147,13 +150,7 @@ pub fn lower(program: &Program) -> Result<LoweredProgram, String> {
             }
             Stmt::Forall { .. } => {
                 let loop_id = loops.len();
-                let plan = lower_forall(
-                    loop_id,
-                    stmt,
-                    &real_arrays,
-                    &integer_arrays,
-                    &decomps,
-                )?;
+                let plan = lower_forall(loop_id, stmt, &real_arrays, &integer_arrays, &decomps)?;
                 loops.push(plan);
                 steps.push(ExecStep::Loop(loop_id));
             }
@@ -324,10 +321,7 @@ fn collect_body(
     Ok(())
 }
 
-fn ensure_real(
-    name: &str,
-    real_arrays: &HashMap<String, (usize, String)>,
-) -> Result<(), String> {
+fn ensure_real(name: &str, real_arrays: &HashMap<String, (usize, String)>) -> Result<(), String> {
     if real_arrays.contains_key(name) {
         Ok(())
     } else {

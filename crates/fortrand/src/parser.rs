@@ -399,12 +399,15 @@ mod tests {
     fn reports_errors_with_context() {
         let err = parse(&tokenize("DECOMPOSITION reg\n").unwrap()).unwrap_err();
         assert!(err.contains("expected"), "unhelpful error: {err}");
-        let err = parse(&tokenize("FORALL i = 1, 10\nREDUCE(SUM, x(i), y(i))\n").unwrap())
-            .unwrap_err();
+        let err =
+            parse(&tokenize("FORALL i = 1, 10\nREDUCE(SUM, x(i), y(i))\n").unwrap()).unwrap_err();
         assert!(err.contains("END"), "unhelpful error: {err}");
         let err =
             parse(&tokenize("FORALL i = 1, 10\nREDUCE(MAX, x(i), y(i))\nEND FORALL\n").unwrap())
                 .unwrap_err();
-        assert!(err.contains("unsupported reduction"), "unhelpful error: {err}");
+        assert!(
+            err.contains("unsupported reduction"),
+            "unhelpful error: {err}"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! A reusable sense-reversing barrier shared by all ranks of one machine.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 struct BarrierState {
     count: usize,
@@ -37,7 +37,7 @@ impl Barrier {
     /// Block until all participants have arrived.  Returns `true` on exactly one rank per
     /// episode (the last arriver), mirroring `std::sync::Barrier`'s leader election.
     pub fn wait(&self) -> bool {
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().expect("barrier mutex poisoned");
         let my_sense = !state.sense;
         state.count += 1;
         if state.count == self.nprocs {
@@ -47,7 +47,7 @@ impl Barrier {
             true
         } else {
             while state.sense != my_sense {
-                self.condvar.wait(&mut state);
+                state = self.condvar.wait(state).expect("barrier mutex poisoned");
             }
             false
         }

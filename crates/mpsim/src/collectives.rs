@@ -1,25 +1,23 @@
-//! Collective operations built on top of tagged point-to-point messaging.
+//! Collective operations built on top of the unified exchange engine.
 //!
 //! The CHAOS runtime needs only a handful of collectives: all-to-all (schedule and
 //! translation-table construction), all-gather (replicated translation tables,
 //! partitioner coordination), reductions (load statistics, convergence checks), broadcast,
 //! and a sparse "exchange" in which every rank sends a possibly-empty buffer to a subset of
-//! ranks.  All of them are implemented with straightforward message patterns; their cost is
-//! whatever the constituent messages cost under the machine's [`crate::cost::CostModel`],
-//! plus one synchronisation charge for the reductions that are semantically barriers.
+//! ranks.  Each collective is a thin wrapper that builds the appropriate
+//! [`crate::exchange::ExchangePlan`] (dense for the classic collectives, sparse for the
+//! schedule-driven exchange, rooted for broadcast/gather) and runs it through
+//! [`crate::exchange::alltoallv`]; their cost is whatever the constituent messages cost
+//! under the machine's [`crate::cost::CostModel`], plus one synchronisation charge for the
+//! reductions that are semantically barriers.
 
+use crate::exchange::{alltoallv, alltoallv_replicated, ExchangePlan, RecvSpec};
 use crate::machine::Rank;
 use crate::message::Element;
 
-/// Tags reserved for collectives.  User code should use tags below `RESERVED_TAG_BASE`.
+/// Tags reserved for collectives and the exchange engine.  User code should use tags
+/// below `RESERVED_TAG_BASE`.
 pub const RESERVED_TAG_BASE: u64 = 1 << 60;
-
-const TAG_ALL_GATHER: u64 = RESERVED_TAG_BASE + 1;
-const TAG_ALL_TO_ALL: u64 = RESERVED_TAG_BASE + 2;
-const TAG_REDUCE: u64 = RESERVED_TAG_BASE + 3;
-const TAG_BCAST: u64 = RESERVED_TAG_BASE + 4;
-const TAG_EXCHANGE_DATA: u64 = RESERVED_TAG_BASE + 6;
-const TAG_GATHER_ROOT: u64 = RESERVED_TAG_BASE + 7;
 
 impl Rank {
     /// Every rank contributes a slice; every rank receives all contributions, indexed by
@@ -27,18 +25,11 @@ impl Rank {
     pub fn all_gather<T: Element>(&mut self, local: &[T]) -> Vec<Vec<T>> {
         let me = self.rank();
         let n = self.nprocs();
-        for p in 0..n {
-            if p != me {
-                self.send_slice(p, TAG_ALL_GATHER, local);
-            }
-        }
+        let plan = ExchangePlan::dense(me, vec![local.len(); n]);
         let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
-        out[me] = local.to_vec();
-        for p in 0..n {
-            if p != me {
-                out[p] = self.recv_vec(p, TAG_ALL_GATHER);
-            }
-        }
+        // out[me] is filled by the engine's local delivery (and stays empty when `local`
+        // is empty, which is also correct).
+        alltoallv_replicated(self, &plan, local, |src, v| out[src] = v);
         out
     }
 
@@ -67,18 +58,9 @@ impl Rank {
             n,
             "all_to_all needs exactly one send buffer per rank"
         );
-        for p in 0..n {
-            if p != me {
-                self.send_slice(p, TAG_ALL_TO_ALL, &sends[p]);
-            }
-        }
+        let plan = ExchangePlan::dense(me, sends.iter().map(Vec::len).collect());
         let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
-        out[me] = sends[me].clone();
-        for p in 0..n {
-            if p != me {
-                out[p] = self.recv_vec(p, TAG_ALL_TO_ALL);
-            }
-        }
+        alltoallv(self, &plan, sends, |src, v| out[src] = v);
         out
     }
 
@@ -95,30 +77,45 @@ impl Rank {
         sends: &[(usize, Vec<T>)],
         expected_sources: &[(usize, usize)],
     ) -> Vec<(usize, Vec<T>)> {
+        let me = self.rank();
+        let n = self.nprocs();
+        let mut send_counts = vec![0usize; n];
+        let mut bufs: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        let mut claimed = vec![false; n];
         for (dest, data) in sends {
-            if *dest == self.rank() {
+            if *dest == me {
                 continue; // local portion handled by the caller
             }
-            if !data.is_empty() {
-                self.send_slice(*dest, TAG_EXCHANGE_DATA, data);
-            }
-        }
-        let mut received = Vec::new();
-        for &(src, count) in expected_sources {
-            if src == self.rank() || count == 0 {
-                continue;
-            }
-            let values: Vec<T> = self.recv_vec(src, TAG_EXCHANGE_DATA);
-            debug_assert_eq!(
-                values.len(),
-                count,
-                "exchange: rank {} expected {count} elements from {src}, got {}",
-                self.rank(),
-                values.len()
+            assert!(
+                !claimed[*dest],
+                "exchange: duplicate send entry for destination {dest}"
             );
-            received.push((src, values));
+            claimed[*dest] = true;
+            send_counts[*dest] = data.len();
+            bufs[*dest] = data.clone();
         }
-        received
+        let mut recv_counts = vec![0usize; n];
+        for &(src, count) in expected_sources {
+            if src != me {
+                recv_counts[src] = count;
+            }
+        }
+        let plan = ExchangePlan::sparse(me, send_counts, recv_counts);
+        let mut by_src: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();
+        alltoallv(self, &plan, &bufs, |src, v| by_src[src] = Some(v));
+        // Deliver in `expected_sources` order, as the hand-rolled loop always did.
+        expected_sources
+            .iter()
+            .filter(|&&(src, count)| src != me && count != 0)
+            .map(|&(src, _)| {
+                (
+                    src,
+                    by_src[src]
+                        .take()
+                        .expect("exchange: planned message missing"),
+                )
+            })
+            .collect()
     }
 
     /// All-reduce with an arbitrary associative combiner.  Every rank receives the
@@ -132,25 +129,18 @@ impl Rank {
         let me = self.rank();
         let n = self.nprocs();
         self.charge_collective();
-        for p in 0..n {
-            if p != me {
-                self.send_slice(p, TAG_REDUCE, &[value]);
-            }
-        }
-        let mut acc: Option<T> = None;
-        for p in 0..n {
-            let v = if p == me {
-                value
-            } else {
-                let got: Vec<T> = self.recv_vec(p, TAG_REDUCE);
-                got[0]
-            };
-            acc = Some(match acc {
-                None => v,
-                Some(a) => combine(a, v),
-            });
-        }
-        acc.expect("all_reduce over at least one rank")
+        let plan = ExchangePlan::dense(me, vec![1; n]);
+        let mut contributions: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        alltoallv_replicated(self, &plan, &[value], |src, v: Vec<T>| {
+            contributions[src] = Some(v[0]);
+        });
+        // Contributions are combined in rank order, so the result is deterministic even
+        // for non-associative floating-point addition.
+        contributions
+            .into_iter()
+            .map(|c| c.expect("all_reduce contribution missing"))
+            .reduce(&combine)
+            .expect("all_reduce over at least one rank")
     }
 
     /// Sum-reduction of a single `f64` across all ranks.
@@ -194,35 +184,52 @@ impl Rank {
     pub fn broadcast<T: Element>(&mut self, root: usize, values: &[T]) -> Vec<T> {
         let me = self.rank();
         let n = self.nprocs();
+        let mut send_specs: Vec<Option<usize>> = vec![None; n];
+        let mut recvs = vec![RecvSpec::None; n];
         if me == root {
-            for p in 0..n {
+            for (p, spec) in send_specs.iter_mut().enumerate() {
                 if p != me {
-                    self.send_slice(p, TAG_BCAST, values);
+                    *spec = Some(values.len());
                 }
             }
+        } else {
+            recvs[root] = RecvSpec::Any;
+        }
+        let plan = ExchangePlan::from_parts(me, send_specs, recvs);
+        let mut out = if me == root {
             values.to_vec()
         } else {
-            self.recv_vec(root, TAG_BCAST)
-        }
+            Vec::new()
+        };
+        alltoallv_replicated(self, &plan, values, |_src, v| out = v);
+        out
     }
 
     /// Gather each rank's slice at `root`.  Non-root ranks receive an empty vector.
     pub fn gather_to_root<T: Element>(&mut self, root: usize, local: &[T]) -> Vec<Vec<T>> {
         let me = self.rank();
         let n = self.nprocs();
+        let mut send_specs: Vec<Option<usize>> = vec![None; n];
+        let mut recvs = vec![RecvSpec::None; n];
         if me == root {
-            let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
-            out[me] = local.to_vec();
-            for p in 0..n {
+            for (p, r) in recvs.iter_mut().enumerate() {
                 if p != me {
-                    out[p] = self.recv_vec(p, TAG_GATHER_ROOT);
+                    *r = RecvSpec::Any;
                 }
             }
+        } else {
+            send_specs[root] = Some(local.len());
+        }
+        let plan = ExchangePlan::from_parts(me, send_specs, recvs);
+        let mut out: Vec<Vec<T>> = if me == root {
+            let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+            out[me] = local.to_vec();
             out
         } else {
-            self.send_slice(root, TAG_GATHER_ROOT, local);
             Vec::new()
-        }
+        };
+        alltoallv_replicated(self, &plan, local, |src, v| out[src] = v);
+        out
     }
 
     /// Exclusive prefix sum over one `usize` per rank: rank `i` receives the sum of the
@@ -298,7 +305,9 @@ mod tests {
 
     #[test]
     fn broadcast_reaches_all_ranks() {
-        let out = run(MachineConfig::new(5), |rank| rank.broadcast(2, &[7u64, 8u64]));
+        let out = run(MachineConfig::new(5), |rank| {
+            rank.broadcast(2, &[7u64, 8u64])
+        });
         for r in &out.results {
             assert_eq!(r, &vec![7u64, 8u64]);
         }

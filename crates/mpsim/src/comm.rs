@@ -5,7 +5,7 @@
 //! stashes any other message that arrives first and delivers it later — which gives the
 //! deterministic, MPI-like matching semantics the CHAOS executor relies on.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 use crate::message::Envelope;
 
@@ -24,7 +24,7 @@ impl Mailbox {
         let mut senders = Vec::with_capacity(nprocs);
         let mut receivers = Vec::with_capacity(nprocs);
         for _ in 0..nprocs {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }

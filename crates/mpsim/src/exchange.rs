@@ -1,0 +1,551 @@
+//! The unified all-to-allv exchange engine.
+//!
+//! Every data-movement pattern in the CHAOS runtime — schedule-driven gather/scatter,
+//! light-weight append, remapping, translation-table dereference, and the dense
+//! collectives built on top of point-to-point messages — is some flavour of a
+//! *personalised all-to-all*: each rank packs a (possibly empty) buffer per peer, ships
+//! only the non-empty ones, and places whatever arrives according to plan-specific rules.
+//! Historically each call site hand-rolled its own pack → send → recv → unpack loop; this
+//! module is the single implementation they all share.
+//!
+//! The engine separates the *plan* from the *transfer*:
+//!
+//! * [`ExchangePlan`] — who this rank sends to (and how many elements each peer gets) and
+//!   who it will hear from (and, when known, how many elements each message carries).
+//!   Plans are cheap, reusable values; schedule types build them once and execute them
+//!   many times.
+//! * [`alltoallv`] — executes a plan: packs nothing itself (callers pass per-destination
+//!   buffers), sends only the messages the plan calls for, receives with
+//!   [`Rank::recv_vec_any`], and hands each incoming buffer to a caller-supplied
+//!   placement closure.  The local (self → self) portion is delivered through the same
+//!   placement path without touching the network or the communication cost model.
+//!
+//! Communication cost is charged in exactly one place — the engine's sends and receives —
+//! and a per-element pack/unpack compute cost is charged uniformly here rather than ad hoc
+//! at every call site.  Each execution returns an [`ExchangeStats`] with the message and
+//! byte counts it generated, so callers (and regression tests) can assert that no empty
+//! messages are sent and nothing is transferred twice.
+//!
+//! ## Matching without per-peer tags
+//!
+//! Receiving with `recv_vec_any` means messages from different *exchanges* must never be
+//! confused, even though ranks run ahead of one another (a rank with nothing to do in
+//! exchange *k* may already be sending for exchange *k+1*).  The engine therefore tags
+//! every message with a per-rank exchange sequence number.  Exchanges are **collective**:
+//! every rank of the machine must execute the same sequence of engine calls, which makes
+//! the sequence number a machine-wide identifier for one exchange episode.
+
+use crate::machine::Rank;
+use crate::message::Element;
+
+/// Modeled compute cost (work units per element) of packing an element into an outgoing
+/// message buffer or placing a received element — the `0.02` the executor primitives
+/// historically charged.
+pub const PACK_UNPACK_COST_UNITS: f64 = 0.02;
+
+/// What one exchange expects to receive from one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvSpec {
+    /// No message will arrive from this peer.
+    None,
+    /// A message will arrive; its size is not known in advance (dense exchanges and
+    /// rooted collectives where only the sender knows the length).
+    Any,
+    /// A message of exactly this many elements will arrive (schedule-driven exchanges,
+    /// where both endpoints of every transfer are precomputed).
+    Exact(usize),
+}
+
+/// A reusable description of one personalised all-to-all transfer from this rank's
+/// point of view: per-destination send sizes and per-source receive expectations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangePlan {
+    my_rank: usize,
+    /// `sends[p]`: `Some(n)` means "send a message of exactly `n` elements to `p`"
+    /// (`n == 0` is a real, empty message — dense collectives rely on it); `None` means
+    /// no message.  `sends[my_rank]` describes the local portion, delivered through the
+    /// placement closure without any communication.
+    sends: Vec<Option<usize>>,
+    /// `recvs[p]`: what to expect from source `p`.  `recvs[my_rank]` is ignored.
+    recvs: Vec<RecvSpec>,
+}
+
+impl ExchangePlan {
+    /// A plan from explicit per-peer send messages and receive expectations.  This is the
+    /// fully general constructor used by rooted collectives; most callers want
+    /// [`ExchangePlan::sparse`] or [`ExchangePlan::dense`].
+    pub fn from_parts(my_rank: usize, sends: Vec<Option<usize>>, recvs: Vec<RecvSpec>) -> Self {
+        assert_eq!(
+            sends.len(),
+            recvs.len(),
+            "send and receive sides of a plan must span the same machine"
+        );
+        assert!(my_rank < sends.len(), "plan owner outside the machine");
+        ExchangePlan {
+            my_rank,
+            sends,
+            recvs,
+        }
+    }
+
+    /// A sparse plan: only non-empty transfers become messages.  `send_counts[p]` elements
+    /// go to `p` (zero → no message), `recv_counts[p]` elements are expected from `p`
+    /// (zero → no message).  The self entry of `send_counts` is delivered locally.
+    pub fn sparse(my_rank: usize, send_counts: Vec<usize>, recv_counts: Vec<usize>) -> Self {
+        assert_eq!(send_counts.len(), recv_counts.len());
+        let recvs = recv_counts
+            .iter()
+            .enumerate()
+            .map(|(p, &c)| {
+                if p == my_rank || c == 0 {
+                    RecvSpec::None
+                } else {
+                    RecvSpec::Exact(c)
+                }
+            })
+            .collect();
+        let sends = send_counts
+            .into_iter()
+            .map(|c| if c == 0 { None } else { Some(c) })
+            .collect();
+        Self::from_parts(my_rank, sends, recvs)
+    }
+
+    /// A dense plan: every peer gets a message (empty ones included) and a message of
+    /// unknown size is expected from every peer.  This is the message pattern of the
+    /// classic `all_to_all` / `all_gather` collectives, where no prior size agreement
+    /// exists between ranks.
+    pub fn dense(my_rank: usize, send_counts: Vec<usize>) -> Self {
+        let n = send_counts.len();
+        let recvs = (0..n)
+            .map(|p| {
+                if p == my_rank {
+                    RecvSpec::None
+                } else {
+                    RecvSpec::Any
+                }
+            })
+            .collect();
+        let sends = send_counts.into_iter().map(Some).collect();
+        Self::from_parts(my_rank, sends, recvs)
+    }
+
+    /// Build a sparse plan when only the send side is known: a dense one-element exchange
+    /// of counts tells every rank what it will receive, exactly the size-negotiation
+    /// round the light-weight schedule of §3.2.1 is built from.  Collective.
+    pub fn negotiate(rank: &mut Rank, send_counts: &[usize]) -> Self {
+        let n = rank.nprocs();
+        let me = rank.rank();
+        assert_eq!(send_counts.len(), n, "one send count per rank required");
+        let count_plan = ExchangePlan::dense(me, vec![1; n]);
+        let count_sends: Vec<Vec<u64>> = send_counts.iter().map(|&c| vec![c as u64]).collect();
+        let mut recv_counts = vec![0usize; n];
+        alltoallv(rank, &count_plan, &count_sends, |src, v: Vec<u64>| {
+            recv_counts[src] = v[0] as usize;
+        });
+        ExchangePlan::sparse(me, send_counts.to_vec(), recv_counts)
+    }
+
+    /// Number of ranks the plan spans.
+    pub fn nprocs(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// The rank this plan belongs to.
+    pub fn my_rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of messages executing this plan will put on the network (local delivery is
+    /// not a message).
+    pub fn send_message_count(&self) -> usize {
+        self.sends
+            .iter()
+            .enumerate()
+            .filter(|&(p, s)| p != self.my_rank && s.is_some())
+            .count()
+    }
+
+    /// Number of messages this rank will wait for when executing the plan.
+    pub fn recv_message_count(&self) -> usize {
+        self.recvs
+            .iter()
+            .enumerate()
+            .filter(|&(p, r)| p != self.my_rank && *r != RecvSpec::None)
+            .count()
+    }
+
+    /// Elements expected from source `p` (zero when no message or size unknown).
+    pub fn recv_count(&self, p: usize) -> usize {
+        match self.recvs[p] {
+            RecvSpec::Exact(n) => n,
+            _ => 0,
+        }
+    }
+
+    /// Per-source expected element counts (zero where no message or size unknown).
+    pub fn recv_counts(&self) -> Vec<usize> {
+        (0..self.nprocs()).map(|p| self.recv_count(p)).collect()
+    }
+
+    /// Elements this plan sends to destination `p` (zero when no message).
+    pub fn send_count(&self, p: usize) -> usize {
+        self.sends[p].unwrap_or(0)
+    }
+}
+
+/// Message and byte counts generated by one engine execution on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Point-to-point messages sent (empty messages included, local delivery excluded).
+    pub msgs_sent: u64,
+    /// Point-to-point messages received.
+    pub msgs_received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+}
+
+impl ExchangeStats {
+    /// Combine the stats of two executions (e.g. the two rounds of a lookup protocol).
+    pub fn merged(&self, other: &ExchangeStats) -> ExchangeStats {
+        ExchangeStats {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            msgs_received: self.msgs_received + other.msgs_received,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_received: self.bytes_received + other.bytes_received,
+        }
+    }
+}
+
+/// Execute `plan`: ship `sends[p]` to each peer the plan names, deliver `sends[me]`
+/// locally, and hand every incoming buffer to `place(source, values)`.
+///
+/// Send buffers are borrowed — messages are encoded straight from the slices, so callers
+/// never copy their payloads just to hand them over.  Only the self buffer is cloned, for
+/// delivery through the placement closure; callers moving a *large* kept portion (the
+/// executor's append, remapping) place it directly instead of planning a self transfer.
+/// When every planned destination receives the *same* payload (all-gather, broadcast,
+/// reductions), use [`alltoallv_replicated`] and skip building per-peer buffers entirely.
+///
+/// Collective: every rank of the machine must call the engine in the same order (see the
+/// module docs for why this is what makes `recv_vec_any` matching sound).  Buffers are
+/// placed in arrival order; callers that need a deterministic placement order must key off
+/// the source rank (every CHAOS schedule does).
+///
+/// # Panics
+/// Panics if the plan does not match the machine or the calling rank, if a buffer's
+/// length differs from the plan's declared send count, or if an incoming message violates
+/// the plan's receive expectations.
+pub fn alltoallv<T: Element>(
+    rank: &mut Rank,
+    plan: &ExchangePlan,
+    sends: &[Vec<T>],
+    place: impl FnMut(usize, Vec<T>),
+) -> ExchangeStats {
+    assert_eq!(
+        sends.len(),
+        plan.nprocs(),
+        "one send buffer per rank required (empty where the plan sends nothing)"
+    );
+    for (p, payload) in sends.iter().enumerate() {
+        assert!(
+            plan.sends[p].is_some() || payload.is_empty(),
+            "rank {}: buffer for peer {p} has {} elements but the plan sends none",
+            plan.my_rank(),
+            payload.len()
+        );
+    }
+    run_exchange(rank, plan, |p| &sends[p], place)
+}
+
+/// Execute `plan` sending the *same* `payload` to every planned destination — the message
+/// pattern of `all_gather`, `broadcast` and the reductions.  Avoids materialising one
+/// buffer per peer; the payload is encoded straight from the borrowed slice for each
+/// message (and cloned once if the plan routes it to this rank itself).
+///
+/// The plan's declared send count must equal `payload.len()` for every planned
+/// destination.  Collectivity and panics as for [`alltoallv`].
+pub fn alltoallv_replicated<T: Element>(
+    rank: &mut Rank,
+    plan: &ExchangePlan,
+    payload: &[T],
+    place: impl FnMut(usize, Vec<T>),
+) -> ExchangeStats {
+    run_exchange(rank, plan, |_p| payload, place)
+}
+
+/// Shared engine core: sends `payload_for(p)` to every planned destination, delivers the
+/// self payload through `place` without touching the network or the communication cost
+/// model, then consumes exactly the planned number of incoming messages.
+fn run_exchange<'a, T: Element>(
+    rank: &mut Rank,
+    plan: &ExchangePlan,
+    payload_for: impl Fn(usize) -> &'a [T],
+    mut place: impl FnMut(usize, Vec<T>),
+) -> ExchangeStats {
+    assert_eq!(
+        plan.nprocs(),
+        rank.nprocs(),
+        "exchange plan spans a different machine"
+    );
+    assert_eq!(
+        plan.my_rank(),
+        rank.rank(),
+        "exchange plan belongs to a different rank"
+    );
+    let me = plan.my_rank();
+    let tag = rank.next_exchange_tag();
+    let mut stats = ExchangeStats::default();
+
+    // Send phase: one message per planned destination, empty payloads included when the
+    // plan says so (dense mode).  The self payload is left for local delivery.
+    for (p, declared) in plan.sends.iter().enumerate() {
+        let Some(declared) = declared else { continue };
+        let payload = payload_for(p);
+        assert_eq!(
+            payload.len(),
+            *declared,
+            "rank {me}: buffer for peer {p} does not match the plan"
+        );
+        if p != me {
+            rank.charge_compute(payload.len() as f64 * PACK_UNPACK_COST_UNITS);
+            stats.msgs_sent += 1;
+            stats.bytes_sent += (payload.len() * T::SIZE) as u64;
+            rank.send_slice(p, tag, payload);
+        }
+    }
+
+    // Local delivery: same placement path, no communication and no cost-model charge.
+    if plan.sends[me].is_some() {
+        let payload = payload_for(me);
+        if !payload.is_empty() {
+            place(me, payload.to_vec());
+        }
+    }
+
+    // Receive phase: consume exactly the number of messages the plan promises, from
+    // whichever source is ready first.
+    for _ in 0..plan.recv_message_count() {
+        let (src, values) = rank.recv_vec_any::<T>(tag);
+        match plan.recvs[src] {
+            RecvSpec::None => panic!(
+                "rank {me}: unexpected exchange message from rank {src} ({} elements)",
+                values.len()
+            ),
+            RecvSpec::Any => {}
+            RecvSpec::Exact(n) => assert_eq!(
+                values.len(),
+                n,
+                "rank {me}: expected {n} elements from rank {src}"
+            ),
+        }
+        rank.charge_compute(values.len() as f64 * PACK_UNPACK_COST_UNITS);
+        stats.msgs_received += 1;
+        stats.bytes_received += (values.len() * T::SIZE) as u64;
+        place(src, values);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::topology::MachineConfig;
+    use crate::{run, RankStats};
+
+    #[test]
+    fn sparse_plan_skips_empty_messages() {
+        // Ring: rank r sends r+1 elements to (r+1) % n and nothing else.
+        let out = run(MachineConfig::new(4), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            let next = (me + 1) % n;
+            let prev = (me + n - 1) % n;
+            let mut send_counts = vec![0; n];
+            send_counts[next] = me + 1;
+            let mut recv_counts = vec![0; n];
+            recv_counts[prev] = prev + 1;
+            let plan = ExchangePlan::sparse(me, send_counts, recv_counts);
+            let mut sends: Vec<Vec<u32>> = vec![Vec::new(); n];
+            sends[next] = vec![me as u32; me + 1];
+            let mut got: Vec<(usize, Vec<u32>)> = Vec::new();
+            let stats = alltoallv(rank, &plan, &sends, |src, v| got.push((src, v)));
+            (got, stats)
+        });
+        for (me, (got, stats)) in out.results.iter().enumerate() {
+            let prev = (me + 3) % 4;
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].0, prev);
+            assert_eq!(got[0].1, vec![prev as u32; prev + 1]);
+            assert_eq!(stats.msgs_sent, 1);
+            assert_eq!(stats.msgs_received, 1);
+            assert_eq!(stats.bytes_sent, 4 * (me as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn dense_plan_sends_empty_messages_too() {
+        let out = run(MachineConfig::new(3), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            // Only rank 0 has data, but a dense plan still moves one message per pair.
+            let counts: Vec<usize> = (0..n).map(|_| if me == 0 { 2 } else { 0 }).collect();
+            let plan = ExchangePlan::dense(me, counts.clone());
+            let sends: Vec<Vec<u64>> = counts.iter().map(|&c| (0..c as u64).collect()).collect();
+            let mut received_from = Vec::new();
+            let stats = alltoallv(rank, &plan, &sends, |src, _v: Vec<u64>| {
+                received_from.push(src)
+            });
+            received_from.sort_unstable();
+            (received_from, stats)
+        });
+        for (me, (from, stats)) in out.results.iter().enumerate() {
+            assert_eq!(stats.msgs_sent, 2, "dense plans message every peer");
+            assert_eq!(stats.msgs_received, 2);
+            // Local delivery only happens for a non-empty self buffer (rank 0 here).
+            let mut expected: Vec<usize> = (0..3).filter(|&p| p != me).collect();
+            if me == 0 {
+                expected.push(0);
+                expected.sort_unstable();
+            }
+            assert_eq!(from, &expected);
+        }
+    }
+
+    #[test]
+    fn local_portion_bypasses_the_network() {
+        let cfg = MachineConfig::new(2).with_cost(CostModel::uniform(50.0, 1.0, 0.0));
+        let out = run(cfg, |rank| {
+            let me = rank.rank();
+            let mut send_counts = vec![0; 2];
+            send_counts[me] = 3; // self only
+            let plan = ExchangePlan::sparse(me, send_counts, vec![0; 2]);
+            let mut sends: Vec<Vec<f64>> = vec![Vec::new(); 2];
+            sends[me] = vec![1.0, 2.0, 3.0];
+            let mut local = Vec::new();
+            let stats = alltoallv(rank, &plan, &sends, |src, v| {
+                assert_eq!(src, me);
+                local = v;
+            });
+            (local, stats, rank.stats().msgs_sent, rank.modeled().comm_us)
+        });
+        for (local, stats, sent, comm_us) in &out.results {
+            assert_eq!(local, &vec![1.0, 2.0, 3.0]);
+            assert_eq!(*stats, ExchangeStats::default());
+            assert_eq!(*sent, 0);
+            assert_eq!(
+                *comm_us, 0.0,
+                "local delivery must not charge the cost model"
+            );
+        }
+    }
+
+    #[test]
+    fn negotiate_learns_receive_counts() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            // Rank r sends r elements to every peer (and keeps r for itself).
+            let plan = ExchangePlan::negotiate(rank, &vec![me; n]);
+            (plan.recv_counts(), plan.send_message_count())
+        });
+        for (me, (recv_counts, msgs)) in out.results.iter().enumerate() {
+            for (p, &c) in recv_counts.iter().enumerate() {
+                // Sparse plans know exact counts for real messages; self and empty
+                // sources report zero.
+                let expected = if p == me || p == 0 { 0 } else { p };
+                assert_eq!(c, expected, "rank {me}: wrong count from {p}");
+            }
+            // me == 0 sends nothing (count 0 everywhere).
+            assert_eq!(*msgs, if me == 0 { 0 } else { 3 });
+        }
+    }
+
+    #[test]
+    fn back_to_back_exchanges_do_not_interfere() {
+        // Rank 1 has nothing to do in round one and races ahead into round two; epoch
+        // tagging must keep the rounds separate on rank 0, which receives with
+        // recv_vec_any.
+        let out = run(MachineConfig::new(3), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            // Round one: only rank 2 -> rank 0.
+            let mut s1 = vec![0; n];
+            let mut r1 = vec![0; n];
+            if me == 2 {
+                s1[0] = 1;
+            }
+            if me == 0 {
+                r1[2] = 1;
+            }
+            let plan1 = ExchangePlan::sparse(me, s1, r1);
+            // Round two: only rank 1 -> rank 0.
+            let mut s2 = vec![0; n];
+            let mut r2 = vec![0; n];
+            if me == 1 {
+                s2[0] = 1;
+            }
+            if me == 0 {
+                r2[1] = 1;
+            }
+            let plan2 = ExchangePlan::sparse(me, s2, r2);
+
+            let mut got = Vec::new();
+            let mut sends1: Vec<Vec<u8>> = vec![Vec::new(); n];
+            if me == 2 {
+                sends1[0] = vec![22];
+            }
+            alltoallv(rank, &plan1, &sends1, |src, v| got.push((1, src, v)));
+            let mut sends2: Vec<Vec<u8>> = vec![Vec::new(); n];
+            if me == 1 {
+                sends2[0] = vec![11];
+            }
+            alltoallv(rank, &plan2, &sends2, |src, v| got.push((2, src, v)));
+            got
+        });
+        assert_eq!(
+            out.results[0],
+            vec![(1, 2, vec![22u8]), (2, 1, vec![11u8])],
+            "rounds must be delivered to the matching exchange"
+        );
+    }
+
+    #[test]
+    fn stats_match_rank_counters() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            let plan = ExchangePlan::dense(me, vec![2; n]);
+            let sends: Vec<Vec<u64>> = (0..n).map(|p| vec![me as u64, p as u64]).collect();
+            let before: RankStats = rank.stats();
+            let stats = alltoallv(rank, &plan, &sends, |_src, _v| {});
+            let after = rank.stats();
+            (
+                stats,
+                after.msgs_sent - before.msgs_sent,
+                after.bytes_sent - before.bytes_sent,
+            )
+        });
+        for (stats, msgs, bytes) in &out.results {
+            assert_eq!(stats.msgs_sent, *msgs);
+            assert_eq!(stats.bytes_sent, *bytes);
+            assert_eq!(stats.msgs_received, 3);
+            assert_eq!(stats.bytes_received, 3 * 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the plan")]
+    fn mismatched_buffer_length_is_rejected() {
+        let _ = run(MachineConfig::new(2), |rank| {
+            let me = rank.rank();
+            let plan = ExchangePlan::sparse(me, vec![0, 2], vec![0, 2]);
+            // Declared two elements, packed one.
+            let sends: Vec<Vec<u8>> = vec![Vec::new(), vec![1]];
+            alltoallv(rank, &plan, &sends, |_s, _v| {});
+        });
+    }
+}

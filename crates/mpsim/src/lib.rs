@@ -19,7 +19,10 @@
 //!
 //! The communication API is deliberately MPI-flavoured (tagged point-to-point send/receive,
 //! barrier, all-to-all, all-gather, all-reduce) because that is the abstraction the original
-//! CHAOS library was written against.
+//! CHAOS library was written against.  Underneath, every collective and every
+//! schedule-driven transfer executes on the unified [`exchange`] engine: an
+//! [`ExchangePlan`] describes one personalised all-to-all and [`alltoallv`] moves the
+//! bytes, charges the cost model, and reports an [`ExchangeStats`].
 //!
 //! ## Quick example
 //!
@@ -37,12 +40,14 @@ pub mod barrier;
 pub mod collectives;
 pub mod comm;
 pub mod cost;
+pub mod exchange;
 pub mod machine;
 pub mod message;
 pub mod stats;
 pub mod topology;
 
 pub use cost::{CostModel, TimeSnapshot};
+pub use exchange::{alltoallv, alltoallv_replicated, ExchangePlan, ExchangeStats, RecvSpec};
 pub use machine::{run, Machine, Rank, RunOutcome};
 pub use message::Element;
 pub use stats::RankStats;

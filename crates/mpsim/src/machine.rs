@@ -21,6 +21,10 @@ pub struct Rank {
     cost: CostModel,
     stats: RankStats,
     time: TimeSnapshot,
+    /// Number of [`crate::exchange`] engine executions this rank has started; used to tag
+    /// exchange messages so that consecutive exchanges can never be confused even though
+    /// ranks run ahead of one another.
+    exchange_seq: u64,
 }
 
 impl Rank {
@@ -97,6 +101,15 @@ impl Rank {
     pub(crate) fn charge_collective(&mut self) {
         self.stats.record_collective();
         self.time.comm_us += self.cost.sync_cost_us(self.nprocs());
+    }
+
+    /// The message tag for the next exchange-engine execution.  Exchanges are collective
+    /// and every rank executes them in the same order, so the per-rank sequence number is
+    /// a machine-wide identifier for one exchange episode.
+    pub(crate) fn next_exchange_tag(&mut self) -> u64 {
+        let tag = crate::collectives::RESERVED_TAG_BASE + (1 << 20) + self.exchange_seq;
+        self.exchange_seq += 1;
+        tag
     }
 }
 
@@ -207,6 +220,7 @@ impl Machine {
                         cost,
                         stats: RankStats::default(),
                         time: TimeSnapshot::default(),
+                        exchange_seq: 0,
                     };
                     let result = f(&mut rank);
                     (result, rank.stats, rank.time)
@@ -285,8 +299,7 @@ mod tests {
 
     #[test]
     fn modeled_time_charges_both_ends() {
-        let cfg =
-            MachineConfig::new(2).with_cost(CostModel::uniform(10.0, 1.0, 0.0));
+        let cfg = MachineConfig::new(2).with_cost(CostModel::uniform(10.0, 1.0, 0.0));
         let out = run(cfg, |rank| {
             if rank.rank() == 0 {
                 rank.send_slice(1, 0, &[1.0f64; 4]); // 32 bytes => 10 + 32 = 42

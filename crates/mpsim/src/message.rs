@@ -169,7 +169,7 @@ pub fn encode_slice<T: Element>(values: &[T]) -> Vec<u8> {
 /// Panics if `bytes.len()` is not a multiple of `T::SIZE`.
 pub fn decode_vec<T: Element>(bytes: &[u8]) -> Vec<T> {
     assert!(
-        bytes.len() % T::SIZE == 0,
+        bytes.len().is_multiple_of(T::SIZE),
         "payload length {} is not a multiple of element size {}",
         bytes.len(),
         T::SIZE
@@ -220,7 +220,11 @@ mod tests {
             vel: [f64; 2],
             id: u64,
         }
-        impl_element_struct!(P { pos: [f64; 2], vel: [f64; 2], id: u64 });
+        impl_element_struct!(P {
+            pos: [f64; 2],
+            vel: [f64; 2],
+            id: u64
+        });
 
         let ps = vec![
             P {

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates registry, so this shim implements the
+//! subset of the criterion 0.5 API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! median-of-samples wall-clock timer.  It reports one line per benchmark to stdout.
+//! Swap the path dependency for the real crate when a registry is available; no bench
+//! source changes are required.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function (same contract as `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus a parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{param}"`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` `sample_size` times, recording the wall-clock time of each run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{id}", self.group_name), &bencher.samples);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (no-op beyond matching the criterion API).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group_name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    fn report(&mut self, name: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{name:<50} median {:>12.3?}  (min {:?}, max {:?}, n={})",
+            median,
+            min,
+            max,
+            samples.len()
+        );
+    }
+}
+
+/// Declare a benchmark group runner function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running each group, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_the_closure_the_requested_number_of_times() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(7);
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 7);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut seen = 0u64;
+        c.benchmark_group("g").sample_size(1).bench_with_input(
+            BenchmarkId::new("id", 5),
+            &41u64,
+            |b, &x| b.iter(|| seen = x + 1),
+        );
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("rcb", 8).to_string(), "rcb/8");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -30,7 +30,11 @@ fn main() {
         nc = ncells
     );
 
-    println!("Fortran-D source ({} lines):\n{}", source.lines().count(), source);
+    println!(
+        "Fortran-D source ({} lines):\n{}",
+        source.lines().count(),
+        source
+    );
     let lowered = compile(&source).expect("program compiles");
     println!("Lowered loops:");
     for plan in &lowered.loops {
@@ -50,9 +54,14 @@ fn main() {
     let outcome = run(MachineConfig::new(nprocs), move |rank| {
         let lowered = compile(&source).expect("program compiles");
         let mut exec = Executor::new(rank, &lowered);
-        let icell: Vec<i64> = (0..nparticles).map(|i| ((i * 13) % ncells + 1) as i64).collect();
+        let icell: Vec<i64> = (0..nparticles)
+            .map(|i| ((i * 13) % ncells + 1) as i64)
+            .collect();
         exec.set_integer_array("ICELL", &icell);
-        exec.set_real_array("VEL", &(0..nparticles).map(|i| i as f64).collect::<Vec<_>>());
+        exec.set_real_array(
+            "VEL",
+            &(0..nparticles).map(|i| i as f64).collect::<Vec<_>>(),
+        );
         exec.set_real_array("LOAD", &vec![0.0; ncells]);
         exec.run_all(rank);
         let sizes = exec.bucket_sizes(rank, "NEWVEL");

@@ -44,8 +44,8 @@ fn main() {
     let mut max_dev = 0.0f64;
     for stats in &outcome.results {
         for &(g, p) in &stats.owned_positions {
-            for k in 0..3 {
-                max_dev = max_dev.max((p[k] - reference.system.positions[g][k]).abs());
+            for (k, pk) in p.iter().enumerate() {
+                max_dev = max_dev.max((pk - reference.system.positions[g][k]).abs());
             }
         }
     }

@@ -24,7 +24,10 @@ fn main() {
 
     for (label, remap) in [
         ("static partition", RemapStrategy::Static),
-        ("chain partitioner, remapped every 10 steps", RemapStrategy::Chain),
+        (
+            "chain partitioner, remapped every 10 steps",
+            RemapStrategy::Chain,
+        ),
     ] {
         let config = DsmcConfig {
             nsteps,

@@ -4,7 +4,8 @@
 //! (`examples/`) and integration tests (`tests/`) can use everything through one
 //! dependency:
 //!
-//! * [`mpsim`] — the simulated distributed-memory message-passing machine;
+//! * [`mpsim`] — the simulated distributed-memory message-passing machine and the
+//!   unified all-to-allv exchange engine every data-movement primitive runs on;
 //! * [`chaos`] — the CHAOS/PARTI runtime (translation tables, stamped index hashing,
 //!   communication schedules, gather/scatter/scatter_append executors, remapping, data
 //!   and iteration partitioners);
@@ -12,11 +13,12 @@
 //! * [`dsmc`] — the DSMC particle-in-cell mini-application;
 //! * [`fortrand`] — the mini Fortran-D front end, lowering pass and SPMD executor.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the paper-vs-measured comparison of every table.
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory (including the
+//! design of the exchange engine); the `chaos-bench` crate regenerates every table of the
+//! paper's evaluation section.
 
-pub use charmm;
 pub use chaos;
+pub use charmm;
 pub use dsmc;
 pub use fortrand;
 pub use mpsim;

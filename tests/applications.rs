@@ -40,13 +40,16 @@ fn charmm_trajectory_is_independent_of_the_machine_size() {
             for &(g, p) in per_rank {
                 assert!(!covered[g], "atom {g} owned twice at nprocs={nprocs}");
                 covered[g] = true;
-                for k in 0..3 {
-                    let dev = (p[k] - reference.system.positions[g][k]).abs();
+                for (k, pk) in p.iter().enumerate() {
+                    let dev = (pk - reference.system.positions[g][k]).abs();
                     assert!(dev < 1e-6, "nprocs={nprocs}, atom {g}: deviation {dev}");
                 }
             }
         }
-        assert!(covered.into_iter().all(|c| c), "some atom unowned at nprocs={nprocs}");
+        assert!(
+            covered.into_iter().all(|c| c),
+            "some atom unowned at nprocs={nprocs}"
+        );
     }
 }
 
@@ -133,13 +136,25 @@ fn compiled_figure10_template_matches_the_hand_written_kernel_numerically() {
         let mut exec = Executor::new(rank, &lowered);
         exec.set_integer_array("INBLO", &inblo);
         exec.set_integer_array("JNB", &jnb);
-        exec.set_integer_array("MAP", &(0..natoms).map(|g| (g % 4) as i64).collect::<Vec<_>>());
-        exec.set_real_array("X", &system.positions.iter().map(|p| p[0]).collect::<Vec<_>>());
-        exec.set_real_array("Y", &system.positions.iter().map(|p| p[1]).collect::<Vec<_>>());
+        exec.set_integer_array(
+            "MAP",
+            &(0..natoms).map(|g| (g % 4) as i64).collect::<Vec<_>>(),
+        );
+        exec.set_real_array(
+            "X",
+            &system.positions.iter().map(|p| p[0]).collect::<Vec<_>>(),
+        );
+        exec.set_real_array(
+            "Y",
+            &system.positions.iter().map(|p| p[1]).collect::<Vec<_>>(),
+        );
         exec.set_real_array("DX", &vec![0.0; natoms]);
         exec.set_real_array("DY", &vec![0.0; natoms]);
         exec.run_all(rank);
-        (exec.get_real_array(rank, "DX"), exec.get_real_array(rank, "DY"))
+        (
+            exec.get_real_array(rank, "DX"),
+            exec.get_real_array(rank, "DY"),
+        )
     });
     for (dx, dy) in &out.results {
         for g in 0..natoms {

@@ -74,7 +74,10 @@ fn figure1_loop_with_adaptation_matches_sequential() {
             }
             scatter_add(rank, &sched, &mut x);
 
-            (dist.local_globals(rank.rank()).collect::<Vec<_>>(), x.owned().to_vec())
+            (
+                dist.local_globals(rank.rank()).collect::<Vec<_>>(),
+                x.owned().to_vec(),
+            )
         });
 
         let mut x_par = vec![0.0f64; n];
@@ -174,8 +177,7 @@ fn translation_table_storage_modes_agree() {
             .collect();
         let rep = TranslationTable::replicated_from_map(rank, &local_map, &map_dist).unwrap();
         let mut dis = TranslationTable::distributed_from_map(rank, &local_map, &map_dist).unwrap();
-        let mut paged =
-            TranslationTable::paged_from_map(rank, &local_map, &map_dist, 16).unwrap();
+        let mut paged = TranslationTable::paged_from_map(rank, &local_map, &map_dist, 16).unwrap();
         let queries: Vec<usize> = (0..n).filter(|g| (g + rank.rank()) % 3 == 0).collect();
         let from_rep: Vec<Loc> = queries.iter().map(|&g| rep.lookup_local(g)).collect();
         let from_dis = dis.lookup(rank, &queries);

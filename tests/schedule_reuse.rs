@@ -1,0 +1,204 @@
+//! Integration tests of the schedule-reuse machinery behind Table 3 of the paper:
+//! merged schedules (`CommSchedule::merged_with`), incremental schedules
+//! (`StampQuery::minus`), and stamp clearing followed by re-hashing.
+
+use chaos_suite::chaos::prelude::*;
+use chaos_suite::mpsim::{run, CostModel, MachineConfig};
+
+/// Merging two schedules built from the same hash table must preserve ghost-slot
+/// disjointness: the merged gather fills each array's ghost region exactly as the two
+/// separate gathers would, with common fetches deduplicated.
+#[test]
+fn merged_schedule_gathers_once_for_both_patterns() {
+    let n = 32;
+    let nprocs = 4;
+    let out = run(MachineConfig::new(nprocs), move |rank| {
+        let dist = BlockDist::new(n, rank.nprocs());
+        let ttable = TranslationTable::from_regular(&dist);
+        let mut insp = Inspector::new(&ttable, rank.rank());
+        let sa = Stamp::new(0);
+        let sb = Stamp::new(1);
+        // Two overlapping indirection arrays: both reference the "next block", b also
+        // reaches one block further.
+        let start = dist.local_range(rank.rank()).end;
+        let a: Vec<usize> = (0..8).map(|k| (start + k) % n).collect();
+        let b: Vec<usize> = (0..8).map(|k| (start + 4 + k) % n).collect();
+        let ra = insp.hash_indices(rank, &a, sa);
+        let rb = insp.hash_indices(rank, &b, sb);
+        let sched_a = insp.build_schedule(rank, StampQuery::single(sa));
+        let sched_b = insp.build_schedule(rank, StampQuery::single(sb));
+        let merged = sched_a.merged_with(&sched_b);
+        let by_query = insp.build_schedule(rank, StampQuery::any_of(&[sa, sb]));
+
+        // The merged schedule must fetch each distinct element once: a and b overlap in
+        // 4 elements, so the union is 12 (all off-processor here).
+        let owned: Vec<f64> = dist
+            .local_globals(rank.rank())
+            .map(|g| g as f64 * 3.0)
+            .collect();
+        let mut x = DistArray::new(owned, merged.ghost_len());
+        gather(rank, &merged, &mut x);
+        let got_a: Vec<f64> = ra.iter().map(|&r| x[r]).collect();
+        let got_b: Vec<f64> = rb.iter().map(|&r| x[r]).collect();
+        (
+            merged.total_fetch(),
+            by_query.total_fetch(),
+            got_a,
+            got_b,
+            a,
+            b,
+        )
+    });
+    for (merged_fetch, query_fetch, got_a, got_b, a, b) in &out.results {
+        assert_eq!(*merged_fetch, 12, "common fetches must be deduplicated");
+        assert_eq!(
+            merged_fetch, query_fetch,
+            "merging schedules and building from a merged stamp query must agree"
+        );
+        for (g, v) in a.iter().zip(got_a) {
+            assert_eq!(*v, *g as f64 * 3.0);
+        }
+        for (g, v) in b.iter().zip(got_b) {
+            assert_eq!(*v, *g as f64 * 3.0);
+        }
+    }
+}
+
+/// Ghost offsets of two schedules built from one hash table are drawn from the same slot
+/// space, so merging never aliases two different elements onto one ghost slot.
+#[test]
+fn merged_schedules_keep_ghost_offsets_disjoint() {
+    let n = 40;
+    let out = run(MachineConfig::new(4), move |rank| {
+        let dist = BlockDist::new(n, rank.nprocs());
+        let ttable = TranslationTable::from_regular(&dist);
+        let mut insp = Inspector::new(&ttable, rank.rank());
+        let sa = Stamp::new(0);
+        let sb = Stamp::new(1);
+        let start = dist.local_range(rank.rank()).end;
+        let a: Vec<usize> = (0..6).map(|k| (start + 2 * k) % n).collect();
+        let b: Vec<usize> = (0..6).map(|k| (start + 2 * k + 1) % n).collect();
+        insp.hash_indices(rank, &a, sa);
+        insp.hash_indices(rank, &b, sb);
+        let sched_a = insp.build_schedule(rank, StampQuery::single(sa));
+        let sched_b = insp.build_schedule(rank, StampQuery::single(sb));
+        let merged = sched_a.merged_with(&sched_b);
+        // a and b are disjoint index sets, so each of the 12 fetched elements must have
+        // its own ghost slot in the merged permutation lists.
+        let mut slots: Vec<u32> = merged.perm_lists.iter().flatten().copied().collect();
+        slots.sort_unstable();
+        let before = slots.len();
+        slots.dedup();
+        (before, slots.len(), merged.ghost_len())
+    });
+    for (before, after, ghost_len) in &out.results {
+        assert_eq!(*before, 12);
+        assert_eq!(before, after, "merged ghost slots must stay disjoint");
+        assert!(
+            *ghost_len >= *after,
+            "every slot must fit in the ghost region"
+        );
+    }
+}
+
+/// The incremental-schedule pattern of Figure 6: after an indirection array adapts, clear
+/// its stamp, re-hash, and gather only the `new minus old` elements on top of data the old
+/// schedule already brought in.
+#[test]
+fn incremental_schedule_after_clear_stamp_completes_the_ghost_region() {
+    let n = 24;
+    let out = run(
+        MachineConfig::new(3).with_cost(CostModel::uniform(100.0, 1.0, 0.0)),
+        move |rank| {
+            let dist = BlockDist::new(n, rank.nprocs());
+            let ttable = TranslationTable::from_regular(&dist);
+            let mut insp = Inspector::new(&ttable, rank.rank());
+            let s_old = Stamp::new(0);
+            let s_new = Stamp::new(1);
+            let start = dist.local_range(rank.rank()).end;
+            // The "old" pattern references 4 off-processor elements.
+            let old: Vec<usize> = (0..4).map(|k| (start + k) % n).collect();
+            insp.hash_indices(rank, &old, s_old);
+            let sched_old = insp.build_schedule(rank, StampQuery::single(s_old));
+
+            // The array adapts: two entries change, two stay.
+            let adapted: Vec<usize> = vec![old[0], old[1], (start + 6) % n, (start + 7) % n];
+            insp.clear_stamp(s_new); // no-op, symmetry with repeated timesteps
+            let refs = insp.hash_indices(rank, &adapted, s_new);
+            let sched_inc = insp.build_schedule(rank, StampQuery::minus(&[s_new], &[s_old]));
+
+            // Execute: one full gather with the old schedule, then only the increment.
+            let owned: Vec<f64> = dist
+                .local_globals(rank.rank())
+                .map(|g| g as f64 + 0.5)
+                .collect();
+            let mut x = DistArray::new(owned, insp.ghost_len());
+            gather(rank, &sched_old, &mut x);
+            let inc_stats = gather(rank, &sched_inc, &mut x);
+            let got: Vec<f64> = refs.iter().map(|&r| x[r]).collect();
+            (
+                sched_old.total_fetch(),
+                sched_inc.total_fetch(),
+                inc_stats,
+                got,
+                adapted,
+            )
+        },
+    );
+    for (old_fetch, inc_fetch, inc_stats, got, adapted) in &out.results {
+        assert_eq!(*old_fetch, 4);
+        assert_eq!(
+            *inc_fetch, 2,
+            "the incremental schedule fetches only the two new elements"
+        );
+        assert_eq!(inc_stats.bytes_received, 2 * 8);
+        for (g, v) in adapted.iter().zip(got) {
+            assert_eq!(
+                *v,
+                *g as f64 + 0.5,
+                "element {g} wrong after incremental gather"
+            );
+        }
+    }
+}
+
+/// Clearing a stamp and re-hashing a slowly adapting array keeps ghost slots stable, so a
+/// schedule rebuilt every "timestep" reuses the translation work — the CHARMM non-bonded
+/// update pattern (§4.1).
+#[test]
+fn clear_and_rehash_reuses_ghost_slots_across_timesteps() {
+    let n = 60;
+    let out = run(MachineConfig::new(4), move |rank| {
+        let dist = BlockDist::new(n, rank.nprocs());
+        let ttable = TranslationTable::from_regular(&dist);
+        let mut insp = Inspector::new(&ttable, rank.rank());
+        let s = Stamp::new(2);
+        let start = dist.local_range(rank.rank()).end;
+        let mut pattern: Vec<usize> = (0..10).map(|k| (start + k) % n).collect();
+        let mut ghost_sizes = Vec::new();
+        let mut fetches = Vec::new();
+        for step in 0..5 {
+            insp.clear_stamp(s);
+            // One reference drifts per step; the other nine are unchanged.
+            pattern[step] = (pattern[step] + 10) % n;
+            insp.hash_indices(rank, &pattern, s);
+            let sched = insp.build_schedule(rank, StampQuery::single(s));
+            ghost_sizes.push(insp.ghost_len());
+            fetches.push(sched.total_fetch());
+        }
+        (ghost_sizes, fetches)
+    });
+    for (ghost_sizes, fetches) in &out.results {
+        // Each step adds at most one genuinely new off-processor element to the table.
+        for w in ghost_sizes.windows(2) {
+            assert!(
+                w[1] - w[0] <= 1,
+                "ghost region must grow by at most the drifted reference: {ghost_sizes:?}"
+            );
+        }
+        // Every per-step schedule still fetches only what the current pattern needs.
+        for f in fetches {
+            assert!(*f <= 10);
+        }
+    }
+}
