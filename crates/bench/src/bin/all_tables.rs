@@ -1,8 +1,66 @@
 //! Regenerate every table of the paper's evaluation in one run.
+//!
+//! Prints the formatted tables; with `--json [PATH]` also writes the machine-readable
+//! report (`BENCH_tables.json` by default; schema in `BENCHMARKS.md`), carrying every
+//! table's title, headers, rows and wall-clock generation time.
+
+use std::time::Instant;
+
+use chaos_bench::report::{parse_json_flag, write_json_file, Json};
+use chaos_bench::tables::table_generators;
+
 fn main() {
-    let scale = chaos_bench::Scale::from_env();
-    for table in chaos_bench::tables::all_tables(&scale) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = parse_json_flag(&args, "BENCH_tables.json").unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        eprintln!("usage: all_tables [--json [PATH]]");
+        std::process::exit(2);
+    });
+
+    let (scale, scale_name) = chaos_bench::Scale::from_env_named();
+
+    let mut entries = Vec::new();
+    for (key, generate) in table_generators() {
+        let start = Instant::now();
+        let table = generate(&scale);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         println!("{}", table.render());
         println!();
+        entries.push(Json::obj(vec![
+            ("id", Json::str(key)),
+            ("title", Json::str(table.title.clone())),
+            ("wall_ms", Json::Num((wall_ms * 100.0).round() / 100.0)),
+            (
+                "headers",
+                Json::Arr(table.headers.iter().map(Json::str).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    table
+                        .rows
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(Json::str).collect()))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("schema", Json::str("chaos-bench/tables/v1")),
+            (
+                "generated_by",
+                Json::str("cargo run --release -p chaos-bench --bin all_tables -- --json"),
+            ),
+            ("scale", Json::str(scale_name)),
+            ("tables", Json::Arr(entries)),
+        ]);
+        write_json_file(&path, &doc).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
     }
 }

@@ -1,0 +1,37 @@
+//! Steady-state microbenchmarks of the unified exchange engine.
+//!
+//! Runs the three engine-shaped loops of `chaos_bench::microbench` (CHARMM
+//! gather/scatter, DSMC append, CHARMM remap) on an 8-rank simulated machine and prints a
+//! summary.  With `--json [PATH]`, also writes the machine-readable report
+//! (`BENCH_exchange.json` by default; schema in `BENCHMARKS.md`).
+
+use chaos_bench::microbench::{all_microbenches, exchange_report, MicrobenchConfig};
+use chaos_bench::report::{parse_json_flag, write_json_file};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = parse_json_flag(&args, "BENCH_exchange.json").unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        eprintln!("usage: exchange_microbench [--json [PATH]]");
+        std::process::exit(2);
+    });
+
+    let cfg = MicrobenchConfig::default();
+    println!(
+        "exchange engine microbenchmarks ({} ranks, {} warmup + {} measured iterations)",
+        cfg.ranks, cfg.warmup_iters, cfg.measured_iters
+    );
+    let results = all_microbenches(&cfg);
+    for r in &results {
+        println!("{}", r.summary_line());
+    }
+
+    if let Some(path) = json_path {
+        let doc = exchange_report(&results);
+        write_json_file(&path, &doc).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}

@@ -13,7 +13,21 @@
 //! minutes on a laptop.  What is expected to reproduce is the *shape* of each table —
 //! which alternative wins, by roughly what factor, and where the trends cross.
 
+//!
+//! Two machine-readable artifacts make runs comparable across commits (schema documented
+//! in `BENCHMARKS.md` at the repository root):
+//!
+//! * `BENCH_exchange.json` — written by the `exchange_microbench` binary (`--json`):
+//!   steady-state engine loops with wall-clock, modeled time, [`mpsim::ExchangeStats`]
+//!   counts, and the pack-buffer pool's allocation counters;
+//! * `BENCH_tables.json` — written by `all_tables --json`: every paper table's rows plus
+//!   per-table wall-clock.
+
+pub mod microbench;
+pub mod report;
 pub mod tables;
 pub mod workloads;
 
+pub use microbench::{MicrobenchConfig, MicrobenchResult};
+pub use report::Json;
 pub use tables::{Scale, TableOutput};

@@ -1,0 +1,399 @@
+//! Steady-state microbenchmarks of the unified exchange engine.
+//!
+//! Every time-stepped application in the paper settles into the same shape: a loop that
+//! executes the *same* communication pattern over and over (CHARMM's gather/scatter per
+//! time step, DSMC's append per move phase, CHARMM's remap of several arrays with one
+//! plan).  These harnesses reproduce the three shapes on a small machine and measure what
+//! the engine's pack-buffer pool does to them:
+//!
+//! * [`gather_scatter_steady`] — one regular schedule, `gather` + `scatter_add` per
+//!   iteration (the CHARMM non-bonded loop's executor half);
+//! * [`scatter_append_steady`] — a fresh [`LightweightSchedule`] + `scatter_append` per
+//!   iteration (the DSMC MOVE phase);
+//! * [`remap_steady`] — one [`RemapPlan`], `remap_values` per iteration (CHARMM remapping
+//!   its coordinate/force arrays after a repartition).
+//!
+//! Each returns a [`MicrobenchResult`] carrying wall-clock time, modeled time, per-run
+//! [`ExchangeStats`], and the pool counters split into *total* and *steady-state* (after
+//! warm-up) windows.  The zero-allocation steady state — `pool_steady.allocations == 0` —
+//! is asserted by the pool smoke tests and reported by the `exchange_microbench` binary
+//! (see `BENCHMARKS.md` at the repository root).
+
+use std::time::Instant;
+
+use chaos::prelude::*;
+use mpsim::{run, ExchangeStats, MachineConfig, PackPoolStats, Rank};
+
+use crate::report::Json;
+
+/// Knobs of one microbenchmark run.
+#[derive(Debug, Clone)]
+pub struct MicrobenchConfig {
+    /// Simulated machine size.  The committed `BENCH_exchange.json` uses 8 ranks.
+    pub ranks: usize,
+    /// Iterations executed before the measurement window opens (pool warm-up).
+    pub warmup_iters: usize,
+    /// Iterations inside the measurement window.
+    pub measured_iters: usize,
+    /// Global element count for the gather/scatter and remap loops.
+    pub elements: usize,
+    /// Items per rank for the append loop.
+    pub items_per_rank: usize,
+}
+
+impl Default for MicrobenchConfig {
+    fn default() -> Self {
+        MicrobenchConfig {
+            ranks: 8,
+            warmup_iters: 4,
+            measured_iters: 32,
+            elements: 4096,
+            items_per_rank: 512,
+        }
+    }
+}
+
+/// The measured outcome of one steady-state loop.
+#[derive(Debug, Clone)]
+pub struct MicrobenchResult {
+    /// Benchmark name (stable across runs; the JSON key CI compares on).
+    pub name: &'static str,
+    /// Machine size the loop ran on.
+    pub ranks: usize,
+    /// Warm-up iterations excluded from the measurement window.
+    pub warmup_iters: usize,
+    /// Measured iterations.
+    pub measured_iters: usize,
+    /// Host wall-clock time of the whole run (setup + warm-up + measured), milliseconds.
+    pub wall_ms: f64,
+    /// Modeled compute time of the measurement window, max over ranks (µs).
+    pub modeled_compute_us: f64,
+    /// Modeled communication time of the measurement window, max over ranks (µs).
+    pub modeled_comm_us: f64,
+    /// Modeled total time of the measurement window, max over ranks (µs).
+    pub modeled_total_us: f64,
+    /// Engine message/byte counts of the measurement window, summed over ranks.
+    pub exchange: ExchangeStats,
+    /// Pack-buffer pool counters of the whole run, summed over ranks.
+    pub pool_total: PackPoolStats,
+    /// Pack-buffer pool counters of the measurement window only, summed over ranks.
+    pub pool_steady: PackPoolStats,
+}
+
+impl MicrobenchResult {
+    /// What a pool-less engine would have allocated over the whole run: one fresh buffer
+    /// per buffer request.  This is the pre-pool baseline the acceptance comparison uses.
+    pub fn baseline_allocations(&self) -> u64 {
+        self.pool_total.requests()
+    }
+
+    /// Percentage of send-buffer allocations the pool eliminated relative to the
+    /// pool-less baseline.
+    pub fn allocation_reduction_pct(&self) -> f64 {
+        let base = self.baseline_allocations();
+        if base == 0 {
+            0.0
+        } else {
+            100.0 * self.pool_total.reuses as f64 / base as f64
+        }
+    }
+
+    /// Render this result as one entry of the `BENCH_exchange.json` `benches` array.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name)),
+            ("ranks", Json::uint(self.ranks as u64)),
+            ("warmup_iters", Json::uint(self.warmup_iters as u64)),
+            ("measured_iters", Json::uint(self.measured_iters as u64)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            (
+                "modeled_us",
+                Json::obj(vec![
+                    ("compute", Json::Num(self.modeled_compute_us)),
+                    ("comm", Json::Num(self.modeled_comm_us)),
+                    ("total", Json::Num(self.modeled_total_us)),
+                ]),
+            ),
+            (
+                "exchange",
+                Json::obj(vec![
+                    ("msgs_sent", Json::uint(self.exchange.msgs_sent)),
+                    ("msgs_received", Json::uint(self.exchange.msgs_received)),
+                    ("bytes_sent", Json::uint(self.exchange.bytes_sent)),
+                    ("bytes_received", Json::uint(self.exchange.bytes_received)),
+                ]),
+            ),
+            (
+                "pool",
+                Json::obj(vec![
+                    ("allocations", Json::uint(self.pool_total.allocations)),
+                    ("reuses", Json::uint(self.pool_total.reuses)),
+                    (
+                        "steady_allocations",
+                        Json::uint(self.pool_steady.allocations),
+                    ),
+                    ("steady_reuses", Json::uint(self.pool_steady.reuses)),
+                    (
+                        "baseline_allocations",
+                        Json::uint(self.baseline_allocations()),
+                    ),
+                    (
+                        "reduction_vs_baseline_pct",
+                        Json::Num(round2(self.allocation_reduction_pct())),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<24} {} ranks  {:>3} iters  wall {:>8.2} ms  modeled {:>10.1} us  \
+             allocs {:>5} (steady {:>2})  baseline {:>6}  -{:.1}%",
+            self.name,
+            self.ranks,
+            self.measured_iters,
+            self.wall_ms,
+            self.modeled_total_us,
+            self.pool_total.allocations,
+            self.pool_steady.allocations,
+            self.baseline_allocations(),
+            self.allocation_reduction_pct(),
+        )
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Per-rank instrumentation shared by the three loops: run `iter` for the warm-up window,
+/// snapshot, run it for the measurement window, and return the deltas.
+fn instrumented_loop(
+    rank: &mut Rank,
+    cfg: &MicrobenchConfig,
+    mut iter: impl FnMut(&mut Rank) -> ExchangeStats,
+) -> (PackPoolStats, PackPoolStats, ExchangeStats, f64, f64, f64) {
+    for _ in 0..cfg.warmup_iters {
+        iter(rank);
+    }
+    let pool_at_warm = rank.pool_stats();
+    let t0 = rank.modeled();
+    let mut exch = ExchangeStats::default();
+    for _ in 0..cfg.measured_iters {
+        exch = exch.merged(&iter(rank));
+    }
+    let dt = rank.modeled().since(&t0);
+    let pool_at_end = rank.pool_stats();
+    (
+        pool_at_warm,
+        pool_at_end,
+        exch,
+        dt.compute_us,
+        dt.comm_us,
+        dt.total_us(),
+    )
+}
+
+/// Fold the per-rank instrumentation tuples and the run's pool totals into a result.
+fn collect(
+    name: &'static str,
+    cfg: &MicrobenchConfig,
+    wall_ms: f64,
+    outcome: mpsim::RunOutcome<(PackPoolStats, PackPoolStats, ExchangeStats, f64, f64, f64)>,
+) -> MicrobenchResult {
+    let mut exchange = ExchangeStats::default();
+    let mut pool_steady = PackPoolStats::default();
+    let mut compute: f64 = 0.0;
+    let mut comm: f64 = 0.0;
+    let mut total: f64 = 0.0;
+    for (warm, end, exch, c, m, t) in &outcome.results {
+        exchange = exchange.merged(exch);
+        pool_steady = pool_steady.merged(&end.since(warm));
+        compute = compute.max(*c);
+        comm = comm.max(*m);
+        total = total.max(*t);
+    }
+    MicrobenchResult {
+        name,
+        ranks: cfg.ranks,
+        warmup_iters: cfg.warmup_iters,
+        measured_iters: cfg.measured_iters,
+        wall_ms,
+        modeled_compute_us: compute,
+        modeled_comm_us: comm,
+        modeled_total_us: total,
+        exchange,
+        pool_total: outcome.pool_totals(),
+        pool_steady,
+    }
+}
+
+/// The CHARMM executor shape: one regular schedule built by the inspector, then a
+/// `gather` + `scatter_add` pair per iteration.
+pub fn gather_scatter_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
+    let cfg2 = cfg.clone();
+    let start = Instant::now();
+    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+        let n = cfg2.elements;
+        let dist = BlockDist::new(n, rank.nprocs());
+        let ttable = TranslationTable::from_regular(&dist);
+        let mut insp = Inspector::new(&ttable, rank.rank());
+        // Every rank references a strided slice of the whole array: plenty of
+        // off-processor traffic, fixed pattern — the post-inspector steady state.
+        let me = rank.rank();
+        let pattern: Vec<usize> = (0..n / 2).map(|i| (i * 7 + me * 13 + 1) % n).collect();
+        let refs = insp.hash_indices(rank, &pattern, Stamp::new(0));
+        let sched = insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
+        let owned: Vec<f64> = dist.local_globals(me).map(|g| g as f64).collect();
+        let mut x = DistArray::new(owned, sched.ghost_len());
+        instrumented_loop(rank, &cfg2, move |rank| {
+            let g = gather(rank, &sched, &mut x);
+            for &r in &refs {
+                x[r] += 1.0;
+            }
+            let s = scatter_add(rank, &sched, &mut x);
+            g.merged(&s)
+        })
+    });
+    collect(
+        "gather_scatter_steady",
+        cfg,
+        start.elapsed().as_secs_f64() * 1e3,
+        outcome,
+    )
+}
+
+/// The DSMC MOVE shape: items drift between ranks, so a fresh light-weight schedule is
+/// built every iteration and `scatter_append` moves the items.
+pub fn scatter_append_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
+    let cfg2 = cfg.clone();
+    let start = Instant::now();
+    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+        let me = rank.rank();
+        let nprocs = rank.nprocs();
+        let mut items: Vec<u64> = (0..cfg2.items_per_rank)
+            .map(|k| (me * cfg2.items_per_rank + k) as u64)
+            .collect();
+        let mut step = 0u64;
+        instrumented_loop(rank, &cfg2, move |rank| {
+            step += 1;
+            let dests: Vec<usize> = items
+                .iter()
+                .map(|&id| ((id + step) % nprocs as u64) as usize)
+                .collect();
+            let sched = LightweightSchedule::build(rank, &dests);
+            let before = rank.stats();
+            items = scatter_append(rank, &sched, &items);
+            let after = rank.stats();
+            ExchangeStats {
+                msgs_sent: after.msgs_sent - before.msgs_sent,
+                msgs_received: after.msgs_received - before.msgs_received,
+                bytes_sent: after.bytes_sent - before.bytes_sent,
+                bytes_received: after.bytes_received - before.bytes_received,
+            }
+        })
+    });
+    collect(
+        "scatter_append_steady",
+        cfg,
+        start.elapsed().as_secs_f64() * 1e3,
+        outcome,
+    )
+}
+
+/// The CHARMM remap shape: one plan (block → cyclic), then `remap_values` per iteration —
+/// the paper remaps every array aligned with a repartitioned template using one plan.
+pub fn remap_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
+    let cfg2 = cfg.clone();
+    let start = Instant::now();
+    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+        let n = cfg2.elements;
+        let me = rank.rank();
+        let old = BlockDist::new(n, rank.nprocs());
+        let new = CyclicDist::new(n, rank.nprocs());
+        let mut new_table = TranslationTable::from_regular(&new);
+        let old_globals: Vec<usize> = old.local_globals(me).collect();
+        let old_local: Vec<f64> = old_globals.iter().map(|&g| g as f64).collect();
+        let plan = build_remap(rank, &old_globals, &mut new_table);
+        instrumented_loop(rank, &cfg2, move |rank| {
+            let before = rank.stats();
+            let moved = remap_values(rank, &plan, &old_local, 0.0);
+            std::hint::black_box(&moved);
+            let after = rank.stats();
+            ExchangeStats {
+                msgs_sent: after.msgs_sent - before.msgs_sent,
+                msgs_received: after.msgs_received - before.msgs_received,
+                bytes_sent: after.bytes_sent - before.bytes_sent,
+                bytes_received: after.bytes_received - before.bytes_received,
+            }
+        })
+    });
+    collect(
+        "remap_steady",
+        cfg,
+        start.elapsed().as_secs_f64() * 1e3,
+        outcome,
+    )
+}
+
+/// Run all three steady-state loops at the given configuration.
+pub fn all_microbenches(cfg: &MicrobenchConfig) -> Vec<MicrobenchResult> {
+    vec![
+        gather_scatter_steady(cfg),
+        scatter_append_steady(cfg),
+        remap_steady(cfg),
+    ]
+}
+
+/// Render a list of results as the `BENCH_exchange.json` document.
+pub fn exchange_report(results: &[MicrobenchResult]) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str("chaos-bench/exchange/v1")),
+        (
+            "generated_by",
+            Json::str("cargo run --release -p chaos-bench --bin exchange_microbench -- --json"),
+        ),
+        (
+            "benches",
+            Json::Arr(results.iter().map(MicrobenchResult::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MicrobenchConfig {
+        MicrobenchConfig {
+            ranks: 4,
+            warmup_iters: 2,
+            measured_iters: 4,
+            elements: 256,
+            items_per_rank: 64,
+        }
+    }
+
+    #[test]
+    fn gather_scatter_moves_data_and_reports() {
+        let r = gather_scatter_steady(&tiny());
+        assert_eq!(r.ranks, 4);
+        assert!(r.exchange.msgs_sent > 0);
+        assert!(r.exchange.bytes_sent > 0);
+        assert!(r.modeled_total_us > 0.0);
+        // The measurement window must not allocate: the pool is warm.
+        assert_eq!(r.pool_steady.allocations, 0);
+    }
+
+    #[test]
+    fn report_document_carries_every_bench() {
+        let results = vec![gather_scatter_steady(&tiny()), remap_steady(&tiny())];
+        let doc = exchange_report(&results);
+        let text = doc.render_pretty();
+        assert!(text.contains("\"gather_scatter_steady\""));
+        assert!(text.contains("\"remap_steady\""));
+        assert!(text.contains("\"steady_allocations\": 0"));
+    }
+}

@@ -100,9 +100,16 @@ impl Scale {
     /// Choose the scale from the `CHAOS_PAPER_SCALE` environment variable (any non-empty
     /// value selects [`Scale::paper_like`]).
     pub fn from_env() -> Self {
+        Self::from_env_named().0
+    }
+
+    /// Like [`Scale::from_env`], but also returns the scale's name (`"quick"` /
+    /// `"paper_like"`) — the value `BENCH_tables.json` records, kept next to the
+    /// selection logic so the two can never disagree.
+    pub fn from_env_named() -> (Self, &'static str) {
         match std::env::var("CHAOS_PAPER_SCALE") {
-            Ok(v) if !v.is_empty() && v != "0" => Scale::paper_like(),
-            _ => Scale::quick(),
+            Ok(v) if !v.is_empty() && v != "0" => (Scale::paper_like(), "paper_like"),
+            _ => (Scale::quick(), "quick"),
         }
     }
 }
@@ -844,17 +851,30 @@ pub fn table7_compiler_dsmc(scale: &Scale) -> TableOutput {
     }
 }
 
+/// A table generator: one of the `tableN_*` functions above.
+pub type TableGenerator = fn(&Scale) -> TableOutput;
+
+/// The registry of every table of the paper's evaluation, as `(id, generator)` pairs in
+/// paper order.  The `all_tables` binary and [`all_tables`] both iterate this list, so a
+/// new table added here appears in the printed output and in `BENCH_tables.json` alike.
+pub fn table_generators() -> Vec<(&'static str, TableGenerator)> {
+    vec![
+        ("table1", table1_charmm_scaling as TableGenerator),
+        ("table2", table2_charmm_preproc),
+        ("table3", table3_schedule_merging),
+        ("table4", table4_lightweight),
+        ("table5", table5_remapping),
+        ("table6", table6_compiler_charmm),
+        ("table7", table7_compiler_dsmc),
+    ]
+}
+
 /// Generate every table at the given scale.
 pub fn all_tables(scale: &Scale) -> Vec<TableOutput> {
-    vec![
-        table1_charmm_scaling(scale),
-        table2_charmm_preproc(scale),
-        table3_schedule_merging(scale),
-        table4_lightweight(scale),
-        table5_remapping(scale),
-        table6_compiler_charmm(scale),
-        table7_compiler_dsmc(scale),
-    ]
+    table_generators()
+        .into_iter()
+        .map(|(_, generate)| generate(scale))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,74 @@
+//! Pool smoke tests: the zero-allocation steady state of the exchange engine.
+//!
+//! These pin the property the pack-buffer pool exists for — after a warm-up window, the
+//! steady-state executor loops (the shape of every time-stepped application in the paper)
+//! draw every outgoing message buffer from the pool and allocate nothing fresh.  The
+//! counters come from `mpsim::Rank::pool_stats` via the `exchange_microbench` harnesses.
+
+use chaos_bench::microbench::{
+    gather_scatter_steady, remap_steady, scatter_append_steady, MicrobenchConfig,
+};
+
+fn cfg() -> MicrobenchConfig {
+    MicrobenchConfig {
+        ranks: 8,
+        warmup_iters: 4,
+        measured_iters: 16,
+        elements: 1024,
+        items_per_rank: 128,
+    }
+}
+
+#[test]
+fn gather_scatter_steady_state_allocates_no_pack_buffers() {
+    let r = gather_scatter_steady(&cfg());
+    assert!(
+        r.exchange.msgs_sent > 0,
+        "the loop must actually communicate"
+    );
+    assert_eq!(
+        r.pool_steady.allocations, 0,
+        "steady-state gather/scatter drew a fresh buffer: {:?}",
+        r.pool_steady
+    );
+    assert!(
+        r.pool_steady.reuses > 0,
+        "steady-state loop should be served from the pool"
+    );
+}
+
+#[test]
+fn scatter_append_steady_state_allocates_no_pack_buffers() {
+    let r = scatter_append_steady(&cfg());
+    assert!(r.exchange.msgs_sent > 0);
+    assert_eq!(
+        r.pool_steady.allocations, 0,
+        "steady-state append (schedule build + scatter_append) drew a fresh buffer: {:?}",
+        r.pool_steady
+    );
+}
+
+#[test]
+fn remap_values_steady_state_allocates_no_pack_buffers() {
+    let r = remap_steady(&cfg());
+    assert!(r.exchange.msgs_sent > 0);
+    assert_eq!(
+        r.pool_steady.allocations, 0,
+        "steady-state remap_values drew a fresh buffer: {:?}",
+        r.pool_steady
+    );
+}
+
+#[test]
+fn pool_eliminates_at_least_thirty_percent_of_baseline_allocations() {
+    // The acceptance bar of the perf issue: ≥ 30% fewer allocations than the pool-less
+    // baseline (one allocation per buffer request) on the 8-rank gather/scatter loop.
+    let r = gather_scatter_steady(&cfg());
+    assert!(
+        r.allocation_reduction_pct() >= 30.0,
+        "expected ≥ 30% fewer allocations than baseline, got {:.1}% ({} of {})",
+        r.allocation_reduction_pct(),
+        r.pool_total.allocations,
+        r.baseline_allocations()
+    );
+}

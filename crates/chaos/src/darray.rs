@@ -115,6 +115,20 @@ impl<T> DistArray<T> {
     pub fn into_owned(self) -> Vec<T> {
         self.owned
     }
+
+    /// Borrow the owned section immutably and the ghost region mutably at the same time —
+    /// the borrow pattern of `gather`, which packs outgoing messages from owned elements
+    /// while placing incoming copies into ghost slots.
+    pub fn owned_and_ghost_mut(&mut self) -> (&[T], &mut [T]) {
+        (&self.owned, &mut self.ghost)
+    }
+
+    /// Borrow the ghost region immutably and the owned section mutably at the same time —
+    /// the borrow pattern of the scatters, which pack from ghost slots and combine into
+    /// owned elements.
+    pub fn ghost_and_owned_mut(&mut self) -> (&[T], &mut [T]) {
+        (&self.ghost, &mut self.owned)
+    }
 }
 
 impl<T> Index<LocalRef> for DistArray<T> {

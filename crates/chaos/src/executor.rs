@@ -18,8 +18,13 @@
 //! [`mpsim::ExchangePlan`], the primitive packs from / places into the distributed array,
 //! and the engine moves the bytes and charges the cost model.  The returned
 //! [`ExchangeStats`] reports exactly what went on the wire.
+//!
+//! All four primitives use the engine's packing form ([`mpsim::alltoallv_with`]): elements
+//! are encoded from the array straight into pooled message buffers, so a steady-state
+//! executor loop — the shape of every time-stepped application in the paper — allocates
+//! no fresh send buffers at all (see the pack-buffer pool notes in [`mpsim::exchange`]).
 
-use mpsim::{alltoallv, Element, ExchangeStats, Rank};
+use mpsim::{alltoallv_with, Element, ExchangeStats, PackBuf, Rank};
 
 use crate::darray::DistArray;
 use crate::schedule::{CommSchedule, LightweightSchedule};
@@ -42,26 +47,24 @@ pub fn gather<T: Element + Default>(
     array.ensure_ghost(sched.ghost_len());
     let me = rank.rank();
     let plan = sched.gather_plan(me);
-    // Pack the elements each destination asked for.
-    let sends: Vec<Vec<T>> = (0..sched.nprocs())
-        .map(|p| {
-            if p == me {
-                Vec::new()
-            } else {
-                sched.send_lists[p]
-                    .iter()
-                    .map(|&off| array.owned()[off as usize])
-                    .collect()
+    // Pack the elements each destination asked for straight into the outgoing message;
+    // place incoming copies according to the permutation list of their source.
+    let (owned, ghost) = array.owned_and_ghost_mut();
+    alltoallv_with(
+        rank,
+        &plan,
+        |p, buf: &mut PackBuf<'_, T>| {
+            for &off in &sched.send_lists[p] {
+                buf.push(owned[off as usize]);
             }
-        })
-        .collect();
-    // Place incoming copies according to the permutation list of their source.
-    alltoallv(rank, &plan, &sends, |src, values: Vec<T>| {
-        for (slot, v) in sched.perm_lists[src].iter().zip(values) {
-            debug_assert!((*slot as usize) < array.ghost_len());
-            array.ghost_mut()[*slot as usize] = v;
-        }
-    })
+        },
+        |src, values: Vec<T>| {
+            for (slot, v) in sched.perm_lists[src].iter().zip(values) {
+                debug_assert!((*slot as usize) < ghost.len());
+                ghost[*slot as usize] = v;
+            }
+        },
+    )
 }
 
 /// Scatter ghost-region values back to their owners, overwriting the owners' copies.
@@ -125,23 +128,21 @@ where
     // filled for processor p back to p, and p applies them to the owned offsets it
     // originally listed in its send list.
     let plan = sched.scatter_plan(me);
-    let sends: Vec<Vec<T>> = (0..sched.nprocs())
-        .map(|p| {
-            if p == me {
-                Vec::new()
-            } else {
-                sched.perm_lists[p]
-                    .iter()
-                    .map(|&slot| array.ghost()[slot as usize])
-                    .collect()
+    let (ghost, owned) = array.ghost_and_owned_mut();
+    alltoallv_with(
+        rank,
+        &plan,
+        |p, buf: &mut PackBuf<'_, T>| {
+            for &slot in &sched.perm_lists[p] {
+                buf.push(ghost[slot as usize]);
             }
-        })
-        .collect();
-    alltoallv(rank, &plan, &sends, |src, values: Vec<T>| {
-        for (&off, v) in sched.send_lists[src].iter().zip(values) {
-            op(&mut array.owned_mut()[off as usize], v);
-        }
-    })
+        },
+        |src, values: Vec<T>| {
+            for (&off, v) in sched.send_lists[src].iter().zip(values) {
+                op(&mut owned[off as usize], v);
+            }
+        },
+    )
 }
 
 /// Move whole items to new owners using a light-weight schedule and return this rank's new
@@ -169,22 +170,21 @@ pub fn scatter_append<T: Element>(
     let me = rank.rank();
     let nprocs = sched.nprocs();
     let plan = sched.append_plan();
-    let sends: Vec<Vec<T>> = (0..nprocs)
-        .map(|p| {
-            if p == me {
-                Vec::new() // kept items are copied straight from `items` below
-            } else {
-                sched.send_item_lists[p]
-                    .iter()
-                    .map(|&i| items[i as usize])
-                    .collect()
-            }
-        })
-        .collect();
-    // The engine delivers in arrival order; buffer per source so the documented
-    // kept-first, then-source-rank-order layout is deterministic.
+    // Items are packed straight into each destination's message (kept items are copied
+    // from `items` below, bypassing the plan).  The engine delivers in arrival order;
+    // buffer per source so the documented kept-first, then-source-rank-order layout is
+    // deterministic.
     let mut by_src: Vec<Vec<T>> = (0..nprocs).map(|_| Vec::new()).collect();
-    alltoallv(rank, &plan, &sends, |src, values| by_src[src] = values);
+    alltoallv_with(
+        rank,
+        &plan,
+        |p, buf: &mut PackBuf<'_, T>| {
+            for &i in &sched.send_item_lists[p] {
+                buf.push(items[i as usize]);
+            }
+        },
+        |src, values| by_src[src] = values,
+    );
     let mut result: Vec<T> = Vec::with_capacity(sched.result_count());
     result.extend(sched.send_item_lists[me].iter().map(|&i| items[i as usize]));
     for (p, mut values) in by_src.into_iter().enumerate() {

@@ -64,6 +64,8 @@
 //! assert_eq!(out.results.len(), 4);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod darray;
 pub mod distribution;
 pub mod error;

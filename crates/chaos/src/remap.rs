@@ -8,7 +8,7 @@
 //! and executor are: CHARMM remaps several data arrays (coordinates, forces, displacement
 //! arrays) with the *same* plan, paying the analysis once.
 
-use mpsim::{alltoallv, Element, ExchangePlan, Rank};
+use mpsim::{alltoallv_with, Element, ExchangePlan, PackBuf, Rank};
 
 use crate::translation::TranslationTable;
 use crate::{Global, ProcId};
@@ -119,20 +119,8 @@ pub fn remap_values<T: Element>(
     );
     let me = plan.my_rank;
     let eplan = plan.exchange_plan();
-    // Pack every destination's elements in old-offset order; the kept portion skips the
-    // engine and is placed straight from the old local section below.
-    let sends: Vec<Vec<T>> = plan
-        .send_old_offsets
-        .iter()
-        .enumerate()
-        .map(|(p, offs)| {
-            if p == me {
-                Vec::new()
-            } else {
-                offs.iter().map(|&l| old_local[l as usize]).collect()
-            }
-        })
-        .collect();
+    // The kept portion skips the engine and is placed straight from the old local section;
+    // every other destination's elements are packed into its message in old-offset order.
     let mut new_local = vec![fill; plan.new_local_size];
     for (&old_off, &new_off) in plan.send_old_offsets[me]
         .iter()
@@ -140,16 +128,25 @@ pub fn remap_values<T: Element>(
     {
         new_local[new_off as usize] = old_local[old_off as usize];
     }
-    alltoallv(rank, &eplan, &sends, |src, values: Vec<T>| {
-        debug_assert_eq!(
-            values.len(),
-            plan.recv_placements[src].len(),
-            "remap: receive count mismatch from processor {src}"
-        );
-        for (&new_off, v) in plan.recv_placements[src].iter().zip(values) {
-            new_local[new_off as usize] = v;
-        }
-    });
+    alltoallv_with(
+        rank,
+        &eplan,
+        |p, buf: &mut PackBuf<'_, T>| {
+            for &l in &plan.send_old_offsets[p] {
+                buf.push(old_local[l as usize]);
+            }
+        },
+        |src, values: Vec<T>| {
+            debug_assert_eq!(
+                values.len(),
+                plan.recv_placements[src].len(),
+                "remap: receive count mismatch from processor {src}"
+            );
+            for (&new_off, v) in plan.recv_placements[src].iter().zip(values) {
+                new_local[new_off as usize] = v;
+            }
+        },
+    );
     new_local
 }
 

@@ -202,7 +202,7 @@ impl LightweightSchedule {
         // The entire inspector for this kind of schedule is the exchange engine's count
         // negotiation: one dense all-to-all of item counts.
         let send_counts: Vec<usize> = send_item_lists.iter().map(Vec::len).collect();
-        let plan = ExchangePlan::negotiate(rank, &send_counts);
+        let plan = ExchangePlan::negotiate(rank, send_counts);
         let mut recv_counts = plan.recv_counts();
         recv_counts[me] = send_item_lists[me].len();
         Self {

@@ -524,16 +524,17 @@ fn lookup_remote_fallback(
     }
     // Query round: negotiated sparse exchange (self queries arrive via local delivery).
     let query_counts: Vec<usize> = by_home.iter().map(Vec::len).collect();
-    let query_plan = ExchangePlan::negotiate(rank, &query_counts);
+    let query_plan = ExchangePlan::negotiate(rank, query_counts);
     let mut incoming_queries: Vec<Vec<u64>> = vec![Vec::new(); nprocs];
     alltoallv(rank, &query_plan, &by_home, |src, qs| {
         incoming_queries[src] = qs;
     });
-    // Answer round: sizes mirror the query round exactly, so no negotiation is needed.
+    // Answer round: sizes mirror the query round exactly (the query plan's send side
+    // becomes the answer plan's receive side), so no negotiation is needed.
     let answer_plan = ExchangePlan::sparse(
         me,
         incoming_queries.iter().map(Vec::len).collect(),
-        query_counts,
+        query_plan.send_counts(),
     );
     let answer_sends: Vec<Vec<(u32, u32)>> = incoming_queries
         .iter()

@@ -1,4 +1,8 @@
 //! A reusable sense-reversing barrier shared by all ranks of one machine.
+//!
+//! Host-side synchronisation only: the modeled cost of a barrier
+//! (`sync_latency × ceil(log2 P)`, a tree/hypercube implementation) is charged by
+//! [`crate::machine::Rank::barrier`], not here.
 
 use std::sync::{Condvar, Mutex};
 

@@ -20,6 +20,28 @@
 //!   placement closure.  The local (self → self) portion is delivered through the same
 //!   placement path without touching the network or the communication cost model.
 //!
+//! Three entry points execute a plan, differing only in where the outgoing bytes come
+//! from:
+//!
+//! * [`alltoallv`] — callers pass one pre-built buffer per destination (borrowed; the
+//!   engine never copies them into intermediate `Vec<T>`s).
+//! * [`alltoallv_replicated`] — every planned destination receives the *same* borrowed
+//!   payload (all-gather, broadcast, reductions); no per-peer buffers exist at all.
+//! * [`alltoallv_with`] — the caller packs each destination's elements *directly into the
+//!   outgoing message buffer* through a [`PackBuf`], so steady-state executor loops build
+//!   no per-destination `Vec<T>`s either.  This is the hot-path form used by the CHAOS
+//!   gather/scatter/append/remap primitives.
+//!
+//! ## The pack-buffer pool
+//!
+//! Outgoing messages are encoded into byte buffers drawn from the calling rank's
+//! pack-buffer pool ([`Rank::pool_stats`]), and every consumed incoming message returns
+//! its payload buffer to the pool.  A steady-state exchange loop therefore reaches a fixed
+//! point after one warm-up iteration: each iteration's receives replenish exactly the
+//! buffers its sends draw, and the pool's `allocations` counter stops moving.  The
+//! `exchange_microbench` harness in `crates/bench` reports this counter and the pool smoke
+//! tests assert the zero-allocation steady state.
+//!
 //! Communication cost is charged in exactly one place — the engine's sends and receives —
 //! and a per-element pack/unpack compute cost is charged uniformly here rather than ad hoc
 //! at every call site.  Each execution returns an [`ExchangeStats`] with the message and
@@ -35,8 +57,10 @@
 //! every rank of the machine must execute the same sequence of engine calls, which makes
 //! the sequence number a machine-wide identifier for one exchange episode.
 
+use std::marker::PhantomData;
+
 use crate::machine::Rank;
-use crate::message::Element;
+use crate::message::{decode_vec, Element};
 
 /// Modeled compute cost (work units per element) of packing an element into an outgoing
 /// message buffer or placing a received element — the `0.02` the executor primitives
@@ -133,17 +157,25 @@ impl ExchangePlan {
     /// Build a sparse plan when only the send side is known: a dense one-element exchange
     /// of counts tells every rank what it will receive, exactly the size-negotiation
     /// round the light-weight schedule of §3.2.1 is built from.  Collective.
-    pub fn negotiate(rank: &mut Rank, send_counts: &[usize]) -> Self {
+    ///
+    /// Takes the send counts by value — they become the plan's send side without a copy —
+    /// and packs each count straight into its outgoing message, so the negotiation builds
+    /// no per-peer buffers.
+    pub fn negotiate(rank: &mut Rank, send_counts: Vec<usize>) -> Self {
         let n = rank.nprocs();
         let me = rank.rank();
         assert_eq!(send_counts.len(), n, "one send count per rank required");
         let count_plan = ExchangePlan::dense(me, vec![1; n]);
-        let count_sends: Vec<Vec<u64>> = send_counts.iter().map(|&c| vec![c as u64]).collect();
         let mut recv_counts = vec![0usize; n];
-        alltoallv(rank, &count_plan, &count_sends, |src, v: Vec<u64>| {
-            recv_counts[src] = v[0] as usize;
-        });
-        ExchangePlan::sparse(me, send_counts.to_vec(), recv_counts)
+        alltoallv_with(
+            rank,
+            &count_plan,
+            |p, buf: &mut PackBuf<'_, u64>| buf.push(send_counts[p] as u64),
+            |src, v: Vec<u64>| {
+                recv_counts[src] = v[0] as usize;
+            },
+        );
+        ExchangePlan::sparse(me, send_counts, recv_counts)
     }
 
     /// Number of ranks the plan spans.
@@ -192,6 +224,58 @@ impl ExchangePlan {
     pub fn send_count(&self, p: usize) -> usize {
         self.sends[p].unwrap_or(0)
     }
+
+    /// Per-destination send element counts (zero where no message).
+    pub fn send_counts(&self) -> Vec<usize> {
+        (0..self.nprocs()).map(|p| self.send_count(p)).collect()
+    }
+}
+
+/// An outgoing message buffer handed to the pack closure of [`alltoallv_with`].
+///
+/// Elements pushed here are encoded straight into the (pooled) byte buffer the message
+/// will be sent from — there is no intermediate `Vec<T>`.  The engine checks after the
+/// closure returns that exactly the plan's declared element count was packed.
+pub struct PackBuf<'a, T: Element> {
+    buf: &'a mut Vec<u8>,
+    len: usize,
+    _elem: PhantomData<T>,
+}
+
+impl<'a, T: Element> PackBuf<'a, T> {
+    fn new(buf: &'a mut Vec<u8>) -> Self {
+        PackBuf {
+            buf,
+            len: 0,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Append one element to the outgoing message.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        value.write_le(self.buf);
+        self.len += 1;
+    }
+
+    /// Append a slice of elements to the outgoing message.
+    #[inline]
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        for v in values {
+            v.write_le(self.buf);
+        }
+        self.len += values.len();
+    }
+
+    /// Number of elements packed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been packed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 /// Message and byte counts generated by one engine execution on one rank.
@@ -222,12 +306,13 @@ impl ExchangeStats {
 /// Execute `plan`: ship `sends[p]` to each peer the plan names, deliver `sends[me]`
 /// locally, and hand every incoming buffer to `place(source, values)`.
 ///
-/// Send buffers are borrowed — messages are encoded straight from the slices, so callers
-/// never copy their payloads just to hand them over.  Only the self buffer is cloned, for
-/// delivery through the placement closure; callers moving a *large* kept portion (the
-/// executor's append, remapping) place it directly instead of planning a self transfer.
-/// When every planned destination receives the *same* payload (all-gather, broadcast,
-/// reductions), use [`alltoallv_replicated`] and skip building per-peer buffers entirely.
+/// Send buffers are borrowed — messages are encoded straight from the slices into pooled
+/// byte buffers, so callers never copy their payloads just to hand them over.  Callers
+/// moving a *large* kept portion (the executor's append, remapping) place it directly
+/// instead of planning a self transfer.  When every planned destination receives the
+/// *same* payload (all-gather, broadcast, reductions), use [`alltoallv_replicated`]; when
+/// the per-destination buffers would themselves be freshly allocated each call, use
+/// [`alltoallv_with`] and pack into the message directly.
 ///
 /// Collective: every rank of the machine must call the engine in the same order (see the
 /// module docs for why this is what makes `recv_vec_any` matching sound).  Buffers are
@@ -257,13 +342,19 @@ pub fn alltoallv<T: Element>(
             payload.len()
         );
     }
-    run_exchange(rank, plan, |p| &sends[p], place)
+    run_exchange(
+        rank,
+        plan,
+        Some(&sends[plan.my_rank()]),
+        |p, buf| buf.extend_from_slice(&sends[p]),
+        place,
+    )
 }
 
 /// Execute `plan` sending the *same* `payload` to every planned destination — the message
-/// pattern of `all_gather`, `broadcast` and the reductions.  Avoids materialising one
-/// buffer per peer; the payload is encoded straight from the borrowed slice for each
-/// message (and cloned once if the plan routes it to this rank itself).
+/// pattern of `all_gather`, `broadcast` and the reductions.  No per-peer buffers exist;
+/// each message is encoded straight from the borrowed slice into a pooled buffer (the
+/// self-routed copy, if the plan has one, goes through the same pooled path).
 ///
 /// The plan's declared send count must equal `payload.len()` for every planned
 /// destination.  Collectivity and panics as for [`alltoallv`].
@@ -273,16 +364,46 @@ pub fn alltoallv_replicated<T: Element>(
     payload: &[T],
     place: impl FnMut(usize, Vec<T>),
 ) -> ExchangeStats {
-    run_exchange(rank, plan, |_p| payload, place)
+    run_exchange(
+        rank,
+        plan,
+        Some(payload),
+        |_p, buf| buf.extend_from_slice(payload),
+        place,
+    )
 }
 
-/// Shared engine core: sends `payload_for(p)` to every planned destination, delivers the
-/// self payload through `place` without touching the network or the communication cost
-/// model, then consumes exactly the planned number of incoming messages.
-fn run_exchange<'a, T: Element>(
+/// Execute `plan`, letting the caller pack each destination's elements directly into the
+/// outgoing message buffer.  `pack(p, buf)` is called once per planned destination (self
+/// included when the plan routes to it) and must push exactly the plan's declared element
+/// count for `p`.
+///
+/// This is the zero-intermediate-buffer form: combined with the pack-buffer pool it is
+/// what lets the executor's steady-state gather/scatter/append/remap loops run without
+/// allocating any fresh send buffers.  Collectivity and panics as for [`alltoallv`].
+pub fn alltoallv_with<T: Element>(
     rank: &mut Rank,
     plan: &ExchangePlan,
-    payload_for: impl Fn(usize) -> &'a [T],
+    pack: impl FnMut(usize, &mut PackBuf<'_, T>),
+    place: impl FnMut(usize, Vec<T>),
+) -> ExchangeStats {
+    run_exchange(rank, plan, None, pack, place)
+}
+
+/// Shared engine core: packs one pooled message per planned destination via `pack`,
+/// delivers the self payload through `place` without touching the network or the
+/// communication cost model, then consumes exactly the planned number of incoming
+/// messages (recycling their payload buffers into the pool).
+///
+/// `self_payload` is the fast path for the slice-backed entry points: when the caller
+/// already holds the self elements as a slice, local delivery is one `to_vec` instead of
+/// an encode/decode round-trip through a staging buffer.  `alltoallv_with` passes `None`
+/// (its pack closure is the only data source).
+fn run_exchange<T: Element>(
+    rank: &mut Rank,
+    plan: &ExchangePlan,
+    self_payload: Option<&[T]>,
+    mut pack: impl FnMut(usize, &mut PackBuf<'_, T>),
     mut place: impl FnMut(usize, Vec<T>),
 ) -> ExchangeStats {
     assert_eq!(
@@ -303,25 +424,49 @@ fn run_exchange<'a, T: Element>(
     // plan says so (dense mode).  The self payload is left for local delivery.
     for (p, declared) in plan.sends.iter().enumerate() {
         let Some(declared) = declared else { continue };
-        let payload = payload_for(p);
+        if p == me {
+            continue;
+        }
+        let mut raw = rank.take_pack_buffer(declared * T::SIZE);
+        let mut buf = PackBuf::new(&mut raw);
+        pack(p, &mut buf);
+        let packed = buf.len();
         assert_eq!(
-            payload.len(),
-            *declared,
+            packed, *declared,
             "rank {me}: buffer for peer {p} does not match the plan"
         );
-        if p != me {
-            rank.charge_compute(payload.len() as f64 * PACK_UNPACK_COST_UNITS);
-            stats.msgs_sent += 1;
-            stats.bytes_sent += (payload.len() * T::SIZE) as u64;
-            rank.send_slice(p, tag, payload);
-        }
+        rank.charge_compute(packed as f64 * PACK_UNPACK_COST_UNITS);
+        stats.msgs_sent += 1;
+        stats.bytes_sent += (packed * T::SIZE) as u64;
+        rank.send_packed(p, tag, raw);
     }
 
     // Local delivery: same placement path, no communication and no cost-model charge.
-    if plan.sends[me].is_some() {
-        let payload = payload_for(me);
-        if !payload.is_empty() {
-            place(me, payload.to_vec());
+    // Slice-backed callers hand the self payload over with one copy; pack-closure callers
+    // stage it in a pooled buffer that goes straight back to the pool.
+    if let Some(declared) = plan.sends[me] {
+        if let Some(payload) = self_payload {
+            assert_eq!(
+                payload.len(),
+                declared,
+                "rank {me}: buffer for peer {me} does not match the plan"
+            );
+            if !payload.is_empty() {
+                place(me, payload.to_vec());
+            }
+        } else {
+            let mut raw = rank.take_pack_buffer(declared * T::SIZE);
+            let mut buf = PackBuf::new(&mut raw);
+            pack(me, &mut buf);
+            assert_eq!(
+                buf.len(),
+                declared,
+                "rank {me}: buffer for peer {me} does not match the plan"
+            );
+            if !raw.is_empty() {
+                place(me, decode_vec(&raw));
+            }
+            rank.recycle_pack_buffer(raw);
         }
     }
 
@@ -392,9 +537,10 @@ mod tests {
             let me = rank.rank();
             let n = rank.nprocs();
             // Only rank 0 has data, but a dense plan still moves one message per pair.
-            let counts: Vec<usize> = (0..n).map(|_| if me == 0 { 2 } else { 0 }).collect();
-            let plan = ExchangePlan::dense(me, counts.clone());
-            let sends: Vec<Vec<u64>> = counts.iter().map(|&c| (0..c as u64).collect()).collect();
+            let sends: Vec<Vec<u64>> = (0..n)
+                .map(|_| if me == 0 { vec![0, 1] } else { Vec::new() })
+                .collect();
+            let plan = ExchangePlan::dense(me, sends.iter().map(Vec::len).collect());
             let mut received_from = Vec::new();
             let stats = alltoallv(rank, &plan, &sends, |src, _v: Vec<u64>| {
                 received_from.push(src)
@@ -449,7 +595,7 @@ mod tests {
             let me = rank.rank();
             let n = rank.nprocs();
             // Rank r sends r elements to every peer (and keeps r for itself).
-            let plan = ExchangePlan::negotiate(rank, &vec![me; n]);
+            let plan = ExchangePlan::negotiate(rank, vec![me; n]);
             (plan.recv_counts(), plan.send_message_count())
         });
         for (me, (recv_counts, msgs)) in out.results.iter().enumerate() {
@@ -534,6 +680,39 @@ mod tests {
             assert_eq!(stats.bytes_sent, *bytes);
             assert_eq!(stats.msgs_received, 3);
             assert_eq!(stats.bytes_received, 3 * 16);
+        }
+    }
+
+    #[test]
+    fn steady_exchange_loops_stop_allocating_after_warmup() {
+        // The pool invariant the microbench harness reports: after one warm-up round, a
+        // repeated exchange draws every buffer from the pool — including dense rounds
+        // whose messages are all empty (zero-byte payloads bypass the heap and the pool
+        // counters entirely, so they cannot leak `allocations` either).
+        let out = run(MachineConfig::new(3), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            let data_round = |rank: &mut Rank| {
+                let plan = ExchangePlan::dense(me, vec![2; n]);
+                let sends: Vec<Vec<u64>> = (0..n).map(|p| vec![me as u64, p as u64]).collect();
+                alltoallv(rank, &plan, &sends, |_src, _v| {});
+            };
+            let empty_round = |rank: &mut Rank| {
+                let plan = ExchangePlan::dense(me, vec![0; n]);
+                let sends: Vec<Vec<u64>> = vec![Vec::new(); n];
+                alltoallv(rank, &plan, &sends, |_src, _v| {});
+            };
+            data_round(rank);
+            let warm = rank.pool_stats();
+            for _ in 0..8 {
+                data_round(rank);
+                empty_round(rank);
+            }
+            rank.pool_stats().since(&warm)
+        });
+        for delta in &out.results {
+            assert_eq!(delta.allocations, 0, "steady state drew a fresh buffer");
+            assert!(delta.reuses > 0, "data rounds must be served from the pool");
         }
     }
 

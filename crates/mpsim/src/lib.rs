@@ -36,6 +36,8 @@
 //! assert!(outcome.results.iter().all(|&s| s == 6.0));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod barrier;
 pub mod collectives;
 pub mod comm;
@@ -47,8 +49,10 @@ pub mod stats;
 pub mod topology;
 
 pub use cost::{CostModel, TimeSnapshot};
-pub use exchange::{alltoallv, alltoallv_replicated, ExchangePlan, ExchangeStats, RecvSpec};
+pub use exchange::{
+    alltoallv, alltoallv_replicated, alltoallv_with, ExchangePlan, ExchangeStats, PackBuf, RecvSpec,
+};
 pub use machine::{run, Machine, Rank, RunOutcome};
 pub use message::Element;
-pub use stats::RankStats;
+pub use stats::{PackPoolStats, RankStats};
 pub use topology::MachineConfig;

@@ -1,4 +1,11 @@
 //! SPMD driver: spawn one thread per rank and run the same closure on each.
+//!
+//! This is the stand-in for the node programs of the paper's iPSC/860: [`run`] plays the
+//! role of loading the same program onto every node, [`Rank`] is the per-node handle
+//! through which all communication, cost accounting and pack-buffer pooling happens, and
+//! [`RunOutcome`] collects what the paper's tables report — per-rank results, raw
+//! counters ([`RankStats`]), modeled times ([`TimeSnapshot`]) and pool counters
+//! ([`PackPoolStats`]).
 
 use std::sync::Arc;
 use std::thread;
@@ -6,8 +13,8 @@ use std::thread;
 use crate::barrier::Barrier;
 use crate::comm::Mailbox;
 use crate::cost::{CostModel, TimeSnapshot};
-use crate::message::{decode_vec, encode_slice, Element};
-use crate::stats::{MachineStats, RankStats};
+use crate::message::{decode_vec, Element};
+use crate::stats::{MachineStats, PackPoolStats, RankStats};
 use crate::topology::MachineConfig;
 
 /// The per-rank handle handed to the SPMD closure.
@@ -25,7 +32,17 @@ pub struct Rank {
     /// exchange messages so that consecutive exchanges can never be confused even though
     /// ranks run ahead of one another.
     exchange_seq: u64,
+    /// Free list of the pack-buffer pool: spent message payloads waiting to be reused as
+    /// outgoing encode buffers.  See [`Rank::pool_stats`].
+    pool: Vec<Vec<u8>>,
+    /// Allocation/reuse counters of the pack-buffer pool.
+    pool_stats: PackPoolStats,
 }
+
+/// Maximum number of idle buffers a rank keeps.  Beyond this, recycled buffers are simply
+/// dropped; the cap only bounds idle memory, it never causes an extra allocation while the
+/// pool is warm (a steady-state loop holds at most its per-iteration message count).
+const POOL_MAX_IDLE: usize = 1024;
 
 impl Rank {
     /// This rank's id in `0..nprocs`.
@@ -46,8 +63,20 @@ impl Rank {
     /// Send a slice of elements to rank `to` with tag `tag`.
     ///
     /// The sender is charged one message (latency + bytes) of modeled communication time.
+    /// The payload is encoded into a pooled buffer (see [`Rank::pool_stats`]), never a
+    /// fresh allocation when the pool is warm.
     pub fn send_slice<T: Element>(&mut self, to: usize, tag: u64, values: &[T]) {
-        let payload = encode_slice(values);
+        let mut payload = self.take_pack_buffer(values.len() * T::SIZE);
+        for v in values {
+            v.write_le(&mut payload);
+        }
+        self.send_packed(to, tag, payload);
+    }
+
+    /// Send an already-encoded payload, taking ownership of the buffer.  This is the
+    /// single point where outgoing messages are charged and counted; [`Rank::send_slice`]
+    /// and the [`crate::exchange`] engine both funnel through it.
+    pub(crate) fn send_packed(&mut self, to: usize, tag: u64, payload: Vec<u8>) {
         let bytes = payload.len();
         self.stats.record_send(bytes);
         self.time.comm_us += self.cost.message_cost_us(bytes);
@@ -61,7 +90,9 @@ impl Rank {
         let env = self.mailbox.recv(from, tag);
         self.stats.record_recv(env.payload.len());
         self.time.comm_us += self.cost.message_cost_us(env.payload.len());
-        decode_vec(&env.payload)
+        let values = decode_vec(&env.payload);
+        self.recycle_pack_buffer(env.payload);
+        values
     }
 
     /// Receive a vector of elements with tag `tag` from any rank; returns `(from, values)`.
@@ -69,7 +100,60 @@ impl Rank {
         let env = self.mailbox.recv_any(tag);
         self.stats.record_recv(env.payload.len());
         self.time.comm_us += self.cost.message_cost_us(env.payload.len());
-        (env.from, decode_vec(&env.payload))
+        let values = decode_vec(&env.payload);
+        self.recycle_pack_buffer(env.payload);
+        (env.from, values)
+    }
+
+    /// Take a byte buffer of at least `capacity` spare bytes from the pack-buffer pool,
+    /// allocating only when the free list is empty.  Zero-byte requests (empty messages
+    /// of dense plans) never touch the heap, so they bypass the pool and its counters
+    /// entirely — mirroring [`Rank::recycle_pack_buffer`], which drops capacity-0 buffers.
+    ///
+    /// Selection is best-effort best-fit: the most recently recycled buffer that already
+    /// has `capacity` is preferred, so mixed message sizes (8-byte negotiation counts next
+    /// to kilobyte data payloads) don't force `reserve` regrowth of a too-small buffer.
+    /// When no pooled buffer is large enough, the newest one is grown — its capacity only
+    /// ever increases, so a steady loop stops regrowing once every circulating buffer has
+    /// reached the loop's maximum message size.  `reuses` therefore counts recycled
+    /// *buffers*, not a promise that `reserve` never moved one during warm-up.
+    pub(crate) fn take_pack_buffer(&mut self, capacity: usize) -> Vec<u8> {
+        if capacity == 0 {
+            return Vec::new();
+        }
+        if self.pool.is_empty() {
+            self.pool_stats.allocations += 1;
+            return Vec::with_capacity(capacity);
+        }
+        self.pool_stats.reuses += 1;
+        let idx = self
+            .pool
+            .iter()
+            .rposition(|b| b.capacity() >= capacity)
+            .unwrap_or(self.pool.len() - 1);
+        let mut buf = self.pool.swap_remove(idx);
+        buf.clear();
+        buf.reserve(capacity);
+        buf
+    }
+
+    /// Return a spent buffer to the pack-buffer pool.  Consumed message payloads and the
+    /// engine's self-delivery buffers come back through here, which is what keeps
+    /// steady-state loops allocation-free: each iteration's receives replenish exactly
+    /// what its sends drew.
+    pub(crate) fn recycle_pack_buffer(&mut self, buf: Vec<u8>) {
+        if self.pool.len() < POOL_MAX_IDLE && buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Counters of this rank's pack-buffer pool: how many outgoing-message buffers were
+    /// allocated fresh versus served from the free list.  `allocations` not growing across
+    /// a window is the machine-checkable statement "this loop's communication allocates no
+    /// fresh send buffers" (asserted by the pool smoke tests and reported by
+    /// `exchange_microbench`).
+    pub fn pool_stats(&self) -> PackPoolStats {
+        self.pool_stats
     }
 
     /// Synchronise with every other rank.  Charged `sync_cost_us(P)` of communication time.
@@ -122,12 +206,21 @@ pub struct RunOutcome<R> {
     pub stats: Vec<RankStats>,
     /// Each rank's modeled time at the end of the run, indexed by rank.
     pub times: Vec<TimeSnapshot>,
+    /// Each rank's pack-buffer pool counters at the end of the run, indexed by rank.
+    pub pool: Vec<PackPoolStats>,
 }
 
 impl<R> RunOutcome<R> {
     /// Aggregate machine-wide statistics.
     pub fn machine_stats(&self) -> MachineStats {
         MachineStats::from_ranks(&self.stats)
+    }
+
+    /// Pack-buffer pool counters summed over all ranks.
+    pub fn pool_totals(&self) -> PackPoolStats {
+        self.pool
+            .iter()
+            .fold(PackPoolStats::default(), |acc, p| acc.merged(p))
     }
 
     /// The paper reports "execution time" as the maximum over processors of the per-rank
@@ -221,9 +314,11 @@ impl Machine {
                         stats: RankStats::default(),
                         time: TimeSnapshot::default(),
                         exchange_seq: 0,
+                        pool: Vec::new(),
+                        pool_stats: PackPoolStats::default(),
                     };
                     let result = f(&mut rank);
-                    (result, rank.stats, rank.time)
+                    (result, rank.stats, rank.time, rank.pool_stats)
                 })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
@@ -232,12 +327,14 @@ impl Machine {
         let mut results = Vec::with_capacity(nprocs);
         let mut stats = Vec::with_capacity(nprocs);
         let mut times = Vec::with_capacity(nprocs);
+        let mut pool = Vec::with_capacity(nprocs);
         for (rank, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok((r, s, t)) => {
+                Ok((r, s, t, ps)) => {
                     results.push(r);
                     stats.push(s);
                     times.push(t);
+                    pool.push(ps);
                 }
                 Err(payload) => {
                     let msg = payload
@@ -253,6 +350,7 @@ impl Machine {
             results,
             stats,
             times,
+            pool,
         }
     }
 }

@@ -1,4 +1,10 @@
 //! Per-rank communication and computation counters.
+//!
+//! The paper's evaluation (§4) reports communication and computation *times*; those are
+//! derived in [`crate::cost`], but the raw quantities they are derived from — message
+//! counts, byte counts, work units, and the pack-buffer pool's allocation counters — are
+//! accumulated here, where regression tests and the benchmark harnesses can pin them
+//! exactly.
 
 /// Raw counters accumulated by one rank over an SPMD run.
 ///
@@ -54,6 +60,45 @@ impl RankStats {
             bytes_received: self.bytes_received + other.bytes_received,
             collectives: self.collectives + other.collectives,
             compute_units: self.compute_units + other.compute_units,
+        }
+    }
+}
+
+/// Counters of the per-rank pack-buffer pool (see `Rank::pool_stats`).
+///
+/// Every outgoing message is encoded into a byte buffer drawn from a per-rank free list;
+/// every consumed incoming message returns its buffer to that free list.  In a steady-state
+/// exchange loop (the executor's gather/scatter, the DSMC append) each iteration receives
+/// as many buffers as it sends, so after a warm-up iteration the pool satisfies every
+/// request and `allocations` stops growing — the property the `exchange_microbench`
+/// harness and the pool smoke tests pin down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackPoolStats {
+    /// Buffers created fresh because the free list was empty (pool misses).
+    pub allocations: u64,
+    /// Buffers served from the free list (pool hits).
+    pub reuses: u64,
+}
+
+impl PackPoolStats {
+    /// Total buffer requests: what a pool-less engine would have allocated.
+    pub fn requests(&self) -> u64 {
+        self.allocations + self.reuses
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &PackPoolStats) -> PackPoolStats {
+        PackPoolStats {
+            allocations: self.allocations - earlier.allocations,
+            reuses: self.reuses - earlier.reuses,
+        }
+    }
+
+    /// Combine the counters of two pools (used when aggregating a whole machine).
+    pub fn merged(&self, other: &PackPoolStats) -> PackPoolStats {
+        PackPoolStats {
+            allocations: self.allocations + other.allocations,
+            reuses: self.reuses + other.reuses,
         }
     }
 }

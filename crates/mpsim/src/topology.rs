@@ -1,4 +1,8 @@
 //! Machine description: number of ranks and the communication/computation cost parameters.
+//!
+//! A [`MachineConfig`] is the simulated analogue of "how many iPSC/860 nodes the job
+//! asked for": the paper's tables sweep this from 1 to 128 processors while holding the
+//! [`crate::cost::CostModel`] fixed.
 
 use crate::cost::CostModel;
 
