@@ -1,18 +1,28 @@
 //! Steady-state microbenchmarks of the unified exchange engine.
 //!
 //! Runs the three engine-shaped loops of `chaos_bench::microbench` (CHARMM
-//! gather/scatter, DSMC append, CHARMM remap) on an 8-rank simulated machine and prints a
-//! summary.  With `--json [PATH]`, also writes the machine-readable report
-//! (`BENCH_exchange.json` by default; schema in `BENCHMARKS.md`).
+//! gather/scatter, DSMC append, CHARMM remap) on an 8-rank simulated machine, sweeps the
+//! gather/scatter and append shapes over machine sizes (P = 2–32) and payload element
+//! sizes (8–64 bytes), and prints a summary.  With `--json [PATH]`, also writes the
+//! machine-readable report (`BENCH_exchange.json` by default; schema
+//! `chaos-bench/exchange/v2` in `BENCHMARKS.md`).  With `--check`, exits non-zero if any
+//! loop violates the pinned steady-state invariant — zero pack-buffer allocations after
+//! warm-up everywhere, zero decode-scratch allocations for every borrow-only loop — which
+//! is how CI turns an allocation regression into a failed build.
 
-use chaos_bench::microbench::{all_microbenches, exchange_report, MicrobenchConfig};
+use chaos_bench::microbench::{
+    all_microbenches, element_size_sweep, exchange_report, rank_sweep, steady_state_violations,
+    MicrobenchConfig,
+};
 use chaos_bench::report::{parse_json_flag, write_json_file};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    args.retain(|a| a != "--check");
     let json_path = parse_json_flag(&args, "BENCH_exchange.json").unwrap_or_else(|msg| {
         eprintln!("{msg}");
-        eprintln!("usage: exchange_microbench [--json [PATH]]");
+        eprintln!("usage: exchange_microbench [--json [PATH]] [--check]");
         std::process::exit(2);
     });
 
@@ -21,17 +31,50 @@ fn main() {
         "exchange engine microbenchmarks ({} ranks, {} warmup + {} measured iterations)",
         cfg.ranks, cfg.warmup_iters, cfg.measured_iters
     );
-    let results = all_microbenches(&cfg);
-    for r in &results {
+    let benches = all_microbenches(&cfg);
+    for r in &benches {
+        println!("{}", r.summary_line());
+    }
+    println!("rank sweep (strong scaling, global problem size fixed):");
+    let ranks = rank_sweep(&cfg);
+    for r in &ranks {
+        println!("{}", r.summary_line());
+    }
+    println!("element-size sweep (8 ranks):");
+    let elems = element_size_sweep(&cfg);
+    for r in &elems {
         println!("{}", r.summary_line());
     }
 
     if let Some(path) = json_path {
-        let doc = exchange_report(&results);
+        let doc = exchange_report(&benches, &ranks, &elems);
         write_json_file(&path, &doc).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         });
         println!("wrote {path}");
+    }
+
+    if check {
+        let all: Vec<_> = benches
+            .iter()
+            .chain(&ranks)
+            .chain(&elems)
+            .cloned()
+            .collect();
+        let violations = steady_state_violations(&all);
+        if violations.is_empty() {
+            println!(
+                "steady-state check passed: 0 allocations after warm-up, both directions, \
+                 across {} loops",
+                all.len()
+            );
+        } else {
+            eprintln!("steady-state allocation regression:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
     }
 }

@@ -14,10 +14,17 @@
 //!   its coordinate/force arrays after a repartition).
 //!
 //! Each returns a [`MicrobenchResult`] carrying wall-clock time, modeled time, per-run
-//! [`ExchangeStats`], and the pool counters split into *total* and *steady-state* (after
-//! warm-up) windows.  The zero-allocation steady state — `pool_steady.allocations == 0` —
-//! is asserted by the pool smoke tests and reported by the `exchange_microbench` binary
-//! (see `BENCHMARKS.md` at the repository root).
+//! [`ExchangeStats`], and the pool counters — send-side pack buffers *and* receive-side
+//! decode scratch — split into *total* and *steady-state* (after warm-up) windows.  The
+//! zero-allocation steady state (`pool_steady.allocations == 0` always;
+//! `pool_steady.decode_allocations == 0` for every loop whose placement only borrows, see
+//! [`MicrobenchResult::receive_owned`]) is asserted by the pool smoke tests, checked by
+//! `exchange_microbench --check` in CI, and reported in `BENCH_exchange.json`.
+//!
+//! Two sweeps extend the fixed 8-rank loops the way the paper's tables sweep processor
+//! counts: [`rank_sweep`] runs the gather/scatter and append shapes at P = 2, 4, 8, 16
+//! and 32 ranks, and [`element_size_sweep`] runs them with 8-, 24- and 64-byte payload
+//! elements (exercising the bulk codec's chunked encode/decode paths).
 
 use std::time::Instant;
 
@@ -60,6 +67,13 @@ pub struct MicrobenchResult {
     pub name: &'static str,
     /// Machine size the loop ran on.
     pub ranks: usize,
+    /// Encoded payload element size in bytes (8 for the classic `f64`/`u64` loops).
+    pub elem_bytes: usize,
+    /// Whether the loop's placement takes ownership of its payloads (`Placed::into_vec`,
+    /// as `scatter_append` must — the appended items outlive the call).  Ownership-taking
+    /// loops legitimately show steady-state decode-scratch allocations; borrow-only loops
+    /// must show zero, and the `--check` gate enforces exactly that split.
+    pub receive_owned: bool,
     /// Warm-up iterations excluded from the measurement window.
     pub warmup_iters: usize,
     /// Measured iterations.
@@ -103,6 +117,8 @@ impl MicrobenchResult {
         Json::obj(vec![
             ("name", Json::str(self.name)),
             ("ranks", Json::uint(self.ranks as u64)),
+            ("elem_bytes", Json::uint(self.elem_bytes as u64)),
+            ("receive_owned", Json::Bool(self.receive_owned)),
             ("warmup_iters", Json::uint(self.warmup_iters as u64)),
             ("measured_iters", Json::uint(self.measured_iters as u64)),
             ("wall_ms", Json::Num(self.wall_ms)),
@@ -134,6 +150,19 @@ impl MicrobenchResult {
                     ),
                     ("steady_reuses", Json::uint(self.pool_steady.reuses)),
                     (
+                        "decode_allocations",
+                        Json::uint(self.pool_total.decode_allocations),
+                    ),
+                    ("decode_reuses", Json::uint(self.pool_total.decode_reuses)),
+                    (
+                        "steady_decode_allocations",
+                        Json::uint(self.pool_steady.decode_allocations),
+                    ),
+                    (
+                        "steady_decode_reuses",
+                        Json::uint(self.pool_steady.decode_reuses),
+                    ),
+                    (
                         "baseline_allocations",
                         Json::uint(self.baseline_allocations()),
                     ),
@@ -149,16 +178,20 @@ impl MicrobenchResult {
     /// One-line human-readable summary.
     pub fn summary_line(&self) -> String {
         format!(
-            "{:<24} {} ranks  {:>3} iters  wall {:>8.2} ms  modeled {:>10.1} us  \
-             allocs {:>5} (steady {:>2})  baseline {:>6}  -{:.1}%",
+            "{:<26} {:>2} ranks  {:>2}B elems  {:>3} iters  wall {:>8.2} ms  \
+             modeled {:>10.1} us  allocs {:>5} (steady {:>2})  \
+             decode {:>5} (steady {:>3}{})  -{:.1}%",
             self.name,
             self.ranks,
+            self.elem_bytes,
             self.measured_iters,
             self.wall_ms,
             self.modeled_total_us,
             self.pool_total.allocations,
             self.pool_steady.allocations,
-            self.baseline_allocations(),
+            self.pool_total.decode_allocations,
+            self.pool_steady.decode_allocations,
+            if self.receive_owned { ", owned" } else { "" },
             self.allocation_reduction_pct(),
         )
     }
@@ -200,6 +233,8 @@ fn instrumented_loop(
 fn collect(
     name: &'static str,
     cfg: &MicrobenchConfig,
+    elem_bytes: usize,
+    receive_owned: bool,
     wall_ms: f64,
     outcome: mpsim::RunOutcome<(PackPoolStats, PackPoolStats, ExchangeStats, f64, f64, f64)>,
 ) -> MicrobenchResult {
@@ -218,6 +253,8 @@ fn collect(
     MicrobenchResult {
         name,
         ranks: cfg.ranks,
+        elem_bytes,
+        receive_owned,
         warmup_iters: cfg.warmup_iters,
         measured_iters: cfg.measured_iters,
         wall_ms,
@@ -230,22 +267,76 @@ fn collect(
     }
 }
 
+/// Per-rank setup shared by every gather/scatter-shaped harness: the inspector builds one
+/// regular schedule over a strided slice of the whole array (plenty of off-processor
+/// traffic, fixed pattern — the post-inspector steady state), returning the distribution,
+/// the schedule and the local references of the access pattern.
+fn build_strided_schedule(
+    rank: &mut Rank,
+    n: usize,
+) -> (BlockDist, CommSchedule, Vec<chaos::LocalRef>) {
+    let dist = BlockDist::new(n, rank.nprocs());
+    let ttable = TranslationTable::from_regular(&dist);
+    let mut insp = Inspector::new(&ttable, rank.rank());
+    let me = rank.rank();
+    let pattern: Vec<usize> = (0..n / 2).map(|i| (i * 7 + me * 13 + 1) % n).collect();
+    let refs = insp.hash_indices(rank, &pattern, Stamp::new(0));
+    let sched = insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
+    (dist, sched, refs)
+}
+
+/// Shared core of the append-shaped harnesses: a fresh [`LightweightSchedule`] +
+/// `scatter_append` per iteration.  `make` seeds the initial items from globally unique
+/// ids; `dests_of(items, step, me, nprocs)` picks each item's destination per step, which
+/// is the only thing the classic and element-size variants disagree on.
+fn scatter_append_core<T: mpsim::Element>(
+    name: &'static str,
+    cfg: &MicrobenchConfig,
+    make: fn(u64) -> T,
+    dests_of: fn(&[T], u64, usize, usize) -> Vec<usize>,
+) -> MicrobenchResult {
+    let cfg2 = cfg.clone();
+    let start = Instant::now();
+    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+        let me = rank.rank();
+        let nprocs = rank.nprocs();
+        let mut items: Vec<T> = (0..cfg2.items_per_rank)
+            .map(|k| make((me * cfg2.items_per_rank + k) as u64))
+            .collect();
+        let mut step = 0u64;
+        instrumented_loop(rank, &cfg2, move |rank| {
+            step += 1;
+            let dests = dests_of(&items, step, me, nprocs);
+            let sched = LightweightSchedule::build(rank, &dests);
+            let before = rank.stats();
+            items = scatter_append(rank, &sched, &items);
+            let after = rank.stats();
+            ExchangeStats {
+                msgs_sent: after.msgs_sent - before.msgs_sent,
+                msgs_received: after.msgs_received - before.msgs_received,
+                bytes_sent: after.bytes_sent - before.bytes_sent,
+                bytes_received: after.bytes_received - before.bytes_received,
+            }
+        })
+    });
+    collect(
+        name,
+        cfg,
+        T::SIZE,
+        true,
+        start.elapsed().as_secs_f64() * 1e3,
+        outcome,
+    )
+}
+
 /// The CHARMM executor shape: one regular schedule built by the inspector, then a
 /// `gather` + `scatter_add` pair per iteration.
 pub fn gather_scatter_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
     let cfg2 = cfg.clone();
     let start = Instant::now();
     let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
-        let n = cfg2.elements;
-        let dist = BlockDist::new(n, rank.nprocs());
-        let ttable = TranslationTable::from_regular(&dist);
-        let mut insp = Inspector::new(&ttable, rank.rank());
-        // Every rank references a strided slice of the whole array: plenty of
-        // off-processor traffic, fixed pattern — the post-inspector steady state.
         let me = rank.rank();
-        let pattern: Vec<usize> = (0..n / 2).map(|i| (i * 7 + me * 13 + 1) % n).collect();
-        let refs = insp.hash_indices(rank, &pattern, Stamp::new(0));
-        let sched = insp.build_schedule(rank, StampQuery::single(Stamp::new(0)));
+        let (dist, sched, refs) = build_strided_schedule(rank, cfg2.elements);
         let owned: Vec<f64> = dist.local_globals(me).map(|g| g as f64).collect();
         let mut x = DistArray::new(owned, sched.ghost_len());
         instrumented_loop(rank, &cfg2, move |rank| {
@@ -260,46 +351,27 @@ pub fn gather_scatter_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
     collect(
         "gather_scatter_steady",
         cfg,
+        8,
+        false,
         start.elapsed().as_secs_f64() * 1e3,
         outcome,
     )
 }
 
-/// The DSMC MOVE shape: items drift between ranks, so a fresh light-weight schedule is
-/// built every iteration and `scatter_append` moves the items.
+/// The DSMC MOVE shape: items drift between ranks (routed by their id, so after the first
+/// step every rank's items march to the next rank in a ring), a fresh light-weight
+/// schedule is built every iteration and `scatter_append` moves the items.
 pub fn scatter_append_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
-    let cfg2 = cfg.clone();
-    let start = Instant::now();
-    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
-        let me = rank.rank();
-        let nprocs = rank.nprocs();
-        let mut items: Vec<u64> = (0..cfg2.items_per_rank)
-            .map(|k| (me * cfg2.items_per_rank + k) as u64)
-            .collect();
-        let mut step = 0u64;
-        instrumented_loop(rank, &cfg2, move |rank| {
-            step += 1;
-            let dests: Vec<usize> = items
-                .iter()
-                .map(|&id| ((id + step) % nprocs as u64) as usize)
-                .collect();
-            let sched = LightweightSchedule::build(rank, &dests);
-            let before = rank.stats();
-            items = scatter_append(rank, &sched, &items);
-            let after = rank.stats();
-            ExchangeStats {
-                msgs_sent: after.msgs_sent - before.msgs_sent,
-                msgs_received: after.msgs_received - before.msgs_received,
-                bytes_sent: after.bytes_sent - before.bytes_sent,
-                bytes_received: after.bytes_received - before.bytes_received,
-            }
-        })
-    });
-    collect(
+    scatter_append_core::<u64>(
         "scatter_append_steady",
         cfg,
-        start.elapsed().as_secs_f64() * 1e3,
-        outcome,
+        |k| k,
+        |items, step, _me, nprocs| {
+            items
+                .iter()
+                .map(|&id| ((id + step) % nprocs as u64) as usize)
+                .collect()
+        },
     )
 }
 
@@ -333,6 +405,8 @@ pub fn remap_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
     collect(
         "remap_steady",
         cfg,
+        8,
+        false,
         start.elapsed().as_secs_f64() * 1e3,
         outcome,
     )
@@ -347,18 +421,151 @@ pub fn all_microbenches(cfg: &MicrobenchConfig) -> Vec<MicrobenchResult> {
     ]
 }
 
-/// Render a list of results as the `BENCH_exchange.json` document.
-pub fn exchange_report(results: &[MicrobenchResult]) -> Json {
+/// The element-size sweep harness for the gather/scatter shape: same schedule and access
+/// pattern as [`gather_scatter_steady`], but `gather` + `scatter` (overwrite, no
+/// reduction) so it is generic over any payload element — the sweep instantiates it at
+/// 8, 24 and 64 bytes per element to exercise the bulk codec's chunked paths.
+fn gather_scatter_elem_steady<T>(
+    name: &'static str,
+    cfg: &MicrobenchConfig,
+    make: fn(usize) -> T,
+) -> MicrobenchResult
+where
+    T: mpsim::Element + Default,
+{
+    let cfg2 = cfg.clone();
+    let start = Instant::now();
+    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+        let me = rank.rank();
+        let (dist, sched, _refs) = build_strided_schedule(rank, cfg2.elements);
+        let owned: Vec<T> = dist.local_globals(me).map(make).collect();
+        let mut x = DistArray::new(owned, sched.ghost_len());
+        instrumented_loop(rank, &cfg2, move |rank| {
+            let g = gather(rank, &sched, &mut x);
+            let s = scatter(rank, &sched, &mut x);
+            g.merged(&s)
+        })
+    });
+    collect(
+        name,
+        cfg,
+        T::SIZE,
+        false,
+        start.elapsed().as_secs_f64() * 1e3,
+        outcome,
+    )
+}
+
+/// The element-size sweep harness for the append shape: [`scatter_append_core`] with items
+/// rotating between ranks by position, so per-rank counts stay balanced without
+/// inspecting the payload.
+fn scatter_append_elem_steady<T>(
+    name: &'static str,
+    cfg: &MicrobenchConfig,
+    make: fn(u64) -> T,
+) -> MicrobenchResult
+where
+    T: mpsim::Element,
+{
+    scatter_append_core::<T>(name, cfg, make, |items, step, me, nprocs| {
+        (0..items.len())
+            .map(|i| (i + me + step as usize) % nprocs)
+            .collect()
+    })
+}
+
+/// Machine sizes of the rank sweep — the paper's tables sweep processor counts the same
+/// way (its iPSC/860 runs go up to 128 nodes; 32 simulated ranks is where host threads
+/// stop telling us anything new).
+pub const RANK_SWEEP_POINTS: &[usize] = &[2, 4, 8, 16, 32];
+
+/// Run the gather/scatter and append shapes at every machine size in
+/// [`RANK_SWEEP_POINTS`], holding the global problem size fixed (strong scaling, the
+/// paper's convention).  `base.elements` is already global; `base.items_per_rank` is
+/// interpreted as the per-rank count *at 8 ranks* (the classic configuration) and
+/// rescaled so the global item count stays constant across the sweep.
+pub fn rank_sweep(base: &MicrobenchConfig) -> Vec<MicrobenchResult> {
+    let global_items = base.items_per_rank * 8;
+    assert!(
+        RANK_SWEEP_POINTS
+            .iter()
+            .all(|&p| global_items.is_multiple_of(p)),
+        "rank_sweep: items_per_rank must keep the global item count ({global_items}) \
+         divisible by every sweep point, or the strong-scaling comparison would \
+         silently compare different problem sizes"
+    );
+    let mut out = Vec::new();
+    for &ranks in RANK_SWEEP_POINTS {
+        let cfg = MicrobenchConfig {
+            ranks,
+            items_per_rank: global_items / ranks,
+            ..base.clone()
+        };
+        out.push(gather_scatter_steady(&cfg));
+        out.push(scatter_append_steady(&cfg));
+    }
+    out
+}
+
+/// Run the gather/scatter and append shapes with 8-, 24- and 64-byte payload elements
+/// (`f64`, `[f64; 3]`, `[f64; 8]` — scalar, coordinate triple, small particle record).
+pub fn element_size_sweep(base: &MicrobenchConfig) -> Vec<MicrobenchResult> {
+    vec![
+        gather_scatter_elem_steady::<f64>("gather_scatter_elem_8B", base, |g| g as f64),
+        gather_scatter_elem_steady::<[f64; 3]>("gather_scatter_elem_24B", base, |g| {
+            [g as f64, 1.0, -1.0]
+        }),
+        gather_scatter_elem_steady::<[f64; 8]>("gather_scatter_elem_64B", base, |g| [g as f64; 8]),
+        scatter_append_elem_steady::<u64>("scatter_append_elem_8B", base, |k| k),
+        scatter_append_elem_steady::<[f64; 3]>("scatter_append_elem_24B", base, |k| {
+            [k as f64, 0.5, -0.5]
+        }),
+        scatter_append_elem_steady::<[f64; 8]>("scatter_append_elem_64B", base, |k| [k as f64; 8]),
+    ]
+}
+
+/// The pinned steady-state invariant, as CI enforces it: no loop may allocate a pack
+/// buffer after warm-up, and borrow-only loops may not allocate decode scratch either
+/// (ownership-taking loops hand their payloads to the application, so their scratch
+/// allocations are the data itself, not engine overhead).  Returns one message per
+/// violation; empty means the invariant holds.
+pub fn steady_state_violations(results: &[MicrobenchResult]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for r in results {
+        if r.pool_steady.allocations != 0 {
+            violations.push(format!(
+                "{} ({} ranks): {} steady-state pack-buffer allocations (expected 0)",
+                r.name, r.ranks, r.pool_steady.allocations
+            ));
+        }
+        if !r.receive_owned && r.pool_steady.decode_allocations != 0 {
+            violations.push(format!(
+                "{} ({} ranks): {} steady-state decode-scratch allocations (expected 0)",
+                r.name, r.ranks, r.pool_steady.decode_allocations
+            ));
+        }
+    }
+    violations
+}
+
+/// Render the benchmark results as the `BENCH_exchange.json` document
+/// (schema `chaos-bench/exchange/v2`, documented in `BENCHMARKS.md`).
+pub fn exchange_report(
+    benches: &[MicrobenchResult],
+    ranks: &[MicrobenchResult],
+    elems: &[MicrobenchResult],
+) -> Json {
+    let arr =
+        |rs: &[MicrobenchResult]| Json::Arr(rs.iter().map(MicrobenchResult::to_json).collect());
     Json::obj(vec![
-        ("schema", Json::str("chaos-bench/exchange/v1")),
+        ("schema", Json::str("chaos-bench/exchange/v2")),
         (
             "generated_by",
             Json::str("cargo run --release -p chaos-bench --bin exchange_microbench -- --json"),
         ),
-        (
-            "benches",
-            Json::Arr(results.iter().map(MicrobenchResult::to_json).collect()),
-        ),
+        ("benches", arr(benches)),
+        ("rank_sweep", arr(ranks)),
+        ("element_size_sweep", arr(elems)),
     ])
 }
 
@@ -383,17 +590,80 @@ mod tests {
         assert!(r.exchange.msgs_sent > 0);
         assert!(r.exchange.bytes_sent > 0);
         assert!(r.modeled_total_us > 0.0);
-        // The measurement window must not allocate: the pool is warm.
+        // The measurement window must not allocate, in either direction: both pools are
+        // warm and the placement only borrows.
         assert_eq!(r.pool_steady.allocations, 0);
+        assert_eq!(r.pool_steady.decode_allocations, 0);
+        assert!(r.pool_steady.decode_reuses > 0);
     }
 
     #[test]
-    fn report_document_carries_every_bench() {
-        let results = vec![gather_scatter_steady(&tiny()), remap_steady(&tiny())];
-        let doc = exchange_report(&results);
+    fn element_size_sweep_scales_bytes_with_element_size() {
+        let cfg = tiny();
+        let results = element_size_sweep(&cfg);
+        assert_eq!(results.len(), 6);
+        let by_name = |n: &str| {
+            results
+                .iter()
+                .find(|r| r.name == n)
+                .unwrap_or_else(|| panic!("missing sweep entry {n}"))
+        };
+        let gs8 = by_name("gather_scatter_elem_8B");
+        let gs24 = by_name("gather_scatter_elem_24B");
+        assert_eq!(gs8.elem_bytes, 8);
+        assert_eq!(gs24.elem_bytes, 24);
+        // Same schedule, 3x the element size: exactly 3x the bytes on the wire.
+        assert_eq!(gs24.exchange.bytes_sent, 3 * gs8.exchange.bytes_sent);
+        assert_eq!(gs24.exchange.msgs_sent, gs8.exchange.msgs_sent);
+        assert!(steady_state_violations(&results).is_empty());
+    }
+
+    #[test]
+    fn rank_sweep_covers_every_point_and_stays_clean() {
+        let cfg = MicrobenchConfig {
+            warmup_iters: 2,
+            measured_iters: 4,
+            elements: 256,
+            items_per_rank: 32,
+            ..tiny()
+        };
+        let results = rank_sweep(&cfg);
+        assert_eq!(results.len(), 2 * RANK_SWEEP_POINTS.len());
+        for (i, &p) in RANK_SWEEP_POINTS.iter().enumerate() {
+            assert_eq!(results[2 * i].ranks, p);
+            assert_eq!(results[2 * i].name, "gather_scatter_steady");
+            assert_eq!(results[2 * i + 1].ranks, p);
+            assert_eq!(results[2 * i + 1].name, "scatter_append_steady");
+        }
+        assert!(steady_state_violations(&results).is_empty());
+    }
+
+    #[test]
+    fn violations_are_detected_and_owned_receives_are_exempt() {
+        let mut r = gather_scatter_steady(&tiny());
+        assert!(steady_state_violations(std::slice::from_ref(&r)).is_empty());
+        r.pool_steady.decode_allocations = 3;
+        assert_eq!(steady_state_violations(std::slice::from_ref(&r)).len(), 1);
+        // An ownership-taking loop is allowed decode allocations but not pack ones.
+        r.receive_owned = true;
+        assert!(steady_state_violations(std::slice::from_ref(&r)).is_empty());
+        r.pool_steady.allocations = 1;
+        assert_eq!(steady_state_violations(std::slice::from_ref(&r)).len(), 1);
+    }
+
+    #[test]
+    fn report_document_carries_every_section() {
+        let benches = vec![gather_scatter_steady(&tiny()), remap_steady(&tiny())];
+        let sweep = vec![scatter_append_steady(&tiny())];
+        let doc = exchange_report(&benches, &sweep, &[]);
         let text = doc.render_pretty();
+        assert!(text.contains("\"schema\": \"chaos-bench/exchange/v2\""));
         assert!(text.contains("\"gather_scatter_steady\""));
         assert!(text.contains("\"remap_steady\""));
+        assert!(text.contains("\"rank_sweep\""));
+        assert!(text.contains("\"element_size_sweep\": []"));
         assert!(text.contains("\"steady_allocations\": 0"));
+        assert!(text.contains("\"steady_decode_allocations\": 0"));
+        assert!(text.contains("\"receive_owned\": true"));
     }
 }

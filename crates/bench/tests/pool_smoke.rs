@@ -1,12 +1,17 @@
 //! Pool smoke tests: the zero-allocation steady state of the exchange engine.
 //!
-//! These pin the property the pack-buffer pool exists for — after a warm-up window, the
-//! steady-state executor loops (the shape of every time-stepped application in the paper)
-//! draw every outgoing message buffer from the pool and allocate nothing fresh.  The
-//! counters come from `mpsim::Rank::pool_stats` via the `exchange_microbench` harnesses.
+//! These pin the property the engine's buffer pools exist for — after a warm-up window,
+//! the steady-state executor loops (the shape of every time-stepped application in the
+//! paper) draw every outgoing message buffer from the pack-buffer pool *and* every
+//! incoming payload's typed scratch from the decode-scratch pool, allocating nothing
+//! fresh in either direction.  The one sanctioned exception is `scatter_append`, whose
+//! placement takes ownership of its payloads (`Placed::into_vec`) — its decode
+//! allocations are the application's data, not engine overhead.  The counters come from
+//! `mpsim::Rank::pool_stats` via the `exchange_microbench` harnesses.
 
 use chaos_bench::microbench::{
-    gather_scatter_steady, remap_steady, scatter_append_steady, MicrobenchConfig,
+    gather_scatter_steady, remap_steady, scatter_append_steady, steady_state_violations,
+    MicrobenchConfig,
 };
 
 fn cfg() -> MicrobenchConfig {
@@ -38,6 +43,26 @@ fn gather_scatter_steady_state_allocates_no_pack_buffers() {
 }
 
 #[test]
+fn gather_scatter_steady_state_allocates_no_decode_scratch_either() {
+    // The receive-side half of the acceptance criterion: the 8-rank gather/scatter loop
+    // places every incoming payload through a borrowed view, so the decode-scratch pool
+    // satisfies every request after warm-up — zero steady-state allocations in *both*
+    // directions.
+    let r = gather_scatter_steady(&cfg());
+    assert!(r.exchange.msgs_received > 0);
+    assert_eq!(
+        r.pool_steady.decode_allocations, 0,
+        "steady-state gather/scatter drew a fresh decode scratch: {:?}",
+        r.pool_steady
+    );
+    assert!(
+        r.pool_steady.decode_reuses > 0,
+        "steady-state receives should be served from the scratch pool"
+    );
+    assert!(steady_state_violations(std::slice::from_ref(&r)).is_empty());
+}
+
+#[test]
 fn scatter_append_steady_state_allocates_no_pack_buffers() {
     let r = scatter_append_steady(&cfg());
     assert!(r.exchange.msgs_sent > 0);
@@ -55,6 +80,11 @@ fn remap_values_steady_state_allocates_no_pack_buffers() {
     assert_eq!(
         r.pool_steady.allocations, 0,
         "steady-state remap_values drew a fresh buffer: {:?}",
+        r.pool_steady
+    );
+    assert_eq!(
+        r.pool_steady.decode_allocations, 0,
+        "steady-state remap_values drew a fresh decode scratch: {:?}",
         r.pool_steady
     );
 }

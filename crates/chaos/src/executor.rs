@@ -22,9 +22,14 @@
 //! All four primitives use the engine's packing form ([`mpsim::alltoallv_with`]): elements
 //! are encoded from the array straight into pooled message buffers, so a steady-state
 //! executor loop — the shape of every time-stepped application in the paper — allocates
-//! no fresh send buffers at all (see the pack-buffer pool notes in [`mpsim::exchange`]).
+//! no fresh send buffers at all.  On the receive side, `gather`/`scatter*` only *read*
+//! the incoming values through the borrowed [`mpsim::Placed`] view (placing them by
+//! permutation into the array), so their decode scratch is recycled and the steady-state
+//! loop allocates nothing in either direction; `scatter_append` is the one primitive that
+//! keeps each payload (the appended items outlive the call) and takes ownership with
+//! `Placed::into_vec` (see the buffer-pool notes in [`mpsim::exchange`]).
 
-use mpsim::{alltoallv_with, Element, ExchangeStats, PackBuf, Rank};
+use mpsim::{alltoallv_with, Element, ExchangeStats, PackBuf, Placed, Rank};
 
 use crate::darray::DistArray;
 use crate::schedule::{CommSchedule, LightweightSchedule};
@@ -58,8 +63,8 @@ pub fn gather<T: Element + Default>(
                 buf.push(owned[off as usize]);
             }
         },
-        |src, values: Vec<T>| {
-            for (slot, v) in sched.perm_lists[src].iter().zip(values) {
+        |src, values: Placed<'_, T>| {
+            for (slot, &v) in sched.perm_lists[src].iter().zip(values.iter()) {
                 debug_assert!((*slot as usize) < ghost.len());
                 ghost[*slot as usize] = v;
             }
@@ -137,8 +142,8 @@ where
                 buf.push(ghost[slot as usize]);
             }
         },
-        |src, values: Vec<T>| {
-            for (&off, v) in sched.send_lists[src].iter().zip(values) {
+        |src, values: Placed<'_, T>| {
+            for (&off, &v) in sched.send_lists[src].iter().zip(values.iter()) {
                 op(&mut owned[off as usize], v);
             }
         },
@@ -173,7 +178,8 @@ pub fn scatter_append<T: Element>(
     // Items are packed straight into each destination's message (kept items are copied
     // from `items` below, bypassing the plan).  The engine delivers in arrival order;
     // buffer per source so the documented kept-first, then-source-rank-order layout is
-    // deterministic.
+    // deterministic.  The appended items outlive the call, so this is the one executor
+    // primitive that takes ownership of its payloads (`Placed::into_vec`).
     let mut by_src: Vec<Vec<T>> = (0..nprocs).map(|_| Vec::new()).collect();
     alltoallv_with(
         rank,
@@ -183,7 +189,7 @@ pub fn scatter_append<T: Element>(
                 buf.push(items[i as usize]);
             }
         },
-        |src, values| by_src[src] = values,
+        |src, values| by_src[src] = values.into_vec(),
     );
     let mut result: Vec<T> = Vec::with_capacity(sched.result_count());
     result.extend(sched.send_item_lists[me].iter().map(|&i| items[i as usize]));

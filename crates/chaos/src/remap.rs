@@ -8,7 +8,7 @@
 //! and executor are: CHARMM remaps several data arrays (coordinates, forces, displacement
 //! arrays) with the *same* plan, paying the analysis once.
 
-use mpsim::{alltoallv_with, Element, ExchangePlan, PackBuf, Rank};
+use mpsim::{alltoallv_with, Element, ExchangePlan, PackBuf, Placed, Rank};
 
 use crate::translation::TranslationTable;
 use crate::{Global, ProcId};
@@ -136,13 +136,15 @@ pub fn remap_values<T: Element>(
                 buf.push(old_local[l as usize]);
             }
         },
-        |src, values: Vec<T>| {
+        // Placement only copies each value to its new offset, so the borrowed view
+        // suffices and the remap loop's receive path stays allocation-free.
+        |src, values: Placed<'_, T>| {
             debug_assert_eq!(
                 values.len(),
                 plan.recv_placements[src].len(),
                 "remap: receive count mismatch from processor {src}"
             );
-            for (&new_off, v) in plan.recv_placements[src].iter().zip(values) {
+            for (&new_off, &v) in plan.recv_placements[src].iter().zip(values.iter()) {
                 new_local[new_off as usize] = v;
             }
         },

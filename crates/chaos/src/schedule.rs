@@ -200,7 +200,10 @@ impl LightweightSchedule {
         // inspector which charges per-index translation and hashing.
         rank.charge_compute(dest_proc_per_item.len() as f64 * 0.05);
         // The entire inspector for this kind of schedule is the exchange engine's count
-        // negotiation: one dense all-to-all of item counts.
+        // negotiation: one dense all-to-all of item counts.  The counts are packed and
+        // placed entirely through pooled engine buffers (borrowed placement), so
+        // rebuilding a schedule every time step — the DSMC MOVE pattern — allocates
+        // nothing once the pools are warm.
         let send_counts: Vec<usize> = send_item_lists.iter().map(Vec::len).collect();
         let plan = ExchangePlan::negotiate(rank, send_counts);
         let mut recv_counts = plan.recv_counts();

@@ -526,8 +526,10 @@ fn lookup_remote_fallback(
     let query_counts: Vec<usize> = by_home.iter().map(Vec::len).collect();
     let query_plan = ExchangePlan::negotiate(rank, query_counts);
     let mut incoming_queries: Vec<Vec<u64>> = vec![Vec::new(); nprocs];
+    // The queries must survive until the answer round packs from them, so ownership is
+    // taken (`into_vec`) rather than borrowed.
     alltoallv(rank, &query_plan, &by_home, |src, qs| {
-        incoming_queries[src] = qs;
+        incoming_queries[src] = qs.into_vec();
     });
     // Answer round: sizes mirror the query round exactly (the query plan's send side
     // becomes the answer plan's receive side), so no negotiation is needed.
@@ -549,7 +551,7 @@ fn lookup_remote_fallback(
         .collect();
     let mut answers_by_home: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nprocs];
     alltoallv(rank, &answer_plan, &answer_sends, |src, ans| {
-        answers_by_home[src] = ans;
+        answers_by_home[src] = ans.into_vec();
     });
     placement
         .into_iter()

@@ -177,6 +177,62 @@ struct LoopState {
     nonbonded: Option<CommSchedule>,
 }
 
+/// Position and force arrays the executor step works on, kept across time steps so the
+/// steady-state loop performs no per-step allocations: together with the engine's
+/// send/receive buffer pools this makes a whole CHARMM time step allocation-free once
+/// warm.  Positions are refreshed from the distribution state each step (the integrator
+/// writes back there); forces are re-zeroed.
+struct StepArrays {
+    px: DistArray<f64>,
+    py: DistArray<f64>,
+    pz: DistArray<f64>,
+    fx: DistArray<f64>,
+    fy: DistArray<f64>,
+    fz: DistArray<f64>,
+}
+
+impl StepArrays {
+    fn new() -> Self {
+        StepArrays {
+            px: DistArray::zeroed(0, 0),
+            py: DistArray::zeroed(0, 0),
+            pz: DistArray::zeroed(0, 0),
+            fx: DistArray::zeroed(0, 0),
+            fy: DistArray::zeroed(0, 0),
+            fz: DistArray::zeroed(0, 0),
+        }
+    }
+
+    /// Prepare the arrays for one step: owned sections sized to the current distribution
+    /// (reallocating only when a repartition changed the owned count), ghost regions grown
+    /// to the current schedules' requirement, positions copied in, forces zeroed.
+    fn refresh(&mut self, dist: &DistributionState, ghost: usize) {
+        let owned = dist.owned_globals.len();
+        if self.px.owned_len() != owned {
+            self.px = DistArray::new(dist.px.clone(), ghost);
+            self.py = DistArray::new(dist.py.clone(), ghost);
+            self.pz = DistArray::new(dist.pz.clone(), ghost);
+            self.fx = DistArray::zeroed(owned, ghost);
+            self.fy = DistArray::zeroed(owned, ghost);
+            self.fz = DistArray::zeroed(owned, ghost);
+            return;
+        }
+        for (arr, src) in [
+            (&mut self.px, &dist.px),
+            (&mut self.py, &dist.py),
+            (&mut self.pz, &dist.pz),
+        ] {
+            arr.ensure_ghost(ghost);
+            arr.owned_mut().copy_from_slice(src);
+        }
+        for f in [&mut self.fx, &mut self.fy, &mut self.fz] {
+            f.ensure_ghost(ghost);
+            f.owned_mut().fill(0.0);
+            f.clear_ghost();
+        }
+    }
+}
+
 /// The hand-parallelised CHARMM driver (see module docs).
 pub fn run_parallel(
     rank: &mut Rank,
@@ -244,6 +300,9 @@ pub fn run_parallel(
     phases.schedule_generation += rank.modeled().since(&t0);
     schedule_builds += 1;
 
+    // Executor working arrays, reused across every time step.
+    let mut step_arrays = StepArrays::new();
+
     // ----------------------------------------------------------------------- time steps --
     for step in 0..config.nsteps {
         // Optional repartitioning (Table 6 alternates RCB and RIB every 25 steps).
@@ -304,7 +363,14 @@ pub fn run_parallel(
 
         // ---------------------------------------------------------------- executor step --
         let t0 = rank.modeled();
-        interactions += execute_step(rank, &mut dist, &loops, system, config.schedule_mode);
+        interactions += execute_step(
+            rank,
+            &mut dist,
+            &loops,
+            &mut step_arrays,
+            system,
+            config.schedule_mode,
+        );
         phases.executor += rank.modeled().since(&t0);
     }
 
@@ -543,22 +609,26 @@ fn build_loop_state(
 
 /// One executor time step: gather positions, evaluate both force loops, scatter-add the
 /// forces and integrate the owned atoms.  Returns the number of pair interactions this
-/// rank evaluated.
+/// rank evaluated.  The working arrays live in `arrays` and are reused across steps.
 fn execute_step(
     rank: &mut Rank,
     dist: &mut DistributionState,
     loops: &LoopState,
+    arrays: &mut StepArrays,
     system: &MolecularSystem,
     mode: ScheduleMode,
 ) -> usize {
     let ghost = loops.ghost_len;
     let owned = dist.owned_globals.len();
-    let mut px = DistArray::new(dist.px.clone(), ghost);
-    let mut py = DistArray::new(dist.py.clone(), ghost);
-    let mut pz = DistArray::new(dist.pz.clone(), ghost);
-    let mut fx: DistArray<f64> = DistArray::zeroed(owned, ghost);
-    let mut fy: DistArray<f64> = DistArray::zeroed(owned, ghost);
-    let mut fz: DistArray<f64> = DistArray::zeroed(owned, ghost);
+    arrays.refresh(dist, ghost);
+    let StepArrays {
+        px,
+        py,
+        pz,
+        fx,
+        fy,
+        fz,
+    } = arrays;
 
     let mut interactions = 0usize;
 
@@ -616,15 +686,15 @@ fn execute_step(
         ScheduleMode::Merged => {
             // One schedule covers both loops: gather once, run both loops, scatter once.
             let sched = loops.merged.as_ref().expect("merged schedule missing");
-            gather(rank, sched, &mut px);
-            gather(rank, sched, &mut py);
-            gather(rank, sched, &mut pz);
-            interactions += bonded_loop(&px, &py, &pz, &mut fx, &mut fy, &mut fz);
-            interactions += nonbonded_loop(&px, &py, &pz, &mut fx, &mut fy, &mut fz);
+            gather(rank, sched, px);
+            gather(rank, sched, py);
+            gather(rank, sched, pz);
+            interactions += bonded_loop(px, py, pz, fx, fy, fz);
+            interactions += nonbonded_loop(px, py, pz, fx, fy, fz);
             rank.charge_compute(interactions as f64);
-            scatter_add(rank, sched, &mut fx);
-            scatter_add(rank, sched, &mut fy);
-            scatter_add(rank, sched, &mut fz);
+            scatter_add(rank, sched, fx);
+            scatter_add(rank, sched, fy);
+            scatter_add(rank, sched, fz);
         }
         ScheduleMode::Multiple => {
             // Each loop gathers with its own schedule and scatters its own contributions.
@@ -636,28 +706,28 @@ fn execute_step(
                 .nonbonded
                 .as_ref()
                 .expect("non-bonded schedule missing");
-            gather(rank, bsched, &mut px);
-            gather(rank, bsched, &mut py);
-            gather(rank, bsched, &mut pz);
-            let b_count = bonded_loop(&px, &py, &pz, &mut fx, &mut fy, &mut fz);
+            gather(rank, bsched, px);
+            gather(rank, bsched, py);
+            gather(rank, bsched, pz);
+            let b_count = bonded_loop(px, py, pz, fx, fy, fz);
             rank.charge_compute(b_count as f64);
             interactions += b_count;
-            scatter_add(rank, bsched, &mut fx);
-            scatter_add(rank, bsched, &mut fy);
-            scatter_add(rank, bsched, &mut fz);
+            scatter_add(rank, bsched, fx);
+            scatter_add(rank, bsched, fy);
+            scatter_add(rank, bsched, fz);
             fx.clear_ghost();
             fy.clear_ghost();
             fz.clear_ghost();
 
-            gather(rank, nsched, &mut px);
-            gather(rank, nsched, &mut py);
-            gather(rank, nsched, &mut pz);
-            let n_count = nonbonded_loop(&px, &py, &pz, &mut fx, &mut fy, &mut fz);
+            gather(rank, nsched, px);
+            gather(rank, nsched, py);
+            gather(rank, nsched, pz);
+            let n_count = nonbonded_loop(px, py, pz, fx, fy, fz);
             rank.charge_compute(n_count as f64);
             interactions += n_count;
-            scatter_add(rank, nsched, &mut fx);
-            scatter_add(rank, nsched, &mut fy);
-            scatter_add(rank, nsched, &mut fz);
+            scatter_add(rank, nsched, fx);
+            scatter_add(rank, nsched, fy);
+            scatter_add(rank, nsched, fz);
         }
     }
 

@@ -160,6 +160,11 @@ pub fn run_parallel(
         }
     }
 
+    // Reused across steps: molecules leaving their cell this step, as (destination cell,
+    // molecule).  Clearing instead of reallocating keeps the steady-state MOVE loop free
+    // of per-step growth allocations once the high-water mark is reached.
+    let mut outgoing: Vec<(usize, Particle)> = Vec::new();
+
     for step in 0..config.nsteps {
         // ------------------------------------------------------------------- collisions --
         let t0 = rank.modeled();
@@ -176,7 +181,7 @@ pub fn run_parallel(
         // ------------------------------------------------------------------- MOVE phase --
         // Advance molecules; collect the ones leaving their current cell.
         let t0 = rank.modeled();
-        let mut outgoing: Vec<(usize, Particle)> = Vec::new(); // (destination cell, molecule)
+        outgoing.clear();
         for &cell in &owned_cells {
             let list = cells.get_mut(&cell).expect("owned cell missing");
             let mut keep = Vec::with_capacity(list.len());
@@ -275,12 +280,18 @@ fn move_lightweight(
 ) -> Vec<Particle> {
     let me = rank.rank();
     let t0 = rank.modeled();
-    let dests: Vec<ProcId> = outgoing.iter().map(|(cell, _)| cell_owner[*cell]).collect();
+    // One pass builds both append inputs: destination ranks (the entire input of the
+    // light-weight inspector) and the item payloads `scatter_append` packs from.
+    let mut dests: Vec<ProcId> = Vec::with_capacity(outgoing.len());
+    let mut items: Vec<Particle> = Vec::with_capacity(outgoing.len());
+    for (cell, p) in outgoing {
+        dests.push(cell_owner[*cell]);
+        items.push(*p);
+    }
     let sched = LightweightSchedule::build(rank, &dests);
     phases.move_preprocess += rank.modeled().since(&t0);
 
     let t0 = rank.modeled();
-    let items: Vec<Particle> = outgoing.iter().map(|(_, p)| *p).collect();
     *migrations += dests.iter().filter(|&&d| d != me).count();
     let arrivals = scatter_append(rank, &sched, &items);
     phases.move_data += rank.modeled().since(&t0);

@@ -11,7 +11,7 @@
 //! under the machine's [`crate::cost::CostModel`], plus one synchronisation charge for the
 //! reductions that are semantically barriers.
 
-use crate::exchange::{alltoallv, alltoallv_replicated, ExchangePlan, RecvSpec};
+use crate::exchange::{alltoallv, alltoallv_replicated, ExchangePlan, Placed, RecvSpec};
 use crate::machine::Rank;
 use crate::message::Element;
 
@@ -28,8 +28,9 @@ impl Rank {
         let plan = ExchangePlan::dense(me, vec![local.len(); n]);
         let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
         // out[me] is filled by the engine's local delivery (and stays empty when `local`
-        // is empty, which is also correct).
-        alltoallv_replicated(self, &plan, local, |src, v| out[src] = v);
+        // is empty, which is also correct).  The contributions are returned to the
+        // application, so ownership is taken with `into_vec`.
+        alltoallv_replicated(self, &plan, local, |src, v| out[src] = v.into_vec());
         out
     }
 
@@ -60,7 +61,7 @@ impl Rank {
         );
         let plan = ExchangePlan::dense(me, sends.iter().map(Vec::len).collect());
         let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
-        alltoallv(self, &plan, sends, |src, v| out[src] = v);
+        alltoallv(self, &plan, sends, |src, v| out[src] = v.into_vec());
         out
     }
 
@@ -102,7 +103,9 @@ impl Rank {
         }
         let plan = ExchangePlan::sparse(me, send_counts, recv_counts);
         let mut by_src: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();
-        alltoallv(self, &plan, &bufs, |src, v| by_src[src] = Some(v));
+        alltoallv(self, &plan, &bufs, |src, v| {
+            by_src[src] = Some(v.into_vec())
+        });
         // Deliver in `expected_sources` order, as the hand-rolled loop always did.
         expected_sources
             .iter()
@@ -131,7 +134,9 @@ impl Rank {
         self.charge_collective();
         let plan = ExchangePlan::dense(me, vec![1; n]);
         let mut contributions: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        alltoallv_replicated(self, &plan, &[value], |src, v: Vec<T>| {
+        // One element per message, read in place: the reduction never takes ownership of
+        // a buffer, so the receive path of a reduction loop is allocation-free.
+        alltoallv_replicated(self, &plan, &[value], |src, v: Placed<'_, T>| {
             contributions[src] = Some(v[0]);
         });
         // Contributions are combined in rank order, so the result is deterministic even
@@ -201,7 +206,7 @@ impl Rank {
         } else {
             Vec::new()
         };
-        alltoallv_replicated(self, &plan, values, |_src, v| out = v);
+        alltoallv_replicated(self, &plan, values, |_src, v| out = v.into_vec());
         out
     }
 
@@ -228,7 +233,7 @@ impl Rank {
         } else {
             Vec::new()
         };
-        alltoallv_replicated(self, &plan, local, |src, v| out[src] = v);
+        alltoallv_replicated(self, &plan, local, |src, v| out[src] = v.into_vec());
         out
     }
 

@@ -15,10 +15,11 @@
 //!   Plans are cheap, reusable values; schedule types build them once and execute them
 //!   many times.
 //! * [`alltoallv`] — executes a plan: packs nothing itself (callers pass per-destination
-//!   buffers), sends only the messages the plan calls for, receives with
-//!   [`Rank::recv_vec_any`], and hands each incoming buffer to a caller-supplied
-//!   placement closure.  The local (self → self) portion is delivered through the same
-//!   placement path without touching the network or the communication cost model.
+//!   buffers), sends only the messages the plan calls for, receives from any source, and
+//!   hands each incoming payload to a caller-supplied placement closure as a borrowed
+//!   [`Placed`] view over pooled scratch.  The local (self → self) portion is delivered
+//!   through the same placement path without touching the network or the communication
+//!   cost model.
 //!
 //! Three entry points execute a plan, differing only in where the outgoing bytes come
 //! from:
@@ -32,15 +33,26 @@
 //!   no per-destination `Vec<T>`s either.  This is the hot-path form used by the CHAOS
 //!   gather/scatter/append/remap primitives.
 //!
-//! ## The pack-buffer pool
+//! ## The buffer pools: zero allocations in both directions
 //!
 //! Outgoing messages are encoded into byte buffers drawn from the calling rank's
 //! pack-buffer pool ([`Rank::pool_stats`]), and every consumed incoming message returns
-//! its payload buffer to the pool.  A steady-state exchange loop therefore reaches a fixed
-//! point after one warm-up iteration: each iteration's receives replenish exactly the
-//! buffers its sends draw, and the pool's `allocations` counter stops moving.  The
-//! `exchange_microbench` harness in `crates/bench` reports this counter and the pool smoke
-//! tests assert the zero-allocation steady state.
+//! its payload buffer to the pool.  On the receive side, incoming payloads are decoded
+//! (through the bulk codec hooks of [`Element`]) into *typed* scratch buffers drawn from
+//! a per-rank, per-type decode-scratch pool, and handed to the placement closure as a
+//! borrowed [`Placed`] view.  A closure that only reads the values — the executor's
+//! gather/scatter permutation placement, remapping, count negotiations — returns its
+//! scratch to the pool automatically; the few callers that genuinely keep the payload
+//! (the executor's append, the dense collectives that hand buffers to the application)
+//! take ownership with [`Placed::into_vec`], which removes that one buffer from
+//! circulation.
+//!
+//! A steady-state exchange loop therefore reaches a fixed point after one warm-up
+//! iteration in *both* directions: each iteration's receives replenish exactly the byte
+//! buffers its sends draw, each placement recycles the scratch it borrowed, and both
+//! `allocations` counters stop moving.  The `exchange_microbench` harness in
+//! `crates/bench` reports these counters and the pool smoke tests assert the
+//! zero-allocation steady state.
 //!
 //! Communication cost is charged in exactly one place — the engine's sends and receives —
 //! and a per-element pack/unpack compute cost is charged uniformly here rather than ad hoc
@@ -50,7 +62,7 @@
 //!
 //! ## Matching without per-peer tags
 //!
-//! Receiving with `recv_vec_any` means messages from different *exchanges* must never be
+//! Receiving from any source means messages from different *exchanges* must never be
 //! confused, even though ranks run ahead of one another (a rank with nothing to do in
 //! exchange *k* may already be sending for exchange *k+1*).  The engine therefore tags
 //! every message with a per-rank exchange sequence number.  Exchanges are **collective**:
@@ -60,7 +72,7 @@
 use std::marker::PhantomData;
 
 use crate::machine::Rank;
-use crate::message::{decode_vec, Element};
+use crate::message::Element;
 
 /// Modeled compute cost (work units per element) of packing an element into an outgoing
 /// message buffer or placing a received element — the `0.02` the executor primitives
@@ -171,7 +183,7 @@ impl ExchangePlan {
             rank,
             &count_plan,
             |p, buf: &mut PackBuf<'_, u64>| buf.push(send_counts[p] as u64),
-            |src, v: Vec<u64>| {
+            |src, v: Placed<'_, u64>| {
                 recv_counts[src] = v[0] as usize;
             },
         );
@@ -258,12 +270,11 @@ impl<'a, T: Element> PackBuf<'a, T> {
         self.len += 1;
     }
 
-    /// Append a slice of elements to the outgoing message.
+    /// Append a slice of elements to the outgoing message through the bulk codec
+    /// ([`Element::write_le_slice`] — vectorised for primitives and fixed arrays).
     #[inline]
     pub fn extend_from_slice(&mut self, values: &[T]) {
-        for v in values {
-            v.write_le(self.buf);
-        }
+        T::write_le_slice(values, self.buf);
         self.len += values.len();
     }
 
@@ -275,6 +286,53 @@ impl<'a, T: Element> PackBuf<'a, T> {
     /// True when nothing has been packed yet.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+}
+
+/// One received message's decoded values, handed to the placement closure of the engine.
+///
+/// The values live in a typed scratch buffer drawn from the receiving rank's
+/// decode-scratch pool; when the closure returns without taking ownership, the engine
+/// recycles the buffer for the next message, so placement closures that only *read* the
+/// values (the common case: permutation placement, combining, counting) cost no
+/// allocation in steady state.  The view derefs to `&[T]`, so `&placed[i]`, iteration and
+/// slice methods all work directly.
+///
+/// Callers that genuinely keep the payload — the executor's append, collectives that
+/// return buffers to the application — call [`Placed::into_vec`], which is O(1): it
+/// steals the scratch buffer itself (no copy), at the price of removing that buffer from
+/// the pool's circulation (counted as a future `decode_allocations` when the pool has to
+/// replace it).
+pub struct Placed<'a, T: Element> {
+    values: &'a mut Vec<T>,
+    taken: &'a mut bool,
+}
+
+impl<'a, T: Element> Placed<'a, T> {
+    fn new(values: &'a mut Vec<T>, taken: &'a mut bool) -> Self {
+        Placed { values, taken }
+    }
+
+    /// Take ownership of the decoded values without copying them.
+    ///
+    /// The backing scratch buffer leaves the decode-scratch pool for good; use this only
+    /// when the payload genuinely outlives the placement call.
+    pub fn into_vec(self) -> Vec<T> {
+        *self.taken = true;
+        std::mem::take(self.values)
+    }
+
+    /// The decoded values as a slice (also available through `Deref`).
+    pub fn as_slice(&self) -> &[T] {
+        self.values
+    }
+}
+
+impl<T: Element> std::ops::Deref for Placed<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.values
     }
 }
 
@@ -315,9 +373,11 @@ impl ExchangeStats {
 /// [`alltoallv_with`] and pack into the message directly.
 ///
 /// Collective: every rank of the machine must call the engine in the same order (see the
-/// module docs for why this is what makes `recv_vec_any` matching sound).  Buffers are
+/// module docs for why this is what makes any-source matching sound).  Buffers are
 /// placed in arrival order; callers that need a deterministic placement order must key off
-/// the source rank (every CHAOS schedule does).
+/// the source rank (every CHAOS schedule does).  The placement closure receives a
+/// borrowed [`Placed`] view backed by pooled scratch; call [`Placed::into_vec`] only when
+/// the payload must outlive the call.
 ///
 /// # Panics
 /// Panics if the plan does not match the machine or the calling rank, if a buffer's
@@ -327,7 +387,7 @@ pub fn alltoallv<T: Element>(
     rank: &mut Rank,
     plan: &ExchangePlan,
     sends: &[Vec<T>],
-    place: impl FnMut(usize, Vec<T>),
+    place: impl FnMut(usize, Placed<'_, T>),
 ) -> ExchangeStats {
     assert_eq!(
         sends.len(),
@@ -362,7 +422,7 @@ pub fn alltoallv_replicated<T: Element>(
     rank: &mut Rank,
     plan: &ExchangePlan,
     payload: &[T],
-    place: impl FnMut(usize, Vec<T>),
+    place: impl FnMut(usize, Placed<'_, T>),
 ) -> ExchangeStats {
     run_exchange(
         rank,
@@ -385,7 +445,7 @@ pub fn alltoallv_with<T: Element>(
     rank: &mut Rank,
     plan: &ExchangePlan,
     pack: impl FnMut(usize, &mut PackBuf<'_, T>),
-    place: impl FnMut(usize, Vec<T>),
+    place: impl FnMut(usize, Placed<'_, T>),
 ) -> ExchangeStats {
     run_exchange(rank, plan, None, pack, place)
 }
@@ -393,18 +453,20 @@ pub fn alltoallv_with<T: Element>(
 /// Shared engine core: packs one pooled message per planned destination via `pack`,
 /// delivers the self payload through `place` without touching the network or the
 /// communication cost model, then consumes exactly the planned number of incoming
-/// messages (recycling their payload buffers into the pool).
+/// messages — each decoded through the bulk codec into pooled typed scratch and placed as
+/// a borrowed [`Placed`] view (both the payload byte buffer and, unless the closure took
+/// ownership, the scratch go back to their pools).
 ///
 /// `self_payload` is the fast path for the slice-backed entry points: when the caller
-/// already holds the self elements as a slice, local delivery is one `to_vec` instead of
-/// an encode/decode round-trip through a staging buffer.  `alltoallv_with` passes `None`
-/// (its pack closure is the only data source).
+/// already holds the self elements as a slice, local delivery is one bulk copy into
+/// scratch instead of an encode/decode round-trip through a staging buffer.
+/// `alltoallv_with` passes `None` (its pack closure is the only data source).
 fn run_exchange<T: Element>(
     rank: &mut Rank,
     plan: &ExchangePlan,
     self_payload: Option<&[T]>,
     mut pack: impl FnMut(usize, &mut PackBuf<'_, T>),
-    mut place: impl FnMut(usize, Vec<T>),
+    mut place: impl FnMut(usize, Placed<'_, T>),
 ) -> ExchangeStats {
     assert_eq!(
         plan.nprocs(),
@@ -419,6 +481,10 @@ fn run_exchange<T: Element>(
     let me = plan.my_rank();
     let tag = rank.next_exchange_tag();
     let mut stats = ExchangeStats::default();
+    // The decode-scratch free list for `T` is detached for the whole execution, so the
+    // per-message take/recycle below is a plain `Vec` pop/push — the typed-pool map is
+    // consulted twice per exchange, not twice per message.
+    let mut scratch_pool = rank.detach_decode_scratch::<T>();
 
     // Send phase: one message per planned destination, empty payloads included when the
     // plan says so (dense mode).  The self payload is left for local delivery.
@@ -442,8 +508,9 @@ fn run_exchange<T: Element>(
     }
 
     // Local delivery: same placement path, no communication and no cost-model charge.
-    // Slice-backed callers hand the self payload over with one copy; pack-closure callers
-    // stage it in a pooled buffer that goes straight back to the pool.
+    // Slice-backed callers hand the self payload over with one bulk copy into scratch;
+    // pack-closure callers stage it in a pooled buffer that goes straight back to the
+    // pool.
     if let Some(declared) = plan.sends[me] {
         if let Some(payload) = self_payload {
             assert_eq!(
@@ -452,7 +519,13 @@ fn run_exchange<T: Element>(
                 "rank {me}: buffer for peer {me} does not match the plan"
             );
             if !payload.is_empty() {
-                place(me, payload.to_vec());
+                let mut scratch = rank.take_decode_scratch(&mut scratch_pool, payload.len());
+                scratch.extend_from_slice(payload);
+                let mut taken = false;
+                place(me, Placed::new(&mut scratch, &mut taken));
+                if !taken {
+                    rank.recycle_decode_scratch(&mut scratch_pool, scratch);
+                }
             }
         } else {
             let mut raw = rank.take_pack_buffer(declared * T::SIZE);
@@ -464,33 +537,51 @@ fn run_exchange<T: Element>(
                 "rank {me}: buffer for peer {me} does not match the plan"
             );
             if !raw.is_empty() {
-                place(me, decode_vec(&raw));
+                let mut scratch = rank.take_decode_scratch(&mut scratch_pool, declared);
+                T::read_le_into(&raw, &mut scratch);
+                let mut taken = false;
+                place(me, Placed::new(&mut scratch, &mut taken));
+                if !taken {
+                    rank.recycle_decode_scratch(&mut scratch_pool, scratch);
+                }
             }
             rank.recycle_pack_buffer(raw);
         }
     }
 
     // Receive phase: consume exactly the number of messages the plan promises, from
-    // whichever source is ready first.
+    // whichever source is ready first.  Each payload is decoded through the bulk codec
+    // into pooled scratch; the byte buffer is recycled immediately and the scratch after
+    // placement (unless the closure took ownership).
     for _ in 0..plan.recv_message_count() {
-        let (src, values) = rank.recv_vec_any::<T>(tag);
+        let (src, payload) = rank.recv_raw_any(tag);
+        assert!(
+            payload.len().is_multiple_of(T::SIZE),
+            "rank {me}: payload from rank {src} is not a whole number of elements"
+        );
+        let count = payload.len() / T::SIZE;
         match plan.recvs[src] {
-            RecvSpec::None => panic!(
-                "rank {me}: unexpected exchange message from rank {src} ({} elements)",
-                values.len()
-            ),
+            RecvSpec::None => {
+                panic!("rank {me}: unexpected exchange message from rank {src} ({count} elements)")
+            }
             RecvSpec::Any => {}
-            RecvSpec::Exact(n) => assert_eq!(
-                values.len(),
-                n,
-                "rank {me}: expected {n} elements from rank {src}"
-            ),
+            RecvSpec::Exact(n) => {
+                assert_eq!(count, n, "rank {me}: expected {n} elements from rank {src}")
+            }
         }
-        rank.charge_compute(values.len() as f64 * PACK_UNPACK_COST_UNITS);
+        rank.charge_compute(count as f64 * PACK_UNPACK_COST_UNITS);
         stats.msgs_received += 1;
-        stats.bytes_received += (values.len() * T::SIZE) as u64;
-        place(src, values);
+        stats.bytes_received += payload.len() as u64;
+        let mut scratch = rank.take_decode_scratch(&mut scratch_pool, count);
+        T::read_le_into(&payload, &mut scratch);
+        rank.recycle_pack_buffer(payload);
+        let mut taken = false;
+        place(src, Placed::new(&mut scratch, &mut taken));
+        if !taken {
+            rank.recycle_decode_scratch(&mut scratch_pool, scratch);
+        }
     }
+    rank.reattach_decode_scratch(scratch_pool);
     stats
 }
 
@@ -517,7 +608,7 @@ mod tests {
             let mut sends: Vec<Vec<u32>> = vec![Vec::new(); n];
             sends[next] = vec![me as u32; me + 1];
             let mut got: Vec<(usize, Vec<u32>)> = Vec::new();
-            let stats = alltoallv(rank, &plan, &sends, |src, v| got.push((src, v)));
+            let stats = alltoallv(rank, &plan, &sends, |src, v| got.push((src, v.into_vec())));
             (got, stats)
         });
         for (me, (got, stats)) in out.results.iter().enumerate() {
@@ -542,7 +633,7 @@ mod tests {
                 .collect();
             let plan = ExchangePlan::dense(me, sends.iter().map(Vec::len).collect());
             let mut received_from = Vec::new();
-            let stats = alltoallv(rank, &plan, &sends, |src, _v: Vec<u64>| {
+            let stats = alltoallv(rank, &plan, &sends, |src, _v: Placed<'_, u64>| {
                 received_from.push(src)
             });
             received_from.sort_unstable();
@@ -574,7 +665,7 @@ mod tests {
             let mut local = Vec::new();
             let stats = alltoallv(rank, &plan, &sends, |src, v| {
                 assert_eq!(src, me);
-                local = v;
+                local = v.into_vec();
             });
             (local, stats, rank.stats().msgs_sent, rank.modeled().comm_us)
         });
@@ -644,12 +735,16 @@ mod tests {
             if me == 2 {
                 sends1[0] = vec![22];
             }
-            alltoallv(rank, &plan1, &sends1, |src, v| got.push((1, src, v)));
+            alltoallv(rank, &plan1, &sends1, |src, v| {
+                got.push((1, src, v.into_vec()))
+            });
             let mut sends2: Vec<Vec<u8>> = vec![Vec::new(); n];
             if me == 1 {
                 sends2[0] = vec![11];
             }
-            alltoallv(rank, &plan2, &sends2, |src, v| got.push((2, src, v)));
+            alltoallv(rank, &plan2, &sends2, |src, v| {
+                got.push((2, src, v.into_vec()))
+            });
             got
         });
         assert_eq!(
@@ -711,8 +806,67 @@ mod tests {
             rank.pool_stats().since(&warm)
         });
         for delta in &out.results {
-            assert_eq!(delta.allocations, 0, "steady state drew a fresh buffer");
+            assert_eq!(
+                delta.allocations, 0,
+                "steady state drew a fresh pack buffer"
+            );
             assert!(delta.reuses > 0, "data rounds must be served from the pool");
+            assert_eq!(
+                delta.decode_allocations, 0,
+                "steady state drew a fresh decode scratch"
+            );
+            assert!(
+                delta.decode_reuses > 0,
+                "data rounds must reuse decode scratch"
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_placement_recycles_scratch_but_into_vec_keeps_it() {
+        // Borrow-only placement must reach a zero-allocation receive steady state; taking
+        // ownership with into_vec removes one scratch from circulation per message, so
+        // the pool has to allocate a replacement on the next round.
+        let out = run(MachineConfig::new(2), |rank| {
+            let me = rank.rank();
+            let round = |rank: &mut Rank, keep: bool| -> Vec<u64> {
+                let plan = ExchangePlan::dense(me, vec![3; 2]);
+                let sends: Vec<Vec<u64>> = vec![vec![me as u64; 3]; 2];
+                let mut kept = Vec::new();
+                alltoallv(rank, &plan, &sends, |_src, v| {
+                    if keep {
+                        kept = v.into_vec();
+                    } else {
+                        assert_eq!(v.len(), 3);
+                        assert_eq!(v.as_slice(), &v[..]);
+                    }
+                });
+                kept
+            };
+            // Warm both pools, then measure a borrow-only window and a keeping window.
+            round(rank, false);
+            round(rank, false);
+            let warm = rank.pool_stats();
+            for _ in 0..4 {
+                round(rank, false);
+            }
+            let borrowed = rank.pool_stats().since(&warm);
+            let warm = rank.pool_stats();
+            let mut kept = Vec::new();
+            for _ in 0..4 {
+                kept = round(rank, true);
+            }
+            let keeping = rank.pool_stats().since(&warm);
+            (borrowed, keeping, kept)
+        });
+        for (borrowed, keeping, kept) in &out.results {
+            assert_eq!(borrowed.decode_allocations, 0);
+            assert!(borrowed.decode_reuses > 0);
+            assert!(
+                keeping.decode_allocations > 0,
+                "into_vec must drain the scratch pool: {keeping:?}"
+            );
+            assert_eq!(kept.len(), 3);
         }
     }
 

@@ -50,7 +50,8 @@ pub mod topology;
 
 pub use cost::{CostModel, TimeSnapshot};
 pub use exchange::{
-    alltoallv, alltoallv_replicated, alltoallv_with, ExchangePlan, ExchangeStats, PackBuf, RecvSpec,
+    alltoallv, alltoallv_replicated, alltoallv_with, ExchangePlan, ExchangeStats, PackBuf, Placed,
+    RecvSpec,
 };
 pub use machine::{run, Machine, Rank, RunOutcome};
 pub use message::Element;

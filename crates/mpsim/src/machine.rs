@@ -7,6 +7,8 @@
 //! counters ([`RankStats`]), modeled times ([`TimeSnapshot`]) and pool counters
 //! ([`PackPoolStats`]).
 
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread;
 
@@ -35,13 +37,18 @@ pub struct Rank {
     /// Free list of the pack-buffer pool: spent message payloads waiting to be reused as
     /// outgoing encode buffers.  See [`Rank::pool_stats`].
     pool: Vec<Vec<u8>>,
-    /// Allocation/reuse counters of the pack-buffer pool.
+    /// Free lists of the decode-scratch pool, one per element type: typed `Vec<T>` buffers
+    /// (stored as `Vec<Vec<T>>` behind `dyn Any`) that incoming payloads are decoded into
+    /// before placement.  See [`Rank::pool_stats`].
+    scratch: HashMap<TypeId, Box<dyn Any + Send>>,
+    /// Allocation/reuse counters of both pools.
     pool_stats: PackPoolStats,
 }
 
-/// Maximum number of idle buffers a rank keeps.  Beyond this, recycled buffers are simply
-/// dropped; the cap only bounds idle memory, it never causes an extra allocation while the
-/// pool is warm (a steady-state loop holds at most its per-iteration message count).
+/// Maximum number of idle buffers a rank keeps, per pool (and, for the decode-scratch
+/// pool, per element type).  Beyond this, recycled buffers are simply dropped; the cap
+/// only bounds idle memory, it never causes an extra allocation while a pool is warm (a
+/// steady-state loop holds at most its per-iteration message count).
 const POOL_MAX_IDLE: usize = 1024;
 
 impl Rank {
@@ -67,9 +74,7 @@ impl Rank {
     /// fresh allocation when the pool is warm.
     pub fn send_slice<T: Element>(&mut self, to: usize, tag: u64, values: &[T]) {
         let mut payload = self.take_pack_buffer(values.len() * T::SIZE);
-        for v in values {
-            v.write_le(&mut payload);
-        }
+        T::write_le_slice(values, &mut payload);
         self.send_packed(to, tag, payload);
     }
 
@@ -97,12 +102,100 @@ impl Rank {
 
     /// Receive a vector of elements with tag `tag` from any rank; returns `(from, values)`.
     pub fn recv_vec_any<T: Element>(&mut self, tag: u64) -> (usize, Vec<T>) {
+        let (from, payload) = self.recv_raw_any(tag);
+        let values = decode_vec(&payload);
+        self.recycle_pack_buffer(payload);
+        (from, values)
+    }
+
+    /// Receive the raw payload of the next message carrying `tag`, charging stats and the
+    /// cost model but leaving decoding to the caller.  The exchange engine uses this to
+    /// decode into a pooled scratch buffer (and to recycle the byte buffer afterwards)
+    /// instead of materialising a fresh `Vec<T>` per message.
+    pub(crate) fn recv_raw_any(&mut self, tag: u64) -> (usize, Vec<u8>) {
         let env = self.mailbox.recv_any(tag);
         self.stats.record_recv(env.payload.len());
         self.time.comm_us += self.cost.message_cost_us(env.payload.len());
-        let values = decode_vec(&env.payload);
-        self.recycle_pack_buffer(env.payload);
-        (env.from, values)
+        (env.from, env.payload)
+    }
+
+    /// Detach the decode-scratch free list for element type `T`, leaving an empty list
+    /// behind.  The exchange engine holds the detached list across one execution so the
+    /// per-message take/recycle is a plain `Vec` pop/push — the `TypeId` map is touched
+    /// twice per *exchange*, not twice per *message*.  Must be handed back with
+    /// [`Rank::reattach_decode_scratch`] before the execution returns.
+    pub(crate) fn detach_decode_scratch<T: Element>(&mut self) -> Vec<Vec<T>> {
+        self.scratch
+            .get_mut(&TypeId::of::<T>())
+            .map(|entry| {
+                std::mem::take(
+                    entry
+                        .downcast_mut::<Vec<Vec<T>>>()
+                        .expect("decode-scratch free list holds the wrong type"),
+                )
+            })
+            .unwrap_or_default()
+    }
+
+    /// Re-attach a free list detached with [`Rank::detach_decode_scratch`], capping the
+    /// idle-buffer count.  Nothing else can have touched the map entry in between (the
+    /// engine never nests executions), so the entry is simply replaced.
+    pub(crate) fn reattach_decode_scratch<T: Element>(&mut self, mut list: Vec<Vec<T>>) {
+        list.truncate(POOL_MAX_IDLE);
+        let entry = self
+            .scratch
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Vec::<Vec<T>>::new()));
+        *entry
+            .downcast_mut::<Vec<Vec<T>>>()
+            .expect("decode-scratch free list holds the wrong type") = list;
+    }
+
+    /// Take a typed scratch buffer with room for `capacity` elements from a detached
+    /// free list, allocating (and counting the miss) only when the list is empty.
+    /// Zero-element requests (empty messages of dense plans) never touch the heap and
+    /// bypass the pool and its counters, and selection is the same best-effort best-fit
+    /// as [`Rank::take_pack_buffer`] — the most recently recycled buffer that already
+    /// has the capacity is preferred, so mixed message sizes don't force `reserve`
+    /// regrowth of a too-small buffer.
+    pub(crate) fn take_decode_scratch<T: Element>(
+        &mut self,
+        list: &mut Vec<Vec<T>>,
+        capacity: usize,
+    ) -> Vec<T> {
+        if capacity == 0 {
+            return Vec::new();
+        }
+        if list.is_empty() {
+            self.pool_stats.decode_allocations += 1;
+            return Vec::with_capacity(capacity);
+        }
+        self.pool_stats.decode_reuses += 1;
+        let idx = list
+            .iter()
+            .rposition(|b| b.capacity() >= capacity)
+            .unwrap_or(list.len() - 1);
+        let mut buf = list.swap_remove(idx);
+        buf.reserve(capacity);
+        buf
+    }
+
+    /// Return a spent scratch buffer to a detached free list.  The engine recycles every
+    /// placement scratch whose ownership the placement closure did not take (via
+    /// `Placed::into_vec`), which is what keeps steady-state receive paths
+    /// allocation-free.
+    pub(crate) fn recycle_decode_scratch<T: Element>(
+        &mut self,
+        list: &mut Vec<Vec<T>>,
+        mut buf: Vec<T>,
+    ) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        if list.len() < POOL_MAX_IDLE {
+            list.push(buf);
+        }
     }
 
     /// Take a byte buffer of at least `capacity` spare bytes from the pack-buffer pool,
@@ -147,10 +240,12 @@ impl Rank {
         }
     }
 
-    /// Counters of this rank's pack-buffer pool: how many outgoing-message buffers were
-    /// allocated fresh versus served from the free list.  `allocations` not growing across
-    /// a window is the machine-checkable statement "this loop's communication allocates no
-    /// fresh send buffers" (asserted by the pool smoke tests and reported by
+    /// Counters of this rank's buffer pools: how many outgoing-message byte buffers
+    /// (`allocations`/`reuses`) and incoming decode-scratch buffers
+    /// (`decode_allocations`/`decode_reuses`) were allocated fresh versus served from a
+    /// free list.  Neither allocation counter growing across a window is the
+    /// machine-checkable statement "this loop's communication allocates nothing fresh, in
+    /// either direction" (asserted by the pool smoke tests and reported by
     /// `exchange_microbench`).
     pub fn pool_stats(&self) -> PackPoolStats {
         self.pool_stats
@@ -315,6 +410,7 @@ impl Machine {
                         time: TimeSnapshot::default(),
                         exchange_seq: 0,
                         pool: Vec::new(),
+                        scratch: HashMap::new(),
                         pool_stats: PackPoolStats::default(),
                     };
                     let result = f(&mut rank);

@@ -23,6 +23,41 @@ pub trait Element: Copy + Send + 'static {
     /// # Panics
     /// Panics if `bytes.len() < Self::SIZE`.
     fn read_le(bytes: &[u8]) -> Self;
+
+    /// Append the little-endian encodings of every value in `values` to `buf`.
+    ///
+    /// This is the bulk entry point of the codec: the default is the per-element loop,
+    /// and primitives (plus fixed arrays of primitives) override it with chunk-level code
+    /// the compiler can vectorise.  Overrides must stay byte-for-byte identical to the
+    /// per-element default — the equivalence tests pin this for every implementation.
+    #[inline]
+    fn write_le_slice(values: &[Self], buf: &mut Vec<u8>) {
+        buf.reserve(values.len() * Self::SIZE);
+        for v in values {
+            v.write_le(buf);
+        }
+    }
+
+    /// Decode a whole payload, appending the elements to `out`.
+    ///
+    /// The bulk counterpart of [`Element::read_le`]: the default is the per-element loop;
+    /// overrides must decode exactly what the default decodes.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len()` is not a multiple of `Self::SIZE`.
+    #[inline]
+    fn read_le_into(bytes: &[u8], out: &mut Vec<Self>) {
+        assert!(
+            bytes.len().is_multiple_of(Self::SIZE),
+            "payload length {} is not a multiple of element size {}",
+            bytes.len(),
+            Self::SIZE
+        );
+        out.reserve(bytes.len() / Self::SIZE);
+        for chunk in bytes.chunks_exact(Self::SIZE) {
+            out.push(Self::read_le(chunk));
+        }
+    }
 }
 
 macro_rules! impl_element_primitive {
@@ -41,6 +76,36 @@ macro_rules! impl_element_primitive {
                     let mut raw = [0u8; std::mem::size_of::<$t>()];
                     raw.copy_from_slice(&bytes[..std::mem::size_of::<$t>()]);
                     <$t>::from_le_bytes(raw)
+                }
+
+                #[inline]
+                fn write_le_slice(values: &[Self], buf: &mut Vec<u8>) {
+                    const S: usize = std::mem::size_of::<$t>();
+                    // Resize once, then fill fixed-width lanes: on little-endian targets
+                    // `to_le_bytes` is the identity and the loop compiles to a straight
+                    // copy the autovectoriser handles.
+                    let start = buf.len();
+                    buf.resize(start + values.len() * S, 0);
+                    for (dst, v) in buf[start..].chunks_exact_mut(S).zip(values) {
+                        dst.copy_from_slice(&v.to_le_bytes());
+                    }
+                }
+
+                #[inline]
+                fn read_le_into(bytes: &[u8], out: &mut Vec<Self>) {
+                    const S: usize = std::mem::size_of::<$t>();
+                    assert!(
+                        bytes.len().is_multiple_of(S),
+                        "payload length {} is not a multiple of element size {}",
+                        bytes.len(),
+                        S
+                    );
+                    out.reserve(bytes.len() / S);
+                    for chunk in bytes.chunks_exact(S) {
+                        let mut raw = [0u8; S];
+                        raw.copy_from_slice(chunk);
+                        out.push(<$t>::from_le_bytes(raw));
+                    }
                 }
             }
         )*
@@ -63,6 +128,30 @@ impl Element for usize {
         raw.copy_from_slice(&bytes[..8]);
         u64::from_le_bytes(raw) as usize
     }
+
+    #[inline]
+    fn write_le_slice(values: &[Self], buf: &mut Vec<u8>) {
+        let start = buf.len();
+        buf.resize(start + values.len() * 8, 0);
+        for (dst, v) in buf[start..].chunks_exact_mut(8).zip(values) {
+            dst.copy_from_slice(&(*v as u64).to_le_bytes());
+        }
+    }
+
+    #[inline]
+    fn read_le_into(bytes: &[u8], out: &mut Vec<Self>) {
+        assert!(
+            bytes.len().is_multiple_of(8),
+            "payload length {} is not a multiple of element size 8",
+            bytes.len()
+        );
+        out.reserve(bytes.len() / 8);
+        for chunk in bytes.chunks_exact(8) {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(chunk);
+            out.push(u64::from_le_bytes(raw) as usize);
+        }
+    }
 }
 
 impl<T: Element, const N: usize> Element for [T; N] {
@@ -78,6 +167,35 @@ impl<T: Element, const N: usize> Element for [T; N] {
     #[inline]
     fn read_le(bytes: &[u8]) -> Self {
         std::array::from_fn(|i| T::read_le(&bytes[i * T::SIZE..]))
+    }
+
+    #[inline]
+    fn write_le_slice(values: &[Self], buf: &mut Vec<u8>) {
+        // `[[T; N]]` flattens to `[T]` with the same memory layout, so a slice of fixed
+        // arrays encodes through the inner type's bulk path (vectorised for primitives).
+        T::write_le_slice(values.as_flattened(), buf);
+    }
+
+    #[inline]
+    fn read_le_into(bytes: &[u8], out: &mut Vec<Self>) {
+        assert!(
+            bytes.len().is_multiple_of(Self::SIZE),
+            "payload length {} is not a multiple of element size {}",
+            bytes.len(),
+            Self::SIZE
+        );
+        out.reserve(bytes.len() / Self::SIZE);
+        // Decode the flattened lane stream: every lane handed to `T::read_le` is an
+        // exact `T::SIZE` chunk (not an unbounded tail slice as in the per-element
+        // default), so the inner bounds checks vanish.  `std::array::from_fn` calls its
+        // closure in ascending index order, which is what keeps the lane iterator and
+        // the array slots aligned.
+        for chunk in bytes.chunks_exact(Self::SIZE) {
+            let mut lanes = chunk.chunks_exact(T::SIZE);
+            out.push(std::array::from_fn(|_| {
+                T::read_le(lanes.next().expect("flattened array lane missing"))
+            }));
+        }
     }
 }
 
@@ -155,26 +273,27 @@ macro_rules! impl_element_struct {
 }
 
 /// Encode a slice of elements into a contiguous byte buffer.
+///
+/// A thin wrapper over [`Element::write_le_slice`] (kept for tests, docs and callers that
+/// want an owned buffer); the exchange engine and [`crate::Rank::send_slice`] use the bulk
+/// hook directly on pooled buffers.
 pub fn encode_slice<T: Element>(values: &[T]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(values.len() * T::SIZE);
-    for v in values {
-        v.write_le(&mut buf);
-    }
+    T::write_le_slice(values, &mut buf);
     buf
 }
 
 /// Decode a byte buffer produced by [`encode_slice`] back into a vector of elements.
 ///
+/// A thin wrapper over [`Element::read_le_into`] into a fresh vector; the exchange engine
+/// decodes into pooled scratch buffers instead.
+///
 /// # Panics
 /// Panics if `bytes.len()` is not a multiple of `T::SIZE`.
 pub fn decode_vec<T: Element>(bytes: &[u8]) -> Vec<T> {
-    assert!(
-        bytes.len().is_multiple_of(T::SIZE),
-        "payload length {} is not a multiple of element size {}",
-        bytes.len(),
-        T::SIZE
-    );
-    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+    let mut out = Vec::new();
+    T::read_le_into(bytes, &mut out);
+    out
 }
 
 /// A message in flight between two ranks.
@@ -247,6 +366,101 @@ mod tests {
     fn decode_rejects_ragged_payload() {
         let bytes = vec![0u8; 7];
         let _ = decode_vec::<f64>(&bytes);
+    }
+
+    /// Pin the bulk codec byte-for-byte against the per-element hooks: any specialised
+    /// `write_le_slice`/`read_le_into` must encode and decode exactly what the
+    /// element-at-a-time loop does.
+    fn assert_bulk_matches_per_element<T: Element + PartialEq + std::fmt::Debug>(values: &[T]) {
+        // Encode: per-element reference vs bulk, including appending to a non-empty buffer
+        // (the PackBuf case — bulk writes must not disturb earlier bytes).
+        let mut reference = vec![0xAB, 0xCD];
+        for v in values {
+            v.write_le(&mut reference);
+        }
+        let mut bulk = vec![0xAB, 0xCD];
+        T::write_le_slice(values, &mut bulk);
+        assert_eq!(reference, bulk, "bulk encode diverged from per-element");
+
+        // Decode: per-element reference vs bulk, appending after pre-existing elements.
+        let payload = &bulk[2..];
+        let decoded_ref: Vec<T> = payload.chunks_exact(T::SIZE).map(T::read_le).collect();
+        let mut decoded_bulk: Vec<T> = Vec::new();
+        T::read_le_into(payload, &mut decoded_bulk);
+        assert_eq!(
+            decoded_ref, decoded_bulk,
+            "bulk decode diverged from per-element"
+        );
+        assert_eq!(decoded_bulk, values);
+        let mut appended = decoded_ref.clone();
+        T::read_le_into(payload, &mut appended);
+        assert_eq!(appended.len(), 2 * values.len());
+        assert_eq!(&appended[values.len()..], values);
+    }
+
+    #[test]
+    fn bulk_codec_matches_per_element_for_primitives() {
+        assert_bulk_matches_per_element::<u8>(&[0, 1, 0x7F, 0xFF]);
+        assert_bulk_matches_per_element::<i8>(&[0, -1, i8::MIN, i8::MAX]);
+        assert_bulk_matches_per_element::<u16>(&[0, 1, 0xBEEF, u16::MAX]);
+        assert_bulk_matches_per_element::<i16>(&[0, -2, i16::MIN, i16::MAX]);
+        assert_bulk_matches_per_element::<u32>(&[0, 7, 0xDEAD_BEEF, u32::MAX]);
+        assert_bulk_matches_per_element::<i32>(&[0, -3, i32::MIN, i32::MAX]);
+        assert_bulk_matches_per_element::<u64>(&[0, 11, u64::MAX]);
+        assert_bulk_matches_per_element::<i64>(&[0, -5, i64::MIN, i64::MAX]);
+        assert_bulk_matches_per_element::<usize>(&[0, 42, usize::MAX >> 1]);
+        assert_bulk_matches_per_element::<f32>(&[0.0, -1.5, f32::MAX, f32::MIN_POSITIVE]);
+        assert_bulk_matches_per_element::<f64>(&[0.0, -1.5, f64::MAX, f64::MIN_POSITIVE]);
+    }
+
+    #[test]
+    fn bulk_codec_matches_per_element_for_arrays_and_tuples() {
+        assert_bulk_matches_per_element::<[f64; 3]>(&[[1.0, 2.0, 3.0], [-0.5, 0.0, 9.75]]);
+        assert_bulk_matches_per_element::<[u32; 4]>(&[[1, 2, 3, 4], [u32::MAX, 0, 7, 9]]);
+        assert_bulk_matches_per_element::<[[f64; 2]; 2]>(&[[[1.0, 2.0], [3.0, 4.0]]]);
+        assert_bulk_matches_per_element::<(u32, f64)>(&[(7, 1.25), (0, -3.5)]);
+        assert_bulk_matches_per_element::<(u32, f64, i64)>(&[(7, 1.25, -9), (0, -3.5, 11)]);
+    }
+
+    #[test]
+    fn bulk_codec_matches_per_element_for_derive_macro_structs() {
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct P {
+            pos: [f64; 2],
+            vel: [f64; 2],
+            id: u64,
+        }
+        impl_element_struct!(P {
+            pos: [f64; 2],
+            vel: [f64; 2],
+            id: u64
+        });
+        assert_bulk_matches_per_element::<P>(&[
+            P {
+                pos: [0.0, 1.0],
+                vel: [2.0, -2.0],
+                id: 3,
+            },
+            P {
+                pos: [9.5, -8.25],
+                vel: [0.0, 0.125],
+                id: u64::MAX,
+            },
+        ]);
+    }
+
+    #[test]
+    fn bulk_codec_handles_empty_slices() {
+        assert_bulk_matches_per_element::<f64>(&[]);
+        assert_bulk_matches_per_element::<[f64; 3]>(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn bulk_decode_rejects_ragged_payload() {
+        let bytes = vec![0u8; 13];
+        let mut out: Vec<u32> = Vec::new();
+        u32::read_le_into(&bytes, &mut out);
     }
 
     #[test]

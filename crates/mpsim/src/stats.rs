@@ -64,26 +64,47 @@ impl RankStats {
     }
 }
 
-/// Counters of the per-rank pack-buffer pool (see `Rank::pool_stats`).
+/// Counters of the per-rank buffer pools (see `Rank::pool_stats`).
 ///
-/// Every outgoing message is encoded into a byte buffer drawn from a per-rank free list;
-/// every consumed incoming message returns its buffer to that free list.  In a steady-state
-/// exchange loop (the executor's gather/scatter, the DSMC append) each iteration receives
-/// as many buffers as it sends, so after a warm-up iteration the pool satisfies every
-/// request and `allocations` stops growing — the property the `exchange_microbench`
-/// harness and the pool smoke tests pin down.
+/// Two pools keep the exchange engine's steady state allocation-free, one per direction:
+///
+/// * the **pack-buffer pool** (`allocations` / `reuses`) recycles the *byte* buffers
+///   outgoing messages are encoded into — every consumed incoming message returns its
+///   payload buffer to this free list;
+/// * the **decode-scratch pool** (`decode_allocations` / `decode_reuses`) recycles the
+///   *typed* `Vec<T>` buffers incoming payloads are decoded into before placement — a
+///   placement closure that only borrows the values (the executor's gather/scatter,
+///   remapping) hands its scratch straight back; only `Placed::into_vec` removes a buffer
+///   from circulation.
+///
+/// In a steady-state exchange loop (the executor's gather/scatter, the DSMC append) each
+/// iteration receives as many buffers as it sends, so after a warm-up iteration both pools
+/// satisfy every request and the allocation counters stop growing — the property the
+/// `exchange_microbench` harness and the pool smoke tests pin down, in both directions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PackPoolStats {
-    /// Buffers created fresh because the free list was empty (pool misses).
+    /// Pack buffers created fresh because the free list was empty (send-side pool misses).
     pub allocations: u64,
-    /// Buffers served from the free list (pool hits).
+    /// Pack buffers served from the free list (send-side pool hits).
     pub reuses: u64,
+    /// Decode-scratch buffers created fresh because the typed free list was empty
+    /// (receive-side pool misses).
+    pub decode_allocations: u64,
+    /// Decode-scratch buffers served from the typed free list (receive-side pool hits).
+    pub decode_reuses: u64,
 }
 
 impl PackPoolStats {
-    /// Total buffer requests: what a pool-less engine would have allocated.
+    /// Total pack-buffer requests: what a pool-less engine would have allocated on the
+    /// send side.
     pub fn requests(&self) -> u64 {
         self.allocations + self.reuses
+    }
+
+    /// Total decode-scratch requests: what a pool-less engine would have allocated on the
+    /// receive side (one fresh `Vec<T>` per incoming message).
+    pub fn decode_requests(&self) -> u64 {
+        self.decode_allocations + self.decode_reuses
     }
 
     /// Counter deltas since an earlier snapshot.
@@ -91,6 +112,8 @@ impl PackPoolStats {
         PackPoolStats {
             allocations: self.allocations - earlier.allocations,
             reuses: self.reuses - earlier.reuses,
+            decode_allocations: self.decode_allocations - earlier.decode_allocations,
+            decode_reuses: self.decode_reuses - earlier.decode_reuses,
         }
     }
 
@@ -99,6 +122,8 @@ impl PackPoolStats {
         PackPoolStats {
             allocations: self.allocations + other.allocations,
             reuses: self.reuses + other.reuses,
+            decode_allocations: self.decode_allocations + other.decode_allocations,
+            decode_reuses: self.decode_reuses + other.decode_reuses,
         }
     }
 }
