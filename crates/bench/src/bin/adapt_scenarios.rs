@@ -1,0 +1,56 @@
+//! Adaptive-remapping scenarios: drifting-density DSMC ramp + imbalance sweep over
+//! machine sizes, comparing the `chaos::adapt` remap policies.
+//!
+//! `--json [PATH]` additionally writes `BENCH_adapt.json` (schema `chaos-bench/adapt/v1`,
+//! documented in `BENCHMARKS.md`).  The artifact records no wall-clock, so repeated runs
+//! are byte-identical — CI regenerates it twice and fails on any difference.
+
+use chaos_bench::adapt::{adapt_report, drift_ramp, format_entries, imbalance_sweep, RampParams};
+use chaos_bench::report::{parse_json_flag, write_json_file};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match parse_json_flag(&args, "BENCH_adapt.json") {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: adapt_scenarios [--json [PATH]]");
+            std::process::exit(2);
+        }
+    };
+
+    let ramp_params = RampParams::default_ramp(8);
+    let ramp = drift_ramp(&ramp_params);
+    println!(
+        "{}",
+        format_entries(
+            &format!(
+                "Drifting-density DSMC ramp ({}x{} cells, {} molecules, {} steps, {} procs)",
+                ramp_params.grid.0,
+                ramp_params.grid.1,
+                ramp_params.nparticles,
+                ramp_params.nsteps,
+                ramp_params.ranks
+            ),
+            &ramp
+        )
+    );
+
+    let sweep_ranks = [2usize, 4, 8, 16];
+    let sweep = imbalance_sweep(&sweep_ranks);
+    println!(
+        "{}",
+        format_entries("Imbalance sweep across machine sizes (P = 2..16)", &sweep)
+    );
+
+    if let Some(path) = json_path {
+        let doc = adapt_report(&ramp, &sweep);
+        match write_json_file(&path, &doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -14,20 +14,25 @@
 //! which alternative wins, by roughly what factor, and where the trends cross.
 
 //!
-//! Two machine-readable artifacts make runs comparable across commits (schema documented
+//! Three machine-readable artifacts make runs comparable across commits (schema documented
 //! in `BENCHMARKS.md` at the repository root):
 //!
 //! * `BENCH_exchange.json` — written by the `exchange_microbench` binary (`--json`):
 //!   steady-state engine loops with wall-clock, modeled time, [`mpsim::ExchangeStats`]
 //!   counts, and the pack-buffer pool's allocation counters;
 //! * `BENCH_tables.json` — written by `all_tables --json`: every paper table's rows plus
-//!   per-table wall-clock.
+//!   per-table wall-clock;
+//! * `BENCH_adapt.json` — written by `adapt_scenarios --json`: the remap-policy
+//!   comparison of [`adapt`] with per-step load-balance trajectories (no wall-clock, so
+//!   CI can gate on two runs being byte-identical).
 
+pub mod adapt;
 pub mod microbench;
 pub mod report;
 pub mod tables;
 pub mod workloads;
 
+pub use adapt::{AdaptEntry, RampParams};
 pub use microbench::{MicrobenchConfig, MicrobenchResult};
 pub use report::Json;
 pub use tables::{Scale, TableOutput};

@@ -152,6 +152,7 @@ pub fn table1_charmm_scaling(scale: &Scale) -> TableOutput {
             partitioner: PartitionerKind::Rcb,
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
+            adapt_policy: None,
         };
         let out = run(MachineConfig::new(p), move |rank| {
             let system = MolecularSystem::build(&sys_cfg);
@@ -198,6 +199,7 @@ pub fn table2_charmm_preproc(scale: &Scale) -> TableOutput {
             partitioner: PartitionerKind::Rcb,
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
+            adapt_policy: None,
         };
         let out = run(MachineConfig::new(p), move |rank| {
             let system = MolecularSystem::build(&sys_cfg);
@@ -249,6 +251,7 @@ pub fn table3_schedule_merging(scale: &Scale) -> TableOutput {
                 partitioner: PartitionerKind::Rcb,
                 schedule_mode: mode,
                 repartition_interval: None,
+                adapt_policy: None,
             };
             let out = run(MachineConfig::new(p), move |rank| {
                 let system = MolecularSystem::build(&sys_cfg);
@@ -293,6 +296,7 @@ pub fn table4_lightweight(scale: &Scale) -> TableOutput {
                     move_mode: mode,
                     remap: RemapStrategy::Static,
                     remap_interval: 1_000_000,
+                    policy: None,
                     seed: 7,
                 };
                 let out = run(MachineConfig::new(p), move |rank| {
@@ -357,6 +361,7 @@ pub fn table5_remapping(scale: &Scale) -> TableOutput {
                 move_mode: MoveMode::Lightweight,
                 remap: strategy,
                 remap_interval: scale.dsmc3d_remap_interval,
+                policy: None,
                 seed: 11,
             };
             let out = run(MachineConfig::new(p), move |rank| {

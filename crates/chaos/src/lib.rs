@@ -66,6 +66,7 @@
 
 #![deny(missing_docs)]
 
+pub mod adapt;
 pub mod darray;
 pub mod distribution;
 pub mod error;
@@ -84,6 +85,7 @@ pub type Global = usize;
 /// A processor (rank) identifier.
 pub type ProcId = usize;
 
+pub use adapt::{LoadMonitor, RemapController, RemapDecision, RemapPolicy};
 pub use darray::{DistArray, LocalRef};
 pub use distribution::{BlockDist, CyclicDist, RegularDist};
 pub use error::ChaosError;
@@ -101,6 +103,7 @@ pub use translation::{Loc, TranslationTable};
 
 /// Commonly used items, re-exported for `use chaos::prelude::*`.
 pub mod prelude {
+    pub use crate::adapt::{LoadMonitor, RemapController, RemapDecision, RemapPolicy};
     pub use crate::darray::{DistArray, LocalRef};
     pub use crate::distribution::{BlockDist, CyclicDist, RegularDist};
     pub use crate::executor::{gather, scatter, scatter_add, scatter_append, scatter_op};

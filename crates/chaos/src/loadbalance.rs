@@ -3,13 +3,31 @@
 //! Section 4.1 of the paper defines the load-balance index as
 //! `LB = max_i(t_i) * n / sum_i(t_i)` where `t_i` is processor *i*'s computation time —
 //! 1.0 is perfect balance, and CHARMM stays between 1.03 and 1.08 up to 128 processors.
-//! DSMC uses the drift of this quantity to decide when remapping is worthwhile.
+//! DSMC uses the drift of this quantity to decide when remapping is worthwhile; the
+//! [`crate::adapt::RemapController`] turns that drift into remap/keep decisions.
+//!
+//! # The non-finite contract
+//!
+//! Both metrics return `NaN` whenever *any* sample is non-finite (`NaN` or `±inf`).  A
+//! corrupted sample must never be laundered into a plausible-looking index: every
+//! comparison against `NaN` is false, so a `NaN` index fails every "imbalanced enough to
+//! remap?" test and the remap controller safely keeps the current distribution.  The tests
+//! below pin this contract; [`crate::adapt`] relies on it.
+
+/// True when every sample is a finite number — the precondition for a meaningful metric.
+fn all_finite(per_proc_times: &[f64]) -> bool {
+    per_proc_times.iter().all(|t| t.is_finite())
+}
 
 /// The paper's load-balance index: `max(times) * n / sum(times)`.  Returns 1.0 for an
-/// empty slice or an all-zero workload (a degenerate but balanced situation).
+/// empty slice or an all-zero workload (a degenerate but balanced situation), and `NaN`
+/// when any sample is non-finite (see the module docs for the contract).
 pub fn load_balance_index(per_proc_times: &[f64]) -> f64 {
     if per_proc_times.is_empty() {
         return 1.0;
+    }
+    if !all_finite(per_proc_times) {
+        return f64::NAN;
     }
     let max = per_proc_times.iter().copied().fold(0.0f64, f64::max);
     let sum: f64 = per_proc_times.iter().sum();
@@ -21,11 +39,14 @@ pub fn load_balance_index(per_proc_times: &[f64]) -> f64 {
 }
 
 /// The ratio of the most-loaded to the least-loaded processor (`inf` if some processor has
-/// zero load while another does not).  A blunter but more intuitive indicator used by the
-/// DSMC driver to decide when to trigger remapping.
+/// zero load while another does not).  A blunter but more intuitive indicator than the
+/// load-balance index.  Returns `NaN` when any sample is non-finite (see the module docs).
 pub fn imbalance_ratio(per_proc_times: &[f64]) -> f64 {
     if per_proc_times.is_empty() {
         return 1.0;
+    }
+    if !all_finite(per_proc_times) {
+        return f64::NAN;
     }
     let max = per_proc_times.iter().copied().fold(f64::MIN, f64::max);
     let min = per_proc_times.iter().copied().fold(f64::MAX, f64::min);
@@ -68,5 +89,38 @@ mod tests {
     fn single_processor_is_balanced() {
         assert_eq!(load_balance_index(&[42.0]), 1.0);
         assert_eq!(imbalance_ratio(&[42.0]), 1.0);
+    }
+
+    #[test]
+    fn any_nan_sample_poisons_both_metrics() {
+        // The contract: one NaN sample anywhere makes the whole metric NaN — it must not
+        // be silently dropped by the max/min folds (f64::max(x, NaN) returns x, which
+        // would otherwise hide the corruption entirely).
+        assert!(load_balance_index(&[f64::NAN]).is_nan());
+        assert!(load_balance_index(&[1.0, f64::NAN, 3.0]).is_nan());
+        assert!(load_balance_index(&[f64::NAN, 1.0]).is_nan());
+        assert!(imbalance_ratio(&[f64::NAN]).is_nan());
+        assert!(imbalance_ratio(&[2.0, f64::NAN]).is_nan());
+        assert!(imbalance_ratio(&[f64::NAN, 2.0]).is_nan());
+    }
+
+    #[test]
+    fn infinite_samples_are_poison_too() {
+        assert!(load_balance_index(&[1.0, f64::INFINITY]).is_nan());
+        assert!(load_balance_index(&[f64::NEG_INFINITY, 1.0]).is_nan());
+        assert!(imbalance_ratio(&[1.0, f64::INFINITY]).is_nan());
+        assert!(imbalance_ratio(&[f64::NEG_INFINITY, 1.0]).is_nan());
+    }
+
+    #[test]
+    // The negated comparisons are the point: NaN makes every ordering comparison false.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn nan_index_never_triggers_a_threshold() {
+        // What the remap controller relies on: every comparison against the poisoned
+        // index is false, so no threshold test can fire.
+        let lb = load_balance_index(&[1.0, f64::NAN]);
+        assert!(!(lb > 1.5));
+        assert!(!(lb >= 0.0));
+        assert!(!(lb < f64::INFINITY));
     }
 }

@@ -23,7 +23,11 @@ pub fn bounding_box(coords: &[[f64; 3]]) -> ([f64; 3], [f64; 3]) {
 /// part with the rest.  Returns a boolean per element (`true` = left), in input order.
 ///
 /// Ties on the key are broken by input order, which keeps the split deterministic for the
-/// group leader that evaluates it, and therefore for the whole machine.
+/// group leader that evaluates it, and therefore for the whole machine.  Keys are ordered
+/// with [`f64::total_cmp`], so `NaN` keys (a corrupted coordinate, an inertial projection
+/// of a degenerate point set) order deterministically at the extremes instead of
+/// panicking — positive `NaN` after every finite key, sign-bit-set `NaN` before — and the
+/// split stays total.
 pub fn weighted_median_split(keys: &[f64], weights: &[f64], target_fraction: f64) -> Vec<bool> {
     assert_eq!(keys.len(), weights.len());
     assert!(
@@ -37,23 +41,18 @@ pub fn weighted_median_split(keys: &[f64], weights: &[f64], target_fraction: f64
     let total: f64 = weights.iter().sum();
     let target = total * target_fraction;
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap().then(a.cmp(&b)));
+    order.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then(a.cmp(&b)));
     let mut left = vec![false; n];
     let mut acc = 0.0;
-    let mut taken = 0usize;
-    for &i in &order {
-        // Take elements while we are still below the target; always take at least one and
-        // never take everything (both sides must be non-empty when n >= 2).
-        let should_take = (acc < target && taken < n.saturating_sub(1)) || taken == 0;
-        if should_take && (acc < target || taken == 0) {
-            left[i] = true;
-            acc += weights[i];
-            taken += 1;
-        } else {
+    for (taken, &i) in order.iter().enumerate() {
+        // Take elements while we are still below the target, but always take at least one
+        // and never take everything (both sides must be non-empty when n >= 2).
+        if taken > 0 && (acc >= target || taken + 1 >= n) {
             break;
         }
+        left[i] = true;
+        acc += weights[i];
     }
-    // Mark the rest explicitly false (already default).
     left
 }
 
@@ -168,6 +167,54 @@ mod tests {
         // Single element: goes left regardless of the target.
         assert_eq!(weighted_median_split(&[5.0], &[1.0], 0.0), vec![true]);
         assert!(weighted_median_split(&[], &[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn median_split_tolerates_nan_keys() {
+        // Regression: the sort used `partial_cmp(..).unwrap()`, which panicked the moment
+        // a NaN coordinate reached the partitioner.  Positive NaN keys now order after
+        // every finite key (total_cmp), so they stay out of the left part whenever
+        // enough finite keys exist.
+        let keys = vec![2.0, f64::NAN, 0.0, 1.0];
+        let weights = vec![1.0; 4];
+        let left = weighted_median_split(&keys, &weights, 0.5);
+        assert_eq!(left, vec![false, false, true, true]);
+        // All-NaN keys: still total and deterministic — ties broken by input order.
+        let left = weighted_median_split(&[f64::NAN, f64::NAN], &[1.0, 1.0], 0.5);
+        assert_eq!(left, vec![true, false]);
+    }
+
+    #[test]
+    fn median_split_single_element_edges() {
+        // n = 1: the only element goes left no matter the target.
+        assert_eq!(weighted_median_split(&[5.0], &[1.0], 0.0), vec![true]);
+        assert_eq!(weighted_median_split(&[5.0], &[1.0], 0.5), vec![true]);
+        assert_eq!(weighted_median_split(&[5.0], &[1.0], 1.0), vec![true]);
+        assert_eq!(weighted_median_split(&[5.0], &[0.0], 1.0), vec![true]);
+    }
+
+    #[test]
+    fn median_split_extreme_targets_keep_both_sides_nonempty() {
+        let keys: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let weights = vec![1.0; 6];
+        // target_fraction = 0: exactly one element (the smallest key) goes left.
+        let left = weighted_median_split(&keys, &weights, 0.0);
+        assert_eq!(left.iter().filter(|&&b| b).count(), 1);
+        assert!(left[0]);
+        // target_fraction = 1: everything but one element goes left.
+        let left = weighted_median_split(&keys, &weights, 1.0);
+        assert_eq!(left.iter().filter(|&&b| b).count(), 5);
+        assert!(!left[5]);
+    }
+
+    #[test]
+    fn median_split_all_zero_weights() {
+        // Zero total weight means the target is hit immediately; the split still takes
+        // exactly one element so both sides are non-empty.
+        let keys = vec![3.0, 1.0, 2.0];
+        let weights = vec![0.0; 3];
+        let left = weighted_median_split(&keys, &weights, 0.5);
+        assert_eq!(left, vec![false, true, false]);
     }
 
     #[test]

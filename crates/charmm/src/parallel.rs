@@ -24,6 +24,7 @@
 //! The per-phase modeled times the paper reports in Tables 1, 2, 3 and 6 are accumulated
 //! in [`CharmmPhaseTimes`].
 
+use chaos::adapt::{RemapController, RemapPolicy};
 use chaos::prelude::*;
 use mpsim::{Rank, TimeSnapshot};
 
@@ -67,6 +68,13 @@ pub struct ParallelConfig {
     /// If `Some(k)`, atoms are re-partitioned and re-mapped every `k` steps, alternating
     /// RCB and RIB as in the Table 6 experiment.  `None` partitions once at start-up.
     pub repartition_interval: Option<usize>,
+    /// Opt-in feedback-driven repartitioning: when `Some`, a
+    /// [`chaos::adapt::RemapController`] samples the per-rank executor compute time every
+    /// step (one all-gather) and re-runs the configured partitioner whenever the policy
+    /// fires, remapping every per-atom array through the same redistribution path the
+    /// fixed-interval experiment uses.  Composes with `repartition_interval` (either
+    /// trigger repartitions).
+    pub adapt_policy: Option<RemapPolicy>,
 }
 
 impl ParallelConfig {
@@ -78,6 +86,7 @@ impl ParallelConfig {
             partitioner: PartitionerKind::Rcb,
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
+            adapt_policy: None,
         }
     }
 }
@@ -98,6 +107,9 @@ pub struct CharmmPhaseTimes {
     pub schedule_regeneration: TimeSnapshot,
     /// Phase F: force loops, gathers/scatters and integration.
     pub executor: TimeSnapshot,
+    /// The remap controller's measurement collectives (executor-time sampling and remap
+    /// cost recording); zero unless `adapt_policy` is set.
+    pub monitor: TimeSnapshot,
 }
 
 impl CharmmPhaseTimes {
@@ -109,6 +121,7 @@ impl CharmmPhaseTimes {
             + self.schedule_generation
             + self.schedule_regeneration
             + self.executor
+            + self.monitor
     }
 }
 
@@ -123,6 +136,12 @@ pub struct CharmmStepStats {
     pub list_updates: usize,
     /// Number of schedule (re)builds.
     pub schedule_builds: usize,
+    /// Number of repartition + remap events after the initial partitioning (from the fixed
+    /// interval, the adaptive controller, or both).
+    pub repartitions: usize,
+    /// The load-balance index of the executor phase at every step the controller observed
+    /// (identical on every rank; empty unless `adapt_policy` is set).
+    pub lb_trajectory: Vec<f64>,
     /// Final positions of the atoms this rank owns, keyed by global atom index.
     pub owned_positions: Vec<(usize, [f64; 3])>,
 }
@@ -303,33 +322,63 @@ pub fn run_parallel(
     // Executor working arrays, reused across every time step.
     let mut step_arrays = StepArrays::new();
 
+    // Feedback-driven repartitioning (opt-in): the controller observes the executor phase
+    // at the end of every step; a firing decision is honoured at the start of the next
+    // step, where the full repartition + rebuild machinery already lives.
+    let mut controller = config.adapt_policy.clone().map(RemapController::new);
+    let mut adaptive_due = false;
+    let mut repartitions = 0usize;
+
     // ----------------------------------------------------------------------- time steps --
     for step in 0..config.nsteps {
-        // Optional repartitioning (Table 6 alternates RCB and RIB every 25 steps).
-        let repartitioned = match config.repartition_interval {
-            Some(k) if step > 0 && step % k == 0 => {
-                let t0 = rank.modeled();
-                let kind = if (step / k) % 2 == 1 {
-                    PartitionerKind::Rib
-                } else {
-                    PartitionerKind::Rcb
-                };
-                let weights: Vec<f64> = (0..dist.owned_globals.len())
-                    .map(|l| 1.0 + nb_list.partners_of(l).len() as f64)
-                    .collect();
-                let coords: Vec<[f64; 3]> = (0..dist.owned_globals.len())
-                    .map(|l| [dist.px[l], dist.py[l], dist.pz[l]])
-                    .collect();
-                let parts = run_partitioner(rank, kind, &coords, &weights, coords.len(), nprocs);
-                phases.data_partition += rank.modeled().since(&t0);
+        // Repartition when the fixed interval (Table 6 alternates RCB and RIB every 25
+        // steps) or the adaptive controller says so.
+        let interval_due =
+            matches!(config.repartition_interval, Some(k) if step > 0 && step % k == 0);
+        let repartitioned = if interval_due || adaptive_due {
+            let t0 = rank.modeled();
+            let kind = match config.repartition_interval {
+                // The Table 6 experiment alternates partitioners on its fixed cadence.
+                Some(k) if interval_due && (step / k) % 2 == 1 => PartitionerKind::Rib,
+                Some(_) if interval_due => PartitionerKind::Rcb,
+                // The adaptive path re-runs the configured partitioner (re-RCB by default).
+                _ => config.partitioner,
+            };
+            let weights: Vec<f64> = (0..dist.owned_globals.len())
+                .map(|l| 1.0 + nb_list.partners_of(l).len() as f64)
+                .collect();
+            let coords: Vec<[f64; 3]> = (0..dist.owned_globals.len())
+                .map(|l| [dist.px[l], dist.py[l], dist.pz[l]])
+                .collect();
+            let parts = run_partitioner(rank, kind, &coords, &weights, coords.len(), nprocs);
+            phases.data_partition += rank.modeled().since(&t0);
 
+            let bytes_before = rank.stats().bytes_sent;
+            let t0 = rank.modeled();
+            dist = redistribute(rank, &dist, &parts, natoms);
+            bonded = partition_bonded_loop(rank, &dist.ttable, system);
+            let remap_cost = rank.modeled().since(&t0);
+            phases.remap += remap_cost;
+            if let Some(ctrl) = controller.as_mut() {
+                if !adaptive_due {
+                    // The repartition came from the fixed interval, not the controller:
+                    // the imbalance accumulated on the old distribution must not argue
+                    // for an immediate second remap of the new one.
+                    ctrl.note_external_remap();
+                }
                 let t0 = rank.modeled();
-                dist = redistribute(rank, &dist, &parts, natoms);
-                bonded = partition_bonded_loop(rank, &dist.ttable, system);
-                phases.remap += rank.modeled().since(&t0);
-                true
+                ctrl.record_remap(
+                    rank,
+                    rank.stats().bytes_sent - bytes_before,
+                    remap_cost.total_us(),
+                );
+                phases.monitor += rank.modeled().since(&t0);
             }
-            _ => false,
+            repartitions += 1;
+            adaptive_due = false;
+            true
+        } else {
+            false
         };
 
         // Periodic non-bonded list regeneration (the adaptive part).
@@ -372,6 +421,15 @@ pub fn run_parallel(
             config.schedule_mode,
         );
         phases.executor += rank.modeled().since(&t0);
+
+        // Feed the step's measured executor compute time to the controller.  `t0` was
+        // taken just before the executor phase and nothing has charged compute since it
+        // ended, so the gathered sample is exactly this step's executor compute.
+        if let Some(ctrl) = controller.as_mut() {
+            let tm = rank.modeled();
+            adaptive_due = ctrl.observe_phase(rank, &t0).remap;
+            phases.monitor += rank.modeled().since(&tm);
+        }
     }
 
     let owned_positions = dist
@@ -386,6 +444,10 @@ pub fn run_parallel(
         interactions,
         list_updates,
         schedule_builds,
+        repartitions,
+        lb_trajectory: controller
+            .map(|c| c.lb_trajectory().to_vec())
+            .unwrap_or_default(),
         owned_positions,
     }
 }
@@ -799,6 +861,7 @@ mod tests {
             partitioner: PartitionerKind::Rcb,
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
+            adapt_policy: None,
         };
         let par = parallel_positions(4, config, 5);
         let seq = sequential_positions(8, 4, 5);
@@ -814,6 +877,7 @@ mod tests {
             partitioner: PartitionerKind::Block,
             schedule_mode: ScheduleMode::Multiple,
             repartition_interval: None,
+            adapt_policy: None,
         };
         let par = parallel_positions(3, config, 9);
         let seq = sequential_positions(6, 3, 9);
@@ -829,11 +893,87 @@ mod tests {
             partitioner: PartitionerKind::Rcb,
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: Some(4),
+            adapt_policy: None,
         };
         let par = parallel_positions(4, config, 13);
         let seq = sequential_positions(8, 4, 13);
         let dev = max_deviation(&par, &seq);
         assert!(dev < 1e-6, "parallel deviates from sequential by {dev}");
+    }
+
+    #[test]
+    fn adaptive_repartitioning_preserves_the_trajectory() {
+        // Feedback-driven re-RCB: a low threshold guarantees the controller fires at
+        // least once on a 4-rank run, and redistribution must not perturb the physics.
+        let config = ParallelConfig {
+            nsteps: 8,
+            list_update_interval: 4,
+            partitioner: PartitionerKind::Rcb,
+            schedule_mode: ScheduleMode::Merged,
+            repartition_interval: None,
+            adapt_policy: Some(chaos::adapt::RemapPolicy::Threshold {
+                lb_index: 1.01,
+                hysteresis: 0.0,
+                patience: 0,
+            }),
+        };
+        let par = parallel_positions(4, config, 5);
+        let seq = sequential_positions(8, 4, 5);
+        let dev = max_deviation(&par, &seq);
+        assert!(
+            dev < 1e-6,
+            "adaptive parallel deviates from sequential by {dev}"
+        );
+    }
+
+    #[test]
+    fn adaptive_controller_reports_trajectory_and_repartitions() {
+        let sys_cfg = SystemConfig::small(8);
+        let config = ParallelConfig {
+            nsteps: 6,
+            list_update_interval: 3,
+            partitioner: PartitionerKind::Rcb,
+            schedule_mode: ScheduleMode::Merged,
+            repartition_interval: None,
+            adapt_policy: Some(chaos::adapt::RemapPolicy::Threshold {
+                lb_index: 1.01,
+                hysteresis: 0.0,
+                patience: 0,
+            }),
+        };
+        let out = run(MachineConfig::new(4), move |rank| {
+            let system = MolecularSystem::build(&sys_cfg);
+            let stats = run_parallel(rank, &system, &config);
+            (stats.lb_trajectory, stats.repartitions)
+        });
+        let (reference, repartitions) = &out.results[0];
+        assert_eq!(reference.len(), 6, "one observation per step");
+        assert!(reference.iter().all(|lb| lb.is_finite() && *lb >= 1.0));
+        assert!(*repartitions > 0, "a 1.01 threshold must fire");
+        for (traj, reps) in &out.results {
+            assert_eq!(traj, reference, "trajectory must be replicated");
+            assert_eq!(reps, repartitions);
+        }
+    }
+
+    #[test]
+    fn without_a_policy_the_monitor_is_inert() {
+        let sys_cfg = SystemConfig::small(12);
+        let config = ParallelConfig::paper_default(4);
+        let out = run(MachineConfig::new(3), move |rank| {
+            let system = MolecularSystem::build(&sys_cfg);
+            let stats = run_parallel(rank, &system, &config);
+            (
+                stats.lb_trajectory.len(),
+                stats.repartitions,
+                stats.phases.monitor.total_us(),
+            )
+        });
+        for (traj_len, reps, monitor_us) in &out.results {
+            assert_eq!(*traj_len, 0);
+            assert_eq!(*reps, 0);
+            assert_eq!(*monitor_us, 0.0);
+        }
     }
 
     #[test]
@@ -844,6 +984,7 @@ mod tests {
             partitioner: PartitionerKind::Rcb,
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
+            adapt_policy: None,
         };
         let par = parallel_positions(1, config, 3);
         let seq = sequential_positions(5, 2, 3);
@@ -894,6 +1035,7 @@ mod tests {
                 partitioner: PartitionerKind::Rcb,
                 schedule_mode: mode,
                 repartition_interval: None,
+                adapt_policy: None,
             };
             let cfg = sys_cfg.clone();
             let out = run(MachineConfig::new(4), move |rank| {
@@ -923,6 +1065,7 @@ mod tests {
             partitioner: PartitionerKind::Rcb,
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
+            adapt_policy: None,
         };
         let out = run(MachineConfig::new(4), move |rank| {
             let system = MolecularSystem::build(&sys_cfg);

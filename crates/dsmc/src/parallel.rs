@@ -16,13 +16,18 @@
 //!      per-step inspector), and the molecule data is shipped attribute-array by
 //!      attribute-array with prescribed placement, exactly the overhead the paper's
 //!      light-weight schedules remove.
-//! 3. **remapping** — every `remap_interval` steps the cells are re-partitioned from their
-//!    current molecule counts using recursive coordinate bisection or the chain
-//!    partitioner (or never, for the static baseline), and the affected molecules migrate
-//!    to the new owners (Table 5).
+//! 3. **remapping** — a [`chaos::adapt::RemapController`] watches the measured per-rank
+//!    collision compute times (one all-gather per step) and decides collectively when to
+//!    re-partition.  The default [`RemapPolicy::Interval`] reproduces the paper's fixed
+//!    cadence (Table 5 remaps every 40 steps); [`RemapPolicy::Threshold`] and
+//!    [`RemapPolicy::CostBenefit`] remap from the drift of the load-balance index instead.
+//!    When a remap fires, the cells are re-partitioned from their current molecule counts
+//!    using recursive coordinate bisection or the chain partitioner and the affected
+//!    molecules migrate to the new owners (Table 5).
 
 use std::collections::HashMap;
 
+use chaos::adapt::{RemapController, RemapPolicy};
 use chaos::prelude::*;
 use mpsim::{Rank, TimeSnapshot};
 
@@ -61,8 +66,16 @@ pub struct DsmcConfig {
     pub move_mode: MoveMode,
     /// Remapping strategy.
     pub remap: RemapStrategy,
-    /// Steps between remaps (the paper remaps every 40 steps).
+    /// Steps between remaps for the default interval policy (the paper remaps every 40
+    /// steps).  `0` means "never remap" — the run behaves like [`RemapStrategy::Static`].
     pub remap_interval: usize,
+    /// When to remap.  `None` uses the paper-compatible fixed cadence
+    /// (`RemapPolicy::Interval { every: remap_interval }`), which needs no measurement
+    /// and therefore adds no communication; `Some` plugs in any
+    /// [`chaos::adapt::RemapPolicy`], driven by per-step collision-time sampling (one
+    /// all-gather per step), and records the load-balance trajectory.  Ignored for
+    /// [`RemapStrategy::Static`], which never remaps.
+    pub policy: Option<RemapPolicy>,
     /// Collision RNG seed (must match the sequential reference for comparisons).
     pub seed: u64,
 }
@@ -76,7 +89,21 @@ impl DsmcConfig {
             move_mode: MoveMode::Lightweight,
             remap: RemapStrategy::Static,
             remap_interval: 40,
+            policy: None,
             seed,
+        }
+    }
+
+    /// The remap policy this configuration resolves to: the explicit `policy` if set,
+    /// otherwise the paper's fixed cadence at `remap_interval` (0 = never).  A
+    /// [`RemapStrategy::Static`] run never remaps regardless of the policy.
+    pub fn effective_policy(&self) -> RemapPolicy {
+        if self.remap == RemapStrategy::Static {
+            RemapPolicy::Interval { every: 0 }
+        } else {
+            self.policy.clone().unwrap_or(RemapPolicy::Interval {
+                every: self.remap_interval,
+            })
         }
     }
 }
@@ -94,6 +121,9 @@ pub struct DsmcPhaseTimes {
     pub remap_partition: TimeSnapshot,
     /// Migrating molecules to their cells' new owners during remaps.
     pub remap_migrate: TimeSnapshot,
+    /// The remap controller's measurement collectives: sampling the per-rank collision
+    /// times each step and recording remap costs.
+    pub monitor: TimeSnapshot,
 }
 
 impl DsmcPhaseTimes {
@@ -104,6 +134,7 @@ impl DsmcPhaseTimes {
             + self.move_data
             + self.remap_migrate
             + self.remap_partition
+            + self.monitor
     }
 }
 
@@ -118,6 +149,15 @@ pub struct DsmcStats {
     pub migrations: usize,
     /// Number of remapping events.
     pub remaps: usize,
+    /// The load-balance index of the collision phase at every step, as measured by the
+    /// remap controller (identical on every rank).  Empty unless an explicit
+    /// `config.policy` opted into per-step sampling — the paper-default cadence decides
+    /// without measuring.
+    pub lb_trajectory: Vec<f64>,
+    /// `(step, machine-wide modeled cost in us)` of every remap performed, in order —
+    /// the cost figures the [`chaos::adapt::RemapPolicy::CostBenefit`] policy amortises
+    /// (identical on every rank).
+    pub remap_costs: Vec<(usize, f64)>,
     /// Molecules held at the end of the run.
     pub final_particle_count: usize,
     /// (cell id, sorted molecule ids) for every non-empty owned cell — compared against
@@ -142,6 +182,13 @@ pub fn run_parallel(
     let mut collisions = 0usize;
     let mut migrations = 0usize;
     let mut remaps = 0usize;
+
+    // The feedback controller that decides when to remap.  Static runs without an explicit
+    // policy skip the per-step sampling entirely (zero overhead, the pre-controller
+    // behaviour); a Static run *with* a policy samples the trajectory but never remaps.
+    let mut controller = (config.policy.is_some() || config.remap != RemapStrategy::Static)
+        .then(|| RemapController::new(config.effective_policy()));
+    let mut remap_costs: Vec<(usize, f64)> = Vec::new();
 
     // Initial static decomposition: equal slabs of cell columns along x (the natural
     // hand-written decomposition for a channel flow).  The owner map is replicated.
@@ -176,7 +223,8 @@ pub fn run_parallel(
             collisions += pairs;
             rank.charge_compute(pairs as f64 * 2.0 + list.len() as f64 * 0.3 + 0.2);
         }
-        phases.collide += rank.modeled().since(&t0);
+        let collide_step = rank.modeled().since(&t0);
+        phases.collide += collide_step;
 
         // ------------------------------------------------------------------- MOVE phase --
         // Advance molecules; collect the ones leaving their current cell.
@@ -224,11 +272,39 @@ pub fn run_parallel(
         phases.move_data += rank.modeled().since(&t0);
 
         // ------------------------------------------------------------------- remapping --
-        let remap_due =
-            config.remap != RemapStrategy::Static && step > 0 && step % config.remap_interval == 0;
-        if remap_due {
-            remaps += 1;
-            remap_cells(rank, grid, config, &mut cell_owner, &mut cells, &mut phases);
+        // With an explicit policy, feed this step's measured collision compute time to
+        // the controller (one all-gather, so every rank sees the same per-rank vector
+        // and reaches the same decision) and report remap costs back.  The paper-default
+        // fixed cadence needs no measurement to decide, so it ticks the controller
+        // locally and pays zero monitoring communication — exactly the pre-controller
+        // behaviour.
+        if let Some(ctrl) = controller.as_mut() {
+            let measured = config.policy.is_some();
+            let decision = if measured {
+                let t0 = rank.modeled();
+                let d = ctrl.observe_sample(rank, collide_step.compute_us);
+                phases.monitor += rank.modeled().since(&t0);
+                d
+            } else {
+                ctrl.tick()
+            };
+            if decision.remap && config.remap != RemapStrategy::Static {
+                remaps += 1;
+                let bytes_before = rank.stats().bytes_sent;
+                let t0 = rank.modeled();
+                remap_cells(rank, grid, config, &mut cell_owner, &mut cells, &mut phases);
+                let remap_cost = rank.modeled().since(&t0).total_us();
+                let moved = rank.stats().bytes_sent - bytes_before;
+                if measured {
+                    let t0 = rank.modeled();
+                    ctrl.record_remap(rank, moved, remap_cost);
+                    phases.monitor += rank.modeled().since(&t0);
+                    remap_costs.push((
+                        step,
+                        ctrl.last_remap_cost_us().expect("remap cost just recorded"),
+                    ));
+                }
+            }
         }
     }
 
@@ -248,6 +324,10 @@ pub fn run_parallel(
         collisions,
         migrations,
         remaps,
+        lb_trajectory: controller
+            .map(|c| c.lb_trajectory().to_vec())
+            .unwrap_or_default(),
+        remap_costs,
         final_particle_count: cells.values().map(Vec::len).sum(),
         fingerprint,
     }
@@ -536,6 +616,7 @@ mod tests {
             move_mode: MoveMode::Regular,
             remap: RemapStrategy::Static,
             remap_interval: 40,
+            policy: None,
             seed: 5,
         };
         let results = run_config(3, grid, 400, flow, config.clone());
@@ -554,6 +635,7 @@ mod tests {
             move_mode: MoveMode::Lightweight,
             remap: RemapStrategy::Chain,
             remap_interval: 5,
+            policy: None,
             seed: 33,
         };
         let results = run_config(4, grid, 500, flow, config.clone());
@@ -573,6 +655,7 @@ mod tests {
             move_mode: MoveMode::Lightweight,
             remap: RemapStrategy::RecursiveBisection,
             remap_interval: 4,
+            policy: None,
             seed: 44,
         };
         let results = run_config(4, grid, 600, flow, config.clone());
@@ -594,6 +677,7 @@ mod tests {
                 move_mode: mode,
                 remap: RemapStrategy::Static,
                 remap_interval: 40,
+                policy: None,
                 seed: 9,
             };
             let results = run_config(4, grid, 1_000, flow, config);
@@ -621,6 +705,7 @@ mod tests {
                 move_mode: MoveMode::Lightweight,
                 remap,
                 remap_interval: 10,
+                policy: None,
                 seed: 55,
             };
             let results = run_config(4, grid, 2_000, flow, config);
@@ -636,6 +721,102 @@ mod tests {
             chain_lb < static_lb,
             "chain remapping should improve balance (static={static_lb:.2}, chain={chain_lb:.2})"
         );
+    }
+
+    #[test]
+    fn remap_interval_zero_means_never() {
+        // Regression: `step % config.remap_interval` panicked on a zero interval.  The
+        // controller treats 0 as "never remap": the run completes, remaps nothing, and
+        // still matches the sequential reference.
+        let grid = CellGrid::new_2d(8, 8);
+        let flow = FlowConfig::directional(17);
+        let config = DsmcConfig {
+            nsteps: 8,
+            dt: 0.4,
+            move_mode: MoveMode::Lightweight,
+            remap: RemapStrategy::Chain,
+            remap_interval: 0,
+            policy: None,
+            seed: 17,
+        };
+        let results = run_config(4, grid, 400, flow, config.clone());
+        assert!(results.iter().all(|s| s.remaps == 0));
+        // The default cadence decides without measuring: no trajectory, no monitor cost.
+        assert!(results.iter().all(|s| s.lb_trajectory.is_empty()));
+        assert!(results.iter().all(|s| s.phases.monitor.total_us() == 0.0));
+        let par = merged_fingerprint(&results);
+        let seq = sequential_fingerprint(grid, 400, flow, 8, config.dt, 17);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn threshold_policy_remaps_and_preserves_the_simulation() {
+        let grid = CellGrid::new_2d(12, 8);
+        let flow = FlowConfig::directional(61);
+        let config = DsmcConfig {
+            nsteps: 20,
+            dt: 0.5,
+            move_mode: MoveMode::Lightweight,
+            remap: RemapStrategy::Chain,
+            remap_interval: 40,
+            policy: Some(chaos::adapt::RemapPolicy::Threshold {
+                lb_index: 1.2,
+                hysteresis: 0.05,
+                patience: 0,
+            }),
+            seed: 61,
+        };
+        let results = run_config(4, grid, 1_500, flow, config.clone());
+        // The directional flow piles molecules downstream, so the threshold must fire at
+        // least once — and every rank must agree on when.
+        let remaps: Vec<usize> = results.iter().map(|s| s.remaps).collect();
+        assert!(remaps[0] > 0, "threshold policy never fired");
+        assert!(remaps.iter().all(|&r| r == remaps[0]));
+        // The trajectory is replicated: identical on every rank, one entry per step.
+        for s in &results {
+            assert_eq!(s.lb_trajectory, results[0].lb_trajectory);
+            assert_eq!(s.lb_trajectory.len(), 20);
+            assert!(s
+                .lb_trajectory
+                .iter()
+                .all(|lb| lb.is_finite() && *lb >= 1.0));
+        }
+        let par = merged_fingerprint(&results);
+        let seq = sequential_fingerprint(grid, 1_500, flow, 20, config.dt, 61);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn cost_benefit_policy_preserves_the_simulation() {
+        let grid = CellGrid::new_2d(12, 8);
+        let flow = FlowConfig::directional(62);
+        let config = DsmcConfig {
+            nsteps: 20,
+            dt: 0.5,
+            move_mode: MoveMode::Lightweight,
+            remap: RemapStrategy::Chain,
+            remap_interval: 40,
+            policy: Some(chaos::adapt::RemapPolicy::CostBenefit {
+                assumed_cost_us: 500.0,
+            }),
+            seed: 62,
+        };
+        let results = run_config(4, grid, 1_500, flow, config.clone());
+        let par = merged_fingerprint(&results);
+        let seq = sequential_fingerprint(grid, 1_500, flow, 20, config.dt, 62);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn static_runs_skip_the_monitor_entirely() {
+        let grid = CellGrid::new_2d(8, 8);
+        let flow = FlowConfig::uniform(3);
+        let config = DsmcConfig::lightweight(6, 3);
+        let results = run_config(2, grid, 300, flow, config);
+        for s in &results {
+            assert!(s.lb_trajectory.is_empty());
+            assert_eq!(s.phases.monitor.total_us(), 0.0);
+        }
     }
 
     #[test]

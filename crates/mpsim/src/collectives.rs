@@ -11,6 +11,7 @@
 //! under the machine's [`crate::cost::CostModel`], plus one synchronisation charge for the
 //! reductions that are semantically barriers.
 
+use crate::cost::TimeSnapshot;
 use crate::exchange::{alltoallv, alltoallv_replicated, ExchangePlan, Placed, RecvSpec};
 use crate::machine::Rank;
 use crate::message::Element;
@@ -243,6 +244,20 @@ impl Rank {
         let all = self.all_gather_one(value);
         all[..self.rank()].iter().sum()
     }
+
+    /// All-gather one modeled-time sample: every rank contributes the *computation* time it
+    /// has accumulated since its own `since` snapshot, and every rank receives the full
+    /// per-rank vector (indexed by rank).  This is the measurement collective behind
+    /// feedback-driven load balancing (`chaos::adapt`): the per-rank compute times are the
+    /// `t_i` of the paper's load-balance index `max_i(t_i) * n / sum_i(t_i)`.  The sample
+    /// is taken *before* the gather communicates, and the gather's own cost is dominated by
+    /// communication time — the only compute it charges is the fixed pack/unpack cost of
+    /// one `f64` per peer, identical on every rank, so sampling shifts but never skews the
+    /// balance it measures.
+    pub fn all_gather_compute_since(&mut self, since: &TimeSnapshot) -> Vec<f64> {
+        let sample = self.modeled().since(since).compute_us;
+        self.all_gather_one(sample)
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +388,38 @@ mod tests {
         for (n, sent) in &out.results {
             assert_eq!(*n, 0);
             assert_eq!(*sent, 0);
+        }
+    }
+
+    #[test]
+    fn compute_time_samples_are_gathered_everywhere() {
+        let cfg = MachineConfig::new(4).with_cost(CostModel::uniform(1.0, 0.0, 1.0));
+        let out = run(cfg, |rank| {
+            let t0 = rank.modeled();
+            // Rank r performs (r + 1) * 10 units of compute; with a unit compute cost the
+            // gathered samples must be exactly those values on every rank.
+            rank.charge_compute((rank.rank() + 1) as f64 * 10.0);
+            rank.all_gather_compute_since(&t0)
+        });
+        for samples in &out.results {
+            assert_eq!(samples, &vec![10.0, 20.0, 30.0, 40.0]);
+        }
+    }
+
+    #[test]
+    fn compute_time_sampling_is_uniform_noise() {
+        let out = run(MachineConfig::new(3), |rank| {
+            let t0 = rank.modeled();
+            let first = rank.all_gather_compute_since(&t0);
+            // A second sample over the same window sees only the first gather's own
+            // pack/unpack cost — identical on every rank, so the measured *balance* is
+            // undisturbed even though the absolute times shift.
+            let second = rank.all_gather_compute_since(&t0);
+            (first, second)
+        });
+        for (first, second) in &out.results {
+            assert_eq!(first, &vec![0.0; 3], "sample is taken before the gather");
+            assert!(second.windows(2).all(|w| w[0] == w[1]), "{second:?}");
         }
     }
 

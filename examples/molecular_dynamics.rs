@@ -31,6 +31,7 @@ fn main() {
         partitioner: PartitionerKind::Rcb,
         schedule_mode: ScheduleMode::Merged,
         repartition_interval: None,
+        adapt_policy: None,
     };
     let cfg = sys_cfg.clone();
     let outcome = run(MachineConfig::new(nprocs), move |rank| {

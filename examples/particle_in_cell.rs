@@ -35,6 +35,7 @@ fn main() {
             move_mode: MoveMode::Lightweight,
             remap,
             remap_interval: 10,
+            policy: None,
             seed: 7,
         };
         let outcome = run(MachineConfig::new(nprocs), move |rank| {

@@ -30,6 +30,7 @@ fn charmm_trajectory_is_independent_of_the_machine_size() {
             partitioner: PartitionerKind::Rcb,
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
+            adapt_policy: None,
         };
         let out = run(MachineConfig::new(nprocs), move |rank| {
             let system = MolecularSystem::build(&cfg);
@@ -74,6 +75,7 @@ fn dsmc_simulation_is_identical_across_move_modes_and_machine_sizes() {
                 move_mode: mode,
                 remap: RemapStrategy::Chain,
                 remap_interval: 4,
+                policy: None,
                 seed: 31,
             };
             let out = run(MachineConfig::new(nprocs), move |rank| {
