@@ -8,6 +8,14 @@
 //!
 //! * [`gather_scatter_steady`] — one regular schedule, `gather` + `scatter_add` per
 //!   iteration (the CHARMM non-bonded loop's executor half);
+//! * [`fused_gather_scatter_steady`] — the same schedule moving *three* arrays per
+//!   iteration through the fused multi-array paths (`gather_multi` +
+//!   `scatter_add_multi`): one message per pair per direction where the unfused executor
+//!   would send three (the post-fusion CHARMM step shape);
+//! * [`overlap_gather_steady`] — the split-phase shape: `gather_start`, a compute block
+//!   standing in for the force loop, `gather_finish`, then a blocking `scatter_add`
+//!   (the CHARMM separate-schedule step with the bonded loop overlapping the non-bonded
+//!   gather);
 //! * [`scatter_append_steady`] — a fresh [`LightweightSchedule`] + `scatter_append` per
 //!   iteration (the DSMC MOVE phase);
 //! * [`remap_steady`] — one [`RemapPlan`], `remap_values` per iteration (CHARMM remapping
@@ -112,6 +120,16 @@ impl MicrobenchResult {
         }
     }
 
+    /// Messages sent per measured iteration, summed over ranks — the column that makes
+    /// the fused paths' 3x message drop visible next to the unfused loops.
+    pub fn msgs_per_iter(&self) -> u64 {
+        if self.measured_iters == 0 {
+            0
+        } else {
+            self.exchange.msgs_sent / self.measured_iters as u64
+        }
+    }
+
     /// Render this result as one entry of the `BENCH_exchange.json` `benches` array.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -137,6 +155,7 @@ impl MicrobenchResult {
                     ("msgs_received", Json::uint(self.exchange.msgs_received)),
                     ("bytes_sent", Json::uint(self.exchange.bytes_sent)),
                     ("bytes_received", Json::uint(self.exchange.bytes_received)),
+                    ("msgs_per_iter", Json::uint(self.msgs_per_iter())),
                 ]),
             ),
             (
@@ -178,13 +197,14 @@ impl MicrobenchResult {
     /// One-line human-readable summary.
     pub fn summary_line(&self) -> String {
         format!(
-            "{:<26} {:>2} ranks  {:>2}B elems  {:>3} iters  wall {:>8.2} ms  \
-             modeled {:>10.1} us  allocs {:>5} (steady {:>2})  \
+            "{:<26} {:>2} ranks  {:>2}B elems  {:>3} iters  {:>4} msgs/iter  \
+             wall {:>8.2} ms  modeled {:>10.1} us  allocs {:>5} (steady {:>2})  \
              decode {:>5} (steady {:>3}{})  -{:.1}%",
             self.name,
             self.ranks,
             self.elem_bytes,
             self.measured_iters,
+            self.msgs_per_iter(),
             self.wall_ms,
             self.modeled_total_us,
             self.pool_total.allocations,
@@ -412,10 +432,84 @@ pub fn remap_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
     )
 }
 
-/// Run all three steady-state loops at the given configuration.
+/// The post-fusion CHARMM step shape: the same schedule as [`gather_scatter_steady`],
+/// but three arrays move per iteration through one fused `gather_multi` and one fused
+/// `scatter_add_multi` — one message per pair per direction where three single-array
+/// transfers would each pay their own.  Borrow-only in both directions, so the steady
+/// state is gated at zero allocations like every other borrowing loop.
+pub fn fused_gather_scatter_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
+    let cfg2 = cfg.clone();
+    let start = Instant::now();
+    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+        let me = rank.rank();
+        let (dist, sched, refs) = build_strided_schedule(rank, cfg2.elements);
+        let mut arrays: [DistArray<f64>; 3] = [1.0, 2.0, 3.0].map(|lane| {
+            let owned: Vec<f64> = dist.local_globals(me).map(|g| g as f64 * lane).collect();
+            DistArray::new(owned, sched.ghost_len())
+        });
+        instrumented_loop(rank, &cfg2, move |rank| {
+            let [x, y, z] = &mut arrays;
+            let g = gather_multi(rank, &sched, [x, y, z]);
+            for &r in &refs {
+                x[r] += 1.0;
+                y[r] += 0.5;
+                z[r] -= 0.25;
+            }
+            let s = scatter_add_multi(rank, &sched, [x, y, z]);
+            g.merged(&s)
+        })
+    });
+    collect(
+        "fused_gather_scatter_steady",
+        cfg,
+        8,
+        false,
+        start.elapsed().as_secs_f64() * 1e3,
+        outcome,
+    )
+}
+
+/// The split-phase overlap shape: `gather_start` posts the ghost exchange, a compute
+/// block stands in for the force loop that runs while it is in flight, `gather_finish`
+/// places the ghosts, and a blocking `scatter_add` closes the iteration.  Pins that the
+/// split-phase engine reaches the same zero-allocation steady state as the blocking
+/// loops (the staged self scratch and every receive scratch are recycled at finish).
+pub fn overlap_gather_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
+    let cfg2 = cfg.clone();
+    let start = Instant::now();
+    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+        let me = rank.rank();
+        let (dist, sched, refs) = build_strided_schedule(rank, cfg2.elements);
+        let owned: Vec<f64> = dist.local_globals(me).map(|g| g as f64).collect();
+        let mut x = DistArray::new(owned, sched.ghost_len());
+        instrumented_loop(rank, &cfg2, move |rank| {
+            let handle = gather_start(rank, &sched, [&x]);
+            // The overlapped compute: owned-only work that needs no ghosts.
+            rank.charge_compute(refs.len() as f64 * 0.1);
+            let g = gather_finish(rank, handle, &sched, [&mut x]);
+            for &r in &refs {
+                x[r] += 1.0;
+            }
+            let s = scatter_add(rank, &sched, &mut x);
+            g.merged(&s)
+        })
+    });
+    collect(
+        "overlap_gather_steady",
+        cfg,
+        8,
+        false,
+        start.elapsed().as_secs_f64() * 1e3,
+        outcome,
+    )
+}
+
+/// Run all five steady-state loops at the given configuration.
 pub fn all_microbenches(cfg: &MicrobenchConfig) -> Vec<MicrobenchResult> {
     vec![
         gather_scatter_steady(cfg),
+        fused_gather_scatter_steady(cfg),
+        overlap_gather_steady(cfg),
         scatter_append_steady(cfg),
         remap_steady(cfg),
     ]
@@ -595,6 +689,51 @@ mod tests {
         assert_eq!(r.pool_steady.allocations, 0);
         assert_eq!(r.pool_steady.decode_allocations, 0);
         assert!(r.pool_steady.decode_reuses > 0);
+    }
+
+    #[test]
+    fn fused_loop_moves_same_bytes_per_array_with_a_third_of_the_messages() {
+        let cfg = tiny();
+        let single = gather_scatter_steady(&cfg);
+        let fused = fused_gather_scatter_steady(&cfg);
+        // Three arrays per iteration vs one: 3x the bytes, but the same message count —
+        // per array moved, a third of the messages.
+        assert_eq!(fused.exchange.bytes_sent, 3 * single.exchange.bytes_sent);
+        assert_eq!(fused.exchange.msgs_sent, single.exchange.msgs_sent);
+        assert_eq!(fused.msgs_per_iter(), single.msgs_per_iter());
+        // And the fused loop stays steady-state clean in both directions.
+        assert_eq!(fused.pool_steady.allocations, 0);
+        assert_eq!(fused.pool_steady.decode_allocations, 0);
+    }
+
+    #[test]
+    fn overlap_loop_is_steady_state_clean() {
+        let r = overlap_gather_steady(&tiny());
+        assert!(r.exchange.msgs_sent > 0);
+        assert!(!r.receive_owned);
+        assert_eq!(r.pool_steady.allocations, 0);
+        assert_eq!(r.pool_steady.decode_allocations, 0);
+        assert!(r.pool_steady.decode_reuses > 0);
+        assert!(steady_state_violations(std::slice::from_ref(&r)).is_empty());
+    }
+
+    #[test]
+    fn all_microbenches_cover_the_fused_and_split_phase_loops() {
+        // The CI gate runs `steady_state_violations` over `all_microbenches`: the new
+        // loops must be in that set or a regression in them would go unnoticed.
+        let names: Vec<&str> = all_microbenches(&tiny()).iter().map(|r| r.name).collect();
+        for required in [
+            "gather_scatter_steady",
+            "fused_gather_scatter_steady",
+            "overlap_gather_steady",
+            "scatter_append_steady",
+            "remap_steady",
+        ] {
+            assert!(
+                names.contains(&required),
+                "{required} missing from the gate"
+            );
+        }
     }
 
     #[test]

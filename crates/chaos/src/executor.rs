@@ -12,12 +12,27 @@
 //! * [`scatter_append`] — the light-weight-schedule primitive: move whole elements to new
 //!   owners and append them in arbitrary order (the DSMC MOVE phase).
 //!
+//! Two executor-level optimisations compose with these primitives:
+//!
+//! * **Fused multi-array transfers** — [`gather_multi`] / [`scatter_add_multi`] move N
+//!   same-schedule arrays lane-interleaved through *one* message per processor pair
+//!   (CHARMM's `x`/`y`/`z` per step: same bytes, 1/N the messages and latencies), via
+//!   [`mpsim::alltoallv_multi`].
+//! * **Split-phase transfers** — [`gather_start`] posts a (fused) gather's sends and
+//!   returns a [`GatherHandle`]; [`gather_finish`] drains the receives into the ghost
+//!   regions.  [`scatter_append_start`] / [`scatter_append_finish`] split the
+//!   light-weight append the same way.  Between start and finish the caller computes
+//!   (CHARMM's bonded loop runs while the non-bonded ghost exchange is in flight; DSMC
+//!   re-bins its surviving molecules while the migrants travel).
+//!
 //! All primitives are collective: every rank of the machine must call them with its own
-//! schedule (built in the same collective inspector call).  Each is a thin adapter over
-//! the unified [`mpsim::exchange`] engine: the schedule provides the
-//! [`mpsim::ExchangePlan`], the primitive packs from / places into the distributed array,
-//! and the engine moves the bytes and charges the cost model.  The returned
-//! [`ExchangeStats`] reports exactly what went on the wire.
+//! schedule (built in the same collective inspector call), and split-phase *starts* must
+//! appear in the same order on every rank (finishes may interleave — the engine's epoch
+//! tags keep in-flight exchanges apart).  Each is a thin adapter over the unified
+//! [`mpsim::exchange`] engine: the schedule provides the [`mpsim::ExchangePlan`], the
+//! primitive packs from / places into the distributed array, and the engine moves the
+//! bytes and charges the cost model.  The returned [`ExchangeStats`] reports exactly
+//! what went on the wire.
 //!
 //! All four primitives use the engine's packing form ([`mpsim::alltoallv_with`]): elements
 //! are encoded from the array straight into pooled message buffers, so a steady-state
@@ -29,7 +44,10 @@
 //! keeps each payload (the appended items outlive the call) and takes ownership with
 //! `Placed::into_vec` (see the buffer-pool notes in [`mpsim::exchange`]).
 
-use mpsim::{alltoallv_with, Element, ExchangeStats, PackBuf, Placed, Rank};
+use mpsim::{
+    alltoallv_multi, alltoallv_with, start_alltoallv_with, Element, ExchangeHandle, ExchangeStats,
+    PackBuf, Placed, Rank,
+};
 
 use crate::darray::DistArray;
 use crate::schedule::{CommSchedule, LightweightSchedule};
@@ -150,6 +168,281 @@ where
     )
 }
 
+/// Split each array into its owned (read) and ghost (write) halves for a fused gather.
+fn split_owned_ghost<T: Element + Default, const N: usize>(
+    arrays: [&mut DistArray<T>; N],
+    ghost_len: usize,
+) -> (Vec<&[T]>, Vec<&mut [T]>) {
+    let mut owneds: Vec<&[T]> = Vec::with_capacity(N);
+    let mut ghosts: Vec<&mut [T]> = Vec::with_capacity(N);
+    for a in arrays {
+        a.ensure_ghost(ghost_len);
+        let (o, g) = a.owned_and_ghost_mut();
+        owneds.push(o);
+        ghosts.push(g);
+    }
+    (owneds, ghosts)
+}
+
+/// Fused gather: bring the off-processor elements of `sched` into the ghost regions of
+/// all `N` arrays with **one message per processor pair** instead of one per array.
+///
+/// The arrays must share the distribution and ghost layout the schedule was built for
+/// (CHARMM's `px`/`py`/`pz`).  Elements are lane-interleaved on the wire
+/// (`x[off] y[off] z[off]` per scheduled offset), so the bytes moved equal `N` separate
+/// [`gather`] calls while messages and message latencies drop `N×`.  The result is
+/// element-identical to `N` separate gathers.
+pub fn gather_multi<T, const N: usize>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    arrays: [&mut DistArray<T>; N],
+) -> ExchangeStats
+where
+    T: Element + Default,
+{
+    assert_eq!(
+        sched.nprocs(),
+        rank.nprocs(),
+        "schedule/machine size mismatch"
+    );
+    const { assert!(N > 0, "a fused gather needs at least one array") };
+    let me = rank.rank();
+    let plan = sched.gather_plan(me);
+    let (owneds, mut ghosts) = split_owned_ghost(arrays, sched.ghost_len());
+    alltoallv_multi(
+        rank,
+        &plan,
+        N,
+        |p, buf: &mut PackBuf<'_, T>| {
+            for &off in &sched.send_lists[p] {
+                for owned in &owneds {
+                    buf.push(owned[off as usize]);
+                }
+            }
+        },
+        |src, values: Placed<'_, T>| {
+            for (k, &slot) in sched.perm_lists[src].iter().enumerate() {
+                for (lane, ghost) in ghosts.iter_mut().enumerate() {
+                    ghost[slot as usize] = values[k * N + lane];
+                }
+            }
+        },
+    )
+}
+
+/// Fused scatter-add: push the ghost-region contributions of all `N` arrays back to
+/// their owners in one message per processor pair, adding into the owners' copies.
+/// The fused mirror image of [`gather_multi`]; element-identical to `N` separate
+/// [`scatter_add`] calls.
+pub fn scatter_add_multi<T, const N: usize>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    arrays: [&mut DistArray<T>; N],
+) -> ExchangeStats
+where
+    T: Element + Default + std::ops::AddAssign,
+{
+    assert_eq!(
+        sched.nprocs(),
+        rank.nprocs(),
+        "schedule/machine size mismatch"
+    );
+    const { assert!(N > 0, "a fused scatter needs at least one array") };
+    let me = rank.rank();
+    let plan = sched.scatter_plan(me);
+    let mut ghosts: Vec<&[T]> = Vec::with_capacity(N);
+    let mut owneds: Vec<&mut [T]> = Vec::with_capacity(N);
+    for a in arrays {
+        assert!(
+            a.ghost_len() >= sched.ghost_len(),
+            "array ghost region smaller than the schedule requires"
+        );
+        let (g, o) = a.ghost_and_owned_mut();
+        ghosts.push(g);
+        owneds.push(o);
+    }
+    alltoallv_multi(
+        rank,
+        &plan,
+        N,
+        |p, buf: &mut PackBuf<'_, T>| {
+            for &slot in &sched.perm_lists[p] {
+                for ghost in &ghosts {
+                    buf.push(ghost[slot as usize]);
+                }
+            }
+        },
+        |src, values: Placed<'_, T>| {
+            for (k, &off) in sched.send_lists[src].iter().enumerate() {
+                for (lane, owned) in owneds.iter_mut().enumerate() {
+                    owned[off as usize] += values[k * N + lane];
+                }
+            }
+        },
+    )
+}
+
+/// A fused gather in flight: sends posted by [`gather_start`], ghost placement pending
+/// until [`gather_finish`].  Nothing borrows the arrays while the exchange flies — the
+/// caller is free to read them (and compute) in between.
+#[must_use = "a split-phase gather must be finished with gather_finish"]
+pub struct GatherHandle<T: Element> {
+    inner: ExchangeHandle<T>,
+    lanes: usize,
+}
+
+/// Start a (fused) gather: pack every scheduled owned element of the `N` arrays and post
+/// the messages, returning a handle for [`gather_finish`].  The overlap primitive of the
+/// executor — between start and finish the caller runs whatever computation does not
+/// need the incoming ghosts (CHARMM's bonded force loop during the non-bonded gather).
+///
+/// Collective in start order; the matching `gather_finish` must pass the same schedule
+/// and arrays.  The owned sections must not be modified while the gather is in flight
+/// (the packed values were read at start — changing them afterwards is not observable by
+/// the exchange, which would silently de-synchronise the ghosts from the owners).
+pub fn gather_start<T, const N: usize>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    arrays: [&DistArray<T>; N],
+) -> GatherHandle<T>
+where
+    T: Element + Default,
+{
+    assert_eq!(
+        sched.nprocs(),
+        rank.nprocs(),
+        "schedule/machine size mismatch"
+    );
+    const { assert!(N > 0, "a fused gather needs at least one array") };
+    let me = rank.rank();
+    let plan = sched.gather_plan(me).fused(N);
+    let owneds: Vec<&[T]> = arrays.iter().map(|a| a.owned()).collect();
+    let inner = start_alltoallv_with(rank, plan, |p, buf: &mut PackBuf<'_, T>| {
+        for &off in &sched.send_lists[p] {
+            for owned in &owneds {
+                buf.push(owned[off as usize]);
+            }
+        }
+    });
+    GatherHandle { inner, lanes: N }
+}
+
+/// Finish a gather started with [`gather_start`]: drain the receives and place the
+/// incoming copies into the ghost regions of the same `N` arrays (grown if needed).
+///
+/// # Panics
+/// Panics if the lane count or schedule differs from the one `gather_start` packed for —
+/// a mismatched schedule whose permutation lists disagree with the received element
+/// counts would otherwise leave ghost slots silently stale.
+pub fn gather_finish<T, const N: usize>(
+    rank: &mut Rank,
+    handle: GatherHandle<T>,
+    sched: &CommSchedule,
+    arrays: [&mut DistArray<T>; N],
+) -> ExchangeStats
+where
+    T: Element + Default,
+{
+    assert_eq!(
+        sched.nprocs(),
+        rank.nprocs(),
+        "schedule/machine size mismatch"
+    );
+    assert_eq!(
+        handle.lanes, N,
+        "gather_finish must pass the same arrays gather_start packed"
+    );
+    let mut ghosts: Vec<&mut [T]> = Vec::with_capacity(N);
+    for a in arrays {
+        a.ensure_ghost(sched.ghost_len());
+        ghosts.push(a.ghost_mut());
+    }
+    handle.inner.finish(rank, |src, values: Placed<'_, T>| {
+        assert_eq!(
+            values.len(),
+            sched.perm_lists[src].len() * N,
+            "gather_finish: schedule does not match the one gather_start packed for \
+             (message from rank {src} disagrees with the permutation list)"
+        );
+        for (k, &slot) in sched.perm_lists[src].iter().enumerate() {
+            for (lane, ghost) in ghosts.iter_mut().enumerate() {
+                ghost[slot as usize] = values[k * N + lane];
+            }
+        }
+    })
+}
+
+/// A light-weight append in flight: migrants posted by [`scatter_append_start`], arrivals
+/// pending until [`scatter_append_finish`].  The kept items were copied out at start, so
+/// the caller's item buffer is free immediately.
+#[must_use = "a split-phase append must be finished with scatter_append_finish"]
+pub struct AppendHandle<T: Element> {
+    inner: ExchangeHandle<T>,
+    kept: Vec<T>,
+}
+
+/// Start a light-weight append: post one message of whole items per destination
+/// processor and copy the kept items aside, returning a handle for
+/// [`scatter_append_finish`].  Between start and finish the caller computes — the DSMC
+/// MOVE phase re-bins its surviving molecules while the migrants are in flight.
+pub fn scatter_append_start<T: Element>(
+    rank: &mut Rank,
+    sched: &LightweightSchedule,
+    items: &[T],
+) -> AppendHandle<T> {
+    assert_eq!(
+        sched.nprocs(),
+        rank.nprocs(),
+        "schedule/machine size mismatch"
+    );
+    assert_eq!(
+        sched.my_rank(),
+        rank.rank(),
+        "light-weight schedule belongs to a different rank"
+    );
+    let me = rank.rank();
+    let plan = sched.append_plan();
+    let inner = start_alltoallv_with(rank, plan, |p, buf: &mut PackBuf<'_, T>| {
+        for &i in &sched.send_item_lists[p] {
+            buf.push(items[i as usize]);
+        }
+    });
+    let mut kept: Vec<T> = Vec::with_capacity(sched.result_count());
+    kept.extend(sched.send_item_lists[me].iter().map(|&i| items[i as usize]));
+    AppendHandle { inner, kept }
+}
+
+/// Finish an append started with [`scatter_append_start`], returning this rank's new
+/// item list in the same deterministic order as [`scatter_append`]: kept items first,
+/// then arrivals in source rank order (within one source, in that source's packing
+/// order).
+pub fn scatter_append_finish<T: Element>(
+    rank: &mut Rank,
+    sched: &LightweightSchedule,
+    handle: AppendHandle<T>,
+) -> Vec<T> {
+    let me = sched.my_rank();
+    let nprocs = sched.nprocs();
+    // The engine delivers in arrival order; buffer per source so the documented layout
+    // is deterministic.  The appended items outlive the call, so ownership is taken.
+    let mut by_src: Vec<Vec<T>> = (0..nprocs).map(|_| Vec::new()).collect();
+    handle.inner.finish(rank, |src, values| {
+        by_src[src] = values.into_vec();
+    });
+    let mut result = handle.kept;
+    for (p, mut values) in by_src.into_iter().enumerate() {
+        if p != me {
+            debug_assert_eq!(
+                values.len(),
+                sched.recv_counts[p],
+                "scatter_append: receive count mismatch from processor {p}"
+            );
+            result.append(&mut values);
+        }
+    }
+    result
+}
+
 /// Move whole items to new owners using a light-weight schedule and return this rank's new
 /// item list: the items it kept followed by the items appended by other ranks (in source
 /// rank order; within one source, in that source's packing order).
@@ -162,48 +455,13 @@ pub fn scatter_append<T: Element>(
     sched: &LightweightSchedule,
     items: &[T],
 ) -> Vec<T> {
-    assert_eq!(
-        sched.nprocs(),
-        rank.nprocs(),
-        "schedule/machine size mismatch"
-    );
-    assert_eq!(
-        sched.my_rank(),
-        rank.rank(),
-        "light-weight schedule belongs to a different rank"
-    );
-    let me = rank.rank();
-    let nprocs = sched.nprocs();
-    let plan = sched.append_plan();
-    // Items are packed straight into each destination's message (kept items are copied
-    // from `items` below, bypassing the plan).  The engine delivers in arrival order;
-    // buffer per source so the documented kept-first, then-source-rank-order layout is
-    // deterministic.  The appended items outlive the call, so this is the one executor
-    // primitive that takes ownership of its payloads (`Placed::into_vec`).
-    let mut by_src: Vec<Vec<T>> = (0..nprocs).map(|_| Vec::new()).collect();
-    alltoallv_with(
-        rank,
-        &plan,
-        |p, buf: &mut PackBuf<'_, T>| {
-            for &i in &sched.send_item_lists[p] {
-                buf.push(items[i as usize]);
-            }
-        },
-        |src, values| by_src[src] = values.into_vec(),
-    );
-    let mut result: Vec<T> = Vec::with_capacity(sched.result_count());
-    result.extend(sched.send_item_lists[me].iter().map(|&i| items[i as usize]));
-    for (p, mut values) in by_src.into_iter().enumerate() {
-        if p != me {
-            debug_assert_eq!(
-                values.len(),
-                sched.recv_counts[p],
-                "scatter_append: receive count mismatch from processor {p}"
-            );
-            result.append(&mut values);
-        }
-    }
-    result
+    // The blocking form is the split-phase form with nothing in between.  Items are
+    // packed straight into each destination's message (kept items are copied from
+    // `items` at start, bypassing the plan); this is the one executor primitive that
+    // takes ownership of its payloads (`Placed::into_vec`) — the appended items outlive
+    // the call.
+    let handle = scatter_append_start(rank, sched, items);
+    scatter_append_finish(rank, sched, handle)
 }
 
 #[cfg(test)]
@@ -433,6 +691,113 @@ mod tests {
             assert_eq!(*result_count, 64);
             assert!(*fetch > 0);
         }
+    }
+
+    #[test]
+    fn gather_multi_matches_three_single_gathers_with_a_third_of_the_messages() {
+        let n = 32;
+        let out = run(MachineConfig::new(4), move |rank| {
+            let pattern: Vec<usize> = (0..n).map(|i| (i * 3 + 1) % n).collect();
+            let (sched, _refs, range) = setup(rank, n, &pattern);
+            let make = |scale: f64| -> DistArray<f64> {
+                let owned: Vec<f64> = range.clone().map(|g| g as f64 * scale).collect();
+                DistArray::new(owned, sched.ghost_len())
+            };
+            // Reference: three blocking single-array gathers.
+            let (mut x1, mut y1, mut z1) = (make(1.0), make(0.5), make(-2.0));
+            let s = gather(rank, &sched, &mut x1)
+                .merged(&gather(rank, &sched, &mut y1))
+                .merged(&gather(rank, &sched, &mut z1));
+            // Fused: one gather_multi over the same values.
+            let (mut x2, mut y2, mut z2) = (make(1.0), make(0.5), make(-2.0));
+            let m = gather_multi(rank, &sched, [&mut x2, &mut y2, &mut z2]);
+            assert_eq!(x1.ghost(), x2.ghost());
+            assert_eq!(y1.ghost(), y2.ghost());
+            assert_eq!(z1.ghost(), z2.ghost());
+            (s, m, sched.send_message_count())
+        });
+        for (single, multi, sched_msgs) in &out.results {
+            assert_eq!(
+                multi.bytes_sent, single.bytes_sent,
+                "same bytes on the wire"
+            );
+            assert_eq!(multi.bytes_received, single.bytes_received);
+            assert_eq!(
+                multi.msgs_sent as usize, *sched_msgs,
+                "one message per pair"
+            );
+            assert_eq!(single.msgs_sent, 3 * multi.msgs_sent, "3x message drop");
+        }
+    }
+
+    #[test]
+    fn scatter_add_multi_matches_three_single_scatters() {
+        let n = 24;
+        let out = run(MachineConfig::new(3), move |rank| {
+            let pattern: Vec<usize> = (0..n).collect();
+            let (sched, refs, range) = setup(rank, n, &pattern);
+            let seed = |bias: f64| -> DistArray<f64> {
+                let mut a = DistArray::new(vec![bias; range.len()], sched.ghost_len());
+                for (k, &r) in refs.iter().enumerate() {
+                    a[r] += k as f64 + bias;
+                }
+                a
+            };
+            let (mut x1, mut y1, mut z1) = (seed(1.0), seed(2.0), seed(3.0));
+            let s = scatter_add(rank, &sched, &mut x1)
+                .merged(&scatter_add(rank, &sched, &mut y1))
+                .merged(&scatter_add(rank, &sched, &mut z1));
+            let (mut x2, mut y2, mut z2) = (seed(1.0), seed(2.0), seed(3.0));
+            let m = scatter_add_multi(rank, &sched, [&mut x2, &mut y2, &mut z2]);
+            assert_eq!(x1.owned(), x2.owned());
+            assert_eq!(y1.owned(), y2.owned());
+            assert_eq!(z1.owned(), z2.owned());
+            (s, m)
+        });
+        for (single, multi) in &out.results {
+            assert_eq!(multi.bytes_sent, single.bytes_sent);
+            assert_eq!(single.msgs_sent, 3 * multi.msgs_sent);
+        }
+    }
+
+    #[test]
+    fn split_phase_gather_matches_blocking_with_compute_in_flight() {
+        let n = 30;
+        let out = run(MachineConfig::new(3), move |rank| {
+            let pattern: Vec<usize> = (0..n).map(|i| (i * 7 + 2) % n).collect();
+            let (sched, _refs, range) = setup(rank, n, &pattern);
+            let owned: Vec<f64> = range.clone().map(|g| (g * g) as f64).collect();
+            let mut blocking = DistArray::new(owned.clone(), sched.ghost_len());
+            let b = gather(rank, &sched, &mut blocking);
+            let mut split = DistArray::new(owned, sched.ghost_len());
+            let handle = gather_start(rank, &sched, [&split]);
+            rank.charge_compute(42.0); // the force loop that overlaps the exchange
+            let s = gather_finish(rank, handle, &sched, [&mut split]);
+            assert_eq!(blocking.ghost(), split.ghost(), "byte-identical ghosts");
+            (b, s)
+        });
+        for (blocking, split) in &out.results {
+            assert_eq!(blocking, split, "identical exchange stats");
+        }
+    }
+
+    #[test]
+    fn split_phase_append_matches_blocking() {
+        let out = run(MachineConfig::new(4), |rank| {
+            let me = rank.rank();
+            let items: Vec<u64> = (0..12).map(|k| (1000 * me + k) as u64).collect();
+            let dests: Vec<usize> = (0..12).map(|k| (k + me) % 4).collect();
+            let sched = LightweightSchedule::build(rank, &dests);
+            let blocking = scatter_append(rank, &sched, &items);
+            let handle = scatter_append_start(rank, &sched, &items);
+            rank.charge_compute(5.0); // re-binning survivors while migrants fly
+            let split = scatter_append_finish(rank, &sched, handle);
+            assert_eq!(blocking, split, "deterministic order preserved");
+            blocking
+        });
+        let mut all: Vec<u64> = out.results.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 4 * 12, "items conserved");
     }
 
     #[test]

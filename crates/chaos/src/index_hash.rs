@@ -242,7 +242,9 @@ impl IndexHashTable {
                     Some(&idx) => idx,
                     None => {
                         new_count += 1;
-                        let loc = ttable.lookup_local(g);
+                        let loc = ttable
+                            .lookup_local(g)
+                            .expect("hash_in_replicated requires a replicated translation table");
                         let ghost_slot = if loc.owner as usize == self.my_rank {
                             None
                         } else {

@@ -106,7 +106,12 @@ pub fn owner_computes_replicated(
     IterationPartition {
         local_owners: home_elements
             .iter()
-            .map(|&g| data_table.lookup_local(g).owner as usize)
+            .map(|&g| {
+                data_table
+                    .lookup_local(g)
+                    .expect("owner-computes partitioning requires a replicated translation table")
+                    .owner as usize
+            })
             .collect(),
         iter_dist,
     }
@@ -130,7 +135,10 @@ pub fn almost_owner_computes_replicated(
                 *v = 0;
             }
             for &g in access {
-                votes[data_table.lookup_local(g).owner as usize] += 1;
+                let loc = data_table
+                    .lookup_local(g)
+                    .expect("almost-owner-computes requires a replicated translation table");
+                votes[loc.owner as usize] += 1;
             }
             votes
                 .iter()

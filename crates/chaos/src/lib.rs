@@ -89,7 +89,11 @@ pub use adapt::{LoadMonitor, RemapController, RemapDecision, RemapPolicy};
 pub use darray::{DistArray, LocalRef};
 pub use distribution::{BlockDist, CyclicDist, RegularDist};
 pub use error::ChaosError;
-pub use executor::{gather, scatter, scatter_add, scatter_append, scatter_op};
+pub use executor::{
+    gather, gather_finish, gather_multi, gather_start, scatter, scatter_add, scatter_add_multi,
+    scatter_append, scatter_append_finish, scatter_append_start, scatter_op, AppendHandle,
+    GatherHandle,
+};
 pub use index_hash::{IndexHashTable, Stamp, StampQuery};
 pub use inspector::{build_schedule_from_table, Inspector};
 pub use iteration::{
@@ -106,7 +110,11 @@ pub mod prelude {
     pub use crate::adapt::{LoadMonitor, RemapController, RemapDecision, RemapPolicy};
     pub use crate::darray::{DistArray, LocalRef};
     pub use crate::distribution::{BlockDist, CyclicDist, RegularDist};
-    pub use crate::executor::{gather, scatter, scatter_add, scatter_append, scatter_op};
+    pub use crate::executor::{
+        gather, gather_finish, gather_multi, gather_start, scatter, scatter_add, scatter_add_multi,
+        scatter_append, scatter_append_finish, scatter_append_start, scatter_op, AppendHandle,
+        GatherHandle,
+    };
     pub use crate::index_hash::{IndexHashTable, Stamp, StampQuery};
     pub use crate::inspector::{build_schedule_from_table, Inspector};
     pub use crate::iteration::{

@@ -98,6 +98,16 @@ impl CommSchedule {
         self.send_lists.iter().filter(|l| !l.is_empty()).count()
     }
 
+    /// Number of messages this processor will receive when the schedule is executed in
+    /// the gather direction (one per source with a non-empty permutation list) — equally,
+    /// the messages it *sends* in the scatter direction.  Together with
+    /// [`CommSchedule::send_message_count`] this prices one full gather + scatter round
+    /// trip: with the fused multi-array executor paths, that price is per *step*, not per
+    /// array.
+    pub fn recv_message_count(&self) -> usize {
+        self.perm_lists.iter().filter(|l| !l.is_empty()).count()
+    }
+
     /// Required ghost-region length.
     pub fn ghost_len(&self) -> usize {
         self.ghost_len

@@ -277,17 +277,25 @@ impl TranslationTable {
         }
     }
 
-    /// Non-collective lookup; only available for replicated tables.
+    /// Non-collective lookup.  Returns `Some(loc)` for a replicated table and `None`
+    /// for distributed/paged storage, where the entry may live on another rank — those
+    /// tables must be dereferenced through the collective [`TranslationTable::lookup`]
+    /// (or converted with [`TranslationTable::replicate`] first).  Callers that require
+    /// replication by contract spell it out with
+    /// `.expect("... requires a replicated translation table")`.
     ///
     /// # Panics
-    /// Panics if the table is not replicated.
-    pub fn lookup_local(&self, g: Global) -> Loc {
+    /// Panics if `g` is outside the table's global index space (a caller bug regardless
+    /// of storage mode).
+    pub fn lookup_local(&self, g: Global) -> Option<Loc> {
+        assert!(
+            g < self.global_size,
+            "translation lookup of index {g} outside array of size {}",
+            self.global_size
+        );
         match &self.storage {
-            Storage::Replicated(entries) => {
-                assert!(g < self.global_size, "index {g} out of bounds");
-                entries[g]
-            }
-            _ => panic!("lookup_local requires a replicated translation table"),
+            Storage::Replicated(entries) => Some(entries[g]),
+            _ => None,
         }
     }
 
@@ -590,7 +598,7 @@ mod tests {
         let t = TranslationTable::from_regular(&dist);
         assert!(t.is_replicated());
         for g in 0..17 {
-            let loc = t.lookup_local(g);
+            let loc = t.lookup_local(g).unwrap();
             assert_eq!(loc.owner as usize, dist.owner(g));
             assert_eq!(loc.offset as usize, dist.local_offset(g));
         }
@@ -613,7 +621,7 @@ mod tests {
                 .map(|g| map_for_run[g])
                 .collect();
             let t = TranslationTable::replicated_from_map(rank, &local, &map_dist).unwrap();
-            let locs: Vec<Loc> = (0..n).map(|g| t.lookup_local(g)).collect();
+            let locs: Vec<Loc> = (0..n).map(|g| t.lookup_local(g).unwrap()).collect();
             (
                 locs,
                 (0..nprocs).map(|p| t.local_size(p)).collect::<Vec<_>>(),
@@ -739,7 +747,9 @@ mod tests {
             let mut t = TranslationTable::distributed_from_map(rank, &local, &map_dist).unwrap();
             t.replicate(rank);
             assert!(t.is_replicated());
-            (0..n).map(|g| t.lookup_local(g)).collect::<Vec<_>>()
+            (0..n)
+                .map(|g| t.lookup_local(g).unwrap())
+                .collect::<Vec<_>>()
         });
         for locs in &out.results {
             assert_eq!(locs, &expected);
@@ -757,17 +767,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires a replicated")]
-    fn lookup_local_panics_on_distributed_table() {
-        let out = run(MachineConfig::new(2), |rank| {
-            let map_dist = BlockDist::new(4, 2);
+    fn lookup_local_returns_none_on_non_replicated_tables() {
+        // A distributed (or paged) table cannot answer locally: `lookup_local` says so
+        // with `None` instead of tearing the rank down, and the collective `lookup`
+        // still dereferences the same index.
+        let n = 8;
+        let out = run(MachineConfig::new(2), move |rank| {
+            let map_dist = BlockDist::new(n, 2);
             let local: Vec<ProcId> = map_dist.local_globals(rank.rank()).map(|g| g % 2).collect();
-            let t = TranslationTable::distributed_from_map(rank, &local, &map_dist).unwrap();
-            // Force the panic on rank 0 only to keep the panic message deterministic.
-            if rank.rank() == 0 {
-                let _ = t.lookup_local(0);
-            }
+            let mut dist = TranslationTable::distributed_from_map(rank, &local, &map_dist).unwrap();
+            let mut paged = TranslationTable::paged_from_map(rank, &local, &map_dist, 4).unwrap();
+            let local_answers: Vec<Option<Loc>> = (0..n).map(|g| dist.lookup_local(g)).collect();
+            assert!((0..n).all(|g| paged.lookup_local(g).is_none()));
+            let queries: Vec<Global> = (0..n).collect();
+            let collective = dist.lookup(rank, &queries);
+            let collective_paged = paged.lookup(rank, &queries);
+            (local_answers, collective, collective_paged)
         });
-        drop(out);
+        for (local_answers, collective, collective_paged) in &out.results {
+            assert!(local_answers.iter().all(Option::is_none));
+            assert_eq!(collective, collective_paged);
+            for (g, loc) in collective.iter().enumerate() {
+                assert_eq!(loc.owner as usize, g % 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside array of size")]
+    fn lookup_local_still_rejects_out_of_bounds_indices() {
+        let dist = BlockDist::new(4, 2);
+        let t = TranslationTable::from_regular(&dist);
+        let _ = t.lookup_local(4);
     }
 }

@@ -9,8 +9,10 @@
 //!    Table 4:
 //!    * [`MoveMode::Lightweight`] — a [`chaos::schedule::LightweightSchedule`] is built
 //!      from the destination processors (one exchange of counts) and whole molecules are
-//!      appended with `scatter_append`; arrival order is irrelevant, so no placement
-//!      preprocessing is needed;
+//!      appended split-phase: `scatter_append_start` posts the migrants, the surviving
+//!      molecules are re-binned into their cells *while the exchange is in flight*, and
+//!      `scatter_append_finish` collects the arrivals; arrival order is irrelevant, so no
+//!      placement preprocessing is needed;
 //!    * [`MoveMode::Regular`] — emulates the pre-CHAOS path with regular schedules: every
 //!      step the destination indices are exchanged and placement slots assigned (the
 //!      per-step inspector), and the molecule data is shipped attribute-array by
@@ -208,9 +210,11 @@ pub fn run_parallel(
     }
 
     // Reused across steps: molecules leaving their cell this step, as (destination cell,
-    // molecule).  Clearing instead of reallocating keeps the steady-state MOVE loop free
-    // of per-step growth allocations once the high-water mark is reached.
+    // molecule), and molecules staying put, as (cell, molecule).  Clearing instead of
+    // reallocating keeps the steady-state MOVE loop free of per-step growth allocations
+    // once the high-water mark is reached.
     let mut outgoing: Vec<(usize, Particle)> = Vec::new();
+    let mut survivors: Vec<(usize, Particle)> = Vec::new();
 
     for step in 0..config.nsteps {
         // ------------------------------------------------------------------- collisions --
@@ -227,38 +231,53 @@ pub fn run_parallel(
         phases.collide += collide_step;
 
         // ------------------------------------------------------------------- MOVE phase --
-        // Advance molecules; collect the ones leaving their current cell.
+        // Advance molecules, splitting them into survivors (same cell) and migrants
+        // (different cell — possibly one this rank also owns).  Survivors are not put
+        // back yet: the light-weight path posts the migrant exchange first and re-bins
+        // them while it is in flight.
         let t0 = rank.modeled();
         outgoing.clear();
+        survivors.clear();
         for &cell in &owned_cells {
             let list = cells.get_mut(&cell).expect("owned cell missing");
-            let mut keep = Vec::with_capacity(list.len());
             for mut p in list.drain(..) {
                 advance(&mut p, grid, config.dt);
                 let new_cell = grid.cell_of_position(p.pos);
                 if new_cell == cell {
-                    keep.push(p);
+                    survivors.push((cell, p));
                 } else {
                     outgoing.push((new_cell, p));
                 }
             }
-            *list = keep;
-            rank.charge_compute(keep_len_estimate(list) * 0.2);
         }
         phases.move_data += rank.modeled().since(&t0);
 
         let arrivals = match config.move_mode {
-            MoveMode::Lightweight => {
-                move_lightweight(rank, &outgoing, &cell_owner, &mut phases, &mut migrations)
-            }
-            MoveMode::Regular => move_regular(
+            MoveMode::Lightweight => move_lightweight(
                 rank,
                 &outgoing,
+                &mut survivors,
                 &cell_owner,
-                &cells,
+                &mut cells,
                 &mut phases,
                 &mut migrations,
             ),
+            MoveMode::Regular => {
+                // The regular path has no split phase: survivors go straight back, then
+                // the per-step inspector (which reads the cells' current occupancy) and
+                // the per-attribute transport run as before.
+                let t0 = rank.modeled();
+                rebin_survivors(rank, &mut survivors, &mut cells);
+                phases.move_data += rank.modeled().since(&t0);
+                move_regular(
+                    rank,
+                    &outgoing,
+                    &cell_owner,
+                    &cells,
+                    &mut phases,
+                    &mut migrations,
+                )
+            }
         };
 
         // Re-bin arrivals (their destination cell is recomputed from the position — the
@@ -333,8 +352,17 @@ pub fn run_parallel(
     }
 }
 
-fn keep_len_estimate(list: &[Particle]) -> f64 {
-    list.len() as f64
+/// Put the surviving molecules back into their cells (in scan order, so per-cell order —
+/// and with it the collision RNG trajectory — matches the pre-split-phase executor).
+fn rebin_survivors(
+    rank: &mut Rank,
+    survivors: &mut Vec<(usize, Particle)>,
+    cells: &mut HashMap<usize, Vec<Particle>>,
+) {
+    rank.charge_compute(survivors.len() as f64 * 0.2);
+    for (cell, p) in survivors.drain(..) {
+        cells.get_mut(&cell).expect("owned cell missing").push(p);
+    }
 }
 
 /// The static decomposition used before any remapping: contiguous slabs of cell columns
@@ -349,19 +377,23 @@ pub fn initial_owner_map(grid: &CellGrid, nprocs: usize) -> Vec<ProcId> {
         .collect()
 }
 
-/// MOVE phase with a light-weight schedule: one exchange of counts, one append message per
-/// destination processor, whole molecules as payload.
+/// MOVE phase with a light-weight schedule, split-phase: one exchange of counts, one
+/// append message per destination processor posted immediately (whole molecules as
+/// payload), the surviving molecules re-binned into their cells *while the migrants are
+/// in flight*, and the arrivals collected last.
 fn move_lightweight(
     rank: &mut Rank,
     outgoing: &[(usize, Particle)],
+    survivors: &mut Vec<(usize, Particle)>,
     cell_owner: &[ProcId],
+    cells: &mut HashMap<usize, Vec<Particle>>,
     phases: &mut DsmcPhaseTimes,
     migrations: &mut usize,
 ) -> Vec<Particle> {
     let me = rank.rank();
     let t0 = rank.modeled();
     // One pass builds both append inputs: destination ranks (the entire input of the
-    // light-weight inspector) and the item payloads `scatter_append` packs from.
+    // light-weight inspector) and the item payloads the append packs from.
     let mut dests: Vec<ProcId> = Vec::with_capacity(outgoing.len());
     let mut items: Vec<Particle> = Vec::with_capacity(outgoing.len());
     for (cell, p) in outgoing {
@@ -373,7 +405,10 @@ fn move_lightweight(
 
     let t0 = rank.modeled();
     *migrations += dests.iter().filter(|&&d| d != me).count();
-    let arrivals = scatter_append(rank, &sched, &items);
+    // Post the migrants, overlap the survivor re-binning with their flight, then drain.
+    let inflight = scatter_append_start(rank, &sched, &items);
+    rebin_survivors(rank, survivors, cells);
+    let arrivals = scatter_append_finish(rank, &sched, inflight);
     phases.move_data += rank.modeled().since(&t0);
     arrivals
 }

@@ -500,7 +500,10 @@ impl<'p> Executor<'p> {
                 &self.decomps,
                 self.my_rank,
             );
-            dests.push(bucket_ttable.lookup_local(bucket).owner as usize);
+            let loc = bucket_ttable
+                .lookup_local(bucket)
+                .expect("bucket arrays use replicated translation tables");
+            dests.push(loc.owner as usize);
             payload.push((bucket as u64, value));
         }
         let sched = LightweightSchedule::build(rank, &dests);
@@ -561,7 +564,9 @@ fn local_ref(
     my_rank: usize,
     global: usize,
 ) -> LocalRef {
-    let loc = ttable.lookup_local(global);
+    let loc = ttable
+        .lookup_local(global)
+        .expect("the interpreter's decompositions use replicated translation tables");
     if loc.owner as usize == my_rank {
         LocalRef(loc.offset as usize)
     } else {
@@ -648,7 +653,10 @@ fn eval_owned_value(
                     .get(array)
                     .unwrap_or_else(|| panic!("unknown array {array}"));
                 let g = (eval_int(index, env, integers) - 1) as usize;
-                let loc = decomps[&state.decomp].ttable.lookup_local(g);
+                let loc = decomps[&state.decomp]
+                    .ttable
+                    .lookup_local(g)
+                    .expect("the interpreter's decompositions use replicated translation tables");
                 assert_eq!(
                     loc.owner as usize, my_rank,
                     "append-loop values must reference locally owned elements"
@@ -765,7 +773,9 @@ fn exec_body(
                     value, env, integers, reals, ttable, hash, owned_len, my_rank,
                 );
                 let g = (eval_int(&target.index, env, integers) - 1) as usize;
-                let loc = ttable.lookup_local(g);
+                let loc = ttable
+                    .lookup_local(g)
+                    .expect("the interpreter's decompositions use replicated translation tables");
                 debug_assert_eq!(
                     loc.owner as usize, my_rank,
                     "direct assignments must be to owned elements under owner-computes"

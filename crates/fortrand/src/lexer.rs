@@ -33,25 +33,33 @@ pub enum Token {
 }
 
 /// Tokenize a source string.  Returns an error naming the offending line and character.
+///
+/// Every source line — comment cards and blank lines included — contributes exactly one
+/// [`Token::Newline`], so a token's 1-based source line is one plus the number of
+/// `Newline` tokens before it.  The parser leans on this to report real source lines in
+/// its [`crate::parser::ParseError`]s.
 pub fn tokenize(source: &str) -> Result<Vec<Token>, String> {
     let mut tokens = Vec::new();
     for (line_no, raw_line) in source.lines().enumerate() {
         let mut line = raw_line.trim();
-        // Strip directive prefixes; skip pure comment lines.
+        // Strip directive prefixes; skip pure comment lines (keeping their newline so
+        // line numbers stay true).
         if let Some(rest) = line.strip_prefix("C$").or_else(|| line.strip_prefix("c$")) {
             line = rest.trim();
         } else if let Some(rest) = line.strip_prefix("!$") {
             line = rest.trim();
         } else if line.starts_with('C') && line.len() > 1 && line.chars().nth(1) == Some(' ') {
-            continue; // classic Fortran comment card
+            tokens.push(Token::Newline); // classic Fortran comment card
+            continue;
         } else if line.starts_with('!') || line == "C" || line == "c" {
+            tokens.push(Token::Newline);
             continue;
         }
         if line.is_empty() {
+            tokens.push(Token::Newline);
             continue;
         }
         let mut chars = line.char_indices().peekable();
-        let start_len = tokens.len();
         while let Some(&(i, c)) = chars.peek() {
             match c {
                 ' ' | '\t' => {
@@ -133,9 +141,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, String> {
                 }
             }
         }
-        if tokens.len() > start_len {
-            tokens.push(Token::Newline);
-        }
+        tokens.push(Token::Newline);
     }
     Ok(tokens)
 }
@@ -158,11 +164,17 @@ mod tests {
     }
 
     #[test]
-    fn skips_comments_and_blank_lines() {
+    fn skips_comments_and_blank_lines_but_keeps_their_newlines() {
+        // Comment cards and blank lines produce no tokens of their own, yet still count
+        // one Newline each — that is what keeps parse-error line numbers true to the
+        // source.
         let toks = tokenize("C this is a comment card\n\n! another comment\nREAL x(4)\n").unwrap();
         assert_eq!(
             toks,
             vec![
+                Token::Newline,
+                Token::Newline,
+                Token::Newline,
                 Token::Ident("REAL".into()),
                 Token::Ident("X".into()),
                 Token::LParen,

@@ -65,9 +65,36 @@
 //! Receiving from any source means messages from different *exchanges* must never be
 //! confused, even though ranks run ahead of one another (a rank with nothing to do in
 //! exchange *k* may already be sending for exchange *k+1*).  The engine therefore tags
-//! every message with a per-rank exchange sequence number.  Exchanges are **collective**:
-//! every rank of the machine must execute the same sequence of engine calls, which makes
-//! the sequence number a machine-wide identifier for one exchange episode.
+//! every message with a per-rank exchange sequence number — the exchange's **epoch**.
+//! Exchanges are **collective**: every rank of the machine must *start* the same sequence
+//! of engine executions, which makes the epoch a machine-wide identifier for one exchange
+//! episode.
+//!
+//! ## Split-phase execution
+//!
+//! Every blocking entry point has a split-phase sibling: [`start_alltoallv`] /
+//! [`start_alltoallv_with`] post the plan's sends immediately (and stage the local
+//! portion) and return an [`ExchangeHandle`]; [`ExchangeHandle::finish`] drains the
+//! receives and runs the placement closure.  Between the two calls the caller is free to
+//! compute — the natural overlap of a time-stepped executor (post the ghost exchange,
+//! run the force loop that needs no ghosts, then finish) — and may even start *and
+//! complete* further exchanges: epoch tagging keeps any number of in-flight exchanges
+//! from crossing, because each episode's messages carry its own epoch and receives match
+//! on it selectively.  What stays collective is the **start order**: every rank must
+//! start the same exchanges in the same order (finishes may interleave freely).  A
+//! handle dropped without `finish` panics — its receives would otherwise sit in the
+//! mailbox forever and surface as confusing stalls several exchanges later.
+//!
+//! ## Fused multi-array exchanges
+//!
+//! When several same-length arrays travel through the *same* plan in the same direction
+//! (CHARMM gathers `x`, `y`, `z` through one schedule every step), executing the plan
+//! once per array multiplies message count and latency by the array count.
+//! [`ExchangePlan::fused`] scales a plan's element counts by a lane count and
+//! [`alltoallv_multi`] executes the scaled plan with the lanes of each element packed
+//! consecutively (`x0 y0 z0 x1 y1 z1 …`), so N arrays move in **one** message per
+//! processor pair — same bytes, 1/N of the messages.  The executor's `gather_multi` /
+//! `scatter_add_multi` wrappers in `chaos` pack and place the lane interleaving.
 
 use std::marker::PhantomData;
 
@@ -78,6 +105,11 @@ use crate::message::Element;
 /// message buffer or placing a received element — the `0.02` the executor primitives
 /// historically charged.
 pub const PACK_UNPACK_COST_UNITS: f64 = 0.02;
+
+/// Base of the exchange-engine tag window: `tag = EXCHANGE_TAG_BASE + epoch`.  The single
+/// source of truth shared by [`Rank::next_exchange_tag`] and [`epoch_of_tag`], so the
+/// epoch numbers in mismatch diagnostics can never drift from the tags on the wire.
+pub(crate) const EXCHANGE_TAG_BASE: u64 = crate::collectives::RESERVED_TAG_BASE + (1 << 20);
 
 /// What one exchange expects to receive from one peer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -241,6 +273,27 @@ impl ExchangePlan {
     pub fn send_counts(&self) -> Vec<usize> {
         (0..self.nprocs()).map(|p| self.send_count(p)).collect()
     }
+
+    /// The fused version of this plan: every element count (send and exact-receive)
+    /// multiplied by `lanes`.  This is the plan of a multi-array exchange that moves
+    /// `lanes` same-schedule arrays lane-interleaved through one message per pair — the
+    /// message *pattern* (who talks to whom) is unchanged, only the payload sizes scale.
+    /// See [`alltoallv_multi`].
+    pub fn fused(&self, lanes: usize) -> ExchangePlan {
+        assert!(lanes > 0, "a fused plan needs at least one lane");
+        ExchangePlan {
+            my_rank: self.my_rank,
+            sends: self.sends.iter().map(|s| s.map(|n| n * lanes)).collect(),
+            recvs: self
+                .recvs
+                .iter()
+                .map(|r| match r {
+                    RecvSpec::Exact(n) => RecvSpec::Exact(n * lanes),
+                    other => *other,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// An outgoing message buffer handed to the pack closure of [`alltoallv_with`].
@@ -389,6 +442,20 @@ pub fn alltoallv<T: Element>(
     sends: &[Vec<T>],
     place: impl FnMut(usize, Placed<'_, T>),
 ) -> ExchangeStats {
+    validate_send_buffers(plan, sends);
+    run_exchange(
+        rank,
+        plan,
+        Some(&sends[plan.my_rank()]),
+        |p, buf| buf.extend_from_slice(&sends[p]),
+        place,
+    )
+}
+
+/// Shared validation of the slice-backed entry points ([`alltoallv`] /
+/// [`start_alltoallv`]): one buffer per rank, and no payload where the plan sends
+/// nothing.  (Length-vs-declared-count mismatches are caught by the pack phase.)
+fn validate_send_buffers<T: Element>(plan: &ExchangePlan, sends: &[Vec<T>]) {
     assert_eq!(
         sends.len(),
         plan.nprocs(),
@@ -402,13 +469,6 @@ pub fn alltoallv<T: Element>(
             payload.len()
         );
     }
-    run_exchange(
-        rank,
-        plan,
-        Some(&sends[plan.my_rank()]),
-        |p, buf| buf.extend_from_slice(&sends[p]),
-        place,
-    )
 }
 
 /// Execute `plan` sending the *same* `payload` to every planned destination — the message
@@ -450,24 +510,207 @@ pub fn alltoallv_with<T: Element>(
     run_exchange(rank, plan, None, pack, place)
 }
 
-/// Shared engine core: packs one pooled message per planned destination via `pack`,
-/// delivers the self payload through `place` without touching the network or the
-/// communication cost model, then consumes exactly the planned number of incoming
-/// messages — each decoded through the bulk codec into pooled typed scratch and placed as
-/// a borrowed [`Placed`] view (both the payload byte buffer and, unless the closure took
-/// ownership, the scratch go back to their pools).
+/// Execute `plan` moving `lanes` same-schedule arrays in one message per processor pair.
 ///
-/// `self_payload` is the fast path for the slice-backed entry points: when the caller
-/// already holds the self elements as a slice, local delivery is one bulk copy into
-/// scratch instead of an encode/decode round-trip through a staging buffer.
-/// `alltoallv_with` passes `None` (its pack closure is the only data source).
+/// `plan` is the *single-lane* plan (e.g. a schedule's gather plan); the engine executes
+/// [`ExchangePlan::fused`]`(lanes)`, so `pack(p, buf)` must push `lanes ×` the single-lane
+/// element count for `p`, with the lanes of each logical element packed consecutively
+/// (`x0 y0 z0 x1 y1 z1 …`), and the placement closure receives them back in the same
+/// interleaved order (`values[k * lanes + lane]`).  Same bytes on the wire as `lanes`
+/// single-array executions, `1/lanes` of the messages and message latencies.
+///
+/// Collectivity and panics as for [`alltoallv`].
+pub fn alltoallv_multi<T: Element>(
+    rank: &mut Rank,
+    plan: &ExchangePlan,
+    lanes: usize,
+    pack: impl FnMut(usize, &mut PackBuf<'_, T>),
+    place: impl FnMut(usize, Placed<'_, T>),
+) -> ExchangeStats {
+    let fused = plan.fused(lanes);
+    run_exchange(rank, &fused, None, pack, place)
+}
+
+/// A split-phase exchange in flight: sends are posted, receives not yet drained.
+///
+/// Produced by [`start_alltoallv`] / [`start_alltoallv_with`]; consumed by
+/// [`ExchangeHandle::finish`].  The handle owns its plan and the staged local portion, so
+/// nothing borrows the caller's arrays while the exchange is in flight — pack runs at
+/// start, placement at finish, and the caller computes freely in between.
+///
+/// Dropping a handle without finishing it panics: the posted messages would sit
+/// unconsumed in every peer's mailbox and surface as a confusing stall (or an
+/// unexpected-message panic) several exchanges later.  `finish` is the only way out.
+#[must_use = "a split-phase exchange must be finished (dropping the handle panics)"]
+pub struct ExchangeHandle<T: Element> {
+    inflight: Option<InFlight<T>>,
+}
+
+struct InFlight<T: Element> {
+    plan: ExchangePlan,
+    tag: u64,
+    send_stats: ExchangeStats,
+    /// The staged local portion, already decoded into pooled scratch (empty when the plan
+    /// has no self transfer or it carries nothing).
+    self_values: Vec<T>,
+    deliver_self: bool,
+}
+
+impl<T: Element> ExchangeHandle<T> {
+    /// The plan this exchange is executing.
+    pub fn plan(&self) -> &ExchangePlan {
+        &self
+            .inflight
+            .as_ref()
+            .expect("exchange already finished")
+            .plan
+    }
+
+    /// The exchange epoch (per-rank engine sequence number) this exchange was started in.
+    pub fn epoch(&self) -> u64 {
+        epoch_of_tag(
+            self.inflight
+                .as_ref()
+                .expect("exchange already finished")
+                .tag,
+        )
+    }
+
+    /// Message/byte counts of the send phase (the receive side is added by `finish`).
+    pub fn send_stats(&self) -> ExchangeStats {
+        self.inflight
+            .as_ref()
+            .expect("exchange already finished")
+            .send_stats
+    }
+
+    /// Drain this exchange's receives, handing each payload (and the staged local
+    /// portion) to `place`, and return the combined send + receive stats.
+    ///
+    /// Must be called on the same rank that started the exchange.  Other exchanges may
+    /// have been started — and even finished — in between; epoch tagging keeps them
+    /// apart.
+    pub fn finish(
+        mut self,
+        rank: &mut Rank,
+        place: impl FnMut(usize, Placed<'_, T>),
+    ) -> ExchangeStats {
+        let fl = self.inflight.take().expect("exchange already finished");
+        let recv_stats = finish_exchange(
+            rank,
+            &fl.plan,
+            fl.tag,
+            fl.self_values,
+            fl.deliver_self,
+            place,
+        );
+        fl.send_stats.merged(&recv_stats)
+    }
+}
+
+impl<T: Element> Drop for ExchangeHandle<T> {
+    fn drop(&mut self) {
+        if let Some(fl) = &self.inflight {
+            if !std::thread::panicking() {
+                panic!(
+                    "split-phase exchange (epoch {}) dropped without finish(): \
+                     its receives were never drained",
+                    epoch_of_tag(fl.tag)
+                );
+            }
+        }
+    }
+}
+
+/// Split-phase form of [`alltoallv`]: post the plan's sends (borrowing one pre-built
+/// buffer per destination, exactly as the blocking form does) and return a handle whose
+/// [`ExchangeHandle::finish`] drains the receives.
+///
+/// The handle owns `plan` — callers that reuse a long-lived plan pass a clone.  Starts
+/// are collective in the same order on every rank; see the module docs for the
+/// split-phase rules.  Panics as for [`alltoallv`] (plan/buffer mismatches are caught at
+/// start; receive violations at finish).
+pub fn start_alltoallv<T: Element>(
+    rank: &mut Rank,
+    plan: ExchangePlan,
+    sends: &[Vec<T>],
+) -> ExchangeHandle<T> {
+    validate_send_buffers(&plan, sends);
+    let me = plan.my_rank();
+    let (tag, send_stats, self_values, deliver_self) =
+        start_exchange(rank, &plan, Some(&sends[me]), |p, buf| {
+            buf.extend_from_slice(&sends[p])
+        });
+    ExchangeHandle {
+        inflight: Some(InFlight {
+            plan,
+            tag,
+            send_stats,
+            self_values,
+            deliver_self,
+        }),
+    }
+}
+
+/// Split-phase form of [`alltoallv_with`]: `pack` runs once per planned destination at
+/// start (encoding straight into pooled message buffers — the zero-intermediate-buffer
+/// hot path), the returned handle's [`ExchangeHandle::finish`] drains the receives.
+///
+/// Combine with [`ExchangePlan::fused`] for a split-phase fused multi-array exchange.
+/// The handle owns `plan`; collectivity and panics as for [`start_alltoallv`].
+pub fn start_alltoallv_with<T: Element>(
+    rank: &mut Rank,
+    plan: ExchangePlan,
+    pack: impl FnMut(usize, &mut PackBuf<'_, T>),
+) -> ExchangeHandle<T> {
+    let (tag, send_stats, self_values, deliver_self) = start_exchange(rank, &plan, None, pack);
+    ExchangeHandle {
+        inflight: Some(InFlight {
+            plan,
+            tag,
+            send_stats,
+            self_values,
+            deliver_self,
+        }),
+    }
+}
+
+/// The exchange epoch encoded in a message tag (inverse of [`Rank::next_exchange_tag`]).
+fn epoch_of_tag(tag: u64) -> u64 {
+    tag - EXCHANGE_TAG_BASE
+}
+
+/// Shared engine core of the blocking entry points: a start immediately followed by a
+/// finish.  See [`start_exchange`] and [`finish_exchange`], which the split-phase API
+/// exposes individually.
 fn run_exchange<T: Element>(
     rank: &mut Rank,
     plan: &ExchangePlan,
     self_payload: Option<&[T]>,
-    mut pack: impl FnMut(usize, &mut PackBuf<'_, T>),
-    mut place: impl FnMut(usize, Placed<'_, T>),
+    pack: impl FnMut(usize, &mut PackBuf<'_, T>),
+    place: impl FnMut(usize, Placed<'_, T>),
 ) -> ExchangeStats {
+    let (tag, send_stats, self_values, deliver_self) =
+        start_exchange(rank, plan, self_payload, pack);
+    let recv_stats = finish_exchange(rank, plan, tag, self_values, deliver_self, place);
+    send_stats.merged(&recv_stats)
+}
+
+/// Start phase: claim the next exchange epoch, pack and post one pooled message per
+/// planned destination, and stage the local portion (already decoded into pooled
+/// scratch, so finishing needs no further pack state).  Returns everything the finish
+/// phase needs: the epoch tag, the send-side stats, and the staged self payload.
+///
+/// `self_payload` is the fast path for the slice-backed entry points: when the caller
+/// already holds the self elements as a slice, staging is one bulk copy into scratch
+/// instead of an encode/decode round-trip through a staging buffer.  `alltoallv_with`
+/// and `start_alltoallv_with` pass `None` (their pack closure is the only data source).
+fn start_exchange<T: Element>(
+    rank: &mut Rank,
+    plan: &ExchangePlan,
+    self_payload: Option<&[T]>,
+    mut pack: impl FnMut(usize, &mut PackBuf<'_, T>),
+) -> (u64, ExchangeStats, Vec<T>, bool) {
     assert_eq!(
         plan.nprocs(),
         rank.nprocs(),
@@ -481,13 +724,9 @@ fn run_exchange<T: Element>(
     let me = plan.my_rank();
     let tag = rank.next_exchange_tag();
     let mut stats = ExchangeStats::default();
-    // The decode-scratch free list for `T` is detached for the whole execution, so the
-    // per-message take/recycle below is a plain `Vec` pop/push — the typed-pool map is
-    // consulted twice per exchange, not twice per message.
-    let mut scratch_pool = rank.detach_decode_scratch::<T>();
 
     // Send phase: one message per planned destination, empty payloads included when the
-    // plan says so (dense mode).  The self payload is left for local delivery.
+    // plan says so (dense mode).  The self payload is staged for local delivery below.
     for (p, declared) in plan.sends.iter().enumerate() {
         let Some(declared) = declared else { continue };
         if p == me {
@@ -507,11 +746,14 @@ fn run_exchange<T: Element>(
         rank.send_packed(p, tag, raw);
     }
 
-    // Local delivery: same placement path, no communication and no cost-model charge.
-    // Slice-backed callers hand the self payload over with one bulk copy into scratch;
-    // pack-closure callers stage it in a pooled buffer that goes straight back to the
-    // pool.
+    // Stage the local portion: decoded into pooled scratch now (while the pack source is
+    // at hand), delivered through the placement path at finish, with no communication
+    // and no cost-model charge.  Slice-backed callers stage with one bulk copy;
+    // pack-closure callers encode into a pooled buffer that goes straight back.
+    let mut self_values: Vec<T> = Vec::new();
+    let mut deliver_self = false;
     if let Some(declared) = plan.sends[me] {
+        let mut scratch_pool = rank.detach_decode_scratch::<T>();
         if let Some(payload) = self_payload {
             assert_eq!(
                 payload.len(),
@@ -521,11 +763,8 @@ fn run_exchange<T: Element>(
             if !payload.is_empty() {
                 let mut scratch = rank.take_decode_scratch(&mut scratch_pool, payload.len());
                 scratch.extend_from_slice(payload);
-                let mut taken = false;
-                place(me, Placed::new(&mut scratch, &mut taken));
-                if !taken {
-                    rank.recycle_decode_scratch(&mut scratch_pool, scratch);
-                }
+                self_values = scratch;
+                deliver_self = true;
             }
         } else {
             let mut raw = rank.take_pack_buffer(declared * T::SIZE);
@@ -539,20 +778,45 @@ fn run_exchange<T: Element>(
             if !raw.is_empty() {
                 let mut scratch = rank.take_decode_scratch(&mut scratch_pool, declared);
                 T::read_le_into(&raw, &mut scratch);
-                let mut taken = false;
-                place(me, Placed::new(&mut scratch, &mut taken));
-                if !taken {
-                    rank.recycle_decode_scratch(&mut scratch_pool, scratch);
-                }
+                self_values = scratch;
+                deliver_self = true;
             }
             rank.recycle_pack_buffer(raw);
         }
+        rank.reattach_decode_scratch(scratch_pool);
+    }
+    (tag, stats, self_values, deliver_self)
+}
+
+/// Finish phase: deliver the staged local portion, then consume exactly the planned
+/// number of incoming messages for this epoch, from whichever source is ready first —
+/// each decoded through the bulk codec into pooled typed scratch and placed as a
+/// borrowed [`Placed`] view (both the payload byte buffer and, unless the closure took
+/// ownership, the scratch go back to their pools).
+fn finish_exchange<T: Element>(
+    rank: &mut Rank,
+    plan: &ExchangePlan,
+    tag: u64,
+    mut self_values: Vec<T>,
+    deliver_self: bool,
+    mut place: impl FnMut(usize, Placed<'_, T>),
+) -> ExchangeStats {
+    let me = plan.my_rank();
+    let epoch = epoch_of_tag(tag);
+    let mut stats = ExchangeStats::default();
+    // The decode-scratch free list for `T` is detached for the whole drain, so the
+    // per-message take/recycle below is a plain `Vec` pop/push — the typed-pool map is
+    // consulted twice per finish, not twice per message.
+    let mut scratch_pool = rank.detach_decode_scratch::<T>();
+
+    if deliver_self {
+        let mut taken = false;
+        place(me, Placed::new(&mut self_values, &mut taken));
+        if !taken {
+            rank.recycle_decode_scratch(&mut scratch_pool, self_values);
+        }
     }
 
-    // Receive phase: consume exactly the number of messages the plan promises, from
-    // whichever source is ready first.  Each payload is decoded through the bulk codec
-    // into pooled scratch; the byte buffer is recycled immediately and the scratch after
-    // placement (unless the closure took ownership).
     for _ in 0..plan.recv_message_count() {
         let (src, payload) = rank.recv_raw_any(tag);
         assert!(
@@ -562,11 +826,20 @@ fn run_exchange<T: Element>(
         let count = payload.len() / T::SIZE;
         match plan.recvs[src] {
             RecvSpec::None => {
-                panic!("rank {me}: unexpected exchange message from rank {src} ({count} elements)")
+                panic!(
+                    "rank {me}: unexpected exchange message from rank {src} ({count} elements) \
+                     in exchange epoch {epoch}, whose plan expects nothing from that source \
+                     (this rank has started {} epochs — a crossed or non-collective exchange \
+                     sequence)",
+                    rank.exchange_epochs_started()
+                )
             }
             RecvSpec::Any => {}
             RecvSpec::Exact(n) => {
-                assert_eq!(count, n, "rank {me}: expected {n} elements from rank {src}")
+                assert_eq!(
+                    count, n,
+                    "rank {me}: expected {n} elements from rank {src} in exchange epoch {epoch}"
+                )
             }
         }
         rank.charge_compute(count as f64 * PACK_UNPACK_COST_UNITS);
@@ -880,5 +1153,211 @@ mod tests {
             let sends: Vec<Vec<u8>> = vec![Vec::new(), vec![1]];
             alltoallv(rank, &plan, &sends, |_s, _v| {});
         });
+    }
+
+    #[test]
+    fn split_phase_matches_blocking_and_allows_compute_in_flight() {
+        // Ring exchange executed split-phase: sends posted, local "compute" runs, then
+        // the receives are drained.  The results and stats must match the blocking form.
+        let out = run(MachineConfig::new(4), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            let next = (me + 1) % n;
+            let prev = (me + n - 1) % n;
+            let mut send_counts = vec![0; n];
+            send_counts[next] = 3;
+            let mut recv_counts = vec![0; n];
+            recv_counts[prev] = 3;
+            let plan = ExchangePlan::sparse(me, send_counts, recv_counts);
+            let mut sends: Vec<Vec<u32>> = vec![Vec::new(); n];
+            sends[next] = vec![me as u32; 3];
+            let handle = start_alltoallv(rank, plan.clone(), &sends);
+            assert_eq!(handle.send_stats().msgs_sent, 1);
+            // Compute while the exchange is in flight.
+            rank.charge_compute(10.0);
+            let mut got: Vec<(usize, Vec<u32>)> = Vec::new();
+            let split_stats = handle.finish(rank, |src, v| got.push((src, v.into_vec())));
+
+            let mut blocking: Vec<(usize, Vec<u32>)> = Vec::new();
+            let blocking_stats = alltoallv(rank, &plan, &sends, |src, v| {
+                blocking.push((src, v.into_vec()))
+            });
+            (got, split_stats, blocking, blocking_stats)
+        });
+        for (me, (got, split_stats, blocking, blocking_stats)) in out.results.iter().enumerate() {
+            let prev = (me + 3) % 4;
+            assert_eq!(got, &vec![(prev, vec![prev as u32; 3])]);
+            assert_eq!(got, blocking);
+            assert_eq!(split_stats, blocking_stats);
+        }
+    }
+
+    #[test]
+    fn two_in_flight_exchanges_do_not_cross() {
+        // Start two exchanges back to back, finish them out of band: epoch tagging must
+        // route each message to the exchange that started it, even with both in flight.
+        let out = run(MachineConfig::new(3), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            let plan1 = ExchangePlan::dense(me, vec![1; n]);
+            let plan2 = ExchangePlan::dense(me, vec![2; n]);
+            let h1 = start_alltoallv_with(rank, plan1, |_p, buf: &mut PackBuf<'_, u64>| {
+                buf.push(100 + me as u64)
+            });
+            let h2 = start_alltoallv_with(rank, plan2, |_p, buf: &mut PackBuf<'_, u64>| {
+                buf.extend_from_slice(&[200 + me as u64, 300 + me as u64])
+            });
+            assert_eq!(h2.epoch(), h1.epoch() + 1);
+            // Finish in reverse start order: matching is per-epoch, not FIFO.
+            let mut second: Vec<(usize, Vec<u64>)> = Vec::new();
+            h2.finish(rank, |src, v| second.push((src, v.into_vec())));
+            let mut first: Vec<(usize, Vec<u64>)> = Vec::new();
+            h1.finish(rank, |src, v| first.push((src, v.into_vec())));
+            first.sort_unstable();
+            second.sort_unstable();
+            (first, second)
+        });
+        for (me, (first, second)) in out.results.iter().enumerate() {
+            let expected_first: Vec<(usize, Vec<u64>)> =
+                (0..3).map(|src| (src, vec![100 + src as u64])).collect();
+            let expected_second: Vec<(usize, Vec<u64>)> = (0..3)
+                .map(|src| (src, vec![200 + src as u64, 300 + src as u64]))
+                .collect();
+            assert_eq!(first, &expected_first, "rank {me}: first exchange crossed");
+            assert_eq!(
+                second, &expected_second,
+                "rank {me}: second exchange crossed"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_plan_scales_counts_but_not_messages() {
+        let plan = ExchangePlan::sparse(0, vec![0, 2, 0, 5], vec![0, 0, 3, 0]);
+        let fused = plan.fused(3);
+        assert_eq!(fused.send_counts(), vec![0, 6, 0, 15]);
+        assert_eq!(fused.recv_counts(), vec![0, 0, 9, 0]);
+        assert_eq!(fused.send_message_count(), plan.send_message_count());
+        assert_eq!(fused.recv_message_count(), plan.recv_message_count());
+        assert_eq!(plan.fused(1), plan);
+    }
+
+    #[test]
+    fn alltoallv_multi_moves_lanes_in_one_message() {
+        // Each rank sends 2 logical elements to every peer, fused over 3 lanes: one
+        // message per pair carrying x0 y0 z0 x1 y1 z1, 1/3 the messages of three
+        // single-lane exchanges of the same data.
+        let out = run(MachineConfig::new(3), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            let plan = ExchangePlan::sparse(
+                me,
+                (0..n).map(|p| if p == me { 0 } else { 2 }).collect(),
+                (0..n).map(|p| if p == me { 0 } else { 2 }).collect(),
+            );
+            let mut got: Vec<(usize, Vec<f64>)> = Vec::new();
+            let stats = alltoallv_multi(
+                rank,
+                &plan,
+                3,
+                |_p, buf: &mut PackBuf<'_, f64>| {
+                    for k in 0..2 {
+                        for lane in 0..3 {
+                            buf.push((me * 100 + k * 10 + lane) as f64);
+                        }
+                    }
+                },
+                |src, v| got.push((src, v.into_vec())),
+            );
+            got.sort_by_key(|(src, _)| *src);
+            (got, stats)
+        });
+        for (me, (got, stats)) in out.results.iter().enumerate() {
+            assert_eq!(stats.msgs_sent, 2, "one fused message per peer");
+            assert_eq!(stats.bytes_sent, 2 * 6 * 8, "six lanes-worth per peer");
+            for (src, values) in got {
+                assert_ne!(*src, me);
+                let expected: Vec<f64> = (0..2)
+                    .flat_map(|k| (0..3).map(move |lane| (src * 100 + k * 10 + lane) as f64))
+                    .collect();
+                assert_eq!(values, &expected, "lane interleaving preserved");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in exchange epoch 0")]
+    fn unexpected_message_panic_names_the_epochs() {
+        // Rank 1 sends to rank 0, but rank 0's plan says nothing comes from rank 1 (it
+        // waits on rank 2, which never sends): the non-collective sequence must be
+        // diagnosed with the epoch in the panic message.
+        let _ = run(MachineConfig::new(3), |rank| {
+            let me = rank.rank();
+            match me {
+                0 => {
+                    let plan = ExchangePlan::from_parts(
+                        0,
+                        vec![None; 3],
+                        vec![RecvSpec::None, RecvSpec::None, RecvSpec::Exact(1)],
+                    );
+                    alltoallv_with(rank, &plan, |_p, _b: &mut PackBuf<'_, u8>| {}, |_s, _v| {});
+                }
+                1 => {
+                    let plan = ExchangePlan::sparse(1, vec![1, 0, 0], vec![0; 3]);
+                    alltoallv_with(
+                        rank,
+                        &plan,
+                        |_p, b: &mut PackBuf<'_, u8>| b.push(7),
+                        |_s, _v| {},
+                    );
+                }
+                _ => {}
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped without finish")]
+    fn dropping_an_unfinished_handle_panics() {
+        let _ = run(MachineConfig::new(2), |rank| {
+            let me = rank.rank();
+            let plan = ExchangePlan::sparse(me, vec![0; 2], vec![0; 2]);
+            let handle: ExchangeHandle<u8> = start_alltoallv_with(rank, plan, |_p, _b| {});
+            drop(handle);
+        });
+    }
+
+    #[test]
+    fn split_phase_steady_loop_stays_allocation_free() {
+        // A start/compute/finish loop must reach the same zero-allocation fixed point as
+        // the blocking loops: the staged self scratch and every receive scratch are
+        // recycled at finish.
+        let out = run(MachineConfig::new(3), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            let round = |rank: &mut Rank| {
+                let plan = ExchangePlan::dense(me, vec![2; n]);
+                let handle = start_alltoallv_with(rank, plan, |p, buf: &mut PackBuf<'_, u64>| {
+                    buf.extend_from_slice(&[me as u64, p as u64])
+                });
+                rank.charge_compute(1.0);
+                handle.finish(rank, |_src, v| assert_eq!(v.len(), 2));
+            };
+            round(rank);
+            let warm = rank.pool_stats();
+            for _ in 0..8 {
+                round(rank);
+            }
+            rank.pool_stats().since(&warm)
+        });
+        for delta in &out.results {
+            assert_eq!(delta.allocations, 0, "split-phase drew a fresh pack buffer");
+            assert_eq!(
+                delta.decode_allocations, 0,
+                "split-phase drew fresh decode scratch"
+            );
+            assert!(delta.reuses > 0);
+            assert!(delta.decode_reuses > 0);
+        }
     }
 }

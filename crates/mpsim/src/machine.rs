@@ -283,12 +283,21 @@ impl Rank {
     }
 
     /// The message tag for the next exchange-engine execution.  Exchanges are collective
-    /// and every rank executes them in the same order, so the per-rank sequence number is
-    /// a machine-wide identifier for one exchange episode.
+    /// and every rank *starts* them in the same order, so the per-rank sequence number is
+    /// a machine-wide identifier for one exchange episode (its *epoch*) — including
+    /// split-phase exchanges whose finishes interleave with later starts.
     pub(crate) fn next_exchange_tag(&mut self) -> u64 {
-        let tag = crate::collectives::RESERVED_TAG_BASE + (1 << 20) + self.exchange_seq;
+        let tag = crate::exchange::EXCHANGE_TAG_BASE + self.exchange_seq;
         self.exchange_seq += 1;
         tag
+    }
+
+    /// Number of exchange-engine epochs this rank has started (blocking executions and
+    /// split-phase starts alike).  Reported in the engine's mismatch diagnostics so a
+    /// crossed or non-collective exchange sequence names both the epoch being drained
+    /// and how far this rank has run ahead.
+    pub fn exchange_epochs_started(&self) -> u64 {
+        self.exchange_seq
     }
 }
 

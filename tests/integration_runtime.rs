@@ -179,7 +179,13 @@ fn translation_table_storage_modes_agree() {
         let mut dis = TranslationTable::distributed_from_map(rank, &local_map, &map_dist).unwrap();
         let mut paged = TranslationTable::paged_from_map(rank, &local_map, &map_dist, 16).unwrap();
         let queries: Vec<usize> = (0..n).filter(|g| (g + rank.rank()) % 3 == 0).collect();
-        let from_rep: Vec<Loc> = queries.iter().map(|&g| rep.lookup_local(g)).collect();
+        let from_rep: Vec<Loc> = queries
+            .iter()
+            .map(|&g| {
+                rep.lookup_local(g)
+                    .expect("replicated table answers locally")
+            })
+            .collect();
         let from_dis = dis.lookup(rank, &queries);
         let from_paged = paged.lookup(rank, &queries);
         (from_rep == from_dis, from_rep == from_paged)
