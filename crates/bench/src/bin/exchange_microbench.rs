@@ -1,15 +1,21 @@
 //! Steady-state microbenchmarks of the unified exchange engine.
 //!
-//! Runs the three engine-shaped loops of `chaos_bench::microbench` (CHARMM
-//! gather/scatter, DSMC append, CHARMM remap) on an 8-rank simulated machine, sweeps the
-//! gather/scatter and append shapes over machine sizes (P = 2–32) and payload element
-//! sizes (8–64 bytes), and prints a summary.  With `--json [PATH]`, also writes the
-//! machine-readable report (`BENCH_exchange.json` by default; schema
-//! `chaos-bench/exchange/v2` in `BENCHMARKS.md`).  With `--check`, exits non-zero if any
-//! loop violates the pinned steady-state invariant — zero pack-buffer allocations after
-//! warm-up everywhere, zero decode-scratch allocations for every borrow-only loop — which
-//! is how CI turns an allocation regression into a failed build.
+//! Runs the engine-shaped loops of `chaos_bench::microbench` (CHARMM gather/scatter,
+//! DSMC append, CHARMM remap) on an 8-rank simulated machine, sweeps the gather/scatter
+//! and append shapes over machine sizes (P = 2–64) and payload element sizes (8–64
+//! bytes), runs the collective scaling sweep of `chaos_bench::collective` (all-gather,
+//! all-reduce, sparse negotiation and hierarchical monitoring at P = 32–1024), and
+//! prints a summary.  With `--json [PATH]`, also writes the machine-readable report
+//! (`BENCH_exchange.json` by default; schema `chaos-bench/exchange/v3` in
+//! `BENCHMARKS.md`).  With `--check`, exits non-zero if any loop violates a pinned
+//! invariant:
+//!
+//! * zero pack-buffer allocations after warm-up everywhere, zero decode-scratch
+//!   allocations for every borrow-only loop (the steady-state gate);
+//! * every collective within its log-depth message budget, and the O(1)-payload
+//!   collectives' modeled time at P = 1024 within 2.5x of P = 32 (the scaling gate).
 
+use chaos_bench::collective::{collective_scaling_violations, collective_sweep};
 use chaos_bench::microbench::{
     all_microbenches, element_size_sweep, exchange_report, rank_sweep, steady_state_violations,
     MicrobenchConfig,
@@ -45,9 +51,14 @@ fn main() {
     for r in &elems {
         println!("{}", r.summary_line());
     }
+    println!("collective sweep (log-depth scaling, P = 32-1024):");
+    let collectives = collective_sweep();
+    for r in &collectives {
+        println!("{}", r.summary_line());
+    }
 
     if let Some(path) = json_path {
-        let doc = exchange_report(&benches, &ranks, &elems);
+        let doc = exchange_report(&benches, &ranks, &elems, &collectives);
         write_json_file(&path, &doc).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
@@ -62,15 +73,17 @@ fn main() {
             .chain(&elems)
             .cloned()
             .collect();
-        let violations = steady_state_violations(&all);
+        let mut violations = steady_state_violations(&all);
+        violations.extend(collective_scaling_violations(&collectives));
         if violations.is_empty() {
             println!(
-                "steady-state check passed: 0 allocations after warm-up, both directions, \
-                 across {} loops",
-                all.len()
+                "checks passed: 0 allocations after warm-up across {} loops; \
+                 {} collective points within the log-depth message and time budgets",
+                all.len(),
+                collectives.len()
             );
         } else {
-            eprintln!("steady-state allocation regression:");
+            eprintln!("benchmark invariant regression:");
             for v in &violations {
                 eprintln!("  {v}");
             }

@@ -27,12 +27,14 @@
 //!   CI can gate on two runs being byte-identical).
 
 pub mod adapt;
+pub mod collective;
 pub mod microbench;
 pub mod report;
 pub mod tables;
 pub mod workloads;
 
 pub use adapt::{AdaptEntry, RampParams};
+pub use collective::{CollectiveResult, COLLECTIVE_SWEEP_POINTS};
 pub use microbench::{MicrobenchConfig, MicrobenchResult};
 pub use report::Json;
 pub use tables::{Scale, TableOutput};

@@ -30,9 +30,10 @@
 //! `exchange_microbench --check` in CI, and reported in `BENCH_exchange.json`.
 //!
 //! Two sweeps extend the fixed 8-rank loops the way the paper's tables sweep processor
-//! counts: [`rank_sweep`] runs the gather/scatter and append shapes at P = 2, 4, 8, 16
-//! and 32 ranks, and [`element_size_sweep`] runs them with 8-, 24- and 64-byte payload
-//! elements (exercising the bulk codec's chunked encode/decode paths).
+//! counts: [`rank_sweep`] runs the gather/scatter and append shapes at P = 2–64 ranks,
+//! and [`element_size_sweep`] runs them with 8-, 24- and 64-byte payload elements
+//! (exercising the bulk codec's chunked encode/decode paths).  The collectives scale
+//! further — [`crate::collective`] sweeps them to P = 1024.
 
 use std::time::Instant;
 
@@ -568,10 +569,12 @@ where
     })
 }
 
-/// Machine sizes of the rank sweep — the paper's tables sweep processor counts the same
-/// way (its iPSC/860 runs go up to 128 nodes; 32 simulated ranks is where host threads
-/// stop telling us anything new).
-pub const RANK_SWEEP_POINTS: &[usize] = &[2, 4, 8, 16, 32];
+/// Machine sizes of the application-shaped rank sweep — the paper's tables sweep
+/// processor counts the same way (its iPSC/860 runs go up to 128 nodes).  These loops'
+/// message counts grow with P², so the host-thread simulation stops at 64 ranks; the
+/// machine itself scales to P = 1024 through the O(log P)-per-rank collective sweep
+/// ([`crate::collective`]), which is where the large-P curves live.
+pub const RANK_SWEEP_POINTS: &[usize] = &[2, 4, 8, 16, 32, 64];
 
 /// Run the gather/scatter and append shapes at every machine size in
 /// [`RANK_SWEEP_POINTS`], holding the global problem size fixed (strong scaling, the
@@ -643,16 +646,19 @@ pub fn steady_state_violations(results: &[MicrobenchResult]) -> Vec<String> {
 }
 
 /// Render the benchmark results as the `BENCH_exchange.json` document
-/// (schema `chaos-bench/exchange/v2`, documented in `BENCHMARKS.md`).
+/// (schema `chaos-bench/exchange/v3`, documented in `BENCHMARKS.md`).  v3 adds the
+/// `collective_sweep` section ([`crate::collective`]): per-collective modeled time and
+/// per-rank message counts over machine sizes up to P = 1024.
 pub fn exchange_report(
     benches: &[MicrobenchResult],
     ranks: &[MicrobenchResult],
     elems: &[MicrobenchResult],
+    collectives: &[crate::collective::CollectiveResult],
 ) -> Json {
     let arr =
         |rs: &[MicrobenchResult]| Json::Arr(rs.iter().map(MicrobenchResult::to_json).collect());
     Json::obj(vec![
-        ("schema", Json::str("chaos-bench/exchange/v2")),
+        ("schema", Json::str("chaos-bench/exchange/v3")),
         (
             "generated_by",
             Json::str("cargo run --release -p chaos-bench --bin exchange_microbench -- --json"),
@@ -660,6 +666,10 @@ pub fn exchange_report(
         ("benches", arr(benches)),
         ("rank_sweep", arr(ranks)),
         ("element_size_sweep", arr(elems)),
+        (
+            "collective_sweep",
+            Json::Arr(collectives.iter().map(|c| c.to_json()).collect()),
+        ),
     ])
 }
 
@@ -794,13 +804,17 @@ mod tests {
     fn report_document_carries_every_section() {
         let benches = vec![gather_scatter_steady(&tiny()), remap_steady(&tiny())];
         let sweep = vec![scatter_append_steady(&tiny())];
-        let doc = exchange_report(&benches, &sweep, &[]);
+        let collectives = crate::collective::collective_sweep_at(&[4]);
+        let doc = exchange_report(&benches, &sweep, &[], &collectives);
         let text = doc.render_pretty();
-        assert!(text.contains("\"schema\": \"chaos-bench/exchange/v2\""));
+        assert!(text.contains("\"schema\": \"chaos-bench/exchange/v3\""));
         assert!(text.contains("\"gather_scatter_steady\""));
         assert!(text.contains("\"remap_steady\""));
         assert!(text.contains("\"rank_sweep\""));
         assert!(text.contains("\"element_size_sweep\": []"));
+        assert!(text.contains("\"collective_sweep\""));
+        assert!(text.contains("\"all_reduce\""));
+        assert!(text.contains("\"msgs_per_rank_iter\""));
         assert!(text.contains("\"steady_allocations\": 0"));
         assert!(text.contains("\"steady_decode_allocations\": 0"));
         assert!(text.contains("\"receive_owned\": true"));

@@ -153,6 +153,7 @@ pub fn table1_charmm_scaling(scale: &Scale) -> TableOutput {
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
             adapt_policy: None,
+            monitor_group: None,
         };
         let out = run(MachineConfig::new(p), move |rank| {
             let system = MolecularSystem::build(&sys_cfg);
@@ -200,6 +201,7 @@ pub fn table2_charmm_preproc(scale: &Scale) -> TableOutput {
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
             adapt_policy: None,
+            monitor_group: None,
         };
         let out = run(MachineConfig::new(p), move |rank| {
             let system = MolecularSystem::build(&sys_cfg);
@@ -252,6 +254,7 @@ pub fn table3_schedule_merging(scale: &Scale) -> TableOutput {
                 schedule_mode: mode,
                 repartition_interval: None,
                 adapt_policy: None,
+                monitor_group: None,
             };
             let out = run(MachineConfig::new(p), move |rank| {
                 let system = MolecularSystem::build(&sys_cfg);
@@ -297,6 +300,7 @@ pub fn table4_lightweight(scale: &Scale) -> TableOutput {
                     remap: RemapStrategy::Static,
                     remap_interval: 1_000_000,
                     policy: None,
+                    monitor_group: None,
                     seed: 7,
                 };
                 let out = run(MachineConfig::new(p), move |rank| {
@@ -362,6 +366,7 @@ pub fn table5_remapping(scale: &Scale) -> TableOutput {
                 remap: strategy,
                 remap_interval: scale.dsmc3d_remap_interval,
                 policy: None,
+                monitor_group: None,
                 seed: 11,
             };
             let out = run(MachineConfig::new(p), move |rank| {

@@ -35,7 +35,7 @@
 
 use std::collections::VecDeque;
 
-use mpsim::{Rank, TimeSnapshot};
+use mpsim::{GroupMap, Rank, TimeSnapshot};
 
 use crate::loadbalance::load_balance_index;
 
@@ -173,6 +173,37 @@ impl LoadMonitor {
     }
 }
 
+/// How the controller's per-step measurement collective is organised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorTopology {
+    /// Every rank all-gathers the full per-rank sample vector and evaluates the policy
+    /// itself.  `O(log P)` messages per rank per step (the gather is a dissemination
+    /// collective), with full-vector payloads and P redundant policy evaluations.
+    Flat,
+    /// Group-leader monitoring: samples are gathered up a binomial tree to one leader
+    /// per `group` consecutive ranks, the leaders exchange group vectors and evaluate
+    /// the policy on the full rank-ordered vector, and the decision is broadcast back
+    /// down — `O(log P)` messages per step with the near-square split, and the policy
+    /// runs once per *group* instead of once per rank.  Decisions are bit-identical to
+    /// [`MonitorTopology::Flat`]: leaders see the same rank-ordered vector a flat
+    /// gather would deliver, and member ranks replay the leader's decision through the
+    /// same state transitions.
+    Hierarchical {
+        /// Ranks per leader group; [`MonitorTopology::square_group`] picks `≈ sqrt(P)`.
+        group: usize,
+    },
+}
+
+impl MonitorTopology {
+    /// The near-square hierarchical split for a machine of `nprocs` ranks
+    /// (`group ≈ sqrt(P)`), the conventional default for two-level monitoring.
+    pub fn square_group(nprocs: usize) -> Self {
+        MonitorTopology::Hierarchical {
+            group: GroupMap::square(nprocs).group_size(),
+        }
+    }
+}
+
 /// One collective remap/keep decision.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RemapDecision {
@@ -187,6 +218,7 @@ pub struct RemapDecision {
 #[derive(Debug, Clone)]
 pub struct RemapController {
     policy: RemapPolicy,
+    topology: MonitorTopology,
     monitor: LoadMonitor,
     step: usize,
     last_remap_step: usize,
@@ -208,6 +240,7 @@ impl RemapController {
     pub fn with_window(policy: RemapPolicy, window: usize) -> Self {
         RemapController {
             policy,
+            topology: MonitorTopology::Flat,
             monitor: LoadMonitor::new(window),
             step: 0,
             last_remap_step: 0,
@@ -220,19 +253,65 @@ impl RemapController {
         }
     }
 
+    /// Choose how the per-step measurement collective is organised (builder-style).
+    /// Defaults to [`MonitorTopology::Flat`].  Must be identical on every rank, and must
+    /// not change mid-run: member ranks of the hierarchical mode carry reduced monitor
+    /// state that only a leader-issued decision stream keeps consistent.
+    pub fn with_topology(mut self, topology: MonitorTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The monitoring topology this controller observes through.
+    pub fn topology(&self) -> MonitorTopology {
+        self.topology
+    }
+
     /// Collective: sample the compute time each rank accumulated since its `phase_start`
-    /// snapshot (one all-gather) and decide.  Every rank receives the same decision.
+    /// snapshot and decide.  Every rank receives the same decision.
     pub fn observe_phase(&mut self, rank: &mut Rank, phase_start: &TimeSnapshot) -> RemapDecision {
-        let times = rank.all_gather_compute_since(phase_start);
-        self.decide(&times)
+        let sample = rank.modeled().since(phase_start).compute_us;
+        self.observe_sample(rank, sample)
     }
 
     /// Collective: like [`RemapController::observe_phase`], but with an explicit per-rank
     /// sample (modeled microseconds of compute) — for callers whose measured phase is not
-    /// the tail of the modeled-time stream.
+    /// the tail of the modeled-time stream.  Routed through the configured
+    /// [`MonitorTopology`]; the decision is identical either way.
     pub fn observe_sample(&mut self, rank: &mut Rank, local_compute_us: f64) -> RemapDecision {
-        let times = rank.all_gather_one(local_compute_us);
-        self.decide(&times)
+        match self.topology {
+            MonitorTopology::Flat => {
+                let times = rank.all_gather_one(local_compute_us);
+                self.decide(&times)
+            }
+            MonitorTopology::Hierarchical { group } => {
+                let groups = GroupMap::new(rank.nprocs(), group);
+                if groups.is_leader(rank.rank()) {
+                    // The decision closure runs here, on the full rank-ordered vector —
+                    // the same bytes a flat gather would deliver — so every leader's
+                    // controller walks the exact state path of a flat controller.
+                    let enc = rank.hierarchical_sample::<2>(&groups, local_compute_us, |v| {
+                        let d = self.decide(v);
+                        [if d.remap { 1.0 } else { 0.0 }, d.lb_index]
+                    });
+                    RemapDecision {
+                        remap: enc[0] != 0.0,
+                        lb_index: enc[1],
+                    }
+                } else {
+                    let enc = rank.hierarchical_sample::<2>(&groups, local_compute_us, |_| {
+                        unreachable!("only group leaders evaluate the policy")
+                    });
+                    let remap = enc[0] != 0.0;
+                    let lb = enc[1];
+                    self.apply_leader_decision(remap, lb);
+                    RemapDecision {
+                        remap,
+                        lb_index: lb,
+                    }
+                }
+            }
+        }
     }
 
     /// Non-collective: advance the controller one step *without* a measurement.  Only the
@@ -256,6 +335,29 @@ impl RemapController {
     /// recorded trajectories.
     pub fn decide(&mut self, per_rank_us: &[f64]) -> RemapDecision {
         let lb = self.monitor.record(per_rank_us);
+        let remap = self.evaluate(lb);
+        self.commit(remap);
+        RemapDecision {
+            remap,
+            lb_index: lb,
+        }
+    }
+
+    /// Replay a leader's broadcast decision on a member rank of the hierarchical
+    /// topology: push the step's index onto the trajectory, walk the same lb-driven
+    /// state transitions the leader walked (Threshold arming and baselines depend only
+    /// on the index), and commit the leader's verdict.  The member's gain window stays
+    /// empty — it never evaluates the accumulating CostBenefit policy itself; verdicts
+    /// always arrive from a leader.
+    fn apply_leader_decision(&mut self, remap: bool, lb: f64) {
+        self.monitor.lb_history.push(lb);
+        let _ = self.evaluate(lb);
+        self.commit(remap);
+    }
+
+    /// The policy evaluation on one step's load-balance index, including the lb-driven
+    /// state transitions (post-remap baseline capture, Threshold arming).
+    fn evaluate(&mut self, lb: f64) -> bool {
         // The first finite reading after a remap (the controller's own or an external
         // one) is the baseline the Threshold policy measures renewed drift against.
         if self.awaiting_baseline && lb.is_finite() {
@@ -263,7 +365,7 @@ impl RemapController {
             self.awaiting_baseline = false;
         }
         let since = self.step - self.last_remap_step;
-        let remap = match &self.policy {
+        match &self.policy {
             RemapPolicy::Interval { every } => *every > 0 && since >= *every,
             RemapPolicy::Threshold {
                 lb_index,
@@ -291,11 +393,6 @@ impl RemapController {
                 let cost = self.last_remap_cost_us.unwrap_or(*assumed_cost_us);
                 self.monitor.cum_gain_us() > cost
             }
-        };
-        self.commit(remap);
-        RemapDecision {
-            remap,
-            lb_index: lb,
         }
     }
 
@@ -651,6 +748,63 @@ mod tests {
         assert_eq!(m.mean_gain_us(), 0.0);
         assert_eq!(m.cum_gain_us(), 0.0);
         assert_eq!(m.lb_history().len(), 10, "trajectory survives a reset");
+    }
+
+    /// Run a drifting workload (rank 0's load ramps) through the controller at machine
+    /// size `p` with the given monitoring topology; returns every rank's decision
+    /// stream, LB trajectory and remap count.
+    fn drift_run(p: usize, topology: MonitorTopology) -> Vec<(Vec<bool>, Vec<f64>, usize)> {
+        let out = run(MachineConfig::new(p), move |rank| {
+            let mut ctrl = RemapController::new(RemapPolicy::CostBenefit {
+                assumed_cost_us: 120.0,
+            })
+            .with_topology(topology);
+            let mut decisions = Vec::new();
+            for step in 0..20 {
+                let units = if rank.rank() == 0 {
+                    10.0 + step as f64 * 3.0
+                } else {
+                    10.0
+                };
+                decisions.push(ctrl.observe_sample(rank, units).remap);
+            }
+            (decisions, ctrl.lb_trajectory().to_vec(), ctrl.remap_count())
+        });
+        out.results
+    }
+
+    #[test]
+    fn hierarchical_monitoring_matches_flat_decisions() {
+        // The acceptance pin: group-leader monitoring must reproduce the flat
+        // controller's decision stream bit-exactly — same remap steps, same recorded
+        // trajectory, on every rank, at non-power-of-two sizes and ragged group splits.
+        for p in [3usize, 5, 9] {
+            let flat = drift_run(p, MonitorTopology::Flat);
+            for g in [1usize, 2, 4] {
+                let hier = drift_run(p, MonitorTopology::Hierarchical { group: g });
+                assert_eq!(flat, hier, "P={p} group={g}");
+            }
+            let square = drift_run(p, MonitorTopology::square_group(p));
+            assert_eq!(flat, square, "P={p} square split");
+            // The drift must actually fire at least once for the pin to mean anything.
+            assert!(flat[0].2 >= 1, "P={p}: ramp never triggered a remap");
+        }
+    }
+
+    #[test]
+    fn hierarchical_monitoring_message_budget() {
+        // One monitored step at P=16 with the square split: every rank stays within the
+        // O(log P) budget (ceil(log2 16) = 4, plus tree forwarding slack).
+        let out = run(MachineConfig::new(16), |rank| {
+            let mut ctrl = RemapController::new(RemapPolicy::Interval { every: 0 })
+                .with_topology(MonitorTopology::square_group(rank.nprocs()));
+            let s0 = rank.stats().msgs_sent;
+            ctrl.observe_sample(rank, 1.0);
+            rank.stats().msgs_sent - s0
+        });
+        for (r, sent) in out.results.iter().enumerate() {
+            assert!(*sent <= 6, "rank {r} sent {sent} messages in one step");
+        }
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub type Global = usize;
 /// A processor (rank) identifier.
 pub type ProcId = usize;
 
-pub use adapt::{LoadMonitor, RemapController, RemapDecision, RemapPolicy};
+pub use adapt::{LoadMonitor, MonitorTopology, RemapController, RemapDecision, RemapPolicy};
 pub use darray::{DistArray, LocalRef};
 pub use distribution::{BlockDist, CyclicDist, RegularDist};
 pub use error::ChaosError;
@@ -107,7 +107,9 @@ pub use translation::{Loc, TranslationTable};
 
 /// Commonly used items, re-exported for `use chaos::prelude::*`.
 pub mod prelude {
-    pub use crate::adapt::{LoadMonitor, RemapController, RemapDecision, RemapPolicy};
+    pub use crate::adapt::{
+        LoadMonitor, MonitorTopology, RemapController, RemapDecision, RemapPolicy,
+    };
     pub use crate::darray::{DistArray, LocalRef};
     pub use crate::distribution::{BlockDist, CyclicDist, RegularDist};
     pub use crate::executor::{

@@ -30,7 +30,7 @@
 //! The per-phase modeled times the paper reports in Tables 1, 2, 3 and 6 are accumulated
 //! in [`CharmmPhaseTimes`].
 
-use chaos::adapt::{RemapController, RemapPolicy};
+use chaos::adapt::{MonitorTopology, RemapController, RemapPolicy};
 use chaos::prelude::*;
 use mpsim::{ExchangeStats, Rank, TimeSnapshot};
 
@@ -81,6 +81,11 @@ pub struct ParallelConfig {
     /// fixed-interval experiment uses.  Composes with `repartition_interval` (either
     /// trigger repartitions).
     pub adapt_policy: Option<RemapPolicy>,
+    /// Monitoring topology for `adapt_policy` sampling: `None` uses the flat all-gather,
+    /// `Some(g)` reduces executor-time samples to group leaders of size-`g` groups
+    /// (O(log P) messages per step, reaching the same remap decisions as flat — see
+    /// [`chaos::adapt::MonitorTopology`]).  Ignored when `adapt_policy` is `None`.
+    pub monitor_group: Option<usize>,
 }
 
 impl ParallelConfig {
@@ -93,6 +98,7 @@ impl ParallelConfig {
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
             adapt_policy: None,
+            monitor_group: None,
         }
     }
 }
@@ -355,7 +361,13 @@ pub fn run_parallel(
     // Feedback-driven repartitioning (opt-in): the controller observes the executor phase
     // at the end of every step; a firing decision is honoured at the start of the next
     // step, where the full repartition + rebuild machinery already lives.
-    let mut controller = config.adapt_policy.clone().map(RemapController::new);
+    let mut controller = config.adapt_policy.clone().map(|policy| {
+        let ctrl = RemapController::new(policy);
+        match config.monitor_group {
+            Some(group) => ctrl.with_topology(MonitorTopology::Hierarchical { group }),
+            None => ctrl,
+        }
+    });
     let mut adaptive_due = false;
     let mut repartitions = 0usize;
 
@@ -897,6 +909,7 @@ mod tests {
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
             adapt_policy: None,
+            monitor_group: None,
         };
         let par = parallel_positions(4, config, 5);
         let seq = sequential_positions(8, 4, 5);
@@ -913,6 +926,7 @@ mod tests {
             schedule_mode: ScheduleMode::Multiple,
             repartition_interval: None,
             adapt_policy: None,
+            monitor_group: None,
         };
         let par = parallel_positions(3, config, 9);
         let seq = sequential_positions(6, 3, 9);
@@ -929,6 +943,7 @@ mod tests {
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: Some(4),
             adapt_policy: None,
+            monitor_group: None,
         };
         let par = parallel_positions(4, config, 13);
         let seq = sequential_positions(8, 4, 13);
@@ -951,6 +966,7 @@ mod tests {
                 hysteresis: 0.0,
                 patience: 0,
             }),
+            monitor_group: None,
         };
         let par = parallel_positions(4, config, 5);
         let seq = sequential_positions(8, 4, 5);
@@ -975,6 +991,7 @@ mod tests {
                 hysteresis: 0.0,
                 patience: 0,
             }),
+            monitor_group: None,
         };
         let out = run(MachineConfig::new(4), move |rank| {
             let system = MolecularSystem::build(&sys_cfg);
@@ -989,6 +1006,54 @@ mod tests {
             assert_eq!(traj, reference, "trajectory must be replicated");
             assert_eq!(reps, repartitions);
         }
+    }
+
+    #[test]
+    fn hierarchical_monitoring_matches_flat_repartitions() {
+        // Group-leader monitoring must fire the controller at exactly the same steps the
+        // flat all-gather does, and the physics must stay on the sequential trajectory.
+        // Trajectories are compared to relative 1e-9: the monitoring exchange charges
+        // pack/unpack compute, which shifts the f64 base the executor samples are
+        // measured against by a few ulps.
+        let make = |monitor_group: Option<usize>| ParallelConfig {
+            nsteps: 6,
+            list_update_interval: 3,
+            partitioner: PartitionerKind::Rcb,
+            schedule_mode: ScheduleMode::Merged,
+            repartition_interval: None,
+            adapt_policy: Some(chaos::adapt::RemapPolicy::Threshold {
+                lb_index: 1.01,
+                hysteresis: 0.0,
+                patience: 0,
+            }),
+            monitor_group,
+        };
+        let run_one = |cfg: ParallelConfig| {
+            let sys_cfg = SystemConfig::small(10);
+            let out = run(MachineConfig::new(6), move |rank| {
+                let system = MolecularSystem::build(&sys_cfg);
+                let stats = run_parallel(rank, &system, &cfg);
+                (stats.lb_trajectory, stats.repartitions)
+            });
+            out.results.into_iter().next().unwrap()
+        };
+        let (flat_traj, flat_reps) = run_one(make(None));
+        for group in [2, 3] {
+            let (traj, reps) = run_one(make(Some(group)));
+            assert_eq!(reps, flat_reps, "group {group}: repartition count diverged");
+            assert_eq!(traj.len(), flat_traj.len());
+            for (x, y) in flat_traj.iter().zip(&traj) {
+                assert!(
+                    (x - y).abs() <= 1e-9 * x.abs(),
+                    "group {group}: lb sample diverged: {x} vs {y}"
+                );
+            }
+        }
+        assert!(flat_reps > 0, "a 1.01 threshold must fire");
+        let par = parallel_positions(6, make(Some(2)), 5);
+        let seq = sequential_positions(6, 3, 5);
+        let dev = max_deviation(&par, &seq);
+        assert!(dev < 1e-6, "hierarchical run off trajectory by {dev}");
     }
 
     #[test]
@@ -1020,6 +1085,7 @@ mod tests {
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
             adapt_policy: None,
+            monitor_group: None,
         };
         let par = parallel_positions(1, config, 3);
         let seq = sequential_positions(5, 2, 3);
@@ -1074,6 +1140,7 @@ mod tests {
                 schedule_mode: mode,
                 repartition_interval: None,
                 adapt_policy: None,
+                monitor_group: None,
             };
             let cfg = sys_cfg.clone();
             let out = run(MachineConfig::new(4), move |rank| {
@@ -1106,6 +1173,7 @@ mod tests {
                 schedule_mode: mode,
                 repartition_interval: None,
                 adapt_policy: None,
+                monitor_group: None,
             };
             let cfg = sys_cfg.clone();
             let out = run(MachineConfig::new(4), move |rank| {
@@ -1136,6 +1204,7 @@ mod tests {
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
             adapt_policy: None,
+            monitor_group: None,
         };
         let out = run(MachineConfig::new(4), move |rank| {
             let system = MolecularSystem::build(&sys_cfg);

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 
-use chaos::adapt::{RemapController, RemapPolicy};
+use chaos::adapt::{MonitorTopology, RemapController, RemapPolicy};
 use chaos::prelude::*;
 use mpsim::{Rank, TimeSnapshot};
 
@@ -78,6 +78,12 @@ pub struct DsmcConfig {
     /// all-gather per step), and records the load-balance trajectory.  Ignored for
     /// [`RemapStrategy::Static`], which never remaps.
     pub policy: Option<RemapPolicy>,
+    /// Monitoring topology for measured policies: `None` runs the flat all-gather
+    /// (every rank sees every sample), `Some(g)` reduces samples hierarchically to
+    /// group leaders of size-`g` groups — O(log P) messages per monitored step instead
+    /// of O(log P) rounds carrying O(P) blocks — reaching the same remap decisions as
+    /// flat (see [`chaos::adapt::MonitorTopology`]).  Ignored without an explicit `policy`.
+    pub monitor_group: Option<usize>,
     /// Collision RNG seed (must match the sequential reference for comparisons).
     pub seed: u64,
 }
@@ -92,6 +98,7 @@ impl DsmcConfig {
             remap: RemapStrategy::Static,
             remap_interval: 40,
             policy: None,
+            monitor_group: None,
             seed,
         }
     }
@@ -188,8 +195,14 @@ pub fn run_parallel(
     // The feedback controller that decides when to remap.  Static runs without an explicit
     // policy skip the per-step sampling entirely (zero overhead, the pre-controller
     // behaviour); a Static run *with* a policy samples the trajectory but never remaps.
-    let mut controller = (config.policy.is_some() || config.remap != RemapStrategy::Static)
-        .then(|| RemapController::new(config.effective_policy()));
+    let mut controller =
+        (config.policy.is_some() || config.remap != RemapStrategy::Static).then(|| {
+            let ctrl = RemapController::new(config.effective_policy());
+            match config.monitor_group {
+                Some(group) => ctrl.with_topology(MonitorTopology::Hierarchical { group }),
+                None => ctrl,
+            }
+        });
     let mut remap_costs: Vec<(usize, f64)> = Vec::new();
 
     // Initial static decomposition: equal slabs of cell columns along x (the natural
@@ -652,6 +665,7 @@ mod tests {
             remap: RemapStrategy::Static,
             remap_interval: 40,
             policy: None,
+            monitor_group: None,
             seed: 5,
         };
         let results = run_config(3, grid, 400, flow, config.clone());
@@ -671,6 +685,7 @@ mod tests {
             remap: RemapStrategy::Chain,
             remap_interval: 5,
             policy: None,
+            monitor_group: None,
             seed: 33,
         };
         let results = run_config(4, grid, 500, flow, config.clone());
@@ -691,6 +706,7 @@ mod tests {
             remap: RemapStrategy::RecursiveBisection,
             remap_interval: 4,
             policy: None,
+            monitor_group: None,
             seed: 44,
         };
         let results = run_config(4, grid, 600, flow, config.clone());
@@ -713,6 +729,7 @@ mod tests {
                 remap: RemapStrategy::Static,
                 remap_interval: 40,
                 policy: None,
+                monitor_group: None,
                 seed: 9,
             };
             let results = run_config(4, grid, 1_000, flow, config);
@@ -741,6 +758,7 @@ mod tests {
                 remap,
                 remap_interval: 10,
                 policy: None,
+                monitor_group: None,
                 seed: 55,
             };
             let results = run_config(4, grid, 2_000, flow, config);
@@ -772,6 +790,7 @@ mod tests {
             remap: RemapStrategy::Chain,
             remap_interval: 0,
             policy: None,
+            monitor_group: None,
             seed: 17,
         };
         let results = run_config(4, grid, 400, flow, config.clone());
@@ -799,6 +818,7 @@ mod tests {
                 hysteresis: 0.05,
                 patience: 0,
             }),
+            monitor_group: None,
             seed: 61,
         };
         let results = run_config(4, grid, 1_500, flow, config.clone());
@@ -834,6 +854,7 @@ mod tests {
             policy: Some(chaos::adapt::RemapPolicy::CostBenefit {
                 assumed_cost_us: 500.0,
             }),
+            monitor_group: None,
             seed: 62,
         };
         let results = run_config(4, grid, 1_500, flow, config.clone());

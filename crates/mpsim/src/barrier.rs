@@ -1,10 +1,19 @@
-//! A reusable sense-reversing barrier shared by all ranks of one machine.
+//! A reusable sense-reversing barrier, plus the tag space of the machine's
+//! message-based barrier.
 //!
-//! Host-side synchronisation only: the modeled cost of a barrier
-//! (`sync_latency × ceil(log2 P)`, a tree/hypercube implementation) is charged by
-//! [`crate::machine::Rank::barrier`], not here.
+//! [`crate::machine::Rank::barrier`] is *not* built on the condvar [`Barrier`] here: it
+//! runs a dissemination barrier — `ceil(log2 P)` rounds of empty messages over the
+//! [`crate::topology::Dissemination`] schedule — matching the log-depth shape its
+//! modeled cost (`sync_latency × ceil(log2 P)`) claims.  The condvar `Barrier` remains
+//! as a host-side utility for code coordinating OS threads outside a simulated machine.
 
 use std::sync::{Condvar, Mutex};
+
+/// Base tag of the message-based barrier's dissemination rounds: barrier episode `i`
+/// uses tag `BARRIER_TAG_BASE + i`.  Sits in the reserved tag space, below the
+/// exchange engine's [`crate::exchange::EXCHANGE_TAG_BASE`] (which is `1 << 20` above
+/// the reserved base).
+pub(crate) const BARRIER_TAG_BASE: u64 = crate::collectives::RESERVED_TAG_BASE + (1 << 19);
 
 struct BarrierState {
     count: usize,

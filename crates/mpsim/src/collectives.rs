@@ -4,47 +4,161 @@
 //! translation-table construction), all-gather (replicated translation tables,
 //! partitioner coordination), reductions (load statistics, convergence checks), broadcast,
 //! and a sparse "exchange" in which every rank sends a possibly-empty buffer to a subset of
-//! ranks.  Each collective is a thin wrapper that builds the appropriate
-//! [`crate::exchange::ExchangePlan`] (dense for the classic collectives, sparse for the
-//! schedule-driven exchange, rooted for broadcast/gather) and runs it through
-//! [`crate::exchange::alltoallv`]; their cost is whatever the constituent messages cost
-//! under the machine's [`crate::cost::CostModel`], plus one synchronisation charge for the
+//! ranks.  Each collective builds [`crate::exchange::ExchangePlan`]s and runs them through
+//! the exchange engine; their cost is whatever the constituent messages cost under the
+//! machine's [`crate::cost::CostModel`], plus one synchronisation charge for the
 //! reductions that are semantically barriers.
+//!
+//! ## Log-depth rounds
+//!
+//! The gathers (`all_gather`, `all_gather_one`) run on the
+//! [`crate::topology::Dissemination`] schedule, the scalar `all_reduce*` family on a
+//! combining butterfly (recursive doubling with the non-power-of-two remainder folded
+//! in and out of the power-of-two core), and `broadcast` on a
+//! [`crate::topology::BinomialTree`]: `ceil(log2 P)` rounds, each round one small
+//! epoch-tagged engine execution moving one message each way per rank (a sparse
+//! one-peer plan; empty rounds skip their message outright).  Per rank that is
+//! `O(log P)` messages instead of the `P - 1` of a flat fan, and for the scalar
+//! reductions each round carries `O(1)` payload, which is what lets the machine scale
+//! to P = 1024.  Every rank executes the same number of rounds in the same order, so
+//! the engine's collective start-order invariant holds round by round, and all buffers
+//! ride the pooled pack/decode machinery — steady-state collective loops stay
+//! allocation-free on the message path.
+//!
+//! **Determinism.** Gathers deliver contributions indexed by source, so any fold over
+//! them is rank order, exactly like a flat implementation.  The butterfly reductions
+//! combine along a *fixed* tree bracketing (the lower block of each pair is always the
+//! left operand), so every rank computes the identical expression and results are
+//! byte-identical machine-wide for any combiner — including non-associative
+//! floating-point sums, which may differ from a flat rank-order fold only in the last
+//! ulps, and never across ranks.  That machine-wide replication is the property
+//! `chaos::adapt`'s replicated controllers depend on, pinned by the equivalence suite
+//! at power-of-two and non-power-of-two machine sizes.
 
 use crate::cost::TimeSnapshot;
-use crate::exchange::{alltoallv, alltoallv_replicated, ExchangePlan, Placed, RecvSpec};
+use crate::exchange::{
+    alltoallv, alltoallv_replicated, alltoallv_with, ExchangePlan, PackBuf, Placed, RecvSpec,
+};
 use crate::machine::Rank;
 use crate::message::Element;
+use crate::topology::{tree_rounds, BinomialTree, Dissemination, GroupMap};
 
 /// Tags reserved for collectives and the exchange engine.  User code should use tags
 /// below `RESERVED_TAG_BASE`.
 pub const RESERVED_TAG_BASE: u64 = 1 << 60;
 
+/// A one-peer-each-way round plan: at most one send and one receive, every other pair
+/// silent (`None`, so no message — not even an empty one — is exchanged with them).
+fn round_plan(
+    me: usize,
+    n: usize,
+    send: Option<(usize, usize)>,
+    recv: Option<(usize, RecvSpec)>,
+) -> ExchangePlan {
+    let mut sends: Vec<Option<usize>> = vec![None; n];
+    let mut recvs = vec![RecvSpec::None; n];
+    if let Some((to, count)) = send {
+        sends[to] = Some(count);
+    }
+    if let Some((from, spec)) = recv {
+        recvs[from] = spec;
+    }
+    ExchangePlan::from_parts(me, sends, recvs)
+}
+
 impl Rank {
+    /// Dissemination all-gather of exactly one element per rank: the shared core of
+    /// [`Rank::all_gather_one`] and every reduction.  Returns the contributions indexed
+    /// by source rank after `ceil(log2 P)` rounds, each round shipping this rank's
+    /// oldest `min(2^k, P - 2^k)` blocks one hop down the ring.  Sizes are known on
+    /// both sides (one element per block), so every receive is `Exact`.
+    fn dissemination_gather_one<T: Element>(&mut self, value: T) -> Vec<T> {
+        let me = self.rank();
+        let n = self.nprocs();
+        let mut vals: Vec<Option<T>> = vec![None; n];
+        vals[me] = Some(value);
+        let sched = Dissemination::new(n);
+        // One receive buffer reused across rounds: the placement closure may not touch
+        // `vals` while the pack closure reads it, so incoming blocks land here first.
+        let mut incoming: Vec<T> = Vec::new();
+        for k in 0..sched.rounds() {
+            let m = sched.blocks_in_round(k);
+            let to = sched.send_peer(me, k);
+            let from = sched.recv_peer(me, k);
+            let plan = round_plan(me, n, Some((to, m)), Some((from, RecvSpec::Exact(m))));
+            incoming.clear();
+            alltoallv_with(
+                self,
+                &plan,
+                |_p, buf: &mut PackBuf<'_, T>| {
+                    for b in sched.send_blocks(me, k) {
+                        buf.push(vals[b].expect("dissemination invariant: block held"));
+                    }
+                },
+                |_src, v: Placed<'_, T>| incoming.extend_from_slice(&v),
+            );
+            for (i, b) in sched.recv_blocks(me, k).enumerate() {
+                vals[b] = Some(incoming[i]);
+            }
+        }
+        vals.into_iter()
+            .map(|v| v.expect("dissemination gather incomplete"))
+            .collect()
+    }
+
     /// Every rank contributes a slice; every rank receives all contributions, indexed by
     /// contributing rank.
+    ///
+    /// Two dissemination phases of `ceil(log2 P)` rounds each: a count phase (one
+    /// element per rank, after which every rank knows every contribution length) and a
+    /// data phase whose rounds ship concatenated blocks with exactly known sizes —
+    /// rounds with nothing to move send no message at all.  `O(log P)` messages per
+    /// rank; block contents and ordering are identical to a flat gather.
     pub fn all_gather<T: Element>(&mut self, local: &[T]) -> Vec<Vec<T>> {
         let me = self.rank();
         let n = self.nprocs();
-        let plan = ExchangePlan::dense(me, vec![local.len(); n]);
+        if n == 1 {
+            return vec![local.to_vec()];
+        }
+        let counts: Vec<u64> = self.dissemination_gather_one(local.len() as u64);
         let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
-        // out[me] is filled by the engine's local delivery (and stays empty when `local`
-        // is empty, which is also correct).  The contributions are returned to the
-        // application, so ownership is taken with `into_vec`.
-        alltoallv_replicated(self, &plan, local, |src, v| out[src] = v.into_vec());
+        out[me].extend_from_slice(local);
+        let sched = Dissemination::new(n);
+        let mut incoming: Vec<T> = Vec::new();
+        for k in 0..sched.rounds() {
+            let send_total: usize = sched.send_blocks(me, k).map(|b| counts[b] as usize).sum();
+            let recv_total: usize = sched.recv_blocks(me, k).map(|b| counts[b] as usize).sum();
+            let send = (send_total > 0).then_some((sched.send_peer(me, k), send_total));
+            let recv =
+                (recv_total > 0).then_some((sched.recv_peer(me, k), RecvSpec::Exact(recv_total)));
+            let plan = round_plan(me, n, send, recv);
+            incoming.clear();
+            alltoallv_with(
+                self,
+                &plan,
+                |_p, buf: &mut PackBuf<'_, T>| {
+                    for b in sched.send_blocks(me, k) {
+                        buf.extend_from_slice(&out[b]);
+                    }
+                },
+                |_src, v: Placed<'_, T>| incoming.extend_from_slice(&v),
+            );
+            let mut off = 0;
+            for b in sched.recv_blocks(me, k) {
+                let c = counts[b] as usize;
+                out[b].extend_from_slice(&incoming[off..off + c]);
+                off += c;
+            }
+        }
         out
     }
 
     /// Every rank contributes a single value; every rank receives the vector of all
-    /// contributions indexed by rank.
+    /// contributions indexed by rank.  Single-phase dissemination (block sizes are known
+    /// a priori): `ceil(log2 P)` messages per rank — the hot path of the adaptive
+    /// load monitor.
     pub fn all_gather_one<T: Element>(&mut self, value: T) -> Vec<T> {
-        self.all_gather(&[value])
-            .into_iter()
-            .map(|mut v| {
-                debug_assert_eq!(v.len(), 1);
-                v.pop().expect("all_gather_one contribution missing")
-            })
-            .collect()
+        self.dissemination_gather_one(value)
     }
 
     /// Personalised all-to-all: `sends[p]` is delivered to rank `p`; the return value's
@@ -122,31 +236,110 @@ impl Rank {
             .collect()
     }
 
-    /// All-reduce with an arbitrary associative combiner.  Every rank receives the
-    /// reduction of all contributions.  Contributions are combined in rank order, so the
-    /// result is deterministic even for non-associative floating-point addition.
+    /// All-reduce with an arbitrary combiner.  Every rank receives the same reduction of
+    /// all contributions.
+    ///
+    /// Runs as a *combining butterfly* (recursive doubling) over the largest power-of-two
+    /// core `m <= P`: the `P - m` extra ranks first fold their value into rank `r - m`,
+    /// then the core runs `log2 m` exchange rounds in which rank `r` swaps partial
+    /// results with `r ^ 2^k` and both ends combine, and finally the finished result fans
+    /// back out to the extras.  Every round moves exactly one `T` each way, so the
+    /// payload is `O(1)` per round and no rank sends more than `ceil(log2 P)` messages —
+    /// unlike a gather-then-fold, whose later rounds carry `Theta(P)` elements.
+    ///
+    /// **Determinism.** Both partners bracket identically — the lower block of each pair
+    /// is always the left operand of `combine` — so every rank applies the *same* fixed
+    /// reduction tree and the result is byte-identical machine-wide for any combiner,
+    /// including non-associative floating-point addition.  For combiners that are exact
+    /// on the inputs (max, min, integer sums, integer-valued float sums) the result is
+    /// also identical to a flat rank-order fold; an inexact float sum may differ from the
+    /// flat fold in the last ulps (but never across ranks), which the replicated
+    /// controllers in `chaos::adapt` tolerate by construction.
+    ///
+    /// Idle roles (extras during the butterfly, core ranks without an extra during the
+    /// fold rounds) run empty plans, so every rank executes the same number of engine
+    /// epochs and the collective start-order invariant holds round by round.
     pub fn all_reduce<T, F>(&mut self, value: T, combine: F) -> T
     where
         T: Element,
         F: Fn(T, T) -> T,
     {
+        self.charge_collective();
         let me = self.rank();
         let n = self.nprocs();
-        self.charge_collective();
-        let plan = ExchangePlan::dense(me, vec![1; n]);
-        let mut contributions: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        // One element per message, read in place: the reduction never takes ownership of
-        // a buffer, so the receive path of a reduction loop is allocation-free.
-        alltoallv_replicated(self, &plan, &[value], |src, v: Placed<'_, T>| {
-            contributions[src] = Some(v[0]);
-        });
-        // Contributions are combined in rank order, so the result is deterministic even
-        // for non-associative floating-point addition.
-        contributions
-            .into_iter()
-            .map(|c| c.expect("all_reduce contribution missing"))
-            .reduce(&combine)
-            .expect("all_reduce over at least one rank")
+        if n == 1 {
+            return value;
+        }
+        // Largest power of two <= n: the butterfly core.
+        let core = 1usize << (usize::BITS - 1 - n.leading_zeros());
+        let mut acc = value;
+        // One receive slot reused across rounds; every receive is exactly one element.
+        let mut incoming: Vec<T> = Vec::with_capacity(1);
+        let round = |rank: &mut Self,
+                     acc: &T,
+                     incoming: &mut Vec<T>,
+                     send: Option<usize>,
+                     recv: Option<usize>| {
+            let plan = round_plan(
+                me,
+                n,
+                send.map(|to| (to, 1)),
+                recv.map(|from| (from, RecvSpec::Exact(1))),
+            );
+            incoming.clear();
+            let payload = *acc;
+            alltoallv_with(
+                rank,
+                &plan,
+                |_p, buf: &mut PackBuf<'_, T>| buf.push(payload),
+                |_src, v: Placed<'_, T>| incoming.extend_from_slice(&v),
+            );
+        };
+        // Pre-fold: extras ship their contribution into the core (skipped at powers of
+        // two, where `core == n`).
+        if core < n {
+            let (send, recv) = if me >= core {
+                (Some(me - core), None)
+            } else if me + core < n {
+                (None, Some(me + core))
+            } else {
+                (None, None)
+            };
+            round(self, &acc, &mut incoming, send, recv);
+            if let Some(&theirs) = incoming.first() {
+                acc = combine(acc, theirs);
+            }
+        }
+        // Combining butterfly over the core; extras idle through empty rounds.
+        for k in 0..core.trailing_zeros() {
+            let d = 1usize << k;
+            let partner = (me < core).then_some(me ^ d);
+            round(self, &acc, &mut incoming, partner, partner);
+            if me < core {
+                let theirs = incoming[0];
+                // Lower block on the left on both ends: identical bracketing everywhere.
+                acc = if me & d == 0 {
+                    combine(acc, theirs)
+                } else {
+                    combine(theirs, acc)
+                };
+            }
+        }
+        // Post-fold: fan the finished result back out to the extras.
+        if core < n {
+            let (send, recv) = if me + core < n {
+                (Some(me + core), None)
+            } else if me >= core {
+                (None, Some(me - core))
+            } else {
+                (None, None)
+            };
+            round(self, &acc, &mut incoming, send, recv);
+            if me >= core {
+                acc = incoming[0];
+            }
+        }
+        acc
     }
 
     /// Sum-reduction of a single `f64` across all ranks.
@@ -186,28 +379,41 @@ impl Rank {
         acc
     }
 
-    /// Broadcast `value` from `root` to every rank; returns the broadcast values.
+    /// Broadcast `values` from `root` to every rank; returns the broadcast values.
+    ///
+    /// Runs on a [`BinomialTree`] rooted at `root`: in round `k` every rank that already
+    /// holds the data forwards it one subtree over, doubling the informed set, so the
+    /// root sends `ceil(log2 P)` messages instead of `P - 1` and every other rank
+    /// receives once and forwards at most `ceil(log2 P) - 1` times.
     pub fn broadcast<T: Element>(&mut self, root: usize, values: &[T]) -> Vec<T> {
         let me = self.rank();
         let n = self.nprocs();
-        let mut send_specs: Vec<Option<usize>> = vec![None; n];
-        let mut recvs = vec![RecvSpec::None; n];
-        if me == root {
-            for (p, spec) in send_specs.iter_mut().enumerate() {
-                if p != me {
-                    *spec = Some(values.len());
-                }
-            }
-        } else {
-            recvs[root] = RecvSpec::Any;
-        }
-        let plan = ExchangePlan::from_parts(me, send_specs, recvs);
+        let tree = BinomialTree::new(n, root);
         let mut out = if me == root {
             values.to_vec()
         } else {
             Vec::new()
         };
-        alltoallv_replicated(self, &plan, values, |_src, v| out = v.into_vec());
+        for k in 0..tree.rounds() {
+            if let Some(src) = tree.bcast_recv_from(me, k) {
+                let plan = round_plan(me, n, None, Some((src, RecvSpec::Any)));
+                alltoallv_with(
+                    self,
+                    &plan,
+                    |_p, _buf: &mut PackBuf<'_, T>| {},
+                    |_src, v: Placed<'_, T>| out = v.into_vec(),
+                );
+            } else {
+                let send = tree.bcast_send_to(me, k).map(|child| (child, out.len()));
+                let plan = round_plan(me, n, send, None);
+                alltoallv_with(
+                    self,
+                    &plan,
+                    |_p, buf: &mut PackBuf<'_, T>| buf.extend_from_slice(&out),
+                    |_s, _v: Placed<'_, T>| {},
+                );
+            }
+        }
         out
     }
 
@@ -258,11 +464,175 @@ impl Rank {
         let sample = self.modeled().since(since).compute_us;
         self.all_gather_one(sample)
     }
+
+    /// Two-level hierarchical sample-and-decide: the collective behind the hierarchical
+    /// (group-leader) monitoring mode of `chaos::adapt`.
+    ///
+    /// Every rank contributes one `f64` sample; `decide` runs *only on group leaders*,
+    /// over the full rank-indexed sample vector, and its `K`-value decision is broadcast
+    /// back down so every rank returns the same array.  Three phases over the
+    /// [`GroupMap`]:
+    ///
+    /// 1. binomial gather of samples to each group's leader (each member sends exactly
+    ///    once);
+    /// 2. dissemination all-gather of the per-group vectors across the leaders, after
+    ///    which every leader holds the full sample vector *in rank order* — the same
+    ///    bytes `all_gather_one` would have produced, which is why leaders running the
+    ///    same pure `decide` agree bit-exactly;
+    /// 3. binomial broadcast of the decision within each group.
+    ///
+    /// A member sends/receives `O(log g)` messages and a leader `O(log g + log(P/g))`;
+    /// with the [`GroupMap::square`] split both are `O(log P)`.  Every rank executes the
+    /// same engine rounds in the same order (idle ranks run empty plans), preserving the
+    /// engine's collective start-order invariant.
+    pub fn hierarchical_sample<const K: usize>(
+        &mut self,
+        groups: &GroupMap,
+        sample: f64,
+        decide: impl FnOnce(&[f64]) -> [f64; K],
+    ) -> [f64; K] {
+        let me = self.rank();
+        let n = self.nprocs();
+        assert_eq!(groups.nprocs(), n, "group map spans a different machine");
+        let start = groups.leader_of(me);
+        let len = groups.members_of(me);
+        let rel = me - start;
+        // The in-group tree is sized to *this* group; short final groups simply see
+        // no-op rounds past their own depth, keeping the global round count uniform.
+        let tree = BinomialTree::new(len, 0);
+        let in_group_rounds = tree_rounds(groups.group_size());
+
+        // Phase 1: binomial gather of samples to the leader.  A rank entering round k
+        // with its low k bits clear holds the contiguous samples of group-local ranks
+        // rel..rel+2^k, so the leader assembles the group vector in rank order.
+        let mut acc: Vec<f64> = Vec::with_capacity(len);
+        acc.push(sample);
+        for k in 0..in_group_rounds {
+            if let Some(to_rel) = tree.gather_send_to(rel, k) {
+                let plan = round_plan(me, n, Some((start + to_rel, acc.len())), None);
+                alltoallv_with(
+                    self,
+                    &plan,
+                    |_p, buf: &mut PackBuf<'_, f64>| buf.extend_from_slice(&acc),
+                    |_s, _v: Placed<'_, f64>| {},
+                );
+                acc.clear();
+            } else if let Some(from_rel) = tree.gather_recv_from(rel, k) {
+                let expect = tree.gather_block_len(from_rel, k);
+                let plan = round_plan(
+                    me,
+                    n,
+                    None,
+                    Some((start + from_rel, RecvSpec::Exact(expect))),
+                );
+                alltoallv_with(
+                    self,
+                    &plan,
+                    |_p, _buf: &mut PackBuf<'_, f64>| {},
+                    |_src, v: Placed<'_, f64>| acc.extend_from_slice(&v),
+                );
+            } else {
+                let plan = round_plan(me, n, None, None);
+                alltoallv_with(
+                    self,
+                    &plan,
+                    |_p, _buf: &mut PackBuf<'_, f64>| {},
+                    |_s, _v: Placed<'_, f64>| {},
+                );
+            }
+        }
+
+        // Phase 2: leaders dissemination-all-gather the group vectors; members run the
+        // same number of empty rounds.  Block sizes are known from the GroupMap, so
+        // every receive is Exact.
+        let nleaders = groups.ngroups();
+        let lsched = Dissemination::new(nleaders);
+        let is_leader = groups.is_leader(me);
+        let mut full = vec![0.0f64; n];
+        if is_leader {
+            full[start..start + len].copy_from_slice(&acc);
+        }
+        let mut incoming: Vec<f64> = Vec::new();
+        for k in 0..lsched.rounds() {
+            if is_leader {
+                let j = groups.group_of(me);
+                let send_total: usize = lsched.send_blocks(j, k).map(|b| groups.group_len(b)).sum();
+                let recv_total: usize = lsched.recv_blocks(j, k).map(|b| groups.group_len(b)).sum();
+                let to = groups.leader(lsched.send_peer(j, k));
+                let from = groups.leader(lsched.recv_peer(j, k));
+                let plan = round_plan(
+                    me,
+                    n,
+                    Some((to, send_total)),
+                    Some((from, RecvSpec::Exact(recv_total))),
+                );
+                incoming.clear();
+                alltoallv_with(
+                    self,
+                    &plan,
+                    |_p, buf: &mut PackBuf<'_, f64>| {
+                        for b in lsched.send_blocks(j, k) {
+                            let s = groups.leader(b);
+                            buf.extend_from_slice(&full[s..s + groups.group_len(b)]);
+                        }
+                    },
+                    |_src, v: Placed<'_, f64>| incoming.extend_from_slice(&v),
+                );
+                let mut off = 0;
+                for b in lsched.recv_blocks(j, k) {
+                    let s = groups.leader(b);
+                    let c = groups.group_len(b);
+                    full[s..s + c].copy_from_slice(&incoming[off..off + c]);
+                    off += c;
+                }
+            } else {
+                let plan = round_plan(me, n, None, None);
+                alltoallv_with(
+                    self,
+                    &plan,
+                    |_p, _buf: &mut PackBuf<'_, f64>| {},
+                    |_s, _v: Placed<'_, f64>| {},
+                );
+            }
+        }
+
+        // Phase 3: leaders decide; the decision rides a binomial broadcast down the
+        // group.
+        let mut decision = if is_leader { decide(&full) } else { [0.0; K] };
+        for k in 0..in_group_rounds {
+            if let Some(src_rel) = tree.bcast_recv_from(rel, k) {
+                let plan = round_plan(me, n, None, Some((start + src_rel, RecvSpec::Exact(K))));
+                alltoallv_with(
+                    self,
+                    &plan,
+                    |_p, _buf: &mut PackBuf<'_, f64>| {},
+                    |_src, v: Placed<'_, f64>| decision.copy_from_slice(&v),
+                );
+            } else if let Some(child_rel) = tree.bcast_send_to(rel, k) {
+                let plan = round_plan(me, n, Some((start + child_rel, K)), None);
+                alltoallv_with(
+                    self,
+                    &plan,
+                    |_p, buf: &mut PackBuf<'_, f64>| buf.extend_from_slice(&decision),
+                    |_s, _v: Placed<'_, f64>| {},
+                );
+            } else {
+                let plan = round_plan(me, n, None, None);
+                alltoallv_with(
+                    self,
+                    &plan,
+                    |_p, _buf: &mut PackBuf<'_, f64>| {},
+                    |_s, _v: Placed<'_, f64>| {},
+                );
+            }
+        }
+        decision
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::topology::MachineConfig;
+    use crate::topology::{tree_rounds, GroupMap, MachineConfig};
     use crate::{run, CostModel};
 
     #[test]
@@ -425,7 +795,7 @@ mod tests {
 
     #[test]
     fn deterministic_reduction_order() {
-        // Summation order is rank order, so repeated runs give bit-identical results.
+        // The butterfly bracketing is fixed, so repeated runs give bit-identical results.
         let a = run(MachineConfig::new(7), |rank| {
             rank.all_reduce_sum(0.1 * (rank.rank() as f64 + 1.0))
         });
@@ -433,5 +803,111 @@ mod tests {
             rank.all_reduce_sum(0.1 * (rank.rank() as f64 + 1.0))
         });
         assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn collectives_work_at_awkward_machine_sizes() {
+        for p in [1usize, 3, 5, 12] {
+            let out = run(MachineConfig::new(p), |rank| {
+                let gathered = rank.all_gather(&vec![rank.rank() as u32; rank.rank() % 3]);
+                let one = rank.all_gather_one(rank.rank() as u64);
+                let sum = rank.all_reduce_sum((rank.rank() + 1) as f64);
+                let bcast = rank.broadcast(rank.nprocs() - 1, &[42u16, 43u16]);
+                (gathered, one, sum, bcast)
+            });
+            let expect_sum: f64 = (1..=p).map(|r| r as f64).sum();
+            for (gathered, one, sum, bcast) in &out.results {
+                for (q, v) in gathered.iter().enumerate() {
+                    assert_eq!(v, &vec![q as u32; q % 3], "P={p}");
+                }
+                assert_eq!(one, &(0..p as u64).collect::<Vec<_>>(), "P={p}");
+                assert_eq!(*sum, expect_sum, "P={p}");
+                assert_eq!(bcast, &vec![42u16, 43u16], "P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_depth_message_counts() {
+        // The satellite pin: reductions and single-element gathers stay within
+        // ceil(log2 P) messages per rank — the log-depth model, not the flat P - 1.
+        // Gathers send exactly that on every rank; the butterfly reduction is
+        // asymmetric off powers of two (extras send once, their core partners send
+        // ceil(log2 P)), so the bound is a per-rank ceiling reached by the busiest rank.
+        for p in [2usize, 3, 5, 8, 16] {
+            let out = run(MachineConfig::new(p), |rank| {
+                let s0 = rank.stats().msgs_sent;
+                rank.all_reduce_sum(1.0);
+                let s1 = rank.stats().msgs_sent;
+                rank.all_gather_one(rank.rank() as u64);
+                let s2 = rank.stats().msgs_sent;
+                (s1 - s0, s2 - s1)
+            });
+            let bound = tree_rounds(p) as u64;
+            let busiest = out.results.iter().map(|(r, _)| *r).max().unwrap();
+            assert_eq!(busiest, bound, "P={p}");
+            for (reduce_msgs, gather_msgs) in &out.results {
+                assert!(*reduce_msgs <= bound, "P={p}: {reduce_msgs} > {bound}");
+                assert_eq!(*gather_msgs, bound, "P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn collective_cost_follows_log_depth_model() {
+        // uniform(latency=10, per_byte=0, compute=0): each message costs exactly 10us
+        // on each end.  all_gather_one at P=5 runs 3 dissemination rounds — one send
+        // and one receive per rank per round — so modeled comm is exactly 60us.
+        let cfg = MachineConfig::new(5).with_cost(CostModel::uniform(10.0, 0.0, 0.0));
+        let out = run(cfg, |rank| {
+            let t0 = rank.modeled();
+            rank.all_gather_one(1u64);
+            rank.modeled().since(&t0).comm_us
+        });
+        for c in &out.results {
+            assert_eq!(*c, 60.0);
+        }
+    }
+
+    #[test]
+    fn hierarchical_sample_matches_flat_decision() {
+        for p in [1usize, 3, 5, 12, 16] {
+            for g in [1usize, 2, 4, 7] {
+                let out = run(MachineConfig::new(p), move |rank| {
+                    let groups = GroupMap::new(rank.nprocs(), g);
+                    let sample = (rank.rank() as f64 + 1.0) * 1.5;
+                    rank.hierarchical_sample::<3>(&groups, sample, |v| {
+                        // Order-sensitive digest: leaders must see the full vector in
+                        // rank order, exactly as all_gather_one would produce it.
+                        [v.iter().sum(), v[0], v[v.len() - 1]]
+                    })
+                });
+                let expect_sum: f64 = (0..p).map(|r| (r as f64 + 1.0) * 1.5).sum();
+                for d in &out.results {
+                    assert_eq!(d[0], expect_sum, "P={p} g={g}");
+                    assert_eq!(d[1], 1.5, "P={p} g={g}");
+                    assert_eq!(d[2], p as f64 * 1.5, "P={p} g={g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_sample_message_counts_stay_logarithmic() {
+        // With the square split at P=16 (groups of 4): a member sends once (gather) and
+        // receives once (broadcast) plus any forwarding; a leader pays the in-group
+        // fan-in plus the leader exchange.  Nobody comes close to the flat P - 1.
+        let out = run(MachineConfig::new(16), |rank| {
+            let groups = GroupMap::square(rank.nprocs());
+            let s0 = rank.stats().msgs_sent;
+            rank.hierarchical_sample::<1>(&groups, rank.rank() as f64, |v| [v.iter().sum()]);
+            rank.stats().msgs_sent - s0
+        });
+        for (r, sent) in out.results.iter().enumerate() {
+            assert!(*sent <= 6, "rank {r} sent {sent} messages");
+        }
+        let total: u64 = out.results.iter().sum();
+        // Flat monitoring at P=16 is 16*15 = 240 messages per step.
+        assert!(total <= 60, "machine-wide {total} messages");
     }
 }

@@ -8,8 +8,11 @@
 //!   the receiver (start-up cost dominates small messages, bandwidth dominates large ones —
 //!   exactly the trade-off that makes communication vectorization and software caching
 //!   worthwhile);
-//! * each barrier or reduction costs `sync_latency_us * ceil(log2(P))`, modelling a
-//!   tree/hypercube implementation;
+//! * each barrier or reduction additionally costs `sync_latency_us * ceil(log2(P))`.
+//!   This is no longer an aspirational "modelling a tree implementation" fudge: the
+//!   barrier and every reduction really do run `ceil(log2 P)` dissemination rounds
+//!   (see [`crate::topology`]), so the charged depth matches the messages on the wire
+//!   (the reductions' per-message latency/byte costs are charged on top, per message);
 //! * computation is charged explicitly by application code in abstract work units
 //!   (one unit ≈ one inner-loop interaction), converted via `compute_unit_us`.
 //!

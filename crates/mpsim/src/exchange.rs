@@ -198,27 +198,77 @@ impl ExchangePlan {
         Self::from_parts(my_rank, sends, recvs)
     }
 
-    /// Build a sparse plan when only the send side is known: a dense one-element exchange
-    /// of counts tells every rank what it will receive, exactly the size-negotiation
-    /// round the light-weight schedule of §3.2.1 is built from.  Collective.
+    /// Build a sparse plan when only the send side is known: a *sparse-neighborhood*
+    /// count negotiation tells every rank what it will receive, exactly the
+    /// size-negotiation round the light-weight schedule of §3.2.1 is built from.
+    /// Collective.
     ///
-    /// Takes the send counts by value — they become the plan's send side without a copy —
-    /// and packs each count straight into its outgoing message, so the negotiation builds
-    /// no per-peer buffers.
+    /// The negotiation is Bruck-style store-and-forward routing over the log-depth ring:
+    /// each nonzero `(destination, source, count)` triple starts at its source and, in
+    /// round `k`, hops `2^k` ranks forward whenever bit `k` of its remaining offset is
+    /// set — so after `ceil(log2 P)` rounds every triple sits at its destination.  Every
+    /// rank sends exactly one (possibly empty) message per round: `ceil(log2 P)`
+    /// messages per rank regardless of fan-out, and *zero-count pairs never enter the
+    /// stream at all*.  A 26-neighbor halo at P = 1024 costs 10 routing messages per
+    /// rank, not 1023 count messages — and the dense O(P) count exchange is gone.
+    ///
+    /// Takes the send counts by value — they become the plan's send side without a copy.
+    /// The resulting plan is identical to one negotiated by a dense count exchange.
     pub fn negotiate(rank: &mut Rank, send_counts: Vec<usize>) -> Self {
         let n = rank.nprocs();
         let me = rank.rank();
         assert_eq!(send_counts.len(), n, "one send count per rank required");
-        let count_plan = ExchangePlan::dense(me, vec![1; n]);
-        let mut recv_counts = vec![0usize; n];
-        alltoallv_with(
-            rank,
-            &count_plan,
-            |p, buf: &mut PackBuf<'_, u64>| buf.push(send_counts[p] as u64),
-            |src, v: Placed<'_, u64>| {
-                recv_counts[src] = v[0] as usize;
-            },
+        assert!(
+            n <= u32::MAX as usize,
+            "rank ids must fit the routing header"
         );
+        // Stream of (dest, src, count) triples this rank currently holds.  Self-sends
+        // never need negotiating (the plan's receive side ignores them).
+        let mut held: Vec<(u32, u32, u64)> = Vec::new();
+        for (p, &c) in send_counts.iter().enumerate() {
+            if p != me && c > 0 {
+                held.push((p as u32, me as u32, c as u64));
+            }
+        }
+        let mut fwd: Vec<(u32, u32, u64)> = Vec::new();
+        let mut incoming: Vec<(u32, u32, u64)> = Vec::new();
+        for k in 0..crate::topology::tree_rounds(n) {
+            let d = 1usize << k;
+            let to = (me + d) % n;
+            let from = (me + n - d) % n;
+            // Split the held stream: triples whose remaining offset has bit k set hop
+            // forward this round; the rest stay.  A triple received this round has bits
+            // 0..=k of its offset clear, so it can never need this round's hop —
+            // merging after the split is safe.
+            fwd.clear();
+            held.retain(|&triple| {
+                let offset = (triple.0 as usize + n - me) % n;
+                if offset & d != 0 {
+                    fwd.push(triple);
+                    false
+                } else {
+                    true
+                }
+            });
+            let mut sends: Vec<Option<usize>> = vec![None; n];
+            sends[to] = Some(fwd.len());
+            let mut recvs = vec![RecvSpec::None; n];
+            recvs[from] = RecvSpec::Any;
+            let plan = ExchangePlan::from_parts(me, sends, recvs);
+            incoming.clear();
+            alltoallv_with(
+                rank,
+                &plan,
+                |_p, buf: &mut PackBuf<'_, (u32, u32, u64)>| buf.extend_from_slice(&fwd),
+                |_src, v: Placed<'_, (u32, u32, u64)>| incoming.extend_from_slice(&v),
+            );
+            held.extend_from_slice(&incoming);
+        }
+        let mut recv_counts = vec![0usize; n];
+        for &(dest, src, count) in &held {
+            debug_assert_eq!(dest as usize, me, "negotiation routing incomplete");
+            recv_counts[src as usize] = count as usize;
+        }
         ExchangePlan::sparse(me, send_counts, recv_counts)
     }
 
@@ -971,6 +1021,51 @@ mod tests {
             }
             // me == 0 sends nothing (count 0 everywhere).
             assert_eq!(*msgs, if me == 0 { 0 } else { 3 });
+        }
+    }
+
+    #[test]
+    fn sparse_negotiation_messages_are_logarithmic() {
+        use crate::topology::tree_rounds;
+        // A two-neighbor ring halo: the negotiation must cost ceil(log2 P) routing
+        // messages per rank — not P - 1 count messages — and executing the resulting
+        // sparse plan must move only the two real messages, skipping every silent pair.
+        for p in [4usize, 6, 13] {
+            let out = run(MachineConfig::new(p), move |rank| {
+                let me = rank.rank();
+                let n = rank.nprocs();
+                let mut counts = vec![0usize; n];
+                counts[(me + 1) % n] = 5;
+                counts[(me + n - 1) % n] = 7;
+                let s0 = rank.stats().msgs_sent;
+                let plan = ExchangePlan::negotiate(rank, counts);
+                let negotiation_msgs = rank.stats().msgs_sent - s0;
+                let sends: Vec<Vec<u32>> = plan
+                    .send_counts()
+                    .iter()
+                    .map(|&c| vec![me as u32; c])
+                    .collect();
+                let s1 = rank.stats().msgs_sent;
+                let mut got = 0usize;
+                alltoallv(rank, &plan, &sends, |_src, _v: Placed<'_, u32>| got += 1);
+                let exec_msgs = rank.stats().msgs_sent - s1;
+                (negotiation_msgs, exec_msgs, got, plan.recv_counts())
+            });
+            for (me, (neg, exec, got, rc)) in out.results.iter().enumerate() {
+                assert_eq!(*neg, tree_rounds(p) as u64, "P={p} rank {me}");
+                assert_eq!(*exec, 2, "P={p} rank {me}: only real pairs send");
+                assert_eq!(*got, 2, "P={p} rank {me}");
+                for (q, &c) in rc.iter().enumerate() {
+                    let expected = if q == (me + p - 1) % p {
+                        5 // the left neighbor ships 5 to us
+                    } else if q == (me + 1) % p {
+                        7 // the right neighbor ships 7 to us
+                    } else {
+                        0
+                    };
+                    assert_eq!(c, expected, "P={p} rank {me}: count from {q}");
+                }
+            }
         }
     }
 

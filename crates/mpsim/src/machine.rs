@@ -12,12 +12,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread;
 
-use crate::barrier::Barrier;
 use crate::comm::Mailbox;
 use crate::cost::{CostModel, TimeSnapshot};
 use crate::message::{decode_vec, Element};
 use crate::stats::{MachineStats, PackPoolStats, RankStats};
-use crate::topology::MachineConfig;
+use crate::topology::{Dissemination, MachineConfig};
 
 /// The per-rank handle handed to the SPMD closure.
 ///
@@ -26,7 +25,6 @@ use crate::topology::MachineConfig;
 /// [`crate::collectives`]), barriers, and the modeled-time/statistics accounting.
 pub struct Rank {
     mailbox: Mailbox,
-    barrier: Arc<Barrier>,
     cost: CostModel,
     stats: RankStats,
     time: TimeSnapshot,
@@ -34,6 +32,9 @@ pub struct Rank {
     /// exchange messages so that consecutive exchanges can never be confused even though
     /// ranks run ahead of one another.
     exchange_seq: u64,
+    /// Number of barriers this rank has entered; tags each barrier episode's
+    /// dissemination rounds (see [`Rank::barrier`]).
+    barrier_seq: u64,
     /// Free list of the pack-buffer pool: spent message payloads waiting to be reused as
     /// outgoing encode buffers.  See [`Rank::pool_stats`].
     pool: Vec<Vec<u8>>,
@@ -252,10 +253,31 @@ impl Rank {
     }
 
     /// Synchronise with every other rank.  Charged `sync_cost_us(P)` of communication time.
+    ///
+    /// Runs a dissemination barrier: `ceil(log2 P)` rounds of empty messages on the
+    /// rank's own mailbox, each round one hop further around the ring, after which every
+    /// rank has transitively heard from every other.  The empty messages ride the
+    /// mailbox directly — below the charged send/receive paths — because their entire
+    /// modeled cost is already the single `sync_cost_us(P)` charge (which is itself
+    /// `sync_latency_us · ceil(log2 P)`, the same log-depth shape).  Each barrier
+    /// episode gets its own tag, so ranks running ahead into the next barrier can never
+    /// confuse rounds.
     pub fn barrier(&mut self) {
         self.stats.record_collective();
         self.time.comm_us += self.cost.sync_cost_us(self.nprocs());
-        self.barrier.wait();
+        let n = self.nprocs();
+        let tag = crate::barrier::BARRIER_TAG_BASE + self.barrier_seq;
+        self.barrier_seq += 1;
+        if n == 1 {
+            return;
+        }
+        let me = self.rank();
+        let sched = Dissemination::new(n);
+        for k in 0..sched.rounds() {
+            self.mailbox.send(sched.send_peer(me, k), tag, Vec::new());
+            let env = self.mailbox.recv(sched.recv_peer(me, k), tag);
+            debug_assert!(env.payload.is_empty(), "barrier messages carry no payload");
+        }
     }
 
     /// Report `units` of local computational work (for example, one unit per inner-loop
@@ -397,13 +419,11 @@ impl Machine {
         F: Fn(&mut Rank) -> R + Send + Sync + 'static,
     {
         let nprocs = self.config.nprocs;
-        let barrier = Arc::new(Barrier::new(nprocs));
         let mailboxes = Mailbox::create_all(nprocs);
         let f = Arc::new(f);
 
         let mut handles = Vec::with_capacity(nprocs);
         for mailbox in mailboxes {
-            let barrier = Arc::clone(&barrier);
             let f = Arc::clone(&f);
             let cost = self.config.cost;
             let builder = thread::Builder::new()
@@ -413,11 +433,11 @@ impl Machine {
                 .spawn(move || {
                     let mut rank = Rank {
                         mailbox,
-                        barrier,
                         cost,
                         stats: RankStats::default(),
                         time: TimeSnapshot::default(),
                         exchange_seq: 0,
+                        barrier_seq: 0,
                         pool: Vec::new(),
                         scratch: HashMap::new(),
                         pool_stats: PackPoolStats::default(),

@@ -36,6 +36,7 @@ fn main() {
             remap,
             remap_interval: 10,
             policy: None,
+            monitor_group: None,
             seed: 7,
         };
         let outcome = run(MachineConfig::new(nprocs), move |rank| {

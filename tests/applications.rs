@@ -31,6 +31,7 @@ fn charmm_trajectory_is_independent_of_the_machine_size() {
             schedule_mode: ScheduleMode::Merged,
             repartition_interval: None,
             adapt_policy: None,
+            monitor_group: None,
         };
         let out = run(MachineConfig::new(nprocs), move |rank| {
             let system = MolecularSystem::build(&cfg);
@@ -76,6 +77,7 @@ fn dsmc_simulation_is_identical_across_move_modes_and_machine_sizes() {
                 remap: RemapStrategy::Chain,
                 remap_interval: 4,
                 policy: None,
+                monitor_group: None,
                 seed: 31,
             };
             let out = run(MachineConfig::new(nprocs), move |rank| {
