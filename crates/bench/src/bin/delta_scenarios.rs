@@ -1,0 +1,67 @@
+//! Incremental schedule-maintenance scenarios: a drifting indirection array patched
+//! forward vs rebuilt (byte-identity + cost), the drifting-DSMC upkeep comparison, and
+//! the schedule-cache lifecycle counters.
+//!
+//! `--json [PATH]` additionally writes `BENCH_delta.json` (schema `chaos-bench/delta/v1`,
+//! documented in `BENCHMARKS.md`).  The artifact records no wall-clock, so repeated runs
+//! are byte-identical — CI regenerates it twice and fails on any difference.  `--check`
+//! exits non-zero if the patched schedules are not byte-identical to rebuilds, the DSMC
+//! physics or wire traffic differ between the upkeep settings, or steady-state patching
+//! costs 50% or more of rebuilding.
+
+use chaos_bench::delta::{
+    cache_lifecycle, delta_report, delta_violations, dsmc_drift, format_drift, format_dsmc,
+    schedule_drift, DriftParams, DsmcDeltaParams,
+};
+use chaos_bench::report::{parse_json_flag, write_json_file};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    args.retain(|a| a != "--check");
+    let json_path = parse_json_flag(&args, "BENCH_delta.json").unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        eprintln!("usage: delta_scenarios [--json [PATH]] [--check]");
+        std::process::exit(2);
+    });
+
+    let drift = schedule_drift(&DriftParams::default_drift(8));
+    println!("{}", format_drift(&drift));
+
+    let dsmc = dsmc_drift(&DsmcDeltaParams::default_dsmc(16));
+    println!("{}", format_dsmc(&dsmc));
+
+    let cache = cache_lifecycle(8, 8);
+    println!(
+        "schedule-cache lifecycle (P = 8): {} hits, {} misses, {} patches, {} evictions",
+        cache.hits, cache.misses, cache.patches, cache.evictions
+    );
+
+    if let Some(path) = json_path {
+        let doc = delta_report(&drift, &dsmc, &cache);
+        match write_json_file(&path, &doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if check {
+        let violations = delta_violations(&drift, &dsmc);
+        if violations.is_empty() {
+            println!(
+                "checks passed: patched schedules byte-identical to rebuilds; DSMC \
+                 fingerprints and wire traffic independent of the upkeep route; \
+                 steady-state patch cost under 50% of rebuild in both scenarios"
+            );
+        } else {
+            eprintln!("delta invariant regression:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -6,16 +6,23 @@
 //! bytes), runs the collective scaling sweep of `chaos_bench::collective` (all-gather,
 //! all-reduce, sparse negotiation and hierarchical monitoring at P = 32–1024), and
 //! prints a summary.  With `--json [PATH]`, also writes the machine-readable report
-//! (`BENCH_exchange.json` by default; schema `chaos-bench/exchange/v3` in
+//! (`BENCH_exchange.json` by default; schema `chaos-bench/exchange/v4` in
 //! `BENCHMARKS.md`).  With `--check`, exits non-zero if any loop violates a pinned
 //! invariant:
 //!
 //! * zero pack-buffer allocations after warm-up everywhere, zero decode-scratch
 //!   allocations for every borrow-only loop (the steady-state gate);
 //! * every collective within its log-depth message budget, and the O(1)-payload
-//!   collectives' modeled time at P = 1024 within 2.5x of P = 32 (the scaling gate).
+//!   collectives' modeled time at P = 1024 within 2.5x of P = 32 (the scaling gate);
+//! * patched schedules byte-identical to rebuilds, DSMC physics and wire traffic
+//!   independent of the upkeep route, and steady-state patching under 50% of the
+//!   rebuild cost (the delta gate — the same scenarios `delta_scenarios` records).
 
 use chaos_bench::collective::{collective_scaling_violations, collective_sweep};
+use chaos_bench::delta::{
+    cache_lifecycle, delta_section, delta_violations, dsmc_drift, schedule_drift, DriftParams,
+    DsmcDeltaParams,
+};
 use chaos_bench::microbench::{
     all_microbenches, element_size_sweep, exchange_report, rank_sweep, steady_state_violations,
     MicrobenchConfig,
@@ -56,9 +63,31 @@ fn main() {
     for r in &collectives {
         println!("{}", r.summary_line());
     }
+    println!("delta maintenance (patch vs rebuild, drifting indirection + drifting DSMC):");
+    let drift = schedule_drift(&DriftParams::default_drift(8));
+    let dsmc = dsmc_drift(&DsmcDeltaParams::default_dsmc(16));
+    let cache = cache_lifecycle(8, 8);
+    println!(
+        "  schedule_drift: steady patch {:.0} us vs rebuild {:.0} us, byte-identical: {}",
+        drift.steady_patch_us, drift.steady_rebuild_us, drift.byte_identical
+    );
+    println!(
+        "  dsmc_drift: upkeep patch {:.0} us vs rebuild {:.0} us, fingerprints match: {}, \
+         wire traffic equal: {}",
+        dsmc.patch_upkeep_us,
+        dsmc.rebuild_upkeep_us,
+        dsmc.fingerprints_match,
+        dsmc.data_exchange_equal
+    );
 
     if let Some(path) = json_path {
-        let doc = exchange_report(&benches, &ranks, &elems, &collectives);
+        let doc = exchange_report(
+            &benches,
+            &ranks,
+            &elems,
+            &collectives,
+            delta_section(&drift, &dsmc, &cache),
+        );
         write_json_file(&path, &doc).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
@@ -75,10 +104,12 @@ fn main() {
             .collect();
         let mut violations = steady_state_violations(&all);
         violations.extend(collective_scaling_violations(&collectives));
+        violations.extend(delta_violations(&drift, &dsmc));
         if violations.is_empty() {
             println!(
                 "checks passed: 0 allocations after warm-up across {} loops; \
-                 {} collective points within the log-depth message and time budgets",
+                 {} collective points within the log-depth message and time budgets; \
+                 delta maintenance byte-identical and under the 50% patch-cost bound",
                 all.len(),
                 collectives.len()
             );

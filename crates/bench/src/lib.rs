@@ -24,10 +24,16 @@
 //!   per-table wall-clock;
 //! * `BENCH_adapt.json` — written by `adapt_scenarios --json`: the remap-policy
 //!   comparison of [`adapt`] with per-step load-balance trajectories (no wall-clock, so
-//!   CI can gate on two runs being byte-identical).
+//!   CI can gate on two runs being byte-identical);
+//! * `BENCH_delta.json` — written by `delta_scenarios --json`: the incremental
+//!   schedule-maintenance scenarios of [`delta`] (patch-vs-rebuild cost, byte-identity,
+//!   cache lifecycle counters; no wall-clock, byte-identical across runs).  The same
+//!   section also rides in `BENCH_exchange.json` so one artifact carries the whole
+//!   engine story.
 
 pub mod adapt;
 pub mod collective;
+pub mod delta;
 pub mod microbench;
 pub mod report;
 pub mod tables;
@@ -35,6 +41,7 @@ pub mod workloads;
 
 pub use adapt::{AdaptEntry, RampParams};
 pub use collective::{CollectiveResult, COLLECTIVE_SWEEP_POINTS};
+pub use delta::{DriftEntry, DriftParams, DsmcDeltaEntry, DsmcDeltaParams};
 pub use microbench::{MicrobenchConfig, MicrobenchResult};
 pub use report::Json;
 pub use tables::{Scale, TableOutput};

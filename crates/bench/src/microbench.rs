@@ -646,19 +646,22 @@ pub fn steady_state_violations(results: &[MicrobenchResult]) -> Vec<String> {
 }
 
 /// Render the benchmark results as the `BENCH_exchange.json` document
-/// (schema `chaos-bench/exchange/v3`, documented in `BENCHMARKS.md`).  v3 adds the
+/// (schema `chaos-bench/exchange/v4`, documented in `BENCHMARKS.md`).  v3 added the
 /// `collective_sweep` section ([`crate::collective`]): per-collective modeled time and
-/// per-rank message counts over machine sizes up to P = 1024.
+/// per-rank message counts over machine sizes up to P = 1024.  v4 adds the `delta`
+/// section ([`crate::delta::delta_section`]): the schedule-maintenance scenarios, shared
+/// with `BENCH_delta.json`.
 pub fn exchange_report(
     benches: &[MicrobenchResult],
     ranks: &[MicrobenchResult],
     elems: &[MicrobenchResult],
     collectives: &[crate::collective::CollectiveResult],
+    delta: Json,
 ) -> Json {
     let arr =
         |rs: &[MicrobenchResult]| Json::Arr(rs.iter().map(MicrobenchResult::to_json).collect());
     Json::obj(vec![
-        ("schema", Json::str("chaos-bench/exchange/v3")),
+        ("schema", Json::str("chaos-bench/exchange/v4")),
         (
             "generated_by",
             Json::str("cargo run --release -p chaos-bench --bin exchange_microbench -- --json"),
@@ -670,6 +673,7 @@ pub fn exchange_report(
             "collective_sweep",
             Json::Arr(collectives.iter().map(|c| c.to_json()).collect()),
         ),
+        ("delta", delta),
     ])
 }
 
@@ -805,9 +809,11 @@ mod tests {
         let benches = vec![gather_scatter_steady(&tiny()), remap_steady(&tiny())];
         let sweep = vec![scatter_append_steady(&tiny())];
         let collectives = crate::collective::collective_sweep_at(&[4]);
-        let doc = exchange_report(&benches, &sweep, &[], &collectives);
+        let delta = Json::obj(vec![("placeholder", Json::Bool(true))]);
+        let doc = exchange_report(&benches, &sweep, &[], &collectives, delta);
         let text = doc.render_pretty();
-        assert!(text.contains("\"schema\": \"chaos-bench/exchange/v3\""));
+        assert!(text.contains("\"schema\": \"chaos-bench/exchange/v4\""));
+        assert!(text.contains("\"delta\""));
         assert!(text.contains("\"gather_scatter_steady\""));
         assert!(text.contains("\"remap_steady\""));
         assert!(text.contains("\"rank_sweep\""));

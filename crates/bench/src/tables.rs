@@ -286,6 +286,7 @@ pub fn table4_lightweight(scale: &Scale) -> TableOutput {
             let label = match mode {
                 MoveMode::Regular => format!("Regular schedules, {nx}x{ny} cells (s)"),
                 MoveMode::Lightweight => format!("Light-weight schedules, {nx}x{ny} cells (s)"),
+                MoveMode::Patched { .. } => unreachable!("table 4 compares the paper's modes"),
             };
             let mut row = vec![label];
             for &p in &scale.dsmc_procs {

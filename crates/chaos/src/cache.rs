@@ -1,0 +1,189 @@
+//! A stamp-keyed cache of maintained schedules, reused across phases and time steps.
+//!
+//! Long-lived adaptive runs ask for the same few schedules over and over — CHARMM wants
+//! its bonded (`IB + JB`) and non-bonded (`NB`) schedules every step, DSMC wants its
+//! migration schedule every MOVE phase.  [`ScheduleCache`] keeps a small set of
+//! [`MaintainedSchedule`]s keyed by *(table identity, query)* and, on each request,
+//! compares the stored [`ScheduleKey`](crate::index_hash::ScheduleKey) against the
+//! table's current version:
+//!
+//! * **hit** — key unchanged: return the schedule with **no communication at all**;
+//! * **patch** — same table and query but stamps drifted: [`patch_schedule`] splices the
+//!   delta (cost proportional to the drift, not the schedule);
+//! * **miss** — unknown (table, query): full [`build_maintained`] rebuild, inserted into
+//!   the cache, evicting the least-recently-used entry if at capacity.
+//!
+//! Staleness is impossible by construction: every mutation of an [`IndexHashTable`]
+//! advances the version counters its keys are built from, so a hit proves the stored
+//! schedule is exact (pinned by the property sweep in `tests/schedule_delta.rs`).
+//!
+//! # Collective discipline
+//!
+//! [`ScheduleCache::schedule`] is collective, and the hit path skips communication — safe
+//! only because every rank takes the same branch.  That holds as long as the SPMD program
+//! mutates tables and queries the cache at the same program points on every rank (the
+//! normal discipline for any collective).  The keys count *operations*, not contents, so
+//! rank-dependent data never desynchronises the decision; a rank-dependent *call sequence*
+//! (one rank re-hashing while another skips straight to the cache) is a program error of
+//! the same kind as calling any collective from a subset of ranks.
+
+use mpsim::Rank;
+
+use crate::index_hash::{IndexHashTable, StampQuery};
+use crate::maintained::{build_maintained, patch_schedule, MaintainedSchedule, PatchStats};
+use crate::schedule::CommSchedule;
+
+/// Running counters for one [`ScheduleCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache with no communication.
+    pub hits: u64,
+    /// Requests for an unknown (table, query) — full collective rebuild.
+    pub misses: u64,
+    /// Requests answered by patching a cached schedule forward.
+    pub patches: u64,
+    /// Entries evicted to make room (least recently used first).
+    pub evictions: u64,
+}
+
+struct CacheSlot {
+    ms: MaintainedSchedule,
+    last_used: u64,
+}
+
+/// A bounded, deterministically-evicting cache of [`MaintainedSchedule`]s.
+///
+/// Lookup is a linear scan — the working set is a handful of schedules, and scan order
+/// must be identical on every rank anyway (see the module docs).
+pub struct ScheduleCache {
+    capacity: usize,
+    clock: u64,
+    slots: Vec<CacheSlot>,
+    stats: CacheStats,
+}
+
+impl ScheduleCache {
+    /// Create a cache holding at most `capacity` schedules.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a schedule cache needs room for one schedule");
+        Self {
+            capacity,
+            clock: 0,
+            slots: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counters since construction (or the last [`ScheduleCache::clear`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of schedules currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Drop every cached schedule and reset the counters.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.stats = CacheStats::default();
+        self.clock = 0;
+    }
+
+    /// Drop cached schedules built from `table` (by identity), returning how many were
+    /// dropped.  Local bookkeeping only — useful when a table is about to be discarded so
+    /// its slots free up early instead of waiting for LRU eviction.
+    pub fn retire_table(&mut self, table: &IndexHashTable) -> usize {
+        let before = self.slots.len();
+        self.slots
+            .retain(|s| s.ms.key().table_id() != table.table_id());
+        before - self.slots.len()
+    }
+
+    /// The schedule for `query` against `table`, current as of the table's contents.
+    ///
+    /// Collective — all ranks must call together (hit/patch/miss branches are
+    /// machine-wide consistent, see the module docs).  Returns the schedule and what the
+    /// cache did to produce it.
+    pub fn schedule(
+        &mut self,
+        rank: &mut Rank,
+        table: &IndexHashTable,
+        query: StampQuery,
+    ) -> (&CommSchedule, CacheOutcome) {
+        self.clock += 1;
+        let now = self.clock;
+        let current = table.version(query);
+        if let Some(i) = self
+            .slots
+            .iter()
+            .position(|s| s.ms.key().same_source(&current))
+        {
+            self.slots[i].last_used = now;
+            if *self.slots[i].ms.key() == current {
+                // Other stamps may have grown the table's ghost region since this entry
+                // was stored; refresh the (local) bound so a hit stays byte-identical to
+                // a rebuild.
+                self.slots[i].ms.grow_ghost_len(table.ghost_len());
+                self.stats.hits += 1;
+                return (self.slots[i].ms.schedule(), CacheOutcome::Hit);
+            }
+            let patch = patch_schedule(rank, table, &mut self.slots[i].ms);
+            self.stats.patches += 1;
+            return (self.slots[i].ms.schedule(), CacheOutcome::Patched(patch));
+        }
+        let ms = build_maintained(rank, table, query);
+        self.stats.misses += 1;
+        if self.slots.len() == self.capacity {
+            // Deterministic LRU: smallest last-used clock wins; the scan takes the first
+            // (lowest index) on ties, and clocks advance identically on every rank.
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity > 0, so a full cache has a victim");
+            self.slots.remove(victim);
+            self.stats.evictions += 1;
+        }
+        self.slots.push(CacheSlot { ms, last_used: now });
+        let slot = self.slots.last().expect("just pushed");
+        (slot.ms.schedule(), CacheOutcome::Missed)
+    }
+
+    /// Peek at the cached schedule for `(table, query)` **if it is current** — no
+    /// communication, no statistics, no recency update.  `None` means a collective
+    /// [`ScheduleCache::schedule`] call would patch or rebuild.
+    pub fn lookup_current(
+        &self,
+        table: &IndexHashTable,
+        query: StampQuery,
+    ) -> Option<&CommSchedule> {
+        let current = table.version(query);
+        self.slots
+            .iter()
+            .find(|s| *s.ms.key() == current)
+            .map(|s| s.ms.schedule())
+    }
+}
+
+/// What [`ScheduleCache::schedule`] did to satisfy a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CacheOutcome {
+    /// Served as-is; no communication happened.
+    Hit,
+    /// A cached schedule was patched forward to the table's current contents.
+    Patched(PatchStats),
+    /// Built from scratch and inserted.
+    Missed,
+}

@@ -17,6 +17,7 @@
 //! Figure 6 are expressed.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mpsim::Rank;
 
@@ -90,6 +91,65 @@ impl StampQuery {
     pub fn matches(&self, stamps: u64) -> bool {
         (stamps & self.include) != 0 && (stamps & self.exclude) == 0
     }
+
+    /// Bit mask of the included stamps.
+    pub fn include_mask(&self) -> u64 {
+        self.include
+    }
+
+    /// Bit mask of the excluded stamps.
+    pub fn exclude_mask(&self) -> u64 {
+        self.exclude
+    }
+}
+
+/// Source of process-unique [`IndexHashTable`] identities (see [`ScheduleKey`]).
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A version key identifying *which* contents of *which* hash table a schedule was built
+/// from.  Two keys are equal exactly when the entries matching the key's query are
+/// guaranteed unchanged, so `key == table.version(query)` means a schedule built earlier
+/// from `key` is still exact and can be reused without any communication.
+///
+/// The key is composed of operation counters, not content hashes:
+///
+/// * `table_id` — process-unique identity of the table (a new table never matches keys
+///   from an old one, even if it reuses the same memory),
+/// * `epoch` — bumped by [`IndexHashTable::clear_all`] (all translations invalidated),
+/// * `gens` — one generation counter per stamp named by the query (include *or* exclude),
+///   bumped every time that stamp is hashed under or cleared.
+///
+/// Because the counters advance once per *operation* (not per element), SPMD programs that
+/// mutate the table at the same program points on every rank observe the same
+/// changed/unchanged pattern machine-wide — which is what makes it safe for a cache to
+/// *skip a collective rebuild* on a key match (see `crate::cache::ScheduleCache`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleKey {
+    table_id: u64,
+    epoch: u64,
+    query: StampQuery,
+    /// Generation of each stamp bit named by `query`, in ascending bit order.
+    gens: Vec<u64>,
+}
+
+impl ScheduleKey {
+    /// The query this key versions.
+    pub fn query(&self) -> StampQuery {
+        self.query
+    }
+
+    /// The process-unique identity of the table this key was taken from (compare with
+    /// [`IndexHashTable::table_id`]).
+    pub fn table_id(&self) -> u64 {
+        self.table_id
+    }
+
+    /// True when `self` and `other` describe the same query over the same table —
+    /// regardless of whether the versions match.  This is the cache-lookup predicate:
+    /// same source means a stored schedule is *patchable*; equal keys mean it is *current*.
+    pub fn same_source(&self, other: &ScheduleKey) -> bool {
+        self.table_id == other.table_id && self.query == other.query
+    }
 }
 
 /// One hash-table entry (see the field list in §3.2.2).
@@ -114,6 +174,13 @@ pub struct IndexHashTable {
     /// every rank builds schedules with identical request ordering.
     slots: Vec<HashEntry>,
     next_ghost_slot: u32,
+    /// Process-unique identity, for [`ScheduleKey`]s.
+    table_id: u64,
+    /// Bumped by [`IndexHashTable::clear_all`].
+    epoch: u64,
+    /// Per-stamp generation counters: `stamp_gens[b]` advances once per `hash_in` /
+    /// `hash_in_replicated` *call* under stamp `b` and once per `clear_stamp(b)`.
+    stamp_gens: [u64; 64],
 }
 
 impl IndexHashTable {
@@ -126,6 +193,31 @@ impl IndexHashTable {
             entries: HashMap::new(),
             slots: Vec::new(),
             next_ghost_slot: 0,
+            table_id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: 0,
+            stamp_gens: [0; 64],
+        }
+    }
+
+    /// This table's process-unique identity (every `new` table gets a fresh one).
+    pub fn table_id(&self) -> u64 {
+        self.table_id
+    }
+
+    /// The version key for `query` against the table's current contents.  A schedule
+    /// built (or last patched) when the table reported this same key needs no maintenance;
+    /// see [`ScheduleKey`] for the machine-wide-consistency contract.
+    pub fn version(&self, query: StampQuery) -> ScheduleKey {
+        let named = query.include_mask() | query.exclude_mask();
+        let gens = (0..64)
+            .filter(|b| named & (1u64 << b) != 0)
+            .map(|b| self.stamp_gens[b])
+            .collect();
+        ScheduleKey {
+            table_id: self.table_id,
+            epoch: self.epoch,
+            query,
+            gens,
         }
     }
 
@@ -164,6 +256,7 @@ impl IndexHashTable {
         globals: &[Global],
         stamp: Stamp,
     ) -> Vec<LocalRef> {
+        self.stamp_gens[stamp.bit() as usize] += 1;
         // 1. Find the indices we have never seen before and translate them (batched, so a
         //    distributed translation table pays one collective dereference, not one per
         //    index).
@@ -233,6 +326,7 @@ impl IndexHashTable {
             ttable.is_replicated(),
             "hash_in_replicated requires a replicated translation table"
         );
+        self.stamp_gens[stamp.bit() as usize] += 1;
         let mask = stamp.mask();
         let mut new_count = 0usize;
         let refs = globals
@@ -281,6 +375,7 @@ impl IndexHashTable {
     /// array under the same stamp is cheap — exactly the CHARMM non-bonded-list update
     /// pattern described in §4.1.
     pub fn clear_stamp(&mut self, stamp: Stamp) {
+        self.stamp_gens[stamp.bit() as usize] += 1;
         let mask = !stamp.mask();
         for entry in &mut self.slots {
             entry.stamps &= mask;
@@ -293,6 +388,7 @@ impl IndexHashTable {
         self.entries.clear();
         self.slots.clear();
         self.next_ghost_slot = 0;
+        self.epoch += 1;
     }
 
     /// Iterate over entries matching `query` in deterministic (insertion) order.
@@ -478,6 +574,51 @@ mod tests {
             assert_eq!(*len, 0);
             assert!(*empty);
         }
+    }
+
+    #[test]
+    fn schedule_keys_track_operations_not_contents() {
+        let out = run(MachineConfig::new(1), |rank| {
+            let (mut ttable, owned) = table_for(rank, 8);
+            let mut h = IndexHashTable::new(rank.rank(), owned);
+            let sa = Stamp::new(0);
+            let sb = Stamp::new(1);
+            let q = StampQuery::single(sa);
+            let k0 = h.version(q);
+            // Reading the version is pure: asking twice gives equal keys.
+            assert_eq!(k0, h.version(q));
+            h.hash_in(rank, &mut ttable, &[1, 2], sa);
+            let k1 = h.version(q);
+            assert_ne!(k0, k1, "hashing under a queried stamp must change the key");
+            // Re-hashing the *same* contents still advances the key (operation counting).
+            h.hash_in(rank, &mut ttable, &[1, 2], sa);
+            let k2 = h.version(q);
+            assert_ne!(k1, k2);
+            // Mutating an unrelated stamp leaves the key alone.
+            h.hash_in(rank, &mut ttable, &[3], sb);
+            assert_eq!(k2, h.version(q));
+            h.clear_stamp(sb);
+            assert_eq!(k2, h.version(q));
+            // ...but an any_of/minus query naming sb does see it.
+            let q_ab = StampQuery::minus(&[sa], &[sb]);
+            let kab = h.version(q_ab);
+            h.clear_stamp(sb);
+            assert_ne!(kab, h.version(q_ab));
+            // clear_stamp / clear_all on the queried stamp invalidate.
+            h.clear_stamp(sa);
+            let k3 = h.version(q);
+            assert_ne!(k2, k3);
+            h.clear_all();
+            assert_ne!(k3, h.version(q));
+            // Keys from distinct tables never compare equal or same-source.
+            let other = IndexHashTable::new(rank.rank(), owned);
+            let ko = other.version(q);
+            assert_ne!(ko, h.version(q));
+            assert!(!ko.same_source(&h.version(q)));
+            assert!(h.version(q).same_source(&k0));
+            assert_eq!(k0.query(), q);
+        });
+        assert_eq!(out.results.len(), 1);
     }
 
     #[test]

@@ -67,6 +67,7 @@
 #![deny(missing_docs)]
 
 pub mod adapt;
+pub mod cache;
 pub mod darray;
 pub mod distribution;
 pub mod error;
@@ -75,6 +76,7 @@ pub mod index_hash;
 pub mod inspector;
 pub mod iteration;
 pub mod loadbalance;
+pub mod maintained;
 pub mod partitioners;
 pub mod remap;
 pub mod schedule;
@@ -86,6 +88,7 @@ pub type Global = usize;
 pub type ProcId = usize;
 
 pub use adapt::{LoadMonitor, MonitorTopology, RemapController, RemapDecision, RemapPolicy};
+pub use cache::{CacheOutcome, CacheStats, ScheduleCache};
 pub use darray::{DistArray, LocalRef};
 pub use distribution::{BlockDist, CyclicDist, RegularDist};
 pub use error::ChaosError;
@@ -94,13 +97,14 @@ pub use executor::{
     scatter_append, scatter_append_finish, scatter_append_start, scatter_op, AppendHandle,
     GatherHandle,
 };
-pub use index_hash::{IndexHashTable, Stamp, StampQuery};
+pub use index_hash::{IndexHashTable, ScheduleKey, Stamp, StampQuery};
 pub use inspector::{build_schedule_from_table, Inspector};
 pub use iteration::{
     almost_owner_computes, almost_owner_computes_replicated, owner_computes,
     owner_computes_replicated, IterationPartition,
 };
 pub use loadbalance::{imbalance_ratio, load_balance_index};
+pub use maintained::{build_maintained, patch_schedule, MaintainedSchedule, PatchStats};
 pub use remap::{build_remap, remap_indices, remap_values, RemapPlan};
 pub use schedule::{CommSchedule, LightweightSchedule};
 pub use translation::{Loc, TranslationTable};
@@ -110,6 +114,7 @@ pub mod prelude {
     pub use crate::adapt::{
         LoadMonitor, MonitorTopology, RemapController, RemapDecision, RemapPolicy,
     };
+    pub use crate::cache::{CacheOutcome, CacheStats, ScheduleCache};
     pub use crate::darray::{DistArray, LocalRef};
     pub use crate::distribution::{BlockDist, CyclicDist, RegularDist};
     pub use crate::executor::{
@@ -117,13 +122,14 @@ pub mod prelude {
         scatter_append, scatter_append_finish, scatter_append_start, scatter_op, AppendHandle,
         GatherHandle,
     };
-    pub use crate::index_hash::{IndexHashTable, Stamp, StampQuery};
+    pub use crate::index_hash::{IndexHashTable, ScheduleKey, Stamp, StampQuery};
     pub use crate::inspector::{build_schedule_from_table, Inspector};
     pub use crate::iteration::{
         almost_owner_computes, almost_owner_computes_replicated, owner_computes,
         owner_computes_replicated, IterationPartition,
     };
     pub use crate::loadbalance::{imbalance_ratio, load_balance_index};
+    pub use crate::maintained::{build_maintained, patch_schedule, MaintainedSchedule, PatchStats};
     pub use crate::partitioners::{chain_partition, rcb_partition, rib_partition, PartitionInput};
     pub use crate::remap::{build_remap, remap_indices, remap_values, RemapPlan};
     pub use crate::schedule::{CommSchedule, LightweightSchedule};

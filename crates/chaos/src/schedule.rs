@@ -113,6 +113,15 @@ impl CommSchedule {
         self.ghost_len
     }
 
+    /// Raise the ghost-region requirement to `len`; never lowers it.  Used by the
+    /// maintenance layer when a schedule is served unchanged but *other* stamps have
+    /// since grown the hash table's ghost region — the selection is untouched, only the
+    /// region bound moves, and raising it (locally, for free) keeps a cached or
+    /// maintained schedule byte-identical to a from-scratch rebuild.
+    pub fn grow_ghost_len(&mut self, len: usize) {
+        self.ghost_len = self.ghost_len.max(len);
+    }
+
     /// The exchange plan executing this schedule in the gather direction on `my_rank`:
     /// send-list elements go out, permutation-list elements come in.  Self transfers are
     /// excluded — a schedule never fetches elements the rank already owns.

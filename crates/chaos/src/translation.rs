@@ -136,6 +136,28 @@ impl TranslationTable {
         })
     }
 
+    /// Build a **replicated** table directly from an already-replicated map array (entry
+    /// `g` names the owner of global element `g`).  Purely local — every rank holds the
+    /// whole map, so unlike [`TranslationTable::replicated_from_map`] no gather is needed.
+    /// Elements are numbered per owner in global-index order, exactly as the `*_from_map`
+    /// constructors do.
+    pub fn replicated_from_full_map(map: &[ProcId], nprocs: usize) -> Result<Self, ChaosError> {
+        validate_map(map, nprocs)?;
+        let mut next_offset = vec![0usize; nprocs];
+        let mut entries = Vec::with_capacity(map.len());
+        for &owner in map {
+            let off = next_offset[owner];
+            next_offset[owner] += 1;
+            entries.push(Loc::new(owner, off));
+        }
+        Ok(TranslationTable {
+            global_size: map.len(),
+            nprocs,
+            local_sizes: next_offset,
+            storage: Storage::Replicated(entries),
+        })
+    }
+
     /// Build a **distributed** table from a block-distributed map array.  Each rank keeps
     /// only the entries for its slice of the global index space; remote lookups go through
     /// [`TranslationTable::lookup`]'s collective dereference.
@@ -328,6 +350,40 @@ impl TranslationTable {
                 owned.sort_unstable();
                 owned.into_iter().map(|(_, g)| g as usize).collect()
             }
+        }
+    }
+
+    /// Number of remote pages currently held in the page cache.  Zero for non-paged
+    /// tables.  Local.
+    pub fn cached_page_count(&self) -> usize {
+        match &self.storage {
+            Storage::Paged { cache, .. } => cache.len(),
+            _ => 0,
+        }
+    }
+
+    /// Drop every cached page covering any of `globals`, returning how many pages were
+    /// dropped.  Local, and a no-op for non-paged tables.
+    ///
+    /// This is the paged table's delta-maintenance hook: when a remap changes where some
+    /// elements live, their home entries are rewritten but copies may survive in page
+    /// caches.  Invalidating exactly the touched pages keeps the rest of the cache warm
+    /// while guaranteeing the next lookup re-fetches current locations — cached pages are
+    /// never updated in place, because a remap renumbers owner offsets in global order
+    /// and an in-place edit could not see the neighbouring entries it would need.
+    pub fn invalidate_pages(&mut self, globals: &[Global]) -> usize {
+        match &mut self.storage {
+            Storage::Paged {
+                page_size, cache, ..
+            } => {
+                let ps = *page_size;
+                let before = cache.len();
+                for &g in globals {
+                    cache.remove(&(g / ps));
+                }
+                before - cache.len()
+            }
+            _ => 0,
         }
     }
 

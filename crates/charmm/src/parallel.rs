@@ -149,8 +149,14 @@ pub struct CharmmStepStats {
     /// Number of schedule (re)builds.
     pub schedule_builds: usize,
     /// Number of repartition + remap events after the initial partitioning (from the fixed
-    /// interval, the adaptive controller, or both).
+    /// interval, the adaptive controller, or both).  Includes the identity events below.
     pub repartitions: usize,
+    /// Repartition events whose partitioner moved no atom on any rank: detected with one
+    /// `all_reduce` and skipped — no redistribution, no list rebuild, no schedule work.
+    pub identity_repartitions: usize,
+    /// Hit/miss/patch/eviction counters of the schedule cache the inspector phases run
+    /// through (see [`chaos::cache::ScheduleCache`]).
+    pub cache_stats: CacheStats,
     /// The load-balance index of the executor phase at every step the controller observed
     /// (identical on every rank; empty unless `adapt_policy` is set).
     pub lb_trajectory: Vec<f64>,
@@ -342,14 +348,20 @@ pub fn run_parallel(
 
     let t0 = rank.modeled();
     let mut hash = IndexHashTable::new(me, dist.ttable.local_size(me));
+    // Schedules are served through a stamp-keyed cache: a bonded schedule whose stamps
+    // did not advance since the last build is a hit (no communication at all), and a
+    // drifted non-bonded/merged schedule is patched forward instead of rebuilt.
+    let mut cache = ScheduleCache::new(4);
     let mut loops = build_loop_state(
         rank,
+        &mut cache,
         &mut hash,
         &dist.ttable,
         &bonded,
         &nb_list,
         config.schedule_mode,
         true,
+        None,
     );
     phases.schedule_generation += rank.modeled().since(&t0);
     schedule_builds += 1;
@@ -370,6 +382,7 @@ pub fn run_parallel(
     });
     let mut adaptive_due = false;
     let mut repartitions = 0usize;
+    let mut identity_repartitions = 0usize;
 
     // ----------------------------------------------------------------------- time steps --
     for step in 0..config.nsteps {
@@ -393,32 +406,53 @@ pub fn run_parallel(
                 .map(|l| [dist.px[l], dist.py[l], dist.pz[l]])
                 .collect();
             let parts = run_partitioner(rank, kind, &coords, &weights, coords.len(), nprocs);
+            // Identity detection: if no rank would send any atom anywhere, the partitioner
+            // reproduced the current distribution and the whole redistribution — data
+            // remap, bonded re-setup, list rebuild, hash recreation, schedule rebuild —
+            // can be skipped.  One all-reduce makes the decision machine-wide.
+            let moved_here = parts.iter().filter(|&&p| p != me).count();
+            let identity = rank.all_reduce_sum_usize(moved_here) == 0;
             phases.data_partition += rank.modeled().since(&t0);
-
-            let bytes_before = rank.stats().bytes_sent;
-            let t0 = rank.modeled();
-            dist = redistribute(rank, &dist, &parts, natoms);
-            bonded = partition_bonded_loop(rank, &dist.ttable, system);
-            let remap_cost = rank.modeled().since(&t0);
-            phases.remap += remap_cost;
-            if let Some(ctrl) = controller.as_mut() {
-                if !adaptive_due {
-                    // The repartition came from the fixed interval, not the controller:
-                    // the imbalance accumulated on the old distribution must not argue
-                    // for an immediate second remap of the new one.
-                    ctrl.note_external_remap();
-                }
-                let t0 = rank.modeled();
-                ctrl.record_remap(
-                    rank,
-                    rank.stats().bytes_sent - bytes_before,
-                    remap_cost.total_us(),
-                );
-                phases.monitor += rank.modeled().since(&t0);
-            }
             repartitions += 1;
+            let was_adaptive = adaptive_due;
             adaptive_due = false;
-            true
+            if identity {
+                identity_repartitions += 1;
+                if let Some(ctrl) = controller.as_mut() {
+                    if !was_adaptive {
+                        ctrl.note_external_remap();
+                    }
+                    // Keep the controller's (collective) bookkeeping in step: the remap
+                    // happened from its point of view, it just moved nothing.
+                    let t0 = rank.modeled();
+                    ctrl.record_remap(rank, 0, 0.0);
+                    phases.monitor += rank.modeled().since(&t0);
+                }
+                false
+            } else {
+                let bytes_before = rank.stats().bytes_sent;
+                let t0 = rank.modeled();
+                dist = redistribute(rank, &dist, &parts, natoms);
+                bonded = partition_bonded_loop(rank, &dist.ttable, system);
+                let remap_cost = rank.modeled().since(&t0);
+                phases.remap += remap_cost;
+                if let Some(ctrl) = controller.as_mut() {
+                    if !was_adaptive {
+                        // The repartition came from the fixed interval, not the
+                        // controller: the imbalance accumulated on the old distribution
+                        // must not argue for an immediate second remap of the new one.
+                        ctrl.note_external_remap();
+                    }
+                    let t0 = rank.modeled();
+                    ctrl.record_remap(
+                        rank,
+                        rank.stats().bytes_sent - bytes_before,
+                        remap_cost.total_us(),
+                    );
+                    phases.monitor += rank.modeled().since(&t0);
+                }
+                true
+            }
         } else {
             false
         };
@@ -433,20 +467,25 @@ pub fn run_parallel(
 
             let t0 = rank.modeled();
             if repartitioned {
-                // The distribution changed: every translation result is stale.
+                // The distribution changed: every translation result is stale, and the
+                // cached schedules built from the old table can never be asked for again.
+                cache.retire_table(&hash);
                 hash = IndexHashTable::new(me, dist.ttable.local_size(me));
             } else {
                 // Same distribution: keep the hash entries, just clear the adaptive stamp.
                 hash.clear_stamp(STAMP_NB);
             }
+            let prev_bond_refs = (!repartitioned).then(|| std::mem::take(&mut loops.bond_refs));
             loops = build_loop_state(
                 rank,
+                &mut cache,
                 &mut hash,
                 &dist.ttable,
                 &bonded,
                 &nb_list,
                 config.schedule_mode,
                 repartitioned,
+                prev_bond_refs,
             );
             phases.schedule_regeneration += rank.modeled().since(&t0);
             schedule_builds += 1;
@@ -489,6 +528,8 @@ pub fn run_parallel(
         list_updates,
         schedule_builds,
         repartitions,
+        identity_repartitions,
+        cache_stats: cache.stats(),
         lb_trajectory: controller
             .map(|c| c.lb_trajectory().to_vec())
             .unwrap_or_default(),
@@ -656,29 +697,32 @@ fn build_local_nb_list(
     list
 }
 
-/// Phase E: hash every indirection array into the stamped hash table and build the
-/// communication schedules.  When `rehash_bonded` is false the bonded entries are assumed
-/// to be present already (same distribution, stamps intact) and only the adaptive
-/// non-bonded stamp is re-hashed — the reuse the paper's hash table exists for.
+/// Phase E: hash every indirection array into the stamped hash table and serve the
+/// communication schedules through the stamp-keyed cache.  When `rehash_bonded` is false
+/// the bonded entries are assumed to be present already (same distribution, stamps
+/// intact): the previous bonded references are reused verbatim, which leaves the bonded
+/// stamp generations untouched — so under [`ScheduleMode::Multiple`] the bonded schedule
+/// is a cache *hit* across non-bonded list updates (no communication at all), while the
+/// schedules covering the re-hashed non-bonded stamp are *patched* forward.
+#[allow(clippy::too_many_arguments)]
 fn build_loop_state(
     rank: &mut Rank,
+    cache: &mut ScheduleCache,
     hash: &mut IndexHashTable,
     ttable: &TranslationTable,
     bonded: &BondedSetup,
     nb_list: &NeighborList,
     mode: ScheduleMode,
     rehash_bonded: bool,
+    prev_bond_refs: Option<Vec<(LocalRef, LocalRef)>>,
 ) -> LoopState {
-    let bond_refs: Vec<(LocalRef, LocalRef)> = if rehash_bonded || hash.is_empty() {
-        let ib_refs = hash.hash_in_replicated(rank, ttable, &bonded.exec_ib, STAMP_IB);
-        let jb_refs = hash.hash_in_replicated(rank, ttable, &bonded.exec_jb, STAMP_JB);
-        ib_refs.into_iter().zip(jb_refs).collect()
-    } else {
-        // Entries are still stamped and their local references unchanged; re-deriving them
-        // is a pure hash lookup (cheap), which we do to keep the code path uniform.
-        let ib_refs = hash.hash_in_replicated(rank, ttable, &bonded.exec_ib, STAMP_IB);
-        let jb_refs = hash.hash_in_replicated(rank, ttable, &bonded.exec_jb, STAMP_JB);
-        ib_refs.into_iter().zip(jb_refs).collect()
+    let bond_refs: Vec<(LocalRef, LocalRef)> = match prev_bond_refs {
+        Some(refs) if !rehash_bonded && !hash.is_empty() => refs,
+        _ => {
+            let ib_refs = hash.hash_in_replicated(rank, ttable, &bonded.exec_ib, STAMP_IB);
+            let jb_refs = hash.hash_in_replicated(rank, ttable, &bonded.exec_jb, STAMP_JB);
+            ib_refs.into_iter().zip(jb_refs).collect()
+        }
     };
 
     let owned = ttable.local_size(rank.rank());
@@ -690,17 +734,25 @@ fn build_loop_state(
 
     let (merged, bonded_sched, nonbonded_sched) = match mode {
         ScheduleMode::Merged => {
-            let merged = build_schedule_from_table(
-                rank,
-                hash,
-                StampQuery::any_of(&[STAMP_IB, STAMP_JB, STAMP_NB]),
-            );
+            let merged = cache
+                .schedule(
+                    rank,
+                    hash,
+                    StampQuery::any_of(&[STAMP_IB, STAMP_JB, STAMP_NB]),
+                )
+                .0
+                .clone();
             (Some(merged), None, None)
         }
         ScheduleMode::Multiple => {
-            let b =
-                build_schedule_from_table(rank, hash, StampQuery::any_of(&[STAMP_IB, STAMP_JB]));
-            let nb = build_schedule_from_table(rank, hash, StampQuery::single(STAMP_NB));
+            let b = cache
+                .schedule(rank, hash, StampQuery::any_of(&[STAMP_IB, STAMP_JB]))
+                .0
+                .clone();
+            let nb = cache
+                .schedule(rank, hash, StampQuery::single(STAMP_NB))
+                .0
+                .clone();
             (None, Some(b), Some(nb))
         }
     };
@@ -1189,6 +1241,105 @@ mod tests {
             merged < multiple,
             "merged schedules should send fewer messages ({merged} vs {multiple})"
         );
+    }
+
+    #[test]
+    fn bonded_schedule_is_served_from_cache_across_list_updates() {
+        // Under ScheduleMode::Multiple the bonded schedule's stamps do not advance when
+        // only the non-bonded list regenerates, so the cache must serve it as a hit (no
+        // communication) while the non-bonded schedule is patched forward.
+        let sys_cfg = SystemConfig::small(26);
+        let config = ParallelConfig {
+            nsteps: 9,
+            list_update_interval: 3,
+            partitioner: PartitionerKind::Rcb,
+            schedule_mode: ScheduleMode::Multiple,
+            repartition_interval: None,
+            adapt_policy: None,
+            monitor_group: None,
+        };
+        let cfg = config.clone();
+        let out = run(MachineConfig::new(4), move |rank| {
+            let system = MolecularSystem::build(&sys_cfg);
+            let stats = run_parallel(rank, &system, &cfg);
+            (stats.cache_stats, stats.schedule_builds)
+        });
+        for (cache, builds) in &out.results {
+            assert_eq!(*builds, 3, "initial + regenerations at steps 3 and 6");
+            assert_eq!(cache.misses, 2, "first build misses once per schedule");
+            assert_eq!(
+                cache.hits, 2,
+                "bonded schedule must hit on both regenerations"
+            );
+            assert_eq!(
+                cache.patches, 2,
+                "non-bonded schedule must patch, not rebuild"
+            );
+            assert_eq!(cache.evictions, 0);
+        }
+        let par = parallel_positions(4, config, 26);
+        let seq = sequential_positions(9, 3, 26);
+        let dev = max_deviation(&par, &seq);
+        assert!(dev < 1e-6, "cached-schedule run deviates by {dev}");
+    }
+
+    #[test]
+    fn identity_repartitions_are_detected_and_skipped() {
+        // A BLOCK partitioner always reproduces the current distribution, so every
+        // adaptive firing is an identity repartition: counted, but skipping the
+        // redistribution, list rebuild and schedule work entirely.
+        let sys_cfg = SystemConfig::small(15);
+        let config = ParallelConfig {
+            nsteps: 6,
+            list_update_interval: 3,
+            partitioner: PartitionerKind::Block,
+            schedule_mode: ScheduleMode::Multiple,
+            repartition_interval: None,
+            adapt_policy: Some(chaos::adapt::RemapPolicy::Threshold {
+                lb_index: 1.01,
+                hysteresis: 0.0,
+                patience: 0,
+            }),
+            monitor_group: None,
+        };
+        let cfg = config.clone();
+        let out = run(MachineConfig::new(4), move |rank| {
+            let system = MolecularSystem::build(&sys_cfg);
+            let stats = run_parallel(rank, &system, &cfg);
+            (
+                stats.repartitions,
+                stats.identity_repartitions,
+                stats.cache_stats,
+                stats.list_updates,
+                stats.schedule_builds,
+            )
+        });
+        let (reps, idents, cache, updates, builds) = out.results[0];
+        assert!(
+            reps > 0,
+            "a 1.01 threshold over a BLOCK distribution must fire"
+        );
+        assert_eq!(
+            idents, reps,
+            "BLOCK repartitions move nothing: all identity"
+        );
+        assert_eq!(
+            updates, 2,
+            "identity repartitions must not force list rebuilds"
+        );
+        assert_eq!(builds, 2, "initial + the step-3 list update only");
+        // The step-3 regeneration runs against the same distribution: bonded hit,
+        // non-bonded patch.
+        assert!(cache.hits >= 1);
+        assert!(cache.patches >= 1);
+        assert_eq!(cache.evictions, 0);
+        for r in &out.results {
+            assert_eq!(*r, out.results[0], "skip decisions must be replicated");
+        }
+        let par = parallel_positions(4, config, 15);
+        let seq = sequential_positions(6, 3, 15);
+        let dev = max_deviation(&par, &seq);
+        assert!(dev < 1e-6, "identity-skip run deviates by {dev}");
     }
 
     #[test]

@@ -18,6 +18,15 @@
 //!      per-step inspector), and the molecule data is shipped attribute-array by
 //!      attribute-array with prescribed placement, exactly the overhead the paper's
 //!      light-weight schedules remove.
+//!    * [`MoveMode::Patched`] — a *maintained* regular schedule over the destination
+//!      cells: the per-step inspector is replaced by stamped re-hashing of the drifted
+//!      destination-cell set plus [`chaos::maintained::patch_schedule`], which ships only
+//!      the changed rows to the owners.  The data path (per-row molecule counts through
+//!      the schedule's scatter direction, then one payload message per communicating
+//!      pair) depends only on the schedule bytes — and patched schedules are byte-identical
+//!      to rebuilds — so running with upkeep-by-patching and upkeep-by-rebuilding produces
+//!      identical fingerprints and identical data-path message totals, while the
+//!      preprocessing cost drops with the drift fraction.
 //! 3. **remapping** — a [`chaos::adapt::RemapController`] watches the measured per-rank
 //!    collision compute times (one all-gather per step) and decides collectively when to
 //!    re-partition.  The default [`RemapPolicy::Interval`] reproduces the paper's fixed
@@ -31,7 +40,7 @@ use std::collections::HashMap;
 
 use chaos::adapt::{MonitorTopology, RemapController, RemapPolicy};
 use chaos::prelude::*;
-use mpsim::{Rank, TimeSnapshot};
+use mpsim::{alltoallv, ExchangePlan, ExchangeStats, Rank, TimeSnapshot};
 
 use crate::collide::collide_cell;
 use crate::grid::CellGrid;
@@ -44,6 +53,15 @@ pub enum MoveMode {
     Lightweight,
     /// Regular schedules: per-step placement preprocessing and per-attribute transport.
     Regular,
+    /// A maintained regular schedule over the destination cells, kept current across
+    /// steps instead of rebuilt.  `rebuild_every_step: false` patches the schedule
+    /// forward (cost proportional to the drift); `true` rebuilds it from the same hash
+    /// table every step — the baseline the patch path is benchmarked (and pinned
+    /// byte-identical) against.  Both take exactly the same data path.
+    Patched {
+        /// Rebuild from scratch each step instead of patching (comparison baseline).
+        rebuild_every_step: bool,
+    },
 }
 
 /// How (and whether) cells are periodically re-partitioned (the Table 5 comparison).
@@ -124,6 +142,10 @@ pub struct DsmcPhaseTimes {
     pub collide: TimeSnapshot,
     /// MOVE-phase preprocessing: schedule construction / placement negotiation.
     pub move_preprocess: TimeSnapshot,
+    /// Bringing the maintained MOVE schedule up to date — the build or patch collective
+    /// of [`MoveMode::Patched`], timed separately so the patch-vs-rebuild comparison
+    /// reads straight off the phase table.  Zero for the other modes.
+    pub move_upkeep: TimeSnapshot,
     /// MOVE-phase data transport and re-binning.
     pub move_data: TimeSnapshot,
     /// Running the partitioner during remaps.
@@ -140,11 +162,23 @@ impl DsmcPhaseTimes {
     pub fn total(&self) -> TimeSnapshot {
         self.collide
             + self.move_preprocess
+            + self.move_upkeep
             + self.move_data
             + self.remap_migrate
             + self.remap_partition
             + self.monitor
     }
+}
+
+/// Schedule-upkeep counters for [`MoveMode::Patched`] (all zero for the other modes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleUpkeep {
+    /// Full collective schedule builds.
+    pub builds: usize,
+    /// Incremental patches applied to the maintained schedule.
+    pub patches: usize,
+    /// Edit records shipped to owners across all patches (sent side).
+    pub edits: usize,
 }
 
 /// Per-run summary returned by [`run_parallel`].
@@ -167,6 +201,13 @@ pub struct DsmcStats {
     /// the cost figures the [`chaos::adapt::RemapPolicy::CostBenefit`] policy amortises
     /// (identical on every rank).
     pub remap_costs: Vec<(usize, f64)>,
+    /// Wire totals of the MOVE **data** path (count + payload exchanges) for
+    /// [`MoveMode::Patched`], summed over steps.  How the schedule was kept current
+    /// (patch vs rebuild) must not show up here — the equivalence tests pin these totals
+    /// identical across both upkeep settings.  Zero for the other modes.
+    pub move_data_exchange: ExchangeStats,
+    /// Schedule-upkeep counters for [`MoveMode::Patched`].
+    pub schedule_upkeep: ScheduleUpkeep,
     /// Molecules held at the end of the run.
     pub final_particle_count: usize,
     /// (cell id, sorted molecule ids) for every non-empty owned cell — compared against
@@ -228,6 +269,11 @@ pub fn run_parallel(
     // once the high-water mark is reached.
     let mut outgoing: Vec<(usize, Particle)> = Vec::new();
     let mut survivors: Vec<(usize, Particle)> = Vec::new();
+
+    // Persistent inspector state of the patched MOVE path (the maintained schedule and
+    // the hash table it patches from).  `None` for the other modes.
+    let mut patched_state = matches!(config.move_mode, MoveMode::Patched { .. })
+        .then(|| PatchedMoveState::new(me, &cell_owner, nprocs));
 
     for step in 0..config.nsteps {
         // ------------------------------------------------------------------- collisions --
@@ -291,6 +337,25 @@ pub fn run_parallel(
                     &mut migrations,
                 )
             }
+            MoveMode::Patched { rebuild_every_step } => {
+                // Like the regular path, survivors go straight back; the maintained
+                // schedule is then brought up to date (patch or rebuild) and the
+                // migrants re-binned into it.
+                let t0 = rank.modeled();
+                rebin_survivors(rank, &mut survivors, &mut cells);
+                phases.move_data += rank.modeled().since(&t0);
+                move_patched(
+                    rank,
+                    grid,
+                    &outgoing,
+                    &cell_owner,
+                    &cells,
+                    patched_state.as_mut().expect("state exists for Patched"),
+                    rebuild_every_step,
+                    &mut phases,
+                    &mut migrations,
+                )
+            }
         };
 
         // Re-bin arrivals (their destination cell is recomputed from the position — the
@@ -325,6 +390,9 @@ pub fn run_parallel(
                 let bytes_before = rank.stats().bytes_sent;
                 let t0 = rank.modeled();
                 remap_cells(rank, grid, config, &mut cell_owner, &mut cells, &mut phases);
+                if let Some(state) = patched_state.as_mut() {
+                    state.distribution_changed(&cell_owner, nprocs);
+                }
                 let remap_cost = rank.modeled().since(&t0).total_us();
                 let moved = rank.stats().bytes_sent - bytes_before;
                 if measured {
@@ -360,9 +428,188 @@ pub fn run_parallel(
             .map(|c| c.lb_trajectory().to_vec())
             .unwrap_or_default(),
         remap_costs,
+        move_data_exchange: patched_state
+            .as_ref()
+            .map(|s| s.exchange)
+            .unwrap_or_default(),
+        schedule_upkeep: patched_state.map(|s| s.upkeep).unwrap_or_default(),
         final_particle_count: cells.values().map(Vec::len).sum(),
         fingerprint,
     }
+}
+
+/// The stamp under which [`MoveMode::Patched`] hashes each step's destination cells.
+const MOVE_STAMP: Stamp = Stamp::new(0);
+
+/// Persistent inspector state of the [`MoveMode::Patched`] MOVE path: the indirection
+/// being maintained is "which off-processor cells do my molecules migrate into", and it
+/// drifts a little every step — exactly the shape delta-schedule maintenance amortises.
+struct PatchedMoveState {
+    /// Replicated translation table over the cell-owner map (rebuilt on remap).
+    ttable: TranslationTable,
+    /// Stamped hash of destination cells; survives across steps so translations and
+    /// ghost slots are reused, and survives remaps via `clear_all` (epoch bump).
+    hash: IndexHashTable,
+    /// The maintained migration schedule; `None` until the first step builds it.
+    sched: Option<MaintainedSchedule>,
+    upkeep: ScheduleUpkeep,
+    exchange: ExchangeStats,
+}
+
+impl PatchedMoveState {
+    fn new(me: ProcId, cell_owner: &[ProcId], nprocs: usize) -> Self {
+        let ttable = TranslationTable::replicated_from_full_map(cell_owner, nprocs)
+            .expect("cell owners are valid ranks");
+        let hash = IndexHashTable::new(me, ttable.local_size(me));
+        Self {
+            ttable,
+            hash,
+            sched: None,
+            upkeep: ScheduleUpkeep::default(),
+            exchange: ExchangeStats::default(),
+        }
+    }
+
+    /// A remap changed the cell-owner map: every cached translation is stale.  The hash
+    /// table is cleared (not replaced), so its epoch bump flows into the schedule key and
+    /// the next upkeep ships a full replacement through the ordinary patch path.
+    fn distribution_changed(&mut self, cell_owner: &[ProcId], nprocs: usize) {
+        self.ttable = TranslationTable::replicated_from_full_map(cell_owner, nprocs)
+            .expect("cell owners are valid ranks");
+        self.hash.clear_all();
+    }
+}
+
+/// MOVE phase over a maintained regular schedule (see [`MoveMode::Patched`]).
+///
+/// Preprocessing re-hashes the step's off-processor destination cells under a fresh
+/// stamp and brings the maintained schedule up to date — by patch or, for the baseline,
+/// by rebuild; both yield byte-identical schedules.  The data path then ships per-row
+/// molecule counts through the schedule's scatter direction and the molecules themselves
+/// through one sparse payload exchange, placing arrivals row by row into the owners'
+/// cells (validated against the positions in debug builds).
+#[allow(clippy::too_many_arguments)]
+fn move_patched(
+    rank: &mut Rank,
+    grid: &CellGrid,
+    outgoing: &[(usize, Particle)],
+    cell_owner: &[ProcId],
+    cells: &HashMap<usize, Vec<Particle>>,
+    state: &mut PatchedMoveState,
+    rebuild_every_step: bool,
+    phases: &mut DsmcPhaseTimes,
+    migrations: &mut usize,
+) -> Vec<Particle> {
+    let nprocs = rank.nprocs();
+    let me = rank.rank();
+
+    // ---- inspector upkeep: re-hash the drifted destination set, patch the schedule ----
+    let t0 = rank.modeled();
+    let mut dest_cells: Vec<usize> = Vec::new();
+    let mut arrivals: Vec<Particle> = Vec::new(); // molecules migrating between my own cells
+    let mut offproc: Vec<(usize, Particle)> = Vec::new();
+    for &(cell, p) in outgoing {
+        if cell_owner[cell] == me {
+            arrivals.push(p);
+        } else {
+            dest_cells.push(cell);
+            offproc.push((cell, p));
+        }
+    }
+    *migrations += offproc.len();
+    state.hash.clear_stamp(MOVE_STAMP);
+    state
+        .hash
+        .hash_in_replicated(rank, &state.ttable, &dest_cells, MOVE_STAMP);
+    phases.move_preprocess += rank.modeled().since(&t0);
+
+    let t0 = rank.modeled();
+    let query = StampQuery::single(MOVE_STAMP);
+    match state.sched.as_mut() {
+        Some(ms) if !rebuild_every_step => {
+            let patch = patch_schedule(rank, &state.hash, ms);
+            state.upkeep.patches += 1;
+            state.upkeep.edits += patch.edits_sent;
+        }
+        _ => {
+            state.sched = Some(build_maintained(rank, &state.hash, query));
+            state.upkeep.builds += 1;
+        }
+    }
+    let sched = state.sched.as_ref().expect("schedule just ensured");
+    phases.move_upkeep += rank.modeled().since(&t0);
+
+    // ---- data path: per-row counts through the scatter direction, then the payload ----
+    // Identical whether the schedule was patched or rebuilt, because it depends only on
+    // the schedule bytes.
+    let t0 = rank.modeled();
+    let mut row_of_slot: HashMap<u32, (usize, u32)> = HashMap::new();
+    for p in 0..nprocs {
+        for (row, &slot) in sched.perm_lists[p].iter().enumerate() {
+            row_of_slot.insert(slot, (p, row as u32));
+        }
+    }
+    let mut counts: Vec<Vec<u32>> = (0..nprocs)
+        .map(|p| vec![0u32; sched.fetch_size(p)])
+        .collect();
+    let mut binned: Vec<Vec<(u32, usize)>> = vec![Vec::new(); nprocs];
+    for (k, (cell, _)) in offproc.iter().enumerate() {
+        let entry = state.hash.get(*cell).expect("destination cell just hashed");
+        let slot = entry
+            .ghost_slot
+            .expect("off-processor cell has a ghost slot");
+        let (p, row) = row_of_slot[&slot];
+        counts[p][row as usize] += 1;
+        binned[p].push((row, k));
+    }
+    rank.charge_compute(offproc.len() as f64 * 0.1);
+    let payload: Vec<Vec<Particle>> = binned
+        .iter_mut()
+        .map(|b| {
+            // Stable by row: within a row, molecules keep their advance-scan order.
+            b.sort_by_key(|&(row, _)| row);
+            b.iter().map(|&(_, k)| offproc[k].1).collect()
+        })
+        .collect();
+    let mut incoming_counts: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+    let ex_counts = alltoallv(rank, &sched.scatter_plan(me), &counts, |src, placed| {
+        incoming_counts[src] = placed.into_vec();
+    });
+    let payload_send: Vec<usize> = payload.iter().map(Vec::len).collect();
+    let payload_recv: Vec<usize> = incoming_counts
+        .iter()
+        .map(|c| c.iter().map(|&n| n as usize).sum())
+        .collect();
+    let pplan = ExchangePlan::sparse(me, payload_send, payload_recv);
+    let mut recv_payload: Vec<Vec<Particle>> = vec![Vec::new(); nprocs];
+    let ex_payload = alltoallv(rank, &pplan, &payload, |src, placed| {
+        recv_payload[src] = placed.into_vec();
+    });
+    state.exchange = state.exchange.merged(&ex_counts).merged(&ex_payload);
+
+    // Place arrivals by schedule row: row `r` from `src` belongs in the owned cell at
+    // offset `send_lists[src][r]` (owner offsets number owned cells in global order).
+    let mut owned_sorted: Vec<usize> = cells.keys().copied().collect();
+    owned_sorted.sort_unstable();
+    for src in 0..nprocs {
+        debug_assert_eq!(incoming_counts[src].len(), sched.send_size(src));
+        let mut next = recv_payload[src].iter();
+        for (row, &n) in incoming_counts[src].iter().enumerate() {
+            for _ in 0..n {
+                let p = *next.next().expect("payload shorter than its counts");
+                debug_assert_eq!(
+                    grid.cell_of_position(p.pos),
+                    owned_sorted[sched.send_lists[src][row] as usize],
+                    "schedule placement disagrees with the molecule position"
+                );
+                arrivals.push(p);
+            }
+        }
+        debug_assert!(next.next().is_none(), "payload longer than its counts");
+    }
+    rank.charge_compute(arrivals.len() as f64 * 0.3);
+    phases.move_data += rank.modeled().since(&t0);
+    arrivals
 }
 
 /// Put the surviving molecules back into their cells (in scan order, so per-cell order —
@@ -872,6 +1119,99 @@ mod tests {
         for s in &results {
             assert!(s.lb_trajectory.is_empty());
             assert_eq!(s.phases.monitor.total_us(), 0.0);
+        }
+    }
+
+    #[test]
+    fn patched_move_matches_sequential() {
+        let grid = CellGrid::new_2d(8, 8);
+        let flow = FlowConfig::directional(73);
+        let config = DsmcConfig {
+            nsteps: 12,
+            dt: 0.4,
+            move_mode: MoveMode::Patched {
+                rebuild_every_step: false,
+            },
+            remap: RemapStrategy::Static,
+            remap_interval: 40,
+            policy: None,
+            monitor_group: None,
+            seed: 73,
+        };
+        let results = run_config(4, grid, 600, flow, config.clone());
+        let par = merged_fingerprint(&results);
+        let seq = sequential_fingerprint(grid, 600, flow, 12, config.dt, 73);
+        assert_eq!(par, seq);
+        // Steady state: one initial build, every later step a patch.
+        for s in &results {
+            assert_eq!(s.schedule_upkeep.builds, 1);
+            assert_eq!(s.schedule_upkeep.patches, 11);
+        }
+    }
+
+    #[test]
+    fn patched_upkeep_choice_does_not_change_the_physics_or_the_data_path() {
+        // The on-vs-off equivalence the issue pins: whether the maintained schedule is
+        // patched forward or rebuilt every step, the fingerprints AND the MOVE data-path
+        // wire totals must be identical — only the upkeep counters may differ.
+        let grid = CellGrid::new_2d(10, 8);
+        let flow = FlowConfig::directional(74);
+        let run_mode = |rebuild_every_step: bool| -> Vec<DsmcStats> {
+            let config = DsmcConfig {
+                nsteps: 14,
+                dt: 0.4,
+                move_mode: MoveMode::Patched { rebuild_every_step },
+                remap: RemapStrategy::Static,
+                remap_interval: 40,
+                policy: None,
+                monitor_group: None,
+                seed: 74,
+            };
+            run_config(4, grid, 800, flow, config)
+        };
+        let patched = run_mode(false);
+        let rebuilt = run_mode(true);
+        assert_eq!(merged_fingerprint(&patched), merged_fingerprint(&rebuilt));
+        for (p, r) in patched.iter().zip(&rebuilt) {
+            assert_eq!(p.move_data_exchange, r.move_data_exchange);
+            assert_eq!(p.migrations, r.migrations);
+            assert_eq!(r.schedule_upkeep.builds, 14);
+            assert_eq!(r.schedule_upkeep.patches, 0);
+            assert_eq!(p.schedule_upkeep.builds, 1);
+            assert_eq!(p.schedule_upkeep.patches, 13);
+        }
+        // Something actually crossed the wire, or the equivalence is vacuous.
+        assert!(patched.iter().any(|s| s.move_data_exchange.msgs_sent > 0));
+    }
+
+    #[test]
+    fn patched_move_survives_remapping() {
+        // A remap invalidates every cached translation; the epoch bump must flow through
+        // the schedule key so the next patch ships a full replacement — and the
+        // simulation must still match the sequential reference.
+        let grid = CellGrid::new_2d(8, 8);
+        let flow = FlowConfig::directional(75);
+        let config = DsmcConfig {
+            nsteps: 15,
+            dt: 0.4,
+            move_mode: MoveMode::Patched {
+                rebuild_every_step: false,
+            },
+            remap: RemapStrategy::Chain,
+            remap_interval: 5,
+            policy: None,
+            monitor_group: None,
+            seed: 75,
+        };
+        let results = run_config(4, grid, 500, flow, config.clone());
+        assert!(results.iter().all(|s| s.remaps == 2));
+        let par = merged_fingerprint(&results);
+        let seq = sequential_fingerprint(grid, 500, flow, 15, config.dt, 75);
+        assert_eq!(par, seq);
+        // Remaps do not force rebuilds: the full replacement rides the patch path.
+        for s in &results {
+            assert_eq!(s.schedule_upkeep.builds, 1);
+            assert_eq!(s.schedule_upkeep.patches, 14);
         }
     }
 

@@ -346,6 +346,82 @@ impl ExchangePlan {
     }
 }
 
+/// Route sparse per-destination records to their destinations through the same log-depth
+/// Bruck ring as [`ExchangePlan::negotiate`] — but carrying the *records themselves*
+/// instead of counts, so negotiation and delivery fuse into a single store-and-forward
+/// phase of exactly `ceil(log2 P)` messages per rank.
+///
+/// This is the delta-communication primitive: when the payload is a handful of edit
+/// records, a negotiate-then-sparse-send pair costs `log2 P` routing messages *plus* one
+/// direct message per active peer, while this routes everything in the `log2 P` messages
+/// alone.  Records pay store-and-forward inflation (each travels up to `log2 P` hops),
+/// which is the right trade precisely when they are few and small.
+///
+/// Returns one `Vec<T>` per source rank.  Records from the same source arrive in the
+/// order that source sent them (all records of one source/destination pair make identical
+/// hop decisions, and every round preserves stream order), so the result is
+/// deterministic.  The self entry of `sends` is delivered locally without touching the
+/// network.  Collective — every rank sends one (possibly empty) message per round.
+///
+/// # Panics
+/// Panics if `sends.len()` differs from the machine size.
+pub fn route_sparse<T: Element>(rank: &mut Rank, sends: &[Vec<T>]) -> Vec<Vec<T>> {
+    let n = rank.nprocs();
+    let me = rank.rank();
+    assert_eq!(sends.len(), n, "one record list per rank required");
+    assert!(
+        n <= u32::MAX as usize,
+        "rank ids must fit the routing header"
+    );
+    // Stream of (dest, src, record) triples this rank currently holds.
+    let mut held: Vec<(u32, u32, T)> = Vec::new();
+    for (p, records) in sends.iter().enumerate() {
+        if p != me {
+            held.extend(records.iter().map(|&r| (p as u32, me as u32, r)));
+        }
+    }
+    let mut fwd: Vec<(u32, u32, T)> = Vec::new();
+    let mut incoming: Vec<(u32, u32, T)> = Vec::new();
+    for k in 0..crate::topology::tree_rounds(n) {
+        let d = 1usize << k;
+        let to = (me + d) % n;
+        let from = (me + n - d) % n;
+        // Same split as `negotiate`: triples whose remaining offset has bit k set hop
+        // forward this round; arrivals have bits 0..=k clear, so merging after the split
+        // is safe.
+        fwd.clear();
+        held.retain(|&triple| {
+            let offset = (triple.0 as usize + n - me) % n;
+            if offset & d != 0 {
+                fwd.push(triple);
+                false
+            } else {
+                true
+            }
+        });
+        let mut plan_sends: Vec<Option<usize>> = vec![None; n];
+        plan_sends[to] = Some(fwd.len());
+        let mut recvs = vec![RecvSpec::None; n];
+        recvs[from] = RecvSpec::Any;
+        let plan = ExchangePlan::from_parts(me, plan_sends, recvs);
+        incoming.clear();
+        alltoallv_with(
+            rank,
+            &plan,
+            |_p, buf: &mut PackBuf<'_, (u32, u32, T)>| buf.extend_from_slice(&fwd),
+            |_src, v: Placed<'_, (u32, u32, T)>| incoming.extend_from_slice(&v),
+        );
+        held.extend_from_slice(&incoming);
+    }
+    let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    out[me].extend_from_slice(&sends[me]);
+    for &(dest, src, record) in &held {
+        debug_assert_eq!(dest as usize, me, "record routing incomplete");
+        out[src as usize].push(record);
+    }
+    out
+}
+
 /// An outgoing message buffer handed to the pack closure of [`alltoallv_with`].
 ///
 /// Elements pushed here are encoded straight into the (pooled) byte buffer the message
@@ -914,6 +990,38 @@ mod tests {
     use crate::cost::CostModel;
     use crate::topology::MachineConfig;
     use crate::{run, RankStats};
+
+    #[test]
+    fn route_sparse_matches_dense_exchange_in_log_depth_messages() {
+        // Every rank sends a distinctive record stream to a sparse set of peers; routing
+        // must deliver exactly what a dense all_to_all would, in source order, within
+        // ceil(log2 P) messages per rank per call.
+        let out = run(MachineConfig::new(6), |rank| {
+            let me = rank.rank();
+            let n = rank.nprocs();
+            let mut sends: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); n];
+            // Each rank talks to me+1 and me+3 (mod n) only, plus itself.
+            for hop in [0usize, 1, 3] {
+                let dest = (me + hop) % n;
+                for i in 0..(me + hop + 1) {
+                    sends[dest].push((me as u32, dest as u32, i as u32));
+                }
+            }
+            let msgs_before = rank.stats().msgs_sent;
+            let routed = route_sparse(rank, &sends);
+            let msgs = rank.stats().msgs_sent - msgs_before;
+            let dense = rank.all_to_all(&sends);
+            (routed, dense, msgs)
+        });
+        for (me, (routed, dense, msgs)) in out.results.iter().enumerate() {
+            assert_eq!(routed, dense, "rank {me}: routed delivery must match dense");
+            assert_eq!(
+                *msgs,
+                crate::topology::tree_rounds(6) as u64,
+                "rank {me}: one message per routing round, regardless of fan-out"
+            );
+        }
+    }
 
     #[test]
     fn sparse_plan_skips_empty_messages() {

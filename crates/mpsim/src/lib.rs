@@ -50,8 +50,9 @@ pub mod topology;
 
 pub use cost::{CostModel, TimeSnapshot};
 pub use exchange::{
-    alltoallv, alltoallv_multi, alltoallv_replicated, alltoallv_with, start_alltoallv,
-    start_alltoallv_with, ExchangeHandle, ExchangePlan, ExchangeStats, PackBuf, Placed, RecvSpec,
+    alltoallv, alltoallv_multi, alltoallv_replicated, alltoallv_with, route_sparse,
+    start_alltoallv, start_alltoallv_with, ExchangeHandle, ExchangePlan, ExchangeStats, PackBuf,
+    Placed, RecvSpec,
 };
 pub use machine::{run, Machine, Rank, RunOutcome};
 pub use message::Element;

@@ -101,6 +101,131 @@ fn merged_schedules_keep_ghost_offsets_disjoint() {
     }
 }
 
+/// `merged_with` when the two schedules receive from **disjoint** peer sets: A fetches
+/// only from the next rank, B only from the rank after.  The merged schedule must carry
+/// both receive sides untouched — per-peer fetch sizes are exactly the union — and a
+/// single merged gather must fill both ghost patterns.
+#[test]
+fn merging_disjoint_recv_sets_concatenates_per_peer_lists() {
+    let n = 50;
+    let nprocs = 5;
+    let out = run(MachineConfig::new(nprocs), move |rank| {
+        let dist = BlockDist::new(n, rank.nprocs());
+        let ttable = TranslationTable::from_regular(&dist);
+        let mut insp = Inspector::new(&ttable, rank.rank());
+        let (sa, sb) = (Stamp::new(0), Stamp::new(1));
+        let p = rank.nprocs();
+        let next = (rank.rank() + 1) % p;
+        let after = (rank.rank() + 2) % p;
+        // a references only `next`'s block, b only `after`'s block.
+        let a: Vec<usize> = dist.local_range(next).take(3).collect();
+        let b: Vec<usize> = dist.local_range(after).take(4).collect();
+        let ra = insp.hash_indices(rank, &a, sa);
+        let rb = insp.hash_indices(rank, &b, sb);
+        let sched_a = insp.build_schedule(rank, StampQuery::single(sa));
+        let sched_b = insp.build_schedule(rank, StampQuery::single(sb));
+        let merged = sched_a.merged_with(&sched_b);
+
+        let fetch_next = merged.fetch_size(next);
+        let fetch_after = merged.fetch_size(after);
+        let owned: Vec<f64> = dist
+            .local_globals(rank.rank())
+            .map(|g| g as f64 - 1.5)
+            .collect();
+        let mut x = DistArray::new(owned, merged.ghost_len());
+        gather(rank, &merged, &mut x);
+        let got: Vec<f64> = ra.iter().chain(&rb).map(|&r| x[r]).collect();
+        let want: Vec<f64> = a.iter().chain(&b).map(|&g| g as f64 - 1.5).collect();
+        (
+            sched_a.total_fetch(),
+            sched_b.total_fetch(),
+            merged.total_fetch(),
+            fetch_next,
+            fetch_after,
+            got,
+            want,
+        )
+    });
+    for (fa, fb, fm, fetch_next, fetch_after, got, want) in &out.results {
+        assert_eq!(*fa, 3);
+        assert_eq!(*fb, 4);
+        assert_eq!(
+            *fm,
+            fa + fb,
+            "disjoint recv sets must merge without deduplication"
+        );
+        assert_eq!(*fetch_next, 3, "A's peer must keep exactly A's fetch list");
+        assert_eq!(*fetch_after, 4, "B's peer must keep exactly B's fetch list");
+        assert_eq!(got, want, "merged gather must fill both ghost patterns");
+    }
+}
+
+/// `merged_with` when the two recv sets **overlap** on one peer: both schedules fetch
+/// from `next` (sharing two elements) and only B fetches from `after`.  The shared peer's
+/// fetch list must be deduplicated; the disjoint peer's must pass through unchanged; and
+/// the merge must agree with building from the merged stamp query directly.
+#[test]
+fn merging_overlapping_recv_sets_deduplicates_only_the_shared_peer() {
+    let n = 50;
+    let nprocs = 5;
+    let out = run(MachineConfig::new(nprocs), move |rank| {
+        let dist = BlockDist::new(n, rank.nprocs());
+        let ttable = TranslationTable::from_regular(&dist);
+        let mut insp = Inspector::new(&ttable, rank.rank());
+        let (sa, sb) = (Stamp::new(0), Stamp::new(1));
+        let p = rank.nprocs();
+        let next = (rank.rank() + 1) % p;
+        let after = (rank.rank() + 2) % p;
+        // a: 4 elements of `next`'s block.  b: the last 2 of those plus 3 of `after`'s.
+        let a: Vec<usize> = dist.local_range(next).take(4).collect();
+        let b: Vec<usize> = dist
+            .local_range(next)
+            .skip(2)
+            .take(2)
+            .chain(dist.local_range(after).take(3))
+            .collect();
+        let ra = insp.hash_indices(rank, &a, sa);
+        let rb = insp.hash_indices(rank, &b, sb);
+        let sched_a = insp.build_schedule(rank, StampQuery::single(sa));
+        let sched_b = insp.build_schedule(rank, StampQuery::single(sb));
+        let merged = sched_a.merged_with(&sched_b);
+        let by_query = insp.build_schedule(rank, StampQuery::any_of(&[sa, sb]));
+
+        let owned: Vec<f64> = dist
+            .local_globals(rank.rank())
+            .map(|g| g as f64 * 0.25)
+            .collect();
+        let mut x = DistArray::new(owned, merged.ghost_len());
+        gather(rank, &merged, &mut x);
+        let got: Vec<f64> = ra.iter().chain(&rb).map(|&r| x[r]).collect();
+        let want: Vec<f64> = a.iter().chain(&b).map(|&g| g as f64 * 0.25).collect();
+        (
+            merged == by_query,
+            merged.fetch_size(next),
+            merged.fetch_size(after),
+            merged.total_fetch(),
+            got,
+            want,
+        )
+    });
+    for (same_as_query, fetch_next, fetch_after, total, got, want) in &out.results {
+        assert!(
+            *same_as_query,
+            "merging schedules and building from the merged query must agree"
+        );
+        assert_eq!(*fetch_next, 4, "the shared peer's overlap must deduplicate");
+        assert_eq!(
+            *fetch_after, 3,
+            "the disjoint peer must pass through unchanged"
+        );
+        assert_eq!(*total, 7);
+        assert_eq!(
+            got, want,
+            "merged gather must serve both reference patterns"
+        );
+    }
+}
+
 /// The incremental-schedule pattern of Figure 6: after an indirection array adapts, clear
 /// its stamp, re-hash, and gather only the `new minus old` elements on top of data the old
 /// schedule already brought in.
