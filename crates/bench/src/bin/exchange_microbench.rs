@@ -2,18 +2,26 @@
 //!
 //! Runs the engine-shaped loops of `chaos_bench::microbench` (CHARMM gather/scatter,
 //! DSMC append, CHARMM remap) on an 8-rank simulated machine, sweeps the gather/scatter
-//! and append shapes over machine sizes (P = 2–64) and payload element sizes (8–64
-//! bytes), runs the collective scaling sweep of `chaos_bench::collective` (all-gather,
-//! all-reduce, sparse negotiation and hierarchical monitoring at P = 32–1024), and
-//! prints a summary.  With `--json [PATH]`, also writes the machine-readable report
-//! (`BENCH_exchange.json` by default; schema `chaos-bench/exchange/v4` in
-//! `BENCHMARKS.md`).  With `--check`, exits non-zero if any loop violates a pinned
-//! invariant:
+//! and append shapes over machine sizes (P = 2–64), payload element sizes (8–64 bytes)
+//! and exchange backends (modeled vs shared-memory at P = 1–8), runs the collective
+//! scaling sweep of `chaos_bench::collective` (P = 32–1024) and the parallel-inspector
+//! preprocessing sweep of `chaos_bench::preproc`, and prints a summary.  With
+//! `--json [PATH]`, also writes the machine-readable report (`BENCH_exchange.json` by
+//! default; schema `chaos-bench/exchange/v5` in `BENCHMARKS.md`).  With `--check`,
+//! exits non-zero if any loop violates a pinned invariant:
 //!
 //! * zero pack-buffer allocations after warm-up everywhere, zero decode-scratch
-//!   allocations for every borrow-only loop (the steady-state gate);
+//!   allocations for every borrow-only loop (the steady-state gate) — applied to
+//!   **every** microbenchmark section the report carries: the gated loop set is the
+//!   section list itself, so a loop cannot enter the artifact ungated;
+//! * backends agree on fingerprints, wire statistics and modeled time, and the
+//!   shared-memory backend beats modeled by ≥ 2x wall-clock on the 64-byte POD loop
+//!   (the backend gate);
 //! * every collective within its log-depth message budget, and the O(1)-payload
 //!   collectives' modeled time at P = 1024 within 2.5x of P = 32 (the scaling gate);
+//! * parallel-inspector schedules byte-identical at every worker count, and — on hosts
+//!   with ≥ 4 cores — the 4-worker clear sweep ≥ 1.5x faster than 1 worker (the
+//!   preprocessing gate);
 //! * patched schedules byte-identical to rebuilds, DSMC physics and wire traffic
 //!   independent of the upkeep route, and steady-state patching under 50% of the
 //!   rebuild cost (the delta gate — the same scenarios `delta_scenarios` records).
@@ -24,8 +32,11 @@ use chaos_bench::delta::{
     DsmcDeltaParams,
 };
 use chaos_bench::microbench::{
-    all_microbenches, element_size_sweep, exchange_report, rank_sweep, steady_state_violations,
+    backend_equivalence_violations, exchange_report, microbench_sections, steady_state_violations,
     MicrobenchConfig,
+};
+use chaos_bench::preproc::{
+    host_cores, preproc_scaling_violations, preproc_section, preproc_sweep,
 };
 use chaos_bench::report::{parse_json_flag, write_json_file};
 
@@ -41,26 +52,28 @@ fn main() {
 
     let cfg = MicrobenchConfig::default();
     println!(
-        "exchange engine microbenchmarks ({} ranks, {} warmup + {} measured iterations)",
-        cfg.ranks, cfg.warmup_iters, cfg.measured_iters
+        "exchange engine microbenchmarks ({} ranks, {} warmup + {} measured iterations, \
+         host cores: {})",
+        cfg.ranks,
+        cfg.warmup_iters,
+        cfg.measured_iters,
+        host_cores()
     );
-    let benches = all_microbenches(&cfg);
-    for r in &benches {
-        println!("{}", r.summary_line());
-    }
-    println!("rank sweep (strong scaling, global problem size fixed):");
-    let ranks = rank_sweep(&cfg);
-    for r in &ranks {
-        println!("{}", r.summary_line());
-    }
-    println!("element-size sweep (8 ranks):");
-    let elems = element_size_sweep(&cfg);
-    for r in &elems {
-        println!("{}", r.summary_line());
+    let sections = microbench_sections(&cfg);
+    for (name, rows) in &sections {
+        println!("{name}:");
+        for r in rows {
+            println!("{}", r.summary_line());
+        }
     }
     println!("collective sweep (log-depth scaling, P = 32-1024):");
     let collectives = collective_sweep();
     for r in &collectives {
+        println!("{}", r.summary_line());
+    }
+    println!("preprocessing sweep (parallel inspector worker scaling):");
+    let preproc = preproc_sweep();
+    for r in &preproc {
         println!("{}", r.summary_line());
     }
     println!("delta maintenance (patch vs rebuild, drifting indirection + drifting DSMC):");
@@ -68,24 +81,25 @@ fn main() {
     let dsmc = dsmc_drift(&DsmcDeltaParams::default_dsmc(16));
     let cache = cache_lifecycle(8, 8);
     println!(
-        "  schedule_drift: steady patch {:.0} us vs rebuild {:.0} us, byte-identical: {}",
-        drift.steady_patch_us, drift.steady_rebuild_us, drift.byte_identical
+        "  schedule_drift: steady patch {:.0} us vs rebuild {:.0} us, byte-identical: {}, \
+         wall {:.1} ms",
+        drift.steady_patch_us, drift.steady_rebuild_us, drift.byte_identical, drift.wall_ms
     );
     println!(
         "  dsmc_drift: upkeep patch {:.0} us vs rebuild {:.0} us, fingerprints match: {}, \
-         wire traffic equal: {}",
+         wire traffic equal: {}, wall {:.1} ms",
         dsmc.patch_upkeep_us,
         dsmc.rebuild_upkeep_us,
         dsmc.fingerprints_match,
-        dsmc.data_exchange_equal
+        dsmc.data_exchange_equal,
+        dsmc.wall_ms
     );
 
     if let Some(path) = json_path {
         let doc = exchange_report(
-            &benches,
-            &ranks,
-            &elems,
+            &sections,
             &collectives,
+            preproc_section(&preproc),
             delta_section(&drift, &dsmc, &cache),
         );
         write_json_file(&path, &doc).unwrap_or_else(|e| {
@@ -96,21 +110,29 @@ fn main() {
     }
 
     if check {
-        let all: Vec<_> = benches
-            .iter()
-            .chain(&ranks)
-            .chain(&elems)
-            .cloned()
-            .collect();
-        let mut violations = steady_state_violations(&all);
+        // The gated loop set is derived from the report sections themselves — every
+        // row that lands in the artifact is steady-state gated, with no separate
+        // name list to drift out of sync.
+        let mut violations = Vec::new();
+        let mut gated_loops = 0;
+        for (name, rows) in &sections {
+            gated_loops += rows.len();
+            violations.extend(steady_state_violations(rows));
+            if *name == "backend_sweep" {
+                violations.extend(backend_equivalence_violations(rows));
+            }
+        }
         violations.extend(collective_scaling_violations(&collectives));
+        violations.extend(preproc_scaling_violations(&preproc));
         violations.extend(delta_violations(&drift, &dsmc));
         if violations.is_empty() {
             println!(
-                "checks passed: 0 allocations after warm-up across {} loops; \
-                 {} collective points within the log-depth message and time budgets; \
-                 delta maintenance byte-identical and under the 50% patch-cost bound",
-                all.len(),
+                "checks passed: 0 allocations after warm-up across {gated_loops} loops \
+                 in {} sections; backends equivalent with the shared-memory fast path \
+                 ahead; {} collective points within the log-depth message and time \
+                 budgets; parallel inspector byte-identical across worker counts; delta \
+                 maintenance byte-identical and under the 50% patch-cost bound",
+                sections.len(),
                 collectives.len()
             );
         } else {

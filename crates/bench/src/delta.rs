@@ -80,6 +80,11 @@ pub struct DriftRound {
 pub struct DriftEntry {
     /// Parameters the scenario ran with.
     pub params: DriftParams,
+    /// Host wall-clock of the whole scenario, milliseconds.  Reported in the
+    /// human-readable output but deliberately kept out of the JSON sections —
+    /// `BENCH_delta.json` is gated on two runs being byte-identical, and wall-clock
+    /// never is.
+    pub wall_ms: f64,
     /// Whether every round's patched schedule was byte-identical to the rebuild on every
     /// rank — the correctness pin behind reusing patched schedules anywhere a built one
     /// is accepted.
@@ -103,6 +108,7 @@ fn lcg(x: &mut u64) -> u64 {
 /// rebuilding a control schedule from a hash table kept in lockstep, comparing bytes and
 /// modeled upkeep cost every round.
 pub fn schedule_drift(params: &DriftParams) -> DriftEntry {
+    let start = std::time::Instant::now();
     let p = params.clone();
     let out = run(MachineConfig::new(p.ranks), move |rank| {
         let me = rank.rank();
@@ -173,6 +179,7 @@ pub fn schedule_drift(params: &DriftParams) -> DriftEntry {
     let steady = &per_round[1..];
     DriftEntry {
         params: params.clone(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
         byte_identical,
         steady_patch_us: steady.iter().map(|r| r.patch_us).sum(),
         steady_rebuild_us: steady.iter().map(|r| r.rebuild_us).sum(),
@@ -218,6 +225,9 @@ impl DsmcDeltaParams {
 pub struct DsmcDeltaEntry {
     /// Parameters the scenario ran with.
     pub params: DsmcDeltaParams,
+    /// Host wall-clock of both runs together, milliseconds.  Human-readable output
+    /// only — excluded from the byte-identity-gated JSON like [`DriftEntry::wall_ms`].
+    pub wall_ms: f64,
     /// Whether both runs produced identical simulation fingerprints.
     pub fingerprints_match: bool,
     /// Whether both runs put identical MOVE data-path traffic on the wire, rank by rank.
@@ -239,6 +249,7 @@ pub struct DsmcDeltaEntry {
 /// Run the drifting-density DSMC flow twice — upkeep by patching and upkeep by
 /// rebuilding — and compare physics, wire traffic and upkeep cost.
 pub fn dsmc_drift(params: &DsmcDeltaParams) -> DsmcDeltaEntry {
+    let start = std::time::Instant::now();
     let run_mode = |rebuild_every_step: bool| {
         let p = params.clone();
         let grid = CellGrid::new_2d(p.grid.0, p.grid.1);
@@ -280,6 +291,7 @@ pub fn dsmc_drift(params: &DsmcDeltaParams) -> DsmcDeltaEntry {
     };
     DsmcDeltaEntry {
         params: params.clone(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
         fingerprints_match: fingerprint(&patched) == fingerprint(&rebuilt),
         data_exchange_equal: patched
             .iter()
@@ -478,8 +490,13 @@ pub fn format_drift(e: &DriftEntry) -> String {
         .collect();
     format_table(
         &format!(
-            "Schedule drift (P = {}, {} refs/rank, {} replaced/round, byte-identical: {})",
-            e.params.ranks, e.params.refs_per_rank, e.params.drift_per_round, e.byte_identical
+            "Schedule drift (P = {}, {} refs/rank, {} replaced/round, byte-identical: {}, \
+             wall {:.1} ms)",
+            e.params.ranks,
+            e.params.refs_per_rank,
+            e.params.drift_per_round,
+            e.byte_identical,
+            e.wall_ms
         ),
         &headers,
         &rows,
@@ -510,12 +527,13 @@ pub fn format_dsmc(e: &DsmcDeltaEntry) -> String {
     format_table(
         &format!(
             "Drifting DSMC (P = {}, {} molecules, {} steps; fingerprints match: {}, \
-             wire traffic equal: {})",
+             wire traffic equal: {}, wall {:.1} ms)",
             e.params.ranks,
             e.params.nparticles,
             e.params.nsteps,
             e.fingerprints_match,
-            e.data_exchange_equal
+            e.data_exchange_equal,
+            e.wall_ms
         ),
         &headers,
         &rows,
@@ -614,6 +632,29 @@ mod tests {
         });
         let b = delta_report(&drift2, &dsmc2, &cache2);
         assert_eq!(a.render_pretty(), b.render_pretty());
+    }
+
+    #[test]
+    fn wall_clock_is_recorded_but_never_enters_the_gated_json() {
+        // The byte-identity gate over BENCH_delta.json only works because nothing
+        // host-dependent is rendered; wall_ms lives on the structs (and in the human
+        // tables) but must stay out of the document.
+        let drift = schedule_drift(&small_drift());
+        assert!(drift.wall_ms > 0.0);
+        assert!(format_drift(&drift).contains("wall"));
+        let dsmc = dsmc_drift(&DsmcDeltaParams {
+            ranks: 2,
+            grid: (8, 8),
+            nparticles: 600,
+            nsteps: 8,
+            remap_interval: 0,
+            seed: 7,
+        });
+        assert!(dsmc.wall_ms > 0.0);
+        assert!(format_dsmc(&dsmc).contains("wall"));
+        let cache = cache_lifecycle(2, 3);
+        let text = delta_report(&drift, &dsmc, &cache).render_pretty();
+        assert!(!text.contains("wall"), "wall-clock leaked into gated JSON");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod adapt;
 pub mod collective;
 pub mod delta;
 pub mod microbench;
+pub mod preproc;
 pub mod report;
 pub mod tables;
 pub mod workloads;
@@ -43,5 +44,6 @@ pub use adapt::{AdaptEntry, RampParams};
 pub use collective::{CollectiveResult, COLLECTIVE_SWEEP_POINTS};
 pub use delta::{DriftEntry, DriftParams, DsmcDeltaEntry, DsmcDeltaParams};
 pub use microbench::{MicrobenchConfig, MicrobenchResult};
+pub use preproc::{PreprocResult, PREPROC_WORKERS};
 pub use report::Json;
 pub use tables::{Scale, TableOutput};

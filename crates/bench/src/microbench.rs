@@ -38,7 +38,7 @@
 use std::time::Instant;
 
 use chaos::prelude::*;
-use mpsim::{run, ExchangeStats, MachineConfig, PackPoolStats, Rank};
+use mpsim::{run, ExchangeBackend, ExchangeStats, MachineConfig, PackPoolStats, Rank};
 
 use crate::report::Json;
 
@@ -55,6 +55,10 @@ pub struct MicrobenchConfig {
     pub elements: usize,
     /// Items per rank for the append loop.
     pub items_per_rank: usize,
+    /// Exchange backend the simulated machine runs on.  Defaults to the
+    /// environment-selected backend (`MPSIM_BACKEND`); [`backend_sweep`] pins each
+    /// explicitly to compare wall-clock.
+    pub backend: ExchangeBackend,
 }
 
 impl Default for MicrobenchConfig {
@@ -65,6 +69,7 @@ impl Default for MicrobenchConfig {
             measured_iters: 32,
             elements: 4096,
             items_per_rank: 512,
+            backend: ExchangeBackend::from_env(),
         }
     }
 }
@@ -74,6 +79,8 @@ impl Default for MicrobenchConfig {
 pub struct MicrobenchResult {
     /// Benchmark name (stable across runs; the JSON key CI compares on).
     pub name: &'static str,
+    /// Exchange backend the loop ran on (`"modeled"` or `"shared"`).
+    pub backend: &'static str,
     /// Machine size the loop ran on.
     pub ranks: usize,
     /// Encoded payload element size in bytes (8 for the classic `f64`/`u64` loops).
@@ -89,6 +96,20 @@ pub struct MicrobenchResult {
     pub measured_iters: usize,
     /// Host wall-clock time of the whole run (setup + warm-up + measured), milliseconds.
     pub wall_ms: f64,
+    /// Host wall-clock of the measurement window per iteration, max over ranks
+    /// (nanoseconds) — the number the backend comparison is about.  Unlike [`wall_ms`]
+    /// it excludes machine setup and schedule construction, so it isolates the
+    /// steady-state data path the backends differ on.
+    ///
+    /// [`wall_ms`]: MicrobenchResult::wall_ms
+    pub wall_ns_per_iter: f64,
+    /// Checksum of the loop's final data, summed over ranks.  Every harness arranges
+    /// integer-valued (or dyadic-rational) `f64` contents whose sums are exact, so the
+    /// fingerprint is independent of message arrival order and must be bit-identical
+    /// across backends — the cheap cross-backend equivalence probe
+    /// ([`backend_equivalence_violations`]); the exhaustive byte-identity pins live in
+    /// the `backend_equivalence` integration tests.
+    pub fingerprint: f64,
     /// Modeled compute time of the measurement window, max over ranks (µs).
     pub modeled_compute_us: f64,
     /// Modeled communication time of the measurement window, max over ranks (µs).
@@ -105,19 +126,23 @@ pub struct MicrobenchResult {
 
 impl MicrobenchResult {
     /// What a pool-less engine would have allocated over the whole run: one fresh buffer
-    /// per buffer request.  This is the pre-pool baseline the acceptance comparison uses.
+    /// per buffer request, in both directions (send-side pack buffers plus receive-side
+    /// decode scratch).  This is the pre-pool baseline the acceptance comparison uses.
+    /// Counting both pools also keeps the metric meaningful on the shared-memory
+    /// backend, whose POD fast path draws every message buffer from the decode-scratch
+    /// pool and leaves the pack-buffer pool idle.
     pub fn baseline_allocations(&self) -> u64 {
-        self.pool_total.requests()
+        self.pool_total.requests() + self.pool_total.decode_requests()
     }
 
-    /// Percentage of send-buffer allocations the pool eliminated relative to the
-    /// pool-less baseline.
+    /// Percentage of buffer allocations (both directions) the pools eliminated relative
+    /// to the pool-less baseline.
     pub fn allocation_reduction_pct(&self) -> f64 {
         let base = self.baseline_allocations();
         if base == 0 {
             0.0
         } else {
-            100.0 * self.pool_total.reuses as f64 / base as f64
+            100.0 * (self.pool_total.reuses + self.pool_total.decode_reuses) as f64 / base as f64
         }
     }
 
@@ -135,12 +160,15 @@ impl MicrobenchResult {
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("name", Json::str(self.name)),
+            ("backend", Json::str(self.backend)),
             ("ranks", Json::uint(self.ranks as u64)),
             ("elem_bytes", Json::uint(self.elem_bytes as u64)),
             ("receive_owned", Json::Bool(self.receive_owned)),
             ("warmup_iters", Json::uint(self.warmup_iters as u64)),
             ("measured_iters", Json::uint(self.measured_iters as u64)),
             ("wall_ms", Json::Num(self.wall_ms)),
+            ("wall_ns_per_iter", Json::Num(self.wall_ns_per_iter.round())),
+            ("fingerprint", Json::Num(self.fingerprint)),
             (
                 "modeled_us",
                 Json::obj(vec![
@@ -198,15 +226,17 @@ impl MicrobenchResult {
     /// One-line human-readable summary.
     pub fn summary_line(&self) -> String {
         format!(
-            "{:<26} {:>2} ranks  {:>2}B elems  {:>3} iters  {:>4} msgs/iter  \
-             wall {:>8.2} ms  modeled {:>10.1} us  allocs {:>5} (steady {:>2})  \
-             decode {:>5} (steady {:>3}{})  -{:.1}%",
+            "{:<26} [{:<7}] {:>2} ranks  {:>2}B elems  {:>3} iters  {:>4} msgs/iter  \
+             wall {:>8.2} ms ({:>9.0} ns/iter)  modeled {:>10.1} us  \
+             allocs {:>5} (steady {:>2})  decode {:>5} (steady {:>3}{})  -{:.1}%",
             self.name,
+            self.backend,
             self.ranks,
             self.elem_bytes,
             self.measured_iters,
             self.msgs_per_iter(),
             self.wall_ms,
+            self.wall_ns_per_iter,
             self.modeled_total_us,
             self.pool_total.allocations,
             self.pool_steady.allocations,
@@ -222,63 +252,86 @@ fn round2(x: f64) -> f64 {
     (x * 100.0).round() / 100.0
 }
 
-/// Per-rank instrumentation shared by the three loops: run `iter` for the warm-up window,
-/// snapshot, run it for the measurement window, and return the deltas.
+/// The per-rank instrumentation of one measurement window.
+struct RankMeasure {
+    pool_warm: PackPoolStats,
+    pool_end: PackPoolStats,
+    exch: ExchangeStats,
+    compute_us: f64,
+    comm_us: f64,
+    total_us: f64,
+    /// Host wall-clock of this rank's measurement window, nanoseconds.
+    wall_ns: u64,
+}
+
+/// Per-rank instrumentation shared by the loops: run `iter` for the warm-up window,
+/// snapshot, run it for the measurement window (modeled *and* host wall-clock), and
+/// return the deltas.
 fn instrumented_loop(
     rank: &mut Rank,
     cfg: &MicrobenchConfig,
     mut iter: impl FnMut(&mut Rank) -> ExchangeStats,
-) -> (PackPoolStats, PackPoolStats, ExchangeStats, f64, f64, f64) {
+) -> RankMeasure {
     for _ in 0..cfg.warmup_iters {
         iter(rank);
     }
-    let pool_at_warm = rank.pool_stats();
+    let pool_warm = rank.pool_stats();
     let t0 = rank.modeled();
+    let wall0 = Instant::now();
     let mut exch = ExchangeStats::default();
     for _ in 0..cfg.measured_iters {
         exch = exch.merged(&iter(rank));
     }
+    let wall_ns = wall0.elapsed().as_nanos() as u64;
     let dt = rank.modeled().since(&t0);
-    let pool_at_end = rank.pool_stats();
-    (
-        pool_at_warm,
-        pool_at_end,
+    RankMeasure {
+        pool_warm,
+        pool_end: rank.pool_stats(),
         exch,
-        dt.compute_us,
-        dt.comm_us,
-        dt.total_us(),
-    )
+        compute_us: dt.compute_us,
+        comm_us: dt.comm_us,
+        total_us: dt.total_us(),
+        wall_ns,
+    }
 }
 
-/// Fold the per-rank instrumentation tuples and the run's pool totals into a result.
+/// Fold the per-rank `(measure, fingerprint)` pairs and the run's pool totals into a
+/// result.
 fn collect(
     name: &'static str,
     cfg: &MicrobenchConfig,
     elem_bytes: usize,
     receive_owned: bool,
     wall_ms: f64,
-    outcome: mpsim::RunOutcome<(PackPoolStats, PackPoolStats, ExchangeStats, f64, f64, f64)>,
+    outcome: mpsim::RunOutcome<(RankMeasure, f64)>,
 ) -> MicrobenchResult {
     let mut exchange = ExchangeStats::default();
     let mut pool_steady = PackPoolStats::default();
     let mut compute: f64 = 0.0;
     let mut comm: f64 = 0.0;
     let mut total: f64 = 0.0;
-    for (warm, end, exch, c, m, t) in &outcome.results {
-        exchange = exchange.merged(exch);
-        pool_steady = pool_steady.merged(&end.since(warm));
-        compute = compute.max(*c);
-        comm = comm.max(*m);
-        total = total.max(*t);
+    let mut wall_ns: u64 = 0;
+    let mut fingerprint = 0.0f64;
+    for (m, fp) in &outcome.results {
+        exchange = exchange.merged(&m.exch);
+        pool_steady = pool_steady.merged(&m.pool_end.since(&m.pool_warm));
+        compute = compute.max(m.compute_us);
+        comm = comm.max(m.comm_us);
+        total = total.max(m.total_us);
+        wall_ns = wall_ns.max(m.wall_ns);
+        fingerprint += fp;
     }
     MicrobenchResult {
         name,
+        backend: cfg.backend.name(),
         ranks: cfg.ranks,
         elem_bytes,
         receive_owned,
         warmup_iters: cfg.warmup_iters,
         measured_iters: cfg.measured_iters,
         wall_ms,
+        wall_ns_per_iter: wall_ns as f64 / cfg.measured_iters.max(1) as f64,
+        fingerprint,
         modeled_compute_us: compute,
         modeled_comm_us: comm,
         modeled_total_us: total,
@@ -315,17 +368,19 @@ fn scatter_append_core<T: mpsim::Element>(
     cfg: &MicrobenchConfig,
     make: fn(u64) -> T,
     dests_of: fn(&[T], u64, usize, usize) -> Vec<usize>,
+    fp_of: fn(&T) -> f64,
 ) -> MicrobenchResult {
     let cfg2 = cfg.clone();
     let start = Instant::now();
-    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+    let machine = MachineConfig::new(cfg.ranks).with_backend(cfg.backend);
+    let outcome = run(machine, move |rank| {
         let me = rank.rank();
         let nprocs = rank.nprocs();
         let mut items: Vec<T> = (0..cfg2.items_per_rank)
             .map(|k| make((me * cfg2.items_per_rank + k) as u64))
             .collect();
         let mut step = 0u64;
-        instrumented_loop(rank, &cfg2, move |rank| {
+        let m = instrumented_loop(rank, &cfg2, |rank| {
             step += 1;
             let dests = dests_of(&items, step, me, nprocs);
             let sched = LightweightSchedule::build(rank, &dests);
@@ -338,7 +393,9 @@ fn scatter_append_core<T: mpsim::Element>(
                 bytes_sent: after.bytes_sent - before.bytes_sent,
                 bytes_received: after.bytes_received - before.bytes_received,
             }
-        })
+        });
+        let fp: f64 = items.iter().map(fp_of).sum();
+        (m, fp)
     });
     collect(
         name,
@@ -355,19 +412,22 @@ fn scatter_append_core<T: mpsim::Element>(
 pub fn gather_scatter_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
     let cfg2 = cfg.clone();
     let start = Instant::now();
-    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+    let machine = MachineConfig::new(cfg.ranks).with_backend(cfg.backend);
+    let outcome = run(machine, move |rank| {
         let me = rank.rank();
         let (dist, sched, refs) = build_strided_schedule(rank, cfg2.elements);
         let owned: Vec<f64> = dist.local_globals(me).map(|g| g as f64).collect();
         let mut x = DistArray::new(owned, sched.ghost_len());
-        instrumented_loop(rank, &cfg2, move |rank| {
+        let m = instrumented_loop(rank, &cfg2, |rank| {
             let g = gather(rank, &sched, &mut x);
             for &r in &refs {
                 x[r] += 1.0;
             }
             let s = scatter_add(rank, &sched, &mut x);
             g.merged(&s)
-        })
+        });
+        let fp: f64 = x.owned().iter().sum();
+        (m, fp)
     });
     collect(
         "gather_scatter_steady",
@@ -393,6 +453,7 @@ pub fn scatter_append_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
                 .map(|&id| ((id + step) % nprocs as u64) as usize)
                 .collect()
         },
+        |&id| id as f64,
     )
 }
 
@@ -401,7 +462,8 @@ pub fn scatter_append_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
 pub fn remap_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
     let cfg2 = cfg.clone();
     let start = Instant::now();
-    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+    let machine = MachineConfig::new(cfg.ranks).with_backend(cfg.backend);
+    let outcome = run(machine, move |rank| {
         let n = cfg2.elements;
         let me = rank.rank();
         let old = BlockDist::new(n, rank.nprocs());
@@ -410,9 +472,11 @@ pub fn remap_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
         let old_globals: Vec<usize> = old.local_globals(me).collect();
         let old_local: Vec<f64> = old_globals.iter().map(|&g| g as f64).collect();
         let plan = build_remap(rank, &old_globals, &mut new_table);
-        instrumented_loop(rank, &cfg2, move |rank| {
+        let mut fp = 0.0f64;
+        let m = instrumented_loop(rank, &cfg2, |rank| {
             let before = rank.stats();
             let moved = remap_values(rank, &plan, &old_local, 0.0);
+            fp = moved.iter().sum();
             std::hint::black_box(&moved);
             let after = rank.stats();
             ExchangeStats {
@@ -421,7 +485,8 @@ pub fn remap_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
                 bytes_sent: after.bytes_sent - before.bytes_sent,
                 bytes_received: after.bytes_received - before.bytes_received,
             }
-        })
+        });
+        (m, fp)
     });
     collect(
         "remap_steady",
@@ -441,14 +506,15 @@ pub fn remap_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
 pub fn fused_gather_scatter_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
     let cfg2 = cfg.clone();
     let start = Instant::now();
-    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+    let machine = MachineConfig::new(cfg.ranks).with_backend(cfg.backend);
+    let outcome = run(machine, move |rank| {
         let me = rank.rank();
         let (dist, sched, refs) = build_strided_schedule(rank, cfg2.elements);
         let mut arrays: [DistArray<f64>; 3] = [1.0, 2.0, 3.0].map(|lane| {
             let owned: Vec<f64> = dist.local_globals(me).map(|g| g as f64 * lane).collect();
             DistArray::new(owned, sched.ghost_len())
         });
-        instrumented_loop(rank, &cfg2, move |rank| {
+        let m = instrumented_loop(rank, &cfg2, |rank| {
             let [x, y, z] = &mut arrays;
             let g = gather_multi(rank, &sched, [x, y, z]);
             for &r in &refs {
@@ -458,7 +524,9 @@ pub fn fused_gather_scatter_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
             }
             let s = scatter_add_multi(rank, &sched, [x, y, z]);
             g.merged(&s)
-        })
+        });
+        let fp: f64 = arrays.iter().map(|a| a.owned().iter().sum::<f64>()).sum();
+        (m, fp)
     });
     collect(
         "fused_gather_scatter_steady",
@@ -478,12 +546,13 @@ pub fn fused_gather_scatter_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
 pub fn overlap_gather_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
     let cfg2 = cfg.clone();
     let start = Instant::now();
-    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+    let machine = MachineConfig::new(cfg.ranks).with_backend(cfg.backend);
+    let outcome = run(machine, move |rank| {
         let me = rank.rank();
         let (dist, sched, refs) = build_strided_schedule(rank, cfg2.elements);
         let owned: Vec<f64> = dist.local_globals(me).map(|g| g as f64).collect();
         let mut x = DistArray::new(owned, sched.ghost_len());
-        instrumented_loop(rank, &cfg2, move |rank| {
+        let m = instrumented_loop(rank, &cfg2, |rank| {
             let handle = gather_start(rank, &sched, [&x]);
             // The overlapped compute: owned-only work that needs no ghosts.
             rank.charge_compute(refs.len() as f64 * 0.1);
@@ -493,7 +562,9 @@ pub fn overlap_gather_steady(cfg: &MicrobenchConfig) -> MicrobenchResult {
             }
             let s = scatter_add(rank, &sched, &mut x);
             g.merged(&s)
-        })
+        });
+        let fp: f64 = x.owned().iter().sum();
+        (m, fp)
     });
     collect(
         "overlap_gather_steady",
@@ -524,22 +595,26 @@ fn gather_scatter_elem_steady<T>(
     name: &'static str,
     cfg: &MicrobenchConfig,
     make: fn(usize) -> T,
+    fp_of: fn(&T) -> f64,
 ) -> MicrobenchResult
 where
     T: mpsim::Element + Default,
 {
     let cfg2 = cfg.clone();
     let start = Instant::now();
-    let outcome = run(MachineConfig::new(cfg.ranks), move |rank| {
+    let machine = MachineConfig::new(cfg.ranks).with_backend(cfg.backend);
+    let outcome = run(machine, move |rank| {
         let me = rank.rank();
         let (dist, sched, _refs) = build_strided_schedule(rank, cfg2.elements);
         let owned: Vec<T> = dist.local_globals(me).map(make).collect();
         let mut x = DistArray::new(owned, sched.ghost_len());
-        instrumented_loop(rank, &cfg2, move |rank| {
+        let m = instrumented_loop(rank, &cfg2, |rank| {
             let g = gather(rank, &sched, &mut x);
             let s = scatter(rank, &sched, &mut x);
             g.merged(&s)
-        })
+        });
+        let fp: f64 = x.owned().iter().map(fp_of).sum();
+        (m, fp)
     });
     collect(
         name,
@@ -558,15 +633,22 @@ fn scatter_append_elem_steady<T>(
     name: &'static str,
     cfg: &MicrobenchConfig,
     make: fn(u64) -> T,
+    fp_of: fn(&T) -> f64,
 ) -> MicrobenchResult
 where
     T: mpsim::Element,
 {
-    scatter_append_core::<T>(name, cfg, make, |items, step, me, nprocs| {
-        (0..items.len())
-            .map(|i| (i + me + step as usize) % nprocs)
-            .collect()
-    })
+    scatter_append_core::<T>(
+        name,
+        cfg,
+        make,
+        |items, step, me, nprocs| {
+            (0..items.len())
+                .map(|i| (i + me + step as usize) % nprocs)
+                .collect()
+        },
+        fp_of,
+    )
 }
 
 /// Machine sizes of the application-shaped rank sweep — the paper's tables sweep
@@ -607,18 +689,170 @@ pub fn rank_sweep(base: &MicrobenchConfig) -> Vec<MicrobenchResult> {
 /// Run the gather/scatter and append shapes with 8-, 24- and 64-byte payload elements
 /// (`f64`, `[f64; 3]`, `[f64; 8]` — scalar, coordinate triple, small particle record).
 pub fn element_size_sweep(base: &MicrobenchConfig) -> Vec<MicrobenchResult> {
+    let sum3 = |v: &[f64; 3]| v.iter().sum::<f64>();
+    let sum8 = |v: &[f64; 8]| v.iter().sum::<f64>();
     vec![
-        gather_scatter_elem_steady::<f64>("gather_scatter_elem_8B", base, |g| g as f64),
-        gather_scatter_elem_steady::<[f64; 3]>("gather_scatter_elem_24B", base, |g| {
-            [g as f64, 1.0, -1.0]
-        }),
-        gather_scatter_elem_steady::<[f64; 8]>("gather_scatter_elem_64B", base, |g| [g as f64; 8]),
-        scatter_append_elem_steady::<u64>("scatter_append_elem_8B", base, |k| k),
-        scatter_append_elem_steady::<[f64; 3]>("scatter_append_elem_24B", base, |k| {
-            [k as f64, 0.5, -0.5]
-        }),
-        scatter_append_elem_steady::<[f64; 8]>("scatter_append_elem_64B", base, |k| [k as f64; 8]),
+        gather_scatter_elem_steady::<f64>("gather_scatter_elem_8B", base, |g| g as f64, |&v| v),
+        gather_scatter_elem_steady::<[f64; 3]>(
+            "gather_scatter_elem_24B",
+            base,
+            |g| [g as f64, 1.0, -1.0],
+            sum3,
+        ),
+        gather_scatter_elem_steady::<[f64; 8]>(
+            "gather_scatter_elem_64B",
+            base,
+            |g| [g as f64; 8],
+            sum8,
+        ),
+        scatter_append_elem_steady::<u64>("scatter_append_elem_8B", base, |k| k, |&v| v as f64),
+        scatter_append_elem_steady::<[f64; 3]>(
+            "scatter_append_elem_24B",
+            base,
+            |k| [k as f64, 0.5, -0.5],
+            sum3,
+        ),
+        scatter_append_elem_steady::<[f64; 8]>(
+            "scatter_append_elem_64B",
+            base,
+            |k| [k as f64; 8],
+            sum8,
+        ),
     ]
+}
+
+/// Machine sizes of the backend comparison: self-delivery only (P = 1), one pair
+/// (P = 2) and the classic configuration (P = 8) — all well under
+/// [`mpsim::shared::MAX_SHARED_RANKS`].
+pub const BACKEND_SWEEP_POINTS: &[usize] = &[1, 2, 8];
+
+/// Wall-clock factor the shared-memory backend must beat the modeled backend by on the
+/// codec-heavy 64-byte POD loop at the largest sweep point.  The fast path eliminates
+/// the whole encode/decode step (typed buffers cross the fabric by pointer move), so
+/// the bound holds by work elimination even on a single host core.
+pub const MIN_SHARED_SPEEDUP: f64 = 2.0;
+
+/// Run the gather/scatter shape (8-byte and 64-byte POD elements) on both backends at
+/// every point of [`BACKEND_SWEEP_POINTS`].  Modeled time, wire statistics and
+/// fingerprints must come out identical — only `wall_ns_per_iter` may differ, and on
+/// the 64-byte loop it must differ by at least [`MIN_SHARED_SPEEDUP`]
+/// ([`backend_equivalence_violations`] gates both).
+///
+/// Wall-clock on a busy CI host is noisy, so the sweep hardens the measurement rather
+/// than loosening the gate: a larger problem than the default (the codec work the fast
+/// path eliminates then dominates fixed per-message overheads), a longer measured
+/// window, and best-of-two windows per row (the *minimum* wall time is the standard
+/// noise-robust estimator — scheduling interference only ever inflates a window).  All
+/// deterministic fields are identical across the two windows; keeping the faster row
+/// whole keeps `wall_ms` consistent with the window it came from.
+/// One run of the 64-byte element loop exactly as [`backend_sweep`] configures it —
+/// exposed for ad-hoc wall-clock measurement harnesses.
+pub fn backend_sweep_point_64b(cfg: &MicrobenchConfig) -> MicrobenchResult {
+    gather_scatter_elem_steady::<[f64; 8]>(
+        "gather_scatter_elem_64B",
+        cfg,
+        |g| [g as f64; 8],
+        |v| v.iter().sum(),
+    )
+}
+
+pub fn backend_sweep(base: &MicrobenchConfig) -> Vec<MicrobenchResult> {
+    fn best_of_two(mut run: impl FnMut() -> MicrobenchResult) -> MicrobenchResult {
+        let a = run();
+        let b = run();
+        if b.wall_ns_per_iter < a.wall_ns_per_iter {
+            b
+        } else {
+            a
+        }
+    }
+    let mut out = Vec::new();
+    for &ranks in BACKEND_SWEEP_POINTS {
+        for backend in [ExchangeBackend::Modeled, ExchangeBackend::SharedMem] {
+            let cfg = MicrobenchConfig {
+                ranks,
+                backend,
+                measured_iters: base.measured_iters.max(48),
+                elements: base.elements.max(16_384),
+                ..base.clone()
+            };
+            out.push(best_of_two(|| gather_scatter_steady(&cfg)));
+            out.push(best_of_two(|| {
+                gather_scatter_elem_steady::<[f64; 8]>(
+                    "gather_scatter_elem_64B",
+                    &cfg,
+                    |g| [g as f64; 8],
+                    |v| v.iter().sum(),
+                )
+            }));
+        }
+    }
+    out
+}
+
+/// The `--check` gate over a [`backend_sweep`]: rows describing the same loop at the
+/// same machine size must agree on fingerprint, wire statistics and modeled time across
+/// backends (the equivalence contract), and the shared-memory backend must deliver
+/// [`MIN_SHARED_SPEEDUP`] on the 64-byte loop at the largest sweep point.
+pub fn backend_equivalence_violations(results: &[MicrobenchResult]) -> Vec<String> {
+    let mut v = Vec::new();
+    for a in results.iter().filter(|r| r.backend == "modeled") {
+        let Some(b) = results
+            .iter()
+            .find(|r| r.backend == "shared" && r.name == a.name && r.ranks == a.ranks)
+        else {
+            v.push(format!(
+                "{} (P={}): modeled row has no shared-backend counterpart",
+                a.name, a.ranks
+            ));
+            continue;
+        };
+        if a.fingerprint != b.fingerprint {
+            v.push(format!(
+                "{} (P={}): fingerprints diverge across backends ({} vs {})",
+                a.name, a.ranks, a.fingerprint, b.fingerprint
+            ));
+        }
+        if a.exchange != b.exchange {
+            v.push(format!(
+                "{} (P={}): wire statistics diverge across backends ({:?} vs {:?})",
+                a.name, a.ranks, a.exchange, b.exchange
+            ));
+        }
+        // Modeled time gets a few-ULP relative tolerance rather than exact equality:
+        // the shared backend delivers messages in real arrival order, so the identical
+        // set of cost-model charges can be *summed* in a different order, and f64
+        // addition is not associative.  Anything beyond ULP noise is a genuine
+        // cost-model divergence.
+        let tol = 1e-9 * a.modeled_total_us.abs().max(b.modeled_total_us.abs());
+        if (a.modeled_total_us - b.modeled_total_us).abs() > tol {
+            v.push(format!(
+                "{} (P={}): modeled time diverges across backends ({} vs {} us) — the \
+                 backends must charge the identical cost model",
+                a.name, a.ranks, a.modeled_total_us, b.modeled_total_us
+            ));
+        }
+    }
+    let max_p = results.iter().map(|r| r.ranks).max().unwrap_or(0);
+    let wall = |backend: &str| {
+        results
+            .iter()
+            .find(|r| {
+                r.backend == backend && r.name == "gather_scatter_elem_64B" && r.ranks == max_p
+            })
+            .map(|r| r.wall_ns_per_iter)
+    };
+    if let (Some(modeled), Some(shared)) = (wall("modeled"), wall("shared")) {
+        if shared * MIN_SHARED_SPEEDUP > modeled {
+            v.push(format!(
+                "gather_scatter_elem_64B (P={max_p}): shared backend is only {:.2}x faster \
+                 than modeled ({shared:.0} vs {modeled:.0} ns/iter; expected >= \
+                 {MIN_SHARED_SPEEDUP}x)",
+                modeled / shared
+            ));
+        }
+    }
+    v
 }
 
 /// The pinned steady-state invariant, as CI enforces it: no loop may allocate a pack
@@ -645,36 +879,60 @@ pub fn steady_state_violations(results: &[MicrobenchResult]) -> Vec<String> {
     violations
 }
 
+/// Every microbenchmark section of the report, in document order: section name →
+/// result rows.  `exchange_report` renders exactly these sections and the `--check`
+/// gate in `exchange_microbench` iterates the same list, so a loop cannot appear in
+/// the artifact without also being gated (and vice versa) — there is no separate
+/// hard-coded name list to fall out of sync.
+pub fn microbench_sections(cfg: &MicrobenchConfig) -> Vec<(&'static str, Vec<MicrobenchResult>)> {
+    vec![
+        ("benches", all_microbenches(cfg)),
+        ("rank_sweep", rank_sweep(cfg)),
+        ("element_size_sweep", element_size_sweep(cfg)),
+        ("backend_sweep", backend_sweep(cfg)),
+    ]
+}
+
 /// Render the benchmark results as the `BENCH_exchange.json` document
-/// (schema `chaos-bench/exchange/v4`, documented in `BENCHMARKS.md`).  v3 added the
+/// (schema `chaos-bench/exchange/v5`, documented in `BENCHMARKS.md`).  v3 added the
 /// `collective_sweep` section ([`crate::collective`]): per-collective modeled time and
-/// per-rank message counts over machine sizes up to P = 1024.  v4 adds the `delta`
+/// per-rank message counts over machine sizes up to P = 1024.  v4 added the `delta`
 /// section ([`crate::delta::delta_section`]): the schedule-maintenance scenarios, shared
-/// with `BENCH_delta.json`.
+/// with `BENCH_delta.json`.  v5 adds per-row `backend`, `wall_ns_per_iter` and
+/// `fingerprint` fields, the `backend_sweep` section (modeled vs shared-memory
+/// wall-clock at identical modeled cost), the `preproc` section
+/// ([`crate::preproc`]: parallel-inspector worker sweep) and the top-level
+/// `host_cores` field the wall-clock numbers must be read against.
 pub fn exchange_report(
-    benches: &[MicrobenchResult],
-    ranks: &[MicrobenchResult],
-    elems: &[MicrobenchResult],
+    sections: &[(&'static str, Vec<MicrobenchResult>)],
     collectives: &[crate::collective::CollectiveResult],
+    preproc: Json,
     delta: Json,
 ) -> Json {
-    let arr =
-        |rs: &[MicrobenchResult]| Json::Arr(rs.iter().map(MicrobenchResult::to_json).collect());
-    Json::obj(vec![
-        ("schema", Json::str("chaos-bench/exchange/v4")),
+    let mut pairs = vec![
+        ("schema", Json::str("chaos-bench/exchange/v5")),
         (
             "generated_by",
             Json::str("cargo run --release -p chaos-bench --bin exchange_microbench -- --json"),
         ),
-        ("benches", arr(benches)),
-        ("rank_sweep", arr(ranks)),
-        ("element_size_sweep", arr(elems)),
         (
-            "collective_sweep",
-            Json::Arr(collectives.iter().map(|c| c.to_json()).collect()),
+            "host_cores",
+            Json::uint(crate::preproc::host_cores() as u64),
         ),
-        ("delta", delta),
-    ])
+    ];
+    for (name, rows) in sections {
+        pairs.push((
+            name,
+            Json::Arr(rows.iter().map(MicrobenchResult::to_json).collect()),
+        ));
+    }
+    pairs.push((
+        "collective_sweep",
+        Json::Arr(collectives.iter().map(|c| c.to_json()).collect()),
+    ));
+    pairs.push(("preproc", preproc));
+    pairs.push(("delta", delta));
+    Json::obj(pairs)
 }
 
 #[cfg(test)]
@@ -688,6 +946,7 @@ mod tests {
             measured_iters: 4,
             elements: 256,
             items_per_rank: 64,
+            ..MicrobenchConfig::default()
         }
     }
 
@@ -806,14 +1065,23 @@ mod tests {
 
     #[test]
     fn report_document_carries_every_section() {
-        let benches = vec![gather_scatter_steady(&tiny()), remap_steady(&tiny())];
-        let sweep = vec![scatter_append_steady(&tiny())];
+        let sections = vec![
+            (
+                "benches",
+                vec![gather_scatter_steady(&tiny()), remap_steady(&tiny())],
+            ),
+            ("rank_sweep", vec![scatter_append_steady(&tiny())]),
+            ("element_size_sweep", vec![]),
+        ];
         let collectives = crate::collective::collective_sweep_at(&[4]);
+        let preproc = Json::obj(vec![("placeholder", Json::Bool(true))]);
         let delta = Json::obj(vec![("placeholder", Json::Bool(true))]);
-        let doc = exchange_report(&benches, &sweep, &[], &collectives, delta);
+        let doc = exchange_report(&sections, &collectives, preproc, delta);
         let text = doc.render_pretty();
-        assert!(text.contains("\"schema\": \"chaos-bench/exchange/v4\""));
+        assert!(text.contains("\"schema\": \"chaos-bench/exchange/v5\""));
+        assert!(text.contains("\"host_cores\""));
         assert!(text.contains("\"delta\""));
+        assert!(text.contains("\"preproc\""));
         assert!(text.contains("\"gather_scatter_steady\""));
         assert!(text.contains("\"remap_steady\""));
         assert!(text.contains("\"rank_sweep\""));
@@ -821,8 +1089,101 @@ mod tests {
         assert!(text.contains("\"collective_sweep\""));
         assert!(text.contains("\"all_reduce\""));
         assert!(text.contains("\"msgs_per_rank_iter\""));
+        assert!(text.contains("\"backend\""));
+        assert!(text.contains("\"wall_ns_per_iter\""));
+        assert!(text.contains("\"fingerprint\""));
         assert!(text.contains("\"steady_allocations\": 0"));
         assert!(text.contains("\"steady_decode_allocations\": 0"));
         assert!(text.contains("\"receive_owned\": true"));
+    }
+
+    #[test]
+    fn backends_agree_on_everything_but_wall_clock() {
+        // The equivalence half of the backend gate at unit-test scale: fingerprints,
+        // wire statistics and modeled time must be identical across backends.  The
+        // wall-clock speedup bound is exercised at full scale by `--check` (and its
+        // firing logic by the synthetic test below) — a 4-iteration window is too
+        // noisy to time.
+        let mut results = Vec::new();
+        for backend in [ExchangeBackend::Modeled, ExchangeBackend::SharedMem] {
+            let cfg = MicrobenchConfig { backend, ..tiny() };
+            results.push(gather_scatter_steady(&cfg));
+            results.push(fused_gather_scatter_steady(&cfg));
+            results.push(overlap_gather_steady(&cfg));
+            results.push(scatter_append_steady(&cfg));
+        }
+        assert!(results.iter().any(|r| r.backend == "shared"));
+        let diverged: Vec<String> = backend_equivalence_violations(&results)
+            .into_iter()
+            .filter(|v| v.contains("diverge"))
+            .collect();
+        assert!(diverged.is_empty(), "{diverged:?}");
+        // Shared steady loops stay allocation-free, exactly like modeled ones.
+        assert!(steady_state_violations(&results).is_empty());
+    }
+
+    #[test]
+    fn backend_gate_fires_on_divergence_and_missing_speedup() {
+        // Backends pinned explicitly — under MPSIM_BACKEND=shared the default config
+        // would otherwise produce two shared rows and the pairing loop would be empty.
+        let cfg = tiny();
+        let a = gather_scatter_steady(&MicrobenchConfig {
+            backend: ExchangeBackend::Modeled,
+            ..cfg.clone()
+        });
+        let mut b = gather_scatter_steady(&MicrobenchConfig {
+            backend: ExchangeBackend::SharedMem,
+            ..cfg
+        });
+        b.fingerprint += 1.0;
+        b.modeled_total_us *= 1.5;
+        let v = backend_equivalence_violations(&[a.clone(), b.clone()]);
+        assert!(
+            v.iter().any(|m| m.contains("fingerprints diverge")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter().any(|m| m.contains("modeled time diverges")),
+            "{v:?}"
+        );
+        // A 64B pair where shared is NOT 2x faster must trip the speedup bound.
+        let mut slow_modeled = a.clone();
+        slow_modeled.name = "gather_scatter_elem_64B";
+        slow_modeled.wall_ns_per_iter = 1000.0;
+        let mut slow_shared = slow_modeled.clone();
+        slow_shared.backend = "shared";
+        slow_shared.wall_ns_per_iter = 900.0;
+        let v = backend_equivalence_violations(&[slow_modeled, slow_shared]);
+        assert!(v.iter().any(|m| m.contains("only")), "{v:?}");
+        // A missing counterpart is reported rather than silently unpaired.
+        let v = backend_equivalence_violations(std::slice::from_ref(&a));
+        assert!(v.iter().any(|m| m.contains("no shared-backend")), "{v:?}");
+    }
+
+    #[test]
+    fn microbench_sections_cover_the_backend_sweep() {
+        // `microbench_sections` is what both the artifact and the `--check` gate
+        // iterate: the backend sweep must be one of its sections, or wall-clock
+        // regressions would escape CI.  (Names only — running the full sweep here
+        // would repeat every harness.)
+        let tiny_cfg = tiny();
+        let names: Vec<&str> = microbench_sections(&MicrobenchConfig {
+            measured_iters: 2,
+            warmup_iters: 1,
+            elements: 128,
+            items_per_rank: 32,
+            ..tiny_cfg
+        })
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
+        for required in [
+            "benches",
+            "rank_sweep",
+            "element_size_sweep",
+            "backend_sweep",
+        ] {
+            assert!(names.contains(&required), "{required} missing");
+        }
     }
 }

@@ -15,9 +15,9 @@
 //! Two executor-level optimisations compose with these primitives:
 //!
 //! * **Fused multi-array transfers** — [`gather_multi`] / [`scatter_add_multi`] move N
-//!   same-schedule arrays lane-interleaved through *one* message per processor pair
-//!   (CHARMM's `x`/`y`/`z` per step: same bytes, 1/N the messages and latencies), via
-//!   [`mpsim::alltoallv_multi`].
+//!   same-schedule arrays as contiguous per-lane blocks through *one* message per
+//!   processor pair (CHARMM's `x`/`y`/`z` per step: same bytes, 1/N the messages and
+//!   latencies), via [`mpsim::alltoallv_multi`].
 //! * **Split-phase transfers** — [`gather_start`] posts a (fused) gather's sends and
 //!   returns a [`GatherHandle`]; [`gather_finish`] drains the receives into the ghost
 //!   regions.  [`scatter_append_start`] / [`scatter_append_finish`] split the
@@ -60,6 +60,21 @@ use mpsim::{
 use crate::darray::DistArray;
 use crate::schedule::{CommSchedule, LightweightSchedule};
 
+/// How many list positions ahead the indexed pack/place loops prefetch.
+const PREFETCH_AHEAD: usize = 12;
+
+/// Hint the CPU to pull `p` into cache; no-op on architectures without a stable
+/// prefetch intrinsic.
+#[inline(always)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 /// Gather off-processor elements into the ghost region of `array`.
 ///
 /// After the call, `array[r]` is valid for every [`crate::darray::LocalRef`] `r` produced
@@ -78,23 +93,21 @@ pub fn gather<T: Element + Default>(
     array.ensure_ghost(sched.ghost_len());
     let me = rank.rank();
     let plan = sched.gather_plan(me);
-    // Pack the elements each destination asked for straight into the outgoing message;
-    // place incoming copies according to the permutation list of their source.
+    // A gather is exactly the engine's permutation exchange: pack owned elements by the
+    // send lists, place arrivals into the ghost region by the permutation lists.  Going
+    // through the engine entry (rather than hand-rolled pack/place closures) lets the
+    // shared-memory backend deliver POD gathers zero-copy, straight into the ghost
+    // region.  Scatter cannot take this path — its destinations are *owned* offsets
+    // that repeat across sources and combine with the owner's value, so the combining
+    // operator must run on the owning rank (see [`scatter_impl`]).
     let (owned, ghost) = array.owned_and_ghost_mut();
-    alltoallv_with(
+    mpsim::alltoallv_permute(
         rank,
         &plan,
-        |p, buf: &mut PackBuf<'_, T>| {
-            for &off in &sched.send_lists[p] {
-                buf.push(owned[off as usize]);
-            }
-        },
-        |src, values: Placed<'_, T>| {
-            for (slot, &v) in sched.perm_lists[src].iter().zip(values.iter()) {
-                debug_assert!((*slot as usize) < ghost.len());
-                ghost[*slot as usize] = v;
-            }
-        },
+        owned,
+        &sched.send_lists,
+        ghost,
+        &sched.perm_lists,
     )
 }
 
@@ -164,13 +177,21 @@ where
         rank,
         &plan,
         |p, buf: &mut PackBuf<'_, T>| {
-            for &slot in &sched.perm_lists[p] {
-                buf.push(ghost[slot as usize]);
+            let list = &sched.perm_lists[p];
+            for (k, &slot) in list.iter().enumerate() {
+                if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    prefetch(unsafe { ghost.as_ptr().add(ahead as usize) });
+                }
+                buf.push(unsafe { *ghost.get_unchecked(slot as usize) });
             }
         },
         |src, values: Placed<'_, T>| {
-            for (&off, &v) in sched.send_lists[src].iter().zip(values.iter()) {
-                op(&mut owned[off as usize], v);
+            let list = &sched.send_lists[src];
+            for (k, (&off, &v)) in list.iter().zip(values.iter()).enumerate() {
+                if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    prefetch(unsafe { owned.as_ptr().add(ahead as usize) });
+                }
+                op(unsafe { owned.get_unchecked_mut(off as usize) }, v);
             }
         },
     )
@@ -196,10 +217,12 @@ fn split_owned_ghost<T: Element + Default, const N: usize>(
 /// all `N` arrays with **one message per processor pair** instead of one per array.
 ///
 /// The arrays must share the distribution and ghost layout the schedule was built for
-/// (CHARMM's `px`/`py`/`pz`).  Elements are lane-interleaved on the wire
-/// (`x[off] y[off] z[off]` per scheduled offset), so the bytes moved equal `N` separate
-/// [`gather`] calls while messages and message latencies drop `N×`.  The result is
-/// element-identical to `N` separate gathers.
+/// (CHARMM's `px`/`py`/`pz`).  Each lane travels as one contiguous block on the wire
+/// (all scheduled elements of `x`, then of `y`, then of `z`), so the bytes moved equal
+/// `N` separate [`gather`] calls while messages and message latencies drop `N×`.
+/// Blocked lanes keep pack and place simple per-lane sweeps with no per-element stride
+/// arithmetic — the compiler can vectorise them — and the result is element-identical to
+/// `N` separate gathers.
 pub fn gather_multi<T, const N: usize>(
     rank: &mut Rank,
     sched: &CommSchedule,
@@ -222,16 +245,18 @@ where
         &plan,
         N,
         |p, buf: &mut PackBuf<'_, T>| {
-            for &off in &sched.send_lists[p] {
-                for owned in &owneds {
+            for owned in &owneds {
+                for &off in &sched.send_lists[p] {
                     buf.push(owned[off as usize]);
                 }
             }
         },
         |src, values: Placed<'_, T>| {
-            for (k, &slot) in sched.perm_lists[src].iter().enumerate() {
-                for (lane, ghost) in ghosts.iter_mut().enumerate() {
-                    ghost[slot as usize] = values[k * N + lane];
+            let cnt = sched.perm_lists[src].len();
+            for (lane, ghost) in ghosts.iter_mut().enumerate() {
+                let block = &values[lane * cnt..(lane + 1) * cnt];
+                for (&slot, &v) in sched.perm_lists[src].iter().zip(block) {
+                    ghost[slot as usize] = v;
                 }
             }
         },
@@ -274,16 +299,18 @@ where
         &plan,
         N,
         |p, buf: &mut PackBuf<'_, T>| {
-            for &slot in &sched.perm_lists[p] {
-                for ghost in &ghosts {
+            for ghost in &ghosts {
+                for &slot in &sched.perm_lists[p] {
                     buf.push(ghost[slot as usize]);
                 }
             }
         },
         |src, values: Placed<'_, T>| {
-            for (k, &off) in sched.send_lists[src].iter().enumerate() {
-                for (lane, owned) in owneds.iter_mut().enumerate() {
-                    owned[off as usize] += values[k * N + lane];
+            let cnt = sched.send_lists[src].len();
+            for (lane, owned) in owneds.iter_mut().enumerate() {
+                let block = &values[lane * cnt..(lane + 1) * cnt];
+                for (&off, &v) in sched.send_lists[src].iter().zip(block) {
+                    owned[off as usize] += v;
                 }
             }
         },
@@ -326,8 +353,8 @@ where
     let plan = sched.gather_plan(me).fused(N);
     let owneds: Vec<&[T]> = arrays.iter().map(|a| a.owned()).collect();
     let inner = start_alltoallv_with(rank, plan, |p, buf: &mut PackBuf<'_, T>| {
-        for &off in &sched.send_lists[p] {
-            for owned in &owneds {
+        for owned in &owneds {
+            for &off in &sched.send_lists[p] {
                 buf.push(owned[off as usize]);
             }
         }
@@ -372,9 +399,11 @@ where
             "gather_finish: schedule does not match the one gather_start packed for \
              (message from rank {src} disagrees with the permutation list)"
         );
-        for (k, &slot) in sched.perm_lists[src].iter().enumerate() {
-            for (lane, ghost) in ghosts.iter_mut().enumerate() {
-                ghost[slot as usize] = values[k * N + lane];
+        let cnt = sched.perm_lists[src].len();
+        for (lane, ghost) in ghosts.iter_mut().enumerate() {
+            let block = &values[lane * cnt..(lane + 1) * cnt];
+            for (&slot, &v) in sched.perm_lists[src].iter().zip(block) {
+                ghost[slot as usize] = v;
             }
         }
     })

@@ -153,7 +153,7 @@ impl ScheduleKey {
 }
 
 /// One hash-table entry (see the field list in §3.2.2).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HashEntry {
     /// The global index hashed in.
     pub global: Global,
@@ -374,12 +374,17 @@ impl IndexHashTable {
     /// and ghost slots) are retained so that re-hashing a slightly modified indirection
     /// array under the same stamp is cheap — exactly the CHARMM non-bonded-list update
     /// pattern described in §4.1.
+    /// The sweep runs across [`crate::par::workers`] threads for large tables; each
+    /// worker masks a contiguous slot range, so the result is identical at any worker
+    /// count.
     pub fn clear_stamp(&mut self, stamp: Stamp) {
         self.stamp_gens[stamp.bit() as usize] += 1;
         let mask = !stamp.mask();
-        for entry in &mut self.slots {
-            entry.stamps &= mask;
-        }
+        crate::par::par_chunks_mut(&mut self.slots, |chunk| {
+            for entry in chunk {
+                entry.stamps &= mask;
+            }
+        });
     }
 
     /// Remove every entry and release all ghost slots.  Used when the data distribution
@@ -389,6 +394,12 @@ impl IndexHashTable {
         self.slots.clear();
         self.next_ghost_slot = 0;
         self.epoch += 1;
+    }
+
+    /// All entries in deterministic (insertion) order.  The parallel inspector sweeps
+    /// chunk this slice; single-entry lookups go through [`IndexHashTable::get`].
+    pub fn entries_in_order(&self) -> &[HashEntry] {
+        &self.slots
     }
 
     /// Iterate over entries matching `query` in deterministic (insertion) order.
@@ -555,6 +566,39 @@ mod tests {
         });
         for inc in &out.results {
             assert_eq!(inc, &vec![5, 8]);
+        }
+    }
+
+    #[test]
+    fn parallel_clear_stamp_is_byte_identical_to_sequential() {
+        // Two identical tables, big enough to cross the parallel threshold; clearing a
+        // stamp with 4 workers must leave exactly the same entries as clearing with 1.
+        let n = 3 * crate::par::PAR_MIN_ENTRIES;
+        let out = run(MachineConfig::new(2), move |rank| {
+            let (mut ttable, owned) = table_for(rank, n);
+            let sa = Stamp::new(0);
+            let sb = Stamp::new(1);
+            let all: Vec<Global> = (0..n).collect();
+            let odd: Vec<Global> = (0..n).filter(|g| g % 2 == 1).collect();
+            let mut seq = IndexHashTable::new(rank.rank(), owned);
+            seq.hash_in(rank, &mut ttable, &all, sa);
+            seq.hash_in(rank, &mut ttable, &odd, sb);
+            let mut par = IndexHashTable::new(rank.rank(), owned);
+            par.hash_in(rank, &mut ttable, &all, sa);
+            par.hash_in(rank, &mut ttable, &odd, sb);
+            assert_eq!(seq.entries_in_order(), par.entries_in_order());
+            seq.clear_stamp(sa);
+            crate::par::with_workers(4, || par.clear_stamp(sa));
+            assert_eq!(seq.entries_in_order(), par.entries_in_order());
+            // sb survives the sweep untouched on both.
+            (
+                par.entries_matching(StampQuery::single(sa)).count(),
+                par.entries_matching(StampQuery::single(sb)).count(),
+            )
+        });
+        for (a_left, b_left) in &out.results {
+            assert_eq!(*a_left, 0);
+            assert_eq!(*b_left, n / 2);
         }
     }
 

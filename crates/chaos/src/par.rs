@@ -1,0 +1,181 @@
+//! Intra-rank worker parallelism for the inspector's preprocessing sweeps.
+//!
+//! The paper's Table 2 headlines preprocessing cost: stamp clearing and schedule
+//! bucketing are linear sweeps over the (large) index hash table, and both are
+//! embarrassingly parallel over table slots.  This module provides the two chunked
+//! helpers those sweeps use, plus the worker-count policy.
+//!
+//! **Determinism contract:** every helper splits its input into contiguous chunks and
+//! combines per-chunk results in chunk order, so parallel execution is byte-identical to
+//! sequential execution at any worker count.  The regression tests in
+//! [`crate::inspector`] pin this.
+//!
+//! **Worker-count policy:** [`workers`] resolves, in order,
+//!
+//! 1. a [`with_workers`] override on the current thread (how benches and tests pin a
+//!    worker count),
+//! 2. the `CHAOS_WORKERS` environment variable (read once per process),
+//! 3. the default of `1` — sequential.
+//!
+//! The default is deliberately *not* the host core count: an `mpsim` machine already
+//! runs one OS thread per rank, so letting every rank fan out to all cores by default
+//! would oversubscribe the host as soon as P > 1.  Callers that know their rank count
+//! and host (the preprocessing benchmark, a dedicated inspector phase) opt in
+//! explicitly.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Inputs smaller than this many elements are always processed sequentially — below it,
+/// thread spawn/join overhead outweighs the sweep itself.
+pub const PAR_MIN_ENTRIES: usize = 4096;
+
+thread_local! {
+    static WORKER_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads inspector sweeps on this thread may use.  See the module
+/// docs for the resolution order; `1` means sequential.
+pub fn workers() -> usize {
+    if let Some(n) = WORKER_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    static FROM_ENV: OnceLock<usize> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("CHAOS_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// Run `f` with [`workers`] pinned to `n` on the current thread (and any inspector call
+/// it makes).  Restores the previous value on exit, including on panic.
+///
+/// # Panics
+/// Panics if `n` is zero.
+pub fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "at least one worker is required");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(WORKER_OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// The chunk size that splits `len` elements across the current worker count, floored at
+/// [`PAR_MIN_ENTRIES`] so no worker gets a trivial slice.
+fn chunk_size(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers).max(PAR_MIN_ENTRIES)
+}
+
+/// Apply `f` to contiguous mutable chunks of `data`, one chunk per worker.  Sequential
+/// (one call covering everything) when only one worker is configured or the input is
+/// below the parallel threshold.
+pub fn par_chunks_mut<T: Send>(data: &mut [T], f: impl Fn(&mut [T]) + Sync) {
+    let w = workers();
+    if w <= 1 || data.len() < 2 * PAR_MIN_ENTRIES {
+        f(data);
+        return;
+    }
+    let chunk = chunk_size(data.len(), w);
+    std::thread::scope(|s| {
+        let f = &f;
+        for piece in data.chunks_mut(chunk) {
+            s.spawn(move || f(piece));
+        }
+    });
+}
+
+/// Map `f` over contiguous chunks of `data` and return the per-chunk results **in chunk
+/// order** — concatenating them reproduces sequential left-to-right processing exactly.
+/// Returns a single-element vector (one call covering everything) when only one worker
+/// is configured or the input is below the parallel threshold.
+pub fn par_map_chunks<T: Sync, R: Send>(data: &[T], f: impl Fn(&[T]) -> R + Sync) -> Vec<R> {
+    let w = workers();
+    if w <= 1 || data.len() < 2 * PAR_MIN_ENTRIES {
+        return vec![f(data)];
+    }
+    let chunk = chunk_size(data.len(), w);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = data
+            .chunks(chunk)
+            .map(|piece| s.spawn(move || f(piece)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("inspector worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn workers_defaults_to_one_and_override_nests() {
+        // The default (no override, no env in the test harness) is sequential.
+        assert_eq!(workers(), 1);
+        with_workers(4, || {
+            assert_eq!(workers(), 4);
+            with_workers(2, || assert_eq!(workers(), 2));
+            assert_eq!(workers(), 4);
+        });
+        assert_eq!(workers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        with_workers(0, || {});
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_exactly_once() {
+        let n = 3 * PAR_MIN_ENTRIES + 17;
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        with_workers(4, || {
+            par_chunks_mut(&mut data, |chunk| {
+                for v in chunk {
+                    *v += 1;
+                }
+            });
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn par_map_chunks_preserves_chunk_order() {
+        let n = 4 * PAR_MIN_ENTRIES;
+        let data: Vec<u64> = (0..n as u64).collect();
+        let calls = AtomicU64::new(0);
+        let chunks = with_workers(4, || {
+            par_map_chunks(&data, |chunk| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                (chunk[0], chunk.len())
+            })
+        });
+        assert!(calls.load(Ordering::Relaxed) > 1, "must actually split");
+        // Chunk firsts must be in ascending input order, and lengths must tile the input.
+        let mut expected_first = 0u64;
+        for (first, len) in chunks {
+            assert_eq!(first, expected_first);
+            expected_first += len as u64;
+        }
+        assert_eq!(expected_first, n as u64);
+    }
+
+    #[test]
+    fn small_inputs_stay_sequential() {
+        let data: Vec<u64> = (0..64).collect();
+        let out = with_workers(8, || par_map_chunks(&data, <[u64]>::len));
+        assert_eq!(out, vec![64], "below the threshold: one sequential call");
+    }
+}

@@ -54,6 +54,13 @@
 //! `crates/bench` reports these counters and the pool smoke tests assert the
 //! zero-allocation steady state.
 //!
+//! On the shared-memory backend ([`crate::ExchangeBackend::SharedMem`]) the byte codec
+//! drops out entirely for POD element types ([`Element::is_pod_le`]): messages are packed
+//! verbatim into typed buffers drawn from the decode-scratch pool, cross the fabric by
+//! pointer move, and are placed as-is on the receiving rank — which recycles them into
+//! *its* pool, so the steady-state fixed point holds there too.  Modeled time, stats and
+//! results are identical across backends; only host wall-clock differs.
+//!
 //! Communication cost is charged in exactly one place — the engine's sends and receives —
 //! and a per-element pack/unpack compute cost is charged uniformly here rather than ad hoc
 //! at every call site.  Each execution returns an [`ExchangeStats`] with the message and
@@ -91,15 +98,17 @@
 //! (CHARMM gathers `x`, `y`, `z` through one schedule every step), executing the plan
 //! once per array multiplies message count and latency by the array count.
 //! [`ExchangePlan::fused`] scales a plan's element counts by a lane count and
-//! [`alltoallv_multi`] executes the scaled plan with the lanes of each element packed
-//! consecutively (`x0 y0 z0 x1 y1 z1 …`), so N arrays move in **one** message per
-//! processor pair — same bytes, 1/N of the messages.  The executor's `gather_multi` /
-//! `scatter_add_multi` wrappers in `chaos` pack and place the lane interleaving.
-
-use std::marker::PhantomData;
+//! [`alltoallv_multi`] executes the scaled plan with each lane packed as one contiguous
+//! block (`x0 x1 … y0 y1 … z0 z1 …`), so N arrays move in **one** message per
+//! processor pair — same bytes, 1/N of the messages.  Blocked lanes keep both pack and
+//! place a straight per-lane sweep (autovectorizable, and a bulk copy when the lane is
+//! already contiguous at the caller) instead of a strided element-wise shuffle.  The
+//! executor's `gather_multi` / `scatter_add_multi` wrappers in `chaos` pack and place
+//! the lane blocks.
 
 use crate::machine::Rank;
-use crate::message::Element;
+use crate::message::{Element, Payload};
+use crate::shared::{ExchangeBackend, SharedFabric};
 
 /// Modeled compute cost (work units per element) of packing an element into an outgoing
 /// message buffer or placing a received element — the `0.02` the executor primitives
@@ -326,7 +335,7 @@ impl ExchangePlan {
 
     /// The fused version of this plan: every element count (send and exact-receive)
     /// multiplied by `lanes`.  This is the plan of a multi-array exchange that moves
-    /// `lanes` same-schedule arrays lane-interleaved through one message per pair — the
+    /// `lanes` same-schedule arrays as per-lane blocks through one message per pair — the
     /// message *pattern* (who talks to whom) is unchanged, only the payload sizes scale.
     /// See [`alltoallv_multi`].
     pub fn fused(&self, lanes: usize) -> ExchangePlan {
@@ -424,36 +433,62 @@ pub fn route_sparse<T: Element>(rank: &mut Rank, sends: &[Vec<T>]) -> Vec<Vec<T>
 
 /// An outgoing message buffer handed to the pack closure of [`alltoallv_with`].
 ///
-/// Elements pushed here are encoded straight into the (pooled) byte buffer the message
-/// will be sent from — there is no intermediate `Vec<T>`.  The engine checks after the
-/// closure returns that exactly the plan's declared element count was packed.
+/// Elements pushed here land straight in the buffer the message will be sent from —
+/// there is no intermediate `Vec<T>`.  On the modeled backend that buffer is a pooled
+/// byte buffer and elements are encoded through the [`Element`] codec; on the
+/// shared-memory backend, POD element types ([`Element::is_pod_le`]) are packed verbatim
+/// into a pooled *typed* buffer that crosses the fabric by pointer move, skipping the
+/// encode/decode round-trip entirely.  Pack closures cannot tell the difference.  The
+/// engine checks after the closure returns that exactly the plan's declared element
+/// count was packed.
 pub struct PackBuf<'a, T: Element> {
-    buf: &'a mut Vec<u8>,
+    sink: PackSink<'a, T>,
     len: usize,
-    _elem: PhantomData<T>,
+}
+
+/// Where a [`PackBuf`]'s elements physically go.
+enum PackSink<'a, T> {
+    /// Encode through the byte codec into a pooled message buffer (modeled backend, and
+    /// non-POD element types on every backend).
+    Bytes(&'a mut Vec<u8>),
+    /// The shared-memory POD fast path: elements land in a typed buffer verbatim.
+    Typed(&'a mut Vec<T>),
 }
 
 impl<'a, T: Element> PackBuf<'a, T> {
     fn new(buf: &'a mut Vec<u8>) -> Self {
         PackBuf {
-            buf,
+            sink: PackSink::Bytes(buf),
             len: 0,
-            _elem: PhantomData,
+        }
+    }
+
+    fn typed(values: &'a mut Vec<T>) -> Self {
+        PackBuf {
+            sink: PackSink::Typed(values),
+            len: 0,
         }
     }
 
     /// Append one element to the outgoing message.
     #[inline]
     pub fn push(&mut self, value: T) {
-        value.write_le(self.buf);
+        match &mut self.sink {
+            PackSink::Bytes(buf) => value.write_le(buf),
+            PackSink::Typed(values) => values.push(value),
+        }
         self.len += 1;
     }
 
     /// Append a slice of elements to the outgoing message through the bulk codec
-    /// ([`Element::write_le_slice`] — vectorised for primitives and fixed arrays).
+    /// ([`Element::write_le_slice`] — vectorised for primitives and fixed arrays; a plain
+    /// `memcpy` on the typed fast path).
     #[inline]
     pub fn extend_from_slice(&mut self, values: &[T]) {
-        T::write_le_slice(values, self.buf);
+        match &mut self.sink {
+            PackSink::Bytes(buf) => T::write_le_slice(values, buf),
+            PackSink::Typed(out) => out.extend_from_slice(values),
+        }
         self.len += values.len();
     }
 
@@ -640,10 +675,12 @@ pub fn alltoallv_with<T: Element>(
 ///
 /// `plan` is the *single-lane* plan (e.g. a schedule's gather plan); the engine executes
 /// [`ExchangePlan::fused`]`(lanes)`, so `pack(p, buf)` must push `lanes ×` the single-lane
-/// element count for `p`, with the lanes of each logical element packed consecutively
-/// (`x0 y0 z0 x1 y1 z1 …`), and the placement closure receives them back in the same
-/// interleaved order (`values[k * lanes + lane]`).  Same bytes on the wire as `lanes`
-/// single-array executions, `1/lanes` of the messages and message latencies.
+/// element count for `p`, with each lane packed as one contiguous block
+/// (`x0 x1 … y0 y1 … z0 z1 …`), and the placement closure receives them back in the same
+/// blocked order (`values[lane * count + k]`, where `count` is the single-lane element
+/// count for that source).  Blocked lanes make pack and place straight per-lane sweeps —
+/// autovectorizable, with no per-element stride arithmetic.  Same bytes on the wire as
+/// `lanes` single-array executions, `1/lanes` of the messages and message latencies.
 ///
 /// Collectivity and panics as for [`alltoallv`].
 pub fn alltoallv_multi<T: Element>(
@@ -655,6 +692,356 @@ pub fn alltoallv_multi<T: Element>(
 ) -> ExchangeStats {
     let fused = plan.fused(lanes);
     run_exchange(rank, &fused, None, pack, place)
+}
+
+/// How many list positions ahead the engine's permutation loops prefetch.  Indexed
+/// gather/place loops are bandwidth-bound with data-dependent addresses the hardware
+/// prefetcher cannot predict; a dozen elements of software lookahead covers the memory
+/// latency without evicting the lines still in use.
+const PREFETCH_AHEAD: usize = 12;
+
+/// How many times a direct-exchange sender yields while waiting for a peer's delivery
+/// window before falling back to a classic message.  Peers publish their windows before
+/// their own send phases, so under collective lockstep the window is at most one
+/// scheduling quantum away; the bound only matters for peers that never publish (their
+/// plan kept them on the classic arm), where the fallback message is the correct path.
+const WINDOW_WAIT_YIELDS: usize = 4096;
+
+/// Hint the CPU to pull `p` into cache; no-op on architectures without a stable
+/// prefetch intrinsic.
+#[inline(always)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Execute a **gather-shaped permutation exchange**: for every destination `p` the
+/// elements `src[send_lists[p][k]]` travel to `p`, and every contribution arriving from
+/// source `q` lands at `dst[perm_lists[q][k]]` — the executor's schedule-driven gather,
+/// lifted into the engine so the transport can exploit its shape.
+///
+/// On the shared-memory backend with a POD element type ([`Element::is_pod_le`]) and a
+/// fully size-negotiated plan (no [`RecvSpec::Any`] rows), the transfer runs
+/// **zero-copy**: the receiving rank publishes its destination region and permutation
+/// lists as a *delivery window* on the fabric, and each sender writes its contribution
+/// straight into place — one copy per element, no message buffer, no codec.  A sender
+/// that reaches its send phase before the receiver has published falls back to the
+/// classic typed message, which the receiver places itself, so correctness never
+/// depends on timing.  Everywhere else ([`ExchangeBackend::Modeled`], non-POD types,
+/// plans with unknown sizes) the call is exactly the classic pack → send → place
+/// exchange of [`alltoallv_with`].
+///
+/// Gather is the one direction that can go zero-copy: a schedule's permutation lists
+/// give every ghost slot exactly one writer, so concurrent senders touch disjoint
+/// destinations.  The scatter direction combines contributions *at* the owner (repeated
+/// owned offsets, arbitrary combining operators), so it keeps the classic path.
+///
+/// Modeled time, statistics, delivered values and [`ExchangeStats`] are identical
+/// across backends — the window only changes host wall-clock.  Collectivity and panics
+/// as for [`alltoallv`]; additionally panics if a list length disagrees with the plan.
+pub fn alltoallv_permute<T: Element>(
+    rank: &mut Rank,
+    plan: &ExchangePlan,
+    src: &[T],
+    send_lists: &[Vec<u32>],
+    dst: &mut [T],
+    perm_lists: &[Vec<u32>],
+) -> ExchangeStats {
+    assert_eq!(
+        send_lists.len(),
+        plan.nprocs(),
+        "one send list per rank required"
+    );
+    assert_eq!(
+        perm_lists.len(),
+        plan.nprocs(),
+        "one permutation list per rank required"
+    );
+    let me = plan.my_rank();
+    let direct = rank.backend() == ExchangeBackend::SharedMem
+        && T::is_pod_le()
+        && plan
+            .recvs
+            .iter()
+            .enumerate()
+            .all(|(p, r)| p == me || !matches!(r, RecvSpec::Any));
+    if direct {
+        if let Some(fabric) = rank.shared_fabric() {
+            return direct_gather(rank, plan, src, send_lists, dst, perm_lists, &fabric);
+        }
+    }
+    run_exchange(
+        rank,
+        plan,
+        None,
+        |p, buf: &mut PackBuf<'_, T>| {
+            let list = &send_lists[p];
+            for (k, &off) in list.iter().enumerate() {
+                if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    prefetch(unsafe { src.as_ptr().add(ahead as usize) });
+                }
+                debug_assert!((off as usize) < src.len());
+                buf.push(unsafe { *src.get_unchecked(off as usize) });
+            }
+        },
+        |q, values: Placed<'_, T>| {
+            let list = &perm_lists[q];
+            for (k, (slot, &v)) in list.iter().zip(values.iter()).enumerate() {
+                if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    prefetch(unsafe { dst.as_ptr().add(ahead as usize) });
+                }
+                debug_assert!((*slot as usize) < dst.len());
+                unsafe { *dst.get_unchecked_mut(*slot as usize) = v };
+            }
+        },
+    )
+}
+
+/// Panic guard of a published direct window: if the exchange unwinds (a pack-length
+/// assertion, a crossed-plan panic on a peer's message), the outstanding contributions
+/// are absorbed before the destination region is freed, and the window is retired so
+/// the slot stays usable.  The normal path retires the window itself and disarms.
+struct WindowGuard<'a> {
+    fabric: &'a SharedFabric,
+    me: usize,
+    tag: u64,
+    armed: bool,
+}
+
+impl Drop for WindowGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.fabric.abort_window(self.me, self.tag);
+        }
+    }
+}
+
+/// The zero-copy arm of [`alltoallv_permute`]: publish the delivery window, send this
+/// rank's contributions (direct where the peer's window is already up, classic typed
+/// message otherwise), copy the local portion, place whatever fallback messages arrive,
+/// and charge the receive side deterministically from the plan.
+fn direct_gather<T: Element>(
+    rank: &mut Rank,
+    plan: &ExchangePlan,
+    src: &[T],
+    send_lists: &[Vec<u32>],
+    dst: &mut [T],
+    perm_lists: &[Vec<u32>],
+    fabric: &SharedFabric,
+) -> ExchangeStats {
+    let me = plan.my_rank();
+    let tag = rank.next_exchange_tag();
+    let mut stats = ExchangeStats::default();
+    let pending = plan.recv_message_count();
+    let dst_ptr = dst.as_mut_ptr();
+    let dst_len = dst.len();
+
+    // Publish before sending, so peers already in their send phase deliver directly
+    // from this moment on.  Which side wins the race never affects correctness — a
+    // peer that misses the window sends the classic message placed in the drain below.
+    let mut guard = WindowGuard {
+        fabric,
+        me,
+        tag,
+        armed: false,
+    };
+    if pending > 0 {
+        for (p, r) in plan.recvs.iter().enumerate() {
+            if p == me {
+                continue;
+            }
+            if let RecvSpec::Exact(n) = r {
+                assert_eq!(
+                    perm_lists[p].len(),
+                    *n,
+                    "rank {me}: permutation list for source {p} does not match the plan"
+                );
+            }
+        }
+        fabric.publish_window::<T>(me, tag, dst_ptr, dst_len, pending, |p| {
+            match plan.recvs[p] {
+                RecvSpec::Exact(_) if p != me => {
+                    Some((perm_lists[p].as_ptr(), perm_lists[p].len()))
+                }
+                _ => None,
+            }
+        });
+        guard.armed = true;
+    }
+
+    // Send phase, in peer order like the classic engine.  Every planned transfer is
+    // charged and counted identically whether it lands by direct copy or by message.
+    //
+    // A peer that has not published its window yet is almost certainly just behind us
+    // in the same collective — it publishes *before* its own send phase — so a short
+    // yield-wait nearly always converts the miss into a direct delivery and keeps the
+    // steady state allocation-free.  The wait is bounded: a peer whose own plan keeps
+    // it on the classic arm (unnegotiated receive sizes) never publishes, and then the
+    // classic typed message below is the correct — merely slower — delivery.
+    let mut scratch_pool: Option<Vec<Vec<T>>> = None;
+    for (p, declared) in plan.sends.iter().enumerate() {
+        let Some(declared) = *declared else { continue };
+        if p == me {
+            continue;
+        }
+        let list = &send_lists[p];
+        assert_eq!(
+            list.len(),
+            declared,
+            "rank {me}: send list for peer {p} does not match the plan"
+        );
+        let copy_into = |peer_dst: *mut T, peer_dst_len: usize, perm: &[u32]| {
+            assert_eq!(
+                perm.len(),
+                list.len(),
+                "rank {me}: peer {p} expects a different contribution size"
+            );
+            for k in 0..list.len() {
+                if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    // Pull both the next source element and its destination slot.
+                    prefetch(unsafe { src.as_ptr().add(ahead as usize) });
+                    let slot_ahead = unsafe { *perm.get_unchecked(k + PREFETCH_AHEAD) };
+                    prefetch(unsafe { peer_dst.add(slot_ahead as usize) } as *const T);
+                }
+                let off = unsafe { *list.get_unchecked(k) } as usize;
+                let slot = unsafe { *perm.get_unchecked(k) } as usize;
+                debug_assert!(off < src.len() && slot < peer_dst_len);
+                // Safety: permutation slots are disjoint across sources (one writer
+                // per ghost slot), so concurrent direct writes never overlap.
+                unsafe { *peer_dst.add(slot) = *src.get_unchecked(off) };
+            }
+        };
+        let mut delivered = fabric.try_direct_deliver::<T>(me, p, tag, copy_into);
+        let mut yields = 0;
+        while !delivered && yields < WINDOW_WAIT_YIELDS && !fabric.peer_terminated(p) {
+            std::thread::yield_now();
+            yields += 1;
+            delivered = fabric.try_direct_deliver::<T>(me, p, tag, copy_into);
+        }
+        if delivered {
+            rank.charge_direct_send(declared * T::SIZE);
+        } else {
+            if scratch_pool.is_none() {
+                scratch_pool = Some(rank.detach_decode_scratch::<T>());
+            }
+            let pool = scratch_pool.as_mut().expect("just filled");
+            let mut values = rank.take_decode_scratch(pool, declared);
+            for (k, &off) in list.iter().enumerate() {
+                if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    prefetch(unsafe { src.as_ptr().add(ahead as usize) });
+                }
+                debug_assert!((off as usize) < src.len());
+                values.push(unsafe { *src.get_unchecked(off as usize) });
+            }
+            rank.send_typed(p, tag, values);
+        }
+        rank.charge_compute(declared as f64 * PACK_UNPACK_COST_UNITS);
+        stats.msgs_sent += 1;
+        stats.bytes_sent += (declared * T::SIZE) as u64;
+    }
+
+    // Local portion: a straight permutation copy — no staging, no charge (local
+    // delivery never touches the network or the cost model).  Written through the same
+    // raw pointer the window published: peer writes to other regions of `dst` may be
+    // in flight, so every window-lifetime write goes through that pointer.
+    if let Some(declared) = plan.sends[me] {
+        let list = &send_lists[me];
+        let perm = &perm_lists[me];
+        assert_eq!(
+            list.len(),
+            declared,
+            "rank {me}: send list for peer {me} does not match the plan"
+        );
+        assert_eq!(
+            perm.len(),
+            declared,
+            "rank {me}: permutation list for source {me} does not match the plan"
+        );
+        for (&off, &slot) in list.iter().zip(perm.iter()) {
+            debug_assert!((off as usize) < src.len() && (slot as usize) < dst_len);
+            unsafe { *dst_ptr.add(slot as usize) = *src.get_unchecked(off as usize) };
+        }
+    }
+
+    // Drain: place the classic fallback contributions of peers that missed the window,
+    // until every contribution — direct or fallback — has landed, then retire.
+    if pending > 0 {
+        while let Some(env) = rank.recv_tag_or_window_drained(tag) {
+            let from = env.from;
+            let byte_len = env.payload.byte_len();
+            assert!(
+                byte_len.is_multiple_of(T::SIZE),
+                "rank {me}: payload from rank {from} is not a whole number of elements"
+            );
+            let count = byte_len / T::SIZE;
+            match plan.recvs[from] {
+                RecvSpec::Exact(n) if from != me => {
+                    assert_eq!(
+                        count,
+                        n,
+                        "rank {me}: expected {n} elements from rank {from} in exchange epoch {}",
+                        epoch_of_tag(tag)
+                    );
+                }
+                _ => panic!(
+                    "rank {me}: unexpected exchange message from rank {from} ({count} elements) \
+                     in direct exchange epoch {} (this rank has started {} epochs — a crossed \
+                     or non-collective exchange sequence)",
+                    epoch_of_tag(tag),
+                    rank.exchange_epochs_started()
+                ),
+            }
+            let values: Vec<T> = match env.payload {
+                // The common fallback: the sender's typed buffer, placed as-is.
+                Payload::Typed(typed) => typed.into_values::<T>(),
+                Payload::Bytes(bytes) => {
+                    if scratch_pool.is_none() {
+                        scratch_pool = Some(rank.detach_decode_scratch::<T>());
+                    }
+                    let pool = scratch_pool.as_mut().expect("just filled");
+                    let mut scratch = rank.take_decode_scratch(pool, count);
+                    T::read_le_into(&bytes, &mut scratch);
+                    rank.recycle_pack_buffer(bytes);
+                    scratch
+                }
+            };
+            let perm = &perm_lists[from];
+            for (&slot, &v) in perm.iter().zip(values.iter()) {
+                debug_assert!((slot as usize) < dst_len);
+                unsafe { *dst_ptr.add(slot as usize) = v };
+            }
+            if scratch_pool.is_none() {
+                scratch_pool = Some(rank.detach_decode_scratch::<T>());
+            }
+            rank.recycle_decode_scratch(scratch_pool.as_mut().expect("just filled"), values);
+            fabric.contribution_delivered(me);
+        }
+        fabric.retire_window(me);
+        guard.armed = false;
+    }
+    if let Some(pool) = scratch_pool.take() {
+        rank.reattach_decode_scratch(pool);
+    }
+
+    // Receive-side accounting, deterministic from the plan: every contribution's byte
+    // count is fixed by its Exact spec, so arrival order (and delivery mechanism)
+    // cannot matter.  Same multiset of charges as the classic per-message path.
+    for (p, r) in plan.recvs.iter().enumerate() {
+        if p == me {
+            continue;
+        }
+        let RecvSpec::Exact(n) = *r else { continue };
+        let bytes = n * T::SIZE;
+        rank.charge_direct_recv(bytes);
+        rank.charge_compute(n as f64 * PACK_UNPACK_COST_UNITS);
+        stats.msgs_received += 1;
+        stats.bytes_received += bytes as u64;
+    }
+    stats
 }
 
 /// A split-phase exchange in flight: sends are posted, receives not yet drained.
@@ -851,6 +1238,14 @@ fn start_exchange<T: Element>(
     let tag = rank.next_exchange_tag();
     let mut stats = ExchangeStats::default();
 
+    // The shared-memory POD fast path packs each message verbatim into a `Vec<T>` drawn
+    // from the decode-scratch pool and ships the buffer itself — the receiving rank
+    // takes it by pointer move, so neither side runs the LE codec.  Every cost-model
+    // charge and stat below is identical on both paths: modeled results never depend on
+    // the backend, only host wall-clock does.
+    let typed = rank.backend() == ExchangeBackend::SharedMem && T::is_pod_le();
+    let mut scratch_pool = rank.detach_decode_scratch::<T>();
+
     // Send phase: one message per planned destination, empty payloads included when the
     // plan says so (dense mode).  The self payload is staged for local delivery below.
     for (p, declared) in plan.sends.iter().enumerate() {
@@ -858,28 +1253,42 @@ fn start_exchange<T: Element>(
         if p == me {
             continue;
         }
-        let mut raw = rank.take_pack_buffer(declared * T::SIZE);
-        let mut buf = PackBuf::new(&mut raw);
-        pack(p, &mut buf);
-        let packed = buf.len();
-        assert_eq!(
-            packed, *declared,
-            "rank {me}: buffer for peer {p} does not match the plan"
-        );
+        let packed = if typed {
+            let mut values = rank.take_decode_scratch(&mut scratch_pool, *declared);
+            let mut buf = PackBuf::typed(&mut values);
+            pack(p, &mut buf);
+            let packed = buf.len();
+            assert_eq!(
+                packed, *declared,
+                "rank {me}: buffer for peer {p} does not match the plan"
+            );
+            rank.send_typed(p, tag, values);
+            packed
+        } else {
+            let mut raw = rank.take_pack_buffer(declared * T::SIZE);
+            let mut buf = PackBuf::new(&mut raw);
+            pack(p, &mut buf);
+            let packed = buf.len();
+            assert_eq!(
+                packed, *declared,
+                "rank {me}: buffer for peer {p} does not match the plan"
+            );
+            rank.send_packed(p, tag, raw);
+            packed
+        };
         rank.charge_compute(packed as f64 * PACK_UNPACK_COST_UNITS);
         stats.msgs_sent += 1;
         stats.bytes_sent += (packed * T::SIZE) as u64;
-        rank.send_packed(p, tag, raw);
     }
 
     // Stage the local portion: decoded into pooled scratch now (while the pack source is
     // at hand), delivered through the placement path at finish, with no communication
     // and no cost-model charge.  Slice-backed callers stage with one bulk copy;
-    // pack-closure callers encode into a pooled buffer that goes straight back.
+    // pack-closure callers encode into a pooled buffer that goes straight back — or,
+    // on the typed fast path, pack straight into the staged scratch with no codec pass.
     let mut self_values: Vec<T> = Vec::new();
     let mut deliver_self = false;
     if let Some(declared) = plan.sends[me] {
-        let mut scratch_pool = rank.detach_decode_scratch::<T>();
         if let Some(payload) = self_payload {
             assert_eq!(
                 payload.len(),
@@ -891,6 +1300,21 @@ fn start_exchange<T: Element>(
                 scratch.extend_from_slice(payload);
                 self_values = scratch;
                 deliver_self = true;
+            }
+        } else if typed {
+            let mut values = rank.take_decode_scratch(&mut scratch_pool, declared);
+            let mut buf = PackBuf::typed(&mut values);
+            pack(me, &mut buf);
+            assert_eq!(
+                buf.len(),
+                declared,
+                "rank {me}: buffer for peer {me} does not match the plan"
+            );
+            if !values.is_empty() {
+                self_values = values;
+                deliver_self = true;
+            } else {
+                rank.recycle_decode_scratch(&mut scratch_pool, values);
             }
         } else {
             let mut raw = rank.take_pack_buffer(declared * T::SIZE);
@@ -909,8 +1333,8 @@ fn start_exchange<T: Element>(
             }
             rank.recycle_pack_buffer(raw);
         }
-        rank.reattach_decode_scratch(scratch_pool);
     }
+    rank.reattach_decode_scratch(scratch_pool);
     (tag, stats, self_values, deliver_self)
 }
 
@@ -944,12 +1368,13 @@ fn finish_exchange<T: Element>(
     }
 
     for _ in 0..plan.recv_message_count() {
-        let (src, payload) = rank.recv_raw_any(tag);
+        let (src, payload) = rank.recv_payload_any(tag);
+        let byte_len = payload.byte_len();
         assert!(
-            payload.len().is_multiple_of(T::SIZE),
+            byte_len.is_multiple_of(T::SIZE),
             "rank {me}: payload from rank {src} is not a whole number of elements"
         );
-        let count = payload.len() / T::SIZE;
+        let count = byte_len / T::SIZE;
         match plan.recvs[src] {
             RecvSpec::None => {
                 panic!(
@@ -970,10 +1395,19 @@ fn finish_exchange<T: Element>(
         }
         rank.charge_compute(count as f64 * PACK_UNPACK_COST_UNITS);
         stats.msgs_received += 1;
-        stats.bytes_received += payload.len() as u64;
-        let mut scratch = rank.take_decode_scratch(&mut scratch_pool, count);
-        T::read_le_into(&payload, &mut scratch);
-        rank.recycle_pack_buffer(payload);
+        stats.bytes_received += byte_len as u64;
+        let mut scratch = match payload {
+            Payload::Bytes(bytes) => {
+                let mut scratch = rank.take_decode_scratch(&mut scratch_pool, count);
+                T::read_le_into(&bytes, &mut scratch);
+                rank.recycle_pack_buffer(bytes);
+                scratch
+            }
+            // The typed fast path: the sender's buffer arrives by pointer move and is
+            // placed as-is; when the closure does not take it, it joins this rank's
+            // decode-scratch pool, keeping the pools balanced across the machine.
+            Payload::Typed(typed) => typed.into_values::<T>(),
+        };
         let mut taken = false;
         place(src, Placed::new(&mut scratch, &mut taken));
         if !taken {
@@ -1286,7 +1720,12 @@ mod tests {
                 delta.allocations, 0,
                 "steady state drew a fresh pack buffer"
             );
-            assert!(delta.reuses > 0, "data rounds must be served from the pool");
+            // On the shared-memory POD fast path the pack-buffer pool is idle (typed
+            // buffers come from the decode-scratch pool), so count both pools.
+            assert!(
+                delta.reuses + delta.decode_reuses > 0,
+                "data rounds must be served from the pools"
+            );
             assert_eq!(
                 delta.decode_allocations, 0,
                 "steady state drew a fresh decode scratch"
@@ -1448,8 +1887,8 @@ mod tests {
     #[test]
     fn alltoallv_multi_moves_lanes_in_one_message() {
         // Each rank sends 2 logical elements to every peer, fused over 3 lanes: one
-        // message per pair carrying x0 y0 z0 x1 y1 z1, 1/3 the messages of three
-        // single-lane exchanges of the same data.
+        // message per pair carrying x0 x1 y0 y1 z0 z1 (contiguous per-lane blocks), 1/3
+        // the messages of three single-lane exchanges of the same data.
         let out = run(MachineConfig::new(3), |rank| {
             let me = rank.rank();
             let n = rank.nprocs();
@@ -1464,8 +1903,8 @@ mod tests {
                 &plan,
                 3,
                 |_p, buf: &mut PackBuf<'_, f64>| {
-                    for k in 0..2 {
-                        for lane in 0..3 {
+                    for lane in 0..3 {
+                        for k in 0..2 {
                             buf.push((me * 100 + k * 10 + lane) as f64);
                         }
                     }
@@ -1480,10 +1919,22 @@ mod tests {
             assert_eq!(stats.bytes_sent, 2 * 6 * 8, "six lanes-worth per peer");
             for (src, values) in got {
                 assert_ne!(*src, me);
-                let expected: Vec<f64> = (0..2)
+                let expected: Vec<f64> = (0..3)
+                    .flat_map(|lane| (0..2).map(move |k| (src * 100 + k * 10 + lane) as f64))
+                    .collect();
+                assert_eq!(values, &expected, "per-lane blocks preserved");
+                // The blocked layout is exactly the transpose of the historical
+                // element-major interleave (x0 y0 z0 x1 y1 z1): same data, rearranged —
+                // pinned at the decode boundary so a layout change on either side of
+                // the wire cannot slip through.
+                let element_major: Vec<f64> = (0..2)
                     .flat_map(|k| (0..3).map(move |lane| (src * 100 + k * 10 + lane) as f64))
                     .collect();
-                assert_eq!(values, &expected, "lane interleaving preserved");
+                for lane in 0..3 {
+                    for k in 0..2 {
+                        assert_eq!(values[lane * 2 + k], element_major[k * 3 + lane]);
+                    }
+                }
             }
         }
     }
@@ -1559,8 +2010,100 @@ mod tests {
                 delta.decode_allocations, 0,
                 "split-phase drew fresh decode scratch"
             );
-            assert!(delta.reuses > 0);
+            assert!(delta.reuses + delta.decode_reuses > 0);
             assert!(delta.decode_reuses > 0);
+        }
+    }
+
+    /// One gather-shaped permutation round: every rank sends 3 elements to `me+1`,
+    /// 2 to `me-1`, and keeps 1 for itself, with fixed source offsets and
+    /// destination slots.  Returns the filled destination and the exchange stats.
+    fn permute_round(rank: &mut Rank) -> (Vec<f64>, ExchangeStats) {
+        let me = rank.rank();
+        let n = rank.nprocs();
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        let src: Vec<f64> = (0..6).map(|i| (me * 10 + i) as f64).collect();
+        let mut send_counts = vec![0usize; n];
+        send_counts[next] = 3;
+        send_counts[prev] = 2;
+        send_counts[me] = 1;
+        let mut recv_counts = vec![0usize; n];
+        recv_counts[prev] = 3;
+        recv_counts[next] = 2;
+        let plan = ExchangePlan::sparse(me, send_counts.clone(), recv_counts);
+        let mut send_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        send_lists[next] = vec![0, 2, 4];
+        send_lists[prev] = vec![1, 3];
+        send_lists[me] = vec![5];
+        let mut perm_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        perm_lists[prev] = vec![0, 1, 2];
+        perm_lists[next] = vec![3, 4];
+        perm_lists[me] = vec![5];
+        let mut dst = vec![f64::NAN; 6];
+        let stats = alltoallv_permute(rank, &plan, &src, &send_lists, &mut dst, &perm_lists);
+        (dst, stats)
+    }
+
+    #[test]
+    fn permute_exchange_matches_across_backends() {
+        // The permutation engine's direct (zero-copy window) arm on SharedMem must be
+        // observably identical to the classic modeled path: same delivered values, same
+        // ExchangeStats, same hand-computed expectation.
+        let run_backend = |backend| {
+            let out = run(MachineConfig::new(4).with_backend(backend), permute_round);
+            out.results
+        };
+        let modeled = run_backend(ExchangeBackend::Modeled);
+        let shared = run_backend(ExchangeBackend::SharedMem);
+        assert_eq!(
+            modeled, shared,
+            "backends disagree on a permutation exchange"
+        );
+        for (me, (dst, stats)) in modeled.iter().enumerate() {
+            let next = (me + 1) % 4;
+            let prev = (me + 3) % 4;
+            // prev sent its offsets [0, 2, 4] into slots [0, 1, 2]; next sent
+            // offsets [1, 3] into slots [3, 4]; self kept offset 5 in slot 5.
+            let expect = vec![
+                (prev * 10) as f64,
+                (prev * 10 + 2) as f64,
+                (prev * 10 + 4) as f64,
+                (next * 10 + 1) as f64,
+                (next * 10 + 3) as f64,
+                (me * 10 + 5) as f64,
+            ];
+            assert_eq!(dst, &expect, "rank {me}: wrong gathered values");
+            assert_eq!(stats.msgs_sent, 2);
+            assert_eq!(stats.msgs_received, 2);
+            assert_eq!(stats.bytes_sent, 5 * 8);
+            assert_eq!(stats.bytes_received, 5 * 8);
+        }
+    }
+
+    #[test]
+    fn direct_permute_steady_loop_stays_allocation_free() {
+        // The zero-copy window arm must hit the same allocation fixed point as the
+        // classic engine: direct deliveries touch no buffers at all, and any fallback
+        // messages draw from / return to the typed scratch pool.
+        let cfg = MachineConfig::new(4).with_backend(ExchangeBackend::SharedMem);
+        let out = run(cfg, |rank| {
+            permute_round(rank);
+            let warm = rank.pool_stats();
+            for _ in 0..8 {
+                permute_round(rank);
+            }
+            rank.pool_stats().since(&warm)
+        });
+        for delta in &out.results {
+            assert_eq!(
+                delta.allocations, 0,
+                "direct permute drew a fresh pack buffer"
+            );
+            assert_eq!(
+                delta.decode_allocations, 0,
+                "direct permute drew fresh decode scratch"
+            );
         }
     }
 }

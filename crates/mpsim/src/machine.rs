@@ -14,7 +14,8 @@ use std::thread;
 
 use crate::comm::Mailbox;
 use crate::cost::{CostModel, TimeSnapshot};
-use crate::message::{decode_vec, Element};
+use crate::message::{decode_vec, Element, Envelope, Payload, TypedPayload};
+use crate::shared::{ExchangeBackend, SharedFabric};
 use crate::stats::{MachineStats, PackPoolStats, RankStats};
 use crate::topology::{Dissemination, MachineConfig};
 
@@ -26,6 +27,7 @@ use crate::topology::{Dissemination, MachineConfig};
 pub struct Rank {
     mailbox: Mailbox,
     cost: CostModel,
+    backend: ExchangeBackend,
     stats: RankStats,
     time: TimeSnapshot,
     /// Number of [`crate::exchange`] engine executions this rank has started; used to tag
@@ -40,10 +42,20 @@ pub struct Rank {
     pool: Vec<Vec<u8>>,
     /// Free lists of the decode-scratch pool, one per element type: typed `Vec<T>` buffers
     /// (stored as `Vec<Vec<T>>` behind `dyn Any`) that incoming payloads are decoded into
-    /// before placement.  See [`Rank::pool_stats`].
-    scratch: HashMap<TypeId, Box<dyn Any + Send>>,
+    /// before placement.  Bounded to [`SCRATCH_MAX_TYPES`] entries by least-recently-used
+    /// eviction (see [`Rank::reattach_decode_scratch`]).  See [`Rank::pool_stats`].
+    scratch: HashMap<TypeId, ScratchSlot>,
+    /// Monotone counter stamping decode-scratch use, for the LRU eviction above.
+    scratch_clock: u64,
     /// Allocation/reuse counters of both pools.
     pool_stats: PackPoolStats,
+}
+
+/// One element type's decode-scratch free list plus the recency stamp that orders
+/// eviction when [`SCRATCH_MAX_TYPES`] distinct types have been seen.
+struct ScratchSlot {
+    list: Box<dyn Any + Send>,
+    last_use: u64,
 }
 
 /// Maximum number of idle buffers a rank keeps, per pool (and, for the decode-scratch
@@ -51,6 +63,14 @@ pub struct Rank {
 /// only bounds idle memory, it never causes an extra allocation while a pool is warm (a
 /// steady-state loop holds at most its per-iteration message count).
 const POOL_MAX_IDLE: usize = 1024;
+
+/// Maximum number of distinct element types the decode-scratch pool keeps free lists
+/// for.  A workload phase touches a handful of types; without a bound, a long-running
+/// heterogeneous process (many struct types through `impl_element_struct!`) would grow
+/// the `TypeId` map — and its idle buffers — forever.  When a new type would exceed the
+/// bound, the least-recently-used type's free list is dropped (its buffers are plain
+/// idle memory; the next exchange of that type re-warms in one iteration).
+pub const SCRATCH_MAX_TYPES: usize = 32;
 
 impl Rank {
     /// This rank's id in `0..nprocs`.
@@ -68,6 +88,11 @@ impl Rank {
         &self.cost
     }
 
+    /// The exchange backend this machine communicates through.
+    pub fn backend(&self) -> ExchangeBackend {
+        self.backend
+    }
+
     /// Send a slice of elements to rank `to` with tag `tag`.
     ///
     /// The sender is charged one message (latency + bytes) of modeled communication time.
@@ -79,14 +104,31 @@ impl Rank {
         self.send_packed(to, tag, payload);
     }
 
-    /// Send an already-encoded payload, taking ownership of the buffer.  This is the
-    /// single point where outgoing messages are charged and counted; [`Rank::send_slice`]
-    /// and the [`crate::exchange`] engine both funnel through it.
+    /// Send an already-encoded payload, taking ownership of the buffer.  This and
+    /// [`Rank::send_typed`] are the only points where outgoing messages are charged and
+    /// counted; [`Rank::send_slice`] and the [`crate::exchange`] engine funnel through
+    /// them.
     pub(crate) fn send_packed(&mut self, to: usize, tag: u64, payload: Vec<u8>) {
         let bytes = payload.len();
         self.stats.record_send(bytes);
         self.time.comm_us += self.cost.message_cost_us(bytes);
-        self.mailbox.send(to, tag, payload);
+        self.mailbox.send(to, tag, Payload::Bytes(payload));
+    }
+
+    /// Send a typed buffer without encoding it — the POD fast path of the shared-memory
+    /// backend.  Charged and counted exactly as if the buffer had been encoded
+    /// (`values.len() * T::SIZE` bytes), so modeled time and statistics are independent
+    /// of how the payload physically travels.
+    pub(crate) fn send_typed<T: Element>(&mut self, to: usize, tag: u64, values: Vec<T>) {
+        debug_assert!(
+            self.backend == ExchangeBackend::SharedMem && T::is_pod_le(),
+            "typed transport is the SharedMem POD fast path only"
+        );
+        let bytes = values.len() * T::SIZE;
+        self.stats.record_send(bytes);
+        self.time.comm_us += self.cost.message_cost_us(bytes);
+        self.mailbox
+            .send(to, tag, Payload::Typed(TypedPayload::new(values)));
     }
 
     /// Receive a vector of elements from rank `from` with tag `tag` (blocking, selective).
@@ -94,16 +136,18 @@ impl Rank {
     /// The receiver is charged one message (latency + bytes) of modeled communication time.
     pub fn recv_vec<T: Element>(&mut self, from: usize, tag: u64) -> Vec<T> {
         let env = self.mailbox.recv(from, tag);
-        self.stats.record_recv(env.payload.len());
-        self.time.comm_us += self.cost.message_cost_us(env.payload.len());
-        let values = decode_vec(&env.payload);
-        self.recycle_pack_buffer(env.payload);
+        self.stats.record_recv(env.payload.byte_len());
+        self.time.comm_us += self.cost.message_cost_us(env.payload.byte_len());
+        let payload = env.payload.into_bytes();
+        let values = decode_vec(&payload);
+        self.recycle_pack_buffer(payload);
         values
     }
 
     /// Receive a vector of elements with tag `tag` from any rank; returns `(from, values)`.
     pub fn recv_vec_any<T: Element>(&mut self, tag: u64) -> (usize, Vec<T>) {
-        let (from, payload) = self.recv_raw_any(tag);
+        let (from, payload) = self.recv_payload_any(tag);
+        let payload = payload.into_bytes();
         let values = decode_vec(&payload);
         self.recycle_pack_buffer(payload);
         (from, values)
@@ -111,13 +155,44 @@ impl Rank {
 
     /// Receive the raw payload of the next message carrying `tag`, charging stats and the
     /// cost model but leaving decoding to the caller.  The exchange engine uses this to
-    /// decode into a pooled scratch buffer (and to recycle the byte buffer afterwards)
-    /// instead of materialising a fresh `Vec<T>` per message.
-    pub(crate) fn recv_raw_any(&mut self, tag: u64) -> (usize, Vec<u8>) {
+    /// decode byte payloads into a pooled scratch buffer (recycling the byte buffer
+    /// afterwards) and to take typed fast-path payloads as they are, instead of
+    /// materialising a fresh `Vec<T>` per message.
+    pub(crate) fn recv_payload_any(&mut self, tag: u64) -> (usize, Payload) {
         let env = self.mailbox.recv_any(tag);
-        self.stats.record_recv(env.payload.len());
-        self.time.comm_us += self.cost.message_cost_us(env.payload.len());
+        self.stats.record_recv(env.payload.byte_len());
+        self.time.comm_us += self.cost.message_cost_us(env.payload.byte_len());
         (env.from, env.payload)
+    }
+
+    /// Charge and count one outgoing message whose payload was delivered *directly*
+    /// through a shared-memory window (no bytes physically travel).  Identical
+    /// accounting to [`Rank::send_packed`] / [`Rank::send_typed`]: modeled time and
+    /// statistics never depend on how a payload moves.
+    pub(crate) fn charge_direct_send(&mut self, bytes: usize) {
+        self.stats.record_send(bytes);
+        self.time.comm_us += self.cost.message_cost_us(bytes);
+    }
+
+    /// Charge and count one incoming message of a direct exchange — the mirror of
+    /// [`Rank::recv_payload_any`]'s accounting.  The byte count comes from the plan
+    /// (direct exchanges require size-negotiated receives), so the charge is
+    /// deterministic regardless of whether the data arrived by direct copy or as a
+    /// fallback message.
+    pub(crate) fn charge_direct_recv(&mut self, bytes: usize) {
+        self.stats.record_recv(bytes);
+        self.time.comm_us += self.cost.message_cost_us(bytes);
+    }
+
+    /// The shared-memory fabric, when this machine communicates through one.
+    pub(crate) fn shared_fabric(&self) -> Option<Arc<SharedFabric>> {
+        self.mailbox.shared_fabric()
+    }
+
+    /// See [`Mailbox::recv_tag_or_window_drained`].  Uncharged — the direct exchange
+    /// charges its whole receive side deterministically from the plan.
+    pub(crate) fn recv_tag_or_window_drained(&mut self, tag: u64) -> Option<Envelope> {
+        self.mailbox.recv_tag_or_window_drained(tag)
     }
 
     /// Detach the decode-scratch free list for element type `T`, leaving an empty list
@@ -131,6 +206,7 @@ impl Rank {
             .map(|entry| {
                 std::mem::take(
                     entry
+                        .list
                         .downcast_mut::<Vec<Vec<T>>>()
                         .expect("decode-scratch free list holds the wrong type"),
                 )
@@ -141,15 +217,40 @@ impl Rank {
     /// Re-attach a free list detached with [`Rank::detach_decode_scratch`], capping the
     /// idle-buffer count.  Nothing else can have touched the map entry in between (the
     /// engine never nests executions), so the entry is simply replaced.
+    ///
+    /// This is also where the type map itself is bounded: re-attaching a type the map
+    /// has no slot for when [`SCRATCH_MAX_TYPES`] types are already tracked evicts the
+    /// least-recently-used type's free list first.
     pub(crate) fn reattach_decode_scratch<T: Element>(&mut self, mut list: Vec<Vec<T>>) {
         list.truncate(POOL_MAX_IDLE);
-        let entry = self
-            .scratch
-            .entry(TypeId::of::<T>())
-            .or_insert_with(|| Box::new(Vec::<Vec<T>>::new()));
+        self.scratch_clock += 1;
+        let clock = self.scratch_clock;
+        let key = TypeId::of::<T>();
+        if !self.scratch.contains_key(&key) && self.scratch.len() >= SCRATCH_MAX_TYPES {
+            if let Some(victim) = self
+                .scratch
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_use)
+                .map(|(&k, _)| k)
+            {
+                self.scratch.remove(&victim);
+            }
+        }
+        let entry = self.scratch.entry(key).or_insert_with(|| ScratchSlot {
+            list: Box::new(Vec::<Vec<T>>::new()),
+            last_use: clock,
+        });
+        entry.last_use = clock;
         *entry
+            .list
             .downcast_mut::<Vec<Vec<T>>>()
             .expect("decode-scratch free list holds the wrong type") = list;
+    }
+
+    /// Number of distinct element types the decode-scratch pool currently tracks.
+    /// Bounded by [`SCRATCH_MAX_TYPES`]; exposed for the pool regression tests.
+    pub fn scratch_type_count(&self) -> usize {
+        self.scratch.len()
     }
 
     /// Take a typed scratch buffer with room for `capacity` elements from a detached
@@ -274,7 +375,8 @@ impl Rank {
         let me = self.rank();
         let sched = Dissemination::new(n);
         for k in 0..sched.rounds() {
-            self.mailbox.send(sched.send_peer(me, k), tag, Vec::new());
+            self.mailbox
+                .send(sched.send_peer(me, k), tag, Payload::Bytes(Vec::new()));
             let env = self.mailbox.recv(sched.recv_peer(me, k), tag);
             debug_assert!(env.payload.is_empty(), "barrier messages carry no payload");
         }
@@ -419,13 +521,17 @@ impl Machine {
         F: Fn(&mut Rank) -> R + Send + Sync + 'static,
     {
         let nprocs = self.config.nprocs;
-        let mailboxes = Mailbox::create_all(nprocs);
+        let mailboxes = match self.config.backend {
+            ExchangeBackend::Modeled => Mailbox::create_all(nprocs),
+            ExchangeBackend::SharedMem => Mailbox::create_shared(nprocs),
+        };
         let f = Arc::new(f);
 
         let mut handles = Vec::with_capacity(nprocs);
         for mailbox in mailboxes {
             let f = Arc::clone(&f);
             let cost = self.config.cost;
+            let backend = self.config.backend;
             let builder = thread::Builder::new()
                 .name(format!("mpsim-rank-{}", mailbox.rank()))
                 .stack_size(self.config.stack_size);
@@ -434,12 +540,14 @@ impl Machine {
                     let mut rank = Rank {
                         mailbox,
                         cost,
+                        backend,
                         stats: RankStats::default(),
                         time: TimeSnapshot::default(),
                         exchange_seq: 0,
                         barrier_seq: 0,
                         pool: Vec::new(),
                         scratch: HashMap::new(),
+                        scratch_clock: 0,
                         pool_stats: PackPoolStats::default(),
                     };
                     let result = f(&mut rank);
@@ -573,6 +681,41 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    /// Regression for the decode-scratch type map: cycling more distinct element types
+    /// than [`SCRATCH_MAX_TYPES`] through the pool must evict least-recently-used free
+    /// lists instead of growing the map without bound.
+    #[test]
+    fn scratch_pool_type_map_is_bounded_with_lru_eviction() {
+        let out = run(MachineConfig::new(1), |rank| {
+            fn touch<T: Element>(rank: &mut Rank) {
+                let mut list = rank.detach_decode_scratch::<T>();
+                let buf = rank.take_decode_scratch(&mut list, 4);
+                rank.recycle_decode_scratch(&mut list, buf);
+                rank.reattach_decode_scratch(list);
+            }
+            macro_rules! touch_arrays {
+                ($($n:literal),+ $(,)?) => { $( touch::<[u8; $n]>(rank); )+ };
+            }
+            // 40 distinct element types, in order — more than the map may keep.
+            touch_arrays!(
+                1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23,
+                24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40
+            );
+            let count = rank.scratch_type_count();
+            // The oldest types were evicted (their free lists are gone), the newest kept.
+            let oldest = rank.detach_decode_scratch::<[u8; 1]>();
+            let newest = rank.detach_decode_scratch::<[u8; 40]>();
+            (count, oldest.len(), newest.len())
+        });
+        let (count, oldest_len, newest_len) = out.results[0];
+        assert_eq!(
+            count, SCRATCH_MAX_TYPES,
+            "map must sit exactly at the bound"
+        );
+        assert_eq!(oldest_len, 0, "LRU type must have been evicted");
+        assert_eq!(newest_len, 1, "most recent type keeps its pooled buffer");
     }
 
     #[test]

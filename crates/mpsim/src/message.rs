@@ -38,6 +38,22 @@ pub trait Element: Copy + Send + 'static {
         }
     }
 
+    /// Whether the in-memory representation of this type **is** its little-endian
+    /// encoding: `size_of::<Self>() == Self::SIZE` (no padding) and the native byte
+    /// order of every lane is little-endian.
+    ///
+    /// When this returns `true`, the encode/decode round-trip through
+    /// [`Element::write_le_slice`] / [`Element::read_le_into`] is a plain copy — so a
+    /// transport that can hand over typed buffers directly (the shared-memory backend's
+    /// `Vec<T>` pointer move) may skip the codec entirely and remain byte-identical to
+    /// the encoded path.  The default is `false` (always safe); implementations must
+    /// only return `true` when the identity genuinely holds — `pod_identity_holds` in
+    /// this module's tests pins the contract for every `true` implementation.
+    #[inline]
+    fn is_pod_le() -> bool {
+        false
+    }
+
     /// Decode a whole payload, appending the elements to `out`.
     ///
     /// The bulk counterpart of [`Element::read_le`]: the default is the per-element loop;
@@ -65,6 +81,13 @@ macro_rules! impl_element_primitive {
         $(
             impl Element for $t {
                 const SIZE: usize = std::mem::size_of::<$t>();
+
+                // On little-endian targets `to_le_bytes` is the identity and primitives
+                // have no padding, so memory repr == wire repr.
+                #[inline]
+                fn is_pod_le() -> bool {
+                    cfg!(target_endian = "little")
+                }
 
                 #[inline]
                 fn write_le(&self, buf: &mut Vec<u8>) {
@@ -117,6 +140,12 @@ impl_element_primitive!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
 impl Element for usize {
     const SIZE: usize = 8;
 
+    // `usize` travels as a u64, so the identity additionally needs a 64-bit target.
+    #[inline]
+    fn is_pod_le() -> bool {
+        cfg!(target_endian = "little") && std::mem::size_of::<usize>() == 8
+    }
+
     #[inline]
     fn write_le(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&(*self as u64).to_le_bytes());
@@ -156,6 +185,12 @@ impl Element for usize {
 
 impl<T: Element, const N: usize> Element for [T; N] {
     const SIZE: usize = T::SIZE * N;
+
+    // Arrays insert no padding, so `[T; N]` inherits the identity from `T`.
+    #[inline]
+    fn is_pod_le() -> bool {
+        T::is_pod_le()
+    }
 
     #[inline]
     fn write_le(&self, buf: &mut Vec<u8>) {
@@ -296,15 +331,112 @@ pub fn decode_vec<T: Element>(bytes: &[u8]) -> Vec<T> {
     out
 }
 
+/// The contents of one in-flight message.
+///
+/// The modeled transport always ships encoded bytes; the shared-memory transport ships
+/// the *typed* buffer itself when the element type satisfies [`Element::is_pod_le`] (the
+/// encode/decode round-trip would be an identity copy, so handing over the `Vec<T>` is
+/// byte-equivalent and allocation-free).  Cost accounting is uniform: both variants know
+/// their encoded byte length, and the cost model is charged from that, never from how the
+/// payload physically travelled.
+pub enum Payload {
+    /// Little-endian encoded bytes (the universal representation).
+    Bytes(Vec<u8>),
+    /// A typed buffer moved without encoding (POD fast path of the shared-memory
+    /// backend).
+    Typed(TypedPayload),
+}
+
+impl Payload {
+    /// Encoded byte length of the payload — what the cost model and the stats counters
+    /// charge, identical across variants.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Payload::Bytes(b) => b.len(),
+            Payload::Typed(t) => t.byte_len,
+        }
+    }
+
+    /// True when the payload carries no elements.
+    pub fn is_empty(&self) -> bool {
+        self.byte_len() == 0
+    }
+
+    /// The encoded bytes, for transports and callers that only speak bytes.
+    ///
+    /// # Panics
+    /// Panics if the payload is typed — byte-only receive paths must never see the
+    /// typed fast path (the exchange engine keeps the two separate by construction).
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(b) => b,
+            Payload::Typed(_) => {
+                panic!("typed payload reached a byte-only receive path")
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Payload::Bytes(b) => f.debug_tuple("Bytes").field(&b.len()).finish(),
+            Payload::Typed(t) => f
+                .debug_struct("Typed")
+                .field("elems", &t.elem_count)
+                .field("bytes", &t.byte_len)
+                .finish(),
+        }
+    }
+}
+
+/// A type-erased `Vec<T>` travelling as a message payload (see [`Payload::Typed`]).
+pub struct TypedPayload {
+    elem_count: usize,
+    byte_len: usize,
+    data: Box<dyn std::any::Any + Send>,
+}
+
+impl TypedPayload {
+    /// Wrap a typed buffer for transport.  Only meaningful for
+    /// [`Element::is_pod_le`] types; the caller (the exchange engine) enforces that.
+    pub fn new<T: Element>(values: Vec<T>) -> Self {
+        debug_assert!(T::is_pod_le(), "typed transport requires a POD-LE element");
+        TypedPayload {
+            elem_count: values.len(),
+            byte_len: values.len() * T::SIZE,
+            data: Box::new(values),
+        }
+    }
+
+    /// Number of elements in the buffer.
+    pub fn elem_count(&self) -> usize {
+        self.elem_count
+    }
+
+    /// Recover the typed buffer.
+    ///
+    /// # Panics
+    /// Panics if `T` is not the type the payload was created with — which would mean
+    /// two different exchanges matched the same epoch tag, a protocol violation worth
+    /// failing loudly on.
+    pub fn into_values<T: Element>(self) -> Vec<T> {
+        *self
+            .data
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("typed payload holds a different element type"))
+    }
+}
+
 /// A message in flight between two ranks.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Envelope {
     /// Sending rank.
     pub from: usize,
     /// Application-level tag used for selective receive.
     pub tag: u64,
-    /// Encoded payload bytes.
-    pub payload: Vec<u8>,
+    /// The payload — encoded bytes or a typed fast-path buffer.
+    pub payload: Payload,
 }
 
 #[cfg(test)]
@@ -461,6 +593,56 @@ mod tests {
         let bytes = vec![0u8; 13];
         let mut out: Vec<u32> = Vec::new();
         u32::read_le_into(&bytes, &mut out);
+    }
+
+    /// The [`Element::is_pod_le`] contract: every type that claims the identity must
+    /// encode to exactly its in-memory bytes (same length, same contents).  Types that
+    /// return `false` are unconstrained — the check is one-directional.
+    fn assert_pod_identity_holds<T: Element>(values: &[T]) {
+        if !T::is_pod_le() {
+            return;
+        }
+        assert_eq!(std::mem::size_of::<T>(), T::SIZE, "POD-LE type has padding");
+        let encoded = encode_slice(values);
+        let native = unsafe {
+            std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), std::mem::size_of_val(values))
+        };
+        assert_eq!(encoded, native, "POD-LE encoding is not the memory repr");
+    }
+
+    #[test]
+    fn pod_identity_holds() {
+        assert_pod_identity_holds::<u8>(&[0, 1, 0xFF]);
+        assert_pod_identity_holds::<u32>(&[0, 7, u32::MAX]);
+        assert_pod_identity_holds::<i64>(&[0, -5, i64::MIN]);
+        assert_pod_identity_holds::<f64>(&[0.0, -1.5, f64::MAX]);
+        assert_pod_identity_holds::<usize>(&[0, 42, usize::MAX >> 1]);
+        assert_pod_identity_holds::<[f64; 3]>(&[[1.0, 2.0, 3.0], [-0.5, 0.0, 9.75]]);
+        assert_pod_identity_holds::<[[f64; 2]; 2]>(&[[[1.0, 2.0], [3.0, 4.0]]]);
+        // Tuples may carry padding, so they must not claim the identity.
+        assert!(!<(u32, f64)>::is_pod_le());
+        assert!(!<(u32, f64, i64)>::is_pod_le());
+    }
+
+    #[test]
+    fn typed_payload_round_trips_and_counts_bytes() {
+        let p = Payload::Typed(TypedPayload::new(vec![1.0f64, 2.0, 3.0]));
+        assert_eq!(p.byte_len(), 24);
+        assert!(!p.is_empty());
+        match p {
+            Payload::Typed(t) => {
+                assert_eq!(t.elem_count(), 3);
+                assert_eq!(t.into_values::<f64>(), vec![1.0, 2.0, 3.0]);
+            }
+            Payload::Bytes(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different element type")]
+    fn typed_payload_rejects_wrong_type() {
+        let t = TypedPayload::new(vec![1.0f64]);
+        let _ = t.into_values::<u64>();
     }
 
     #[test]

@@ -1,0 +1,844 @@
+//! The shared-memory message fabric behind [`ExchangeBackend::SharedMem`].
+//!
+//! The modeled transport moves every message through `std::sync::mpsc` channels — one
+//! multi-producer channel per rank — which is simple and correct but pays an allocation,
+//! a lock handoff, and an encode/decode round-trip per message.  This module replaces the
+//! wire with what the paper's runtime would use on a shared-memory node: one bounded
+//! **lock-free SPSC ring per ordered rank pair**, so a producer and a consumer touch only
+//! cache lines they own, plus a per-consumer *doorbell* (mutex + condvar) so a rank with
+//! nothing to receive parks instead of burning the core.
+//!
+//! [`ExchangeBackend`] selects the transport per [`crate::MachineConfig`].  The two
+//! backends are observationally identical everywhere except host wall-clock: the same
+//! modeled cost, the same [`crate::RankStats`] counters, the same delivered bytes.  The
+//! entire test suite runs under either backend (`MPSIM_BACKEND=shared cargo test`).
+//!
+//! ## Why SPSC rings are enough
+//!
+//! Every message stream in the machine is point-to-point between a fixed (sender,
+//! receiver) pair, and the exchange engine's collective start-order discipline bounds how
+//! far any rank can run ahead: one exchange puts at most one message per pair in flight,
+//! so ring occupancy is bounded by the number of simultaneously unfinished exchanges — in
+//! practice low single digits against a capacity of [`RING_CAPACITY`].  A full ring
+//! (pathological lookahead) simply makes the producer spin-yield until the consumer
+//! drains; it cannot deadlock, because a consumer always eventually reaches the receive
+//! that drains its side of the pair.
+//!
+//! ## Progress and the missed-wakeup race
+//!
+//! The consumer scans its inbound rings a bounded number of times (yielding between
+//! sweeps), then publishes `sleeping = true` under its doorbell mutex, **rescans**, and
+//! only then waits on the condvar.  Producers push with a `SeqCst` fence before loading
+//! `sleeping`, and notify under the same mutex.  In the `SeqCst` total order either the
+//! producer sees `sleeping == true` (and its notify, serialized behind the mutex the
+//! consumer holds until it waits, is guaranteed to wake it) or the consumer's rescan
+//! happens after the push and finds the message.  Either way no message is lost to a
+//! sleeping consumer.
+
+use std::any::TypeId;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::message::{Envelope, Payload};
+
+/// Which transport a machine's ranks communicate through.
+///
+/// The backend changes **only** host wall-clock behaviour: modeled time, statistics,
+/// results, and pool accounting are identical across backends (pinned by
+/// `tests/backend_equivalence.rs`).  Selected per machine via
+/// [`crate::MachineConfig::with_backend`], with the process-wide default taken from the
+/// `MPSIM_BACKEND` environment variable (`modeled` | `shared`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeBackend {
+    /// Messages travel through per-rank mpsc channels and every payload is encoded to
+    /// little-endian bytes — the historical transport, byte-for-byte unchanged.
+    Modeled,
+    /// Messages travel through per-pair lock-free SPSC rings, and payloads whose element
+    /// type satisfies [`crate::message::Element::is_pod_le`] move as typed buffers
+    /// without touching the codec (a `Vec` pointer handoff instead of an encode +
+    /// decode + copy).
+    SharedMem,
+}
+
+impl ExchangeBackend {
+    /// The process-wide default backend: `MPSIM_BACKEND=shared` selects
+    /// [`ExchangeBackend::SharedMem`], anything else (or unset) the modeled transport.
+    /// Read once and cached — a test harness toggles backends per machine, not per call.
+    pub fn from_env() -> ExchangeBackend {
+        static DEFAULT: std::sync::OnceLock<ExchangeBackend> = std::sync::OnceLock::new();
+        *DEFAULT.get_or_init(|| match std::env::var("MPSIM_BACKEND").as_deref() {
+            Ok("shared") | Ok("sharedmem") | Ok("shared_mem") => ExchangeBackend::SharedMem,
+            _ => ExchangeBackend::Modeled,
+        })
+    }
+
+    /// Stable lowercase name used in benchmark records (`modeled` / `shared`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExchangeBackend::Modeled => "modeled",
+            ExchangeBackend::SharedMem => "shared",
+        }
+    }
+}
+
+/// Slots per SPSC ring.  Exchange collectivity bounds steady-state occupancy to the
+/// number of simultaneously in-flight exchanges per pair (single digits); the slack
+/// absorbs split-phase lookahead without letting P² preallocation grow huge.
+pub const RING_CAPACITY: usize = 32;
+
+/// Largest machine the shared-memory fabric will build.  The fabric preallocates P²
+/// rings; beyond this the modeled transport is the right tool (its P = 1024 collective
+/// sweeps are about modeled scaling, not host wall-clock).
+pub const MAX_SHARED_RANKS: usize = 128;
+
+/// Ring sweeps the consumer performs (yielding between sweeps) before parking on its
+/// doorbell, when every rank thread can have its own core.  Exchanges that are already
+/// in flight complete within a few sweeps, so spinning wins: the doorbell's futex
+/// round-trip costs more than the wait.
+const SPIN_SWEEPS: usize = 64;
+
+/// Sweeps before parking when the machine is *oversubscribed* (more rank threads than
+/// host cores).  Spinning then actively hurts — every sweep is a scheduler round-trip
+/// that delays the very producer the consumer is waiting for — so park almost
+/// immediately and let the doorbell wake us; the modeled backend's blocking channel
+/// recv gets this behaviour for free, and the shared transport must not be worse.
+const SPIN_SWEEPS_OVERSUBSCRIBED: usize = 4;
+
+/// One bounded single-producer single-consumer ring of envelopes.
+///
+/// `head`/`tail` are monotonically increasing logical indices (slot = index %
+/// capacity); `tail - head` is the occupancy.  Only the producer writes `tail`, only the
+/// consumer writes `head`, and each slot is written before the `Release` store of `tail`
+/// that publishes it — the classic Lamport queue.
+struct Spsc {
+    slots: Box<[UnsafeCell<MaybeUninit<Envelope>>]>,
+    /// Next logical index the consumer will pop.
+    head: AtomicUsize,
+    /// Next logical index the producer will push.
+    tail: AtomicUsize,
+}
+
+// Safety: the fabric hands each ring to exactly one producer rank and one consumer rank;
+// the head/tail protocol ensures they never touch the same slot concurrently.
+unsafe impl Sync for Spsc {}
+
+impl Spsc {
+    fn new() -> Self {
+        Spsc {
+            slots: (0..RING_CAPACITY)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Producer side: publish one envelope, or return it when the ring is full.
+    fn try_push(&self, env: Envelope) -> Result<(), Envelope> {
+        let t = self.tail.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Acquire);
+        if t - h >= RING_CAPACITY {
+            return Err(env);
+        }
+        unsafe { (*self.slots[t % RING_CAPACITY].get()).write(env) };
+        self.tail.store(t + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: pop the oldest envelope, if any.
+    fn try_pop(&self) -> Option<Envelope> {
+        let h = self.head.load(Ordering::Relaxed);
+        let t = self.tail.load(Ordering::Acquire);
+        if t == h {
+            return None;
+        }
+        let env = unsafe { (*self.slots[h % RING_CAPACITY].get()).assume_init_read() };
+        self.head.store(h + 1, Ordering::Release);
+        Some(env)
+    }
+}
+
+impl Drop for Spsc {
+    fn drop(&mut self) {
+        // Drain whatever a panicking or terminating machine left behind so payload
+        // buffers are not leaked.
+        let h = *self.head.get_mut();
+        let t = *self.tail.get_mut();
+        for i in h..t {
+            unsafe { (*self.slots[i % RING_CAPACITY].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// Per-consumer parking spot: producers ring it after pushing when the consumer has
+/// announced it is about to sleep.
+struct Doorbell {
+    sleeping: AtomicBool,
+    mutex: Mutex<()>,
+    condvar: Condvar,
+}
+
+/// One source rank's contribution descriptor in a published [`DirectWindow`]: the
+/// receiver's permutation list for that source, as `(perm.as_ptr() as usize, len)`.
+/// A zero pointer means the receiver expects nothing from the source.
+struct SourceSlot {
+    perm_ptr: AtomicUsize,
+    perm_len: AtomicUsize,
+}
+
+/// One rank's **zero-copy delivery window**.
+///
+/// While a direct-capable exchange (gather-shaped, POD elements, size-negotiated plan)
+/// is in flight, the receiving rank publishes the raw destination region and its
+/// per-source permutation lists here.  A sender that finds the window published for its
+/// exchange tag writes its contribution straight into place — `dst[perm[k]] = value`,
+/// one copy, no message, no intermediate buffer.  A sender that arrives before the
+/// window is up falls back to a classic ring message, which the receiver places itself.
+///
+/// The protocol has one publication edge and one completion edge:
+///
+/// * **Publish**: every field is written while `tag == 0` (no sender reads then), and
+///   `tag` is stored `Release` last; senders load `tag` with `Acquire`, so a match
+///   orders every field after the publish.  Tags are unique per exchange episode
+///   (per-rank epoch counters advanced in collective start order), so a match can never
+///   be stale.
+/// * **Complete**: each contribution ends with a `Release` `fetch_sub` of `pending`;
+///   the receiver's `Acquire` read of 0 therefore sees every byte written through the
+///   window.  The window cannot retire (and its fields cannot be rewritten) while any
+///   sender is between its tag check and its decrement, because that sender's own
+///   contribution keeps `pending >= 1`.
+struct DirectWindow {
+    /// Exchange tag the window serves; 0 = retired (real exchange tags are offset far
+    /// above zero).
+    tag: AtomicU64,
+    /// Contributions still outstanding — direct writes or classic fallback messages.
+    pending: AtomicUsize,
+    /// Destination region base, `*mut T as usize`.
+    dst_ptr: AtomicUsize,
+    /// Destination region length in elements (bounds checks only).
+    dst_len: AtomicUsize,
+    /// Element type of the destination; senders assert against it — a mismatch is a
+    /// crossed exchange sequence, the direct analogue of the typed-payload downcast
+    /// panic.
+    elem: UnsafeCell<Option<TypeId>>,
+    /// One slot per source rank.
+    sources: Box<[SourceSlot]>,
+}
+
+// Safety: `elem` is written only while `tag == 0` (when no sender reads it) and read
+// only after an `Acquire` load of a matching nonzero tag, which orders the read after
+// the write; every other field is atomic.
+unsafe impl Sync for DirectWindow {}
+
+/// The machine-wide shared-memory wire: P² SPSC rings plus one doorbell and one
+/// direct-delivery window per rank.
+pub(crate) struct SharedFabric {
+    nprocs: usize,
+    /// `rings[from * nprocs + to]`.
+    rings: Vec<Spsc>,
+    doorbells: Vec<Doorbell>,
+    windows: Vec<DirectWindow>,
+    terminated: Vec<AtomicBool>,
+    /// Sweeps before parking, chosen at construction: [`SPIN_SWEEPS`] when every rank
+    /// thread can have a core, [`SPIN_SWEEPS_OVERSUBSCRIBED`] otherwise.
+    spin_sweeps: usize,
+}
+
+impl SharedFabric {
+    /// Build the fabric for `nprocs` ranks.
+    ///
+    /// # Panics
+    /// Panics if `nprocs` exceeds [`MAX_SHARED_RANKS`].
+    pub(crate) fn new(nprocs: usize) -> Arc<SharedFabric> {
+        assert!(
+            nprocs <= MAX_SHARED_RANKS,
+            "the SharedMem backend preallocates P^2 rings and supports at most \
+             {MAX_SHARED_RANKS} ranks (got {nprocs}); use ExchangeBackend::Modeled for \
+             larger machines"
+        );
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Arc::new(SharedFabric {
+            nprocs,
+            rings: (0..nprocs * nprocs).map(|_| Spsc::new()).collect(),
+            doorbells: (0..nprocs)
+                .map(|_| Doorbell {
+                    sleeping: AtomicBool::new(false),
+                    mutex: Mutex::new(()),
+                    condvar: Condvar::new(),
+                })
+                .collect(),
+            windows: (0..nprocs)
+                .map(|_| DirectWindow {
+                    tag: AtomicU64::new(0),
+                    pending: AtomicUsize::new(0),
+                    dst_ptr: AtomicUsize::new(0),
+                    dst_len: AtomicUsize::new(0),
+                    elem: UnsafeCell::new(None),
+                    sources: (0..nprocs)
+                        .map(|_| SourceSlot {
+                            perm_ptr: AtomicUsize::new(0),
+                            perm_len: AtomicUsize::new(0),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            terminated: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
+            spin_sweeps: if nprocs <= cores {
+                SPIN_SWEEPS
+            } else {
+                SPIN_SWEEPS_OVERSUBSCRIBED
+            },
+        })
+    }
+
+    pub(crate) fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Deliver one message from `from` to `to`, blocking (spin-yield) while the pair's
+    /// ring is full.
+    ///
+    /// # Panics
+    /// Panics if the destination rank has already terminated.
+    pub(crate) fn send(&self, from: usize, to: usize, tag: u64, payload: Payload) {
+        let mut env = Envelope { from, tag, payload };
+        let ring = &self.rings[from * self.nprocs + to];
+        loop {
+            assert!(
+                !self.terminated[to].load(Ordering::Acquire),
+                "destination rank has terminated"
+            );
+            match ring.try_push(env) {
+                Ok(()) => break,
+                Err(back) => {
+                    env = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // Publish-then-check: the fence orders the ring publication before the
+        // `sleeping` load, so a consumer that announced sleep before this load will
+        // be notified, and one that announces after will rescan and find the message.
+        fence(Ordering::SeqCst);
+        let bell = &self.doorbells[to];
+        if bell.sleeping.load(Ordering::SeqCst) {
+            let _guard = bell.mutex.lock().unwrap();
+            bell.condvar.notify_one();
+        }
+    }
+
+    /// Pop the next available inbound envelope for rank `me` (any source), parking on
+    /// the doorbell when every ring is empty.
+    ///
+    /// # Panics
+    /// Panics if all other ranks have terminated while nothing is in flight — the
+    /// shared-memory analogue of every channel sender having been dropped.
+    pub(crate) fn recv_next(&self, me: usize) -> Envelope {
+        let mut sweeps = 0usize;
+        loop {
+            if let Some(env) = self.sweep(me) {
+                return env;
+            }
+            if self.all_peers_terminated(me) {
+                // One final sweep: a peer may have pushed right before terminating.
+                if let Some(env) = self.sweep(me) {
+                    return env;
+                }
+                panic!("all senders dropped while a receive was outstanding");
+            }
+            sweeps += 1;
+            if sweeps < self.spin_sweeps {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                continue;
+            }
+            // Park: announce, rescan (see module docs for the race argument), wait.
+            let bell = &self.doorbells[me];
+            let guard = bell.mutex.lock().unwrap();
+            bell.sleeping.store(true, Ordering::SeqCst);
+            if let Some(env) = self.sweep(me) {
+                bell.sleeping.store(false, Ordering::SeqCst);
+                return env;
+            }
+            if self.all_peers_terminated(me) {
+                bell.sleeping.store(false, Ordering::SeqCst);
+                continue;
+            }
+            let guard = bell
+                .condvar
+                .wait_timeout(guard, std::time::Duration::from_millis(10))
+                .unwrap()
+                .0;
+            bell.sleeping.store(false, Ordering::SeqCst);
+            drop(guard);
+            sweeps = 0;
+        }
+    }
+
+    /// One pass over rank `me`'s inbound rings, in sender order (self first, so local
+    /// traffic is never starved by peers).
+    fn sweep(&self, me: usize) -> Option<Envelope> {
+        if let Some(env) = self.rings[me * self.nprocs + me].try_pop() {
+            return Some(env);
+        }
+        for from in 0..self.nprocs {
+            if from == me {
+                continue;
+            }
+            if let Some(env) = self.rings[from * self.nprocs + me].try_pop() {
+                return Some(env);
+            }
+        }
+        None
+    }
+
+    /// Whether rank `p` has already shut down.  Senders waiting for `p`'s direct window
+    /// use this to stop waiting for a window that can no longer appear.
+    pub(crate) fn peer_terminated(&self, p: usize) -> bool {
+        self.terminated[p].load(Ordering::Acquire)
+    }
+
+    fn all_peers_terminated(&self, me: usize) -> bool {
+        self.nprocs > 1
+            && (0..self.nprocs)
+                .filter(|&p| p != me)
+                .all(|p| self.terminated[p].load(Ordering::Acquire))
+    }
+
+    /// Mark rank `me` as shut down: subsequent sends to it panic, and receivers waiting
+    /// only on it stop waiting.
+    pub(crate) fn mark_terminated(&self, me: usize) {
+        self.terminated[me].store(true, Ordering::Release);
+        // Wake every parked rank so it can re-evaluate the termination condition.
+        for bell in &self.doorbells {
+            if bell.sleeping.load(Ordering::SeqCst) {
+                let _guard = bell.mutex.lock().unwrap();
+                bell.condvar.notify_one();
+            }
+        }
+    }
+
+    /// Publish rank `me`'s direct-delivery window for exchange `tag`: the destination
+    /// region, its element type, one permutation list per expected source
+    /// (`perm_of(p)`, `None` where the plan expects nothing), and the number of
+    /// outstanding contributions.  Allocation-free — every slot is preallocated at
+    /// fabric construction.
+    ///
+    /// The caller owns the window lifecycle: it must keep `dst` and the permutation
+    /// lists alive and unmoved until [`SharedFabric::retire_window`] (normally after
+    /// [`SharedFabric::window_recv_or_drained`] returns `None`), and must not touch the
+    /// destination through any path other than the published pointer while the window
+    /// is live.
+    pub(crate) fn publish_window<T: 'static>(
+        &self,
+        me: usize,
+        tag: u64,
+        dst: *mut T,
+        dst_len: usize,
+        pending: usize,
+        perm_of: impl Fn(usize) -> Option<(*const u32, usize)>,
+    ) {
+        debug_assert!(tag != 0 && pending > 0, "empty windows are never published");
+        let w = &self.windows[me];
+        debug_assert_eq!(
+            w.tag.load(Ordering::Relaxed),
+            0,
+            "a rank publishes at most one window at a time"
+        );
+        w.dst_ptr.store(dst as usize, Ordering::Relaxed);
+        w.dst_len.store(dst_len, Ordering::Relaxed);
+        unsafe { *w.elem.get() = Some(TypeId::of::<T>()) };
+        for p in 0..self.nprocs {
+            let (ptr, len) = perm_of(p).map_or((0, 0), |(q, l)| (q as usize, l));
+            w.sources[p].perm_ptr.store(ptr, Ordering::Relaxed);
+            w.sources[p].perm_len.store(len, Ordering::Relaxed);
+        }
+        w.pending.store(pending, Ordering::Relaxed);
+        w.tag.store(tag, Ordering::Release);
+    }
+
+    /// Attempt zero-copy delivery of rank `from`'s contribution to exchange `tag` on
+    /// rank `to`.  Returns `false` when `to` has not (yet) published a window for this
+    /// tag — the caller then falls back to a classic message.  On `true`, `copy` was
+    /// called with `(dst, dst_len, perm)` — the destination region and `to`'s
+    /// permutation list for `from` — the contribution is accounted delivered, and
+    /// `to`'s doorbell was rung if it was the last one outstanding.
+    ///
+    /// # Panics
+    /// Panics if the published window's element type differs from `T` or the receiver
+    /// expects nothing from `from` — both are crossed/inconsistent exchange sequences.
+    pub(crate) fn try_direct_deliver<T: 'static>(
+        &self,
+        from: usize,
+        to: usize,
+        tag: u64,
+        copy: impl FnOnce(*mut T, usize, &[u32]),
+    ) -> bool {
+        let w = &self.windows[to];
+        if w.tag.load(Ordering::Acquire) != tag {
+            return false;
+        }
+        // The Acquire above ordered every field after the publish; the window cannot
+        // retire or be republished underneath us because our own undelivered
+        // contribution keeps `pending >= 1`.
+        assert_eq!(
+            unsafe { *w.elem.get() },
+            Some(TypeId::of::<T>()),
+            "direct window element type mismatch: crossed exchange sequence"
+        );
+        let perm_ptr = w.sources[from].perm_ptr.load(Ordering::Relaxed);
+        let perm_len = w.sources[from].perm_len.load(Ordering::Relaxed);
+        assert!(
+            perm_ptr != 0,
+            "rank {to}'s window expects nothing from rank {from}"
+        );
+        let perm = unsafe { std::slice::from_raw_parts(perm_ptr as *const u32, perm_len) };
+        copy(
+            w.dst_ptr.load(Ordering::Relaxed) as *mut T,
+            w.dst_len.load(Ordering::Relaxed),
+            perm,
+        );
+        self.contribution_delivered(to);
+        true
+    }
+
+    /// Count one contribution of rank `me`'s published window as delivered, waking `me`
+    /// if it was the last.  Called by direct senders after their copy, and by the
+    /// receiver itself after placing a classic fallback message.
+    pub(crate) fn contribution_delivered(&self, me: usize) {
+        let w = &self.windows[me];
+        // AcqRel: releases this contribution's writes to the receiver's Acquire read of
+        // zero, and keeps the whole decrement chain a release sequence.
+        if w.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last contribution: same publish-then-check protocol as `send` — either
+            // the receiver's sleep announcement is visible here (the notify wakes it)
+            // or its rescan happens after the decrement and observes the drain.
+            fence(Ordering::SeqCst);
+            let bell = &self.doorbells[me];
+            if bell.sleeping.load(Ordering::SeqCst) {
+                let _guard = bell.mutex.lock().unwrap();
+                bell.condvar.notify_one();
+            }
+        }
+    }
+
+    /// Whether rank `me`'s published window has drained (every contribution delivered).
+    /// The `Acquire` load is the receiver's synchronisation point with every direct
+    /// sender's writes.
+    pub(crate) fn window_drained(&self, me: usize) -> bool {
+        self.windows[me].pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Retire rank `me`'s drained window, making the slot publishable again.
+    pub(crate) fn retire_window(&self, me: usize) {
+        debug_assert!(self.window_drained(me), "retiring a live window");
+        self.windows[me].tag.store(0, Ordering::Release);
+    }
+
+    /// Wait on rank `me`'s published window: returns the next classic envelope carrying
+    /// `tag` (a fallback contribution the caller places and then reports through
+    /// [`SharedFabric::contribution_delivered`]), stashing other-tag arrivals into
+    /// `stash`, or `None` once every contribution has landed.  Parks on the doorbell
+    /// exactly like [`SharedFabric::recv_next`]; fallback producers ring it on push and
+    /// direct senders ring it on the last contribution.
+    ///
+    /// # Panics
+    /// Panics if every peer terminates while contributions are still outstanding.
+    pub(crate) fn window_recv_or_drained(
+        &self,
+        me: usize,
+        tag: u64,
+        stash: &mut Vec<Envelope>,
+    ) -> Option<Envelope> {
+        let mut sweeps = 0usize;
+        loop {
+            if self.window_drained(me) {
+                return None;
+            }
+            if let Some(env) = self.sweep(me) {
+                if env.tag == tag {
+                    return Some(env);
+                }
+                stash.push(env);
+                sweeps = 0;
+                continue;
+            }
+            if self.all_peers_terminated(me) {
+                // Final rescan: the last contribution may have landed right before
+                // the peers shut down.
+                if self.window_drained(me) {
+                    return None;
+                }
+                if let Some(env) = self.sweep(me) {
+                    if env.tag == tag {
+                        return Some(env);
+                    }
+                    stash.push(env);
+                    continue;
+                }
+                panic!("all senders dropped while a direct exchange was outstanding");
+            }
+            sweeps += 1;
+            if sweeps < self.spin_sweeps {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                continue;
+            }
+            // Park: announce, rescan both wake conditions, wait (see module docs).
+            let bell = &self.doorbells[me];
+            let guard = bell.mutex.lock().unwrap();
+            bell.sleeping.store(true, Ordering::SeqCst);
+            if self.window_drained(me) {
+                bell.sleeping.store(false, Ordering::SeqCst);
+                return None;
+            }
+            if let Some(env) = self.sweep(me) {
+                bell.sleeping.store(false, Ordering::SeqCst);
+                if env.tag == tag {
+                    return Some(env);
+                }
+                stash.push(env);
+                sweeps = 0;
+                continue;
+            }
+            let guard = bell
+                .condvar
+                .wait_timeout(guard, std::time::Duration::from_millis(10))
+                .unwrap()
+                .0;
+            bell.sleeping.store(false, Ordering::SeqCst);
+            drop(guard);
+            sweeps = 0;
+        }
+    }
+
+    /// Emergency drain of rank `me`'s window during unwinding: absorb every outstanding
+    /// contribution — so no sender can write through the window after the destination
+    /// region is freed — then retire it.  Fallback envelopes for `tag` count as their
+    /// contribution and are dropped unplaced; other arrivals are dropped too, since the
+    /// machine is already coming down.
+    pub(crate) fn abort_window(&self, me: usize, tag: u64) {
+        loop {
+            if self.window_drained(me) {
+                break;
+            }
+            if let Some(env) = self.sweep(me) {
+                if env.tag == tag {
+                    self.contribution_delivered(me);
+                }
+                continue;
+            }
+            if self.all_peers_terminated(me) {
+                // Terminated peers can never deliver; nothing more will arrive.
+                break;
+            }
+            std::thread::yield_now();
+        }
+        self.windows[me].tag.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(v: Vec<u8>) -> Payload {
+        Payload::Bytes(v)
+    }
+
+    #[test]
+    fn ring_round_trips_in_fifo_order() {
+        let fabric = SharedFabric::new(2);
+        fabric.send(1, 0, 7, bytes(vec![1, 2, 3]));
+        fabric.send(1, 0, 8, bytes(vec![4]));
+        let a = fabric.recv_next(0);
+        let b = fabric.recv_next(0);
+        assert_eq!((a.from, a.tag, a.payload.byte_len()), (1, 7, 3));
+        assert_eq!((b.from, b.tag, b.payload.byte_len()), (1, 8, 1));
+    }
+
+    #[test]
+    fn full_ring_blocks_producer_until_consumer_drains() {
+        let fabric = SharedFabric::new(2);
+        let f2 = Arc::clone(&fabric);
+        let producer = std::thread::spawn(move || {
+            for i in 0..(RING_CAPACITY * 3) {
+                f2.send(1, 0, i as u64, bytes(Vec::new()));
+            }
+        });
+        for i in 0..(RING_CAPACITY * 3) {
+            let env = fabric.recv_next(0);
+            assert_eq!(env.tag, i as u64, "FIFO order across wraparound");
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn parked_consumer_is_woken_by_late_producer() {
+        let fabric = SharedFabric::new(2);
+        let f2 = Arc::clone(&fabric);
+        let consumer = std::thread::spawn(move || f2.recv_next(0).tag);
+        // Let the consumer reach the parked state before sending.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        fabric.send(1, 0, 99, bytes(vec![5]));
+        assert_eq!(consumer.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn typed_payloads_cross_the_fabric_untouched() {
+        let fabric = SharedFabric::new(2);
+        let values = vec![1.0f64, 2.0, 3.0];
+        let ptr = values.as_ptr();
+        fabric.send(
+            1,
+            0,
+            5,
+            Payload::Typed(crate::message::TypedPayload::new(values)),
+        );
+        let env = fabric.recv_next(0);
+        match env.payload {
+            Payload::Typed(t) => {
+                let got = t.into_values::<f64>();
+                assert_eq!(got, vec![1.0, 2.0, 3.0]);
+                assert_eq!(got.as_ptr(), ptr, "the buffer moved, not its contents");
+            }
+            Payload::Bytes(_) => panic!("typed payload decayed to bytes"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "destination rank has terminated")]
+    fn send_to_terminated_rank_panics() {
+        let fabric = SharedFabric::new(2);
+        fabric.mark_terminated(0);
+        fabric.send(1, 0, 1, bytes(Vec::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn fabric_rejects_oversized_machines() {
+        let _ = SharedFabric::new(MAX_SHARED_RANKS + 1);
+    }
+
+    #[test]
+    fn direct_window_round_trips_and_retires() {
+        let fabric = SharedFabric::new(2);
+        let mut dst = vec![0.0f64; 4];
+        let perm: Vec<u32> = vec![3, 1];
+        fabric.publish_window::<f64>(0, 7, dst.as_mut_ptr(), dst.len(), 1, |p| {
+            (p == 1).then_some((perm.as_ptr(), perm.len()))
+        });
+        // A sender on a different exchange tag must miss the window.
+        assert!(!fabric.try_direct_deliver::<f64>(1, 0, 8, |_, _, _| panic!("wrong tag")));
+        assert!(fabric.try_direct_deliver::<f64>(1, 0, 7, |d, len, perm| {
+            assert_eq!(len, 4);
+            assert_eq!(perm, &[3, 1]);
+            unsafe {
+                *d.add(perm[0] as usize) = 5.0;
+                *d.add(perm[1] as usize) = 6.0;
+            }
+        }));
+        assert!(fabric.window_drained(0));
+        fabric.retire_window(0);
+        // Retired windows accept no further deliveries.
+        assert!(!fabric.try_direct_deliver::<f64>(1, 0, 7, |_, _, _| panic!("retired")));
+        assert_eq!(dst, vec![0.0, 6.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn window_wait_mixes_fallback_messages_direct_writes_and_stashing() {
+        // pending = 2: rank 2 contributes by classic fallback message, rank 1 by a
+        // late direct write that must wake the parked receiver.  An unrelated-tag
+        // envelope arriving in between must be stashed, not consumed.
+        let fabric = SharedFabric::new(3);
+        let mut dst = vec![0.0f64; 2];
+        let perm1: Vec<u32> = vec![0];
+        let perm2: Vec<u32> = vec![1];
+        fabric.publish_window::<f64>(0, 7, dst.as_mut_ptr(), dst.len(), 2, |p| match p {
+            1 => Some((perm1.as_ptr(), perm1.len())),
+            2 => Some((perm2.as_ptr(), perm2.len())),
+            _ => None,
+        });
+        fabric.send(2, 0, 99, bytes(vec![42])); // unrelated tag: must be stashed
+        fabric.send(
+            2,
+            0,
+            7,
+            Payload::Typed(crate::message::TypedPayload::new(vec![2.5f64])),
+        );
+        let mut stash = Vec::new();
+        let env = fabric
+            .window_recv_or_drained(0, 7, &mut stash)
+            .expect("the fallback message must surface before the drain");
+        assert_eq!((env.from, env.tag), (2, 7));
+        match env.payload {
+            Payload::Typed(t) => {
+                let v = t.into_values::<f64>();
+                unsafe { *dst.as_mut_ptr().add(1) = v[0] };
+            }
+            Payload::Bytes(_) => panic!("typed payload decayed"),
+        }
+        fabric.contribution_delivered(0);
+        let f2 = Arc::clone(&fabric);
+        let sender = std::thread::spawn(move || {
+            // Let the receiver reach the parked state, then deliver directly.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(f2.try_direct_deliver::<f64>(1, 0, 7, |d, _, perm| unsafe {
+                *d.add(perm[0] as usize) = 1.5;
+            }));
+        });
+        assert!(
+            fabric.window_recv_or_drained(0, 7, &mut stash).is_none(),
+            "the wait must end when the last direct contribution lands"
+        );
+        sender.join().unwrap();
+        fabric.retire_window(0);
+        assert_eq!(dst, vec![1.5, 2.5]);
+        assert_eq!(stash.len(), 1, "the unrelated envelope was stashed");
+        assert_eq!((stash[0].from, stash[0].tag), (2, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "element type mismatch")]
+    fn direct_delivery_with_wrong_element_type_panics() {
+        let fabric = SharedFabric::new(2);
+        let mut dst = vec![0.0f64; 1];
+        let perm: Vec<u32> = vec![0];
+        fabric.publish_window::<f64>(0, 7, dst.as_mut_ptr(), dst.len(), 1, |p| {
+            (p == 1).then_some((perm.as_ptr(), perm.len()))
+        });
+        let _ = fabric.try_direct_deliver::<u32>(1, 0, 7, |_, _, _| {});
+    }
+
+    #[test]
+    fn abort_window_absorbs_outstanding_fallbacks() {
+        let fabric = SharedFabric::new(2);
+        let mut dst = vec![0.0f64; 1];
+        let perm: Vec<u32> = vec![0];
+        fabric.publish_window::<f64>(0, 7, dst.as_mut_ptr(), dst.len(), 1, |p| {
+            (p == 1).then_some((perm.as_ptr(), perm.len()))
+        });
+        fabric.send(
+            1,
+            0,
+            7,
+            Payload::Typed(crate::message::TypedPayload::new(vec![9.0f64])),
+        );
+        fabric.abort_window(0, 7);
+        assert!(fabric.window_drained(0));
+        assert_eq!(dst, vec![0.0], "aborted contributions are dropped unplaced");
+        // The slot is publishable again and serves the next exchange normally.
+        fabric.publish_window::<f64>(0, 8, dst.as_mut_ptr(), dst.len(), 1, |p| {
+            (p == 1).then_some((perm.as_ptr(), perm.len()))
+        });
+        assert!(
+            fabric.try_direct_deliver::<f64>(1, 0, 8, |d, _, perm| unsafe {
+                *d.add(perm[0] as usize) = 3.0;
+            })
+        );
+        fabric.retire_window(0);
+        assert_eq!(dst, vec![3.0]);
+    }
+}

@@ -23,12 +23,14 @@
 //! hierarchical (group-leader) monitoring mode of `chaos::adapt`.
 
 use crate::cost::CostModel;
+use crate::shared::ExchangeBackend;
 
 /// Description of the simulated machine used for one SPMD run.
 ///
-/// The configuration is intentionally small: the number of ranks and a [`CostModel`].  The
-/// paper's experiments sweep the processor count from 1 to 128; construct one
-/// `MachineConfig` per point of the sweep.
+/// The configuration is intentionally small: the number of ranks, a [`CostModel`], and
+/// the [`ExchangeBackend`] the ranks communicate through.  The paper's experiments sweep
+/// the processor count from 1 to 128; construct one `MachineConfig` per point of the
+/// sweep.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// Number of SPMD ranks (processors) to simulate.
@@ -38,15 +40,22 @@ pub struct MachineConfig {
     /// Stack size (bytes) for each rank's thread.  Irregular applications with large
     /// per-rank buffers occasionally need more than the platform default.
     pub stack_size: usize,
+    /// Transport the ranks exchange through.  Modeled time, statistics and results are
+    /// identical across backends; only host wall-clock differs.  Defaults to
+    /// [`ExchangeBackend::from_env`] (the `MPSIM_BACKEND` variable), so a whole test run
+    /// can be flipped to the shared-memory wire without touching code.
+    pub backend: ExchangeBackend,
 }
 
 impl MachineConfig {
-    /// A machine with `nprocs` ranks and the default (iPSC/860-class) cost model.
+    /// A machine with `nprocs` ranks, the default (iPSC/860-class) cost model, and the
+    /// environment-selected backend.
     pub fn new(nprocs: usize) -> Self {
         Self {
             nprocs,
             cost: CostModel::ipsc860(),
             stack_size: 8 * 1024 * 1024,
+            backend: ExchangeBackend::from_env(),
         }
     }
 
@@ -59,6 +68,14 @@ impl MachineConfig {
     /// Replace the per-thread stack size.
     pub fn with_stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = bytes;
+        self
+    }
+
+    /// Pin the exchange backend, overriding the `MPSIM_BACKEND` default.  Sweeps that
+    /// scale past [`crate::shared::MAX_SHARED_RANKS`] pin [`ExchangeBackend::Modeled`];
+    /// wall-clock benchmarks pin each backend explicitly to compare them.
+    pub fn with_backend(mut self, backend: ExchangeBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
