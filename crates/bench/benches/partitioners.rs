@@ -36,7 +36,7 @@ fn bench_partitioners(c: &mut Criterion) {
                             .len()
                     },
                 )
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("rib", nprocs), &nprocs, |b, &p| {
             b.iter(|| {
@@ -48,7 +48,7 @@ fn bench_partitioners(c: &mut Criterion) {
                             .len()
                     },
                 )
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("chain", nprocs), &nprocs, |b, &p| {
             b.iter(|| {
@@ -60,7 +60,7 @@ fn bench_partitioners(c: &mut Criterion) {
                         chain_partition(rank, &xs, &weights, rank.nprocs()).len()
                     },
                 )
-            })
+            });
         });
     }
     group.finish();

@@ -32,7 +32,7 @@ fn bench_inspector(c: &mut Criterion) {
                         .total_fetch()
                 },
             )
-        })
+        });
     });
     group.bench_function(
         BenchmarkId::new("rehash_after_adaptation", REFS_PER_RANK),
@@ -57,7 +57,7 @@ fn bench_inspector(c: &mut Criterion) {
                             .total_fetch()
                     },
                 )
-            })
+            });
         },
     );
     group.finish();
@@ -89,7 +89,7 @@ fn bench_executor(c: &mut Criterion) {
                     x.owned().first().copied().unwrap_or(0.0)
                 },
             )
-        })
+        });
     });
     group.bench_function("scatter_append", |b| {
         b.iter(|| {
@@ -104,7 +104,7 @@ fn bench_executor(c: &mut Criterion) {
                     scatter_append(rank, &sched, &items).len()
                 },
             )
-        })
+        });
     });
     group.bench_function("remap_block_to_irregular", |b| {
         b.iter(|| {
@@ -125,7 +125,7 @@ fn bench_executor(c: &mut Criterion) {
                     remap_values(rank, &plan, &values, 0.0).len()
                 },
             )
-        })
+        });
     });
     group.finish();
 }

@@ -287,7 +287,7 @@ mod tests {
             assert!(r.modeled_us_per_iter > 0.0);
             match r.name {
                 "all_gather" | "all_reduce" | "negotiate" => {
-                    assert_eq!(r.msgs_per_rank_iter, r.tree_rounds as u64)
+                    assert_eq!(r.msgs_per_rank_iter, r.tree_rounds as u64);
                 }
                 "monitor_step" => assert!(r.msgs_per_rank_iter <= r.tree_rounds as u64 + 2),
                 other => panic!("unexpected shape {other}"),

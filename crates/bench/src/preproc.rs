@@ -39,9 +39,7 @@ pub const MIN_PREPROC_SPEEDUP: f64 = 1.5;
 /// The host's available parallelism (the context every wall-clock figure in the report
 /// must be read against; recorded as `host_cores`).
 pub fn host_cores() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// One worker count's measurement.

@@ -68,8 +68,10 @@ const PREFETCH_AHEAD: usize = 12;
 #[inline(always)]
 fn prefetch<T>(p: *const T) {
     #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a pure cache hint — it never dereferences `p`, so any
+    // pointer value (dangling or misaligned included) is sound to pass.
     unsafe {
-        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
     };
     #[cfg(not(target_arch = "x86_64"))]
     let _ = p;
@@ -180,8 +182,14 @@ where
             let list = &sched.perm_lists[p];
             for (k, &slot) in list.iter().enumerate() {
                 if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    // SAFETY: prefetch never dereferences; `add` stays within the
+                    // ghost allocation because every perm-list entry < ghost.len()
+                    // (asserted against sched.ghost_len() above).
                     prefetch(unsafe { ghost.as_ptr().add(ahead as usize) });
                 }
+                // SAFETY: perm-list slots index the ghost region the schedule sized
+                // (`ghost.len() >= sched.ghost_len()`, asserted above), so `slot` is
+                // in bounds.
                 buf.push(unsafe { *ghost.get_unchecked(slot as usize) });
             }
         },
@@ -189,8 +197,12 @@ where
             let list = &sched.send_lists[src];
             for (k, (&off, &v)) in list.iter().zip(values.iter()).enumerate() {
                 if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    // SAFETY: prefetch never dereferences; send-list offsets are owned
+                    // offsets this rank produced for its own array, all < owned.len().
                     prefetch(unsafe { owned.as_ptr().add(ahead as usize) });
                 }
+                // SAFETY: send-list offsets are local owned offsets this rank handed to
+                // the inspector (always < owned.len()), so `off` is in bounds.
                 op(unsafe { owned.get_unchecked_mut(off as usize) }, v);
             }
         },

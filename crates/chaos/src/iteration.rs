@@ -144,8 +144,7 @@ pub fn almost_owner_computes_replicated(
                 .iter()
                 .enumerate()
                 .max_by_key(|&(p, &count)| (count, std::cmp::Reverse(p)))
-                .map(|(p, _)| p)
-                .unwrap_or(rank.rank())
+                .map_or(rank.rank(), |(p, _)| p)
         })
         .collect();
     IterationPartition {
@@ -186,8 +185,7 @@ pub fn almost_owner_computes(
             .iter()
             .enumerate()
             .max_by_key(|&(p, &count)| (count, std::cmp::Reverse(p)))
-            .map(|(p, _)| p)
-            .unwrap_or(rank.rank());
+            .map_or(rank.rank(), |(p, _)| p);
         local_owners.push(winner);
     }
     IterationPartition {

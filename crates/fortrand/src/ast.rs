@@ -29,6 +29,54 @@ pub enum ReduceOp {
     Append,
 }
 
+/// Comparison operators of `IF` conditions (`.EQ.`, `.NE.`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `.EQ.`
+    Eq,
+    /// `.NE.`
+    Ne,
+    /// `.LT.`
+    Lt,
+    /// `.LE.`
+    Le,
+    /// `.GT.`
+    Gt,
+    /// `.GE.`
+    Ge,
+}
+
+/// An `IF` condition: `lhs op rhs` over integer expressions.
+///
+/// The intrinsics `MYRANK` (this processor's id, `0..NPROCS`) and `NPROCS` may appear
+/// as variables; a condition mentioning `MYRANK` is *rank-dependent*, which the
+/// collective-matching analysis (`crate::analysis`) treats as the SPMD danger zone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cond {
+    /// Left-hand side.
+    pub lhs: Expr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+impl Cond {
+    /// Whether the condition mentions the `MYRANK` intrinsic (directly in either
+    /// side), making its value differ across ranks.
+    pub fn is_rank_dependent(&self) -> bool {
+        fn mentions_myrank(e: &Expr) -> bool {
+            match e {
+                Expr::Int(_) | Expr::Real(_) => false,
+                Expr::Var(v) => v == "MYRANK",
+                Expr::Element(r) => mentions_myrank(&r.index),
+                Expr::Binary(_, a, b) => mentions_myrank(a) || mentions_myrank(b),
+            }
+        }
+        mentions_myrank(&self.lhs) || mentions_myrank(&self.rhs)
+    }
+}
+
 /// A reference to an array element: `array(index expression)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrayRef {
@@ -126,6 +174,16 @@ pub enum Stmt {
         target: ArrayRef,
         /// Right-hand side.
         value: Expr,
+    },
+    /// `IF (cond) THEN … [ELSE …] END IF` at statement level, guarding executable
+    /// steps (loops, redistributions).
+    If {
+        /// The branch condition.
+        cond: Cond,
+        /// Statements of the THEN branch.
+        then_branch: Vec<Stmt>,
+        /// Statements of the ELSE branch (empty when absent).
+        else_branch: Vec<Stmt>,
     },
 }
 

@@ -1,0 +1,94 @@
+//! `fortrand_check` — run the SPMD collective-matching analysis over Fortran-D sources.
+//!
+//! ```text
+//! fortrand_check [--expect-clean | --expect-flagged] FILE...
+//! ```
+//!
+//! Without an expectation flag, exits nonzero iff any file fails to compile or has
+//! findings.  With `--expect-clean`, findings are failures (the CI gate for example
+//! programs); with `--expect-flagged`, a file with *no* findings is the failure (the CI
+//! gate for seeded-divergent fixtures — it proves the analysis still catches them).
+
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Expectation {
+    None,
+    Clean,
+    Flagged,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut expect = Expectation::None;
+    let mut files = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--expect-clean" => expect = Expectation::Clean,
+            "--expect-flagged" => expect = Expectation::Flagged,
+            "--help" | "-h" => {
+                eprintln!("usage: fortrand_check [--expect-clean | --expect-flagged] FILE...");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("fortrand_check: unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: fortrand_check [--expect-clean | --expect-flagged] FILE...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let findings = match fortrand::check_source(&source) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{file}: compile error: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match (expect, findings.is_empty()) {
+            (Expectation::Flagged, true) => {
+                eprintln!(
+                    "{file}: FAIL — expected the analysis to flag this fixture, found nothing"
+                );
+                failed = true;
+            }
+            (Expectation::Flagged, false) => {
+                println!(
+                    "{file}: flagged as expected ({} finding(s))",
+                    findings.len()
+                );
+                for f in &findings {
+                    println!("  - {}", f.message);
+                }
+            }
+            (_, true) => println!("{file}: clean"),
+            (Expectation::Clean | Expectation::None, false) => {
+                eprintln!("{file}: FAIL — {} finding(s)", findings.len());
+                for f in &findings {
+                    eprintln!("  - {}", f.message);
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

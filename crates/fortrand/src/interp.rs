@@ -13,7 +13,7 @@ use chaos::inspector::build_schedule_from_table;
 use chaos::prelude::*;
 use mpsim::{Rank, TimeSnapshot};
 
-use crate::ast::{ArrayRef, BinOp, DistSpec, Expr, ReduceOp, Stmt};
+use crate::ast::{ArrayRef, BinOp, CmpOp, Cond, DistSpec, Expr, ReduceOp, Stmt};
 use crate::lower::{ExecStep, LoopKind, LoweredProgram};
 
 /// Modeled time the executor spent in each phase (the columns of Table 6).
@@ -156,8 +156,7 @@ impl<'p> Executor<'p> {
     pub fn schedule_stats(&self, loop_id: usize) -> (u64, u64) {
         self.loop_runtime
             .get(&loop_id)
-            .map(|rt| (rt.rebuilds, rt.reuses))
-            .unwrap_or((0, 0))
+            .map_or((0, 0), |rt| (rt.rebuilds, rt.reuses))
     }
 
     /// Set a distributed real array from its global contents (each rank keeps the elements
@@ -267,9 +266,51 @@ impl<'p> Executor<'p> {
 
     /// Run one executable step (collective).
     pub fn run_step(&mut self, rank: &mut Rank, step: usize) {
-        match self.program.steps[step].clone() {
-            ExecStep::Distribute { decomp, spec } => self.apply_distribute(rank, &decomp, &spec),
-            ExecStep::Loop(loop_id) => self.run_loop(rank, loop_id),
+        let step = self.program.steps[step].clone();
+        self.exec_step(rank, &step);
+    }
+
+    fn exec_step(&mut self, rank: &mut Rank, step: &ExecStep) {
+        match step {
+            ExecStep::Distribute { decomp, spec } => self.apply_distribute(rank, decomp, spec),
+            ExecStep::Loop(loop_id) => self.run_loop(rank, *loop_id),
+            ExecStep::If {
+                cond,
+                then_steps,
+                else_steps,
+                ..
+            } => {
+                // Note: the steps inside the branches are collective, so a
+                // rank-dependent condition here is exactly the bug class the
+                // collective-matching analysis (`crate::analysis`) flags — the
+                // interpreter executes what the program says regardless.
+                let branch = if self.eval_cond(cond) {
+                    then_steps
+                } else {
+                    else_steps
+                };
+                for s in branch {
+                    self.exec_step(rank, s);
+                }
+            }
+        }
+    }
+
+    /// Evaluate an IF condition on this rank.  `MYRANK` and `NPROCS` resolve to the
+    /// rank's coordinates; integer arrays are readable as usual.
+    fn eval_cond(&self, cond: &Cond) -> bool {
+        let mut env = HashMap::new();
+        env.insert("MYRANK".to_string(), self.my_rank as i64);
+        env.insert("NPROCS".to_string(), self.nprocs as i64);
+        let l = eval_int(&cond.lhs, &env, &self.integers);
+        let r = eval_int(&cond.rhs, &env, &self.integers);
+        match cond.op {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
         }
     }
 
@@ -1024,6 +1065,50 @@ mod tests {
             assert_eq!(*rebuilds1, 2);
             assert_eq!(*reuses1, 2);
             assert!(inspector_nonzero);
+        }
+    }
+
+    /// IF blocks take the branch their condition selects; `NPROCS`/`MYRANK` resolve per
+    /// rank.  (Both conditions here evaluate identically on every rank — genuinely
+    /// divergent branches around collectives are the bug class `crate::analysis` and the
+    /// mpsim collective ledger exist to flag.)
+    #[test]
+    fn if_blocks_execute_the_taken_branch() {
+        let n = 16usize;
+        let src = format!(
+            "REAL x({n})\n\
+             INTEGER ia({n})\n\
+             C$ DECOMPOSITION reg({n})\n\
+             C$ DISTRIBUTE reg(BLOCK)\n\
+             C$ ALIGN x WITH reg\n\
+             IF (NPROCS .GT. 1) THEN\n\
+             FORALL i = 1, {n}\n\
+             REDUCE(SUM, x(ia(i)), 1.0)\n\
+             END FORALL\n\
+             ELSE\n\
+             FORALL i = 1, {n}\n\
+             REDUCE(SUM, x(ia(i)), 100.0)\n\
+             END FORALL\n\
+             END IF\n\
+             IF (MYRANK .GE. 0) THEN\n\
+             FORALL i = 1, {n}\n\
+             REDUCE(SUM, x(ia(i)), 10.0)\n\
+             END FORALL\n\
+             END IF\n"
+        );
+        let out = run(MachineConfig::new(2), move |rank| {
+            let lowered = compile(&src).unwrap();
+            let mut exec = Executor::new(rank, &lowered);
+            let ia: Vec<i64> = (1..=n as i64).collect();
+            exec.set_integer_array("IA", &ia);
+            exec.set_real_array("X", &vec![0.0; n]);
+            exec.run_all(rank);
+            exec.get_real_array(rank, "X")
+        });
+        // With two procs the first IF takes its THEN branch (+1.0), the second always
+        // runs (+10.0); the ELSE (+100.0) must not have executed.
+        for x in &out.results {
+            assert!(x.iter().all(|&v| (v - 11.0).abs() < 1e-9), "{x:?}");
         }
     }
 

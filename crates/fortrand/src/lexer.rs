@@ -28,6 +28,9 @@ pub enum Token {
     Star,
     /// `/`
     Slash,
+    /// A Fortran dot-operator: `.EQ.`, `.NE.`, `.LT.`, `.LE.`, `.GT.`, `.GE.`
+    /// (upper-cased, without the dots).
+    DotOp(String),
     /// End of a source line (statements are line-delimited in Fortran).
     Newline,
 }
@@ -98,6 +101,43 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, String> {
                     chars.next();
                 }
                 '!' => break, // trailing comment
+                // A `.` followed by a letter starts a dot-operator (`.EQ.`, `.LT.`, …),
+                // not a real literal.
+                '.' if matches!(
+                    line[i + 1..].chars().next(),
+                    Some(d) if d.is_ascii_alphabetic()
+                ) =>
+                {
+                    chars.next(); // leading dot
+                    let mut end = i + 1;
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_alphabetic() {
+                            end = j + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let name = line[i + 1..end].to_ascii_uppercase();
+                    match chars.peek() {
+                        Some(&(_, '.')) => {
+                            chars.next(); // closing dot
+                        }
+                        _ => {
+                            return Err(format!(
+                                "line {}: unterminated dot-operator '.{name}'",
+                                line_no + 1
+                            ))
+                        }
+                    }
+                    if !matches!(name.as_str(), "EQ" | "NE" | "LT" | "LE" | "GT" | "GE") {
+                        return Err(format!(
+                            "line {}: unknown dot-operator '.{name}.'",
+                            line_no + 1
+                        ));
+                    }
+                    tokens.push(Token::DotOp(name));
+                }
                 c if c.is_ascii_digit() || c == '.' => {
                     let mut end = i;
                     let mut saw_dot = false;

@@ -19,6 +19,8 @@
 //!  source text ── lexer ──> tokens ── parser ──> ast::Program
 //!       ── lower ──> lower::LoweredProgram (per-FORALL inspector/executor plans)
 //!       ── interp::Executor ──> runs on mpsim + chaos (SPMD)
+//!       └─ analysis ──> static collective-matching check (rank-dependent IFs,
+//!          split-phase balance); CLI wrapper in `src/bin/fortrand_check.rs`
 //! ```
 //!
 //! ## Simplifications relative to a full HPF compiler (documented in DESIGN.md)
@@ -31,12 +33,14 @@
 //!   regenerates schedules, otherwise it reuses them — the record-keeping described in
 //!   §5.3.1.
 
+pub mod analysis;
 pub mod ast;
 pub mod interp;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
 
+pub use analysis::{check_source, Finding, OpNode};
 pub use ast::{DistSpec, Program, ReduceOp};
 pub use interp::Executor;
 pub use lower::{LoopKind, LoweredProgram};

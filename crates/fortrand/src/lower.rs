@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use crate::ast::{ArrayRef, DistSpec, Expr, Program, ReduceOp, Stmt};
+use crate::ast::{ArrayRef, Cond, DistSpec, Expr, Program, ReduceOp, Stmt};
 
 /// What kind of code a `FORALL` lowers to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +63,20 @@ pub enum ExecStep {
     },
     /// Execute the `FORALL` with the given [`LoopPlan::loop_id`].
     Loop(usize),
+    /// A statement-level `IF` block: execute `then_steps` when the condition holds,
+    /// `else_steps` otherwise.
+    If {
+        /// The branch condition (may reference `MYRANK` / `NPROCS`).
+        cond: Cond,
+        /// Whether the condition mentions `MYRANK` — i.e. different ranks may take
+        /// different branches.  Cached here so the collective-matching analysis
+        /// ([`crate::analysis`]) and the interpreter agree on one definition.
+        rank_dependent: bool,
+        /// Steps of the THEN branch.
+        then_steps: Vec<ExecStep>,
+        /// Steps of the ELSE branch.
+        else_steps: Vec<ExecStep>,
+    },
 }
 
 /// Everything the runtime needs to execute the program.
@@ -131,28 +145,22 @@ pub fn lower(program: &Program) -> Result<LoweredProgram, String> {
                 }
             }
             Stmt::Distribute { decomp, spec } => {
-                if !decomps.contains_key(decomp) {
-                    return Err(format!(
-                        "DISTRIBUTE references unknown decomposition {decomp}"
-                    ));
-                }
-                if let DistSpec::Map(map) = spec {
-                    if !integer_arrays.contains_key(map) {
-                        return Err(format!(
-                            "DISTRIBUTE({map}) references an undeclared map array"
-                        ));
-                    }
-                }
-                steps.push(ExecStep::Distribute {
-                    decomp: decomp.clone(),
-                    spec: spec.clone(),
-                });
+                steps.push(lower_distribute(decomp, spec, &decomps, &integer_arrays)?);
             }
             Stmt::Forall { .. } => {
                 let loop_id = loops.len();
                 let plan = lower_forall(loop_id, stmt, &real_arrays, &integer_arrays, &decomps)?;
                 loops.push(plan);
                 steps.push(ExecStep::Loop(loop_id));
+            }
+            Stmt::If { .. } => {
+                steps.push(lower_if(
+                    stmt,
+                    &real_arrays,
+                    &integer_arrays,
+                    &decomps,
+                    &mut loops,
+                )?);
             }
             Stmt::Reduce { .. } | Stmt::Assign { .. } => {
                 return Err("REDUCE/assignment statements are only supported inside FORALL".into())
@@ -169,6 +177,93 @@ pub fn lower(program: &Program) -> Result<LoweredProgram, String> {
     })
 }
 
+/// Validate one `DISTRIBUTE` directive and lower it to a step.
+fn lower_distribute(
+    decomp: &str,
+    spec: &DistSpec,
+    decomps: &HashMap<String, usize>,
+    integer_arrays: &HashMap<String, usize>,
+) -> Result<ExecStep, String> {
+    if !decomps.contains_key(decomp) {
+        return Err(format!(
+            "DISTRIBUTE references unknown decomposition {decomp}"
+        ));
+    }
+    if let DistSpec::Map(map) = spec {
+        if !integer_arrays.contains_key(map) {
+            return Err(format!(
+                "DISTRIBUTE({map}) references an undeclared map array"
+            ));
+        }
+    }
+    Ok(ExecStep::Distribute {
+        decomp: decomp.to_string(),
+        spec: spec.clone(),
+    })
+}
+
+/// Lower an `IF` block.  Branches may hold only executable statements — DISTRIBUTE,
+/// FORALL and nested IF — since declarations under a condition would leave the program's
+/// shape rank-dependent.
+fn lower_if(
+    stmt: &Stmt,
+    real_arrays: &HashMap<String, (usize, String)>,
+    integer_arrays: &HashMap<String, usize>,
+    decomps: &HashMap<String, usize>,
+    loops: &mut Vec<LoopPlan>,
+) -> Result<ExecStep, String> {
+    let Stmt::If {
+        cond,
+        then_branch,
+        else_branch,
+    } = stmt
+    else {
+        unreachable!("lower_if called on a non-IF statement")
+    };
+    let then_steps = lower_branch(then_branch, real_arrays, integer_arrays, decomps, loops)?;
+    let else_steps = lower_branch(else_branch, real_arrays, integer_arrays, decomps, loops)?;
+    Ok(ExecStep::If {
+        cond: cond.clone(),
+        rank_dependent: cond.is_rank_dependent(),
+        then_steps,
+        else_steps,
+    })
+}
+
+/// Lower the statements of one IF branch.
+fn lower_branch(
+    stmts: &[Stmt],
+    real_arrays: &HashMap<String, (usize, String)>,
+    integer_arrays: &HashMap<String, usize>,
+    decomps: &HashMap<String, usize>,
+    loops: &mut Vec<LoopPlan>,
+) -> Result<Vec<ExecStep>, String> {
+    let mut steps = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            Stmt::Distribute { decomp, spec } => {
+                steps.push(lower_distribute(decomp, spec, decomps, integer_arrays)?);
+            }
+            Stmt::Forall { .. } => {
+                let loop_id = loops.len();
+                let plan = lower_forall(loop_id, stmt, real_arrays, integer_arrays, decomps)?;
+                loops.push(plan);
+                steps.push(ExecStep::Loop(loop_id));
+            }
+            Stmt::If { .. } => {
+                steps.push(lower_if(stmt, real_arrays, integer_arrays, decomps, loops)?);
+            }
+            other => {
+                return Err(format!(
+                    "only DISTRIBUTE, FORALL and nested IF are allowed inside IF branches, \
+                     found {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(steps)
+}
+
 /// Classify one top-level FORALL and collect its array usage.
 fn lower_forall(
     loop_id: usize,
@@ -177,9 +272,8 @@ fn lower_forall(
     integer_arrays: &HashMap<String, usize>,
     decomps: &HashMap<String, usize>,
 ) -> Result<LoopPlan, String> {
-    let (lo, hi, body) = match forall {
-        Stmt::Forall { lo, hi, body, .. } => (lo, hi, body),
-        _ => unreachable!("lower_forall called on a non-FORALL statement"),
+    let Stmt::Forall { lo, hi, body, .. } = forall else {
+        unreachable!("lower_forall called on a non-FORALL statement")
     };
 
     let mut usage = Usage::default();
@@ -195,7 +289,7 @@ fn lower_forall(
             let referenced = usage
                 .all_real()
                 .iter()
-                .any(|a| real_arrays.get(a).map(|(_, d)| d == name).unwrap_or(false));
+                .any(|a| real_arrays.get(a).is_some_and(|(_, d)| d == name));
             if *size == extent && referenced {
                 decomp = Some(name.clone());
                 break;
@@ -499,6 +593,53 @@ mod tests {
         let err =
             lower_src("REAL x(9)\nC$ DECOMPOSITION reg(8)\nC$ ALIGN x WITH reg\n").unwrap_err();
         assert!(err.contains("elements"), "{err}");
+    }
+
+    #[test]
+    fn lowers_if_blocks_to_nested_steps() {
+        let lowered = lower_src(
+            "REAL x(16)\n\
+             INTEGER ia(16)\n\
+             C$ DECOMPOSITION reg(16)\n\
+             C$ DISTRIBUTE reg(BLOCK)\n\
+             C$ ALIGN x WITH reg\n\
+             IF (MYRANK .EQ. 0) THEN\n\
+             FORALL i = 1, 16\n\
+             REDUCE(SUM, x(ia(i)), 1.0)\n\
+             END FORALL\n\
+             ELSE\n\
+             FORALL i = 1, 16\n\
+             REDUCE(SUM, x(ia(i)), 2.0)\n\
+             END FORALL\n\
+             END IF\n",
+        )
+        .unwrap();
+        assert_eq!(lowered.loops.len(), 2);
+        assert_eq!(lowered.steps.len(), 2); // DISTRIBUTE + IF
+        match &lowered.steps[1] {
+            ExecStep::If {
+                rank_dependent,
+                then_steps,
+                else_steps,
+                ..
+            } => {
+                assert!(*rank_dependent);
+                assert!(matches!(then_steps[..], [ExecStep::Loop(0)]));
+                assert!(matches!(else_steps[..], [ExecStep::Loop(1)]));
+            }
+            other => panic!("expected IF step, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_declarations_inside_if_branches() {
+        let err = lower_src(
+            "IF (NPROCS .GT. 1) THEN\n\
+             REAL x(8)\n\
+             END IF\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("inside IF branches"), "{err}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use std::fmt;
 
-use crate::ast::{ArrayRef, BinOp, DistSpec, Expr, Program, ReduceOp, Stmt};
+use crate::ast::{ArrayRef, BinOp, CmpOp, Cond, DistSpec, Expr, Program, ReduceOp, Stmt};
 use crate::lexer::Token;
 
 /// A parse failure: where it happened and the found-versus-expected pair.
@@ -190,6 +190,7 @@ impl<'a> Parser<'a> {
                 Ok(Stmt::Align { arrays, decomp })
             }
             "FORALL" => self.forall(),
+            "IF" => self.if_stmt(),
             "REDUCE" => {
                 let stmt = self.reduce()?;
                 self.end_of_statement()?;
@@ -272,6 +273,90 @@ impl<'a> Parser<'a> {
             }
         }
         Ok(Stmt::Forall { var, lo, hi, body })
+    }
+
+    /// `IF (cond) THEN … [ELSE …] END IF` — a statement-level block; the branches hold
+    /// whole statements (FORALLs, directives), never expressions.
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Token::LParen)?;
+        let cond = self.cond()?;
+        self.expect(&Token::RParen)?;
+        match self.next().cloned() {
+            Some(Token::Ident(kw)) if kw == "THEN" => {}
+            other => return Err(self.error("THEN after IF condition", other.as_ref())),
+        }
+        self.end_of_statement()?;
+        let mut then_branch = Vec::new();
+        let mut else_branch = Vec::new();
+        let mut in_else = false;
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Some(Token::Ident(s)) if s == "ELSE" => {
+                    let s = s.clone();
+                    self.next();
+                    if in_else {
+                        let got = Token::Ident(s);
+                        return Err(self.error("END IF (ELSE already seen)", Some(&got)));
+                    }
+                    self.end_of_statement()?;
+                    in_else = true;
+                }
+                Some(Token::Ident(s)) if s == "END" || s == "ENDIF" => {
+                    let s = s.clone();
+                    self.next();
+                    if s == "END" {
+                        // Optional IF after END.
+                        if matches!(self.peek(), Some(Token::Ident(k)) if k == "IF") {
+                            self.next();
+                        }
+                    }
+                    self.end_of_statement()?;
+                    break;
+                }
+                None => {
+                    return Err(ParseError {
+                        line: self.line_of(self.tokens.len()),
+                        got: "end of input".to_string(),
+                        expected: "END IF".to_string(),
+                    })
+                }
+                _ => {
+                    let stmt = self.statement()?;
+                    if in_else {
+                        else_branch.push(stmt);
+                    } else {
+                        then_branch.push(stmt);
+                    }
+                }
+            }
+        }
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    /// cond := expr dotop expr
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        let lhs = self.expr()?;
+        let op = match self.next().cloned() {
+            Some(Token::DotOp(name)) => match name.as_str() {
+                "EQ" => CmpOp::Eq,
+                "NE" => CmpOp::Ne,
+                "LT" => CmpOp::Lt,
+                "LE" => CmpOp::Le,
+                "GT" => CmpOp::Gt,
+                "GE" => CmpOp::Ge,
+                other => unreachable!("lexer only emits known dot-operators, got .{other}."),
+            },
+            other => {
+                return Err(self.error("a comparison operator (.EQ., .NE., …)", other.as_ref()))
+            }
+        };
+        let rhs = self.expr()?;
+        Ok(Cond { lhs, op, rhs })
     }
 
     fn reduce(&mut self) -> Result<Stmt, ParseError> {
@@ -483,6 +568,79 @@ mod tests {
             }
             other => panic!("expected FORALL, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_if_then_else_blocks() {
+        let program = parse_src(
+            "REAL x(8)\n\
+             IF (MYRANK .EQ. 0) THEN\n\
+             FORALL i = 1, 8\n\
+             x(i) = 1.0\n\
+             END FORALL\n\
+             ELSE\n\
+             FORALL i = 1, 8\n\
+             x(i) = 2.0\n\
+             END FORALL\n\
+             END IF\n",
+        );
+        match &program.stmts[1] {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                assert_eq!(cond.op, CmpOp::Eq);
+                assert_eq!(cond.lhs, Expr::Var("MYRANK".into()));
+                assert_eq!(cond.rhs, Expr::Int(0));
+                assert!(cond.is_rank_dependent());
+                assert_eq!(then_branch.len(), 1);
+                assert_eq!(else_branch.len(), 1);
+                assert!(matches!(then_branch[0], Stmt::Forall { .. }));
+            }
+            other => panic!("expected IF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn endif_spelling_and_rank_independent_conditions() {
+        let program = parse_src(
+            "INTEGER steps(1)\n\
+             IF (steps(1) .GT. 10) THEN\n\
+             C$ DISTRIBUTE reg(BLOCK)\n\
+             ENDIF\n",
+        );
+        match &program.stmts[1] {
+            Stmt::If {
+                cond, else_branch, ..
+            } => {
+                assert_eq!(cond.op, CmpOp::Gt);
+                assert!(!cond.is_rank_dependent());
+                assert!(else_branch.is_empty());
+            }
+            other => panic!("expected IF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_parse_errors_are_reported() {
+        // Missing THEN.
+        let err = parse_err("IF (MYRANK .EQ. 0)\nEND IF\n");
+        assert_eq!(err.line, 1);
+        assert_eq!(err.expected, "THEN after IF condition");
+
+        // Missing comparison operator.
+        let err = parse_err("IF (MYRANK) THEN\nEND IF\n");
+        assert!(err.expected.contains("comparison operator"), "{err}");
+
+        // Unterminated block.
+        let err = parse_err("IF (MYRANK .NE. 0) THEN\n");
+        assert_eq!(err.expected, "END IF");
+        assert_eq!(err.got, "end of input");
+
+        // Two ELSE branches.
+        let err = parse_err("IF (MYRANK .LT. 2) THEN\nELSE\nELSE\nEND IF\n");
+        assert!(err.expected.contains("ELSE already seen"), "{err}");
     }
 
     fn parse_err(src: &str) -> ParseError {

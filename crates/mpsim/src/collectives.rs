@@ -115,6 +115,11 @@ impl Rank {
     /// rounds with nothing to move send no message at all.  `O(log P)` messages per
     /// rank; block contents and ordering are identical to a flat gather.
     pub fn all_gather<T: Element>(&mut self, local: &[T]) -> Vec<Vec<T>> {
+        self.ledger_record(
+            "all_gather",
+            self.exchange_epochs_started(),
+            std::any::type_name::<T>(),
+        );
         let me = self.rank();
         let n = self.nprocs();
         if n == 1 {
@@ -158,6 +163,11 @@ impl Rank {
     /// a priori): `ceil(log2 P)` messages per rank — the hot path of the adaptive
     /// load monitor.
     pub fn all_gather_one<T: Element>(&mut self, value: T) -> Vec<T> {
+        self.ledger_record(
+            "all_gather_one",
+            self.exchange_epochs_started(),
+            std::any::type_name::<T>(),
+        );
         self.dissemination_gather_one(value)
     }
 
@@ -167,6 +177,11 @@ impl Rank {
     /// # Panics
     /// Panics if `sends.len() != nprocs`.
     pub fn all_to_all<T: Element>(&mut self, sends: &[Vec<T>]) -> Vec<Vec<T>> {
+        self.ledger_record(
+            "all_to_all",
+            self.exchange_epochs_started(),
+            std::any::type_name::<T>(),
+        );
         let me = self.rank();
         let n = self.nprocs();
         assert_eq!(
@@ -193,6 +208,11 @@ impl Rank {
         sends: &[(usize, Vec<T>)],
         expected_sources: &[(usize, usize)],
     ) -> Vec<(usize, Vec<T>)> {
+        self.ledger_record(
+            "exchange.sparse",
+            self.exchange_epochs_started(),
+            std::any::type_name::<T>(),
+        );
         let me = self.rank();
         let n = self.nprocs();
         let mut send_counts = vec![0usize; n];
@@ -219,7 +239,7 @@ impl Rank {
         let plan = ExchangePlan::sparse(me, send_counts, recv_counts);
         let mut by_src: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();
         alltoallv(self, &plan, &bufs, |src, v| {
-            by_src[src] = Some(v.into_vec())
+            by_src[src] = Some(v.into_vec());
         });
         // Deliver in `expected_sources` order, as the hand-rolled loop always did.
         expected_sources
@@ -264,6 +284,11 @@ impl Rank {
         T: Element,
         F: Fn(T, T) -> T,
     {
+        self.ledger_record(
+            "all_reduce",
+            self.exchange_epochs_started(),
+            std::any::type_name::<T>(),
+        );
         self.charge_collective();
         let me = self.rank();
         let n = self.nprocs();
@@ -386,6 +411,11 @@ impl Rank {
     /// root sends `ceil(log2 P)` messages instead of `P - 1` and every other rank
     /// receives once and forwards at most `ceil(log2 P) - 1` times.
     pub fn broadcast<T: Element>(&mut self, root: usize, values: &[T]) -> Vec<T> {
+        self.ledger_record(
+            "broadcast",
+            self.exchange_epochs_started(),
+            std::any::type_name::<T>(),
+        );
         let me = self.rank();
         let n = self.nprocs();
         let tree = BinomialTree::new(n, root);
@@ -419,6 +449,11 @@ impl Rank {
 
     /// Gather each rank's slice at `root`.  Non-root ranks receive an empty vector.
     pub fn gather_to_root<T: Element>(&mut self, root: usize, local: &[T]) -> Vec<Vec<T>> {
+        self.ledger_record(
+            "gather_to_root",
+            self.exchange_epochs_started(),
+            std::any::type_name::<T>(),
+        );
         let me = self.rank();
         let n = self.nprocs();
         let mut send_specs: Vec<Option<usize>> = vec![None; n];
@@ -491,6 +526,7 @@ impl Rank {
         sample: f64,
         decide: impl FnOnce(&[f64]) -> [f64; K],
     ) -> [f64; K] {
+        self.ledger_record("hierarchical_sample", self.exchange_epochs_started(), "f64");
         let me = self.rank();
         let n = self.nprocs();
         assert_eq!(groups.nprocs(), n, "group map spans a different machine");

@@ -712,8 +712,10 @@ const WINDOW_WAIT_YIELDS: usize = 4096;
 #[inline(always)]
 fn prefetch<T>(p: *const T) {
     #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a pure cache hint — it never dereferences `p`, so any
+    // pointer value (dangling or misaligned included) is sound to pass.
     unsafe {
-        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
     };
     #[cfg(not(target_arch = "x86_64"))]
     let _ = p;
@@ -782,9 +784,13 @@ pub fn alltoallv_permute<T: Element>(
             let list = &send_lists[p];
             for (k, &off) in list.iter().enumerate() {
                 if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    // SAFETY: prefetch never dereferences; send-list offsets all index
+                    // `src`, so the hinted address stays inside the allocation.
                     prefetch(unsafe { src.as_ptr().add(ahead as usize) });
                 }
                 debug_assert!((off as usize) < src.len());
+                // SAFETY: the caller's send lists index `src` (debug-asserted above);
+                // the schedule builder produced them from offsets < src.len().
                 buf.push(unsafe { *src.get_unchecked(off as usize) });
             }
         },
@@ -792,9 +798,13 @@ pub fn alltoallv_permute<T: Element>(
             let list = &perm_lists[q];
             for (k, (slot, &v)) in list.iter().zip(values.iter()).enumerate() {
                 if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    // SAFETY: prefetch never dereferences; perm-list slots all index
+                    // `dst`, so the hinted address stays inside the allocation.
                     prefetch(unsafe { dst.as_ptr().add(ahead as usize) });
                 }
                 debug_assert!((*slot as usize) < dst.len());
+                // SAFETY: perm-list slots index `dst` (debug-asserted above); the
+                // schedule builder produced them from slots < dst.len().
                 unsafe { *dst.get_unchecked_mut(*slot as usize) = v };
             }
         },
@@ -835,6 +845,11 @@ fn direct_gather<T: Element>(
 ) -> ExchangeStats {
     let me = plan.my_rank();
     let tag = rank.next_exchange_tag();
+    rank.ledger_record(
+        "exchange.direct",
+        epoch_of_tag(tag),
+        std::any::type_name::<T>(),
+    );
     let mut stats = ExchangeStats::default();
     let pending = plan.recv_message_count();
     let dst_ptr = dst.as_mut_ptr();
@@ -903,15 +918,25 @@ fn direct_gather<T: Element>(
             for k in 0..list.len() {
                 if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
                     // Pull both the next source element and its destination slot.
+                    // SAFETY: prefetch never dereferences the hinted address.
                     prefetch(unsafe { src.as_ptr().add(ahead as usize) });
+                    // SAFETY: `k + PREFETCH_AHEAD < list.len() == perm.len()` — the
+                    // `list.get` above succeeded and the lengths were asserted equal.
                     let slot_ahead = unsafe { *perm.get_unchecked(k + PREFETCH_AHEAD) };
+                    // SAFETY: prefetch never dereferences the hinted address.
                     prefetch(unsafe { peer_dst.add(slot_ahead as usize) } as *const T);
                 }
+                // SAFETY: `k < list.len()` by the loop bound.
                 let off = unsafe { *list.get_unchecked(k) } as usize;
+                // SAFETY: `k < perm.len()` — `perm.len() == list.len()` was asserted
+                // above.
                 let slot = unsafe { *perm.get_unchecked(k) } as usize;
                 debug_assert!(off < src.len() && slot < peer_dst_len);
-                // Safety: permutation slots are disjoint across sources (one writer
-                // per ghost slot), so concurrent direct writes never overlap.
+                // SAFETY: `off` indexes this rank's own `src` (schedule-built, debug-
+                // asserted above); `slot` indexes the peer's published window, which
+                // stays alive until every declared sender delivers.  Permutation slots
+                // are disjoint across sources (one writer per ghost slot), so
+                // concurrent direct writes never overlap.
                 unsafe { *peer_dst.add(slot) = *src.get_unchecked(off) };
             }
         };
@@ -932,9 +957,12 @@ fn direct_gather<T: Element>(
             let mut values = rank.take_decode_scratch(pool, declared);
             for (k, &off) in list.iter().enumerate() {
                 if let Some(&ahead) = list.get(k + PREFETCH_AHEAD) {
+                    // SAFETY: prefetch never dereferences; send-list offsets all
+                    // index `src`.
                     prefetch(unsafe { src.as_ptr().add(ahead as usize) });
                 }
                 debug_assert!((off as usize) < src.len());
+                // SAFETY: send-list offsets index `src` (debug-asserted above).
                 values.push(unsafe { *src.get_unchecked(off as usize) });
             }
             rank.send_typed(p, tag, values);
@@ -963,6 +991,10 @@ fn direct_gather<T: Element>(
         );
         for (&off, &slot) in list.iter().zip(perm.iter()) {
             debug_assert!((off as usize) < src.len() && (slot as usize) < dst_len);
+            // SAFETY: `off` indexes `src` and `slot` indexes this rank's own published
+            // window (both schedule-built, debug-asserted above); local slots are
+            // disjoint from every peer's slots, so in-flight peer writes to other
+            // regions of `dst` never alias these writes.
             unsafe { *dst_ptr.add(slot as usize) = *src.get_unchecked(off as usize) };
         }
     }
@@ -1012,6 +1044,9 @@ fn direct_gather<T: Element>(
             let perm = &perm_lists[from];
             for (&slot, &v) in perm.iter().zip(values.iter()) {
                 debug_assert!((slot as usize) < dst_len);
+                // SAFETY: perm-list slots index this rank's own still-published window
+                // (debug-asserted above); each source's slots are disjoint from every
+                // other's, so fallback placement never races a peer's direct write.
                 unsafe { *dst_ptr.add(slot as usize) = v };
             }
             if scratch_pool.is_none() {
@@ -1152,7 +1187,7 @@ pub fn start_alltoallv<T: Element>(
     let me = plan.my_rank();
     let (tag, send_stats, self_values, deliver_self) =
         start_exchange(rank, &plan, Some(&sends[me]), |p, buf| {
-            buf.extend_from_slice(&sends[p])
+            buf.extend_from_slice(&sends[p]);
         });
     ExchangeHandle {
         inflight: Some(InFlight {
@@ -1236,6 +1271,7 @@ fn start_exchange<T: Element>(
     );
     let me = plan.my_rank();
     let tag = rank.next_exchange_tag();
+    rank.ledger_record("exchange", epoch_of_tag(tag), std::any::type_name::<T>());
     let mut stats = ExchangeStats::default();
 
     // The shared-memory POD fast path packs each message verbatim into a `Vec<T>` drawn
@@ -1390,7 +1426,7 @@ fn finish_exchange<T: Element>(
                 assert_eq!(
                     count, n,
                     "rank {me}: expected {n} elements from rank {src} in exchange epoch {epoch}"
-                )
+                );
             }
         }
         rank.charge_compute(count as f64 * PACK_UNPACK_COST_UNITS);
@@ -1499,7 +1535,7 @@ mod tests {
             let plan = ExchangePlan::dense(me, sends.iter().map(Vec::len).collect());
             let mut received_from = Vec::new();
             let stats = alltoallv(rank, &plan, &sends, |src, _v: Placed<'_, u64>| {
-                received_from.push(src)
+                received_from.push(src);
             });
             received_from.sort_unstable();
             (received_from, stats)
@@ -1646,14 +1682,14 @@ mod tests {
                 sends1[0] = vec![22];
             }
             alltoallv(rank, &plan1, &sends1, |src, v| {
-                got.push((1, src, v.into_vec()))
+                got.push((1, src, v.into_vec()));
             });
             let mut sends2: Vec<Vec<u8>> = vec![Vec::new(); n];
             if me == 1 {
                 sends2[0] = vec![11];
             }
             alltoallv(rank, &plan2, &sends2, |src, v| {
-                got.push((2, src, v.into_vec()))
+                got.push((2, src, v.into_vec()));
             });
             got
         });
@@ -1822,7 +1858,7 @@ mod tests {
 
             let mut blocking: Vec<(usize, Vec<u32>)> = Vec::new();
             let blocking_stats = alltoallv(rank, &plan, &sends, |src, v| {
-                blocking.push((src, v.into_vec()))
+                blocking.push((src, v.into_vec()));
             });
             (got, split_stats, blocking, blocking_stats)
         });
@@ -1844,10 +1880,10 @@ mod tests {
             let plan1 = ExchangePlan::dense(me, vec![1; n]);
             let plan2 = ExchangePlan::dense(me, vec![2; n]);
             let h1 = start_alltoallv_with(rank, plan1, |_p, buf: &mut PackBuf<'_, u64>| {
-                buf.push(100 + me as u64)
+                buf.push(100 + me as u64);
             });
             let h2 = start_alltoallv_with(rank, plan2, |_p, buf: &mut PackBuf<'_, u64>| {
-                buf.extend_from_slice(&[200 + me as u64, 300 + me as u64])
+                buf.extend_from_slice(&[200 + me as u64, 300 + me as u64]);
             });
             assert_eq!(h2.epoch(), h1.epoch() + 1);
             // Finish in reverse start order: matching is per-epoch, not FIFO.
@@ -1982,6 +2018,52 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "dropped without finish")]
+    fn dropping_an_unfinished_handle_panics_on_shared_backend() {
+        // The split-phase drop guard is backend-independent: losing a finish() on the
+        // zero-copy transport must be refused exactly like on the modeled one.
+        let cfg = MachineConfig::new(2).with_backend(ExchangeBackend::SharedMem);
+        let _ = run(cfg, |rank| {
+            let me = rank.rank();
+            let plan = ExchangePlan::sparse(me, vec![0; 2], vec![0; 2]);
+            let handle: ExchangeHandle<u8> = start_alltoallv_with(rank, plan, |_p, _b| {});
+            drop(handle);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exchange epoch 0")]
+    fn epoch_mismatch_panics_on_shared_backend() {
+        // Same non-collective sequence as `unexpected_message_panic_names_the_epochs`,
+        // pinned to the shared-memory fabric: a message from a source the epoch-0 plan
+        // never listed must be diagnosed with the epoch on this transport too.
+        let cfg = MachineConfig::new(3).with_backend(ExchangeBackend::SharedMem);
+        let _ = run(cfg, |rank| {
+            let me = rank.rank();
+            match me {
+                0 => {
+                    let plan = ExchangePlan::from_parts(
+                        0,
+                        vec![None; 3],
+                        vec![RecvSpec::None, RecvSpec::None, RecvSpec::Exact(1)],
+                    );
+                    alltoallv_with(rank, &plan, |_p, _b: &mut PackBuf<'_, u8>| {}, |_s, _v| {});
+                }
+                1 => {
+                    let plan = ExchangePlan::sparse(1, vec![1, 0, 0], vec![0; 3]);
+                    alltoallv_with(
+                        rank,
+                        &plan,
+                        |_p, b: &mut PackBuf<'_, u8>| b.push(7),
+                        |_s, _v| {},
+                    );
+                }
+                _ => {}
+            }
+        });
+    }
+
+    #[test]
     fn split_phase_steady_loop_stays_allocation_free() {
         // A start/compute/finish loop must reach the same zero-allocation fixed point as
         // the blocking loops: the staged self scratch and every receive scratch are
@@ -1992,7 +2074,7 @@ mod tests {
             let round = |rank: &mut Rank| {
                 let plan = ExchangePlan::dense(me, vec![2; n]);
                 let handle = start_alltoallv_with(rank, plan, |p, buf: &mut PackBuf<'_, u64>| {
-                    buf.extend_from_slice(&[me as u64, p as u64])
+                    buf.extend_from_slice(&[me as u64, p as u64]);
                 });
                 rank.charge_compute(1.0);
                 handle.finish(rank, |_src, v| assert_eq!(v.len(), 2));

@@ -47,8 +47,10 @@ pub mod collectives;
 pub mod comm;
 pub mod cost;
 pub mod exchange;
+pub mod ledger;
 pub mod machine;
 pub mod message;
+pub mod proto;
 pub mod shared;
 pub mod stats;
 pub mod topology;
@@ -59,6 +61,7 @@ pub use exchange::{
     route_sparse, start_alltoallv, start_alltoallv_with, ExchangeHandle, ExchangePlan,
     ExchangeStats, PackBuf, Placed, RecvSpec,
 };
+pub use ledger::LedgerEntry;
 pub use machine::{run, Machine, Rank, RunOutcome};
 pub use message::Element;
 pub use shared::ExchangeBackend;

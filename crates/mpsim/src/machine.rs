@@ -14,6 +14,7 @@ use std::thread;
 
 use crate::comm::Mailbox;
 use crate::cost::{CostModel, TimeSnapshot};
+use crate::ledger::{LedgerEntry, LedgerHub, LedgerRank};
 use crate::message::{decode_vec, Element, Envelope, Payload, TypedPayload};
 use crate::shared::{ExchangeBackend, SharedFabric};
 use crate::stats::{MachineStats, PackPoolStats, RankStats};
@@ -49,6 +50,10 @@ pub struct Rank {
     scratch_clock: u64,
     /// Allocation/reuse counters of both pools.
     pool_stats: PackPoolStats,
+    /// The collective ledger, when this machine verifies collective matching (see
+    /// [`crate::ledger`]): this rank's trace of started collectives plus the shared hub
+    /// it is cross-checked through at barriers and shutdown.
+    ledger: Option<Box<LedgerRank>>,
 }
 
 /// One element type's decode-scratch free list plus the recency stamp that orders
@@ -368,7 +373,16 @@ impl Rank {
         self.time.comm_us += self.cost.sync_cost_us(self.nprocs());
         let n = self.nprocs();
         let tag = crate::barrier::BARRIER_TAG_BASE + self.barrier_seq;
+        self.ledger_record("barrier", self.barrier_seq, "");
         self.barrier_seq += 1;
+        // Cross-check the ledger *before* the barrier's messages move: a divergence
+        // that would wedge the dissemination rounds (or a later collective) is
+        // diagnosed here instead of deadlocking.
+        if let Some(ledger) = &self.ledger {
+            ledger
+                .hub
+                .check_at_barrier(self.mailbox.rank(), &ledger.trace);
+        }
         if n == 1 {
             return;
         }
@@ -422,6 +436,20 @@ impl Rank {
     /// and how far this rank has run ahead.
     pub fn exchange_epochs_started(&self) -> u64 {
         self.exchange_seq
+    }
+
+    /// Record one started collective in the ledger (no-op unless the machine was
+    /// configured with [`crate::topology::MachineConfig::with_ledger`]).  See
+    /// [`crate::ledger`] for the op/epoch/elem conventions.
+    pub(crate) fn ledger_record(&mut self, op: &'static str, epoch: u64, elem: &'static str) {
+        if let Some(ledger) = self.ledger.as_mut() {
+            ledger.trace.push(LedgerEntry { op, epoch, elem });
+        }
+    }
+
+    /// This rank's collective-ledger trace so far, or `None` when the ledger is off.
+    pub fn ledger_trace(&self) -> Option<&[LedgerEntry]> {
+        self.ledger.as_ref().map(|l| l.trace.as_slice())
     }
 }
 
@@ -526,12 +554,14 @@ impl Machine {
             ExchangeBackend::SharedMem => Mailbox::create_shared(nprocs),
         };
         let f = Arc::new(f);
+        let hub = self.config.ledger.then(|| LedgerHub::new(nprocs));
 
         let mut handles = Vec::with_capacity(nprocs);
         for mailbox in mailboxes {
             let f = Arc::clone(&f);
             let cost = self.config.cost;
             let backend = self.config.backend;
+            let hub = hub.clone();
             let builder = thread::Builder::new()
                 .name(format!("mpsim-rank-{}", mailbox.rank()))
                 .stack_size(self.config.stack_size);
@@ -549,8 +579,19 @@ impl Machine {
                         scratch: HashMap::new(),
                         scratch_clock: 0,
                         pool_stats: PackPoolStats::default(),
+                        ledger: hub.map(|hub| {
+                            Box::new(LedgerRank {
+                                hub,
+                                trace: Vec::new(),
+                            })
+                        }),
                     };
                     let result = f(&mut rank);
+                    // Publish the final trace for the shutdown cross-check; joining
+                    // below makes every deposit visible to the main thread.
+                    if let Some(ledger) = rank.ledger.take() {
+                        ledger.hub.deposit(rank.mailbox.rank(), &ledger.trace);
+                    }
                     (result, rank.stats, rank.time, rank.pool_stats)
                 })
                 .expect("failed to spawn rank thread");
@@ -577,6 +618,13 @@ impl Machine {
                         .unwrap_or_else(|| "<non-string panic payload>".to_string());
                     panic!("rank {rank} panicked: {msg}");
                 }
+            }
+        }
+        // Shutdown cross-check: after a clean join, every rank's final trace must
+        // still agree — this catches divergences after the last barrier.
+        if let Some(hub) = hub {
+            if let Some(report) = hub.divergence() {
+                panic!("{report}");
             }
         }
         RunOutcome {

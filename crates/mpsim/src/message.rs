@@ -604,6 +604,9 @@ mod tests {
         }
         assert_eq!(std::mem::size_of::<T>(), T::SIZE, "POD-LE type has padding");
         let encoded = encode_slice(values);
+        // SAFETY: viewing initialized `T`s as bytes is always valid — the pointer and
+        // length come straight from the live slice, and the padding-free layout was
+        // asserted just above.
         let native = unsafe {
             std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), std::mem::size_of_val(values))
         };

@@ -42,6 +42,7 @@ use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::message::{Envelope, Payload};
+use crate::proto::{self, BellOps, RingOps, WindowOps};
 
 /// Which transport a machine's ranks communicate through.
 ///
@@ -120,9 +121,44 @@ struct Spsc {
     tail: AtomicUsize,
 }
 
-// Safety: the fabric hands each ring to exactly one producer rank and one consumer rank;
+// SAFETY: the fabric hands each ring to exactly one producer rank and one consumer rank;
 // the head/tail protocol ensures they never touch the same slot concurrently.
 unsafe impl Sync for Spsc {}
+
+/// The ring's protocol steps live in [`crate::proto`] (shared with the `verify`
+/// model checker); this impl binds them to the real atomics and the unsafe slot
+/// storage.  The slot accesses are safe *because of* the protocol: `slot_write` is
+/// called only by [`proto::ring_try_push`] on a slot with `tail - head <
+/// capacity` (empty), `slot_read` only by [`proto::ring_try_pop`] on a slot with
+/// `head < tail` (full), and the Release/Acquire counter hand-off orders the
+/// accesses across threads.
+impl RingOps for Spsc {
+    type Item = Envelope;
+    type Ctr = AtomicUsize;
+
+    fn capacity(&self) -> usize {
+        RING_CAPACITY
+    }
+    fn head(&self) -> &AtomicUsize {
+        &self.head
+    }
+    fn tail(&self) -> &AtomicUsize {
+        &self.tail
+    }
+    fn slot_write(&self, slot: usize, item: Envelope) {
+        // SAFETY: the push protocol guarantees this slot is vacant (the consumer's
+        // Release of `head` ordered its last read of the slot before we observed the
+        // vacancy), and only the single producer writes slots.
+        unsafe { (*self.slots[slot].get()).write(item) };
+    }
+    fn slot_read(&self, slot: usize) -> Envelope {
+        // SAFETY: the pop protocol guarantees this slot was initialised by the
+        // producer (its Release of `tail` published the write we synchronised with),
+        // and each initialised slot is read out exactly once before `head` moves past
+        // it.
+        unsafe { (*self.slots[slot].get()).assume_init_read() }
+    }
+}
 
 impl Spsc {
     fn new() -> Self {
@@ -137,26 +173,12 @@ impl Spsc {
 
     /// Producer side: publish one envelope, or return it when the ring is full.
     fn try_push(&self, env: Envelope) -> Result<(), Envelope> {
-        let t = self.tail.load(Ordering::Relaxed);
-        let h = self.head.load(Ordering::Acquire);
-        if t - h >= RING_CAPACITY {
-            return Err(env);
-        }
-        unsafe { (*self.slots[t % RING_CAPACITY].get()).write(env) };
-        self.tail.store(t + 1, Ordering::Release);
-        Ok(())
+        proto::ring_try_push(self, env)
     }
 
     /// Consumer side: pop the oldest envelope, if any.
     fn try_pop(&self) -> Option<Envelope> {
-        let h = self.head.load(Ordering::Relaxed);
-        let t = self.tail.load(Ordering::Acquire);
-        if t == h {
-            return None;
-        }
-        let env = unsafe { (*self.slots[h % RING_CAPACITY].get()).assume_init_read() };
-        self.head.store(h + 1, Ordering::Release);
-        Some(env)
+        proto::ring_try_pop(self)
     }
 }
 
@@ -167,6 +189,8 @@ impl Drop for Spsc {
         let h = *self.head.get_mut();
         let t = *self.tail.get_mut();
         for i in h..t {
+            // SAFETY: slots in `head..tail` were initialised by the producer and not
+            // yet consumed; `&mut self` proves no concurrent access remains.
             unsafe { (*self.slots[i % RING_CAPACITY].get()).assume_init_drop() };
         }
     }
@@ -178,6 +202,32 @@ struct Doorbell {
     sleeping: AtomicBool,
     mutex: Mutex<()>,
     condvar: Condvar,
+}
+
+/// Binds the doorbell's lock-free half (the announcement flag and the producer-side
+/// fence) to the shared protocol steps in [`crate::proto`]; the mutex/condvar half
+/// stays here with the callers.
+impl BellOps for Doorbell {
+    type Flag = AtomicBool;
+
+    fn sleeping(&self) -> &AtomicBool {
+        &self.sleeping
+    }
+    fn fence_seq_cst(&self) {
+        fence(Ordering::SeqCst);
+    }
+}
+
+impl Doorbell {
+    /// Producer side after publishing work: fence, check the announcement, and notify
+    /// under the mutex if the consumer may be parked (see [`proto::bell_check`] for
+    /// the missed-wakeup argument).
+    fn ring(&self) {
+        if proto::bell_check(self) {
+            let _guard = self.mutex.lock().unwrap();
+            self.condvar.notify_one();
+        }
+    }
 }
 
 /// One source rank's contribution descriptor in a published [`DirectWindow`]: the
@@ -227,10 +277,25 @@ struct DirectWindow {
     sources: Box<[SourceSlot]>,
 }
 
-// Safety: `elem` is written only while `tag == 0` (when no sender reads it) and read
+// SAFETY: `elem` is written only while `tag == 0` (when no sender reads it) and read
 // only after an `Acquire` load of a matching nonzero tag, which orders the read after
 // the write; every other field is atomic.
 unsafe impl Sync for DirectWindow {}
+
+/// Binds the window's control words to the shared protocol steps in [`crate::proto`];
+/// the payload fields (`dst_ptr`, `elem`, the permutation slots) are the
+/// `write_fields`/post-claim accesses those steps order.
+impl WindowOps for DirectWindow {
+    type Tag = AtomicU64;
+    type Ctr = AtomicUsize;
+
+    fn tag(&self) -> &AtomicU64 {
+        &self.tag
+    }
+    fn pending(&self) -> &AtomicUsize {
+        &self.pending
+    }
+}
 
 /// The machine-wide shared-memory wire: P² SPSC rings plus one doorbell and one
 /// direct-delivery window per rank.
@@ -318,15 +383,11 @@ impl SharedFabric {
                 }
             }
         }
-        // Publish-then-check: the fence orders the ring publication before the
-        // `sleeping` load, so a consumer that announced sleep before this load will
-        // be notified, and one that announces after will rescan and find the message.
-        fence(Ordering::SeqCst);
-        let bell = &self.doorbells[to];
-        if bell.sleeping.load(Ordering::SeqCst) {
-            let _guard = bell.mutex.lock().unwrap();
-            bell.condvar.notify_one();
-        }
+        // Publish-then-check: the fence inside `ring` orders the ring publication
+        // before the `sleeping` load, so a consumer that announced sleep before this
+        // load will be notified, and one that announces after will rescan and find
+        // the message.
+        self.doorbells[to].ring();
     }
 
     /// Pop the next available inbound envelope for rank `me` (any source), parking on
@@ -357,13 +418,13 @@ impl SharedFabric {
             // Park: announce, rescan (see module docs for the race argument), wait.
             let bell = &self.doorbells[me];
             let guard = bell.mutex.lock().unwrap();
-            bell.sleeping.store(true, Ordering::SeqCst);
+            proto::bell_announce(bell);
             if let Some(env) = self.sweep(me) {
-                bell.sleeping.store(false, Ordering::SeqCst);
+                proto::bell_retract(bell);
                 return env;
             }
             if self.all_peers_terminated(me) {
-                bell.sleeping.store(false, Ordering::SeqCst);
+                proto::bell_retract(bell);
                 continue;
             }
             let guard = bell
@@ -371,7 +432,7 @@ impl SharedFabric {
                 .wait_timeout(guard, std::time::Duration::from_millis(10))
                 .unwrap()
                 .0;
-            bell.sleeping.store(false, Ordering::SeqCst);
+            proto::bell_retract(bell);
             drop(guard);
             sweeps = 0;
         }
@@ -413,10 +474,7 @@ impl SharedFabric {
         self.terminated[me].store(true, Ordering::Release);
         // Wake every parked rank so it can re-evaluate the termination condition.
         for bell in &self.doorbells {
-            if bell.sleeping.load(Ordering::SeqCst) {
-                let _guard = bell.mutex.lock().unwrap();
-                bell.condvar.notify_one();
-            }
+            bell.ring();
         }
     }
 
@@ -440,23 +498,20 @@ impl SharedFabric {
         pending: usize,
         perm_of: impl Fn(usize) -> Option<(*const u32, usize)>,
     ) {
-        debug_assert!(tag != 0 && pending > 0, "empty windows are never published");
         let w = &self.windows[me];
-        debug_assert_eq!(
-            w.tag.load(Ordering::Relaxed),
-            0,
-            "a rank publishes at most one window at a time"
-        );
-        w.dst_ptr.store(dst as usize, Ordering::Relaxed);
-        w.dst_len.store(dst_len, Ordering::Relaxed);
-        unsafe { *w.elem.get() = Some(TypeId::of::<T>()) };
-        for p in 0..self.nprocs {
-            let (ptr, len) = perm_of(p).map_or((0, 0), |(q, l)| (q as usize, l));
-            w.sources[p].perm_ptr.store(ptr, Ordering::Relaxed);
-            w.sources[p].perm_len.store(len, Ordering::Relaxed);
-        }
-        w.pending.store(pending, Ordering::Relaxed);
-        w.tag.store(tag, Ordering::Release);
+        proto::window_publish(w, tag, pending, || {
+            w.dst_ptr.store(dst as usize, Ordering::Relaxed);
+            w.dst_len.store(dst_len, Ordering::Relaxed);
+            // SAFETY: `window_publish` runs this closure while `tag == 0`, when no
+            // sender dereferences `elem`; the Release tag store that follows orders
+            // this write before any claiming sender's read.
+            unsafe { *w.elem.get() = Some(TypeId::of::<T>()) };
+            for p in 0..self.nprocs {
+                let (ptr, len) = perm_of(p).map_or((0, 0), |(q, l)| (q as usize, l));
+                w.sources[p].perm_ptr.store(ptr, Ordering::Relaxed);
+                w.sources[p].perm_len.store(len, Ordering::Relaxed);
+            }
+        });
     }
 
     /// Attempt zero-copy delivery of rank `from`'s contribution to exchange `tag` on
@@ -477,13 +532,16 @@ impl SharedFabric {
         copy: impl FnOnce(*mut T, usize, &[u32]),
     ) -> bool {
         let w = &self.windows[to];
-        if w.tag.load(Ordering::Acquire) != tag {
+        if !proto::window_try_claim(w, tag) {
             return false;
         }
-        // The Acquire above ordered every field after the publish; the window cannot
+        // The claim's Acquire ordered every field after the publish; the window cannot
         // retire or be republished underneath us because our own undelivered
         // contribution keeps `pending >= 1`.
         assert_eq!(
+            // SAFETY: a successful claim orders this read after the publisher's
+            // write of `elem` (which happened while `tag == 0`), and `elem` is not
+            // rewritten while the window is live.
             unsafe { *w.elem.get() },
             Some(TypeId::of::<T>()),
             "direct window element type mismatch: crossed exchange sequence"
@@ -494,6 +552,9 @@ impl SharedFabric {
             perm_ptr != 0,
             "rank {to}'s window expects nothing from rank {from}"
         );
+        // SAFETY: the publisher guarantees the permutation list outlives the window
+        // (it is retired only after every contribution lands), and our undelivered
+        // contribution pins the window live for the duration of this call.
         let perm = unsafe { std::slice::from_raw_parts(perm_ptr as *const u32, perm_len) };
         copy(
             w.dst_ptr.load(Ordering::Relaxed) as *mut T,
@@ -508,19 +569,13 @@ impl SharedFabric {
     /// if it was the last.  Called by direct senders after their copy, and by the
     /// receiver itself after placing a classic fallback message.
     pub(crate) fn contribution_delivered(&self, me: usize) {
-        let w = &self.windows[me];
-        // AcqRel: releases this contribution's writes to the receiver's Acquire read of
-        // zero, and keeps the whole decrement chain a release sequence.
-        if w.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // The AcqRel decrement releases this contribution's writes to the receiver's
+        // Acquire read of zero and keeps the whole decrement chain a release sequence.
+        if proto::window_contribution_delivered(&self.windows[me]) {
             // Last contribution: same publish-then-check protocol as `send` — either
             // the receiver's sleep announcement is visible here (the notify wakes it)
             // or its rescan happens after the decrement and observes the drain.
-            fence(Ordering::SeqCst);
-            let bell = &self.doorbells[me];
-            if bell.sleeping.load(Ordering::SeqCst) {
-                let _guard = bell.mutex.lock().unwrap();
-                bell.condvar.notify_one();
-            }
+            self.doorbells[me].ring();
         }
     }
 
@@ -528,13 +583,12 @@ impl SharedFabric {
     /// The `Acquire` load is the receiver's synchronisation point with every direct
     /// sender's writes.
     pub(crate) fn window_drained(&self, me: usize) -> bool {
-        self.windows[me].pending.load(Ordering::Acquire) == 0
+        proto::window_is_drained(&self.windows[me])
     }
 
     /// Retire rank `me`'s drained window, making the slot publishable again.
     pub(crate) fn retire_window(&self, me: usize) {
-        debug_assert!(self.window_drained(me), "retiring a live window");
-        self.windows[me].tag.store(0, Ordering::Release);
+        proto::window_retire(&self.windows[me]);
     }
 
     /// Wait on rank `me`'s published window: returns the next classic envelope carrying
@@ -589,13 +643,13 @@ impl SharedFabric {
             // Park: announce, rescan both wake conditions, wait (see module docs).
             let bell = &self.doorbells[me];
             let guard = bell.mutex.lock().unwrap();
-            bell.sleeping.store(true, Ordering::SeqCst);
+            proto::bell_announce(bell);
             if self.window_drained(me) {
-                bell.sleeping.store(false, Ordering::SeqCst);
+                proto::bell_retract(bell);
                 return None;
             }
             if let Some(env) = self.sweep(me) {
-                bell.sleeping.store(false, Ordering::SeqCst);
+                proto::bell_retract(bell);
                 if env.tag == tag {
                     return Some(env);
                 }
@@ -608,7 +662,7 @@ impl SharedFabric {
                 .wait_timeout(guard, std::time::Duration::from_millis(10))
                 .unwrap()
                 .0;
-            bell.sleeping.store(false, Ordering::SeqCst);
+            proto::bell_retract(bell);
             drop(guard);
             sweeps = 0;
         }
@@ -636,6 +690,9 @@ impl SharedFabric {
             }
             std::thread::yield_now();
         }
+        // Not `proto::window_retire`: when every peer terminated mid-exchange the
+        // window retires with `pending > 0` — the stragglers can never arrive, and
+        // the machine is already unwinding.
         self.windows[me].tag.store(0, Ordering::Release);
     }
 }
@@ -735,6 +792,8 @@ mod tests {
         assert!(fabric.try_direct_deliver::<f64>(1, 0, 7, |d, len, perm| {
             assert_eq!(len, 4);
             assert_eq!(perm, &[3, 1]);
+            // SAFETY: `d` points at the published 4-element `dst`, which outlives the
+            // window, and both perm slots were just asserted to be [3, 1].
             unsafe {
                 *d.add(perm[0] as usize) = 5.0;
                 *d.add(perm[1] as usize) = 6.0;
@@ -776,6 +835,8 @@ mod tests {
         match env.payload {
             Payload::Typed(t) => {
                 let v = t.into_values::<f64>();
+                // SAFETY: slot 1 of the live 2-element `dst` — rank 2's permutation
+                // slot, disjoint from rank 1's in-flight direct write to slot 0.
                 unsafe { *dst.as_mut_ptr().add(1) = v[0] };
             }
             Payload::Bytes(_) => panic!("typed payload decayed"),
@@ -785,8 +846,10 @@ mod tests {
         let sender = std::thread::spawn(move || {
             // Let the receiver reach the parked state, then deliver directly.
             std::thread::sleep(std::time::Duration::from_millis(30));
-            assert!(f2.try_direct_deliver::<f64>(1, 0, 7, |d, _, perm| unsafe {
-                *d.add(perm[0] as usize) = 1.5;
+            assert!(f2.try_direct_deliver::<f64>(1, 0, 7, |d, _, perm| {
+                // SAFETY: `d` is the published window over `dst`, alive until the
+                // receiver retires it after the drain; perm[0] == 0 < dst.len().
+                unsafe { *d.add(perm[0] as usize) = 1.5 };
             }));
         });
         assert!(
@@ -833,11 +896,11 @@ mod tests {
         fabric.publish_window::<f64>(0, 8, dst.as_mut_ptr(), dst.len(), 1, |p| {
             (p == 1).then_some((perm.as_ptr(), perm.len()))
         });
-        assert!(
-            fabric.try_direct_deliver::<f64>(1, 0, 8, |d, _, perm| unsafe {
-                *d.add(perm[0] as usize) = 3.0;
-            })
-        );
+        assert!(fabric.try_direct_deliver::<f64>(1, 0, 8, |d, _, perm| {
+            // SAFETY: `d` is the freshly republished window over the still-live
+            // `dst`; perm[0] == 0 < dst.len().
+            unsafe { *d.add(perm[0] as usize) = 3.0 };
+        }));
         fabric.retire_window(0);
         assert_eq!(dst, vec![3.0]);
     }

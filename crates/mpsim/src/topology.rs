@@ -45,6 +45,12 @@ pub struct MachineConfig {
     /// [`ExchangeBackend::from_env`] (the `MPSIM_BACKEND` variable), so a whole test run
     /// can be flipped to the shared-memory wire without touching code.
     pub backend: ExchangeBackend,
+    /// Enable the collective ledger (see [`crate::ledger`]): every rank records the
+    /// sequence of collectives/exchanges it starts, cross-checked machine-wide at each
+    /// barrier and at shutdown.  Defaults to the `MPSIM_LEDGER` environment variable
+    /// (`1`/`true`), so a whole test run can be put under verification without touching
+    /// code.
+    pub ledger: bool,
 }
 
 impl MachineConfig {
@@ -56,6 +62,8 @@ impl MachineConfig {
             cost: CostModel::ipsc860(),
             stack_size: 8 * 1024 * 1024,
             backend: ExchangeBackend::from_env(),
+            ledger: std::env::var("MPSIM_LEDGER")
+                .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true")),
         }
     }
 
@@ -76,6 +84,12 @@ impl MachineConfig {
     /// wall-clock benchmarks pin each backend explicitly to compare them.
     pub fn with_backend(mut self, backend: ExchangeBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Enable the collective ledger, overriding the `MPSIM_LEDGER` default.
+    pub fn with_ledger(mut self) -> Self {
+        self.ledger = true;
         self
     }
 }

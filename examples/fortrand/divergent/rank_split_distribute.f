@@ -1,0 +1,14 @@
+C SEEDED DIVERGENCE FIXTURE — must be FLAGGED by fortrand_check.
+C Low ranks remap through the map array while high ranks go CYCLIC: the
+C two DISTRIBUTE calls build different translation tables, so the ranks
+C disagree on ownership from here on and every later exchange is wrong.
+      REAL x(16)
+      INTEGER map(16)
+C$ DECOMPOSITION reg(16)
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x WITH reg
+      IF (MYRANK .LT. 2) THEN
+C$ DISTRIBUTE reg(map)
+      ELSE
+C$ DISTRIBUTE reg(CYCLIC)
+      END IF

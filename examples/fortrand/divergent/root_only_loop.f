@@ -1,0 +1,14 @@
+C SEEDED DIVERGENCE FIXTURE — must be FLAGGED by fortrand_check.
+C The FORALL lowers to collective gather/scatter_add calls, but only
+C rank 0 reaches them: every other rank sails past while rank 0 blocks
+C in a schedule build its peers never join.
+      REAL x(16)
+      INTEGER ia(16)
+C$ DECOMPOSITION reg(16)
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x WITH reg
+      IF (MYRANK .EQ. 0) THEN
+      FORALL i = 1, 16
+      REDUCE(SUM, x(ia(i)), 1.0)
+      END FORALL
+      END IF

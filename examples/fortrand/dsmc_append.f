@@ -1,0 +1,13 @@
+C DSMC particle move (Figure 11 of the paper): REDUCE(APPEND) routes each
+C particle's value to its destination cell with a light-weight schedule.
+      REAL vel(128), newvel(32)
+      INTEGER icell(128)
+C$ DECOMPOSITION parts(128)
+C$ DECOMPOSITION cells(32)
+C$ DISTRIBUTE parts(BLOCK)
+C$ DISTRIBUTE cells(BLOCK)
+C$ ALIGN vel WITH parts
+C$ ALIGN newvel WITH cells
+      FORALL i = 1, 128
+      REDUCE(APPEND, newvel(icell(i)), vel(i))
+      END FORALL

@@ -1,0 +1,21 @@
+C Conditionals that are safe under the SPMD collective contract:
+C  * a rank-INdependent guard (every rank takes the same branch), and
+C  * a rank-dependent IF whose two paths issue identical collective
+C    footprints (every rank joins the same sequence either way).
+      REAL x(32)
+      INTEGER ia(32)
+C$ DECOMPOSITION reg(32)
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x WITH reg
+      IF (NPROCS .GT. 1) THEN
+C$ DISTRIBUTE reg(CYCLIC)
+      END IF
+      IF (MYRANK .EQ. 0) THEN
+      FORALL i = 1, 32
+      REDUCE(SUM, x(ia(i)), 1.0)
+      END FORALL
+      ELSE
+      FORALL i = 1, 32
+      REDUCE(SUM, x(ia(i)), 2.0)
+      END FORALL
+      END IF

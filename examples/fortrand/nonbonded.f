@@ -1,0 +1,15 @@
+C CHARMM-style non-bonded force loop (Figure 10 of the paper): a CSR
+C neighbour list drives an irregular REDUCE(SUM) sweep after the atoms
+C are remapped through a partitioner-produced map array.
+      REAL x(64), dx(64)
+      INTEGER map(64), inblo(65), jnb(128)
+C$ DECOMPOSITION reg(64)
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x, dx WITH reg
+C$ DISTRIBUTE reg(map)
+      FORALL i = 1, 64
+      FORALL j = inblo(i), inblo(i+1) - 1
+      REDUCE(SUM, dx(jnb(j)), x(jnb(j)) - x(i))
+      REDUCE(SUM, dx(i), x(i) - x(jnb(j)))
+      END FORALL
+      END FORALL
