@@ -29,10 +29,15 @@
 //!   schedule-maintenance scenarios of [`delta`] (patch-vs-rebuild cost, byte-identity,
 //!   cache lifecycle counters; no wall-clock, byte-identical across runs).  The same
 //!   section also rides in `BENCH_exchange.json` so one artifact carries the whole
-//!   engine story.
+//!   engine story;
+//! * `BENCH_compiler.json` — written by `compiler_parity --json`: the compiler-loop
+//!   parity comparison of [`compiler`] (compiled-vs-hand executor message counts for
+//!   the CHARMM and DSMC time loops; no wall-clock, byte-identical across runs,
+//!   `--check` gates compiled == hand).
 
 pub mod adapt;
 pub mod collective;
+pub mod compiler;
 pub mod delta;
 pub mod microbench;
 pub mod preproc;
@@ -42,6 +47,7 @@ pub mod workloads;
 
 pub use adapt::{AdaptEntry, RampParams};
 pub use collective::{CollectiveResult, COLLECTIVE_SWEEP_POINTS};
+pub use compiler::ParityEntry;
 pub use delta::{DriftEntry, DriftParams, DsmcDeltaEntry, DsmcDeltaParams};
 pub use microbench::{MicrobenchConfig, MicrobenchResult};
 pub use preproc::{PreprocResult, PREPROC_WORKERS};

@@ -209,22 +209,6 @@ where
     )
 }
 
-/// Split each array into its owned (read) and ghost (write) halves for a fused gather.
-fn split_owned_ghost<T: Element + Default, const N: usize>(
-    arrays: [&mut DistArray<T>; N],
-    ghost_len: usize,
-) -> (Vec<&[T]>, Vec<&mut [T]>) {
-    let mut owneds: Vec<&[T]> = Vec::with_capacity(N);
-    let mut ghosts: Vec<&mut [T]> = Vec::with_capacity(N);
-    for a in arrays {
-        a.ensure_ghost(ghost_len);
-        let (o, g) = a.owned_and_ghost_mut();
-        owneds.push(o);
-        ghosts.push(g);
-    }
-    (owneds, ghosts)
-}
-
 /// Fused gather: bring the off-processor elements of `sched` into the ghost regions of
 /// all `N` arrays with **one message per processor pair** instead of one per array.
 ///
@@ -243,19 +227,47 @@ pub fn gather_multi<T, const N: usize>(
 where
     T: Element + Default,
 {
+    const { assert!(N > 0, "a fused gather needs at least one array") };
+    let mut refs: Vec<&mut DistArray<T>> = arrays.into_iter().collect();
+    gather_multi_dyn(rank, sched, &mut refs)
+}
+
+/// [`gather_multi`] with a runtime lane count: the entry point for callers whose array
+/// set is only known at run time (the Fortran-D interpreter executing an optimizer-fused
+/// exchange).  The wire layout and element results are identical to the const-generic
+/// version — which forwards here.
+pub fn gather_multi_dyn<T>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    arrays: &mut [&mut DistArray<T>],
+) -> ExchangeStats
+where
+    T: Element + Default,
+{
     assert_eq!(
         sched.nprocs(),
         rank.nprocs(),
         "schedule/machine size mismatch"
     );
-    const { assert!(N > 0, "a fused gather needs at least one array") };
+    assert!(
+        !arrays.is_empty(),
+        "a fused gather needs at least one array"
+    );
+    let n = arrays.len();
     let me = rank.rank();
     let plan = sched.gather_plan(me);
-    let (owneds, mut ghosts) = split_owned_ghost(arrays, sched.ghost_len());
+    let mut owneds: Vec<&[T]> = Vec::with_capacity(n);
+    let mut ghosts: Vec<&mut [T]> = Vec::with_capacity(n);
+    for a in arrays.iter_mut() {
+        a.ensure_ghost(sched.ghost_len());
+        let (o, g) = a.owned_and_ghost_mut();
+        owneds.push(o);
+        ghosts.push(g);
+    }
     alltoallv_multi(
         rank,
         &plan,
-        N,
+        n,
         |p, buf: &mut PackBuf<'_, T>| {
             for owned in &owneds {
                 for &off in &sched.send_lists[p] {
@@ -287,17 +299,36 @@ pub fn scatter_add_multi<T, const N: usize>(
 where
     T: Element + Default + std::ops::AddAssign,
 {
+    const { assert!(N > 0, "a fused scatter needs at least one array") };
+    let mut refs: Vec<&mut DistArray<T>> = arrays.into_iter().collect();
+    scatter_add_multi_dyn(rank, sched, &mut refs)
+}
+
+/// [`scatter_add_multi`] with a runtime lane count (see [`gather_multi_dyn`]); the
+/// const-generic version forwards here.
+pub fn scatter_add_multi_dyn<T>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    arrays: &mut [&mut DistArray<T>],
+) -> ExchangeStats
+where
+    T: Element + Default + std::ops::AddAssign,
+{
     assert_eq!(
         sched.nprocs(),
         rank.nprocs(),
         "schedule/machine size mismatch"
     );
-    const { assert!(N > 0, "a fused scatter needs at least one array") };
+    assert!(
+        !arrays.is_empty(),
+        "a fused scatter needs at least one array"
+    );
+    let n = arrays.len();
     let me = rank.rank();
     let plan = sched.scatter_plan(me);
-    let mut ghosts: Vec<&[T]> = Vec::with_capacity(N);
-    let mut owneds: Vec<&mut [T]> = Vec::with_capacity(N);
-    for a in arrays {
+    let mut ghosts: Vec<&[T]> = Vec::with_capacity(n);
+    let mut owneds: Vec<&mut [T]> = Vec::with_capacity(n);
+    for a in arrays.iter_mut() {
         assert!(
             a.ghost_len() >= sched.ghost_len(),
             "array ghost region smaller than the schedule requires"
@@ -309,7 +340,7 @@ where
     alltoallv_multi(
         rank,
         &plan,
-        N,
+        n,
         |p, buf: &mut PackBuf<'_, T>| {
             for ghost in &ghosts {
                 for &slot in &sched.perm_lists[p] {
@@ -355,14 +386,32 @@ pub fn gather_start<T, const N: usize>(
 where
     T: Element + Default,
 {
+    const { assert!(N > 0, "a fused gather needs at least one array") };
+    gather_start_dyn(rank, sched, &arrays)
+}
+
+/// [`gather_start`] with a runtime lane count (see [`gather_multi_dyn`]); the
+/// const-generic version forwards here.
+pub fn gather_start_dyn<T>(
+    rank: &mut Rank,
+    sched: &CommSchedule,
+    arrays: &[&DistArray<T>],
+) -> GatherHandle<T>
+where
+    T: Element + Default,
+{
     assert_eq!(
         sched.nprocs(),
         rank.nprocs(),
         "schedule/machine size mismatch"
     );
-    const { assert!(N > 0, "a fused gather needs at least one array") };
+    assert!(
+        !arrays.is_empty(),
+        "a fused gather needs at least one array"
+    );
+    let n = arrays.len();
     let me = rank.rank();
-    let plan = sched.gather_plan(me).fused(N);
+    let plan = sched.gather_plan(me).fused(n);
     let owneds: Vec<&[T]> = arrays.iter().map(|a| a.owned()).collect();
     let inner = start_alltoallv_with(rank, plan, |p, buf: &mut PackBuf<'_, T>| {
         for owned in &owneds {
@@ -371,7 +420,7 @@ where
             }
         }
     });
-    GatherHandle { inner, lanes: N }
+    GatherHandle { inner, lanes: n }
 }
 
 /// Finish a gather started with [`gather_start`]: drain the receives and place the
@@ -390,24 +439,43 @@ pub fn gather_finish<T, const N: usize>(
 where
     T: Element + Default,
 {
+    let mut refs: Vec<&mut DistArray<T>> = arrays.into_iter().collect();
+    gather_finish_dyn(rank, handle, sched, &mut refs)
+}
+
+/// [`gather_finish`] with a runtime lane count (see [`gather_multi_dyn`]); the
+/// const-generic version forwards here.
+///
+/// # Panics
+/// Panics if the lane count or schedule differs from the one `gather_start` packed for.
+pub fn gather_finish_dyn<T>(
+    rank: &mut Rank,
+    handle: GatherHandle<T>,
+    sched: &CommSchedule,
+    arrays: &mut [&mut DistArray<T>],
+) -> ExchangeStats
+where
+    T: Element + Default,
+{
     assert_eq!(
         sched.nprocs(),
         rank.nprocs(),
         "schedule/machine size mismatch"
     );
+    let n = arrays.len();
     assert_eq!(
-        handle.lanes, N,
+        handle.lanes, n,
         "gather_finish must pass the same arrays gather_start packed"
     );
-    let mut ghosts: Vec<&mut [T]> = Vec::with_capacity(N);
-    for a in arrays {
+    let mut ghosts: Vec<&mut [T]> = Vec::with_capacity(n);
+    for a in arrays.iter_mut() {
         a.ensure_ghost(sched.ghost_len());
         ghosts.push(a.ghost_mut());
     }
     handle.inner.finish(rank, |src, values: Placed<'_, T>| {
         assert_eq!(
             values.len(),
-            sched.perm_lists[src].len() * N,
+            sched.perm_lists[src].len() * n,
             "gather_finish: schedule does not match the one gather_start packed for \
              (message from rank {src} disagrees with the permutation list)"
         );

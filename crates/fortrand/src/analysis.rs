@@ -51,6 +51,11 @@ pub enum OpNode {
         /// Operations of the ELSE path.
         else_ops: Vec<OpNode>,
     },
+    /// A sequential loop whose body repeats some rank-invariant number of times (a `DO`
+    /// time loop).  Split-phase handles opened in the body must be finished in the same
+    /// iteration — otherwise the second iteration's start would nest under the first's
+    /// unfinished handle.
+    Loop(Vec<OpNode>),
 }
 
 /// One reported problem.
@@ -66,13 +71,13 @@ pub fn op_tree(program: &LoweredProgram) -> Vec<OpNode> {
 }
 
 fn steps_to_ops(program: &LoweredProgram, steps: &[ExecStep]) -> Vec<OpNode> {
-    steps
-        .iter()
-        .map(|step| match step {
-            ExecStep::Distribute { decomp, spec } => OpNode::Collective {
+    let mut ops = Vec::new();
+    for step in steps {
+        match step {
+            ExecStep::Distribute { decomp, spec } => ops.push(OpNode::Collective {
                 kind: "distribute".to_string(),
                 detail: format!("{decomp}:{spec:?}"),
-            },
+            }),
             ExecStep::Loop(loop_id) => {
                 let plan = program.loop_plan(*loop_id);
                 let (kind, moved) = match &plan.kind {
@@ -86,24 +91,80 @@ fn steps_to_ops(program: &LoweredProgram, steps: &[ExecStep]) -> Vec<OpNode> {
                     LoopKind::AppendReduction { target } => {
                         ("forall.append", format!("scatter_append={target}"))
                     }
+                    // Replicated integer updates move no data, but every rank must run
+                    // them identically or the replicated indirection state diverges —
+                    // model them as a collective so rank-dependent guards are flagged.
+                    LoopKind::IntegerUpdate { modified } => {
+                        ("forall.intupdate", format!("modified={modified:?}"))
+                    }
                 };
-                OpNode::Collective {
+                ops.push(OpNode::Collective {
                     kind: kind.to_string(),
                     detail: format!("{}:{moved}", plan.decomp),
-                }
+                });
             }
             ExecStep::If {
                 rank_dependent,
                 then_steps,
                 else_steps,
                 ..
-            } => OpNode::Branch {
+            } => ops.push(OpNode::Branch {
                 rank_dependent: *rank_dependent,
                 then_ops: steps_to_ops(program, then_steps),
                 else_ops: steps_to_ops(program, else_steps),
-            },
-        })
-        .collect()
+            }),
+            ExecStep::TimeLoop { body, .. } => {
+                ops.push(OpNode::Loop(steps_to_ops(program, body)));
+            }
+            ExecStep::BuildSchedule { group } => {
+                let g = &program.groups[*group];
+                // Identify the collective by its structure (decomposition, member
+                // count, dependence set), never by group or loop ids — symmetric IF
+                // branches get distinct ids for identical collective footprints.
+                ops.push(OpNode::Collective {
+                    kind: "schedule.build".to_string(),
+                    detail: format!(
+                        "{}:members={},deps={:?}",
+                        g.decomp,
+                        g.loop_ids.len(),
+                        g.all_deps()
+                    ),
+                });
+            }
+            ExecStep::GatherStart { group } => ops.push(OpNode::Start(*group as u32)),
+            ExecStep::FusedLoop {
+                group,
+                overlapped,
+                early_gather,
+            } => {
+                let g = &program.groups[*group];
+                let gather_detail = format!("{}:gather={:?}", g.decomp, g.gathered);
+                if *early_gather {
+                    // The gather was started by a preceding GatherStart node.
+                    ops.push(OpNode::Finish(*group as u32));
+                } else if !overlapped.is_empty() {
+                    ops.push(OpNode::Start(*group as u32));
+                    ops.extend(steps_to_ops(program, overlapped));
+                    ops.push(OpNode::Finish(*group as u32));
+                } else if !g.gathered.is_empty() {
+                    ops.push(OpNode::Collective {
+                        kind: "fused.gather".to_string(),
+                        detail: gather_detail,
+                    });
+                }
+                ops.push(OpNode::Collective {
+                    kind: "fused.loop".to_string(),
+                    detail: format!(
+                        "{}:members={},scatter_add={:?}",
+                        g.decomp,
+                        g.loop_ids.len(),
+                        g.targets
+                    ),
+                });
+            }
+        }
+    }
+    ops
 }
 
 /// Analyze an operation tree; an empty result means the program's collective structure
@@ -145,6 +206,7 @@ fn footprint(ops: &[OpNode]) -> String {
                 footprint(then_ops),
                 footprint(else_ops)
             )),
+            OpNode::Loop(body) => parts.push(format!("do[{}]", footprint(body))),
         }
     }
     parts.join(";")
@@ -191,6 +253,8 @@ fn check_branches(ops: &[OpNode], findings: &mut Vec<Finding>) {
             }
             check_branches(then_ops, findings);
             check_branches(else_ops, findings);
+        } else if let OpNode::Loop(body) = op {
+            check_branches(body, findings);
         }
     }
 }
@@ -236,6 +300,26 @@ fn check_handles(ops: &[OpNode], open: &mut Vec<u32>, findings: &mut Vec<Finding
                     });
                 }
                 *open = open_then;
+            }
+            OpNode::Loop(body) => {
+                // The body repeats: whatever handles it opens it must also finish, or
+                // the second iteration starts under the first's unfinished handle.
+                let mut open_body = open.clone();
+                check_handles(body, &mut open_body, findings);
+                let mut sorted_before = open.clone();
+                let mut sorted_after = open_body.clone();
+                sorted_before.sort_unstable();
+                sorted_after.sort_unstable();
+                if sorted_before != sorted_after {
+                    findings.push(Finding {
+                        message: format!(
+                            "split-phase handles opened inside a DO body must be finished \
+                             in the same iteration: one pass changes the open set from \
+                             {sorted_before:?} to {sorted_after:?}"
+                        ),
+                    });
+                }
+                *open = open_body;
             }
         }
     }

@@ -158,6 +158,25 @@ pub enum Stmt {
         hi: Expr,
         /// Loop body.
         body: Vec<Stmt>,
+        /// 1-based source line of the `FORALL` keyword (for optimizer diagnostics).
+        line: usize,
+    },
+    /// `DO var = lo, hi … END DO` — a sequential *time* loop.  Unlike `FORALL` its
+    /// iterations run in order on every rank, and its body holds whole executable
+    /// statements (FORALLs, `DISTRIBUTE`s, `IF`s, nested `DO`s).  The loop variable is
+    /// a step counter only — referencing it inside the body is a lowering error, which
+    /// is what lets the optimizer treat the body as iteration-invariant code.
+    Do {
+        /// Loop variable name (a step counter; not referenceable in the body).
+        var: String,
+        /// Lower bound (inclusive).
+        lo: Expr,
+        /// Upper bound (inclusive), Fortran style.
+        hi: Expr,
+        /// Loop body (whole statements).
+        body: Vec<Stmt>,
+        /// 1-based source line of the `DO` keyword (for optimizer diagnostics).
+        line: usize,
     },
     /// `REDUCE(op, target, value)`.
     Reduce {

@@ -11,10 +11,10 @@ use std::collections::HashMap;
 
 use chaos::inspector::build_schedule_from_table;
 use chaos::prelude::*;
-use mpsim::{Rank, TimeSnapshot};
+use mpsim::{ExchangeStats, Rank, TimeSnapshot};
 
 use crate::ast::{ArrayRef, BinOp, CmpOp, Cond, DistSpec, Expr, ReduceOp, Stmt};
-use crate::lower::{ExecStep, LoopKind, LoweredProgram};
+use crate::lower::{ExecStep, LoopKind, LoopPlan, LoweredProgram};
 
 /// Modeled time the executor spent in each phase (the columns of Table 6).
 #[derive(Debug, Clone, Copy, Default)]
@@ -60,6 +60,37 @@ struct LoopRuntime {
     reuses: u64,
 }
 
+/// Runtime state of one optimizer-formed schedule group: a merged hash table with one
+/// stamp per member loop, served through the software schedule cache so guarded
+/// rebuilds after an indirection-array change can re-serve earlier schedules.
+struct GroupRuntime {
+    hash: Option<IndexHashTable>,
+    cache: ScheduleCache,
+    schedule: Option<CommSchedule>,
+    /// Per-member snapshot of the modification counters of the arrays the member's
+    /// subscripts depend on, from the last build (member index == stamp bit).
+    member_deps_seen: Vec<HashMap<String, u64>>,
+    epoch_seen: u64,
+    rebuilds: u64,
+    patches: u64,
+    reuses: u64,
+}
+
+impl GroupRuntime {
+    fn new(n_members: usize) -> Self {
+        Self {
+            hash: None,
+            cache: ScheduleCache::new(4),
+            schedule: None,
+            member_deps_seen: vec![HashMap::new(); n_members],
+            epoch_seen: 0,
+            rebuilds: 0,
+            patches: 0,
+            reuses: 0,
+        }
+    }
+}
+
 /// The per-rank execution engine for one lowered program.
 ///
 /// All methods that move data or build schedules are collective — every rank of the
@@ -75,6 +106,9 @@ pub struct Executor<'p> {
     mod_counter: HashMap<String, u64>,
     epoch: u64,
     loop_runtime: HashMap<usize, LoopRuntime>,
+    group_runtime: HashMap<usize, GroupRuntime>,
+    pending_gathers: HashMap<usize, GatherHandle<f64>>,
+    exchange: ExchangeStats,
     phases: FortranDPhases,
 }
 
@@ -143,6 +177,9 @@ impl<'p> Executor<'p> {
             mod_counter: HashMap::new(),
             epoch: 0,
             loop_runtime: HashMap::new(),
+            group_runtime: HashMap::new(),
+            pending_gathers: HashMap::new(),
+            exchange: ExchangeStats::default(),
             phases: FortranDPhases::default(),
         }
     }
@@ -157,6 +194,36 @@ impl<'p> Executor<'p> {
         self.loop_runtime
             .get(&loop_id)
             .map_or((0, 0), |rt| (rt.rebuilds, rt.reuses))
+    }
+
+    /// Exchange traffic (messages and bytes) this rank has issued so far across every
+    /// gather, scatter-add, fused multi-array exchange and light-weight append.
+    pub fn exchange_stats(&self) -> ExchangeStats {
+        self.exchange
+    }
+
+    /// How many times a schedule group's merged hash table was fully rebuilt,
+    /// incrementally patched, and reused as-is.
+    pub fn group_stats(&self, group: usize) -> (u64, u64, u64) {
+        self.group_runtime
+            .get(&group)
+            .map_or((0, 0, 0), |rt| (rt.rebuilds, rt.patches, rt.reuses))
+    }
+
+    /// Software schedule-cache statistics of a schedule group.
+    pub fn group_cache_stats(&self, group: usize) -> CacheStats {
+        self.group_runtime
+            .get(&group)
+            .map_or_else(CacheStats::default, |rt| rt.cache.stats())
+    }
+
+    /// `(send, recv)` message counts of a schedule group's current merged schedule
+    /// (one fused gather or scatter-add moves exactly this many messages).
+    pub fn group_message_counts(&self, group: usize) -> (usize, usize) {
+        self.group_runtime
+            .get(&group)
+            .and_then(|rt| rt.schedule.as_ref())
+            .map_or((0, 0), |s| (s.send_message_count(), s.recv_message_count()))
     }
 
     /// Set a distributed real array from its global contents (each rank keeps the elements
@@ -293,6 +360,23 @@ impl<'p> Executor<'p> {
                     self.exec_step(rank, s);
                 }
             }
+            ExecStep::TimeLoop { lo, hi, body, .. } => {
+                let env = HashMap::new();
+                let lo = eval_int(lo, &env, &self.integers);
+                let hi = eval_int(hi, &env, &self.integers);
+                for _ in lo..=hi {
+                    for s in body {
+                        self.exec_step(rank, s);
+                    }
+                }
+            }
+            ExecStep::BuildSchedule { group } => self.build_group_schedule(rank, *group),
+            ExecStep::GatherStart { group } => self.start_group_gather(rank, *group),
+            ExecStep::FusedLoop {
+                group,
+                overlapped,
+                early_gather,
+            } => self.run_fused_loop(rank, *group, overlapped, *early_gather),
         }
     }
 
@@ -367,31 +451,26 @@ impl<'p> Executor<'p> {
         match plan.kind.clone() {
             LoopKind::SumReduction => self.run_sum_loop(rank, loop_id),
             LoopKind::AppendReduction { target } => self.run_append_loop(rank, loop_id, &target),
+            LoopKind::IntegerUpdate { modified } => {
+                self.run_integer_update(rank, loop_id, &modified);
+            }
         }
     }
 
-    // ----------------------------------------------------------- sum-reduction loops --
-
-    fn run_sum_loop(&mut self, rank: &mut Rank, loop_id: usize) {
-        let plan = self.program.loop_plan(loop_id).clone();
-        let (var, lo, hi, body) = match &plan.forall {
-            Stmt::Forall { var, lo, hi, body } => {
-                (var.clone(), lo.clone(), hi.clone(), body.clone())
-            }
-            _ => unreachable!(),
+    /// The iterations this rank executes of a sum-reduction loop: owner-computes over
+    /// the loop's decomposition when the loop ranges over exactly that index space (the
+    /// common case in the paper's templates); otherwise a BLOCK partition of the range.
+    fn sum_loop_iterations(&self, plan: &LoopPlan) -> Vec<i64> {
+        let Stmt::Forall { lo, hi, .. } = &plan.forall else {
+            unreachable!()
         };
         let empty_env = HashMap::new();
-        let lo_val = eval_int(&lo, &empty_env, &self.integers);
-        let hi_val = eval_int(&hi, &empty_env, &self.integers);
+        let lo_val = eval_int(lo, &empty_env, &self.integers);
+        let hi_val = eval_int(hi, &empty_env, &self.integers);
         let extent = (hi_val - lo_val + 1).max(0) as usize;
-
-        // Iteration partitioning: owner-computes over the loop's decomposition when the
-        // loop ranges over exactly that index space (the common case in the paper's
-        // templates); otherwise a BLOCK partition of the iteration range.
         let decomp_state = &self.decomps[&plan.decomp];
-        let owned_len = decomp_state.owned_globals.len();
         let decomp_size = self.program.decomps[&plan.decomp];
-        let iterations: Vec<i64> = if extent == decomp_size {
+        if extent == decomp_size {
             decomp_state
                 .owned_globals
                 .iter()
@@ -403,7 +482,58 @@ impl<'p> Executor<'p> {
                 .local_globals(self.my_rank)
                 .map(|g| lo_val + g as i64)
                 .collect()
+        }
+    }
+
+    // --------------------------------------------------------- integer-update loops --
+
+    /// Execute a replicated integer-update FORALL: every rank runs the full iteration
+    /// range over its replicated copy (no communication), and the modified arrays'
+    /// counters are bumped so dependent schedules rebuild or patch at their next use.
+    fn run_integer_update(&mut self, rank: &mut Rank, loop_id: usize, modified: &[String]) {
+        let plan = self.program.loop_plan(loop_id).clone();
+        let (var, lo, hi, body) = match &plan.forall {
+            Stmt::Forall {
+                var, lo, hi, body, ..
+            } => (var.clone(), lo.clone(), hi.clone(), body.clone()),
+            _ => unreachable!(),
         };
+        let empty_env = HashMap::new();
+        let lo_val = eval_int(&lo, &empty_env, &self.integers);
+        let hi_val = eval_int(&hi, &empty_env, &self.integers);
+        let mut work = 0usize;
+        for i in lo_val..=hi_val {
+            let mut env = HashMap::new();
+            env.insert(var.clone(), i);
+            for stmt in &body {
+                let Stmt::Assign { target, value } = stmt else {
+                    unreachable!("integer-update bodies hold only assignments");
+                };
+                let v = eval_int(value, &env, &self.integers);
+                let idx = (eval_int(&target.index, &env, &self.integers) - 1) as usize;
+                self.integers
+                    .get_mut(&target.array)
+                    .expect("integer array exists")[idx] = v;
+                work += 1;
+            }
+        }
+        rank.charge_compute(work as f64 * 0.2);
+        for name in modified {
+            *self.mod_counter.entry(name.clone()).or_insert(0) += 1;
+        }
+    }
+
+    // ----------------------------------------------------------- sum-reduction loops --
+
+    fn run_sum_loop(&mut self, rank: &mut Rank, loop_id: usize) {
+        let plan = self.program.loop_plan(loop_id).clone();
+        let (var, body) = match &plan.forall {
+            Stmt::Forall { var, body, .. } => (var.clone(), body.clone()),
+            _ => unreachable!(),
+        };
+        let iterations = self.sum_loop_iterations(&plan);
+        let decomp_state = &self.decomps[&plan.decomp];
+        let owned_len = decomp_state.owned_globals.len();
 
         // All real arrays of the loop must share the decomposition (one hash table / one
         // schedule per loop — the merged schedule a compiler would emit).
@@ -457,11 +587,12 @@ impl<'p> Executor<'p> {
         let hash = rt.hash.as_ref().expect("hash table built above");
         let schedule = rt.schedule.as_ref().expect("schedule built above");
         let ghost = schedule.ghost_len();
+        let mut stats = ExchangeStats::default();
         // Gather read arrays; clear ghosts of reduction targets.
         for name in &plan.gathered_arrays {
             let state = self.reals.get_mut(name).expect("gathered array exists");
             state.data.ensure_ghost(ghost);
-            gather(rank, schedule, &mut state.data);
+            stats = stats.merged(&gather(rank, schedule, &mut state.data));
         }
         for name in &plan.sum_targets {
             let state = self.reals.get_mut(name).expect("target array exists");
@@ -490,9 +621,10 @@ impl<'p> Executor<'p> {
         // Fold off-processor contributions back and drop the ghost accumulations.
         for name in &plan.sum_targets {
             let state = self.reals.get_mut(name).expect("target array exists");
-            scatter_add(rank, schedule, &mut state.data);
+            stats = stats.merged(&scatter_add(rank, schedule, &mut state.data));
             state.data.clear_ghost();
         }
+        self.exchange = self.exchange.merged(&stats);
         self.phases.executor += rank.modeled().since(&t0);
         self.loop_runtime.insert(loop_id, rt);
     }
@@ -502,9 +634,9 @@ impl<'p> Executor<'p> {
     fn run_append_loop(&mut self, rank: &mut Rank, loop_id: usize, target: &str) {
         let plan = self.program.loop_plan(loop_id).clone();
         let (var, lo, hi, body) = match &plan.forall {
-            Stmt::Forall { var, lo, hi, body } => {
-                (var.clone(), lo.clone(), hi.clone(), body.clone())
-            }
+            Stmt::Forall {
+                var, lo, hi, body, ..
+            } => (var.clone(), lo.clone(), hi.clone(), body.clone()),
             _ => unreachable!(),
         };
         let (reduce_target, value_expr) = find_append(&body)
@@ -552,6 +684,9 @@ impl<'p> Executor<'p> {
 
         // ---- executor: move and append ---------------------------------------------------
         let t0 = rank.modeled();
+        self.exchange = self
+            .exchange
+            .merged(&lightweight_stats(&sched, self.my_rank));
         let arrivals = scatter_append(rank, &sched, &payload);
         let bucket_state = self.buckets.get_mut(target).expect("bucket array exists");
         for (bucket, value) in arrivals {
@@ -564,6 +699,305 @@ impl<'p> Executor<'p> {
         rank.charge_compute(iterations.len() as f64 * 0.3);
         self.phases.executor += rank.modeled().since(&t0);
     }
+
+    // ------------------------------------------------------ optimized schedule groups --
+
+    /// Reference-collection for one member loop of a schedule group: every
+    /// distributed-array element its body touches, over this rank's iterations.
+    fn member_refs(&self, loop_id: usize) -> Vec<usize> {
+        let plan = self.program.loop_plan(loop_id);
+        let Stmt::Forall { var, body, .. } = &plan.forall else {
+            unreachable!()
+        };
+        let iterations = self.sum_loop_iterations(plan);
+        let mut refs = Vec::new();
+        for &i in &iterations {
+            let mut env = HashMap::new();
+            env.insert(var.clone(), i);
+            collect_refs(body, &env, &self.integers, &self.reals, &mut refs);
+        }
+        refs
+    }
+
+    /// `BuildSchedule` step: (re)build or incrementally patch the group's merged hash
+    /// table — one stamp per member loop — then fetch the merged schedule through the
+    /// software schedule cache (collective).
+    fn build_group_schedule(&mut self, rank: &mut Rank, group_id: usize) {
+        let group = self.program.groups[group_id].clone();
+        let t0 = rank.modeled();
+        let owned_len = self.decomps[&group.decomp].owned_globals.len();
+        let mut rt = self
+            .group_runtime
+            .remove(&group_id)
+            .unwrap_or_else(|| GroupRuntime::new(group.loop_ids.len()));
+        // Current modification counters of each member's subscript dependencies; every
+        // rank bumps the counters identically, so the patch decisions below are SPMD.
+        let deps_now: Vec<HashMap<String, u64>> = group
+            .deps
+            .iter()
+            .map(|deps| {
+                deps.iter()
+                    .map(|a| (a.clone(), self.mod_counter.get(a).copied().unwrap_or(0)))
+                    .collect()
+            })
+            .collect();
+        let epoch_ok = rt.epoch_seen == self.epoch;
+        if let Some(hash) = rt.hash.as_mut().filter(|_| epoch_ok) {
+            // Patch only the members whose indirection arrays changed since the last
+            // build — incremental maintenance instead of a full inspector rerun.
+            let mut patched = false;
+            for (m, &lid) in group.loop_ids.iter().enumerate() {
+                if rt.member_deps_seen[m] == deps_now[m] {
+                    continue;
+                }
+                let stamp = Stamp::new(m as u8);
+                let refs = self.member_refs(lid);
+                let ttable = &self.decomps[&group.decomp].ttable;
+                hash.clear_stamp(stamp);
+                hash.hash_in_replicated(rank, ttable, &refs, stamp);
+                rt.patches += 1;
+                patched = true;
+            }
+            if !patched {
+                rt.reuses += 1;
+            }
+        } else {
+            // First build, or the decomposition changed: retire cached schedules tied
+            // to the old table and hash every member from scratch.
+            if let Some(old) = rt.hash.take() {
+                rt.cache.retire_table(&old);
+            }
+            let mut hash = IndexHashTable::new(self.my_rank, owned_len);
+            for (m, &lid) in group.loop_ids.iter().enumerate() {
+                let refs = self.member_refs(lid);
+                let ttable = &self.decomps[&group.decomp].ttable;
+                hash.hash_in_replicated(rank, ttable, &refs, Stamp::new(m as u8));
+            }
+            rt.hash = Some(hash);
+            rt.rebuilds += 1;
+        }
+        let stamps: Vec<Stamp> = (0..group.loop_ids.len())
+            .map(|m| Stamp::new(m as u8))
+            .collect();
+        let hash = rt.hash.as_ref().expect("hash table built above");
+        let (sched, _outcome) = rt.cache.schedule(rank, hash, StampQuery::any_of(&stamps));
+        rt.schedule = Some(sched.clone());
+        rt.member_deps_seen = deps_now;
+        rt.epoch_seen = self.epoch;
+        self.group_runtime.insert(group_id, rt);
+        self.phases.inspector += rank.modeled().since(&t0);
+    }
+
+    /// `GatherStart` step: post the fused gather's sends for the group's read arrays,
+    /// leaving the handle pending so independent work overlaps the exchange
+    /// (collective).
+    fn start_group_gather(&mut self, rank: &mut Rank, group_id: usize) {
+        let group = self.program.groups[group_id].clone();
+        assert!(
+            !group.gathered.is_empty(),
+            "GatherStart is only emitted for groups with gathered arrays"
+        );
+        let t0 = rank.modeled();
+        let rt = self
+            .group_runtime
+            .get(&group_id)
+            .expect("a BuildSchedule step precedes every GatherStart");
+        assert_eq!(
+            rt.epoch_seen, self.epoch,
+            "stale schedule: the optimizer must not start a gather across a DISTRIBUTE"
+        );
+        let sched = rt
+            .schedule
+            .as_ref()
+            .expect("schedule built by BuildSchedule");
+        let arrays: Vec<&DistArray<f64>> =
+            group.gathered.iter().map(|n| &self.reals[n].data).collect();
+        let handle = gather_start_dyn(rank, sched, &arrays);
+        self.pending_gathers.insert(group_id, handle);
+        self.phases.executor += rank.modeled().since(&t0);
+    }
+
+    /// `FusedLoop` step: one fused gather for all the group's read arrays, the member
+    /// loop bodies in program order against the merged schedule, then one fused
+    /// scatter-add for all the reduction targets (collective).
+    ///
+    /// `early_gather` finishes a gather posted by a preceding `GatherStart`;
+    /// `overlapped` steps (proved independent by the optimizer) execute between this
+    /// loop's gather start and finish.
+    fn run_fused_loop(
+        &mut self,
+        rank: &mut Rank,
+        group_id: usize,
+        overlapped: &[ExecStep],
+        early_gather: bool,
+    ) {
+        let group = self.program.groups[group_id].clone();
+        let rt = self
+            .group_runtime
+            .remove(&group_id)
+            .expect("a BuildSchedule step precedes every FusedLoop");
+        assert_eq!(
+            rt.epoch_seen, self.epoch,
+            "stale schedule: the optimizer must not hoist across a DISTRIBUTE"
+        );
+        let sched = rt
+            .schedule
+            .clone()
+            .expect("schedule built by BuildSchedule");
+        let ghost = sched.ghost_len();
+        let t0 = rank.modeled();
+        for a in group
+            .gathered
+            .iter()
+            .chain(&group.targets)
+            .chain(&group.assigned)
+        {
+            assert_eq!(
+                self.reals[a].decomp, group.decomp,
+                "group {group_id}: array {a} is aligned with a different decomposition"
+            );
+        }
+
+        // ---- fused gather (plain, finishing an early start, or overlapping) ----------
+        let mut stats = ExchangeStats::default();
+        if group.gathered.is_empty() {
+            assert!(
+                !early_gather,
+                "GatherStart is only emitted for groups with gathered arrays"
+            );
+            for s in overlapped {
+                self.exec_step(rank, s);
+            }
+        } else {
+            // Move the gathered arrays out of the map so the fused exchange can hold
+            // simultaneous borrows of all of them (overlapped steps touch only
+            // replicated integer state, which stays behind in `self`).
+            let mut gathered: Vec<(String, RealState)> = group
+                .gathered
+                .iter()
+                .map(|n| {
+                    (
+                        n.clone(),
+                        self.reals.remove(n).expect("gathered array exists"),
+                    )
+                })
+                .collect();
+            for (_, s) in &mut gathered {
+                s.data.ensure_ghost(ghost);
+            }
+            if early_gather {
+                let handle = self
+                    .pending_gathers
+                    .remove(&group_id)
+                    .expect("a GatherStart step precedes an early-gather FusedLoop");
+                for s in overlapped {
+                    self.exec_step(rank, s);
+                }
+                let mut refs: Vec<&mut DistArray<f64>> =
+                    gathered.iter_mut().map(|(_, s)| &mut s.data).collect();
+                stats = stats.merged(&gather_finish_dyn(rank, handle, &sched, &mut refs));
+            } else if overlapped.is_empty() {
+                let mut refs: Vec<&mut DistArray<f64>> =
+                    gathered.iter_mut().map(|(_, s)| &mut s.data).collect();
+                stats = stats.merged(&gather_multi_dyn(rank, &sched, &mut refs));
+            } else {
+                let handle = {
+                    let refs: Vec<&DistArray<f64>> =
+                        gathered.iter().map(|(_, s)| &s.data).collect();
+                    gather_start_dyn(rank, &sched, &refs)
+                };
+                for s in overlapped {
+                    self.exec_step(rank, s);
+                }
+                let mut refs: Vec<&mut DistArray<f64>> =
+                    gathered.iter_mut().map(|(_, s)| &mut s.data).collect();
+                stats = stats.merged(&gather_finish_dyn(rank, handle, &sched, &mut refs));
+            }
+            for (n, s) in gathered {
+                self.reals.insert(n, s);
+            }
+        }
+        for name in &group.targets {
+            let state = self.reals.get_mut(name).expect("target array exists");
+            state.data.ensure_ghost(ghost);
+            state.data.clear_ghost();
+        }
+
+        // ---- member bodies, in program order ------------------------------------------
+        let hash = rt.hash.as_ref().expect("hash table built by BuildSchedule");
+        let owned_len = self.decomps[&group.decomp].owned_globals.len();
+        let mut work = 0usize;
+        for &lid in &group.loop_ids {
+            let plan = self.program.loop_plan(lid);
+            let (var, body) = match &plan.forall {
+                Stmt::Forall { var, body, .. } => (var.clone(), body.clone()),
+                _ => unreachable!(),
+            };
+            let iterations = self.sum_loop_iterations(plan);
+            let decomp_state = &self.decomps[&group.decomp];
+            for &i in &iterations {
+                let mut env = HashMap::new();
+                env.insert(var.clone(), i);
+                work += exec_body(
+                    &body,
+                    &mut env,
+                    &self.integers,
+                    &mut self.reals,
+                    &decomp_state.ttable,
+                    hash,
+                    owned_len,
+                    self.my_rank,
+                );
+            }
+        }
+        rank.charge_compute(work as f64);
+
+        // ---- fused scatter-add ---------------------------------------------------------
+        if !group.targets.is_empty() {
+            let mut targets: Vec<(String, RealState)> = group
+                .targets
+                .iter()
+                .map(|n| {
+                    (
+                        n.clone(),
+                        self.reals.remove(n).expect("target array exists"),
+                    )
+                })
+                .collect();
+            let mut refs: Vec<&mut DistArray<f64>> =
+                targets.iter_mut().map(|(_, s)| &mut s.data).collect();
+            stats = stats.merged(&scatter_add_multi_dyn(rank, &sched, &mut refs));
+            for (_, s) in &mut targets {
+                s.data.clear_ghost();
+            }
+            for (n, s) in targets {
+                self.reals.insert(n, s);
+            }
+        }
+        self.exchange = self.exchange.merged(&stats);
+        self.phases.executor += rank.modeled().since(&t0);
+        self.group_runtime.insert(group_id, rt);
+    }
+}
+
+/// Message/byte accounting of a light-weight append exchange, derived from its
+/// schedule (the payload items are `(bucket, value)` pairs).
+fn lightweight_stats(sched: &LightweightSchedule, my_rank: usize) -> ExchangeStats {
+    let item_bytes = std::mem::size_of::<(u64, f64)>() as u64;
+    let mut stats = ExchangeStats::default();
+    for (p, list) in sched.send_item_lists.iter().enumerate() {
+        if p != my_rank && !list.is_empty() {
+            stats.msgs_sent += 1;
+            stats.bytes_sent += list.len() as u64 * item_bytes;
+        }
+    }
+    for (p, &cnt) in sched.recv_counts.iter().enumerate() {
+        if p != my_rank && cnt > 0 {
+            stats.msgs_received += 1;
+            stats.bytes_received += cnt as u64 * item_bytes;
+        }
+    }
+    stats
 }
 
 // ------------------------------------------------------------------ expression helpers --
@@ -729,7 +1163,9 @@ fn collect_refs(
 ) {
     for stmt in body {
         match stmt {
-            Stmt::Forall { var, lo, hi, body } => {
+            Stmt::Forall {
+                var, lo, hi, body, ..
+            } => {
                 let lo = eval_int(lo, env, integers);
                 let hi = eval_int(hi, env, integers);
                 for j in lo..=hi {
@@ -789,7 +1225,9 @@ fn exec_body(
     let mut work = 0usize;
     for stmt in body {
         match stmt {
-            Stmt::Forall { var, lo, hi, body } => {
+            Stmt::Forall {
+                var, lo, hi, body, ..
+            } => {
                 let lo = eval_int(lo, env, integers);
                 let hi = eval_int(hi, env, integers);
                 for j in lo..=hi {

@@ -38,16 +38,25 @@ pub mod ast;
 pub mod interp;
 pub mod lexer;
 pub mod lower;
+pub mod opt;
 pub mod parser;
 
 pub use analysis::{check_source, Finding, OpNode};
 pub use ast::{DistSpec, Program, ReduceOp};
 pub use interp::Executor;
 pub use lower::{LoopKind, LoweredProgram};
+pub use opt::{optimize, OptDiag, OptReport, OptRule};
 
 /// Convenience: parse and lower a source program in one call.
 pub fn compile(source: &str) -> Result<LoweredProgram, String> {
     let tokens = lexer::tokenize(source)?;
     let program = parser::parse(&tokens)?;
     lower::lower(&program)
+}
+
+/// Parse, lower, and optimize: the full compiler loop.  Returns the transformed
+/// program (hoisted schedule builds, fused exchanges, split-phase overlap) along with
+/// the diagnostic report explaining every decision.
+pub fn compile_optimized(source: &str) -> Result<(LoweredProgram, OptReport), String> {
+    Ok(opt::optimize(&compile(source)?))
 }

@@ -26,6 +26,14 @@ pub enum LoopKind {
         /// The bucket array receiving appended values.
         target: String,
     },
+    /// A FORALL whose body only assigns to replicated integer arrays (a DSMC-style
+    /// indirection update such as `icell(i) = icell(i) + 1`).  Runs the full iteration
+    /// range redundantly on every rank — no communication — and invalidates every
+    /// schedule depending on the modified arrays.
+    IntegerUpdate {
+        /// Integer arrays written by the loop.
+        modified: Vec<String>,
+    },
 }
 
 /// The lowered form of one top-level `FORALL`.
@@ -47,8 +55,62 @@ pub struct LoopPlan {
     /// Integer arrays appearing in subscripts or bounds: the loop's schedule is valid
     /// until one of these is modified or the decomposition is redistributed.
     pub indirection_arrays: Vec<String>,
-    /// The decomposition the loop's iterations are aligned with.
+    /// The decomposition the loop's iterations are aligned with (empty for
+    /// [`LoopKind::IntegerUpdate`] loops, which touch no distributed data).
     pub decomp: String,
+}
+
+impl LoopPlan {
+    /// 1-based source line of the loop's `FORALL` keyword.
+    pub fn line(&self) -> usize {
+        match &self.forall {
+            Stmt::Forall { line, .. } | Stmt::Do { line, .. } => *line,
+            _ => 0,
+        }
+    }
+}
+
+/// A group of [`LoopKind::SumReduction`] loops sharing one communication schedule —
+/// the unit the optimizer's fusion analysis produces and the interpreter's fused
+/// executor consumes.  Every member hashes its references into one index table under
+/// its own stamp; the group's schedule covers the union and its gathers/scatters move
+/// all member arrays in one fused exchange per direction.
+#[derive(Debug, Clone)]
+pub struct ScheduleGroup {
+    /// Index of this group in [`LoweredProgram::groups`].
+    pub id: usize,
+    /// The shared decomposition (all members iterate over it).
+    pub decomp: String,
+    /// Member loops, in program order.  Each member's index in this list is also its
+    /// stamp in the group's index table.
+    pub loop_ids: Vec<usize>,
+    /// Union of the members' gathered arrays, sorted (the fused gather's lane order).
+    pub gathered: Vec<String>,
+    /// Union of the members' `REDUCE(SUM)` targets, sorted (the fused scatter's lanes).
+    pub targets: Vec<String>,
+    /// Union of the members' directly-assigned real arrays (local writes; no lanes).
+    pub assigned: Vec<String>,
+    /// Per-member schedule dependence sets: `deps[m]` are the indirection arrays member
+    /// `m`'s references are computed from.  A write to one of them invalidates only
+    /// member `m`'s stamp (a patch), not the whole table.
+    pub deps: Vec<Vec<String>>,
+    /// Source line of the first member (for diagnostics).
+    pub line: usize,
+}
+
+impl ScheduleGroup {
+    /// Union of all members' dependence sets.
+    pub fn all_deps(&self) -> Vec<String> {
+        let mut v: Vec<String> = Vec::new();
+        for d in &self.deps {
+            for a in d {
+                if !v.iter().any(|x| x == a) {
+                    v.push(a.clone());
+                }
+            }
+        }
+        v
+    }
 }
 
 /// One executable step of the lowered program, in source order.
@@ -77,6 +139,51 @@ pub enum ExecStep {
         /// Steps of the ELSE branch.
         else_steps: Vec<ExecStep>,
     },
+    /// A sequential `DO` time loop: run `body` once per iteration, in order.  The loop
+    /// variable is a pure step counter (the body cannot reference it), so the body is
+    /// the same program every iteration — which is what makes hoisting sound.
+    TimeLoop {
+        /// Loop variable name (diagnostics only).
+        var: String,
+        /// Lower bound (inclusive).
+        lo: Expr,
+        /// Upper bound (inclusive).
+        hi: Expr,
+        /// Steps of one iteration.
+        body: Vec<ExecStep>,
+        /// Source line of the `DO` keyword.
+        line: usize,
+    },
+    /// **Optimizer-emitted.** Build (or revalidate) the communication schedule of
+    /// [`LoweredProgram::groups`]`[group]`: full inspector on first touch or after a
+    /// redistribution, stamp-guarded per-member patches when only some dependence sets
+    /// changed, a cache hit when nothing did.  Hoisted out of time loops when the
+    /// dependence sets are loop-invariant.
+    BuildSchedule {
+        /// Index into [`LoweredProgram::groups`].
+        group: usize,
+    },
+    /// **Optimizer-emitted.** Execute the member loops of a schedule group as one fused
+    /// unit: one `gather_multi` over all gathered lanes, the member bodies in program
+    /// order, one `scatter_add_multi` over all target lanes.  Requires the group's
+    /// [`ExecStep::BuildSchedule`] to have executed since the last redistribution.
+    FusedLoop {
+        /// Index into [`LoweredProgram::groups`].
+        group: usize,
+        /// Independent steps the overlap analysis slid between the gather's start and
+        /// finish (integer-update loops that touch none of the group's dependences).
+        overlapped: Vec<ExecStep>,
+        /// When set, the gather was already started by a preceding
+        /// [`ExecStep::GatherStart`] — only finish it here.
+        early_gather: bool,
+    },
+    /// **Optimizer-emitted.** Start the fused gather of a schedule group split-phase,
+    /// so the exchange is in flight while the steps between here and the matching
+    /// [`ExecStep::FusedLoop`] (`early_gather = true`) compute.
+    GatherStart {
+        /// Index into [`LoweredProgram::groups`].
+        group: usize,
+    },
 }
 
 /// Everything the runtime needs to execute the program.
@@ -92,6 +199,9 @@ pub struct LoweredProgram {
     pub loops: Vec<LoopPlan>,
     /// Executable steps in source order.
     pub steps: Vec<ExecStep>,
+    /// Schedule groups created by the optimizer ([`crate::opt`]); empty in the naive
+    /// lowering.
+    pub groups: Vec<ScheduleGroup>,
 }
 
 impl LoweredProgram {
@@ -162,6 +272,15 @@ pub fn lower(program: &Program) -> Result<LoweredProgram, String> {
                     &mut loops,
                 )?);
             }
+            Stmt::Do { .. } => {
+                steps.push(lower_do(
+                    stmt,
+                    &real_arrays,
+                    &integer_arrays,
+                    &decomps,
+                    &mut loops,
+                )?);
+            }
             Stmt::Reduce { .. } | Stmt::Assign { .. } => {
                 return Err("REDUCE/assignment statements are only supported inside FORALL".into())
             }
@@ -174,6 +293,7 @@ pub fn lower(program: &Program) -> Result<LoweredProgram, String> {
         decomps,
         loops,
         steps,
+        groups: Vec::new(),
     })
 }
 
@@ -230,7 +350,7 @@ fn lower_if(
     })
 }
 
-/// Lower the statements of one IF branch.
+/// Lower the statements of one IF branch or DO body (executable statements only).
 fn lower_branch(
     stmts: &[Stmt],
     real_arrays: &HashMap<String, (usize, String)>,
@@ -253,15 +373,119 @@ fn lower_branch(
             Stmt::If { .. } => {
                 steps.push(lower_if(stmt, real_arrays, integer_arrays, decomps, loops)?);
             }
+            Stmt::Do { .. } => {
+                steps.push(lower_do(stmt, real_arrays, integer_arrays, decomps, loops)?);
+            }
             other => {
                 return Err(format!(
-                    "only DISTRIBUTE, FORALL and nested IF are allowed inside IF branches, \
-                     found {other:?}"
+                    "only DISTRIBUTE, FORALL, DO and nested IF are allowed inside IF branches \
+                     and DO bodies, found {other:?}"
                 ))
             }
         }
     }
     Ok(steps)
+}
+
+/// Lower a `DO` time loop to an [`ExecStep::TimeLoop`].
+///
+/// The loop variable must not be referenced in the body: the body is then the same
+/// program on every iteration, which is the premise of the optimizer's hoisting
+/// analysis (and of calling it a *time* loop at all).
+fn lower_do(
+    stmt: &Stmt,
+    real_arrays: &HashMap<String, (usize, String)>,
+    integer_arrays: &HashMap<String, usize>,
+    decomps: &HashMap<String, usize>,
+    loops: &mut Vec<LoopPlan>,
+) -> Result<ExecStep, String> {
+    let Stmt::Do {
+        var,
+        lo,
+        hi,
+        body,
+        line,
+    } = stmt
+    else {
+        unreachable!("lower_do called on a non-DO statement")
+    };
+    for s in body {
+        if stmt_references_var(s, var) {
+            return Err(format!(
+                "DO variable {var} is referenced inside the loop body; the DO loop is a \
+                 step counter only (use FORALL for data-parallel iteration)"
+            ));
+        }
+    }
+    for bound in [lo, hi] {
+        let mut refs = Vec::new();
+        bound.referenced_arrays(&mut refs);
+        if refs.iter().any(|a| real_arrays.contains_key(a)) {
+            return Err("DO bounds may not reference distributed arrays".to_string());
+        }
+    }
+    let body_steps = lower_branch(body, real_arrays, integer_arrays, decomps, loops)?;
+    Ok(ExecStep::TimeLoop {
+        var: var.clone(),
+        lo: lo.clone(),
+        hi: hi.clone(),
+        body: body_steps,
+        line: *line,
+    })
+}
+
+/// Whether `stmt` references the variable `var` anywhere, respecting rebinding: a
+/// nested FORALL/DO introducing the same name shadows it.
+fn stmt_references_var(stmt: &Stmt, var: &str) -> bool {
+    fn expr_refs(e: &Expr, var: &str) -> bool {
+        match e {
+            Expr::Int(_) | Expr::Real(_) => false,
+            Expr::Var(v) => v == var,
+            Expr::Element(r) => expr_refs(&r.index, var),
+            Expr::Binary(_, a, b) => expr_refs(a, var) || expr_refs(b, var),
+        }
+    }
+    match stmt {
+        Stmt::RealDecl { .. }
+        | Stmt::IntegerDecl { .. }
+        | Stmt::Decomposition { .. }
+        | Stmt::Distribute { .. }
+        | Stmt::Align { .. } => false,
+        Stmt::Forall {
+            var: v,
+            lo,
+            hi,
+            body,
+            ..
+        }
+        | Stmt::Do {
+            var: v,
+            lo,
+            hi,
+            body,
+            ..
+        } => {
+            if expr_refs(lo, var) || expr_refs(hi, var) {
+                return true;
+            }
+            // The inner loop rebinding the same name shadows the outer variable.
+            v != var && body.iter().any(|s| stmt_references_var(s, var))
+        }
+        Stmt::Reduce { target, value, .. } => {
+            expr_refs(&target.index, var) || expr_refs(value, var)
+        }
+        Stmt::Assign { target, value } => expr_refs(&target.index, var) || expr_refs(value, var),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            expr_refs(&cond.lhs, var)
+                || expr_refs(&cond.rhs, var)
+                || then_branch.iter().any(|s| stmt_references_var(s, var))
+                || else_branch.iter().any(|s| stmt_references_var(s, var))
+        }
+    }
 }
 
 /// Classify one top-level FORALL and collect its array usage.
@@ -275,6 +499,17 @@ fn lower_forall(
     let Stmt::Forall { lo, hi, body, .. } = forall else {
         unreachable!("lower_forall called on a non-FORALL statement")
     };
+
+    // A body consisting solely of assignments to integer arrays is a replicated
+    // indirection update (DSMC re-binning its cell map): no distributed data, no
+    // communication, every rank runs the full range redundantly.
+    if !body.is_empty()
+        && body.iter().all(|s| {
+            matches!(s, Stmt::Assign { target, .. } if integer_arrays.contains_key(&target.array))
+        })
+    {
+        return lower_integer_update(loop_id, forall, real_arrays, integer_arrays);
+    }
 
     let mut usage = Usage::default();
     collect_body(body, real_arrays, integer_arrays, &mut usage)?;
@@ -338,6 +573,47 @@ fn lower_forall(
         assigned_arrays: usage.assigned,
         indirection_arrays: usage.indirection,
         decomp,
+    })
+}
+
+/// Lower a FORALL whose body only assigns to replicated integer arrays.
+fn lower_integer_update(
+    loop_id: usize,
+    forall: &Stmt,
+    real_arrays: &HashMap<String, (usize, String)>,
+    integer_arrays: &HashMap<String, usize>,
+) -> Result<LoopPlan, String> {
+    let Stmt::Forall { lo, hi, body, .. } = forall else {
+        unreachable!("lower_integer_update called on a non-FORALL statement")
+    };
+    let mut usage = Usage::default();
+    collect_index_expr(lo, real_arrays, integer_arrays, &mut usage)?;
+    collect_index_expr(hi, real_arrays, integer_arrays, &mut usage)?;
+    let mut modified = Vec::new();
+    for s in body {
+        let Stmt::Assign { target, value } = s else {
+            unreachable!("integer-update bodies contain only assignments")
+        };
+        if !matches!(target.index.as_ref(), Expr::Var(_)) {
+            return Err(format!(
+                "integer update to {}(non-loop-variable subscript) is not supported",
+                target.array
+            ));
+        }
+        push_unique(&mut modified, &target.array);
+        // RHS of an integer update is an index-class expression: integer arrays, loop
+        // variables and constants only — never distributed data.
+        collect_index_expr(value, real_arrays, integer_arrays, &mut usage)?;
+    }
+    Ok(LoopPlan {
+        loop_id,
+        kind: LoopKind::IntegerUpdate { modified },
+        forall: forall.clone(),
+        gathered_arrays: Vec::new(),
+        sum_targets: Vec::new(),
+        assigned_arrays: Vec::new(),
+        indirection_arrays: usage.indirection,
+        decomp: String::new(),
     })
 }
 

@@ -190,6 +190,7 @@ impl<'a> Parser<'a> {
                 Ok(Stmt::Align { arrays, decomp })
             }
             "FORALL" => self.forall(),
+            "DO" => self.do_stmt(),
             "IF" => self.if_stmt(),
             "REDUCE" => {
                 let stmt = self.reduce()?;
@@ -239,6 +240,7 @@ impl<'a> Parser<'a> {
     }
 
     fn forall(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line_of(self.pos);
         let var = self.expect_ident()?;
         self.expect(&Token::Equals)?;
         let lo = self.expr()?;
@@ -272,7 +274,58 @@ impl<'a> Parser<'a> {
                 _ => body.push(self.statement()?),
             }
         }
-        Ok(Stmt::Forall { var, lo, hi, body })
+        Ok(Stmt::Forall {
+            var,
+            lo,
+            hi,
+            body,
+            line,
+        })
+    }
+
+    /// `DO var = lo, hi … END DO` — the sequential time loop.  Same header shape as
+    /// FORALL; the terminator is `END DO` / `ENDDO`.
+    fn do_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line_of(self.pos);
+        let var = self.expect_ident()?;
+        self.expect(&Token::Equals)?;
+        let lo = self.expr()?;
+        self.expect(&Token::Comma)?;
+        let hi = self.expr()?;
+        self.end_of_statement()?;
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Some(Token::Ident(s)) if s == "END" || s == "ENDDO" => {
+                    let s = s.clone();
+                    self.next();
+                    if s == "END" {
+                        // Optional DO after END.
+                        if matches!(self.peek(), Some(Token::Ident(k)) if k == "DO") {
+                            self.next();
+                        }
+                    }
+                    self.end_of_statement()?;
+                    break;
+                }
+                None => {
+                    return Err(ParseError {
+                        line: self.line_of(self.tokens.len()),
+                        got: "end of input".to_string(),
+                        expected: "END DO".to_string(),
+                    })
+                }
+                _ => body.push(self.statement()?),
+            }
+        }
+        Ok(Stmt::Do {
+            var,
+            lo,
+            hi,
+            body,
+            line,
+        })
     }
 
     /// `IF (cond) THEN … [ELSE …] END IF` — a statement-level block; the branches hold

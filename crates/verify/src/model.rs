@@ -1,7 +1,7 @@
 //! Instrumented cells and protocol objects: the model-checker instantiations of the
 //! `mpsim::proto` sync-layer traits.
 //!
-//! A [`Cell`] is a handle to one [`engine::Exec`] location; it implements
+//! A [`Cell`] is a handle to one [`Exec`] location; it implements
 //! [`proto::UsizeCell`], [`proto::U64Cell`], and [`proto::BoolCell`], so the *same*
 //! protocol step functions the production transport runs
 //! ([`proto::ring_try_push`], [`proto::bell_check`], [`proto::window_publish`], …)

@@ -43,6 +43,9 @@ fn main() {
             LoopKind::AppendReduction { target } => {
                 format!("light-weight append into {target}")
             }
+            LoopKind::IntegerUpdate { modified } => {
+                format!("local integer update of {modified:?}")
+            }
         };
         println!(
             "  loop #{}: {kind}; gathers {:?}, scatter-adds {:?}, schedule depends on {:?}",

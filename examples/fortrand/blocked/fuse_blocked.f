@@ -1,0 +1,20 @@
+C BLOCKED-OPT FIXTURE — the second sweep gathers F, the array the first
+C sweep scatter-adds into: a flow dependence through the exchange.  The
+C fusion analysis must keep the loops in separate schedules (a fused
+C gather would read F before the first loop's contributions arrive), and
+C the overlap analysis must not start the second gather early for the
+C same reason.  The builds still hoist: IA and IB are loop-invariant.
+C Expected: blocked fuse, blocked overlap, applied hoist, no findings.
+      REAL x(32), f(32), g(32)
+      INTEGER ia(32), ib(32)
+C$ DECOMPOSITION reg(32)
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x, f, g WITH reg
+      DO istep = 1, 5
+      FORALL i = 1, 32
+      REDUCE(SUM, f(ia(i)), x(ib(i)))
+      END FORALL
+      FORALL i = 1, 32
+      REDUCE(SUM, g(ia(i)), f(ib(i)))
+      END FORALL
+      END DO

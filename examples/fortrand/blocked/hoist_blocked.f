@@ -1,0 +1,19 @@
+C BLOCKED-OPT FIXTURE — the indirection array IA is rewritten inside the
+C time loop, so the schedule-reuse analysis must NOT hoist the inspector:
+C the build stays inside the DO, stamp-guarded, and the schedule cache
+C absorbs the rebuilds.  The same write also pins the integer update in
+C place — it cannot slide into the gather window it invalidates.
+C Expected: blocked hoist, blocked overlap, no findings.
+      REAL x(32), f(32)
+      INTEGER ia(32)
+C$ DECOMPOSITION reg(32)
+C$ DISTRIBUTE reg(BLOCK)
+C$ ALIGN x, f WITH reg
+      DO istep = 1, 5
+      FORALL i = 1, 32
+      REDUCE(SUM, f(ia(i)), x(i))
+      END FORALL
+      FORALL i = 1, 32
+      ia(i) = ia(i) - (ia(i) / 32) * 32 + 1
+      END FORALL
+      END DO

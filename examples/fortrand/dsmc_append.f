@@ -1,5 +1,8 @@
-C DSMC particle move (Figure 11 of the paper): REDUCE(APPEND) routes each
-C particle's value to its destination cell with a light-weight schedule.
+C DSMC particle move (Figure 11 of the paper), time-stepped: each step
+C REDUCE(APPEND) routes every particle's value to its destination cell
+C with a light-weight schedule, then the cell assignment drifts — the
+C adaptive case, so the light-weight schedule is rebuilt every step by
+C construction (there is no inspector to hoist).
       REAL vel(128), newvel(32)
       INTEGER icell(128)
 C$ DECOMPOSITION parts(128)
@@ -8,6 +11,11 @@ C$ DISTRIBUTE parts(BLOCK)
 C$ DISTRIBUTE cells(BLOCK)
 C$ ALIGN vel WITH parts
 C$ ALIGN newvel WITH cells
+      DO istep = 1, 8
       FORALL i = 1, 128
       REDUCE(APPEND, newvel(icell(i)), vel(i))
       END FORALL
+      FORALL i = 1, 128
+      icell(i) = icell(i) - (icell(i) / 32) * 32 + 1
+      END FORALL
+      END DO

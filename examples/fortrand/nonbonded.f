@@ -1,15 +1,42 @@
-C CHARMM-style non-bonded force loop (Figure 10 of the paper): a CSR
-C neighbour list drives an irregular REDUCE(SUM) sweep after the atoms
+C CHARMM-style non-bonded force sweep (Figure 10 of the paper), now with
+C the outer molecular-dynamics time loop: a CSR neighbour list drives
+C three irregular REDUCE(SUM) sweeps (one per coordinate) after the atoms
 C are remapped through a partitioner-produced map array.
-      REAL x(64), dx(64)
-      INTEGER map(64), inblo(65), jnb(128)
+C
+C The compiler loop fires all three analyses here:
+C  * fuse   — the X/Y/Z sweeps share a decomposition and iteration space
+C             with no cross dependences, so they merge into one schedule
+C             (one gather + one scatter-add moves all six arrays);
+C  * hoist  — INBLO and JNB are never written inside the DO, so the
+C             inspector runs once, before the time loop;
+C  * overlap — the list-age counter update touches no indirection array
+C             and slides between the gather's start and finish.
+      REAL x(64), y(64), z(64), dx(64), dy(64), dz(64)
+      INTEGER map(64), inblo(65), jnb(128), iage(64)
 C$ DECOMPOSITION reg(64)
 C$ DISTRIBUTE reg(BLOCK)
-C$ ALIGN x, dx WITH reg
+C$ ALIGN x, y, z, dx, dy, dz WITH reg
 C$ DISTRIBUTE reg(map)
+      DO istep = 1, 10
       FORALL i = 1, 64
       FORALL j = inblo(i), inblo(i+1) - 1
       REDUCE(SUM, dx(jnb(j)), x(jnb(j)) - x(i))
       REDUCE(SUM, dx(i), x(i) - x(jnb(j)))
       END FORALL
       END FORALL
+      FORALL i = 1, 64
+      FORALL j = inblo(i), inblo(i+1) - 1
+      REDUCE(SUM, dy(jnb(j)), y(jnb(j)) - y(i))
+      REDUCE(SUM, dy(i), y(i) - y(jnb(j)))
+      END FORALL
+      END FORALL
+      FORALL i = 1, 64
+      FORALL j = inblo(i), inblo(i+1) - 1
+      REDUCE(SUM, dz(jnb(j)), z(jnb(j)) - z(i))
+      REDUCE(SUM, dz(i), z(i) - z(jnb(j)))
+      END FORALL
+      END FORALL
+      FORALL i = 1, 64
+      iage(i) = iage(i) + 1
+      END FORALL
+      END DO
